@@ -1,0 +1,49 @@
+//! Microbenchmarks of the cryptographic substrate: AES block speed,
+//! OTP generation, full-line counter-mode encryption, and split-counter
+//! codec throughput. These bound how fast the whole-system simulation
+//! can run (every simulated flush performs four real AES blocks).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use supermem::crypto::aes::Aes128;
+use supermem::crypto::{CounterLine, EncryptionEngine};
+
+fn bench_aes_block(c: &mut Criterion) {
+    let aes = Aes128::new([7u8; 16]);
+    let block = [0x5Au8; 16];
+    c.bench_function("aes128_encrypt_block", |b| {
+        b.iter(|| black_box(aes.encrypt_block(black_box(block))))
+    });
+    c.bench_function("aes128_decrypt_block", |b| {
+        let ct = aes.encrypt_block(block);
+        b.iter(|| black_box(aes.decrypt_block(black_box(ct))))
+    });
+}
+
+fn bench_otp_and_line(c: &mut Criterion) {
+    let engine = EncryptionEngine::new([9u8; 16]);
+    let line = [0xC3u8; 64];
+    c.bench_function("otp_64B", |b| {
+        b.iter(|| black_box(engine.otp(black_box(0x4000), 5, 17)))
+    });
+    c.bench_function("encrypt_line_64B", |b| {
+        b.iter(|| black_box(engine.encrypt_line(black_box(&line), 0x4000, 5, 17)))
+    });
+}
+
+fn bench_counter_codec(c: &mut Criterion) {
+    let mut ctr = CounterLine::new();
+    for i in 0..64 {
+        for _ in 0..(i % 50) {
+            ctr.increment(i);
+        }
+    }
+    c.bench_function("counterline_encode", |b| b.iter(|| black_box(ctr.encode())));
+    let bytes = ctr.encode();
+    c.bench_function("counterline_decode", |b| {
+        b.iter(|| black_box(CounterLine::decode(black_box(&bytes))))
+    });
+}
+
+criterion_group!(benches, bench_aes_block, bench_otp_and_line, bench_counter_codec);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Design ablations called out in DESIGN.md:
+//!
+//! 1. **Bank placement × CWC grid** (paper Figure 8 / §3.3): latency of
+//!    every {SingleBank, SameBank, CrossBank} × {CWC off, CWC on}
+//!    combination over the write-through counter cache, normalized to
+//!    SingleBank without CWC (= the WT baseline). CrossBank+CWC is
+//!    SuperMem.
+//! 2. **Per-bank write distribution**: where data and counter writes
+//!    land for each placement — SingleBank funnels every counter write
+//!    into bank 7, SameBank doubles each data bank's load, CrossBank
+//!    spreads pairs half the bank space apart.
+
+use supermem::metrics::TextTable;
+use supermem::sim::CounterPlacement;
+use supermem::workloads::spec::ALL_KINDS;
+use supermem::workloads::WorkloadKind;
+use supermem::{run_single, RunConfig, Scheme};
+use supermem_bench::txns;
+
+const PLACEMENTS: [(CounterPlacement, &str); 3] = [
+    (CounterPlacement::SingleBank, "SingleBank"),
+    (CounterPlacement::SameBank, "SameBank"),
+    (CounterPlacement::CrossBank, "XBank"),
+];
+
+fn main() {
+    let n = txns();
+
+    // --- 1. placement x CWC latency grid.
+    let mut headers = vec!["workload".to_owned()];
+    for (_, pname) in PLACEMENTS {
+        headers.push(pname.to_owned());
+        headers.push(format!("{pname}+CWC"));
+    }
+    let mut grid = TextTable::new(headers);
+    for kind in ALL_KINDS {
+        let mut cells = vec![kind.name().to_owned()];
+        let mut base = None;
+        for (placement, _) in PLACEMENTS {
+            for cwc in [false, true] {
+                let mut rc = RunConfig::new(Scheme::WriteThrough, kind);
+                rc.txns = n;
+                rc.req_bytes = 1024;
+                rc.placement_override = Some(placement);
+                rc.cwc_override = Some(cwc);
+                let lat = run_single(&rc).mean_txn_latency();
+                let b = *base.get_or_insert(lat);
+                cells.push(format!("{:.2}", lat / b));
+            }
+        }
+        grid.row(cells);
+    }
+    println!("Ablation 1: WT latency by counter placement x CWC (normalized to SingleBank)");
+    println!("{}", grid.render());
+
+    // --- 2. per-bank write distribution (queue workload).
+    let mut dist = TextTable::new(
+        std::iter::once("placement".to_owned())
+            .chain((0..8).map(|b| format!("bank{b}")))
+            .collect(),
+    );
+    for (placement, pname) in PLACEMENTS {
+        let mut rc = RunConfig::new(Scheme::WriteThrough, WorkloadKind::Queue);
+        rc.txns = n;
+        rc.req_bytes = 1024;
+        rc.placement_override = Some(placement);
+        let r = run_single(&rc);
+        let total: u64 = r.stats.bank_writes.iter().sum();
+        let mut cells = vec![pname.to_owned()];
+        for &w in r.stats.bank_writes.iter().take(8) {
+            cells.push(format!("{:.0}%", 100.0 * w as f64 / total.max(1) as f64));
+        }
+        dist.row(cells);
+    }
+    println!("Ablation 2: share of NVM writes per bank (queue, WT, 1 KB txns)");
+    println!("{}", dist.render());
+}

@@ -1,0 +1,53 @@
+//! Authentication overhead: SuperMem with the Bonsai Merkle Tree wired
+//! into the counter-fetch path (the §2.2.1-footnote defense, here made
+//! measurable).
+//!
+//! Verification runs only on counter-cache *misses* (hits are on-chip
+//! and already trusted), so the overhead tracks the miss rate: near
+//! zero with the 256 KB cache, visible with a deliberately tiny one.
+
+use supermem::metrics::TextTable;
+use supermem::workloads::spec::ALL_KINDS;
+use supermem::{run_single, RunConfig, Scheme};
+use supermem_bench::txns;
+
+fn main() {
+    let n = txns();
+    let mut t = TextTable::new(vec![
+        "workload".into(),
+        "cc size".into(),
+        "plain lat".into(),
+        "auth lat".into(),
+        "overhead".into(),
+        "verifications".into(),
+    ]);
+    for kind in ALL_KINDS {
+        for (cc, label) in [(256u64 << 10, "256K"), (1 << 10, "1K")] {
+            let run = |integrity: bool| {
+                let mut rc = RunConfig::new(Scheme::SuperMem, kind);
+                rc.txns = n;
+                rc.req_bytes = 1024;
+                rc.counter_cache_bytes = cc;
+                rc.integrity_tree = integrity;
+                run_single(&rc)
+            };
+            let plain = run(false);
+            let auth = run(true);
+            t.row(vec![
+                kind.name().into(),
+                label.into(),
+                format!("{:.0}", plain.mean_txn_latency()),
+                format!("{:.0}", auth.mean_txn_latency()),
+                format!(
+                    "{:+.1}%",
+                    (auth.mean_txn_latency() / plain.mean_txn_latency() - 1.0) * 100.0
+                ),
+                auth.stats.integrity_verifications.to_string(),
+            ]);
+        }
+    }
+    println!("SuperMem with counter-region authentication (Bonsai Merkle Tree)");
+    println!("{}", t.render());
+    println!("Verification costs hash-latency x tree-height per counter-cache miss;");
+    println!("with the paper's 256 KB counter cache the overhead is negligible.");
+}

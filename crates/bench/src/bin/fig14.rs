@@ -1,0 +1,40 @@
+//! Figure 14: multi-core transaction execution latency with 1, 4, and 8
+//! concurrent programs (one per core), normalized to Unsec at the same
+//! program count.
+//!
+//! Paper shape to reproduce: WT costs 1.8–2.4x; with more programs the
+//! banks saturate, so WT+CWC (which removes writes) overtakes WT+XBank
+//! (which only spreads them); SuperMem still tracks the ideal WB.
+
+use supermem::scheme::FIGURE_SCHEMES;
+use supermem::workloads::spec::ALL_KINDS;
+use supermem::{run_multicore, RunConfig};
+use supermem_bench::{normalized_table, txns};
+
+fn main() {
+    let n = txns().min(120); // multi-core runs are programs x txns
+    for (part, programs) in [1usize, 4, 8].iter().enumerate() {
+        let mut rows = Vec::new();
+        for kind in ALL_KINDS {
+            let mut values = Vec::new();
+            for scheme in FIGURE_SCHEMES {
+                let mut rc = RunConfig::new(scheme, kind);
+                rc.txns = n;
+                rc.req_bytes = 1024;
+                rc.programs = *programs;
+                rc.array_footprint = 2 << 20; // per-program footprint
+                let r = run_multicore(&rc);
+                values.push(r.mean_txn_latency());
+            }
+            rows.push((kind.name().to_owned(), values));
+        }
+        let title = format!(
+            "Figure 14{}: {programs}-program txn latency (normalized to Unsec)",
+            (b'a' + part as u8) as char
+        );
+        println!(
+            "{}",
+            normalized_table(&title, &FIGURE_SCHEMES.map(|s| s.name()), &rows)
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Figure 14, event-granularity variant: the same multi-core sweep as
+//! `fig14`, but with per-core traces interleaved one memory operation
+//! at a time — closer to the paper's cycle-driven gem5 cores than the
+//! transaction-granularity scheduler in `fig14`.
+
+use supermem::scheme::FIGURE_SCHEMES;
+use supermem::workloads::spec::ALL_KINDS;
+use supermem::{run_multicore_trace, RunConfig};
+use supermem_bench::{normalized_table, txns};
+
+fn main() {
+    let n = txns().min(100);
+    for (part, programs) in [1usize, 4, 8].iter().enumerate() {
+        let mut rows = Vec::new();
+        for kind in ALL_KINDS {
+            let mut values = Vec::new();
+            for scheme in FIGURE_SCHEMES {
+                let mut rc = RunConfig::new(scheme, kind);
+                rc.txns = n;
+                rc.req_bytes = 1024;
+                rc.programs = *programs;
+                rc.array_footprint = 2 << 20;
+                let r = run_multicore_trace(&rc);
+                values.push(r.mean_txn_latency());
+            }
+            rows.push((kind.name().to_owned(), values));
+        }
+        let title = format!(
+            "Figure 14{} (event-interleaved): {programs}-program txn latency (normalized to Unsec)",
+            (b'a' + part as u8) as char
+        );
+        println!(
+            "{}",
+            normalized_table(&title, &FIGURE_SCHEMES.map(|s| s.name()), &rows)
+        );
+    }
+}

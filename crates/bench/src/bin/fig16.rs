@@ -1,0 +1,53 @@
+//! Figure 16: sensitivity to write-queue size (8 → 128 entries), with
+//! the fixed 256 KB counter cache and 1 KB transactions.
+//!
+//! (a) Percentage of counter writes removed by CWC in SuperMem — longer
+//!     queues hold more pending counter writes to merge with; the knee
+//!     sits near 32 entries (which is why Table 2 uses 32).
+//! (b) Mean transaction latency, normalized to the 8-entry queue.
+
+use supermem::metrics::TextTable;
+use supermem::workloads::spec::ALL_KINDS;
+use supermem::{run_single, RunConfig, Scheme};
+use supermem_bench::txns;
+
+const QUEUE_SIZES: [usize; 5] = [8, 16, 32, 64, 128];
+
+fn main() {
+    let n = txns();
+    let mut reduced = TextTable::new(
+        std::iter::once("workload".to_owned())
+            .chain(QUEUE_SIZES.iter().map(|q| format!("wq={q}")))
+            .collect(),
+    );
+    let mut latency = TextTable::new(
+        std::iter::once("workload".to_owned())
+            .chain(QUEUE_SIZES.iter().map(|q| format!("wq={q}")))
+            .collect(),
+    );
+    for kind in ALL_KINDS {
+        let mut reduced_cells = vec![kind.name().to_owned()];
+        let mut latency_cells = vec![kind.name().to_owned()];
+        let mut base_latency = None;
+        for q in QUEUE_SIZES {
+            let mut rc = RunConfig::new(Scheme::SuperMem, kind);
+            rc.txns = n;
+            rc.req_bytes = 1024;
+            rc.write_queue_entries = q;
+            let r = run_single(&rc);
+            let coalesced = r.stats.counter_writes_coalesced;
+            let total = coalesced + r.stats.nvm_counter_writes;
+            let pct = 100.0 * coalesced as f64 / total.max(1) as f64;
+            reduced_cells.push(format!("{pct:.0}%"));
+            let lat = r.mean_txn_latency();
+            let base = *base_latency.get_or_insert(lat);
+            latency_cells.push(format!("{:.2}", lat / base));
+        }
+        reduced.row(reduced_cells);
+        latency.row(latency_cells);
+    }
+    println!("Figure 16a: % of counter writes coalesced by CWC (SuperMem)");
+    println!("{}", reduced.render());
+    println!("Figure 16b: txn latency vs write-queue size (normalized to wq=8)");
+    println!("{}", latency.render());
+}

@@ -1,0 +1,191 @@
+//! Table 1 + Figure 6: crash recoverability per scheme, swept over
+//! *every* write-queue append boundary.
+//!
+//! Two persistence idioms are tested (both from the paper's §2):
+//!
+//! 1. **Durable transaction (undo log)** — prepare / mutate / commit
+//!    with cache-line flushes and fences (Table 1). Recovery rolls back
+//!    an uncommitted transaction from the log; if the log (or its
+//!    counters) did not survive, recovery cannot proceed.
+//! 2. **Atomic 8-byte in-place update** — the crafted-data-structure
+//!    idiom of §2.1 (wB+-tree-style pointers/bitmaps): a bare
+//!    write + clwb + sfence with no log. Crash consistency relies
+//!    entirely on the flush being atomic with its counter — exactly the
+//!    property the staging register provides (Figure 6/7).
+//!
+//! Expected shape:
+//! * `Unsec` and `SuperMem` recover at every crash point in both idioms.
+//! * `WT w/o register` survives the logged transaction (the undo log
+//!   heals torn lines) but breaks on the in-place update: a crash
+//!   between the counter append and the data append leaves the line
+//!   undecryptable (Figure 6).
+//! * `WB w/o battery` loses dirty counters wholesale and is
+//!   unrecoverable once data is mutated (Table 1's "No" rows).
+
+use supermem::metrics::TextTable;
+use supermem::persist::{
+    recover_transactions, DirectMem, PMem, RecoveredMemory, RecoveryOutcome, TxnManager,
+};
+use supermem::sim::{Config, CounterCacheBacking, CounterCacheMode};
+use supermem::Scheme;
+
+const DATA_ADDR: u64 = 0x2000;
+const LOG_ADDR: u64 = 0x10_0000;
+const DATA_LEN: usize = 256;
+
+const OLD_WORD: u64 = 0x1111_1111_1111_1111;
+const NEW_WORD: u64 = 0x2222_2222_2222_2222;
+
+#[derive(Debug, Default)]
+struct Tally {
+    old: u64,
+    new: u64,
+    unrecoverable: u64,
+}
+
+impl Tally {
+    fn verdict(&self) -> &'static str {
+        if self.unrecoverable == 0 {
+            "recoverable at every stage"
+        } else {
+            "UNRECOVERABLE windows"
+        }
+    }
+}
+
+fn scheme_config(name: &str) -> Config {
+    match name {
+        "Unsec" => Scheme::Unsec.apply(Config::default()),
+        "SuperMem" => Scheme::SuperMem.apply(Config::default()),
+        "WT w/o register" => {
+            let mut cfg = Scheme::WriteThrough.apply(Config::default());
+            cfg.atomic_pair_append = false;
+            cfg
+        }
+        "WB w/o battery" => Config {
+            encryption: true,
+            counter_cache_mode: CounterCacheMode::WriteBack,
+            counter_cache_backing: CounterCacheBacking::None,
+            ..Config::default()
+        },
+        other => unreachable!("unknown scheme {other}"),
+    }
+}
+
+/// Sweeps one mutation routine over every append-boundary crash point.
+fn sweep(
+    cfg: &Config,
+    base: &DirectMem,
+    mutate: impl Fn(&mut DirectMem),
+    classify: impl Fn(&mut RecoveredMemory) -> Option<bool>,
+) -> (u64, Tally) {
+    let mut dry = base.clone();
+    let before = dry.controller().append_events();
+    mutate(&mut dry);
+    dry.shutdown();
+    let total = dry.controller().append_events() - before;
+
+    let mut tally = Tally::default();
+    for k in 1..=total {
+        let mut mem = base.clone();
+        mem.controller_mut().arm_crash_after_appends(k);
+        mutate(&mut mem);
+        let image = mem
+            .controller_mut()
+            .take_crash_image()
+            .expect("armed crash must fire");
+        let mut rec = RecoveredMemory::from_image(cfg, image);
+        match classify(&mut rec) {
+            Some(false) => tally.old += 1,
+            Some(true) => tally.new += 1,
+            None => tally.unrecoverable += 1,
+        }
+    }
+    (total, tally)
+}
+
+fn main() {
+    let schemes = ["Unsec", "SuperMem", "WT w/o register", "WB w/o battery"];
+    let headers = vec![
+        "scheme".into(),
+        "crash points".into(),
+        "consistent(old)".into(),
+        "consistent(new)".into(),
+        "unrecoverable".into(),
+        "verdict".into(),
+    ];
+
+    // --- Experiment 1: durable transaction (Table 1).
+    let mut t1 = TextTable::new(headers.clone());
+    for name in schemes {
+        let cfg = scheme_config(name);
+        let mut base = DirectMem::new(&cfg);
+        base.persist(DATA_ADDR, &[0x11; DATA_LEN]);
+        base.shutdown();
+        let (total, tally) = sweep(
+            &cfg,
+            &base,
+            |mem| {
+                let mut txm = TxnManager::new(LOG_ADDR, 4096);
+                let mut txn = txm.begin();
+                txn.write(DATA_ADDR, vec![0x22; DATA_LEN]);
+                txn.commit(mem).expect("commit");
+            },
+            |rec| {
+                let outcome = recover_transactions(rec, LOG_ADDR);
+                if outcome == RecoveryOutcome::CorruptLog {
+                    return None;
+                }
+                let mut data = [0u8; DATA_LEN];
+                rec.read(DATA_ADDR, &mut data);
+                match data {
+                    d if d == [0x11; DATA_LEN] => Some(false),
+                    d if d == [0x22; DATA_LEN] => Some(true),
+                    _ => None,
+                }
+            },
+        );
+        t1.row(vec![
+            name.into(),
+            total.to_string(),
+            tally.old.to_string(),
+            tally.new.to_string(),
+            tally.unrecoverable.to_string(),
+            tally.verdict().into(),
+        ]);
+    }
+    println!("Table 1: durable transaction (undo log), crash at every append boundary");
+    println!("{}", t1.render());
+
+    // --- Experiment 2: atomic in-place update (Figure 6).
+    let mut t2 = TextTable::new(headers);
+    for name in schemes {
+        let cfg = scheme_config(name);
+        let mut base = DirectMem::new(&cfg);
+        base.persist(DATA_ADDR, &OLD_WORD.to_le_bytes());
+        base.shutdown();
+        let (total, tally) = sweep(
+            &cfg,
+            &base,
+            |mem| {
+                mem.persist(DATA_ADDR, &NEW_WORD.to_le_bytes());
+            },
+            |rec| match rec.read_u64(DATA_ADDR) {
+                OLD_WORD => Some(false),
+                NEW_WORD => Some(true),
+                _ => None,
+            },
+        );
+        t2.row(vec![
+            name.into(),
+            total.to_string(),
+            tally.old.to_string(),
+            tally.new.to_string(),
+            tally.unrecoverable.to_string(),
+            tally.verdict().into(),
+        ]);
+    }
+    println!("Figure 6 scenario: atomic 8-byte in-place update (no log)");
+    println!("{}", t2.render());
+    println!("(old = pre-mutation state; new = mutation visible)");
+}

@@ -1,0 +1,95 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary here:
+//!
+//! | Binary | Reproduces | What it prints |
+//! |--------|-----------|----------------|
+//! | `fig13` | Figure 13 a/b/c | single-core txn latency, normalized to Unsec, for 256 B / 1 KB / 4 KB requests |
+//! | `fig14` | Figure 14 a/b/c | multi-core (1/4/8 programs) txn latency, normalized to Unsec |
+//! | `fig14t` | Figure 14 a/b/c | same sweep with event-granularity trace interleaving (faithful cores) |
+//! | `fig15` | Figure 15 a/b/c | NVM write requests, normalized to Unsec |
+//! | `fig16` | Figure 16 a/b | write-queue-size sweep: % counter writes coalesced; txn latency |
+//! | `fig17` | Figure 17 a/b | counter-cache-size sweep: hit rate; normalized execution time |
+//! | `table1` | Table 1 | per-stage crash recoverability, per scheme |
+//! | `headline` | §5.1.1 | SuperMem vs WT speedup and gap to the ideal WB |
+//! | `ablation` | Figure 8 / §3.3-3.4 | bank-placement × CWC grid and per-bank write distribution |
+//! | `osiris` | §6 related work | Osiris runtime vs recovery-cost trade |
+//! | `endurance` | §3.4.1 context | hottest counter-line wear per scheme |
+//! | `tracebench` | methodology | trace-driven replay across schemes |
+//! | `battery` | §1/§7 motivation | ADR/battery-domain bytes per scheme |
+//! | `mixed` | §2.2.3 context | YCSB-style read/write-mix sweep |
+//! | `sca` | §2.3/§6 related work | SCA's software contract vs SuperMem's transparency |
+//! | `bitwrites` | §6 related work | bits flipped per write: CTR vs DEUCE vs plaintext |
+//! | `authenticated` | §2.2.1 footnote | Merkle-tree verification overhead on SuperMem |
+//!
+//! Set `SUPERMEM_TXNS` to change the per-run transaction count (default
+//! 200) — the figures' *shapes* are stable well below that.
+#![warn(missing_docs)]
+
+
+use supermem::metrics::TextTable;
+use supermem::RunResult;
+
+/// Transactions per run, from `SUPERMEM_TXNS` (default 200).
+pub fn txns() -> u64 {
+    std::env::var("SUPERMEM_TXNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+/// The paper's three transaction request sizes.
+pub const REQUEST_SIZES: [u64; 3] = [256, 1024, 4096];
+
+/// Renders one normalized-metric table: workloads as rows, schemes as
+/// columns, each cell `metric(scheme) / metric(first scheme)`.
+pub fn normalized_table(
+    title: &str,
+    scheme_names: &[&str],
+    rows: &[(String, Vec<f64>)],
+) -> String {
+    let mut headers = vec!["workload".to_owned()];
+    headers.extend(scheme_names.iter().map(|s| (*s).to_owned()));
+    let mut table = TextTable::new(headers);
+    for (name, values) in rows {
+        let base = values[0];
+        let mut cells = vec![name.clone()];
+        cells.extend(values.iter().map(|v| format!("{:.2}", v / base)));
+        table.row(cells);
+    }
+    format!("{title}\n{}", table.render())
+}
+
+/// Formats a run's headline numbers for debugging output.
+pub fn summarize(r: &RunResult) -> String {
+    format!(
+        "{} on {} ({}B): {:.0} cyc/txn, {} NVM writes, {} coalesced",
+        r.scheme,
+        r.workload,
+        r.req_bytes,
+        r.mean_txn_latency(),
+        r.nvm_writes(),
+        r.stats.counter_writes_coalesced
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txns_default() {
+        // Cannot assume the env var is unset under `cargo test`, so only
+        // check that the value is sane.
+        assert!(txns() > 0);
+    }
+
+    #[test]
+    fn normalized_table_divides_by_first_column() {
+        let rows = vec![("array".to_owned(), vec![2.0, 4.0, 1.0])];
+        let s = normalized_table("T", &["Unsec", "WT", "half"], &rows);
+        assert!(s.contains("1.00"));
+        assert!(s.contains("2.00"));
+        assert!(s.contains("0.50"));
+    }
+}

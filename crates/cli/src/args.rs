@@ -1,0 +1,190 @@
+//! Flag parsing (dependency-free).
+
+use supermem::workloads::WorkloadKind;
+use supermem::{RunConfig, Scheme};
+
+/// A human-readable argument error.
+#[derive(Debug)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed `run`-style flags.
+#[derive(Debug, Clone)]
+pub struct Parsed {
+    /// The assembled run configuration.
+    pub rc: RunConfig,
+    /// Emit CSV instead of an aligned table.
+    pub csv: bool,
+    /// Flags the parser did not consume (for `sweep`'s own flags).
+    pub leftover: Vec<String>,
+}
+
+/// Parses a scheme name (paper labels, case-insensitive).
+pub fn parse_scheme(s: &str) -> Result<Scheme, ArgError> {
+    match s.to_ascii_lowercase().as_str() {
+        "unsec" => Ok(Scheme::Unsec),
+        "wb" | "writeback" | "ideal" => Ok(Scheme::WriteBackIdeal),
+        "wt" | "writethrough" => Ok(Scheme::WriteThrough),
+        "wt+cwc" | "cwc" => Ok(Scheme::WtCwc),
+        "wt+xbank" | "xbank" => Ok(Scheme::WtXbank),
+        "supermem" => Ok(Scheme::SuperMem),
+        "wt+samebank" | "samebank" => Ok(Scheme::WtSameBank),
+        "osiris" => Ok(Scheme::Osiris),
+        "sca" => Ok(Scheme::Sca),
+        other => Err(ArgError(format!("unknown scheme `{other}`"))),
+    }
+}
+
+/// Parses a size with optional `K`/`M` suffix.
+pub fn parse_size(s: &str) -> Result<u64, ArgError> {
+    let (digits, mult) = match s.as_bytes().last() {
+        Some(b'K') | Some(b'k') => (&s[..s.len() - 1], 1024),
+        Some(b'M') | Some(b'm') => (&s[..s.len() - 1], 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits
+        .parse::<u64>()
+        .map(|v| v * mult)
+        .map_err(|_| ArgError(format!("invalid size `{s}`")))
+}
+
+/// Parses the shared run flags, collecting unknown flags into
+/// [`Parsed::leftover`].
+pub fn parse_run_flags(argv: &[String]) -> Result<Parsed, ArgError> {
+    let mut rc = RunConfig {
+        txns: 150,
+        ..RunConfig::default()
+    };
+    let mut csv = false;
+    let mut leftover = Vec::new();
+    let mut it = argv.iter().peekable();
+    let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                     flag: &str|
+     -> Result<String, ArgError> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| ArgError(format!("{flag} needs a value")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scheme" => rc.scheme = parse_scheme(&value(&mut it, "--scheme")?)?,
+            "--workload" => {
+                let w = value(&mut it, "--workload")?;
+                rc.kind = WorkloadKind::from_name(&w)
+                    .ok_or_else(|| ArgError(format!("unknown workload `{w}`")))?;
+            }
+            "--txns" => {
+                rc.txns = value(&mut it, "--txns")?
+                    .parse()
+                    .map_err(|_| ArgError("invalid --txns".into()))?;
+            }
+            "--req" => rc.req_bytes = parse_size(&value(&mut it, "--req")?)?,
+            "--wq" => {
+                rc.write_queue_entries = value(&mut it, "--wq")?
+                    .parse()
+                    .map_err(|_| ArgError("invalid --wq".into()))?;
+            }
+            "--cc" => rc.counter_cache_bytes = parse_size(&value(&mut it, "--cc")?)?,
+            "--programs" => {
+                rc.programs = value(&mut it, "--programs")?
+                    .parse()
+                    .map_err(|_| ArgError("invalid --programs".into()))?;
+            }
+            "--seed" => {
+                rc.seed = value(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| ArgError("invalid --seed".into()))?;
+            }
+            "--read-pct" => {
+                rc.ycsb_read_pct = value(&mut it, "--read-pct")?
+                    .parse()
+                    .map_err(|_| ArgError("invalid --read-pct".into()))?;
+                if rc.ycsb_read_pct > 100 {
+                    return Err(ArgError("--read-pct must be 0..=100".into()));
+                }
+            }
+            "--csv" => csv = true,
+            other => {
+                leftover.push(other.to_owned());
+                if let Some(next) = it.peek() {
+                    if !next.starts_with("--") {
+                        leftover.push(it.next().expect("peeked").clone());
+                    }
+                }
+            }
+        }
+    }
+    Ok(Parsed { rc, csv, leftover })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let p = parse_run_flags(&strs(&[
+            "--scheme", "wt+cwc", "--workload", "btree", "--txns", "42", "--req", "4K",
+            "--wq", "64", "--cc", "1M", "--programs", "4", "--seed", "9", "--csv",
+        ]))
+        .unwrap();
+        assert_eq!(p.rc.scheme, Scheme::WtCwc);
+        assert_eq!(p.rc.kind, WorkloadKind::BTree);
+        assert_eq!(p.rc.txns, 42);
+        assert_eq!(p.rc.req_bytes, 4096);
+        assert_eq!(p.rc.write_queue_entries, 64);
+        assert_eq!(p.rc.counter_cache_bytes, 1 << 20);
+        assert_eq!(p.rc.programs, 4);
+        assert_eq!(p.rc.seed, 9);
+        assert!(p.csv);
+        assert!(p.leftover.is_empty());
+    }
+
+    #[test]
+    fn unknown_flags_go_to_leftover_with_values() {
+        let p = parse_run_flags(&strs(&["--param", "wq", "--scheme", "unsec"])).unwrap();
+        assert_eq!(p.leftover, strs(&["--param", "wq"]));
+        assert_eq!(p.rc.scheme, Scheme::Unsec);
+    }
+
+    #[test]
+    fn size_suffixes() {
+        assert_eq!(parse_size("256K").unwrap(), 256 * 1024);
+        assert_eq!(parse_size("4M").unwrap(), 4 << 20);
+        assert_eq!(parse_size("512").unwrap(), 512);
+        assert!(parse_size("x").is_err());
+    }
+
+    #[test]
+    fn scheme_aliases() {
+        assert_eq!(parse_scheme("SuperMem").unwrap(), Scheme::SuperMem);
+        assert_eq!(parse_scheme("xbank").unwrap(), Scheme::WtXbank);
+        assert_eq!(parse_scheme("osiris").unwrap(), Scheme::Osiris);
+        assert!(parse_scheme("nope").is_err());
+    }
+
+    #[test]
+    fn read_pct_parses_and_validates() {
+        let p = parse_run_flags(&strs(&["--workload", "ycsb", "--read-pct", "95"])).unwrap();
+        assert_eq!(p.rc.kind, WorkloadKind::Ycsb);
+        assert_eq!(p.rc.ycsb_read_pct, 95);
+        assert!(parse_run_flags(&strs(&["--read-pct", "101"])).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse_run_flags(&strs(&["--scheme"])).is_err());
+        assert!(parse_run_flags(&strs(&["--txns", "abc"])).is_err());
+    }
+}

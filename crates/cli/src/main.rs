@@ -1,0 +1,53 @@
+//! `supermem` — command-line experiment driver.
+//!
+//! ```text
+//! supermem run   [--scheme S] [--workload W] [--txns N] [--req BYTES]
+//!                [--wq ENTRIES] [--cc BYTES] [--programs P] [--seed X] [--csv]
+//! supermem sweep --param {wq|cc|req|programs} --values a,b,c [run flags]
+//! supermem crash [--scheme S] [--txns N]
+//! supermem list
+//! ```
+//!
+//! Sizes accept `K`/`M` suffixes (`--cc 256K`). Everything is
+//! deterministic in `--seed`.
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+use args::{parse_run_flags, ArgError};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  supermem run   [--scheme S] [--workload W] [--txns N] [--req BYTES]\n                 [--wq ENTRIES] [--cc BYTES] [--programs P] [--seed X] [--csv]\n  supermem sweep --param {wq|cc|req|programs} --values a,b,c [run flags]\n  supermem crash [--scheme S] [--txns N]\n  supermem list\n\nschemes: unsec wb wt wt+cwc wt+xbank supermem wt+samebank osiris sca\nworkloads: array queue btree hash rbtree\nsizes accept K/M suffixes (e.g. --cc 256K)"
+}
+
+fn dispatch(argv: &[String]) -> Result<(), ArgError> {
+    match argv.first().map(String::as_str) {
+        Some("run") => commands::cmd_run(parse_run_flags(&argv[1..])?),
+        Some("sweep") => commands::cmd_sweep(&argv[1..]),
+        Some("crash") => commands::cmd_crash(parse_run_flags(&argv[1..])?),
+        Some("list") => {
+            commands::cmd_list();
+            Ok(())
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            println!("{}", usage());
+            Ok(())
+        }
+        Some(other) => Err(ArgError(format!("unknown command `{other}`"))),
+    }
+}

@@ -1,0 +1,76 @@
+//! # SuperMem — application-transparent secure persistent memory
+//!
+//! A full-system reproduction of *"SuperMem: Enabling
+//! Application-transparent Secure Persistent Memory with Low Overheads"*
+//! (MICRO 2019): counter-mode encrypted NVM made crash consistent with a
+//! write-through counter cache, an atomic data+counter append register,
+//! locality-aware counter write coalescing (CWC), and cross-bank counter
+//! storage (XBank) — plus the cycle-level NVM system simulator, cache
+//! hierarchy, persistence stack, and workloads needed to evaluate it.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use supermem::{Scheme, SystemBuilder};
+//! use supermem_persist::PMem;
+//!
+//! // Build a SuperMem system (WT counter cache + CWC + XBank).
+//! let mut sys = SystemBuilder::new().scheme(Scheme::SuperMem).build();
+//!
+//! // Store, persist, and read back through the encrypted NVM.
+//! sys.write(0x1000, b"hello supermem");
+//! sys.clwb(0x1000, 14);
+//! sys.sfence();
+//! let mut buf = [0u8; 14];
+//! sys.read(0x1000, &mut buf);
+//! assert_eq!(&buf, b"hello supermem");
+//!
+//! // The NVM itself holds only ciphertext; a crash preserves exactly
+//! // what was flushed.
+//! let image = sys.crash_now();
+//! let cfg = sys.config().clone();
+//! let mut recovered = supermem_persist::RecoveredMemory::from_image(&cfg, image);
+//! let mut buf = [0u8; 14];
+//! recovered.read(0x1000, &mut buf);
+//! assert_eq!(&buf, b"hello supermem");
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`scheme`] — the evaluated configurations (Unsec, ideal WB, WT,
+//!   WT+CWC, WT+XBank, SuperMem, plus the SameBank ablation).
+//! * [`system`] — the timed machine: per-core L1/L2 + shared L3 over the
+//!   secure memory controller, exposing the
+//!   [`PMem`](supermem_persist::PMem) interface.
+//! * [`runner`] — single-core and multi-core experiment drivers.
+//! * [`metrics`] — result aggregation and normalization helpers for the
+//!   figure harness.
+#![warn(missing_docs)]
+
+
+pub mod metrics;
+pub mod runner;
+pub mod sca;
+pub mod scheme;
+pub mod system;
+
+pub use metrics::RunResult;
+pub use runner::{
+    record_workload_trace, replay_trace, run_multicore, run_multicore_trace, run_single,
+    RunConfig,
+};
+pub use sca::ScaSystem;
+pub use scheme::Scheme;
+pub use system::{System, SystemBuilder};
+
+// Re-export the substrate crates so downstream users need only one
+// dependency.
+pub use supermem_cache as cache;
+pub use supermem_crypto as crypto;
+pub use supermem_integrity as integrity;
+pub use supermem_memctrl as memctrl;
+pub use supermem_nvm as nvm;
+pub use supermem_persist as persist;
+pub use supermem_sim as sim;
+pub use supermem_trace as trace;
+pub use supermem_workloads as workloads;

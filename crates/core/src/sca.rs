@@ -1,0 +1,176 @@
+//! Selective counter-atomicity (SCA) baseline — Liu et al., discussed
+//! in the paper's §2.3 and §6.
+//!
+//! SCA keeps the efficient *write-back* counter cache without a battery
+//! and regains crash consistency in software: the programming language
+//! grows a `counter_cache_writeback()` primitive, and persistence
+//! points explicitly write the relevant counter lines back to NVM. The
+//! paper's core criticism is exactly that software visibility —
+//! "applications initially running on a system with the un-encrypted
+//! NVM cannot directly run on a system with the encrypted one".
+//!
+//! [`ScaSystem`] models that contract at fence granularity: it wraps
+//! the timed [`System`], tracks which pages were flushed since the last
+//! fence, and on `sfence` issues the explicit counter writebacks before
+//! waiting — one counter write per *page* per fence instead of one per
+//! line (the whole point of SCA's efficiency). The wrapper IS the
+//! "software modification": running a workload on `ScaSystem` requires
+//! threading every program through this adapter, whereas SuperMem runs
+//! the unmodified `System`.
+//!
+//! Fidelity note: real SCA also orders in-flight data writes behind
+//! their counters inside the memory controller (its counter write
+//! queue); this model persists counters at fences only, which matches
+//! the durable-transaction protocol's stage boundaries but leaves the
+//! unlogged-atomic-update idiom (Figure 6) torn-able between a `clwb`
+//! and its `sfence`. The performance picture — SCA between the ideal WB
+//! and SuperMem — is unaffected.
+
+use std::collections::BTreeSet;
+
+use supermem_nvm::addr::PageId;
+use supermem_persist::PMem;
+use supermem_sim::Stats;
+
+use crate::system::System;
+
+/// A [`System`] with SCA's explicit counter-writeback contract.
+#[derive(Debug, Clone)]
+pub struct ScaSystem {
+    sys: System,
+    dirty_pages: BTreeSet<u64>,
+    page_bytes: u64,
+    /// Counter writebacks issued at fences (diagnostics).
+    writebacks: u64,
+}
+
+impl ScaSystem {
+    /// Wraps a system (configure it with a write-back, unbacked counter
+    /// cache — [`crate::Scheme::Sca`] does exactly that).
+    pub fn new(sys: System) -> Self {
+        let page_bytes = sys.config().page_bytes;
+        Self {
+            sys,
+            dirty_pages: BTreeSet::new(),
+            page_bytes,
+            writebacks: 0,
+        }
+    }
+
+    /// The wrapped system.
+    pub fn inner(&self) -> &System {
+        &self.sys
+    }
+
+    /// The wrapped system, mutably (checkpoint, stats reset, crash).
+    pub fn inner_mut(&mut self) -> &mut System {
+        &mut self.sys
+    }
+
+    /// Counter writebacks issued so far via the software primitive.
+    pub fn counter_writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Statistics of the wrapped system.
+    pub fn stats(&self) -> &Stats {
+        self.sys.stats()
+    }
+}
+
+impl PMem for ScaSystem {
+    fn read(&mut self, addr: u64, buf: &mut [u8]) {
+        self.sys.read(addr, buf);
+    }
+
+    fn write(&mut self, addr: u64, bytes: &[u8]) {
+        self.sys.write(addr, bytes);
+    }
+
+    fn clwb(&mut self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        // Record the pages whose counters the software must persist at
+        // the next fence — this bookkeeping is what SCA compiles into
+        // the application.
+        let first = addr / self.page_bytes;
+        let last = (addr + len - 1) / self.page_bytes;
+        for p in first..=last {
+            self.dirty_pages.insert(p);
+        }
+        self.sys.clwb(addr, len);
+    }
+
+    fn sfence(&mut self) {
+        // The counter_cache_writeback() calls the SCA compiler inserts.
+        let pages: Vec<u64> = std::mem::take(&mut self.dirty_pages).into_iter().collect();
+        for p in pages {
+            if self.sys.writeback_page_counters(PageId(p)) {
+                self.writebacks += 1;
+            }
+        }
+        self.sys.sfence();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Scheme;
+    use crate::system::SystemBuilder;
+    use supermem_persist::RecoveredMemory;
+
+    fn sca() -> ScaSystem {
+        ScaSystem::new(SystemBuilder::new().scheme(Scheme::Sca).build())
+    }
+
+    #[test]
+    fn fences_persist_counters() {
+        let mut m = sca();
+        m.write(0x1000, &[7; 128]);
+        m.clwb(0x1000, 128);
+        m.sfence();
+        assert!(m.counter_writebacks() >= 1);
+        // A crash after the fence recovers the data: the counters went
+        // to NVM with the fence even though the cache is write-back and
+        // unbacked.
+        let cfg = m.inner().config().clone();
+        let mut rec = RecoveredMemory::from_image(&cfg, m.inner().crash_now());
+        let mut buf = [0u8; 128];
+        rec.read(0x1000, &mut buf);
+        assert_eq!(buf, [7; 128]);
+    }
+
+    #[test]
+    fn without_the_software_calls_counters_are_lost() {
+        // The same scheme driven through the plain System (i.e. an
+        // unmodified application) is NOT crash consistent — the paper's
+        // §2.3 point about SCA requiring software changes.
+        let mut sys = SystemBuilder::new().scheme(Scheme::Sca).build();
+        sys.write(0x1000, &[7; 128]);
+        sys.clwb(0x1000, 128);
+        sys.sfence();
+        let cfg = sys.config().clone();
+        let mut rec = RecoveredMemory::from_image(&cfg, sys.crash_now());
+        let mut buf = [0u8; 128];
+        rec.read(0x1000, &mut buf);
+        assert_ne!(buf, [7; 128], "unmodified app on SCA hardware loses counters");
+    }
+
+    #[test]
+    fn one_writeback_per_page_per_fence() {
+        let mut m = sca();
+        // 16 lines of one page flushed, one fence: exactly one counter
+        // writeback — SCA's efficiency edge over write-through.
+        for i in 0..16u64 {
+            m.write(i * 64, &[1; 64]);
+            m.clwb(i * 64, 64);
+        }
+        m.sfence();
+        assert_eq!(m.counter_writebacks(), 1);
+        // Clean fence: nothing new to write back.
+        m.sfence();
+        assert_eq!(m.counter_writebacks(), 1);
+    }
+}

@@ -1,0 +1,355 @@
+//! Split-counter organization (paper §3.4.1, Figure 9).
+//!
+//! Each 4 KB page has one 64-bit *major* counter shared by the whole page
+//! and 64 seven-bit *minor* counters, one per 64 B memory line. All of a
+//! page's counters pack into exactly one 64-byte memory line
+//! (64 + 64×7 = 512 bits), which is the spatial-locality property the CWC
+//! scheme exploits: flushing any number of lines of one page touches a
+//! single counter line in NVM.
+
+/// Number of memory lines (and minor counters) per page.
+pub const LINES_PER_PAGE: usize = 64;
+
+/// Exclusive upper bound of a 7-bit minor counter.
+pub const MINOR_LIMIT: u8 = 128;
+
+/// Result of bumping a minor counter before a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IncrementOutcome {
+    /// The minor counter was incremented to the contained value.
+    Incremented(u8),
+    /// The minor counter is saturated; the page must be re-encrypted
+    /// under `major + 1` with all minors reset (paper §3.4.4).
+    Overflow,
+}
+
+/// The counters of one page: a 64-bit major and 64 seven-bit minors,
+/// representable as one 64-byte memory line.
+///
+/// # Examples
+///
+/// ```
+/// use supermem_crypto::counter::{CounterLine, IncrementOutcome};
+///
+/// let mut c = CounterLine::new();
+/// assert_eq!(c.increment(3), IncrementOutcome::Incremented(1));
+/// assert_eq!(c.minor(3), 1);
+/// let bytes = c.encode();
+/// assert_eq!(CounterLine::decode(&bytes), c);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CounterLine {
+    major: u64,
+    minors: [u8; LINES_PER_PAGE],
+}
+
+impl Default for CounterLine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CounterLine {
+    /// A fresh page: major 0, all minors 0.
+    pub fn new() -> Self {
+        Self {
+            major: 0,
+            minors: [0; LINES_PER_PAGE],
+        }
+    }
+
+    /// A page that has been re-keyed `major` times: given major counter,
+    /// all minors zero (the state right after a page re-encryption).
+    pub fn with_major(major: u64) -> Self {
+        Self {
+            major,
+            minors: [0; LINES_PER_PAGE],
+        }
+    }
+
+    /// The page's shared major counter.
+    pub fn major(&self) -> u64 {
+        self.major
+    }
+
+    /// The minor counter of line `line` within the page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= 64`.
+    pub fn minor(&self, line: usize) -> u8 {
+        self.minors[line]
+    }
+
+    /// Attempts to increment the minor counter of `line` ahead of a write.
+    ///
+    /// On [`IncrementOutcome::Overflow`] nothing is modified; the caller
+    /// must re-encrypt the page (see [`CounterLine::bump_major`]) and then
+    /// retry the increment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= 64`.
+    pub fn increment(&mut self, line: usize) -> IncrementOutcome {
+        if self.minors[line] + 1 >= MINOR_LIMIT {
+            return IncrementOutcome::Overflow;
+        }
+        self.minors[line] += 1;
+        IncrementOutcome::Incremented(self.minors[line])
+    }
+
+    /// Overwrites one minor counter directly. Recovery paths (Osiris
+    /// counter reconstruction) use this after identifying the true value
+    /// by trial decryption; normal operation only ever increments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= 64` or `value >= 128`.
+    pub fn set_minor(&mut self, line: usize, value: u8) {
+        assert!(value < MINOR_LIMIT, "minor {value} out of 7-bit range");
+        self.minors[line] = value;
+    }
+
+    /// Re-keys the page after a minor overflow: increments the major
+    /// counter and zeroes every minor (paper §3.4.4). The caller is
+    /// responsible for re-encrypting all 64 data lines under the new
+    /// counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the major counter would overflow. The paper argues this
+    /// cannot happen within NVM cell endurance (2^64 ≫ 10^9 writes); we
+    /// turn that argument into a hard invariant.
+    pub fn bump_major(&mut self) {
+        self.major = self
+            .major
+            .checked_add(1)
+            .expect("major counter overflow: impossible within NVM endurance");
+        self.minors = [0; LINES_PER_PAGE];
+    }
+
+    /// Packs the counters into one 64-byte memory line.
+    ///
+    /// Layout: bytes 0..8 hold the major counter (little endian); the
+    /// remaining 56 bytes hold the 64 minors as a dense 7-bit bitstream.
+    pub fn encode(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..8].copy_from_slice(&self.major.to_le_bytes());
+        for (i, &m) in self.minors.iter().enumerate() {
+            debug_assert!(m < MINOR_LIMIT);
+            let bit = i * 7;
+            let byte = 8 + bit / 8;
+            let shift = bit % 8;
+            out[byte] |= m << shift;
+            if shift > 1 {
+                out[byte + 1] |= m >> (8 - shift);
+            }
+        }
+        out
+    }
+
+    /// Unpacks a 64-byte memory line produced by [`CounterLine::encode`].
+    ///
+    /// Any 64-byte value decodes *to something* — decoding garbage (e.g.
+    /// a torn or mis-decrypted counter line) yields wrong counters, which
+    /// is precisely the failure mode of Figure 4.
+    pub fn decode(bytes: &[u8; 64]) -> Self {
+        let mut major_bytes = [0u8; 8];
+        major_bytes.copy_from_slice(&bytes[..8]);
+        let major = u64::from_le_bytes(major_bytes);
+        let mut minors = [0u8; LINES_PER_PAGE];
+        for (i, m) in minors.iter_mut().enumerate() {
+            let bit = i * 7;
+            let byte = 8 + bit / 8;
+            let shift = bit % 8;
+            let mut v = (bytes[byte] >> shift) as u16;
+            if shift > 1 {
+                v |= (bytes[byte + 1] as u16) << (8 - shift);
+            }
+            *m = (v & 0x7f) as u8;
+        }
+        Self { major, minors }
+    }
+
+    /// True if every counter of `self` is component-wise ≥ the
+    /// corresponding counter of `earlier`, i.e. `self` supersedes
+    /// `earlier`. This is the monotonicity property that makes CWC's
+    /// "drop the older duplicate" transformation lossless (§3.4.3).
+    pub fn supersedes(&self, earlier: &CounterLine) -> bool {
+        if self.major > earlier.major {
+            return true;
+        }
+        self.major == earlier.major
+            && self
+                .minors
+                .iter()
+                .zip(&earlier.minors)
+                .all(|(new, old)| new >= old)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_page_is_all_zero() {
+        let c = CounterLine::new();
+        assert_eq!(c.major(), 0);
+        for i in 0..LINES_PER_PAGE {
+            assert_eq!(c.minor(i), 0);
+        }
+        assert_eq!(c.encode(), [0u8; 64]);
+    }
+
+    #[test]
+    fn increment_advances_one_minor_only() {
+        let mut c = CounterLine::new();
+        assert_eq!(c.increment(5), IncrementOutcome::Incremented(1));
+        assert_eq!(c.increment(5), IncrementOutcome::Incremented(2));
+        assert_eq!(c.minor(5), 2);
+        assert_eq!(c.minor(4), 0);
+        assert_eq!(c.minor(6), 0);
+    }
+
+    #[test]
+    fn overflow_at_127_leaves_state_unchanged() {
+        let mut c = CounterLine::new();
+        for expect in 1..=127u8 {
+            assert_eq!(c.increment(0), IncrementOutcome::Incremented(expect));
+        }
+        assert_eq!(c.minor(0), 127);
+        // 127 is the saturated 7-bit value; one more write overflows.
+        assert_eq!(c.increment(0), IncrementOutcome::Overflow);
+        assert_eq!(c.minor(0), 127);
+        assert_eq!(c.major(), 0);
+    }
+
+    #[test]
+    fn bump_major_resets_minors() {
+        let mut c = CounterLine::new();
+        c.increment(0);
+        c.increment(63);
+        c.bump_major();
+        assert_eq!(c.major(), 1);
+        assert_eq!(c.minor(0), 0);
+        assert_eq!(c.minor(63), 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_dense() {
+        let mut c = CounterLine::new();
+        for i in 0..LINES_PER_PAGE {
+            for _ in 0..=(i % 120) {
+                if c.increment(i) == IncrementOutcome::Overflow {
+                    break;
+                }
+            }
+        }
+        c.bump_major();
+        c.increment(7);
+        c.increment(8);
+        let bytes = c.encode();
+        assert_eq!(CounterLine::decode(&bytes), c);
+    }
+
+    #[test]
+    fn encode_is_one_line() {
+        // The whole point of split counters: one page's counters fit in
+        // exactly one 64-byte memory line.
+        let c = CounterLine::new();
+        assert_eq!(c.encode().len(), 64);
+    }
+
+    #[test]
+    fn minor_fields_do_not_alias_in_encoding() {
+        // Set each minor in isolation and confirm only that minor decodes
+        // as non-zero.
+        for i in 0..LINES_PER_PAGE {
+            let mut c = CounterLine::new();
+            c.increment(i);
+            let d = CounterLine::decode(&c.encode());
+            for j in 0..LINES_PER_PAGE {
+                assert_eq!(d.minor(j), u8::from(i == j), "line {i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn supersedes_is_reflexive_and_monotone() {
+        let mut old = CounterLine::new();
+        old.increment(1);
+        let mut new = old.clone();
+        assert!(new.supersedes(&old));
+        new.increment(2);
+        assert!(new.supersedes(&old));
+        assert!(!old.supersedes(&new));
+        new.bump_major();
+        assert!(new.supersedes(&old)); // larger major supersedes any minors
+    }
+
+    #[test]
+    #[should_panic]
+    fn minor_index_out_of_range_panics() {
+        let c = CounterLine::new();
+        let _ = c.minor(64);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_counterline() -> impl Strategy<Value = CounterLine> {
+        (
+            any::<u64>(),
+            proptest::collection::vec(0u8..MINOR_LIMIT, LINES_PER_PAGE),
+        )
+            .prop_map(|(major, minors)| {
+                let mut c = CounterLine::new();
+                // Build through the public-ish path: set fields directly
+                // via decode of a hand-packed image would re-test decode,
+                // so construct via increments is too slow; use encode of a
+                // manually assembled value instead.
+                c.major = major;
+                c.minors.copy_from_slice(&minors);
+                c
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_encode_decode(c in arb_counterline()) {
+            prop_assert_eq!(CounterLine::decode(&c.encode()), c);
+        }
+
+        #[test]
+        fn increments_always_supersede(mut c in arb_counterline(), line in 0usize..LINES_PER_PAGE) {
+            let before = c.clone();
+            match c.increment(line) {
+                IncrementOutcome::Incremented(_) => {
+                    prop_assert!(c.supersedes(&before));
+                    prop_assert!(!before.supersedes(&c));
+                }
+                IncrementOutcome::Overflow => {
+                    prop_assert_eq!(&c, &before);
+                    c.bump_major();
+                    prop_assert!(c.supersedes(&before));
+                }
+            }
+        }
+
+        #[test]
+        fn decode_never_yields_saturated_minor(bytes in proptest::array::uniform32(any::<u8>())) {
+            // decode masks each minor to 7 bits even for arbitrary input.
+            let mut full = [0u8; 64];
+            full[..32].copy_from_slice(&bytes);
+            full[32..].copy_from_slice(&bytes);
+            let c = CounterLine::decode(&full);
+            for i in 0..LINES_PER_PAGE {
+                prop_assert!(c.minor(i) < MINOR_LIMIT);
+            }
+        }
+    }
+}

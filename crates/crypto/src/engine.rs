@@ -1,0 +1,208 @@
+//! Counter-mode encryption of 64-byte memory lines (paper §2.2.4, Figure 3).
+//!
+//! A one-time pad (OTP) is derived from the secret key, the line address,
+//! and the line's counter (major ‖ minor). Encryption and decryption are
+//! both "XOR with the OTP", which is what lets decryption overlap the NVM
+//! read (Figure 2b). The 24-cycle pipeline *latency* of the AES engine is
+//! not modeled here — values are exact, timing lives in the memory
+//! controller — keeping this crate purely functional.
+
+use crate::aes::Aes128;
+
+/// A counter-mode encryption engine for 64-byte memory lines.
+///
+/// # Examples
+///
+/// ```
+/// use supermem_crypto::EncryptionEngine;
+///
+/// let e = EncryptionEngine::new([1u8; 16]);
+/// let line = [9u8; 64];
+/// let ct = e.encrypt_line(&line, 0x40, 0, 1);
+/// assert_eq!(e.decrypt_line(&ct, 0x40, 0, 1), line);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EncryptionEngine {
+    aes: Aes128,
+}
+
+impl EncryptionEngine {
+    /// Creates an engine from a 128-bit secret key.
+    pub fn new(key: [u8; 16]) -> Self {
+        Self {
+            aes: Aes128::new(key),
+        }
+    }
+
+    /// Derives the 64-byte one-time pad for (`line_addr`, `major`,
+    /// `minor`).
+    ///
+    /// Four AES blocks are generated, one per 16-byte chunk of the line,
+    /// each seeded with the line address, the counter, and the chunk
+    /// index, so no pad block is ever reused — the security premise of
+    /// counter-mode encryption (§2.2.4).
+    ///
+    /// Only the low 48 bits of `major` participate in the seed; a major
+    /// counter above 2^48 is unreachable within NVM endurance (the same
+    /// argument the paper makes for 64 bits).
+    pub fn otp(&self, line_addr: u64, major: u64, minor: u8) -> [u8; 64] {
+        let mut pad = [0u8; 64];
+        for idx in 0u8..4 {
+            let mut seed = [0u8; 16];
+            seed[..8].copy_from_slice(&line_addr.to_le_bytes());
+            seed[8..14].copy_from_slice(&major.to_le_bytes()[..6]);
+            seed[14] = minor;
+            seed[15] = idx;
+            let block = self.aes.encrypt_block(seed);
+            pad[idx as usize * 16..idx as usize * 16 + 16].copy_from_slice(&block);
+        }
+        pad
+    }
+
+    /// Encrypts a 64-byte line: `cipher = plain XOR OTP`.
+    pub fn encrypt_line(&self, plain: &[u8; 64], line_addr: u64, major: u64, minor: u8) -> [u8; 64] {
+        let pad = self.otp(line_addr, major, minor);
+        let mut out = [0u8; 64];
+        for i in 0..64 {
+            out[i] = plain[i] ^ pad[i];
+        }
+        out
+    }
+
+    /// Decrypts a 64-byte line: `plain = cipher XOR OTP`.
+    ///
+    /// Identical to [`EncryptionEngine::encrypt_line`] because XOR is an
+    /// involution; the separate name keeps call sites legible.
+    pub fn decrypt_line(
+        &self,
+        cipher: &[u8; 64],
+        line_addr: u64,
+        major: u64,
+        minor: u8,
+    ) -> [u8; 64] {
+        self.encrypt_line(cipher, line_addr, major, minor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> EncryptionEngine {
+        EncryptionEngine::new(*b"supermem-testkey")
+    }
+
+    #[test]
+    fn roundtrip() {
+        let e = engine();
+        let mut plain = [0u8; 64];
+        for (i, b) in plain.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let ct = e.encrypt_line(&plain, 0xABC0, 17, 99);
+        assert_ne!(ct, plain);
+        assert_eq!(e.decrypt_line(&ct, 0xABC0, 17, 99), plain);
+    }
+
+    #[test]
+    fn wrong_minor_fails_to_decrypt() {
+        let e = engine();
+        let plain = [0x5Au8; 64];
+        let ct = e.encrypt_line(&plain, 0x1000, 2, 3);
+        assert_ne!(e.decrypt_line(&ct, 0x1000, 2, 4), plain);
+    }
+
+    #[test]
+    fn wrong_major_fails_to_decrypt() {
+        let e = engine();
+        let plain = [0x5Au8; 64];
+        let ct = e.encrypt_line(&plain, 0x1000, 2, 3);
+        assert_ne!(e.decrypt_line(&ct, 0x1000, 3, 3), plain);
+    }
+
+    #[test]
+    fn wrong_address_fails_to_decrypt() {
+        let e = engine();
+        let plain = [0x5Au8; 64];
+        let ct = e.encrypt_line(&plain, 0x1000, 2, 3);
+        assert_ne!(e.decrypt_line(&ct, 0x1040, 2, 3), plain);
+    }
+
+    #[test]
+    fn same_plaintext_different_counters_different_ciphertexts() {
+        // The dictionary/replay-attack resistance property of Figure 1c.
+        let e = engine();
+        let plain = [0u8; 64];
+        let c1 = e.encrypt_line(&plain, 0x2000, 0, 1);
+        let c2 = e.encrypt_line(&plain, 0x2000, 0, 2);
+        let c3 = e.encrypt_line(&plain, 0x2000, 1, 1);
+        assert_ne!(c1, c2);
+        assert_ne!(c1, c3);
+        assert_ne!(c2, c3);
+    }
+
+    #[test]
+    fn same_plaintext_different_lines_different_ciphertexts() {
+        let e = engine();
+        let plain = [0u8; 64];
+        assert_ne!(
+            e.encrypt_line(&plain, 0x0, 0, 0),
+            e.encrypt_line(&plain, 0x40, 0, 0)
+        );
+    }
+
+    #[test]
+    fn pad_blocks_within_line_differ() {
+        // The four 16-byte OTP chunks must be distinct or patterns leak.
+        let e = engine();
+        let pad = e.otp(0x3000, 5, 6);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(pad[i * 16..i * 16 + 16], pad[j * 16..j * 16 + 16]);
+            }
+        }
+    }
+
+    #[test]
+    fn different_keys_produce_different_pads() {
+        let a = EncryptionEngine::new([3; 16]);
+        let b = EncryptionEngine::new([4; 16]);
+        assert_ne!(a.otp(0x80, 1, 1), b.otp(0x80, 1, 1));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_line(
+            data in proptest::array::uniform32(any::<u8>()),
+            addr in any::<u64>(),
+            major in any::<u64>(),
+            minor in 0u8..128,
+        ) {
+            let e = EncryptionEngine::new([0xA5; 16]);
+            let mut line = [0u8; 64];
+            line[..32].copy_from_slice(&data);
+            line[32..].copy_from_slice(&data);
+            let ct = e.encrypt_line(&line, addr, major, minor);
+            prop_assert_eq!(e.decrypt_line(&ct, addr, major, minor), line);
+        }
+
+        #[test]
+        fn xor_depth_one(
+            addr in any::<u64>(),
+            major in 0u64..(1 << 48),
+            minor in 0u8..128,
+        ) {
+            // encrypt(encrypt(x)) == x: the pad application is an involution.
+            let e = EncryptionEngine::new([0x77; 16]);
+            let line = [0x3Cu8; 64];
+            let twice = e.encrypt_line(&e.encrypt_line(&line, addr, major, minor), addr, major, minor);
+            prop_assert_eq!(twice, line);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Cryptographic substrate for the SuperMem reproduction.
+//!
+//! Secure NVM designs encrypt every memory line with *counter-mode
+//! encryption* (paper §2.2): a one-time pad (OTP) is produced by running
+//! AES over the line address and a per-line counter, and the line is
+//! XORed with the pad. This crate provides:
+//!
+//! * [`aes`] — a complete software AES-128 block cipher (FIPS-197),
+//!   validated against the standard test vectors. The simulated NVM stores
+//!   *genuinely encrypted* bytes so crash-recovery experiments really
+//!   succeed or fail at decryption time.
+//! * [`counter`] — the split-counter organization of §3.4.1: one 64-bit
+//!   major counter per 4 KB page plus 64 seven-bit minor counters, all
+//!   packed into a single 64-byte memory line.
+//! * [`engine`] — the counter-mode encrypt/decrypt pipeline with the
+//!   24-cycle latency model used by the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use supermem_crypto::engine::EncryptionEngine;
+//!
+//! let engine = EncryptionEngine::new([7u8; 16]);
+//! let plain = [0xABu8; 64];
+//! let cipher = engine.encrypt_line(&plain, 0x1000, 3, 5);
+//! assert_ne!(cipher, plain);
+//! let back = engine.decrypt_line(&cipher, 0x1000, 3, 5);
+//! assert_eq!(back, plain);
+//! // A wrong counter decrypts to garbage, which is exactly the crash
+//! //-inconsistency the paper is about.
+//! assert_ne!(engine.decrypt_line(&cipher, 0x1000, 3, 6), plain);
+//! ```
+#![warn(missing_docs)]
+
+
+pub mod aes;
+pub mod counter;
+pub mod deuce;
+pub mod engine;
+pub mod tag;
+
+pub use counter::{CounterLine, IncrementOutcome, LINES_PER_PAGE};
+pub use engine::EncryptionEngine;
+pub use tag::line_tag;

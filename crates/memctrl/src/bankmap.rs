@@ -1,0 +1,101 @@
+//! Counter-line bank placement (paper §3.3, Figure 8).
+//!
+//! Given the bank holding a data page, decide which bank holds that
+//! page's counter line:
+//!
+//! * **SingleBank** — all counters in one dedicated bank (the last one,
+//!   as in Figure 8a). Every data write anywhere funnels a counter write
+//!   into that bank, which becomes the bottleneck under write-through.
+//! * **SameBank** — counters co-located with their data (Figure 8b). The
+//!   same bank then serves two serialized writes per data write.
+//! * **CrossBank (XBank)** — the counter of data in bank `X` lives in
+//!   bank `(X + N/2) mod N` (Figure 8c), maximizing the distance so
+//!   OS-contiguous allocations in adjacent banks don't collide with
+//!   their own counters.
+
+use supermem_sim::CounterPlacement;
+
+/// Returns the bank that stores the counter line for data in `data_bank`.
+///
+/// # Panics
+///
+/// Panics if `data_bank >= banks`, or if `banks` is odd with
+/// [`CounterPlacement::CrossBank`] (the N/2 offset needs an even count).
+///
+/// # Examples
+///
+/// ```
+/// use supermem_memctrl::counter_bank;
+/// use supermem_sim::CounterPlacement;
+///
+/// // Figure 8c: with 8 banks, data in bank 0 keeps its counters in bank 4.
+/// assert_eq!(counter_bank(CounterPlacement::CrossBank, 0, 8), 4);
+/// assert_eq!(counter_bank(CounterPlacement::CrossBank, 5, 8), 1);
+/// assert_eq!(counter_bank(CounterPlacement::SingleBank, 5, 8), 7);
+/// assert_eq!(counter_bank(CounterPlacement::SameBank, 5, 8), 5);
+/// ```
+pub fn counter_bank(placement: CounterPlacement, data_bank: usize, banks: usize) -> usize {
+    assert!(data_bank < banks, "bank {data_bank} out of range ({banks} banks)");
+    match placement {
+        CounterPlacement::SingleBank => banks - 1,
+        CounterPlacement::SameBank => data_bank,
+        CounterPlacement::CrossBank => {
+            assert!(banks.is_multiple_of(2), "XBank requires an even bank count");
+            (data_bank + banks / 2) % banks
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure8c_mapping_for_8_banks() {
+        // The full one-to-one mapping of Figure 8c.
+        let expect = [4, 5, 6, 7, 0, 1, 2, 3];
+        for (data, &ctr) in expect.iter().enumerate() {
+            assert_eq!(counter_bank(CounterPlacement::CrossBank, data, 8), ctr);
+        }
+    }
+
+    #[test]
+    fn xbank_is_a_bijection() {
+        for banks in [2usize, 4, 8, 16] {
+            let mut seen = vec![false; banks];
+            for b in 0..banks {
+                let c = counter_bank(CounterPlacement::CrossBank, b, banks);
+                assert!(!seen[c], "counter bank {c} reused");
+                seen[c] = true;
+                // XBank never maps a counter onto its own data bank.
+                assert_ne!(c, b);
+            }
+        }
+    }
+
+    #[test]
+    fn single_bank_always_last() {
+        for b in 0..8 {
+            assert_eq!(counter_bank(CounterPlacement::SingleBank, b, 8), 7);
+        }
+    }
+
+    #[test]
+    fn same_bank_is_identity() {
+        for b in 0..8 {
+            assert_eq!(counter_bank(CounterPlacement::SameBank, b, 8), b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_bank() {
+        counter_bank(CounterPlacement::SameBank, 8, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "even bank count")]
+    fn xbank_rejects_odd_banks() {
+        counter_bank(CounterPlacement::CrossBank, 0, 3);
+    }
+}

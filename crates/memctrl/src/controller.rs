@@ -1,0 +1,892 @@
+//! The secure-PM memory controller.
+//!
+//! Implements the paper's Figure 7 write sequence with a write-through
+//! counter cache and the 2-line staging register: fetch the counter
+//! (counter cache, forwarding from pending writes, or NVM), increment the
+//! minor counter, run the AES pipeline, then append the encrypted data
+//! line *and* its counter line to the ADR-protected write queue in one
+//! atomic step. Counter write coalescing and XBank placement are applied
+//! at append time. The read path overlaps OTP generation with the NVM
+//! array read (Figure 2b).
+//!
+//! Crash behavior: [`MemoryController::crash_now`] produces the NVM image
+//! a real power failure would leave behind — the byte store plus the
+//! ADR-drained write queue (and, for a battery-backed write-back counter
+//! cache, the dirty counters). [`MemoryController::arm_crash_after_appends`]
+//! freezes such an image mid-run at a chosen append boundary, which is how
+//! the Table 1 experiments land a failure *between* the counter append and
+//! the data append when the atomic register is disabled (Figure 6).
+
+use supermem_cache::{CounterCache, CounterCacheOutcome};
+use supermem_integrity::Bmt;
+use supermem_crypto::counter::IncrementOutcome;
+use supermem_crypto::{CounterLine, EncryptionEngine};
+use supermem_nvm::addr::{AddressMap, LineAddr, PageId};
+use supermem_nvm::bank::{BankTimer, OpKind};
+use supermem_nvm::{LineData, NvmStore};
+use supermem_sim::{Config, CounterCacheBacking, Cycle, Stats};
+
+use crate::bankmap::counter_bank;
+use crate::rsr::Rsr;
+use crate::wqueue::{WqTarget, WriteQueue};
+
+/// Latency of forwarding a read from a pending write-queue entry.
+const FORWARD_LATENCY: Cycle = 4;
+
+/// Latency of the staging-register store step (`Sto` in Figure 7).
+const REGISTER_LATENCY: Cycle = 1;
+
+/// The persistent state left behind by a (simulated) power failure:
+/// the NVM byte store after the ADR battery drained the write queue,
+/// plus the ADR-protected re-encryption status register.
+#[derive(Debug, Clone)]
+pub struct CrashImage {
+    /// NVM contents after the ADR drain.
+    pub store: NvmStore,
+    /// RSR contents if a page re-encryption was in flight.
+    pub rsr: Option<Rsr>,
+    /// The integrity tree's trusted root register, if authentication is
+    /// on (the register survives power loss like the processor key).
+    pub bmt_root: Option<u64>,
+}
+
+/// The memory controller of the simulated secure NVM system.
+///
+/// # Examples
+///
+/// ```
+/// use supermem_memctrl::MemoryController;
+/// use supermem_nvm::addr::LineAddr;
+/// use supermem_sim::Config;
+///
+/// let mut mc = MemoryController::new(&Config::default());
+/// let retire = mc.flush_line(LineAddr(0x1000), [1u8; 64], 100);
+/// let (data, _) = mc.read_line(LineAddr(0x1000), retire);
+/// assert_eq!(data, [1u8; 64]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryController {
+    cfg: Config,
+    map: AddressMap,
+    banks: Vec<BankTimer>,
+    store: NvmStore,
+    wq: WriteQueue,
+    cc: CounterCache,
+    engine: EncryptionEngine,
+    stats: Stats,
+    rsr: Option<Rsr>,
+    armed_crash: Option<u64>,
+    crash_image: Option<CrashImage>,
+    append_events: u64,
+    bmt: Option<Bmt>,
+}
+
+impl MemoryController {
+    /// Builds a controller over a fresh (all-zero) NVM DIMM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`Config::validate`].
+    pub fn new(cfg: &Config) -> Self {
+        Self::with_store(cfg, NvmStore::new())
+    }
+
+    /// Builds a controller over existing NVM contents — how a system
+    /// restarts after a crash, with the DIMM retaining its bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`Config::validate`].
+    pub fn with_store(cfg: &Config, mut store: NvmStore) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid configuration: {e}");
+        }
+        if let Some(psi) = cfg.wear_psi {
+            store.enable_wear_leveling(cfg.nvm_bytes / cfg.line_bytes, psi);
+        }
+        let map = AddressMap::new(cfg.nvm_bytes, cfg.line_bytes, cfg.page_bytes, cfg.banks);
+        let read = cfg.nvm_read_service_cycles();
+        let write = cfg.nvm_write_service_cycles();
+        let wtr = cfg.nvm_wtr_cycles();
+        Self {
+            map,
+            banks: (0..cfg.banks).map(|_| BankTimer::new(read, write, wtr)).collect(),
+            store,
+            wq: WriteQueue::new(cfg.write_queue_entries, cfg.cwc),
+            cc: CounterCache::new(
+                cfg.counter_cache_bytes,
+                cfg.line_bytes,
+                cfg.counter_cache_ways,
+                cfg.counter_cache_mode,
+            ),
+            engine: EncryptionEngine::new(cfg.encryption_key()),
+            stats: Stats::new(cfg.banks),
+            rsr: None,
+            armed_crash: None,
+            crash_image: None,
+            append_events: 0,
+            bmt: cfg
+                .integrity_tree
+                .then(|| Bmt::new(cfg.encryption_key(), cfg.integrity_pages)),
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// The address map in use.
+    pub fn map(&self) -> &AddressMap {
+        &self.map
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Mutable statistics (the system layer records transaction
+    /// latencies here).
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
+    /// Direct view of the persistent byte store (verification only).
+    pub fn store(&self) -> &NvmStore {
+        &self.store
+    }
+
+    /// Pending write-queue entries (diagnostics).
+    pub fn wq_len(&self) -> usize {
+        self.wq.len()
+    }
+
+    /// Total append events so far (an atomic data+counter pair counts as
+    /// one). The crash experiments sweep their injection point over this
+    /// count.
+    pub fn append_events(&self) -> u64 {
+        self.append_events
+    }
+
+    /// Snapshot of pending write-queue entries (diagnostics).
+    pub fn wq_pending(&self) -> Vec<(crate::wqueue::WqTarget, u64)> {
+        self.wq.pending()
+    }
+
+    fn ctr_bank(&self, page: PageId) -> usize {
+        counter_bank(
+            self.cfg.counter_placement,
+            self.map.page_bank(page),
+            self.cfg.banks,
+        )
+    }
+
+    fn note_append_event(&mut self) {
+        self.append_events += 1;
+        if let Some(n) = self.armed_crash.as_mut() {
+            *n -= 1;
+            if *n == 0 {
+                self.armed_crash = None;
+                self.crash_image = Some(self.snapshot());
+            }
+        }
+    }
+
+    fn snapshot(&self) -> CrashImage {
+        let mut store = self.store.clone();
+        self.wq.flush_into(&mut store);
+        if self.cfg.counter_cache_backing == CounterCacheBacking::Battery {
+            for (page, ctr) in self.cc_dirty_entries() {
+                store.write_counter(page, ctr.encode());
+            }
+        }
+        CrashImage {
+            store,
+            rsr: self.rsr,
+            bmt_root: self.bmt.as_ref().map(|b| b.root()),
+        }
+    }
+
+    fn cc_dirty_entries(&self) -> Vec<(PageId, CounterLine)> {
+        self.cc.dirty_entries()
+    }
+
+    /// Folds a counter write into the integrity tree (the hash engine
+    /// runs alongside the write path; its latency is off the retire
+    /// critical path because the tree root is an on-chip register).
+    fn note_counter_write(&mut self, page: PageId, encoded: &[u8; 64]) {
+        if let Some(bmt) = &mut self.bmt {
+            if page.0 < self.cfg.integrity_pages {
+                bmt.update(page.0, encoded);
+            }
+        }
+    }
+
+    /// Fetches the authoritative counters for `page`: counter cache, then
+    /// a pending write-queue entry (the NVM copy may lag it), then NVM.
+    /// Returns the counters and the cycle at which they are available.
+    fn fetch_counter(&mut self, page: PageId, at: Cycle) -> (CounterLine, Cycle) {
+        let t = at + self.cfg.counter_cache_latency;
+        if let Some(ctr) = self.cc.get(page) {
+            self.stats.counter_cache_hits += 1;
+            return (ctr.clone(), t);
+        }
+        self.stats.counter_cache_misses += 1;
+        if let Some(entry) = self.wq.forward_counter(page) {
+            self.stats.wq_read_forwards += 1;
+            let ctr = CounterLine::decode(&entry.payload);
+            self.fill_counter_cache(page, ctr.clone(), t + FORWARD_LATENCY);
+            return (ctr, t + FORWARD_LATENCY);
+        }
+        let bank = self.ctr_bank(page);
+        let mut done = self.banks[bank].issue(OpKind::Read, t);
+        self.stats.nvm_counter_reads += 1;
+        let raw = self.store.read_counter(page);
+        // Counters arriving from (attacker-writable) NVM are verified
+        // against the trusted root before use.
+        if let Some(bmt) = &self.bmt {
+            if page.0 < self.cfg.integrity_pages {
+                self.stats.integrity_verifications += 1;
+                done += self.cfg.hash_latency * bmt.height() as Cycle;
+                if !bmt.verify(page.0, &raw) {
+                    self.stats.integrity_violations += 1;
+                }
+            }
+        }
+        let ctr = CounterLine::decode(&raw);
+        self.fill_counter_cache(page, ctr.clone(), done);
+        (ctr, done)
+    }
+
+    /// Inserts counters into the counter cache; a dirty write-back
+    /// eviction becomes a counter write to NVM.
+    fn fill_counter_cache(&mut self, page: PageId, ctr: CounterLine, at: Cycle) {
+        if let Some((evicted_page, evicted_ctr, dirty)) = self.cc.fill(page, ctr) {
+            if dirty {
+                self.stats.counter_cache_writebacks += 1;
+                let bank = self.ctr_bank(evicted_page);
+                let t = self.wait_slots(1, at);
+                let encoded = evicted_ctr.encode();
+                self.wq
+                    .append(WqTarget::Counter(evicted_page), bank, encoded, None, t);
+                self.note_counter_write(evicted_page, &encoded);
+                self.note_append_event();
+            }
+        }
+    }
+
+    fn wait_slots(&mut self, needed: usize, from: Cycle) -> Cycle {
+        self.wq
+            .wait_for_slots(needed, from, &mut self.banks, &mut self.store, &mut self.stats)
+    }
+
+    /// Lets the write queue issue everything that can start by `now`.
+    pub fn drain_until(&mut self, now: Cycle) {
+        self.wq
+            .drain_until(now, &mut self.banks, &mut self.store, &mut self.stats);
+    }
+
+    /// Services a demand read of `line` issued at cycle `at`; returns the
+    /// plaintext and the completion cycle. OTP generation overlaps the
+    /// array read (Figure 2b), so the counter fetch usually hides behind
+    /// tRCD + tCL.
+    pub fn read_line(&mut self, line: LineAddr, at: Cycle) -> (LineData, Cycle) {
+        self.drain_until(at);
+        if let Some(entry) = self.wq.forward_data(line) {
+            self.stats.wq_read_forwards += 1;
+            let payload = entry.payload;
+            let enc = entry.enc_counter;
+            let done = at + FORWARD_LATENCY;
+            let data = match enc {
+                Some((major, minor)) if self.cfg.encryption => {
+                    self.engine.decrypt_line(&payload, line.0, major, minor)
+                }
+                _ => payload,
+            };
+            return (data, done);
+        }
+        let bank = self.map.data_bank(line);
+        let done_data = self.banks[bank].issue(OpKind::Read, at);
+        self.stats.nvm_data_reads += 1;
+        let cipher = self.store.read_data(line);
+        if !self.cfg.encryption {
+            return (cipher, done_data);
+        }
+        let page = self.map.page_of_line(line);
+        let idx = self.map.line_index_in_page(line);
+        let (ctr, t_ctr) = self.fetch_counter(page, at);
+        let otp_ready = t_ctr + self.cfg.aes_latency;
+        let plain = self
+            .engine
+            .decrypt_line(&cipher, line.0, ctr.major(), ctr.minor(idx));
+        (plain, done_data.max(otp_ready) + 1)
+    }
+
+    /// Handles a cache-line flush arriving at cycle `at` (Figure 7):
+    /// encrypts `plaintext` under the incremented counter and appends the
+    /// data and counter writes. Returns the retire cycle — the moment the
+    /// entries are accepted into the ADR domain, which is when the flush
+    /// is architecturally durable (§2.1).
+    pub fn flush_line(&mut self, line: LineAddr, plaintext: LineData, at: Cycle) -> Cycle {
+        self.drain_until(at);
+        let data_bank = self.map.data_bank(line);
+        if !self.cfg.encryption {
+            let t = self.wait_slots(1, at);
+            self.wq
+                .append(WqTarget::Data(line), data_bank, plaintext, None, t);
+            self.note_append_event();
+            return t;
+        }
+
+        let page = self.map.page_of_line(line);
+        let idx = self.map.line_index_in_page(line);
+        let (mut ctr, mut t_ctr) = self.fetch_counter(page, at);
+        if ctr.increment(idx) == IncrementOutcome::Overflow {
+            t_ctr = self.reencrypt_page(page, &mut ctr, t_ctr);
+            match ctr.increment(idx) {
+                IncrementOutcome::Incremented(_) => {}
+                IncrementOutcome::Overflow => unreachable!("fresh minors cannot overflow"),
+            }
+        }
+        let major = ctr.major();
+        let minor = ctr.minor(idx);
+        let cipher = self.engine.encrypt_line(&plaintext, line.0, major, minor);
+        // In Osiris mode every data line carries an ECC-derived plaintext
+        // tag so post-crash recovery can re-derive stale counters.
+        let tag = self
+            .cfg
+            .osiris_window
+            .map(|_| supermem_crypto::line_tag(&plaintext));
+        let t_enc = t_ctr + self.cfg.aes_latency + REGISTER_LATENCY;
+
+        // The counter cache entry is resident (fetch_counter filled it).
+        let action = self.cc.update(page, ctr.clone());
+        let retire = match action {
+            CounterCacheOutcome::WriteThrough => {
+                let ctr_bank = self.ctr_bank(page);
+                self.wq.coalesce_counter(page, &mut self.stats);
+                let t_app = self.wait_slots(2, t_enc);
+                let encoded = ctr.encode();
+                self.note_counter_write(page, &encoded);
+                if self.cfg.atomic_pair_append {
+                    // Both lines leave the staging register together: they
+                    // enter the ADR domain as one event.
+                    self.wq
+                        .append(WqTarget::Counter(page), ctr_bank, encoded, None, t_app);
+                    self.wq.append_tagged(
+                        WqTarget::Data(line),
+                        data_bank,
+                        cipher,
+                        Some((major, minor)),
+                        tag,
+                        t_app,
+                    );
+                    self.note_append_event();
+                } else {
+                    // Vulnerable baseline (Figure 6): counter first, data
+                    // second, separately interruptible.
+                    self.wq
+                        .append(WqTarget::Counter(page), ctr_bank, encoded, None, t_app);
+                    self.note_append_event();
+                    self.wq.append_tagged(
+                        WqTarget::Data(line),
+                        data_bank,
+                        cipher,
+                        Some((major, minor)),
+                        tag,
+                        t_app,
+                    );
+                    self.note_append_event();
+                }
+                t_app
+            }
+            CounterCacheOutcome::Deferred => {
+                let mut t_app = self.wait_slots(1, t_enc);
+                self.wq.append_tagged(
+                    WqTarget::Data(line),
+                    data_bank,
+                    cipher,
+                    Some((major, minor)),
+                    tag,
+                    t_app,
+                );
+                self.note_append_event();
+                // Osiris bounds counter staleness: every `window`-th
+                // increment of a minor persists the counter line, so
+                // recovery's trial-decryption search stays within the
+                // window.
+                if let Some(window) = self.cfg.osiris_window {
+                    if minor % window == 0 {
+                        let ctr_bank = self.ctr_bank(page);
+                        t_app = self.wait_slots(1, t_app);
+                        let encoded = ctr.encode();
+                        self.note_counter_write(page, &encoded);
+                        self.wq
+                            .append(WqTarget::Counter(page), ctr_bank, encoded, None, t_app);
+                        self.note_append_event();
+                    }
+                }
+                t_app
+            }
+        };
+        // The re-encryption's new counters are durable now (write queue in
+        // write-through mode, battery-backed counter cache in write-back):
+        // free the RSR.
+        if self
+            .rsr
+            .as_ref()
+            .is_some_and(|r| r.page() == page && r.all_done())
+        {
+            self.rsr = None;
+        }
+        retire
+    }
+
+    /// Re-encrypts `page` after a minor-counter overflow (§3.4.4):
+    /// reads all 64 lines, decrypts under the old counters, re-encrypts
+    /// under `major + 1` with zeroed minors, and appends the rewrites.
+    /// `ctr` is updated in place. The caller persists the new counter
+    /// line through its normal path.
+    fn reencrypt_page(&mut self, page: PageId, ctr: &mut CounterLine, at: Cycle) -> Cycle {
+        self.stats.pages_reencrypted += 1;
+        // No stale ciphertext for this page may drain after the rewrite:
+        // push out everything pending first.
+        let t0 = self
+            .wq
+            .drain_all(at, &mut self.banks, &mut self.store, &mut self.stats);
+        let old = ctr.clone();
+        self.rsr = Some(Rsr::new(page, old.major()));
+        ctr.bump_major();
+        let data_bank = self.map.page_bank(page);
+        let mut t = t0;
+        for idx in 0..self.map.lines_per_page() as usize {
+            let line = self.map.line_in_page(page, idx);
+            let done_read = self.banks[data_bank].issue(OpKind::Read, t);
+            self.stats.nvm_data_reads += 1;
+            let cipher_old = self.store.read_data(line);
+            let plain =
+                self.engine
+                    .decrypt_line(&cipher_old, line.0, old.major(), old.minor(idx));
+            let cipher_new = self.engine.encrypt_line(&plain, line.0, ctr.major(), 0);
+            let tag = self
+                .cfg
+                .osiris_window
+                .map(|_| supermem_crypto::line_tag(&plain));
+            let t_app = self.wait_slots(1, done_read + self.cfg.aes_latency);
+            self.wq.append_tagged(
+                WqTarget::Data(line),
+                data_bank,
+                cipher_new,
+                Some((ctr.major(), 0)),
+                tag,
+                t_app,
+            );
+            if let Some(r) = self.rsr.as_mut() {
+                r.set_done(idx);
+            }
+            self.note_append_event();
+            t = t_app;
+        }
+        t
+    }
+
+    /// Explicitly writes back one page's dirty counter line from the
+    /// write-back counter cache (the `counter_cache_writeback()`
+    /// primitive of Liu et al.'s selective counter-atomicity, discussed
+    /// in the paper's §2.3/§6). Returns the retire cycle, or `at` if the
+    /// page's counters are clean or absent.
+    pub fn writeback_page_counters(&mut self, page: PageId, at: Cycle) -> Cycle {
+        let Some(ctr) = self.cc.peek(page).cloned() else {
+            return at;
+        };
+        // Only dirty entries need persisting; `dirty_entries` is the
+        // cheap way to test dirtiness without LRU side effects.
+        if !self.cc.dirty_entries().iter().any(|(p, _)| *p == page) {
+            return at;
+        }
+        let bank = self.ctr_bank(page);
+        let t = self.wait_slots(1, at + self.cfg.counter_cache_latency);
+        let encoded = ctr.encode();
+        self.note_counter_write(page, &encoded);
+        self.wq
+            .append(WqTarget::Counter(page), bank, encoded, None, t);
+        self.note_append_event();
+        self.cc_clear_dirty(page);
+        t
+    }
+
+    fn cc_clear_dirty(&mut self, page: PageId) {
+        self.cc.clear_dirty(page);
+    }
+
+    /// Clean shutdown: flushes dirty write-back counters and drains the
+    /// write queue. Returns the cycle the last write began service.
+    pub fn finish(&mut self, from: Cycle) -> Cycle {
+        let mut t = from;
+        for (page, ctr) in self.cc.drain_dirty() {
+            self.stats.counter_cache_writebacks += 1;
+            let bank = self.ctr_bank(page);
+            let t_app = self.wait_slots(1, t);
+            let encoded = ctr.encode();
+            self.note_counter_write(page, &encoded);
+            self.wq
+                .append(WqTarget::Counter(page), bank, encoded, None, t_app);
+            t = t_app;
+        }
+        self.wq
+            .drain_all(t, &mut self.banks, &mut self.store, &mut self.stats)
+    }
+
+    /// Arms a crash that triggers after `appends` more append events
+    /// (an atomic data+counter pair counts as one event; with
+    /// `atomic_pair_append` disabled the counter and data appends are
+    /// separate events). The frozen image is retrievable with
+    /// [`MemoryController::take_crash_image`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `appends` is zero.
+    pub fn arm_crash_after_appends(&mut self, appends: u64) {
+        assert!(appends > 0, "crash countdown must be positive");
+        self.armed_crash = Some(appends);
+        self.crash_image = None;
+    }
+
+    /// The image frozen by an armed crash, if it has triggered.
+    pub fn take_crash_image(&mut self) -> Option<CrashImage> {
+        self.crash_image.take()
+    }
+
+    /// Simulates an immediate power failure and returns the surviving
+    /// NVM image.
+    pub fn crash_now(&self) -> CrashImage {
+        self.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supermem_sim::{CounterCacheMode, CounterPlacement};
+
+    fn cfg() -> Config {
+        Config::default()
+    }
+
+    fn unsec() -> Config {
+        let mut c = cfg();
+        c.encryption = false;
+        c
+    }
+
+    #[test]
+    fn write_then_read_roundtrips_plaintext() {
+        let mut mc = MemoryController::new(&cfg());
+        let line = LineAddr(0x4000);
+        let retire = mc.flush_line(line, [0x5A; 64], 0);
+        let (data, done) = mc.read_line(line, retire);
+        assert_eq!(data, [0x5A; 64]);
+        assert!(done > retire);
+    }
+
+    #[test]
+    fn store_holds_ciphertext_not_plaintext() {
+        let mut mc = MemoryController::new(&cfg());
+        let line = LineAddr(0x4000);
+        let retire = mc.flush_line(line, [0x5A; 64], 0);
+        mc.finish(retire);
+        assert_ne!(mc.store().read_data(line), [0x5A; 64], "NVM must hold ciphertext");
+    }
+
+    #[test]
+    fn unsec_store_holds_plaintext() {
+        let mut mc = MemoryController::new(&unsec());
+        let line = LineAddr(0x4000);
+        let retire = mc.flush_line(line, [0x5A; 64], 0);
+        mc.finish(retire);
+        assert_eq!(mc.store().read_data(line), [0x5A; 64]);
+    }
+
+    #[test]
+    fn write_through_doubles_write_requests() {
+        let mut c = cfg();
+        c.cwc = false;
+        let mut mc = MemoryController::new(&c);
+        let mut t = 0;
+        for i in 0..16u64 {
+            // Distinct pages so CWC (even if on) could not merge.
+            t = mc.flush_line(LineAddr(i * 4096), [i as u8; 64], t);
+        }
+        mc.finish(t);
+        assert_eq!(mc.stats().nvm_data_writes, 16);
+        assert_eq!(mc.stats().nvm_counter_writes, 16);
+    }
+
+    #[test]
+    fn cwc_coalesces_same_page_counter_writes() {
+        let mut c = cfg();
+        c.cwc = true;
+        let mut mc = MemoryController::new(&c);
+        let mut t = 0;
+        // 16 lines of ONE page flushed back-to-back: counters share one
+        // line, so pending counter writes merge.
+        for i in 0..16u64 {
+            t = mc.flush_line(LineAddr(i * 64), [i as u8; 64], t);
+        }
+        mc.finish(t);
+        assert_eq!(mc.stats().nvm_data_writes, 16);
+        assert!(
+            mc.stats().counter_writes_coalesced >= 8,
+            "expected heavy coalescing, got {}",
+            mc.stats().counter_writes_coalesced
+        );
+        assert_eq!(
+            mc.stats().nvm_counter_writes + mc.stats().counter_writes_coalesced,
+            16
+        );
+    }
+
+    #[test]
+    fn write_back_defers_counter_writes() {
+        let mut c = cfg();
+        c.counter_cache_mode = CounterCacheMode::WriteBack;
+        c.counter_cache_backing = CounterCacheBacking::Battery;
+        let mut mc = MemoryController::new(&c);
+        let mut t = 0;
+        for i in 0..16u64 {
+            t = mc.flush_line(LineAddr(i * 64), [1; 64], t);
+        }
+        // Before finish: only data writes reach NVM.
+        assert_eq!(mc.stats().nvm_counter_writes, 0);
+        mc.finish(t);
+        // One page -> one dirty counter line at shutdown.
+        assert_eq!(mc.stats().nvm_counter_writes, 1);
+        assert_eq!(mc.stats().counter_cache_writebacks, 1);
+    }
+
+    #[test]
+    fn xbank_separates_data_and_counter_banks() {
+        let mut c = cfg();
+        c.counter_placement = CounterPlacement::CrossBank;
+        c.cwc = false;
+        let mut mc = MemoryController::new(&c);
+        // Page 0 -> bank 0; its counters must land in bank 4.
+        let t = mc.flush_line(LineAddr(0), [1; 64], 0);
+        mc.finish(t);
+        assert_eq!(mc.stats().bank_writes[0], 1);
+        assert_eq!(mc.stats().bank_writes[4], 1);
+    }
+
+    #[test]
+    fn single_bank_funnels_counters_to_last_bank() {
+        let mut c = cfg();
+        c.counter_placement = CounterPlacement::SingleBank;
+        c.cwc = false;
+        let mut mc = MemoryController::new(&c);
+        let mut t = 0;
+        for p in 0..4u64 {
+            t = mc.flush_line(LineAddr(p * 4096), [1; 64], t);
+        }
+        mc.finish(t);
+        assert_eq!(mc.stats().bank_writes[7], 4, "all counters in bank 7");
+    }
+
+    #[test]
+    fn read_forwards_from_pending_write() {
+        let mut c = cfg();
+        // Huge queue so nothing drains at t=0.
+        c.write_queue_entries = 128;
+        let mut mc = MemoryController::new(&c);
+        let line = LineAddr(0x2000);
+        let retire = mc.flush_line(line, [7; 64], 0);
+        // Read while the entry is still pending (one cycle before it
+        // becomes issuable): it must be forwarded from the queue.
+        let (data, done) = mc.read_line(line, retire - 1);
+        assert_eq!(data, [7; 64]);
+        assert!(mc.stats().wq_read_forwards >= 1);
+        assert_eq!(done, retire - 1 + FORWARD_LATENCY);
+    }
+
+    #[test]
+    fn crash_preserves_adr_write_queue() {
+        let mut mc = MemoryController::new(&cfg());
+        let line = LineAddr(0x8000);
+        let retire = mc.flush_line(line, [3; 64], 0);
+        // Crash immediately: entries are still queued but in the ADR
+        // domain, so they survive.
+        let image = mc.crash_now();
+        let page = mc.map().page_of_line(line);
+        let idx = mc.map().line_index_in_page(line);
+        let ctr = CounterLine::decode(&image.store.read_counter(page));
+        assert_eq!(ctr.minor(idx), 1);
+        let engine = EncryptionEngine::new(cfg().encryption_key());
+        let plain = engine.decrypt_line(&image.store.read_data(line), line.0, ctr.major(), 1);
+        assert_eq!(plain, [3; 64]);
+        let _ = retire;
+    }
+
+    #[test]
+    fn atomic_append_keeps_pairs_together_across_crash() {
+        // With the register, any armed crash point sees counter and data
+        // either both present or both absent.
+        for crash_at in 1..=4u64 {
+            let mut mc = MemoryController::new(&cfg());
+            mc.arm_crash_after_appends(crash_at);
+            let mut t = 0;
+            for i in 0..4u64 {
+                t = mc.flush_line(LineAddr(i * 4096), [0xC0 + i as u8; 64], t);
+            }
+            let image = mc.take_crash_image().expect("crash must trigger");
+            let engine = EncryptionEngine::new(cfg().encryption_key());
+            for i in 0..crash_at {
+                let line = LineAddr((i) * 4096);
+                let page = PageId(i);
+                let ctr = CounterLine::decode(&image.store.read_counter(page));
+                if i < crash_at {
+                    assert_eq!(ctr.minor(0), 1, "counter persisted for flush {i}");
+                    let plain =
+                        engine.decrypt_line(&image.store.read_data(line), line.0, 0, 1);
+                    assert_eq!(plain, [0xC0 + i as u8; 64], "data persisted for flush {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonatomic_append_exposes_figure6_window() {
+        // Without the register, a crash can land after the counter append
+        // but before the data append: the new counter is durable, the old
+        // data is still in place, and decryption fails (Figure 6).
+        let mut c = cfg();
+        c.atomic_pair_append = false;
+        let line = LineAddr(0x6000);
+        // First write the line once so it holds real old data.
+        let mut mc = MemoryController::with_store(&c, NvmStore::new());
+        let t = mc.flush_line(line, [0x01; 64], 0);
+        mc.finish(t);
+        let base = mc.store().clone();
+
+        let mut mc = MemoryController::with_store(&c, base);
+        mc.arm_crash_after_appends(1); // right between counter and data
+        mc.flush_line(line, [0x02; 64], 0);
+        let image = mc.take_crash_image().expect("crash armed");
+        let page = PageId(line.0 / 4096);
+        let idx = (line.0 % 4096) / 64;
+        let ctr = CounterLine::decode(&image.store.read_counter(page));
+        assert_eq!(ctr.minor(idx as usize), 2, "new counter persisted");
+        let engine = EncryptionEngine::new(c.encryption_key());
+        let plain = engine.decrypt_line(
+            &image.store.read_data(line),
+            line.0,
+            ctr.major(),
+            ctr.minor(idx as usize),
+        );
+        assert_ne!(plain, [0x01; 64], "old data no longer decryptable");
+        assert_ne!(plain, [0x02; 64], "new data never became durable");
+    }
+
+    #[test]
+    fn battery_backed_write_back_survives_crash() {
+        let mut c = cfg();
+        c.counter_cache_mode = CounterCacheMode::WriteBack;
+        c.counter_cache_backing = CounterCacheBacking::Battery;
+        let mut mc = MemoryController::new(&c);
+        let line = LineAddr(0x3000);
+        mc.flush_line(line, [9; 64], 0);
+        let image = mc.crash_now();
+        let page = PageId(line.0 / 4096);
+        let ctr = CounterLine::decode(&image.store.read_counter(page));
+        assert_eq!(ctr.minor(((line.0 % 4096) / 64) as usize), 1);
+    }
+
+    #[test]
+    fn unbacked_write_back_loses_counters_on_crash() {
+        let mut c = cfg();
+        c.counter_cache_mode = CounterCacheMode::WriteBack;
+        c.counter_cache_backing = CounterCacheBacking::None;
+        let mut mc = MemoryController::new(&c);
+        let line = LineAddr(0x3000);
+        mc.flush_line(line, [9; 64], 0);
+        let image = mc.crash_now();
+        let page = PageId(line.0 / 4096);
+        let ctr = CounterLine::decode(&image.store.read_counter(page));
+        assert_eq!(ctr.minor(12), 0, "counter lost: stale zero in NVM");
+    }
+
+    #[test]
+    fn minor_overflow_triggers_reencryption_and_stays_readable() {
+        let mut mc = MemoryController::new(&cfg());
+        let line = LineAddr(0);
+        let mut t = 0;
+        for i in 0..128u64 {
+            t = mc.flush_line(line, [i as u8; 64], t);
+        }
+        assert_eq!(mc.stats().pages_reencrypted, 1);
+        let (data, _) = mc.read_line(line, t);
+        assert_eq!(data, [127; 64]);
+        // Another line of the same page must also still decrypt.
+        let other = LineAddr(64);
+        let t2 = mc.flush_line(other, [0xEE; 64], t);
+        let (data, _) = mc.read_line(other, t2);
+        assert_eq!(data, [0xEE; 64]);
+    }
+
+    #[test]
+    fn reencryption_preserves_other_lines() {
+        let mut mc = MemoryController::new(&cfg());
+        let hot = LineAddr(0);
+        let cold = LineAddr(64 * 10);
+        let mut t = mc.flush_line(cold, [0xAB; 64], 0);
+        for i in 0..128u64 {
+            t = mc.flush_line(hot, [i as u8; 64], t);
+        }
+        assert!(mc.stats().pages_reencrypted >= 1);
+        let (data, _) = mc.read_line(cold, t);
+        assert_eq!(data, [0xAB; 64], "cold line survives page re-encryption");
+    }
+
+    #[test]
+    fn counter_fetch_forwards_from_pending_queue_entry() {
+        // Tiny counter cache: entry evicted while its write is pending.
+        let mut c = cfg();
+        c.counter_cache_bytes = 64; // one entry
+        c.counter_cache_ways = 1;
+        c.write_queue_entries = 128;
+        let mut mc = MemoryController::new(&c);
+        let a = LineAddr(0); // page 0
+        let b = LineAddr(4096); // page 1 evicts page 0 from the 1-entry cc
+        let t = mc.flush_line(a, [1; 64], 0);
+        let t = mc.flush_line(b, [2; 64], t);
+        // Flush to page 0 again: cc miss, but the pending WQ entry has
+        // minor=1; NVM still has 0. The next minor must be 2.
+        let t = mc.flush_line(a, [3; 64], t);
+        mc.finish(t);
+        let ctr = CounterLine::decode(&mc.store().read_counter(PageId(0)));
+        assert_eq!(ctr.minor(0), 2, "counter forwarding must see the pending value");
+        let (data, _) = mc.read_line(a, t + 10_000);
+        assert_eq!(data, [3; 64]);
+    }
+
+    #[test]
+    fn wq_backpressure_stalls_flushes() {
+        let mut c = cfg();
+        c.write_queue_entries = 4;
+        c.cwc = false;
+        c.counter_placement = CounterPlacement::SingleBank;
+        let mut mc = MemoryController::new(&c);
+        let mut t = 0;
+        // All lines in one page: counter-cache hits keep the flush rate
+        // high while every write lands in two banks only, so the 4-entry
+        // queue must fill.
+        for i in 0..32u64 {
+            t = mc.flush_line(LineAddr(i % 64 * 64), [1; 64], t);
+        }
+        assert!(mc.stats().wq_stall_cycles > 0, "tiny queue must stall");
+        assert!(mc.stats().wq_full_events > 0);
+    }
+
+    #[test]
+    fn stats_accessors() {
+        let mut mc = MemoryController::new(&cfg());
+        mc.stats_mut().record_txn(10);
+        assert_eq!(mc.stats().txn_commits, 1);
+        assert_eq!(mc.wq_len(), 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! The SuperMem memory controller.
+//!
+//! This crate is the paper's hardware contribution: the modified memory
+//! controller that makes counter-mode encrypted NVM crash consistent with
+//! a write-through counter cache, and fast again via counter write
+//! coalescing (CWC) and cross-bank counter storage (XBank).
+//!
+//! * [`bankmap`] — counter-line bank placement: SingleBank, SameBank, or
+//!   the paper's XBank `(X + N/2) mod N` (§3.3, Figure 8).
+//! * [`wqueue`] — the ADR-protected write queue with the per-entry
+//!   "from counter cache" flag bit and CWC coalescing (§3.4.3,
+//!   Figures 10–11).
+//! * [`rsr`] — the re-encryption status register that makes
+//!   minor-counter-overflow page re-encryption crash consistent (§3.4.4).
+//! * [`controller`] — the controller proper: the Figure 7 write sequence
+//!   (fetch counter → increment → encrypt → stage in register → append
+//!   data+counter atomically), the decrypt-overlapped read path, crash
+//!   snapshots with ADR drain, and page re-encryption.
+//!
+//! # Examples
+//!
+//! ```
+//! use supermem_memctrl::MemoryController;
+//! use supermem_nvm::addr::LineAddr;
+//! use supermem_sim::Config;
+//!
+//! let mut mc = MemoryController::new(&Config::default());
+//! let retire = mc.flush_line(LineAddr(0x40), [42u8; 64], 0);
+//! assert!(retire > 0);
+//! let (data, _done) = mc.read_line(LineAddr(0x40), retire);
+//! assert_eq!(data, [42u8; 64]);
+//! ```
+#![warn(missing_docs)]
+
+
+pub mod bankmap;
+pub mod controller;
+pub mod rsr;
+pub mod wqueue;
+
+pub use bankmap::counter_bank;
+pub use controller::{CrashImage, MemoryController};
+pub use rsr::Rsr;
+pub use wqueue::{WqEntry, WqTarget, WriteQueue};

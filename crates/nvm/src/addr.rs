@@ -1,0 +1,231 @@
+//! Physical address map: lines, pages, and bank interleaving.
+//!
+//! The map is page-interleaved: page `p` lives entirely in bank
+//! `p mod N`. This matches the paper's Figure 8, where a data block (and
+//! the whole page around it) resides in one bank, and consecutive pages of
+//! an OS-contiguous allocation fall into adjacent banks.
+//!
+//! Counter lines are addressed by [`PageId`] in a dedicated counter region
+//! (one 64 B counter line per 4 KB data page); *which bank* a counter line
+//! occupies is a memory-controller policy (SingleBank / SameBank / XBank)
+//! and therefore lives in `supermem-memctrl`, not here.
+
+/// A line-aligned physical byte address of a data line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAddr(pub u64);
+
+/// Index of a 4 KB page (also indexes that page's counter line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u64);
+
+impl std::fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line@{:#x}", self.0)
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "page#{}", self.0)
+    }
+}
+
+/// Geometry-aware address arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use supermem_nvm::addr::AddressMap;
+///
+/// let m = AddressMap::new(8 << 30, 64, 4096, 8);
+/// let line = m.line_of(0x1234);
+/// assert_eq!(line.0, 0x1200); // aligned down to 64 B
+/// assert_eq!(m.page_of_line(line).0, 1); // 0x1200 / 4096
+/// assert_eq!(m.line_index_in_page(line), 8); // (0x1200 % 4096) / 64
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddressMap {
+    capacity: u64,
+    line_bytes: u64,
+    page_bytes: u64,
+    banks: usize,
+}
+
+impl AddressMap {
+    /// Creates a map for the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size is zero, not a power of two, or inconsistent
+    /// (`line_bytes > page_bytes`, capacity not page-aligned).
+    pub fn new(capacity: u64, line_bytes: u64, page_bytes: u64, banks: usize) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be 2^k");
+        assert!(page_bytes.is_power_of_two(), "page size must be 2^k");
+        assert!((banks as u64).is_power_of_two(), "bank count must be 2^k");
+        assert!(line_bytes <= page_bytes, "line larger than page");
+        assert!(capacity > 0 && capacity.is_multiple_of(page_bytes), "capacity must be whole pages");
+        Self {
+            capacity,
+            line_bytes,
+            page_bytes,
+            banks,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Lines per page (64 in the default geometry).
+    pub fn lines_per_page(&self) -> u64 {
+        self.page_bytes / self.line_bytes
+    }
+
+    /// Total number of pages.
+    pub fn pages(&self) -> u64 {
+        self.capacity / self.page_bytes
+    }
+
+    /// Aligns a byte address down to its containing line.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the address is beyond capacity.
+    pub fn line_of(&self, byte_addr: u64) -> LineAddr {
+        debug_assert!(byte_addr < self.capacity, "address {byte_addr:#x} out of range");
+        LineAddr(byte_addr & !(self.line_bytes - 1))
+    }
+
+    /// The page containing a line.
+    pub fn page_of_line(&self, line: LineAddr) -> PageId {
+        PageId(line.0 / self.page_bytes)
+    }
+
+    /// The index of `line` within its page, in `0..lines_per_page()`.
+    pub fn line_index_in_page(&self, line: LineAddr) -> usize {
+        ((line.0 % self.page_bytes) / self.line_bytes) as usize
+    }
+
+    /// The `idx`-th line of page `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= lines_per_page()`.
+    pub fn line_in_page(&self, page: PageId, idx: usize) -> LineAddr {
+        assert!((idx as u64) < self.lines_per_page(), "line index {idx} out of page");
+        LineAddr(page.0 * self.page_bytes + idx as u64 * self.line_bytes)
+    }
+
+    /// The bank holding a data line (page-interleaved).
+    pub fn data_bank(&self, line: LineAddr) -> usize {
+        (self.page_of_line(line).0 % self.banks as u64) as usize
+    }
+
+    /// The bank holding a whole page.
+    pub fn page_bank(&self, page: PageId) -> usize {
+        (page.0 % self.banks as u64) as usize
+    }
+
+    /// Iterates over the line addresses covered by `[start, start+len)`.
+    ///
+    /// Useful for turning a byte-granularity store into line flushes.
+    pub fn lines_covering(&self, start: u64, len: u64) -> impl Iterator<Item = LineAddr> + '_ {
+        let first = if len == 0 { 1 } else { self.line_of(start).0 };
+        let last = if len == 0 {
+            0
+        } else {
+            self.line_of(start + len - 1).0
+        };
+        (first..=last)
+            .step_by(self.line_bytes as usize)
+            .map(LineAddr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> AddressMap {
+        AddressMap::new(8 << 30, 64, 4096, 8)
+    }
+
+    #[test]
+    fn line_alignment() {
+        let m = map();
+        assert_eq!(m.line_of(0).0, 0);
+        assert_eq!(m.line_of(63).0, 0);
+        assert_eq!(m.line_of(64).0, 64);
+        assert_eq!(m.line_of(0xFFF).0, 0xFC0);
+    }
+
+    #[test]
+    fn page_and_index_arithmetic() {
+        let m = map();
+        let line = m.line_of(4096 * 5 + 64 * 7 + 3);
+        assert_eq!(m.page_of_line(line).0, 5);
+        assert_eq!(m.line_index_in_page(line), 7);
+        assert_eq!(m.line_in_page(PageId(5), 7), line);
+    }
+
+    #[test]
+    fn page_interleaved_banks() {
+        let m = map();
+        for p in 0..32u64 {
+            let line = m.line_in_page(PageId(p), 0);
+            assert_eq!(m.data_bank(line), (p % 8) as usize);
+            // All lines of one page share a bank.
+            let last = m.line_in_page(PageId(p), 63);
+            assert_eq!(m.data_bank(last), m.data_bank(line));
+        }
+    }
+
+    #[test]
+    fn lines_covering_spans() {
+        let m = map();
+        let lines: Vec<_> = m.lines_covering(0x100, 256).collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0].0, 0x100);
+        assert_eq!(lines[3].0, 0x1C0);
+
+        // Unaligned start covering an extra line.
+        let lines: Vec<_> = m.lines_covering(0x13F, 2).collect();
+        assert_eq!(lines.len(), 2);
+
+        // Empty ranges produce nothing.
+        assert_eq!(m.lines_covering(0x100, 0).count(), 0);
+    }
+
+    #[test]
+    fn geometry_getters() {
+        let m = map();
+        assert_eq!(m.lines_per_page(), 64);
+        assert_eq!(m.pages(), (8u64 << 30) / 4096);
+        assert_eq!(m.banks(), 8);
+        assert_eq!(m.capacity(), 8 << 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k")]
+    fn rejects_non_pow2_line() {
+        AddressMap::new(1 << 20, 48, 4096, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of page")]
+    fn line_in_page_bounds() {
+        map().line_in_page(PageId(0), 64);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(LineAddr(0x40).to_string(), "line@0x40");
+        assert_eq!(PageId(3).to_string(), "page#3");
+    }
+}

@@ -1,0 +1,151 @@
+//! Per-bank service timing.
+//!
+//! Each NVM bank services one request at a time. A read occupies the bank
+//! for tRCD + tCL; a write for tCWD + tWR (PCM write recovery dominates at
+//! 300 ns). Switching from a write to a read additionally pays the tWTR
+//! turnaround. Requests to *different* banks proceed in parallel — the
+//! property the XBank scheme exploits (paper §3.3).
+
+use supermem_sim::Cycle;
+
+/// The kind of operation a bank services.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// An array read (tRCD + tCL).
+    Read,
+    /// An array write (tCWD + tWR).
+    Write,
+}
+
+/// Timing state of one bank.
+///
+/// # Examples
+///
+/// ```
+/// use supermem_nvm::bank::{BankTimer, OpKind};
+///
+/// let mut bank = BankTimer::new(126, 626, 15);
+/// let done = bank.issue(OpKind::Write, 0);
+/// assert_eq!(done, 626);
+/// // The next request waits for the bank.
+/// assert_eq!(bank.earliest_start(OpKind::Write, 100), 626);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankTimer {
+    read_service: Cycle,
+    write_service: Cycle,
+    wtr: Cycle,
+    busy_until: Cycle,
+    last_op: Option<OpKind>,
+}
+
+impl BankTimer {
+    /// Creates an idle bank with the given service times (cycles).
+    pub fn new(read_service: Cycle, write_service: Cycle, wtr: Cycle) -> Self {
+        Self {
+            read_service,
+            write_service,
+            wtr,
+            busy_until: 0,
+            last_op: None,
+        }
+    }
+
+    /// The cycle at which the bank next becomes free.
+    pub fn busy_until(&self) -> Cycle {
+        self.busy_until
+    }
+
+    /// Earliest cycle at which an operation of `kind`, ready at `ready`,
+    /// could begin service, including the write→read turnaround.
+    pub fn earliest_start(&self, kind: OpKind, ready: Cycle) -> Cycle {
+        let mut start = ready.max(self.busy_until);
+        if kind == OpKind::Read && self.last_op == Some(OpKind::Write) {
+            start = start.max(self.busy_until + self.wtr);
+        }
+        start
+    }
+
+    /// Issues an operation at its earliest start and returns the cycle at
+    /// which it completes. The bank is busy until then.
+    pub fn issue(&mut self, kind: OpKind, ready: Cycle) -> Cycle {
+        let start = self.earliest_start(kind, ready);
+        let service = match kind {
+            OpKind::Read => self.read_service,
+            OpKind::Write => self.write_service,
+        };
+        self.busy_until = start + service;
+        self.last_op = Some(kind);
+        self.busy_until
+    }
+
+    /// Resets the bank to idle (used when constructing a post-crash
+    /// system image).
+    pub fn reset(&mut self) {
+        self.busy_until = 0;
+        self.last_op = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> BankTimer {
+        BankTimer::new(126, 626, 15)
+    }
+
+    #[test]
+    fn idle_bank_starts_immediately() {
+        let b = bank();
+        assert_eq!(b.earliest_start(OpKind::Read, 500), 500);
+        assert_eq!(b.earliest_start(OpKind::Write, 0), 0);
+    }
+
+    #[test]
+    fn writes_serialize_within_a_bank() {
+        let mut b = bank();
+        assert_eq!(b.issue(OpKind::Write, 0), 626);
+        assert_eq!(b.issue(OpKind::Write, 0), 1252);
+        assert_eq!(b.issue(OpKind::Write, 2000), 2626);
+    }
+
+    #[test]
+    fn read_after_write_pays_turnaround() {
+        let mut b = bank();
+        b.issue(OpKind::Write, 0); // busy until 626
+        // Read ready at 0 must wait 626 + tWTR.
+        assert_eq!(b.earliest_start(OpKind::Read, 0), 641);
+        assert_eq!(b.issue(OpKind::Read, 0), 641 + 126);
+    }
+
+    #[test]
+    fn read_after_read_has_no_turnaround() {
+        let mut b = bank();
+        b.issue(OpKind::Read, 0); // busy until 126
+        assert_eq!(b.earliest_start(OpKind::Read, 0), 126);
+    }
+
+    #[test]
+    fn write_after_read_has_no_turnaround() {
+        let mut b = bank();
+        b.issue(OpKind::Read, 0);
+        assert_eq!(b.earliest_start(OpKind::Write, 0), 126);
+    }
+
+    #[test]
+    fn late_ready_time_dominates() {
+        let mut b = bank();
+        b.issue(OpKind::Write, 0);
+        assert_eq!(b.earliest_start(OpKind::Write, 10_000), 10_000);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut b = bank();
+        b.issue(OpKind::Write, 0);
+        b.reset();
+        assert_eq!(b.busy_until(), 0);
+        assert_eq!(b.earliest_start(OpKind::Read, 0), 0);
+    }
+}

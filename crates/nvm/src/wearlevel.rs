@@ -1,0 +1,202 @@
+//! Start-Gap wear leveling (Qureshi et al., MICRO 2009) — the classic
+//! PCM endurance mechanism the paper's §3.4.1 endurance discussion sits
+//! on top of.
+//!
+//! One spare slot (the *gap*) circulates through a region of `lines`
+//! slots: every `psi` writes the line next to the gap moves into it,
+//! sliding the gap by one; when the gap has traversed the whole region
+//! the *start* pointer advances, so over time every logical line visits
+//! every physical slot and hot lines stop burning a single row of
+//! cells.
+//!
+//! Interaction with encryption: counter-mode binds ciphertext to the
+//! *logical* line address (the OTP seed), so remapping below the
+//! encryption layer is transparent — no re-encryption on relocation.
+//! This is why the mapping lives inside the NVM store, under the
+//! controller.
+
+/// A gap relocation: the content of `from` physically moves to `to`
+/// (costing one extra cell write, which callers must account).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapMove {
+    /// Physical slot whose content moves.
+    pub from: u64,
+    /// Physical slot receiving it (the previous gap).
+    pub to: u64,
+}
+
+/// Start-Gap remapping state over `lines` logical lines (using
+/// `lines + 1` physical slots).
+///
+/// # Examples
+///
+/// ```
+/// use supermem_nvm::wearlevel::StartGap;
+///
+/// let mut sg = StartGap::new(8, 4);
+/// let before = sg.map(3);
+/// for _ in 0..64 {
+///     sg.note_write();
+/// }
+/// // After enough writes, line 3 lives somewhere else.
+/// assert_ne!(sg.map(3), before);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StartGap {
+    lines: u64,
+    start: u64,
+    gap: u64,
+    writes_since_move: u64,
+    psi: u64,
+    moves: u64,
+}
+
+impl StartGap {
+    /// Creates the mapper for `lines` logical lines, moving the gap
+    /// every `psi` writes (Qureshi et al. use ψ = 100).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` or `psi` is zero.
+    pub fn new(lines: u64, psi: u64) -> Self {
+        assert!(lines > 0, "region must have lines");
+        assert!(psi > 0, "gap movement interval must be positive");
+        Self {
+            lines,
+            start: 0,
+            gap: lines, // the spare slot starts at the end
+            writes_since_move: 0,
+            psi,
+            moves: 0,
+        }
+    }
+
+    /// Gap relocations performed so far (each cost one extra write).
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// Maps a logical line index to its current physical slot in
+    /// `0..=lines`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical >= lines`.
+    pub fn map(&self, logical: u64) -> u64 {
+        assert!(logical < self.lines, "logical line out of region");
+        let rotated = (logical + self.start) % self.lines;
+        if rotated >= self.gap {
+            rotated + 1
+        } else {
+            rotated
+        }
+    }
+
+    /// Accounts one write; every `psi`-th write slides the gap and
+    /// returns the relocation the hardware performs.
+    pub fn note_write(&mut self) -> Option<GapMove> {
+        self.writes_since_move += 1;
+        if self.writes_since_move < self.psi {
+            return None;
+        }
+        self.writes_since_move = 0;
+        self.moves += 1;
+        let mv = if self.gap == 0 {
+            // The gap wraps to the top and the whole mapping rotates.
+            self.gap = self.lines;
+            self.start = (self.start + 1) % self.lines;
+            GapMove {
+                from: 0,
+                to: self.lines,
+            }
+        } else {
+            let mv = GapMove {
+                from: self.gap - 1,
+                to: self.gap,
+            };
+            self.gap -= 1;
+            mv
+        };
+        Some(mv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mapping_is_always_a_bijection() {
+        let mut sg = StartGap::new(16, 3);
+        for step in 0..500 {
+            let mapped: HashSet<u64> = (0..16).map(|l| sg.map(l)).collect();
+            assert_eq!(mapped.len(), 16, "collision at step {step}");
+            assert!(mapped.iter().all(|&p| p <= 16));
+            assert!(!mapped.contains(&sg.gap), "gap slot must stay empty");
+            sg.note_write();
+        }
+    }
+
+    #[test]
+    fn gap_moves_every_psi_writes() {
+        let mut sg = StartGap::new(8, 5);
+        let mut moves = 0;
+        for i in 1..=50 {
+            if sg.note_write().is_some() {
+                moves += 1;
+                assert_eq!(i % 5, 0, "move off schedule at write {i}");
+            }
+        }
+        assert_eq!(moves, 10);
+        assert_eq!(sg.moves(), 10);
+    }
+
+    #[test]
+    fn full_rotation_shifts_every_line() {
+        let mut sg = StartGap::new(4, 1);
+        let before: Vec<u64> = (0..4).map(|l| sg.map(l)).collect();
+        // 5 moves = the gap traverses all slots once and start advances.
+        for _ in 0..5 {
+            sg.note_write();
+        }
+        let after: Vec<u64> = (0..4).map(|l| sg.map(l)).collect();
+        assert_ne!(before, after, "rotation must change the mapping");
+    }
+
+    #[test]
+    fn hammered_line_spreads_across_slots() {
+        // The endurance property itself: writing one logical line
+        // forever touches many physical slots.
+        let mut sg = StartGap::new(16, 4);
+        let mut slots = HashSet::new();
+        for _ in 0..16 * 4 * 20 {
+            slots.insert(sg.map(0));
+            sg.note_write();
+        }
+        assert!(
+            slots.len() >= 8,
+            "hot line must visit many slots, got {}",
+            slots.len()
+        );
+    }
+
+    #[test]
+    fn relocation_endpoints_are_adjacent() {
+        let mut sg = StartGap::new(8, 1);
+        for _ in 0..40 {
+            if let Some(mv) = sg.note_write() {
+                assert!(
+                    mv.to == mv.from + 1 || (mv.from == 0 && mv.to == 8),
+                    "unexpected move {mv:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of region")]
+    fn rejects_out_of_range_line() {
+        StartGap::new(4, 1).map(4);
+    }
+}

@@ -1,0 +1,187 @@
+//! A bump allocator over a persistent address range.
+//!
+//! Persistent data structures need stable addresses inside the simulated
+//! NVM. [`Arena`] hands out aligned, non-overlapping ranges from a fixed
+//! region — mirroring how the paper's workloads get an OS-contiguous
+//! allocation (which is what makes their data writes spatially local,
+//! §3.4.2). Allocation metadata is volatile; the experiments rebuild it
+//! deterministically, so it needs no crash consistency of its own.
+
+/// Error returned when an arena runs out of space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaExhausted {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes remaining.
+    pub remaining: u64,
+}
+
+impl std::fmt::Display for ArenaExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "arena exhausted: requested {} bytes, {} remaining",
+            self.requested, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for ArenaExhausted {}
+
+/// A bump allocator over `[base, base + len)`.
+///
+/// # Examples
+///
+/// ```
+/// use supermem_persist::Arena;
+///
+/// let mut a = Arena::new(0x1000, 0x1000);
+/// let x = a.alloc(100, 64)?;
+/// let y = a.alloc(100, 64)?;
+/// assert_eq!(x % 64, 0);
+/// assert!(y >= x + 100);
+/// # Ok::<(), supermem_persist::arena::ArenaExhausted>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arena {
+    base: u64,
+    end: u64,
+    next: u64,
+}
+
+impl Arena {
+    /// Creates an arena over `[base, base + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overflows `u64` or `len` is zero.
+    pub fn new(base: u64, len: u64) -> Self {
+        assert!(len > 0, "arena must have space");
+        let end = base.checked_add(len).expect("arena range overflow");
+        Self {
+            base,
+            end,
+            next: base,
+        }
+    }
+
+    /// Start of the managed range.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// One past the end of the managed range.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Bytes still available (ignoring future alignment padding).
+    pub fn remaining(&self) -> u64 {
+        self.end - self.next
+    }
+
+    /// Allocates `size` bytes aligned to `align`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArenaExhausted`] if the aligned allocation does not fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero or not a power of two.
+    pub fn alloc(&mut self, size: u64, align: u64) -> Result<u64, ArenaExhausted> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let aligned = (self.next + align - 1) & !(align - 1);
+        let end = aligned.checked_add(size).ok_or(ArenaExhausted {
+            requested: size,
+            remaining: self.remaining(),
+        })?;
+        if end > self.end {
+            return Err(ArenaExhausted {
+                requested: size,
+                remaining: self.remaining(),
+            });
+        }
+        self.next = end;
+        Ok(aligned)
+    }
+
+    /// Allocates a whole number of 64-byte lines (the natural unit for
+    /// flush-friendly structures).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArenaExhausted`] if the allocation does not fit.
+    pub fn alloc_lines(&mut self, lines: u64) -> Result<u64, ArenaExhausted> {
+        self.alloc(lines * 64, 64)
+    }
+
+    /// Resets the arena, recycling all space (volatile metadata only).
+    pub fn reset(&mut self) {
+        self.next = self.base;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let mut a = Arena::new(0, 1024);
+        let x = a.alloc(100, 8).unwrap();
+        let y = a.alloc(100, 8).unwrap();
+        assert!(x + 100 <= y);
+    }
+
+    #[test]
+    fn respects_alignment() {
+        let mut a = Arena::new(1, 4096);
+        let x = a.alloc(10, 64).unwrap();
+        assert_eq!(x % 64, 0);
+        let y = a.alloc(10, 256).unwrap();
+        assert_eq!(y % 256, 0);
+    }
+
+    #[test]
+    fn exhaustion_reports_sizes() {
+        let mut a = Arena::new(0, 128);
+        a.alloc(100, 1).unwrap();
+        let err = a.alloc(100, 1).unwrap_err();
+        assert_eq!(err.requested, 100);
+        assert_eq!(err.remaining, 28);
+        assert!(err.to_string().contains("exhausted"));
+    }
+
+    #[test]
+    fn reset_recycles() {
+        let mut a = Arena::new(0, 64);
+        a.alloc(64, 1).unwrap();
+        assert!(a.alloc(1, 1).is_err());
+        a.reset();
+        assert!(a.alloc(64, 1).is_ok());
+    }
+
+    #[test]
+    fn alloc_lines_is_line_aligned() {
+        let mut a = Arena::new(7, 4096);
+        let x = a.alloc_lines(2).unwrap();
+        assert_eq!(x % 64, 0);
+        let y = a.alloc_lines(1).unwrap();
+        assert_eq!(y, x + 128);
+    }
+
+    #[test]
+    fn getters() {
+        let a = Arena::new(100, 50);
+        assert_eq!(a.base(), 100);
+        assert_eq!(a.end(), 150);
+        assert_eq!(a.remaining(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_alignment_panics() {
+        Arena::new(0, 64).alloc(1, 3).unwrap();
+    }
+}

@@ -1,0 +1,380 @@
+//! System configuration.
+//!
+//! [`Config`] collects every knob of the simulated machine. Defaults follow
+//! Table 2 of the paper: an 8-core 2 GHz x86-64 system, 32 KB L1 / 512 KB L2
+//! / 4 MB L3, an 8 GB 8-bank PCM main memory with the Xu et al. latency
+//! model, a 32-entry ADR-protected write queue, and a 256 KB 8-way counter
+//! cache with 8-cycle latency. The AES engine has the 24-cycle latency used
+//! by the paper (citing prior work).
+
+use crate::time::{ns_to_cycles, Cycle};
+
+/// Policy of the on-chip counter cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterCacheMode {
+    /// Every counter update is immediately written to NVM (SuperMem).
+    WriteThrough,
+    /// Counter updates stay in the cache until the line is evicted.
+    WriteBack,
+}
+
+/// Whether the counter cache contents survive a power failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterCacheBacking {
+    /// A (large, expensive) battery flushes the whole counter cache on a
+    /// crash. This is the paper's *ideal* write-back baseline (WB).
+    Battery,
+    /// No backup: dirty counters in the cache are lost on a crash.
+    None,
+}
+
+/// Where the counter line of a data page is placed (paper Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterPlacement {
+    /// All counters live in one dedicated bank (the conventional layout).
+    SingleBank,
+    /// The counter line lives in the same bank as its data page.
+    SameBank,
+    /// The counter line for data in bank `X` lives in bank `(X + N/2) % N`
+    /// (the paper's XBank scheme).
+    CrossBank,
+}
+
+/// Full configuration of the simulated secure-PM system.
+///
+/// Construct with [`Config::default`] and override fields, or use the
+/// builder-style `with_*` helpers.
+///
+/// # Examples
+///
+/// ```
+/// use supermem_sim::Config;
+///
+/// let cfg = Config::default().with_write_queue_entries(64);
+/// assert_eq!(cfg.write_queue_entries, 64);
+/// assert_eq!(cfg.nvm_write_service_cycles(), 626); // tCWD + tWR at 2 GHz
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    /// CPU frequency in GHz (paper: 2 GHz).
+    pub cpu_ghz: f64,
+    /// Number of cores (paper: 8).
+    pub cores: usize,
+
+    /// Cache line size in bytes (64 everywhere in the paper).
+    pub line_bytes: u64,
+    /// Page size in bytes (4 KB; one counter line covers one page).
+    pub page_bytes: u64,
+
+    /// L1 data cache capacity in bytes.
+    pub l1_bytes: u64,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L1 hit latency in cycles.
+    pub l1_latency: Cycle,
+    /// L2 capacity in bytes.
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// L2 hit latency in cycles.
+    pub l2_latency: Cycle,
+    /// Shared L3 capacity in bytes.
+    pub l3_bytes: u64,
+    /// L3 associativity.
+    pub l3_ways: usize,
+    /// L3 hit latency in cycles.
+    pub l3_latency: Cycle,
+
+    /// NVM capacity in bytes (paper: 8 GB).
+    pub nvm_bytes: u64,
+    /// Number of NVM banks (paper: 8).
+    pub banks: usize,
+    /// PCM activate latency tRCD in ns.
+    pub trcd_ns: f64,
+    /// PCM CAS latency tCL in ns.
+    pub tcl_ns: f64,
+    /// PCM write delay tCWD in ns.
+    pub tcwd_ns: f64,
+    /// PCM four-activation window tFAW in ns.
+    pub tfaw_ns: f64,
+    /// PCM write-to-read turnaround tWTR in ns.
+    pub twtr_ns: f64,
+    /// PCM write-recovery time tWR in ns (the dominant PCM write cost).
+    pub twr_ns: f64,
+
+    /// ADR-protected write-queue capacity in entries (paper: 32).
+    pub write_queue_entries: usize,
+
+    /// Counter cache capacity in bytes (paper: 256 KB).
+    pub counter_cache_bytes: u64,
+    /// Counter cache associativity (paper: 8).
+    pub counter_cache_ways: usize,
+    /// Counter cache hit latency in cycles (paper: 8).
+    pub counter_cache_latency: Cycle,
+    /// Counter cache write policy.
+    pub counter_cache_mode: CounterCacheMode,
+    /// Counter cache crash backing.
+    pub counter_cache_backing: CounterCacheBacking,
+
+    /// Whether memory encryption is enabled at all (`false` = Unsec).
+    pub encryption: bool,
+    /// AES engine latency in cycles (paper: 24).
+    pub aes_latency: Cycle,
+    /// Counter-line placement across banks.
+    pub counter_placement: CounterPlacement,
+    /// Whether counter write coalescing (CWC) runs in the write queue.
+    pub cwc: bool,
+    /// Whether data+counter pairs are appended to the write queue
+    /// atomically through the staging register (paper §3.2, Figure 7).
+    /// Disabling this models the vulnerable baseline of Figure 6.
+    pub atomic_pair_append: bool,
+    /// Osiris-style relaxed counter persistence (Ye et al., MICRO'18 —
+    /// discussed in the paper's §6): counters stay write-back and
+    /// unbacked, but every `window`-th minor increment is persisted and
+    /// each data line carries an ECC-derived tag, so recovery can
+    /// re-derive lost counters by trial decryption. `None` disables it.
+    pub osiris_window: Option<u8>,
+    /// Bonsai-Merkle-Tree authentication over the counter region (the
+    /// bus-tampering defense the paper's §2.2.1 footnote defers to).
+    /// When enabled, counter fetches from NVM verify against the
+    /// on-chip root and counter writes update the tree.
+    pub integrity_tree: bool,
+    /// Pages covered by the integrity tree (a protected region from
+    /// page 0; covering all of an 8 GB DIMM would make every simulated
+    /// controller carry a multi-megabyte tree).
+    pub integrity_pages: u64,
+    /// Latency of one tree-level hash in cycles.
+    pub hash_latency: Cycle,
+    /// Start-Gap wear leveling beneath the data region: move the gap
+    /// every `psi` writes (`None` disables it).
+    pub wear_psi: Option<u64>,
+
+    /// Master seed for the run.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cpu_ghz: 2.0,
+            cores: 8,
+            line_bytes: 64,
+            page_bytes: 4096,
+            l1_bytes: 32 * 1024,
+            l1_ways: 8,
+            l1_latency: 2,
+            l2_bytes: 512 * 1024,
+            l2_ways: 8,
+            l2_latency: 16,
+            l3_bytes: 4 * 1024 * 1024,
+            l3_ways: 8,
+            l3_latency: 30,
+            nvm_bytes: 8 << 30,
+            banks: 8,
+            trcd_ns: 48.0,
+            tcl_ns: 15.0,
+            tcwd_ns: 13.0,
+            tfaw_ns: 50.0,
+            twtr_ns: 7.5,
+            twr_ns: 300.0,
+            write_queue_entries: 32,
+            counter_cache_bytes: 256 * 1024,
+            counter_cache_ways: 8,
+            counter_cache_latency: 8,
+            counter_cache_mode: CounterCacheMode::WriteThrough,
+            counter_cache_backing: CounterCacheBacking::None,
+            encryption: true,
+            aes_latency: 24,
+            counter_placement: CounterPlacement::CrossBank,
+            cwc: true,
+            atomic_pair_append: true,
+            osiris_window: None,
+            integrity_tree: false,
+            integrity_pages: 4096,
+            hash_latency: 40,
+            wear_psi: None,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl Config {
+    /// Sets the write-queue capacity (entries) and returns the config.
+    pub fn with_write_queue_entries(mut self, entries: usize) -> Self {
+        self.write_queue_entries = entries;
+        self
+    }
+
+    /// Sets the counter-cache capacity (bytes) and returns the config.
+    pub fn with_counter_cache_bytes(mut self, bytes: u64) -> Self {
+        self.counter_cache_bytes = bytes;
+        self
+    }
+
+    /// Sets the master seed and returns the config.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The 128-bit memory-encryption key, derived deterministically from
+    /// the seed so a recovered system (same config) can decrypt what the
+    /// crashed system wrote — the processor key survives power loss in
+    /// real hardware too.
+    pub fn encryption_key(&self) -> [u8; 16] {
+        let mut rng = crate::rng::SplitMix64::new(self.seed ^ 0x5EC0_4E0E_0FF1_CE00);
+        let mut key = [0u8; 16];
+        rng.fill_bytes(&mut key);
+        key
+    }
+
+    /// NVM read service time in cycles: activate + CAS (tRCD + tCL).
+    pub fn nvm_read_service_cycles(&self) -> Cycle {
+        ns_to_cycles(self.trcd_ns + self.tcl_ns, self.cpu_ghz)
+    }
+
+    /// NVM write service time in cycles: write delay + write recovery
+    /// (tCWD + tWR). PCM write recovery dominates at 300 ns.
+    pub fn nvm_write_service_cycles(&self) -> Cycle {
+        ns_to_cycles(self.tcwd_ns + self.twr_ns, self.cpu_ghz)
+    }
+
+    /// Write-to-read turnaround penalty in cycles (tWTR).
+    pub fn nvm_wtr_cycles(&self) -> Cycle {
+        ns_to_cycles(self.twtr_ns, self.cpu_ghz)
+    }
+
+    /// Number of cache lines per page (64 for 64 B lines and 4 KB pages).
+    pub fn lines_per_page(&self) -> u64 {
+        self.page_bytes / self.line_bytes
+    }
+
+    /// Total number of pages in the NVM.
+    pub fn pages(&self) -> u64 {
+        self.nvm_bytes / self.page_bytes
+    }
+
+    /// Validates internal consistency of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint (power-of-two sizes, non-zero capacities, an even bank
+    /// count for the XBank mapping, and so on).
+    pub fn validate(&self) -> Result<(), String> {
+        fn pow2(v: u64) -> bool {
+            v != 0 && v & (v - 1) == 0
+        }
+        if !pow2(self.line_bytes) {
+            return Err(format!("line_bytes {} must be a power of two", self.line_bytes));
+        }
+        if !pow2(self.page_bytes) || self.page_bytes < self.line_bytes {
+            return Err(format!(
+                "page_bytes {} must be a power of two >= line_bytes",
+                self.page_bytes
+            ));
+        }
+        if !pow2(self.banks as u64) {
+            return Err(format!("banks {} must be a power of two", self.banks));
+        }
+        if self.counter_placement == CounterPlacement::CrossBank && !self.banks.is_multiple_of(2) {
+            return Err("XBank placement requires an even bank count".to_owned());
+        }
+        if self.write_queue_entries < 2 {
+            return Err("write queue must hold at least a data+counter pair".to_owned());
+        }
+        if !self.nvm_bytes.is_multiple_of(self.page_bytes) {
+            return Err("nvm_bytes must be a whole number of pages".to_owned());
+        }
+        if self.cores == 0 {
+            return Err("at least one core is required".to_owned());
+        }
+        for (name, bytes, ways) in [
+            ("l1", self.l1_bytes, self.l1_ways),
+            ("l2", self.l2_bytes, self.l2_ways),
+            ("l3", self.l3_bytes, self.l3_ways),
+            ("counter_cache", self.counter_cache_bytes, self.counter_cache_ways),
+        ] {
+            if ways == 0 || !bytes.is_multiple_of(self.line_bytes * ways as u64) {
+                return Err(format!(
+                    "{name}: {bytes} bytes must be divisible by ways*line ({ways} ways)"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_table2() {
+        let c = Config::default();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.banks, 8);
+        assert_eq!(c.nvm_bytes, 8 << 30);
+        assert_eq!(c.write_queue_entries, 32);
+        assert_eq!(c.counter_cache_bytes, 256 * 1024);
+        assert_eq!(c.aes_latency, 24);
+        assert_eq!(c.lines_per_page(), 64);
+    }
+
+    #[test]
+    fn derived_service_times() {
+        let c = Config::default();
+        assert_eq!(c.nvm_read_service_cycles(), 126); // (48+15) * 2
+        assert_eq!(c.nvm_write_service_cycles(), 626); // (13+300) * 2
+        assert_eq!(c.nvm_wtr_cycles(), 15); // 7.5 * 2
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = Config::default()
+            .with_write_queue_entries(8)
+            .with_counter_cache_bytes(1024)
+            .with_seed(9);
+        assert_eq!(c.write_queue_entries, 8);
+        assert_eq!(c.counter_cache_bytes, 1024);
+        assert_eq!(c.seed, 9);
+    }
+
+    #[test]
+    fn validate_rejects_bad_geometry() {
+        let c = Config { line_bytes: 48, ..Config::default() };
+        assert!(c.validate().is_err());
+        let c = Config { banks: 6, ..Config::default() };
+        assert!(c.validate().is_err());
+        let c = Config { write_queue_entries: 1, ..Config::default() };
+        assert!(c.validate().is_err());
+        // Page smaller than a line.
+        let c = Config { page_bytes: 32, ..Config::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_odd_banks_for_xbank() {
+        let mut c = Config {
+            banks: 1,
+            counter_placement: CounterPlacement::CrossBank,
+            ..Config::default()
+        };
+        assert!(c.validate().is_err());
+        c.counter_placement = CounterPlacement::SingleBank;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_indivisible_cache() {
+        let c = Config { l1_bytes: 1000, ..Config::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn pages_count() {
+        let c = Config::default();
+        assert_eq!(c.pages(), (8u64 << 30) / 4096);
+    }
+}

@@ -1,0 +1,238 @@
+//! Compact binary trace serialization.
+//!
+//! Format (all little-endian):
+//!
+//! ```text
+//! +0  magic  u32  0x53_4D_54_52 ("SMTR")
+//! +4  version u32 = 1
+//! +8  count  u64  number of events
+//! then per event: tag u8, followed by tag-specific fields:
+//!   0 Read   { addr u64, len u32 }
+//!   1 Write  { addr u64, len u32, bytes [len] }
+//!   2 Clwb   { addr u64, len u64 }
+//!   3 Sfence {}
+//!   4 TxnBegin {}
+//!   5 TxnEnd {}
+//! ```
+
+use crate::event::TraceEvent;
+
+/// Format magic ("SMTR").
+pub const MAGIC: u32 = 0x534D_5452;
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Errors surfaced while decoding a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer does not start with the trace magic.
+    BadMagic,
+    /// The format version is unsupported.
+    BadVersion(u32),
+    /// The buffer ended inside an event.
+    Truncated,
+    /// An unknown event tag was encountered.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not a trace: bad magic"),
+            CodecError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            CodecError::Truncated => write!(f, "trace truncated mid-event"),
+            CodecError::BadTag(t) => write!(f, "unknown event tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Serializes a trace.
+pub fn encode(events: &[TraceEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + events.len() * 16);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(events.len() as u64).to_le_bytes());
+    for e in events {
+        match e {
+            TraceEvent::Read { addr, len } => {
+                out.push(0);
+                out.extend_from_slice(&addr.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+            TraceEvent::Write { addr, bytes } => {
+                out.push(1);
+                out.extend_from_slice(&addr.to_le_bytes());
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+            TraceEvent::Clwb { addr, len } => {
+                out.push(2);
+                out.extend_from_slice(&addr.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+            TraceEvent::Sfence => out.push(3),
+            TraceEvent::TxnBegin => out.push(4),
+            TraceEvent::TxnEnd => out.push(5),
+        }
+    }
+    out
+}
+
+/// Deserializes a trace produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] describing the first structural problem.
+pub fn decode(buf: &[u8]) -> Result<Vec<TraceEvent>, CodecError> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], CodecError> {
+        if buf.len() - *pos < n {
+            return Err(CodecError::Truncated);
+        }
+        let s = &buf[*pos..*pos + n];
+        *pos += n;
+        Ok(s)
+    };
+    let rd_u32 =
+        |pos: &mut usize| -> Result<u32, CodecError> { Ok(u32::from_le_bytes(take(pos, 4)?.try_into().unwrap())) };
+    let rd_u64 =
+        |pos: &mut usize| -> Result<u64, CodecError> { Ok(u64::from_le_bytes(take(pos, 8)?.try_into().unwrap())) };
+
+    if rd_u32(&mut pos)? != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = rd_u32(&mut pos)?;
+    if version != VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let count = rd_u64(&mut pos)? as usize;
+    let mut events = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let tag = take(&mut pos, 1)?[0];
+        let event = match tag {
+            0 => TraceEvent::Read {
+                addr: rd_u64(&mut pos)?,
+                len: rd_u32(&mut pos)?,
+            },
+            1 => {
+                let addr = rd_u64(&mut pos)?;
+                let len = rd_u32(&mut pos)? as usize;
+                TraceEvent::Write {
+                    addr,
+                    bytes: take(&mut pos, len)?.to_vec(),
+                }
+            }
+            2 => TraceEvent::Clwb {
+                addr: rd_u64(&mut pos)?,
+                len: rd_u64(&mut pos)?,
+            },
+            3 => TraceEvent::Sfence,
+            4 => TraceEvent::TxnBegin,
+            5 => TraceEvent::TxnEnd,
+            other => return Err(CodecError::BadTag(other)),
+        };
+        events.push(event);
+    }
+    if pos != buf.len() {
+        return Err(CodecError::Truncated); // trailing garbage
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::TxnBegin,
+            TraceEvent::Write {
+                addr: 0x1000,
+                bytes: vec![1, 2, 3, 4, 5],
+            },
+            TraceEvent::Clwb { addr: 0x1000, len: 5 },
+            TraceEvent::Sfence,
+            TraceEvent::Read { addr: 0x1000, len: 5 },
+            TraceEvent::TxnEnd,
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = sample();
+        assert_eq!(decode(&encode(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        assert_eq!(decode(&encode(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = encode(&sample());
+        buf[0] ^= 0xFF;
+        assert_eq!(decode(&buf), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = encode(&sample());
+        buf[4] = 99;
+        assert_eq!(decode(&buf), Err(CodecError::BadVersion(99)));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let buf = encode(&sample());
+        for cut in 1..buf.len() {
+            assert!(
+                decode(&buf[..cut]).is_err(),
+                "decode accepted a truncation at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut buf = encode(&sample());
+        buf.push(0);
+        assert!(decode(&buf).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let mut buf = encode(&[]);
+        // Claim one event, then emit tag 9.
+        buf[8..16].copy_from_slice(&1u64.to_le_bytes());
+        buf.push(9);
+        assert_eq!(decode(&buf), Err(CodecError::BadTag(9)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_event() -> impl Strategy<Value = TraceEvent> {
+        prop_oneof![
+            (any::<u64>(), any::<u32>()).prop_map(|(addr, len)| TraceEvent::Read { addr, len }),
+            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..100))
+                .prop_map(|(addr, bytes)| TraceEvent::Write { addr, bytes }),
+            (any::<u64>(), any::<u64>()).prop_map(|(addr, len)| TraceEvent::Clwb { addr, len }),
+            Just(TraceEvent::Sfence),
+            Just(TraceEvent::TxnBegin),
+            Just(TraceEvent::TxnEnd),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn any_trace_roundtrips(events in proptest::collection::vec(arb_event(), 0..200)) {
+            prop_assert_eq!(decode(&encode(&events)).unwrap(), events);
+        }
+    }
+}

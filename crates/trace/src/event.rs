@@ -1,0 +1,58 @@
+//! Trace events.
+
+/// One recorded memory operation.
+///
+/// Writes carry their payload so a replay reconstructs identical NVM
+/// contents (and identical ciphertexts, given the same key); reads
+/// carry only the length — the data returned at replay time comes from
+/// the replayed memory itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A load of `len` bytes at `addr`.
+    Read {
+        /// Start address.
+        addr: u64,
+        /// Bytes read.
+        len: u32,
+    },
+    /// A store of the contained bytes at `addr`.
+    Write {
+        /// Start address.
+        addr: u64,
+        /// The stored bytes.
+        bytes: Vec<u8>,
+    },
+    /// A `clwb` covering `[addr, addr + len)`.
+    Clwb {
+        /// Start address.
+        addr: u64,
+        /// Range length.
+        len: u64,
+    },
+    /// An `sfence`.
+    Sfence,
+    /// Start of a transaction (latency-measurement marker).
+    TxnBegin,
+    /// Commit completion of a transaction (latency-measurement marker).
+    TxnEnd,
+}
+
+impl TraceEvent {
+    /// True for the marker events that carry no memory semantics.
+    pub fn is_marker(&self) -> bool {
+        matches!(self, TraceEvent::TxnBegin | TraceEvent::TxnEnd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markers_are_markers() {
+        assert!(TraceEvent::TxnBegin.is_marker());
+        assert!(TraceEvent::TxnEnd.is_marker());
+        assert!(!TraceEvent::Sfence.is_marker());
+        assert!(!TraceEvent::Read { addr: 0, len: 1 }.is_marker());
+    }
+}

@@ -1,0 +1,130 @@
+//! Trace recording.
+
+use supermem_persist::PMem;
+
+use crate::event::TraceEvent;
+
+/// A [`PMem`] adapter that records every operation while forwarding it
+/// to the wrapped memory.
+///
+/// # Examples
+///
+/// ```
+/// use supermem_persist::{PMem, VecMem};
+/// use supermem_trace::{TraceEvent, TraceRecorder};
+///
+/// let mut inner = VecMem::new();
+/// let mut rec = TraceRecorder::new(&mut inner);
+/// rec.txn_begin();
+/// rec.write_u64(0x40, 7);
+/// rec.txn_end();
+/// let trace = rec.into_trace();
+/// assert_eq!(trace.first(), Some(&TraceEvent::TxnBegin));
+/// ```
+#[derive(Debug)]
+pub struct TraceRecorder<'m, M: PMem> {
+    inner: &'m mut M,
+    events: Vec<TraceEvent>,
+}
+
+impl<'m, M: PMem> TraceRecorder<'m, M> {
+    /// Wraps `inner`, recording into an empty trace.
+    pub fn new(inner: &'m mut M) -> Self {
+        Self {
+            inner,
+            events: Vec::new(),
+        }
+    }
+
+    /// Marks the start of a transaction.
+    pub fn txn_begin(&mut self) {
+        self.events.push(TraceEvent::TxnBegin);
+    }
+
+    /// Marks the end (commit completion) of a transaction.
+    pub fn txn_end(&mut self) {
+        self.events.push(TraceEvent::TxnEnd);
+    }
+
+    /// Events recorded so far.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Finishes recording and returns the trace.
+    pub fn into_trace(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+impl<M: PMem> PMem for TraceRecorder<'_, M> {
+    fn read(&mut self, addr: u64, buf: &mut [u8]) {
+        self.events.push(TraceEvent::Read {
+            addr,
+            len: buf.len() as u32,
+        });
+        self.inner.read(addr, buf);
+    }
+
+    fn write(&mut self, addr: u64, bytes: &[u8]) {
+        self.events.push(TraceEvent::Write {
+            addr,
+            bytes: bytes.to_vec(),
+        });
+        self.inner.write(addr, bytes);
+    }
+
+    fn clwb(&mut self, addr: u64, len: u64) {
+        self.events.push(TraceEvent::Clwb { addr, len });
+        self.inner.clwb(addr, len);
+    }
+
+    fn sfence(&mut self) {
+        self.events.push(TraceEvent::Sfence);
+        self.inner.sfence();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supermem_persist::VecMem;
+
+    #[test]
+    fn records_and_forwards() {
+        let mut inner = VecMem::new();
+        let mut rec = TraceRecorder::new(&mut inner);
+        rec.write(0x10, &[9, 9]);
+        rec.clwb(0x10, 2);
+        rec.sfence();
+        let mut buf = [0u8; 2];
+        rec.read(0x10, &mut buf);
+        assert_eq!(buf, [9, 9], "operations must pass through");
+        let trace = rec.into_trace();
+        assert_eq!(trace.len(), 4);
+        assert_eq!(
+            trace[0],
+            TraceEvent::Write {
+                addr: 0x10,
+                bytes: vec![9, 9]
+            }
+        );
+        assert_eq!(trace[3], TraceEvent::Read { addr: 0x10, len: 2 });
+        // The inner memory saw everything too.
+        let mut buf = [0u8; 2];
+        inner.read(0x10, &mut buf);
+        assert_eq!(buf, [9, 9]);
+    }
+
+    #[test]
+    fn markers_interleave_with_ops() {
+        let mut inner = VecMem::new();
+        let mut rec = TraceRecorder::new(&mut inner);
+        rec.txn_begin();
+        rec.write(0, &[1]);
+        rec.txn_end();
+        let t = rec.into_trace();
+        assert!(matches!(t[0], TraceEvent::TxnBegin));
+        assert!(matches!(t[2], TraceEvent::TxnEnd));
+    }
+}

@@ -1,0 +1,189 @@
+//! The `array` workload: random element swaps in a flat persistent
+//! array.
+//!
+//! The paper characterizes this workload as having *poor* spatial
+//! locality (random entry swaps, §5.4): each transaction touches two
+//! random positions far apart, so counter-cache hit rates and CWC
+//! merging depend mostly on the log writes.
+
+use supermem_persist::{Arena, PMem, TxnError, TxnManager};
+use supermem_sim::SplitMix64;
+
+/// Persistent array with transactional random swaps.
+///
+/// Each [`ArrayWorkload::step`] swaps two random elements inside one
+/// durable transaction, writing `2 * item_bytes` bytes of data (plus the
+/// undo log), which matches the paper's "transaction request size".
+#[derive(Debug, Clone)]
+pub struct ArrayWorkload {
+    txm: TxnManager,
+    items_base: u64,
+    item_bytes: u64,
+    count: u64,
+    rng: SplitMix64,
+    shadow: Vec<Vec<u8>>,
+}
+
+impl ArrayWorkload {
+    /// Creates and initializes the array inside `[base, base + len)`.
+    ///
+    /// `req_bytes` is the transaction request size: each item is
+    /// `req_bytes / 2` so one swap writes `req_bytes` of data. `count`
+    /// items are materialized and persisted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region cannot hold the log and the items, or if
+    /// `count < 2` or `req_bytes < 16`.
+    pub fn new<M: PMem>(
+        mem: &mut M,
+        base: u64,
+        len: u64,
+        req_bytes: u64,
+        count: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(count >= 2, "need at least two items to swap");
+        assert!(req_bytes >= 16, "request size too small");
+        let item_bytes = (req_bytes / 2).max(8);
+        let mut arena = Arena::new(base, len);
+        let log_base = arena
+            .alloc(2 * req_bytes + 4096, 64)
+            .expect("region too small for log");
+        let items_base = arena
+            .alloc(count * item_bytes, 64)
+            .expect("region too small for items");
+        let mut rng = SplitMix64::new(seed);
+        let mut shadow = Vec::with_capacity(count as usize);
+        for i in 0..count {
+            let mut item = vec![0u8; item_bytes as usize];
+            rng.fill_bytes(&mut item);
+            mem.write(items_base + i * item_bytes, &item);
+            shadow.push(item);
+        }
+        // Make the initial state durable in one sweep.
+        mem.clwb(items_base, count * item_bytes);
+        mem.sfence();
+        Self {
+            txm: TxnManager::new(log_base, 2 * req_bytes + 4096),
+            items_base,
+            item_bytes,
+            count,
+            rng,
+            shadow,
+        }
+    }
+
+    fn addr_of(&self, idx: u64) -> u64 {
+        self.items_base + idx * self.item_bytes
+    }
+
+    /// Number of committed swaps.
+    pub fn committed(&self) -> u64 {
+        self.txm.committed()
+    }
+
+    /// Executes one transactional swap of two random elements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TxnError`] from the commit (log overflow).
+    pub fn step<M: PMem>(&mut self, mem: &mut M) -> Result<(), TxnError> {
+        let i = self.rng.next_below(self.count);
+        let mut j = self.rng.next_below(self.count);
+        if i == j {
+            j = (j + 1) % self.count;
+        }
+        let (addr_i, addr_j) = (self.addr_of(i), self.addr_of(j));
+        let (item_i, item_j) = (
+            self.shadow[i as usize].clone(),
+            self.shadow[j as usize].clone(),
+        );
+        let mut txn = self.txm.begin();
+        txn.write(addr_i, item_j);
+        txn.write(addr_j, item_i);
+        txn.commit(mem)?;
+        self.shadow.swap(i as usize, j as usize);
+        Ok(())
+    }
+
+    /// Verifies the persistent array against the shadow model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatching element.
+    pub fn verify<M: PMem>(&mut self, mem: &mut M) -> Result<(), String> {
+        let mut buf = vec![0u8; self.item_bytes as usize];
+        for i in 0..self.count {
+            mem.read(self.addr_of(i), &mut buf);
+            if buf != self.shadow[i as usize] {
+                return Err(format!("array item {i} diverges from shadow"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supermem_persist::VecMem;
+
+    fn build(mem: &mut VecMem) -> ArrayWorkload {
+        ArrayWorkload::new(mem, 0, 1 << 20, 256, 64, 42)
+    }
+
+    #[test]
+    fn initial_state_verifies() {
+        let mut mem = VecMem::new();
+        let mut w = build(&mut mem);
+        w.verify(&mut mem).unwrap();
+    }
+
+    #[test]
+    fn swaps_preserve_multiset_and_match_shadow() {
+        let mut mem = VecMem::new();
+        let mut w = build(&mut mem);
+        for _ in 0..100 {
+            w.step(&mut mem).unwrap();
+        }
+        assert_eq!(w.committed(), 100);
+        w.verify(&mut mem).unwrap();
+    }
+
+    #[test]
+    fn item_size_is_half_request() {
+        let mut mem = VecMem::new();
+        let w = ArrayWorkload::new(&mut mem, 0, 1 << 20, 1024, 16, 1);
+        assert_eq!(w.item_bytes, 512);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut m1 = VecMem::new();
+        let mut m2 = VecMem::new();
+        let mut w1 = ArrayWorkload::new(&mut m1, 0, 1 << 20, 256, 32, 7);
+        let mut w2 = ArrayWorkload::new(&mut m2, 0, 1 << 20, 256, 32, 7);
+        for _ in 0..20 {
+            w1.step(&mut m1).unwrap();
+            w2.step(&mut m2).unwrap();
+        }
+        assert_eq!(w1.shadow, w2.shadow);
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let mut mem = VecMem::new();
+        let mut w = build(&mut mem);
+        w.step(&mut mem).unwrap();
+        mem.write(w.addr_of(3), &[0xEE; 8]);
+        assert!(w.verify(&mut mem).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "two items")]
+    fn rejects_tiny_array() {
+        let mut mem = VecMem::new();
+        ArrayWorkload::new(&mut mem, 0, 1 << 20, 256, 1, 0);
+    }
+}

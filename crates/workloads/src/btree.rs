@@ -1,0 +1,661 @@
+//! The `B-tree` workload: transactional key-value inserts.
+//!
+//! A CLRS-style B-tree (minimum degree 8: up to 15 keys / 16 children
+//! per node) with values stored out of line as contiguous blobs — the
+//! paper's "a transaction inserts a 1 KB key-value item" scenario
+//! (§3.4.2): value writes flush a run of contiguous cache lines, giving
+//! this workload *good* spatial locality.
+
+use std::collections::BTreeMap;
+
+use supermem_persist::{Arena, PMem, Txn, TxnError, TxnManager};
+use supermem_sim::SplitMix64;
+
+/// Maximum keys per node (2t - 1 with t = 8).
+const MAX_KEYS: usize = 15;
+/// Minimum degree.
+const T: usize = 8;
+/// On-NVM node footprint: meta(8) + keys(120) + vals(120) + children(128),
+/// padded to whole lines.
+const NODE_BYTES: u64 = 384;
+
+/// A decoded B-tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Node {
+    addr: u64,
+    leaf: bool,
+    keys: Vec<u64>,
+    vals: Vec<u64>,
+    children: Vec<u64>,
+}
+
+impl Node {
+    fn new_leaf(addr: u64) -> Self {
+        Self {
+            addr,
+            leaf: true,
+            keys: Vec::new(),
+            vals: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    fn full(&self) -> bool {
+        self.keys.len() == MAX_KEYS
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        debug_assert!(self.keys.len() <= MAX_KEYS);
+        debug_assert_eq!(self.keys.len(), self.vals.len());
+        debug_assert!(self.leaf || self.children.len() == self.keys.len() + 1);
+        let mut out = vec![0u8; NODE_BYTES as usize];
+        let meta = self.keys.len() as u64 | if self.leaf { 1 << 63 } else { 0 };
+        out[..8].copy_from_slice(&meta.to_le_bytes());
+        for (i, k) in self.keys.iter().enumerate() {
+            out[8 + i * 8..16 + i * 8].copy_from_slice(&k.to_le_bytes());
+        }
+        for (i, v) in self.vals.iter().enumerate() {
+            out[128 + i * 8..136 + i * 8].copy_from_slice(&v.to_le_bytes());
+        }
+        for (i, c) in self.children.iter().enumerate() {
+            out[248 + i * 8..256 + i * 8].copy_from_slice(&c.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode(addr: u64, bytes: &[u8]) -> Self {
+        let meta = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+        let leaf = meta >> 63 == 1;
+        let count = (meta & 0xFFFF_FFFF) as usize;
+        let rd = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+        Self {
+            addr,
+            leaf,
+            keys: (0..count).map(|i| rd(8 + i * 8)).collect(),
+            vals: (0..count).map(|i| rd(128 + i * 8)).collect(),
+            children: if leaf {
+                Vec::new()
+            } else {
+                (0..=count).map(|i| rd(248 + i * 8)).collect()
+            },
+        }
+    }
+}
+
+/// Persistent B-tree with transactional inserts and out-of-line values.
+#[derive(Debug, Clone)]
+pub struct BTreeWorkload {
+    txm: TxnManager,
+    arena: Arena,
+    header_base: u64,
+    value_bytes: u64,
+    root: u64,
+    rng: SplitMix64,
+    shadow: BTreeMap<u64, Vec<u8>>,
+    key_space: u64,
+}
+
+impl BTreeWorkload {
+    /// Creates an empty tree in `[base, base + len)` with `req_bytes`
+    /// transaction request size (value blobs of `req_bytes - 8`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is too small or `req_bytes < 16`.
+    pub fn new<M: PMem>(mem: &mut M, base: u64, len: u64, req_bytes: u64, seed: u64) -> Self {
+        assert!(req_bytes >= 16, "request size too small");
+        let mut arena = Arena::new(base, len);
+        let log_bytes = 4 * req_bytes + 8192;
+        let log_base = arena.alloc(log_bytes, 64).expect("region too small for log");
+        let header_base = arena.alloc(64, 64).expect("region too small for header");
+        let root = arena.alloc(NODE_BYTES, 64).expect("region too small for root");
+        let empty = Node::new_leaf(root);
+        mem.write(root, &empty.encode());
+        mem.write_u64(header_base, root);
+        mem.clwb(root, NODE_BYTES);
+        mem.clwb(header_base, 8);
+        mem.sfence();
+        Self {
+            txm: TxnManager::new(log_base, log_bytes),
+            arena,
+            header_base,
+            value_bytes: req_bytes - 8,
+            root,
+            rng: SplitMix64::new(seed),
+            shadow: BTreeMap::new(),
+            key_space: u64::MAX,
+        }
+    }
+
+    /// Restricts keys to `[0, key_space)` (test hook to force duplicate
+    /// keys and deep trees on small key ranges).
+    pub fn with_key_space(mut self, key_space: u64) -> Self {
+        assert!(key_space > 0);
+        self.key_space = key_space;
+        self
+    }
+
+    /// Committed transactions so far.
+    pub fn committed(&self) -> u64 {
+        self.txm.committed()
+    }
+
+    /// Keys currently stored (shadow view).
+    pub fn len(&self) -> usize {
+        self.shadow.len()
+    }
+
+    /// True if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.shadow.is_empty()
+    }
+
+    fn read_node<M: PMem>(txn: &Txn<'_>, mem: &mut M, addr: u64) -> Node {
+        let mut buf = vec![0u8; NODE_BYTES as usize];
+        txn.read(mem, addr, &mut buf);
+        Node::decode(addr, &buf)
+    }
+
+    fn stage_node(txn: &mut Txn<'_>, node: &Node) {
+        txn.write(node.addr, node.encode());
+    }
+
+    /// Splits full child `i` of `parent`, staging all three nodes.
+    fn split_child<M: PMem>(
+        arena: &mut Arena,
+        txn: &mut Txn<'_>,
+        mem: &mut M,
+        parent: &mut Node,
+        i: usize,
+    ) {
+        let mut child = Self::read_node(txn, mem, parent.children[i]);
+        debug_assert!(child.full());
+        let right_addr = arena.alloc(NODE_BYTES, 64).expect("node space exhausted");
+        let right = Node {
+            addr: right_addr,
+            leaf: child.leaf,
+            keys: child.keys.split_off(T),
+            vals: child.vals.split_off(T),
+            children: if child.leaf {
+                Vec::new()
+            } else {
+                child.children.split_off(T)
+            },
+        };
+        let median_key = child.keys.pop().expect("median key");
+        let median_val = child.vals.pop().expect("median val");
+        parent.keys.insert(i, median_key);
+        parent.vals.insert(i, median_val);
+        parent.children.insert(i + 1, right_addr);
+        Self::stage_node(txn, &child);
+        Self::stage_node(txn, &right);
+        Self::stage_node(txn, parent);
+    }
+
+    /// Inserts one random key/value pair in a durable transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TxnError`] from the commit.
+    pub fn step<M: PMem>(&mut self, mem: &mut M) -> Result<(), TxnError> {
+        let key = self.rng.next_below(self.key_space);
+        let mut value = vec![0u8; self.value_bytes as usize];
+        self.rng.fill_bytes(&mut value);
+        self.insert(mem, key, value)
+    }
+
+    /// Inserts a specific key/value pair (tests drive this directly).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TxnError`] from the commit.
+    pub fn insert<M: PMem>(&mut self, mem: &mut M, key: u64, value: Vec<u8>) -> Result<(), TxnError> {
+        let saved_root = self.root;
+        let header_base = self.header_base;
+        let arena = &mut self.arena;
+        let mut txn = self.txm.begin();
+
+        // Value blob: [len u64][bytes], contiguous.
+        let vaddr = arena
+            .alloc(8 + value.len() as u64, 8)
+            .expect("value space exhausted");
+        let mut blob = Vec::with_capacity(8 + value.len());
+        blob.extend_from_slice(&(value.len() as u64).to_le_bytes());
+        blob.extend_from_slice(&value);
+        txn.write(vaddr, blob);
+
+        let root_node = Self::read_node(&txn, mem, saved_root);
+        let mut new_root_ptr = saved_root;
+        let mut cur = if root_node.full() {
+            let new_root_addr = arena.alloc(NODE_BYTES, 64).expect("node space exhausted");
+            let mut new_root = Node {
+                addr: new_root_addr,
+                leaf: false,
+                keys: Vec::new(),
+                vals: Vec::new(),
+                children: vec![saved_root],
+            };
+            Self::split_child(arena, &mut txn, mem, &mut new_root, 0);
+            new_root_ptr = new_root_addr;
+            txn.write(header_base, new_root_addr.to_le_bytes().to_vec());
+            new_root_addr
+        } else {
+            saved_root
+        };
+
+        loop {
+            let mut node = Self::read_node(&txn, mem, cur);
+            match node.keys.binary_search(&key) {
+                Ok(pos) => {
+                    // Update in place: point the slot at the new blob.
+                    node.vals[pos] = vaddr;
+                    Self::stage_node(&mut txn, &node);
+                    break;
+                }
+                Err(pos) => {
+                    if node.leaf {
+                        node.keys.insert(pos, key);
+                        node.vals.insert(pos, vaddr);
+                        Self::stage_node(&mut txn, &node);
+                        break;
+                    }
+                    let child = Self::read_node(&txn, mem, node.children[pos]);
+                    let mut i = pos;
+                    if child.full() {
+                        Self::split_child(arena, &mut txn, mem, &mut node, i);
+                        match key.cmp(&node.keys[i]) {
+                            std::cmp::Ordering::Equal => {
+                                node.vals[i] = vaddr;
+                                Self::stage_node(&mut txn, &node);
+                                break;
+                            }
+                            std::cmp::Ordering::Greater => i += 1,
+                            std::cmp::Ordering::Less => {}
+                        }
+                    }
+                    cur = node.children[i];
+                }
+            }
+        }
+
+        match txn.commit(mem) {
+            Ok(()) => {
+                self.root = new_root_ptr;
+                self.shadow.insert(key, value);
+                Ok(())
+            }
+            Err(e) => Err(e), // txn abandoned; volatile root unchanged
+        }
+    }
+
+    /// Looks up `key` by walking the tree through plain memory reads
+    /// (no transaction). Returns the value bytes if present.
+    ///
+    /// This is the read path of the KV-store scenario: tree traversal
+    /// plus a contiguous value-blob read, all decrypting through the
+    /// counter-mode engine with OTP generation overlapped (paper
+    /// Figure 2b).
+    pub fn get<M: PMem>(&self, mem: &mut M, key: u64) -> Option<Vec<u8>> {
+        let mut cur = self.root;
+        for _ in 0..64 {
+            let mut buf = vec![0u8; NODE_BYTES as usize];
+            mem.read(cur, &mut buf);
+            let node = Node::decode(cur, &buf);
+            match node.keys.binary_search(&key) {
+                Ok(pos) => {
+                    let vaddr = node.vals[pos];
+                    let len = mem.read_u64(vaddr) as usize;
+                    let mut value = vec![0u8; len];
+                    mem.read(vaddr + 8, &mut value);
+                    return Some(value);
+                }
+                Err(pos) => {
+                    if node.leaf {
+                        return None;
+                    }
+                    cur = node.children[pos];
+                }
+            }
+        }
+        None
+    }
+
+    /// Verifies B-tree invariants and full content against the shadow.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant or content
+    /// divergence.
+    pub fn verify<M: PMem>(&mut self, mem: &mut M) -> Result<(), String> {
+        let root = mem.read_u64(self.header_base);
+        if root != self.root {
+            return Err("persistent root pointer diverges from volatile".into());
+        }
+        let mut collected = BTreeMap::new();
+        let mut leaf_depths = Vec::new();
+        self.walk(mem, root, u64::MIN, u64::MAX, 0, &mut collected, &mut leaf_depths)?;
+        leaf_depths.dedup();
+        if leaf_depths.len() > 1 {
+            return Err(format!("uneven leaf depths: {leaf_depths:?}"));
+        }
+        if collected.len() != self.shadow.len() {
+            return Err(format!(
+                "key count diverges: tree {} vs shadow {}",
+                collected.len(),
+                self.shadow.len()
+            ));
+        }
+        for (k, vaddr) in &collected {
+            let expected = &self.shadow[k];
+            let len = mem.read_u64(*vaddr) as usize;
+            if len != expected.len() {
+                return Err(format!("value length diverges for key {k}"));
+            }
+            let mut buf = vec![0u8; len];
+            mem.read(vaddr + 8, &mut buf);
+            if &buf != expected {
+                return Err(format!("value bytes diverge for key {k}"));
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk<M: PMem>(
+        &self,
+        mem: &mut M,
+        addr: u64,
+        lo: u64,
+        hi: u64,
+        depth: usize,
+        out: &mut BTreeMap<u64, u64>,
+        leaf_depths: &mut Vec<usize>,
+    ) -> Result<(), String> {
+        if depth > 64 {
+            return Err("tree too deep: cycle suspected".into());
+        }
+        let mut buf = vec![0u8; NODE_BYTES as usize];
+        mem.read(addr, &mut buf);
+        let node = Node::decode(addr, &buf);
+        if node.keys.len() > MAX_KEYS {
+            return Err(format!("node {addr:#x} overfull"));
+        }
+        // (A non-root node should hold >= T-1 keys; underflow cannot
+        // happen on an insert-only tree, so it is not checked here.)
+        let mut prev = None;
+        for &k in &node.keys {
+            if k < lo || k >= hi {
+                return Err(format!("key {k} violates separator bounds at {addr:#x}"));
+            }
+            if prev.is_some_and(|p| p >= k) {
+                return Err(format!("unsorted keys in node {addr:#x}"));
+            }
+            prev = Some(k);
+        }
+        if node.leaf {
+            leaf_depths.push(depth);
+            for (i, &k) in node.keys.iter().enumerate() {
+                out.insert(k, node.vals[i]);
+            }
+        } else {
+            if node.children.len() != node.keys.len() + 1 {
+                return Err(format!("child count mismatch in node {addr:#x}"));
+            }
+            for (i, &child) in node.children.iter().enumerate() {
+                let clo = if i == 0 { lo } else { node.keys[i - 1] + 1 };
+                let chi = if i == node.keys.len() { hi } else { node.keys[i] };
+                self.walk(mem, child, clo, chi, depth + 1, out, leaf_depths)?;
+            }
+            for (i, &k) in node.keys.iter().enumerate() {
+                out.insert(k, node.vals[i]);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validates a B-tree's persistent image without a shadow model (used on
+/// post-crash recovered memory): recomputes the layout from the
+/// construction parameters, walks the tree from the durable root
+/// pointer, and checks every structural invariant (key bounds, sorted
+/// order, uniform leaf depth, sane child counts, readable value blobs).
+///
+/// Returns the number of keys reachable on success.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn check_recovered<M: PMem>(mem: &mut M, base: u64, req_bytes: u64) -> Result<usize, String> {
+    // Mirror of `BTreeWorkload::new`'s arena layout.
+    let log_bytes = 4 * req_bytes + 8192;
+    let header_base = base + log_bytes;
+    let root = mem.read_u64(header_base);
+    if root == 0 {
+        return Err("null root pointer".into());
+    }
+    let mut keys = 0usize;
+    let mut leaf_depths = Vec::new();
+    walk_recovered(mem, root, u64::MIN, u64::MAX, 0, &mut keys, &mut leaf_depths)?;
+    leaf_depths.dedup();
+    if leaf_depths.len() > 1 {
+        return Err(format!("uneven leaf depths: {leaf_depths:?}"));
+    }
+    Ok(keys)
+}
+
+fn walk_recovered<M: PMem>(
+    mem: &mut M,
+    addr: u64,
+    lo: u64,
+    hi: u64,
+    depth: usize,
+    keys: &mut usize,
+    leaf_depths: &mut Vec<usize>,
+) -> Result<(), String> {
+    if depth > 64 {
+        return Err("tree too deep: cycle or garbage pointer".into());
+    }
+    let mut buf = vec![0u8; NODE_BYTES as usize];
+    mem.read(addr, &mut buf);
+    let node = Node::decode(addr, &buf);
+    if node.keys.len() > MAX_KEYS {
+        return Err(format!("node {addr:#x} overfull ({} keys)", node.keys.len()));
+    }
+    let mut prev = None;
+    for &k in &node.keys {
+        if k < lo || k >= hi {
+            return Err(format!("key {k} out of separator bounds at {addr:#x}"));
+        }
+        if prev.is_some_and(|p| p >= k) {
+            return Err(format!("unsorted keys in node {addr:#x}"));
+        }
+        prev = Some(k);
+    }
+    // Value blobs must carry plausible lengths.
+    for &vaddr in &node.vals {
+        let len = mem.read_u64(vaddr);
+        if len > 1 << 20 {
+            return Err(format!("implausible value length {len} at blob {vaddr:#x}"));
+        }
+    }
+    *keys += node.keys.len();
+    if node.leaf {
+        leaf_depths.push(depth);
+    } else {
+        if node.children.len() != node.keys.len() + 1 {
+            return Err(format!("child count mismatch in node {addr:#x}"));
+        }
+        for (i, &child) in node.children.iter().enumerate() {
+            let clo = if i == 0 { lo } else { node.keys[i - 1] + 1 };
+            let chi = if i == node.keys.len() { hi } else { node.keys[i] };
+            walk_recovered(mem, child, clo, chi, depth + 1, keys, leaf_depths)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supermem_persist::VecMem;
+
+    fn build(mem: &mut VecMem) -> BTreeWorkload {
+        BTreeWorkload::new(mem, 0, 1 << 24, 128, 77)
+    }
+
+    #[test]
+    fn empty_tree_verifies() {
+        let mut mem = VecMem::new();
+        let mut t = build(&mut mem);
+        t.verify(&mut mem).unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn sequential_inserts() {
+        let mut mem = VecMem::new();
+        let mut t = build(&mut mem);
+        for k in 0..200u64 {
+            t.insert(&mut mem, k, vec![k as u8; 32]).unwrap();
+        }
+        t.verify(&mut mem).unwrap();
+        assert_eq!(t.len(), 200);
+    }
+
+    #[test]
+    fn reverse_inserts() {
+        let mut mem = VecMem::new();
+        let mut t = build(&mut mem);
+        for k in (0..200u64).rev() {
+            t.insert(&mut mem, k, vec![k as u8; 16]).unwrap();
+        }
+        t.verify(&mut mem).unwrap();
+    }
+
+    #[test]
+    fn random_steps_match_shadow() {
+        let mut mem = VecMem::new();
+        let mut t = build(&mut mem);
+        for _ in 0..300 {
+            t.step(&mut mem).unwrap();
+        }
+        t.verify(&mut mem).unwrap();
+        assert_eq!(t.committed(), 300);
+    }
+
+    #[test]
+    fn get_walks_the_tree() {
+        let mut mem = VecMem::new();
+        let mut t = build(&mut mem);
+        for k in 0..300u64 {
+            t.insert(&mut mem, k * 3, vec![k as u8; 24]).unwrap();
+        }
+        assert_eq!(t.get(&mut mem, 150), Some(vec![50u8; 24]));
+        assert_eq!(t.get(&mut mem, 151), None);
+        assert_eq!(t.get(&mut mem, 0), Some(vec![0u8; 24]));
+        assert_eq!(t.get(&mut mem, 897), Some(vec![43u8; 24]));
+    }
+
+    #[test]
+    fn duplicate_keys_update_value() {
+        let mut mem = VecMem::new();
+        let mut t = build(&mut mem);
+        t.insert(&mut mem, 42, vec![1; 16]).unwrap();
+        t.insert(&mut mem, 42, vec![2; 24]).unwrap();
+        t.verify(&mut mem).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.shadow[&42], vec![2; 24]);
+    }
+
+    #[test]
+    fn small_key_space_forces_updates_and_splits() {
+        let mut mem = VecMem::new();
+        let mut t = build(&mut mem).with_key_space(64);
+        for _ in 0..500 {
+            t.step(&mut mem).unwrap();
+        }
+        t.verify(&mut mem).unwrap();
+        assert!(t.len() <= 64);
+    }
+
+    #[test]
+    fn check_recovered_counts_keys() {
+        let mut mem = VecMem::new();
+        let mut t = build(&mut mem);
+        for k in 0..150u64 {
+            t.insert(&mut mem, k, vec![k as u8; 16]).unwrap();
+        }
+        assert_eq!(check_recovered(&mut mem, 0, 128).unwrap(), 150);
+    }
+
+    #[test]
+    fn check_recovered_rejects_corrupted_root() {
+        let mut mem = VecMem::new();
+        let mut t = build(&mut mem);
+        for k in 0..50u64 {
+            t.insert(&mut mem, k, vec![1; 8]).unwrap();
+        }
+        // Smash the root's key area.
+        let root = mem.read_u64(t.header_base);
+        mem.write(root + 8, &[0xFF; 32]);
+        assert!(check_recovered(&mut mem, 0, 128).is_err());
+    }
+
+    #[test]
+    fn node_encode_decode_roundtrip() {
+        let node = Node {
+            addr: 0x1000,
+            leaf: false,
+            keys: vec![5, 10, 20],
+            vals: vec![100, 200, 300],
+            children: vec![1, 2, 3, 4],
+        };
+        assert_eq!(Node::decode(0x1000, &node.encode()), node);
+        let leaf = Node {
+            addr: 0x2000,
+            leaf: true,
+            keys: vec![7],
+            vals: vec![70],
+            children: vec![],
+        };
+        assert_eq!(Node::decode(0x2000, &leaf.encode()), leaf);
+    }
+
+    #[test]
+    fn grows_multiple_levels() {
+        let mut mem = VecMem::new();
+        let mut t = build(&mut mem);
+        // 15 keys/node: ~1000 inserts forces >= 3 levels.
+        for k in 0..1000u64 {
+            t.insert(&mut mem, k * 2, vec![0xAB; 8]).unwrap();
+        }
+        t.verify(&mut mem).unwrap();
+        // Root must be internal by now.
+        let root = mem.read_u64(t.header_base);
+        let mut buf = vec![0u8; NODE_BYTES as usize];
+        mem.read(root, &mut buf);
+        assert!(!Node::decode(root, &buf).leaf);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use supermem_persist::VecMem;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn arbitrary_insert_sequences_keep_invariants(
+            keys in proptest::collection::vec(0u64..512, 1..150)
+        ) {
+            let mut mem = VecMem::new();
+            let mut t = BTreeWorkload::new(&mut mem, 0, 1 << 24, 64, 0);
+            for (i, k) in keys.iter().enumerate() {
+                t.insert(&mut mem, *k, vec![i as u8; 8]).unwrap();
+            }
+            prop_assert!(t.verify(&mut mem).is_ok());
+        }
+    }
+}

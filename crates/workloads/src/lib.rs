@@ -1,0 +1,51 @@
+//! The paper's five micro-benchmark workloads (§4, Table 2 context).
+//!
+//! Each workload is a *real* persistent data structure living entirely in
+//! simulated NVM behind the [`supermem_persist::PMem`] interface, mutated
+//! through durable undo-log transactions:
+//!
+//! | Workload | Structure | Access pattern (spatial locality) |
+//! |----------|-----------|-----------------------------------|
+//! | `array`  | flat array | random element swaps (poor) |
+//! | `queue`  | ring buffer | enqueue/dequeue at ends (good) |
+//! | `btree`  | B-tree, out-of-line values | contiguous value writes (good) |
+//! | `hash`   | bucketed hash table | random buckets (poor) |
+//! | `rbtree` | red-black tree, one item per node | random nodes (poor) |
+//!
+//! Every workload keeps a volatile *shadow model* (a plain Rust
+//! collection) and can [`verify`](AnyWorkload::verify) the persistent
+//! state against it — which is also how the crash experiments decide
+//! whether a recovered image is consistent.
+//!
+//! # Examples
+//!
+//! ```
+//! use supermem_persist::VecMem;
+//! use supermem_workloads::{AnyWorkload, WorkloadKind, WorkloadSpec};
+//!
+//! let spec = WorkloadSpec::new(WorkloadKind::Queue).with_txns(10);
+//! let mut mem = VecMem::new();
+//! let mut w = AnyWorkload::build(&spec, &mut mem);
+//! for _ in 0..spec.txns {
+//!     w.step(&mut mem).unwrap();
+//! }
+//! w.verify(&mut mem).unwrap();
+//! ```
+#![warn(missing_docs)]
+
+
+pub mod array;
+pub mod btree;
+pub mod hashtable;
+pub mod queue;
+pub mod rbtree;
+pub mod spec;
+pub mod ycsb;
+
+pub use array::ArrayWorkload;
+pub use btree::BTreeWorkload;
+pub use hashtable::HashTableWorkload;
+pub use queue::QueueWorkload;
+pub use rbtree::RbTreeWorkload;
+pub use spec::{AnyWorkload, WorkloadKind, WorkloadSpec};
+pub use ycsb::YcsbWorkload;

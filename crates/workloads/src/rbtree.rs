@@ -1,0 +1,633 @@
+//! The `RB-tree` workload: transactional inserts into a red-black tree.
+//!
+//! One key-value item per node (the paper's "structure of one item per
+//! node", §5.4): every insert touches a handful of scattered nodes
+//! (path + rotations), giving this workload *poor* spatial locality.
+
+use std::collections::{BTreeMap, HashMap};
+
+use supermem_persist::{Arena, PMem, TxnError, TxnManager};
+use supermem_sim::SplitMix64;
+
+/// Null node address (the NIL sentinel).
+const NIL: u64 = 0;
+
+/// Bytes of node metadata preceding the inline value:
+/// key(8) left(8) right(8) parent(8) color(8).
+const NODE_HEADER: u64 = 40;
+
+/// A decoded node header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RbNode {
+    key: u64,
+    left: u64,
+    right: u64,
+    parent: u64,
+    red: bool,
+}
+
+impl RbNode {
+    fn encode(&self) -> [u8; NODE_HEADER as usize] {
+        let mut out = [0u8; NODE_HEADER as usize];
+        out[..8].copy_from_slice(&self.key.to_le_bytes());
+        out[8..16].copy_from_slice(&self.left.to_le_bytes());
+        out[16..24].copy_from_slice(&self.right.to_le_bytes());
+        out[24..32].copy_from_slice(&self.parent.to_le_bytes());
+        out[32..40].copy_from_slice(&(self.red as u64).to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Self {
+        let rd = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+        Self {
+            key: rd(0),
+            left: rd(8),
+            right: rd(16),
+            parent: rd(24),
+            red: rd(32) != 0,
+        }
+    }
+}
+
+/// Volatile working set of one insert: node headers read and mutated
+/// before being staged into the transaction exactly once each.
+struct Ctx<'m, M: PMem> {
+    mem: &'m mut M,
+    cache: HashMap<u64, RbNode>,
+    dirty: Vec<u64>,
+    root: u64,
+}
+
+impl<M: PMem> Ctx<'_, M> {
+    fn node(&mut self, addr: u64) -> RbNode {
+        debug_assert_ne!(addr, NIL, "NIL dereference");
+        if let Some(n) = self.cache.get(&addr) {
+            return *n;
+        }
+        let mut buf = [0u8; NODE_HEADER as usize];
+        self.mem.read(addr, &mut buf);
+        let n = RbNode::decode(&buf);
+        self.cache.insert(addr, n);
+        n
+    }
+
+    fn update(&mut self, addr: u64, f: impl FnOnce(&mut RbNode)) {
+        let mut n = self.node(addr);
+        f(&mut n);
+        self.cache.insert(addr, n);
+        if !self.dirty.contains(&addr) {
+            self.dirty.push(addr);
+        }
+    }
+
+    fn is_red(&mut self, addr: u64) -> bool {
+        addr != NIL && self.node(addr).red
+    }
+
+    fn rotate_left(&mut self, x: u64) {
+        let y = self.node(x).right;
+        debug_assert_ne!(y, NIL, "rotate_left needs a right child");
+        let y_left = self.node(y).left;
+        self.update(x, |n| n.right = y_left);
+        if y_left != NIL {
+            self.update(y_left, |n| n.parent = x);
+        }
+        let x_parent = self.node(x).parent;
+        self.update(y, |n| n.parent = x_parent);
+        if x_parent == NIL {
+            self.root = y;
+        } else if self.node(x_parent).left == x {
+            self.update(x_parent, |n| n.left = y);
+        } else {
+            self.update(x_parent, |n| n.right = y);
+        }
+        self.update(y, |n| n.left = x);
+        self.update(x, |n| n.parent = y);
+    }
+
+    fn rotate_right(&mut self, x: u64) {
+        let y = self.node(x).left;
+        debug_assert_ne!(y, NIL, "rotate_right needs a left child");
+        let y_right = self.node(y).right;
+        self.update(x, |n| n.left = y_right);
+        if y_right != NIL {
+            self.update(y_right, |n| n.parent = x);
+        }
+        let x_parent = self.node(x).parent;
+        self.update(y, |n| n.parent = x_parent);
+        if x_parent == NIL {
+            self.root = y;
+        } else if self.node(x_parent).right == x {
+            self.update(x_parent, |n| n.right = y);
+        } else {
+            self.update(x_parent, |n| n.left = y);
+        }
+        self.update(y, |n| n.right = x);
+        self.update(x, |n| n.parent = y);
+    }
+
+    /// CLRS RB-INSERT-FIXUP from the freshly inserted red node `z`.
+    fn fixup(&mut self, mut z: u64) {
+        loop {
+            let p = self.node(z).parent;
+            if p == NIL || !self.is_red(p) {
+                break;
+            }
+            let g = self.node(p).parent;
+            debug_assert_ne!(g, NIL, "red parent must have a grandparent");
+            if self.node(g).left == p {
+                let uncle = self.node(g).right;
+                if self.is_red(uncle) {
+                    self.update(p, |n| n.red = false);
+                    self.update(uncle, |n| n.red = false);
+                    self.update(g, |n| n.red = true);
+                    z = g;
+                } else {
+                    if self.node(p).right == z {
+                        z = p;
+                        self.rotate_left(z);
+                    }
+                    let p = self.node(z).parent;
+                    let g = self.node(p).parent;
+                    self.update(p, |n| n.red = false);
+                    self.update(g, |n| n.red = true);
+                    self.rotate_right(g);
+                }
+            } else {
+                let uncle = self.node(g).left;
+                if self.is_red(uncle) {
+                    self.update(p, |n| n.red = false);
+                    self.update(uncle, |n| n.red = false);
+                    self.update(g, |n| n.red = true);
+                    z = g;
+                } else {
+                    if self.node(p).left == z {
+                        z = p;
+                        self.rotate_right(z);
+                    }
+                    let p = self.node(z).parent;
+                    let g = self.node(p).parent;
+                    self.update(p, |n| n.red = false);
+                    self.update(g, |n| n.red = true);
+                    self.rotate_left(g);
+                }
+            }
+        }
+        let root = self.root;
+        if self.is_red(root) {
+            self.update(root, |n| n.red = false);
+        }
+    }
+}
+
+/// Persistent red-black tree with transactional inserts.
+#[derive(Debug, Clone)]
+pub struct RbTreeWorkload {
+    txm: TxnManager,
+    arena: Arena,
+    header_base: u64,
+    node_bytes: u64,
+    value_bytes: u64,
+    root: u64,
+    rng: SplitMix64,
+    shadow: BTreeMap<u64, Vec<u8>>,
+    addr_of: HashMap<u64, u64>,
+    key_space: u64,
+}
+
+impl RbTreeWorkload {
+    /// Creates an empty tree in `[base, base + len)` with `req_bytes`
+    /// transaction request size (inline values of `req_bytes - 40`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is too small or `req_bytes <= 40`.
+    pub fn new<M: PMem>(mem: &mut M, base: u64, len: u64, req_bytes: u64, seed: u64) -> Self {
+        assert!(req_bytes > NODE_HEADER, "request must exceed node header");
+        let value_bytes = req_bytes - NODE_HEADER;
+        let node_bytes = (NODE_HEADER + value_bytes + 63) & !63;
+        let mut arena = Arena::new(base, len);
+        let log_bytes = 4 * req_bytes + 8192;
+        let log_base = arena.alloc(log_bytes, 64).expect("region too small for log");
+        let header_base = arena.alloc(64, 64).expect("region too small for header");
+        mem.write_u64(header_base, NIL);
+        mem.clwb(header_base, 8);
+        mem.sfence();
+        Self {
+            txm: TxnManager::new(log_base, log_bytes),
+            arena,
+            header_base,
+            node_bytes,
+            value_bytes,
+            root: NIL,
+            rng: SplitMix64::new(seed),
+            shadow: BTreeMap::new(),
+            addr_of: HashMap::new(),
+            key_space: u64::MAX / 2,
+        }
+    }
+
+    /// Restricts keys to `[0, key_space)` (test hook).
+    pub fn with_key_space(mut self, key_space: u64) -> Self {
+        assert!(key_space > 0);
+        self.key_space = key_space;
+        self
+    }
+
+    /// Committed transactions so far.
+    pub fn committed(&self) -> u64 {
+        self.txm.committed()
+    }
+
+    /// Keys currently stored.
+    pub fn len(&self) -> usize {
+        self.shadow.len()
+    }
+
+    /// True if the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shadow.is_empty()
+    }
+
+    /// Inserts one random key/value pair in a durable transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TxnError`] from the commit.
+    pub fn step<M: PMem>(&mut self, mem: &mut M) -> Result<(), TxnError> {
+        let key = self.rng.next_below(self.key_space);
+        let mut value = vec![0u8; self.value_bytes as usize];
+        self.rng.fill_bytes(&mut value);
+        self.insert(mem, key, value)
+    }
+
+    /// Inserts a specific key/value pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TxnError`] from the commit.
+    pub fn insert<M: PMem>(&mut self, mem: &mut M, key: u64, value: Vec<u8>) -> Result<(), TxnError> {
+        assert!(
+            value.len() as u64 <= self.value_bytes,
+            "value exceeds the node's inline capacity"
+        );
+        // Duplicate key: update the value in place, no structural change.
+        if let Some(&addr) = self.addr_of.get(&key) {
+            let mut txn = self.txm.begin();
+            txn.write(addr + NODE_HEADER, value.clone());
+            txn.commit(mem)?;
+            self.shadow.insert(key, value);
+            return Ok(());
+        }
+
+        let new_addr = self.arena.alloc(self.node_bytes, 64).expect("node space exhausted");
+        let mut ctx = Ctx {
+            mem,
+            cache: HashMap::new(),
+            dirty: Vec::new(),
+            root: self.root,
+        };
+        // BST descent.
+        let mut parent = NIL;
+        let mut cur = ctx.root;
+        while cur != NIL {
+            parent = cur;
+            let n = ctx.node(cur);
+            cur = if key < n.key { n.left } else { n.right };
+        }
+        ctx.cache.insert(
+            new_addr,
+            RbNode {
+                key,
+                left: NIL,
+                right: NIL,
+                parent,
+                red: true,
+            },
+        );
+        ctx.dirty.push(new_addr);
+        if parent == NIL {
+            ctx.root = new_addr;
+        } else if key < ctx.node(parent).key {
+            ctx.update(parent, |n| n.left = new_addr);
+        } else {
+            ctx.update(parent, |n| n.right = new_addr);
+        }
+        ctx.fixup(new_addr);
+
+        // Stage every touched node header once, the new value, and the
+        // root pointer; then commit durably.
+        let Ctx {
+            cache,
+            dirty,
+            root: new_root,
+            ..
+        } = ctx;
+        let mut txn = self.txm.begin();
+        for addr in dirty {
+            txn.write(addr, cache[&addr].encode().to_vec());
+        }
+        txn.write(new_addr + NODE_HEADER, value.clone());
+        if new_root != self.root {
+            txn.write(self.header_base, new_root.to_le_bytes().to_vec());
+        }
+        let saved_root = self.root;
+        self.root = new_root;
+        match txn.commit(mem) {
+            Ok(()) => {
+                self.shadow.insert(key, value);
+                self.addr_of.insert(key, new_addr);
+                Ok(())
+            }
+            Err(e) => {
+                self.root = saved_root;
+                Err(e)
+            }
+        }
+    }
+
+    /// Verifies red-black invariants (BST order, no red-red edge,
+    /// uniform black height, parent-pointer integrity) and content
+    /// against the shadow.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation.
+    pub fn verify<M: PMem>(&mut self, mem: &mut M) -> Result<(), String> {
+        let root = mem.read_u64(self.header_base);
+        if root != self.root {
+            return Err("persistent root diverges from volatile".into());
+        }
+        let mut collected = BTreeMap::new();
+        if root != NIL {
+            let mut buf = [0u8; NODE_HEADER as usize];
+            mem.read(root, &mut buf);
+            if RbNode::decode(&buf).red {
+                return Err("root is red".into());
+            }
+            self.check(mem, root, NIL, None, None, 0, &mut collected)?;
+        }
+        if collected.len() != self.shadow.len() {
+            return Err(format!(
+                "key count diverges: tree {} vs shadow {}",
+                collected.len(),
+                self.shadow.len()
+            ));
+        }
+        for (k, addr) in &collected {
+            let expected = &self.shadow[k];
+            let mut buf = vec![0u8; expected.len()];
+            mem.read(addr + NODE_HEADER, &mut buf);
+            if &buf != expected {
+                return Err(format!("value diverges for key {k}"));
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check<M: PMem>(
+        &self,
+        mem: &mut M,
+        addr: u64,
+        expect_parent: u64,
+        lo: Option<u64>,
+        hi: Option<u64>,
+        depth: usize,
+        out: &mut BTreeMap<u64, u64>,
+    ) -> Result<usize, String> {
+        if addr == NIL {
+            return Ok(1); // NIL counts one black
+        }
+        if depth > 128 {
+            return Err("tree too deep: cycle suspected".into());
+        }
+        let mut buf = [0u8; NODE_HEADER as usize];
+        mem.read(addr, &mut buf);
+        let n = RbNode::decode(&buf);
+        if n.parent != expect_parent {
+            return Err(format!("parent pointer wrong at node {addr:#x}"));
+        }
+        if lo.is_some_and(|l| n.key < l) || hi.is_some_and(|h| n.key >= h) {
+            return Err(format!("BST order violated at key {}", n.key));
+        }
+        if n.red {
+            for child in [n.left, n.right] {
+                if child != NIL {
+                    let mut cb = [0u8; NODE_HEADER as usize];
+                    mem.read(child, &mut cb);
+                    if RbNode::decode(&cb).red {
+                        return Err(format!("red-red edge at key {}", n.key));
+                    }
+                }
+            }
+        }
+        out.insert(n.key, addr);
+        let lb = self.check(mem, n.left, addr, lo, Some(n.key), depth + 1, out)?;
+        let rb = self.check(mem, n.right, addr, Some(n.key + 1), hi, depth + 1, out)?;
+        if lb != rb {
+            return Err(format!("black height mismatch under key {}", n.key));
+        }
+        Ok(lb + usize::from(!n.red))
+    }
+}
+
+/// Validates a red-black tree's persistent image without a shadow model
+/// (used on post-crash recovered memory): recomputes the layout, walks
+/// from the durable root, and checks BST order, the no-red-red rule,
+/// uniform black height, and parent-pointer integrity.
+///
+/// Returns the number of reachable keys on success.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn check_recovered<M: PMem>(mem: &mut M, base: u64, req_bytes: u64) -> Result<usize, String> {
+    // Mirror of `RbTreeWorkload::new`'s arena layout.
+    let log_bytes = 4 * req_bytes + 8192;
+    let header_base = base + log_bytes;
+    let root = mem.read_u64(header_base);
+    if root == NIL {
+        return Ok(0);
+    }
+    let mut buf = [0u8; NODE_HEADER as usize];
+    mem.read(root, &mut buf);
+    if RbNode::decode(&buf).red {
+        return Err("root is red".into());
+    }
+    let mut count = 0usize;
+    check_recovered_node(mem, root, NIL, None, None, 0, &mut count)?;
+    Ok(count)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_recovered_node<M: PMem>(
+    mem: &mut M,
+    addr: u64,
+    expect_parent: u64,
+    lo: Option<u64>,
+    hi: Option<u64>,
+    depth: usize,
+    count: &mut usize,
+) -> Result<usize, String> {
+    if addr == NIL {
+        return Ok(1);
+    }
+    if depth > 128 {
+        return Err("tree too deep: cycle or garbage pointer".into());
+    }
+    let mut buf = [0u8; NODE_HEADER as usize];
+    mem.read(addr, &mut buf);
+    let n = RbNode::decode(&buf);
+    if n.parent != expect_parent {
+        return Err(format!("parent pointer wrong at node {addr:#x}"));
+    }
+    if lo.is_some_and(|l| n.key < l) || hi.is_some_and(|h| n.key >= h) {
+        return Err(format!("BST order violated at key {}", n.key));
+    }
+    if n.red {
+        for child in [n.left, n.right] {
+            if child != NIL {
+                let mut cb = [0u8; NODE_HEADER as usize];
+                mem.read(child, &mut cb);
+                if RbNode::decode(&cb).red {
+                    return Err(format!("red-red edge at key {}", n.key));
+                }
+            }
+        }
+    }
+    *count += 1;
+    let lb = check_recovered_node(mem, n.left, addr, lo, Some(n.key), depth + 1, count)?;
+    let rb = check_recovered_node(mem, n.right, addr, Some(n.key + 1), hi, depth + 1, count)?;
+    if lb != rb {
+        return Err(format!("black height mismatch under key {}", n.key));
+    }
+    Ok(lb + usize::from(!n.red))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supermem_persist::VecMem;
+
+    fn build(mem: &mut VecMem) -> RbTreeWorkload {
+        RbTreeWorkload::new(mem, 0, 1 << 24, 128, 21)
+    }
+
+    #[test]
+    fn empty_tree_verifies() {
+        let mut mem = VecMem::new();
+        let mut t = build(&mut mem);
+        t.verify(&mut mem).unwrap();
+    }
+
+    #[test]
+    fn sequential_inserts_stay_balanced() {
+        let mut mem = VecMem::new();
+        let mut t = build(&mut mem);
+        for k in 0..256u64 {
+            t.insert(&mut mem, k, vec![k as u8; 16]).unwrap();
+            t.verify(&mut mem).unwrap();
+        }
+    }
+
+    #[test]
+    fn reverse_inserts_stay_balanced() {
+        let mut mem = VecMem::new();
+        let mut t = build(&mut mem);
+        for k in (0..256u64).rev() {
+            t.insert(&mut mem, k, vec![k as u8; 16]).unwrap();
+        }
+        t.verify(&mut mem).unwrap();
+    }
+
+    #[test]
+    fn random_steps_match_shadow() {
+        let mut mem = VecMem::new();
+        let mut t = build(&mut mem);
+        for _ in 0..400 {
+            t.step(&mut mem).unwrap();
+        }
+        t.verify(&mut mem).unwrap();
+        assert_eq!(t.committed(), 400);
+    }
+
+    #[test]
+    fn duplicates_update_in_place() {
+        let mut mem = VecMem::new();
+        let mut t = build(&mut mem);
+        t.insert(&mut mem, 9, vec![1; 88]).unwrap();
+        t.insert(&mut mem, 9, vec![2; 88]).unwrap();
+        t.verify(&mut mem).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn small_key_space_mixes_inserts_and_updates() {
+        let mut mem = VecMem::new();
+        let mut t = build(&mut mem).with_key_space(32);
+        for _ in 0..300 {
+            t.step(&mut mem).unwrap();
+        }
+        t.verify(&mut mem).unwrap();
+        assert!(t.len() <= 32);
+    }
+
+    #[test]
+    fn check_recovered_counts_nodes() {
+        let mut mem = VecMem::new();
+        let mut t = build(&mut mem);
+        for k in 0..100u64 {
+            t.insert(&mut mem, k, vec![k as u8; 16]).unwrap();
+        }
+        assert_eq!(check_recovered(&mut mem, 0, 128).unwrap(), 100);
+    }
+
+    #[test]
+    fn check_recovered_detects_color_corruption() {
+        let mut mem = VecMem::new();
+        let mut t = build(&mut mem);
+        for k in 0..100u64 {
+            t.insert(&mut mem, k, vec![1; 8]).unwrap();
+        }
+        // Paint the root red.
+        let header = 4 * 128 + 8192;
+        let root = mem.read_u64(header);
+        mem.write_u64(root + 32, 1);
+        assert!(check_recovered(&mut mem, 0, 128).is_err());
+    }
+
+    #[test]
+    fn node_header_roundtrip() {
+        let n = RbNode {
+            key: 1,
+            left: 2,
+            right: 3,
+            parent: 4,
+            red: true,
+        };
+        assert_eq!(RbNode::decode(&n.encode()), n);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use supermem_persist::VecMem;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn arbitrary_insert_sequences_keep_rb_invariants(
+            keys in proptest::collection::vec(0u64..256, 1..120)
+        ) {
+            let mut mem = VecMem::new();
+            let mut t = RbTreeWorkload::new(&mut mem, 0, 1 << 24, 64, 0);
+            for (i, k) in keys.iter().enumerate() {
+                t.insert(&mut mem, *k, vec![i as u8; 24]).unwrap();
+            }
+            prop_assert!(t.verify(&mut mem).is_ok());
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! A YCSB-style mixed read/insert key-value workload (extension beyond
+//! the paper's five write-dominated micro-benchmarks).
+//!
+//! The paper's §2.2.3 argument for counter-mode encryption is that
+//! *reads* hide the OTP generation behind the NVM array access, so an
+//! encrypted NVM's read path costs almost nothing extra — the overhead
+//! is all on the write path. A read-heavy mix makes that asymmetry
+//! visible: the more reads, the smaller every scheme's gap to Unsec.
+//!
+//! Operations run over the [`BTreeWorkload`] KV store: lookups of
+//! previously inserted keys (plain traversals) and transactional
+//! inserts, mixed by a configurable read percentage (YCSB A ≈ 50,
+//! B ≈ 95, C = 100).
+
+use supermem_persist::{PMem, TxnError};
+use supermem_sim::SplitMix64;
+
+use crate::btree::BTreeWorkload;
+
+/// Mixed read/insert KV workload.
+#[derive(Debug, Clone)]
+pub struct YcsbWorkload {
+    tree: BTreeWorkload,
+    inserted: Vec<u64>,
+    read_pct: u8,
+    value_bytes: usize,
+    rng: SplitMix64,
+    reads: u64,
+    inserts: u64,
+}
+
+impl YcsbWorkload {
+    /// Creates the store in `[base, base + len)`. `read_pct` of the
+    /// operations are lookups (0..=100); inserts carry values sized so
+    /// a transaction writes `req_bytes`. A handful of seed records are
+    /// inserted so early reads have something to find.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_pct > 100`, the region is too small, or
+    /// `req_bytes < 16`.
+    pub fn new<M: PMem>(
+        mem: &mut M,
+        base: u64,
+        len: u64,
+        req_bytes: u64,
+        read_pct: u8,
+        seed: u64,
+    ) -> Self {
+        assert!(read_pct <= 100, "read percentage out of range");
+        let mut rng = SplitMix64::new(seed);
+        let mut tree = BTreeWorkload::new(mem, base, len, req_bytes, rng.next_u64());
+        let value_bytes = (req_bytes - 8) as usize;
+        let mut inserted = Vec::new();
+        for _ in 0..8 {
+            let key = rng.next_u64() >> 1;
+            let mut value = vec![0u8; value_bytes];
+            rng.fill_bytes(&mut value);
+            tree.insert(mem, key, value).expect("seed insert");
+            inserted.push(key);
+        }
+        Self {
+            tree,
+            inserted,
+            read_pct,
+            value_bytes,
+            rng,
+            reads: 0,
+            inserts: 0,
+        }
+    }
+
+    /// (lookups, inserts) performed so far.
+    pub fn op_counts(&self) -> (u64, u64) {
+        (self.reads, self.inserts)
+    }
+
+    /// Committed insert transactions.
+    pub fn committed(&self) -> u64 {
+        self.tree.committed()
+    }
+
+    /// Runs one operation of the mix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TxnError`] from an insert's commit.
+    pub fn step<M: PMem>(&mut self, mem: &mut M) -> Result<(), TxnError> {
+        if self.rng.next_below(100) < self.read_pct as u64 {
+            let key = self.inserted[self.rng.next_below(self.inserted.len() as u64) as usize];
+            let value = self.tree.get(mem, key);
+            assert!(value.is_some(), "inserted key {key} must be found");
+            self.reads += 1;
+        } else {
+            let key = self.rng.next_u64() >> 1;
+            let mut value = vec![0u8; self.value_bytes];
+            self.rng.fill_bytes(&mut value);
+            self.tree.insert(mem, key, value)?;
+            self.inserted.push(key);
+            self.inserts += 1;
+        }
+        Ok(())
+    }
+
+    /// Verifies the underlying tree against its shadow.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first divergence.
+    pub fn verify<M: PMem>(&mut self, mem: &mut M) -> Result<(), String> {
+        self.tree.verify(mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supermem_persist::VecMem;
+
+    #[test]
+    fn pure_read_mix_never_inserts_after_seeding() {
+        let mut mem = VecMem::new();
+        let mut w = YcsbWorkload::new(&mut mem, 0, 1 << 24, 128, 100, 7);
+        for _ in 0..50 {
+            w.step(&mut mem).unwrap();
+        }
+        let (reads, inserts) = w.op_counts();
+        assert_eq!(reads, 50);
+        assert_eq!(inserts, 0);
+        w.verify(&mut mem).unwrap();
+    }
+
+    #[test]
+    fn pure_insert_mix_never_reads() {
+        let mut mem = VecMem::new();
+        let mut w = YcsbWorkload::new(&mut mem, 0, 1 << 24, 128, 0, 7);
+        for _ in 0..50 {
+            w.step(&mut mem).unwrap();
+        }
+        let (reads, inserts) = w.op_counts();
+        assert_eq!(reads, 0);
+        assert_eq!(inserts, 50);
+        w.verify(&mut mem).unwrap();
+    }
+
+    #[test]
+    fn mixed_ratio_is_roughly_respected() {
+        let mut mem = VecMem::new();
+        let mut w = YcsbWorkload::new(&mut mem, 0, 1 << 24, 128, 80, 9);
+        for _ in 0..500 {
+            w.step(&mut mem).unwrap();
+        }
+        let (reads, inserts) = w.op_counts();
+        let read_share = reads as f64 / (reads + inserts) as f64;
+        assert!((0.7..0.9).contains(&read_share), "read share {read_share:.2}");
+        w.verify(&mut mem).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_percentage() {
+        let mut mem = VecMem::new();
+        YcsbWorkload::new(&mut mem, 0, 1 << 24, 128, 101, 0);
+    }
+}

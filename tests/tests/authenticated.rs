@@ -1,0 +1,131 @@
+//! Authenticated-mode integration: the integrity tree wired into the
+//! timed controller detects active DIMM tampering across a crash, at a
+//! measurable (small) runtime cost.
+
+use supermem::crypto::CounterLine;
+use supermem::nvm::addr::PageId;
+use supermem::persist::{verify_image_integrity, IntegrityVerdict, PMem};
+use supermem::sim::Config;
+use supermem::workloads::WorkloadKind;
+use supermem::{run_single, RunConfig, Scheme, System, SystemBuilder};
+
+fn auth_system() -> System {
+    let mut cfg = Scheme::SuperMem.apply(Config::default());
+    cfg.integrity_tree = true;
+    SystemBuilder::new().config(cfg).build()
+}
+
+#[test]
+fn clean_crash_image_verifies() {
+    let mut sys = auth_system();
+    for p in 0..8u64 {
+        sys.write(p * 4096, &[p as u8 + 1; 256]);
+        sys.clwb(p * 4096, 256);
+    }
+    sys.sfence();
+    sys.checkpoint();
+    let cfg = sys.config().clone();
+    let image = sys.crash_now();
+    assert_eq!(
+        verify_image_integrity(&cfg, &image).unwrap(),
+        IntegrityVerdict::Clean {
+            counter_lines_checked: 8
+        }
+    );
+}
+
+#[test]
+fn counter_rollback_attack_is_detected() {
+    let mut sys = auth_system();
+    sys.write(0x3000, &[9u8; 64]);
+    sys.clwb(0x3000, 64);
+    sys.sfence();
+    sys.checkpoint();
+    let cfg = sys.config().clone();
+    let mut image = sys.crash_now();
+    // The attacker rewinds page 3's counter line to fresh (a replay of
+    // old DIMM contents).
+    image.store.write_counter(PageId(3), CounterLine::new().encode());
+    assert_eq!(
+        verify_image_integrity(&cfg, &image).unwrap(),
+        IntegrityVerdict::Tampered
+    );
+}
+
+#[test]
+fn data_only_tampering_is_caught_by_decryption_not_tree() {
+    // The Bonsai argument: data lines need no tree because the cipher
+    // binds them to counters; flipping ciphertext yields garbage
+    // plaintext, detectable by any content check — while the counter
+    // region is what the tree guards.
+    let mut sys = auth_system();
+    sys.write(0x3000, &[9u8; 64]);
+    sys.clwb(0x3000, 64);
+    sys.sfence();
+    sys.checkpoint();
+    let cfg = sys.config().clone();
+    let mut image = sys.crash_now();
+    let line = supermem::nvm::addr::LineAddr(0x3000);
+    let mut cipher = image.store.read_data(line);
+    cipher[0] ^= 0xFF;
+    image.store.write_data(line, cipher);
+    // Tree still clean (counters untouched)...
+    assert!(matches!(
+        verify_image_integrity(&cfg, &image).unwrap(),
+        IntegrityVerdict::Clean { .. }
+    ));
+    // ...but the data no longer decrypts to what was written.
+    let mut rec = supermem::persist::RecoveredMemory::from_image(&cfg, image);
+    let mut buf = [0u8; 64];
+    rec.read(0x3000, &mut buf);
+    assert_ne!(buf, [9u8; 64]);
+}
+
+#[test]
+fn verification_happens_on_counter_fetches_and_costs_little() {
+    let mut rc = RunConfig::new(Scheme::SuperMem, WorkloadKind::HashTable);
+    rc.txns = 60;
+    rc.req_bytes = 256;
+    rc.counter_cache_bytes = 1 << 10; // tiny cache: frequent NVM fetches
+    let plain = run_single(&rc);
+
+    // Same run with authentication: drive it manually since RunConfig
+    // has no integrity knob (it is a builder-level option).
+    let mut cfg = Scheme::SuperMem.apply(Config::default());
+    cfg.integrity_tree = true;
+    cfg.counter_cache_bytes = 1 << 10;
+    let mut sys = SystemBuilder::new().config(cfg).build();
+    let spec = supermem::workloads::WorkloadSpec::new(WorkloadKind::HashTable)
+        .with_txns(60)
+        .with_req_bytes(256);
+    let mut w = supermem::workloads::AnyWorkload::build(&spec, &mut sys);
+    sys.checkpoint();
+    sys.reset_stats();
+    let start = sys.now();
+    let mut latencies = Vec::new();
+    for _ in 0..60 {
+        let s = sys.now();
+        w.step(&mut sys).unwrap();
+        latencies.push(sys.now() - s);
+    }
+    let _ = start;
+    assert!(
+        sys.stats().integrity_verifications > 0,
+        "cold counter fetches must verify"
+    );
+    assert_eq!(sys.stats().integrity_violations, 0);
+    let auth_mean = latencies.iter().sum::<u64>() as f64 / latencies.len() as f64;
+    let overhead = auth_mean / plain.mean_txn_latency();
+    assert!(
+        overhead < 1.2,
+        "authentication on counter misses must stay cheap, got {overhead:.2}x"
+    );
+}
+
+#[test]
+fn unauthenticated_images_report_a_usable_error() {
+    let sys = SystemBuilder::new().scheme(Scheme::SuperMem).build();
+    let cfg = sys.config().clone();
+    let err = verify_image_integrity(&cfg, &sys.crash_now()).unwrap_err();
+    assert!(err.contains("integrity_tree"));
+}

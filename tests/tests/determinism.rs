@@ -1,0 +1,54 @@
+//! Determinism: identical configurations must produce bit-identical
+//! results — the property that makes the figures reproducible.
+
+use supermem::workloads::spec::ALL_KINDS;
+use supermem::{run_multicore, run_single, RunConfig, Scheme};
+
+#[test]
+fn identical_seeds_produce_identical_runs() {
+    for kind in ALL_KINDS {
+        let mut rc = RunConfig::new(Scheme::SuperMem, kind);
+        rc.txns = 40;
+        rc.req_bytes = 256;
+        rc.array_footprint = 512 << 10;
+        let a = run_single(&rc);
+        let b = run_single(&rc);
+        assert_eq!(a.total_cycles, b.total_cycles, "{kind}");
+        assert_eq!(a.stats, b.stats, "{kind}");
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_runs() {
+    let mut rc = RunConfig::new(Scheme::SuperMem, supermem::workloads::WorkloadKind::Array);
+    rc.txns = 40;
+    rc.array_footprint = 512 << 10;
+    let a = run_single(&rc);
+    rc.seed = 999;
+    let b = run_single(&rc);
+    assert_ne!(
+        a.stats.txn_latencies, b.stats.txn_latencies,
+        "different seeds must change the access pattern"
+    );
+}
+
+#[test]
+fn multicore_is_deterministic_too() {
+    let mut rc = RunConfig::new(Scheme::WriteThrough, supermem::workloads::WorkloadKind::Queue);
+    rc.txns = 15;
+    rc.programs = 4;
+    let a = run_multicore(&rc);
+    let b = run_multicore(&rc);
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn encryption_key_is_seed_stable() {
+    use supermem::sim::Config;
+    let a = Config::default().with_seed(5).encryption_key();
+    let b = Config::default().with_seed(5).encryption_key();
+    let c = Config::default().with_seed(6).encryption_key();
+    assert_eq!(a, b);
+    assert_ne!(a, c);
+}
