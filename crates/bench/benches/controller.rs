@@ -3,34 +3,32 @@
 //! CWC on the append path. Measures *simulator* (host) cost, which is
 //! what limits experiment turnaround.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use supermem::memctrl::MemoryController;
 use supermem::nvm::addr::LineAddr;
 use supermem::sim::Config;
 use supermem::Scheme;
+use supermem_bench::micro::Harness;
 
-fn bench_flush_path(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("controller");
+
     for scheme in [Scheme::Unsec, Scheme::WriteThrough, Scheme::SuperMem] {
         let cfg = scheme.apply(Config::default());
-        c.bench_function(&format!("flush_line/{scheme}"), |b| {
-            let mut mc = MemoryController::new(&cfg);
-            let mut t = 0u64;
-            let mut i = 0u64;
-            b.iter(|| {
-                // Rotate over one page's lines: realistic CWC behavior.
-                let line = LineAddr((i % 64) * 64);
-                i += 1;
-                t = mc.flush_line(black_box(line), [i as u8; 64], t);
-                black_box(t)
-            })
+        let mut mc = MemoryController::new(&cfg);
+        let mut t = 0u64;
+        let mut i = 0u64;
+        h.bench(&format!("flush_line/{scheme}"), || {
+            // Rotate over one page's lines: realistic CWC behavior.
+            let line = LineAddr((i % 64) * 64);
+            i += 1;
+            t = mc.flush_line(black_box(line), [i as u8; 64], t);
+            t
         });
     }
-}
 
-fn bench_read_path(c: &mut Criterion) {
-    let cfg = Scheme::SuperMem.apply(Config::default());
-    c.bench_function("read_line/SuperMem", |b| {
+    {
+        let cfg = Scheme::SuperMem.apply(Config::default());
         let mut mc = MemoryController::new(&cfg);
         let mut t = 0;
         for i in 0..64u64 {
@@ -38,15 +36,14 @@ fn bench_read_path(c: &mut Criterion) {
         }
         t = mc.finish(t);
         let mut i = 0u64;
-        b.iter(|| {
+        h.bench("read_line/SuperMem", || {
             let line = LineAddr((i % 64) * 64);
             i += 1;
             let (data, done) = mc.read_line(black_box(line), t);
             t = done;
-            black_box(data)
-        })
-    });
-}
+            data
+        });
+    }
 
-criterion_group!(benches, bench_flush_path, bench_read_path);
-criterion_main!(benches);
+    h.finish();
+}

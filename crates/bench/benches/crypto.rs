@@ -3,47 +3,40 @@
 //! codec throughput. These bound how fast the whole-system simulation
 //! can run (every simulated flush performs four real AES blocks).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use supermem::crypto::aes::Aes128;
 use supermem::crypto::{CounterLine, EncryptionEngine};
+use supermem_bench::micro::Harness;
 
-fn bench_aes_block(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("crypto");
+
     let aes = Aes128::new([7u8; 16]);
     let block = [0x5Au8; 16];
-    c.bench_function("aes128_encrypt_block", |b| {
-        b.iter(|| black_box(aes.encrypt_block(black_box(block))))
+    h.bench("aes128_encrypt_block", || {
+        aes.encrypt_block(black_box(block))
     });
-    c.bench_function("aes128_decrypt_block", |b| {
-        let ct = aes.encrypt_block(block);
-        b.iter(|| black_box(aes.decrypt_block(black_box(ct))))
-    });
-}
+    let ct = aes.encrypt_block(block);
+    h.bench("aes128_decrypt_block", || aes.decrypt_block(black_box(ct)));
 
-fn bench_otp_and_line(c: &mut Criterion) {
     let engine = EncryptionEngine::new([9u8; 16]);
     let line = [0xC3u8; 64];
-    c.bench_function("otp_64B", |b| {
-        b.iter(|| black_box(engine.otp(black_box(0x4000), 5, 17)))
+    h.bench("otp_64B", || engine.otp(black_box(0x4000), 5, 17));
+    h.bench("encrypt_line_64B", || {
+        engine.encrypt_line(black_box(&line), 0x4000, 5, 17)
     });
-    c.bench_function("encrypt_line_64B", |b| {
-        b.iter(|| black_box(engine.encrypt_line(black_box(&line), 0x4000, 5, 17)))
-    });
-}
 
-fn bench_counter_codec(c: &mut Criterion) {
     let mut ctr = CounterLine::new();
     for i in 0..64 {
         for _ in 0..(i % 50) {
             ctr.increment(i);
         }
     }
-    c.bench_function("counterline_encode", |b| b.iter(|| black_box(ctr.encode())));
+    h.bench("counterline_encode", || ctr.encode());
     let bytes = ctr.encode();
-    c.bench_function("counterline_decode", |b| {
-        b.iter(|| black_box(CounterLine::decode(black_box(&bytes))))
+    h.bench("counterline_decode", || {
+        CounterLine::decode(black_box(&bytes))
     });
-}
 
-criterion_group!(benches, bench_aes_block, bench_otp_and_line, bench_counter_codec);
-criterion_main!(benches);
+    h.finish();
+}

@@ -3,43 +3,32 @@
 //! figures) come from the `fig13`..`fig17` binaries; this bench tracks
 //! the cost of producing them.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use supermem::workloads::WorkloadKind;
 use supermem::{run_single, RunConfig};
+use supermem_bench::micro::Harness;
 
-fn bench_schemes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("run_single/queue");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("schemes");
+
     for scheme in supermem::scheme::FIGURE_SCHEMES {
-        group.bench_function(scheme.name(), |b| {
-            b.iter(|| {
-                let mut rc = RunConfig::new(scheme, WorkloadKind::Queue);
-                rc.txns = 50;
-                rc.req_bytes = 1024;
-                black_box(run_single(&rc))
-            })
+        h.bench(&format!("run_single/queue/{}", scheme.name()), || {
+            let mut rc = RunConfig::new(scheme, WorkloadKind::Queue);
+            rc.txns = 50;
+            rc.req_bytes = 1024;
+            black_box(run_single(&rc))
         });
     }
-    group.finish();
-}
 
-fn bench_workloads(c: &mut Criterion) {
-    let mut group = c.benchmark_group("run_single/supermem");
-    group.sample_size(10);
     for kind in supermem::workloads::spec::ALL_KINDS {
-        group.bench_function(kind.name(), |b| {
-            b.iter(|| {
-                let mut rc = RunConfig::new(supermem::Scheme::SuperMem, kind);
-                rc.txns = 50;
-                rc.req_bytes = 1024;
-                rc.array_footprint = 1 << 20;
-                black_box(run_single(&rc))
-            })
+        h.bench(&format!("run_single/supermem/{}", kind.name()), || {
+            let mut rc = RunConfig::new(supermem::Scheme::SuperMem, kind);
+            rc.txns = 50;
+            rc.req_bytes = 1024;
+            rc.array_footprint = 1 << 20;
+            black_box(run_single(&rc))
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_schemes, bench_workloads);
-criterion_main!(benches);
+    h.finish();
+}

@@ -14,8 +14,8 @@ use supermem::metrics::TextTable;
 use supermem::sim::CounterPlacement;
 use supermem::workloads::spec::ALL_KINDS;
 use supermem::workloads::WorkloadKind;
-use supermem::{run_single, RunConfig, Scheme};
-use supermem_bench::txns;
+use supermem::{run_batch, RunConfig, Scheme};
+use supermem_bench::{txns, Report};
 
 const PLACEMENTS: [(CounterPlacement, &str); 3] = [
     (CounterPlacement::SingleBank, "SingleBank"),
@@ -26,16 +26,11 @@ const PLACEMENTS: [(CounterPlacement, &str); 3] = [
 fn main() {
     let n = txns();
 
-    // --- 1. placement x CWC latency grid.
-    let mut headers = vec!["workload".to_owned()];
-    for (_, pname) in PLACEMENTS {
-        headers.push(pname.to_owned());
-        headers.push(format!("{pname}+CWC"));
-    }
-    let mut grid = TextTable::new(headers);
+    // Both experiments go into one job list so a single sweep covers
+    // the full binary: the placement x CWC grid first, then the three
+    // per-bank distribution runs.
+    let mut jobs = Vec::new();
     for kind in ALL_KINDS {
-        let mut cells = vec![kind.name().to_owned()];
-        let mut base = None;
         for (placement, _) in PLACEMENTS {
             for cwc in [false, true] {
                 let mut rc = RunConfig::new(Scheme::WriteThrough, kind);
@@ -43,15 +38,41 @@ fn main() {
                 rc.req_bytes = 1024;
                 rc.placement_override = Some(placement);
                 rc.cwc_override = Some(cwc);
-                let lat = run_single(&rc).mean_txn_latency();
-                let b = *base.get_or_insert(lat);
-                cells.push(format!("{:.2}", lat / b));
+                jobs.push(rc);
             }
+        }
+    }
+    let grid_jobs = jobs.len();
+    for (placement, _) in PLACEMENTS {
+        let mut rc = RunConfig::new(Scheme::WriteThrough, WorkloadKind::Queue);
+        rc.txns = n;
+        rc.req_bytes = 1024;
+        rc.placement_override = Some(placement);
+        jobs.push(rc);
+    }
+    let results = run_batch(&jobs);
+
+    // --- 1. placement x CWC latency grid.
+    let mut headers = vec!["workload".to_owned()];
+    for (_, pname) in PLACEMENTS {
+        headers.push(pname.to_owned());
+        headers.push(format!("{pname}+CWC"));
+    }
+    let mut grid = TextTable::new(headers);
+    let cells_per_kind = PLACEMENTS.len() * 2;
+    for (kind, row) in ALL_KINDS
+        .iter()
+        .zip(results[..grid_jobs].chunks(cells_per_kind))
+    {
+        let mut cells = vec![kind.name().to_owned()];
+        let mut base = None;
+        for r in row {
+            let lat = r.mean_txn_latency();
+            let b = *base.get_or_insert(lat);
+            cells.push(format!("{:.2}", lat / b));
         }
         grid.row(cells);
     }
-    println!("Ablation 1: WT latency by counter placement x CWC (normalized to SingleBank)");
-    println!("{}", grid.render());
 
     // --- 2. per-bank write distribution (queue workload).
     let mut dist = TextTable::new(
@@ -59,19 +80,23 @@ fn main() {
             .chain((0..8).map(|b| format!("bank{b}")))
             .collect(),
     );
-    for (placement, pname) in PLACEMENTS {
-        let mut rc = RunConfig::new(Scheme::WriteThrough, WorkloadKind::Queue);
-        rc.txns = n;
-        rc.req_bytes = 1024;
-        rc.placement_override = Some(placement);
-        let r = run_single(&rc);
+    for ((_, pname), r) in PLACEMENTS.iter().zip(&results[grid_jobs..]) {
         let total: u64 = r.stats.bank_writes.iter().sum();
-        let mut cells = vec![pname.to_owned()];
+        let mut cells = vec![(*pname).to_owned()];
         for &w in r.stats.bank_writes.iter().take(8) {
             cells.push(format!("{:.0}%", 100.0 * w as f64 / total.max(1) as f64));
         }
         dist.row(cells);
     }
-    println!("Ablation 2: share of NVM writes per bank (queue, WT, 1 KB txns)");
-    println!("{}", dist.render());
+
+    let mut rep = Report::new("ablation");
+    rep.section(
+        "Ablation 1: WT latency by counter placement x CWC (normalized to SingleBank)",
+        grid,
+    );
+    rep.section(
+        "Ablation 2: share of NVM writes per bank (queue, WT, 1 KB txns)",
+        dist,
+    );
+    rep.emit();
 }

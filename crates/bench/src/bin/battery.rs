@@ -10,6 +10,7 @@
 use supermem::metrics::TextTable;
 use supermem::sim::Config;
 use supermem::Scheme;
+use supermem_bench::Report;
 
 fn main() {
     let cfg = Config::default();
@@ -28,7 +29,12 @@ fn main() {
     let mut supermem_total = 0u64;
     for (scheme, cc_backed, extras, note) in [
         (Scheme::Unsec, 0u64, 0u64, "-"),
-        (Scheme::SuperMem, 0, register_bytes + rsr_bytes, "register + RSR"),
+        (
+            Scheme::SuperMem,
+            0,
+            register_bytes + rsr_bytes,
+            "register + RSR",
+        ),
         (
             Scheme::WriteBackIdeal,
             cfg.counter_cache_bytes,
@@ -63,9 +69,10 @@ fn main() {
             ratio,
         ]);
     }
-    println!("ADR battery domain per scheme (Table 2 configuration)");
-    println!("{}", t.render());
-    println!("The ideal WB needs the battery to drain the entire 256 KiB counter");
-    println!("cache; SuperMem adds only a 2-line register and the 20-byte RSR to");
-    println!("the write queue every vendor already protects.");
+    let mut rep = Report::new("battery");
+    rep.section("ADR battery domain per scheme (Table 2 configuration)", t);
+    rep.footnote("The ideal WB needs the battery to drain the entire 256 KiB counter");
+    rep.footnote("cache; SuperMem adds only a 2-line register and the 20-byte RSR to");
+    rep.footnote("the write queue every vendor already protects.");
+    rep.emit();
 }

@@ -16,8 +16,8 @@ use supermem::crypto::{deuce::bit_flips, EncryptionEngine};
 use supermem::metrics::TextTable;
 use supermem::trace::TraceEvent;
 use supermem::workloads::spec::ALL_KINDS;
-use supermem::{record_workload_trace, RunConfig, Scheme};
-use supermem_bench::txns;
+use supermem::{record_workload_trace, sweep, RunConfig, Scheme};
+use supermem_bench::{txns, Report};
 
 #[derive(Default)]
 struct Flips {
@@ -74,7 +74,11 @@ fn replay_flips(trace: &[TraceEvent]) -> Flips {
                         nvm_ctr.insert(line, (new_cipher, minor + 1));
 
                         // DEUCE: dual-counter, word-granular.
-                        let entry = nvm_deuce.entry(line).or_insert(([0; 64], DeuceMeta::default(), [0; 64]));
+                        let entry = nvm_deuce.entry(line).or_insert((
+                            [0; 64],
+                            DeuceMeta::default(),
+                            [0; 64],
+                        ));
                         let (old_cipher, meta, old_plain_stored) = entry;
                         let had_old = meta.count > 0;
                         let old_plain_copy = *old_plain_stored;
@@ -102,6 +106,26 @@ fn replay_flips(trace: &[TraceEvent]) -> Flips {
 
 fn main() {
     let n = txns();
+    // One job per workload: record the flush stream, then replay it
+    // through the three functional data paths.
+    let rows = sweep(&ALL_KINDS, |kind| {
+        let mut rc = RunConfig::new(Scheme::Unsec, *kind);
+        rc.txns = n;
+        rc.req_bytes = 1024;
+        rc.array_footprint = 1 << 20;
+        let trace = record_workload_trace(&rc);
+        let f = replay_flips(&trace);
+        let per = |v: u64| v as f64 / f.writes.max(1) as f64;
+        vec![
+            kind.name().to_owned(),
+            f.writes.to_string(),
+            format!("{:.0}", per(f.unsec)),
+            format!("{:.0}", per(f.ctr)),
+            format!("{:.0}", per(f.deuce)),
+            format!("{:.2}x", f.deuce as f64 / f.ctr.max(1) as f64),
+        ]
+    });
+
     let mut t = TextTable::new(vec![
         "workload".into(),
         "line writes".into(),
@@ -110,27 +134,14 @@ fn main() {
         "DEUCE bits/write".into(),
         "DEUCE vs CTR".into(),
     ]);
-    for kind in ALL_KINDS {
-        let mut rc = RunConfig::new(Scheme::Unsec, kind);
-        rc.txns = n;
-        rc.req_bytes = 1024;
-        rc.array_footprint = 1 << 20;
-        let trace = record_workload_trace(&rc);
-        let f = replay_flips(&trace);
-        let per = |v: u64| v as f64 / f.writes.max(1) as f64;
-        t.row(vec![
-            kind.name().into(),
-            f.writes.to_string(),
-            format!("{:.0}", per(f.unsec)),
-            format!("{:.0}", per(f.ctr)),
-            format!("{:.0}", per(f.deuce)),
-            format!("{:.2}x", f.deuce as f64 / f.ctr.max(1) as f64),
-        ]);
+    for row in rows {
+        t.row(row);
     }
-    println!("Bits flipped per 64-byte line write (512 bits max)");
-    println!("{}", t.render());
-    println!("Full-line counter mode pays ~256 flips per write regardless of the");
-    println!("store; DEUCE's word-granular dual counters approach the plaintext");
-    println!("cost — the §6 'reduce the writes of encrypted data' line of work,");
-    println!("orthogonal to SuperMem's request-count reduction.");
+    let mut rep = Report::new("bitwrites");
+    rep.section("Bits flipped per 64-byte line write (512 bits max)", t);
+    rep.footnote("Full-line counter mode pays ~256 flips per write regardless of the");
+    rep.footnote("store; DEUCE's word-granular dual counters approach the plaintext");
+    rep.footnote("cost — the §6 'reduce the writes of encrypted data' line of work,");
+    rep.footnote("orthogonal to SuperMem's request-count reduction.");
+    rep.emit();
 }

@@ -9,11 +9,28 @@
 
 use supermem::metrics::TextTable;
 use supermem::workloads::spec::ALL_KINDS;
-use supermem::{run_single, RunConfig, Scheme};
-use supermem_bench::txns;
+use supermem::{run_batch, RunConfig, Scheme};
+use supermem_bench::{txns, Report};
+
+const SCHEMES: [(Scheme, &str); 3] = [
+    (Scheme::WriteThrough, "WT"),
+    (Scheme::SuperMem, "SuperMem"),
+    (Scheme::WriteBackIdeal, "WB"),
+];
 
 fn main() {
     let n = txns();
+    let mut jobs = Vec::new();
+    for kind in ALL_KINDS {
+        for (scheme, _) in SCHEMES {
+            let mut rc = RunConfig::new(scheme, kind);
+            rc.txns = n;
+            rc.req_bytes = 1024;
+            jobs.push(rc);
+        }
+    }
+    let results = run_batch(&jobs);
+
     let mut table = TextTable::new(vec![
         "workload".into(),
         "scheme".into(),
@@ -22,22 +39,14 @@ fn main() {
         "ctr writes total".into(),
         "ctr wear vs WT".into(),
     ]);
-    for kind in ALL_KINDS {
+    for (kind, row) in ALL_KINDS.iter().zip(results.chunks(SCHEMES.len())) {
         let mut wt_max = None;
-        for (scheme, label) in [
-            (Scheme::WriteThrough, "WT"),
-            (Scheme::SuperMem, "SuperMem"),
-            (Scheme::WriteBackIdeal, "WB"),
-        ] {
-            let mut rc = RunConfig::new(scheme, kind);
-            rc.txns = n;
-            rc.req_bytes = 1024;
-            let r = run_single(&rc);
+        for ((_, label), r) in SCHEMES.iter().zip(row) {
             let max_ctr = r.wear.max_counter_wear;
             let base = *wt_max.get_or_insert(max_ctr);
             table.row(vec![
                 kind.name().into(),
-                label.into(),
+                (*label).into(),
                 max_ctr.to_string(),
                 r.wear.max_data_wear.to_string(),
                 r.wear.total_counter_writes.to_string(),
@@ -45,11 +54,15 @@ fn main() {
             ]);
         }
     }
-    println!("Counter-line endurance by scheme (1 KB transactions)");
-    println!("{}", table.render());
-    println!("The hottest counter line bounds DIMM lifetime; CWC merges pending");
-    println!("counter writes so far fewer ever reach the cells (paper §3.4).");
-    println!("(Start-Gap wear leveling — Config::wear_psi — additionally rotates");
-    println!("hot lines across physical slots; at device scale one rotation takes");
-    println!("billions of writes, so its effect shows in the unit tests, not here.)");
+    let mut rep = Report::new("endurance");
+    rep.section(
+        "Counter-line endurance by scheme (1 KB transactions)",
+        table,
+    );
+    rep.footnote("The hottest counter line bounds DIMM lifetime; CWC merges pending");
+    rep.footnote("counter writes so far fewer ever reach the cells (paper §3.4).");
+    rep.footnote("(Start-Gap wear leveling — Config::wear_psi — additionally rotates");
+    rep.footnote("hot lines across physical slots; at device scale one rotation takes");
+    rep.footnote("billions of writes, so its effect shows in the unit tests, not here.)");
+    rep.emit();
 }

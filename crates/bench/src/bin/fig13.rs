@@ -6,37 +6,32 @@
 //! 17–24% (256 B) up to 40–48% (4 KB); WT+XBank up to 45%; SuperMem
 //! lands within a few percent of the ideal WB.
 
-use supermem::scheme::FIGURE_SCHEMES;
-use supermem::workloads::spec::ALL_KINDS;
 use supermem::{run_single, RunConfig};
-use supermem_bench::{normalized_table, txns, REQUEST_SIZES};
+use supermem_bench::{normalized_figure_report, txns, REQUEST_SIZES};
 
 fn main() {
     let n = txns();
-    for (part, req) in REQUEST_SIZES.iter().enumerate() {
-        let mut rows = Vec::new();
-        for kind in ALL_KINDS {
-            let mut values = Vec::new();
-            for scheme in FIGURE_SCHEMES {
-                let mut rc = RunConfig::new(scheme, kind);
-                rc.txns = n;
-                rc.req_bytes = *req;
-                let r = run_single(&rc);
-                values.push(r.mean_txn_latency());
-            }
-            rows.push((kind.name().to_owned(), values));
-        }
-        let title = format!(
-            "Figure 13{}: single-core txn latency, {req} B requests (normalized to Unsec)",
-            (b'a' + part as u8) as char
-        );
-        println!(
-            "{}",
-            normalized_table(
-                &title,
-                &FIGURE_SCHEMES.map(|s| s.name()),
-                &rows
+    let titles: Vec<String> = REQUEST_SIZES
+        .iter()
+        .enumerate()
+        .map(|(part, req)| {
+            format!(
+                "Figure 13{}: single-core txn latency, {req} B requests (normalized to Unsec)",
+                (b'a' + part as u8) as char
             )
-        );
-    }
+        })
+        .collect();
+    normalized_figure_report(
+        "fig13",
+        &titles,
+        |part, kind, scheme| {
+            let mut rc = RunConfig::new(scheme, kind);
+            rc.txns = n;
+            rc.req_bytes = REQUEST_SIZES[part];
+            rc
+        },
+        run_single,
+        |r| r.mean_txn_latency(),
+    )
+    .emit();
 }

@@ -6,35 +6,36 @@
 //! banks saturate, so WT+CWC (which removes writes) overtakes WT+XBank
 //! (which only spreads them); SuperMem still tracks the ideal WB.
 
-use supermem::scheme::FIGURE_SCHEMES;
-use supermem::workloads::spec::ALL_KINDS;
 use supermem::{run_multicore, RunConfig};
-use supermem_bench::{normalized_table, txns};
+use supermem_bench::{normalized_figure_report, txns};
+
+const PROGRAMS: [usize; 3] = [1, 4, 8];
 
 fn main() {
     let n = txns().min(120); // multi-core runs are programs x txns
-    for (part, programs) in [1usize, 4, 8].iter().enumerate() {
-        let mut rows = Vec::new();
-        for kind in ALL_KINDS {
-            let mut values = Vec::new();
-            for scheme in FIGURE_SCHEMES {
-                let mut rc = RunConfig::new(scheme, kind);
-                rc.txns = n;
-                rc.req_bytes = 1024;
-                rc.programs = *programs;
-                rc.array_footprint = 2 << 20; // per-program footprint
-                let r = run_multicore(&rc);
-                values.push(r.mean_txn_latency());
-            }
-            rows.push((kind.name().to_owned(), values));
-        }
-        let title = format!(
-            "Figure 14{}: {programs}-program txn latency (normalized to Unsec)",
-            (b'a' + part as u8) as char
-        );
-        println!(
-            "{}",
-            normalized_table(&title, &FIGURE_SCHEMES.map(|s| s.name()), &rows)
-        );
-    }
+    let titles: Vec<String> = PROGRAMS
+        .iter()
+        .enumerate()
+        .map(|(part, programs)| {
+            format!(
+                "Figure 14{}: {programs}-program txn latency (normalized to Unsec)",
+                (b'a' + part as u8) as char
+            )
+        })
+        .collect();
+    normalized_figure_report(
+        "fig14",
+        &titles,
+        |part, kind, scheme| {
+            let mut rc = RunConfig::new(scheme, kind);
+            rc.txns = n;
+            rc.req_bytes = 1024;
+            rc.programs = PROGRAMS[part];
+            rc.array_footprint = 2 << 20; // per-program footprint
+            rc
+        },
+        run_multicore,
+        |r| r.mean_txn_latency(),
+    )
+    .emit();
 }

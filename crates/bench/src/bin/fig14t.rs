@@ -3,35 +3,36 @@
 //! at a time — closer to the paper's cycle-driven gem5 cores than the
 //! transaction-granularity scheduler in `fig14`.
 
-use supermem::scheme::FIGURE_SCHEMES;
-use supermem::workloads::spec::ALL_KINDS;
 use supermem::{run_multicore_trace, RunConfig};
-use supermem_bench::{normalized_table, txns};
+use supermem_bench::{normalized_figure_report, txns};
+
+const PROGRAMS: [usize; 3] = [1, 4, 8];
 
 fn main() {
     let n = txns().min(100);
-    for (part, programs) in [1usize, 4, 8].iter().enumerate() {
-        let mut rows = Vec::new();
-        for kind in ALL_KINDS {
-            let mut values = Vec::new();
-            for scheme in FIGURE_SCHEMES {
-                let mut rc = RunConfig::new(scheme, kind);
-                rc.txns = n;
-                rc.req_bytes = 1024;
-                rc.programs = *programs;
-                rc.array_footprint = 2 << 20;
-                let r = run_multicore_trace(&rc);
-                values.push(r.mean_txn_latency());
-            }
-            rows.push((kind.name().to_owned(), values));
-        }
-        let title = format!(
-            "Figure 14{} (event-interleaved): {programs}-program txn latency (normalized to Unsec)",
-            (b'a' + part as u8) as char
-        );
-        println!(
-            "{}",
-            normalized_table(&title, &FIGURE_SCHEMES.map(|s| s.name()), &rows)
-        );
-    }
+    let titles: Vec<String> = PROGRAMS
+        .iter()
+        .enumerate()
+        .map(|(part, programs)| {
+            format!(
+                "Figure 14{} (event-interleaved): {programs}-program txn latency (normalized to Unsec)",
+                (b'a' + part as u8) as char
+            )
+        })
+        .collect();
+    normalized_figure_report(
+        "fig14t",
+        &titles,
+        |part, kind, scheme| {
+            let mut rc = RunConfig::new(scheme, kind);
+            rc.txns = n;
+            rc.req_bytes = 1024;
+            rc.programs = PROGRAMS[part];
+            rc.array_footprint = 2 << 20;
+            rc
+        },
+        run_multicore_trace,
+        |r| r.mean_txn_latency(),
+    )
+    .emit();
 }

@@ -8,33 +8,35 @@
 
 use supermem::metrics::TextTable;
 use supermem::workloads::spec::ALL_KINDS;
-use supermem::{run_single, RunConfig, Scheme};
-use supermem_bench::txns;
+use supermem::{run_batch, RunConfig, Scheme};
+use supermem_bench::{txns, Report};
 
 const QUEUE_SIZES: [usize; 5] = [8, 16, 32, 64, 128];
 
 fn main() {
     let n = txns();
-    let mut reduced = TextTable::new(
-        std::iter::once("workload".to_owned())
-            .chain(QUEUE_SIZES.iter().map(|q| format!("wq={q}")))
-            .collect(),
-    );
-    let mut latency = TextTable::new(
-        std::iter::once("workload".to_owned())
-            .chain(QUEUE_SIZES.iter().map(|q| format!("wq={q}")))
-            .collect(),
-    );
+    let mut jobs = Vec::new();
     for kind in ALL_KINDS {
-        let mut reduced_cells = vec![kind.name().to_owned()];
-        let mut latency_cells = vec![kind.name().to_owned()];
-        let mut base_latency = None;
         for q in QUEUE_SIZES {
             let mut rc = RunConfig::new(Scheme::SuperMem, kind);
             rc.txns = n;
             rc.req_bytes = 1024;
             rc.write_queue_entries = q;
-            let r = run_single(&rc);
+            jobs.push(rc);
+        }
+    }
+    let results = run_batch(&jobs);
+
+    let headers: Vec<String> = std::iter::once("workload".to_owned())
+        .chain(QUEUE_SIZES.iter().map(|q| format!("wq={q}")))
+        .collect();
+    let mut reduced = TextTable::new(headers.clone());
+    let mut latency = TextTable::new(headers);
+    for (kind, row) in ALL_KINDS.iter().zip(results.chunks(QUEUE_SIZES.len())) {
+        let mut reduced_cells = vec![kind.name().to_owned()];
+        let mut latency_cells = vec![kind.name().to_owned()];
+        let mut base_latency = None;
+        for r in row {
             let coalesced = r.stats.counter_writes_coalesced;
             let total = coalesced + r.stats.nvm_counter_writes;
             let pct = 100.0 * coalesced as f64 / total.max(1) as f64;
@@ -46,8 +48,14 @@ fn main() {
         reduced.row(reduced_cells);
         latency.row(latency_cells);
     }
-    println!("Figure 16a: % of counter writes coalesced by CWC (SuperMem)");
-    println!("{}", reduced.render());
-    println!("Figure 16b: txn latency vs write-queue size (normalized to wq=8)");
-    println!("{}", latency.render());
+    let mut rep = Report::new("fig16");
+    rep.section(
+        "Figure 16a: % of counter writes coalesced by CWC (SuperMem)",
+        reduced,
+    );
+    rep.section(
+        "Figure 16b: txn latency vs write-queue size (normalized to wq=8)",
+        latency,
+    );
+    rep.emit();
 }

@@ -9,8 +9,8 @@
 
 use supermem::metrics::TextTable;
 use supermem::workloads::spec::ALL_KINDS;
-use supermem::{run_single, RunConfig, Scheme};
-use supermem_bench::txns;
+use supermem::{run_batch, RunConfig, Scheme};
+use supermem_bench::{txns, Report};
 
 const CC_SIZES: [(u64, &str); 7] = [
     (1 << 10, "1K"),
@@ -24,15 +24,8 @@ const CC_SIZES: [(u64, &str); 7] = [
 
 fn main() {
     let n = txns();
-    let headers: Vec<String> = std::iter::once("workload".to_owned())
-        .chain(CC_SIZES.iter().map(|(_, l)| (*l).to_owned()))
-        .collect();
-    let mut hits = TextTable::new(headers.clone());
-    let mut time = TextTable::new(headers);
+    let mut jobs = Vec::new();
     for kind in ALL_KINDS {
-        let mut hit_cells = vec![kind.name().to_owned()];
-        let mut time_cells = vec![kind.name().to_owned()];
-        let mut base_time = None;
         for (bytes, _) in CC_SIZES {
             let mut rc = RunConfig::new(Scheme::SuperMem, kind);
             // Reuse must dominate first-touch misses for the hit rate to
@@ -42,7 +35,21 @@ fn main() {
             rc.req_bytes = 1024;
             rc.counter_cache_bytes = bytes;
             rc.hash_buckets = 512;
-            let r = run_single(&rc);
+            jobs.push(rc);
+        }
+    }
+    let results = run_batch(&jobs);
+
+    let headers: Vec<String> = std::iter::once("workload".to_owned())
+        .chain(CC_SIZES.iter().map(|(_, l)| (*l).to_owned()))
+        .collect();
+    let mut hits = TextTable::new(headers.clone());
+    let mut time = TextTable::new(headers);
+    for (kind, row) in ALL_KINDS.iter().zip(results.chunks(CC_SIZES.len())) {
+        let mut hit_cells = vec![kind.name().to_owned()];
+        let mut time_cells = vec![kind.name().to_owned()];
+        let mut base_time = None;
+        for r in row {
             let rate = r.counter_cache_hit_rate().unwrap_or(0.0);
             hit_cells.push(format!("{:.1}%", rate * 100.0));
             let cycles = r.total_cycles as f64;
@@ -52,8 +59,14 @@ fn main() {
         hits.row(hit_cells);
         time.row(time_cells);
     }
-    println!("Figure 17a: counter-cache hit rate (SuperMem, 1 KB txns)");
-    println!("{}", hits.render());
-    println!("Figure 17b: execution time vs counter-cache size (normalized to 1K)");
-    println!("{}", time.render());
+    let mut rep = Report::new("fig17");
+    rep.section(
+        "Figure 17a: counter-cache hit rate (SuperMem, 1 KB txns)",
+        hits,
+    );
+    rep.section(
+        "Figure 17b: execution time vs counter-cache size (normalized to 1K)",
+        time,
+    );
+    rep.emit();
 }

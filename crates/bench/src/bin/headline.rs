@@ -5,11 +5,29 @@
 
 use supermem::metrics::{geomean, TextTable};
 use supermem::workloads::spec::ALL_KINDS;
-use supermem::{run_single, RunConfig, Scheme};
-use supermem_bench::txns;
+use supermem::{run_batch, RunConfig, Scheme};
+use supermem_bench::{txns, Report};
+
+const SCHEMES: [Scheme; 4] = [
+    Scheme::Unsec,
+    Scheme::WriteBackIdeal,
+    Scheme::WriteThrough,
+    Scheme::SuperMem,
+];
 
 fn main() {
     let n = txns();
+    let mut jobs = Vec::new();
+    for kind in ALL_KINDS {
+        for scheme in SCHEMES {
+            let mut rc = RunConfig::new(scheme, kind);
+            rc.txns = n;
+            rc.req_bytes = 1024;
+            jobs.push(rc);
+        }
+    }
+    let results = run_batch(&jobs);
+
     let mut table = TextTable::new(vec![
         "workload".into(),
         "WT/Unsec".into(),
@@ -19,17 +37,13 @@ fn main() {
     ]);
     let mut speedups = Vec::new();
     let mut gaps = Vec::new();
-    for kind in ALL_KINDS {
-        let lat = |scheme: Scheme| {
-            let mut rc = RunConfig::new(scheme, kind);
-            rc.txns = n;
-            rc.req_bytes = 1024;
-            run_single(&rc).mean_txn_latency()
-        };
-        let unsec = lat(Scheme::Unsec);
-        let wb = lat(Scheme::WriteBackIdeal);
-        let wt = lat(Scheme::WriteThrough);
-        let sm = lat(Scheme::SuperMem);
+    for (kind, row) in ALL_KINDS.iter().zip(results.chunks(SCHEMES.len())) {
+        let [unsec, wb, wt, sm] = [
+            row[0].mean_txn_latency(),
+            row[1].mean_txn_latency(),
+            row[2].mean_txn_latency(),
+            row[3].mean_txn_latency(),
+        ];
         speedups.push(wt / sm);
         gaps.push(sm / wb);
         table.row(vec![
@@ -47,6 +61,10 @@ fn main() {
         format!("{:.2}x", geomean(&speedups)),
         format!("{:.2}", geomean(&gaps)),
     ]);
-    println!("Headline (§5.1.1): 1 KB transactions, Table 2 configuration");
-    println!("{}", table.render());
+    let mut rep = Report::new("headline");
+    rep.section(
+        "Headline (§5.1.1): 1 KB transactions, Table 2 configuration",
+        table,
+    );
+    rep.emit();
 }

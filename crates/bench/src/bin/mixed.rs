@@ -10,8 +10,8 @@
 
 use supermem::metrics::TextTable;
 use supermem::workloads::WorkloadKind;
-use supermem::{run_single, RunConfig, Scheme};
-use supermem_bench::txns;
+use supermem::{run_batch, RunConfig, Scheme};
+use supermem_bench::{txns, Report};
 
 const MIXES: [(u8, &str); 4] = [
     (0, "insert-only"),
@@ -20,8 +20,22 @@ const MIXES: [(u8, &str); 4] = [
     (100, "YCSB-C (read-only)"),
 ];
 
+const SCHEMES: [Scheme; 3] = [Scheme::Unsec, Scheme::WriteThrough, Scheme::SuperMem];
+
 fn main() {
     let n = txns();
+    let mut jobs = Vec::new();
+    for (pct, _) in MIXES {
+        for scheme in SCHEMES {
+            let mut rc = RunConfig::new(scheme, WorkloadKind::Ycsb);
+            rc.txns = n;
+            rc.req_bytes = 1024;
+            rc.ycsb_read_pct = pct;
+            jobs.push(rc);
+        }
+    }
+    let results = run_batch(&jobs);
+
     let mut t = TextTable::new(vec![
         "mix".into(),
         "Unsec".into(),
@@ -30,19 +44,14 @@ fn main() {
         "WT/Unsec".into(),
         "SuperMem/Unsec".into(),
     ]);
-    for (pct, label) in MIXES {
-        let lat = |scheme: Scheme| {
-            let mut rc = RunConfig::new(scheme, WorkloadKind::Ycsb);
-            rc.txns = n;
-            rc.req_bytes = 1024;
-            rc.ycsb_read_pct = pct;
-            run_single(&rc).mean_txn_latency()
-        };
-        let unsec = lat(Scheme::Unsec);
-        let wt = lat(Scheme::WriteThrough);
-        let sm = lat(Scheme::SuperMem);
+    for ((_, label), row) in MIXES.iter().zip(results.chunks(SCHEMES.len())) {
+        let [unsec, wt, sm] = [
+            row[0].mean_txn_latency(),
+            row[1].mean_txn_latency(),
+            row[2].mean_txn_latency(),
+        ];
         t.row(vec![
-            label.into(),
+            (*label).into(),
             format!("{unsec:.0}"),
             format!("{wt:.0}"),
             format!("{sm:.0}"),
@@ -50,8 +59,12 @@ fn main() {
             format!("{:.2}", sm / unsec),
         ]);
     }
-    println!("Operation-mix sweep over the B-tree KV store (cycles per op)");
-    println!("{}", t.render());
-    println!("Encryption overhead lives on the write path: as reads take over,");
-    println!("even the naive WT scheme converges to Unsec (paper §2.2.3).");
+    let mut rep = Report::new("mixed");
+    rep.section(
+        "Operation-mix sweep over the B-tree KV store (cycles per op)",
+        t,
+    );
+    rep.footnote("Encryption overhead lives on the write path: as reads take over,");
+    rep.footnote("even the naive WT scheme converges to Unsec (paper §2.2.3).");
+    rep.emit();
 }

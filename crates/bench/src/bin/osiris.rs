@@ -19,13 +19,26 @@ use supermem::metrics::TextTable;
 use supermem::persist::recover_osiris;
 use supermem::workloads::spec::ALL_KINDS;
 use supermem::workloads::{AnyWorkload, WorkloadKind, WorkloadSpec};
-use supermem::{run_single, RunConfig, Scheme, SystemBuilder};
-use supermem_bench::txns;
+use supermem::{run_batch, sweep, RunConfig, Scheme, SystemBuilder};
+use supermem_bench::{txns, Report};
+
+const SCHEMES: [Scheme; 3] = [Scheme::WriteBackIdeal, Scheme::Osiris, Scheme::SuperMem];
 
 fn main() {
     let n = txns();
 
     // --- Part 1: runtime comparison.
+    let mut jobs = Vec::new();
+    for kind in ALL_KINDS {
+        for scheme in SCHEMES {
+            let mut rc = RunConfig::new(scheme, kind);
+            rc.txns = n;
+            rc.req_bytes = 1024;
+            jobs.push(rc);
+        }
+    }
+    let results = run_batch(&jobs);
+
     let mut rt = TextTable::new(vec![
         "workload".into(),
         "WB(ideal) lat".into(),
@@ -34,16 +47,8 @@ fn main() {
         "Osiris writes".into(),
         "SuperMem writes".into(),
     ]);
-    for kind in ALL_KINDS {
-        let run = |scheme: Scheme| {
-            let mut rc = RunConfig::new(scheme, kind);
-            rc.txns = n;
-            rc.req_bytes = 1024;
-            run_single(&rc)
-        };
-        let wb = run(Scheme::WriteBackIdeal);
-        let osiris = run(Scheme::Osiris);
-        let sm = run(Scheme::SuperMem);
+    for (kind, row) in ALL_KINDS.iter().zip(results.chunks(SCHEMES.len())) {
+        let (wb, osiris, sm) = (&row[0], &row[1], &row[2]);
         let base = wb.mean_txn_latency();
         rt.row(vec![
             kind.name().into(),
@@ -54,18 +59,11 @@ fn main() {
             format!("{:.2}", sm.nvm_writes() as f64 / wb.nvm_writes() as f64),
         ]);
     }
-    println!("Osiris vs SuperMem, runtime (normalized to the ideal WB)");
-    println!("{}", rt.render());
 
-    // --- Part 2: recovery cost vs footprint.
-    let mut rec = TextTable::new(vec![
-        "footprint".into(),
-        "lines scanned".into(),
-        "trial decryptions".into(),
-        "counters fixed".into(),
-        "SuperMem equivalent".into(),
-    ]);
-    for footprint_kb in [256u64, 1024, 4096, 8192] {
+    // --- Part 2: recovery cost vs footprint. Each footprint's
+    // run-crash-recover cycle is independent, so they sweep too.
+    let footprints: [u64; 4] = [256, 1024, 4096, 8192];
+    let rec_rows = sweep(&footprints, |&footprint_kb| {
         let cfg = Scheme::Osiris.apply(supermem::sim::Config::default());
         let mut sys = SystemBuilder::new().scheme(Scheme::Osiris).build();
         let spec = WorkloadSpec::new(WorkloadKind::Array)
@@ -77,16 +75,35 @@ fn main() {
             w.step(&mut sys).expect("txn");
         }
         let (_, report) = recover_osiris(&cfg, sys.crash_now());
-        rec.row(vec![
+        vec![
             format!("{footprint_kb} KiB"),
             report.lines_scanned.to_string(),
             report.trial_decryptions.to_string(),
             report.counters_corrected.to_string(),
             "0 (strict counters)".into(),
-        ]);
+        ]
+    });
+    let mut rec = TextTable::new(vec![
+        "footprint".into(),
+        "lines scanned".into(),
+        "trial decryptions".into(),
+        "counters fixed".into(),
+        "SuperMem equivalent".into(),
+    ]);
+    for row in rec_rows {
+        rec.row(row);
     }
-    println!("Osiris post-crash counter recovery cost (array workload, 50 txns)");
-    println!("{}", rec.render());
-    println!("Recovery work grows with the written footprint — the §6 criticism —");
-    println!("while SuperMem restarts instantly: its counters are always persisted.");
+
+    let mut rep = Report::new("osiris");
+    rep.section(
+        "Osiris vs SuperMem, runtime (normalized to the ideal WB)",
+        rt,
+    );
+    rep.section(
+        "Osiris post-crash counter recovery cost (array workload, 50 txns)",
+        rec,
+    );
+    rep.footnote("Recovery work grows with the written footprint — the §6 criticism —");
+    rep.footnote("while SuperMem restarts instantly: its counters are always persisted.");
+    rep.emit();
 }

@@ -10,13 +10,18 @@ use supermem::metrics::TextTable;
 use supermem::sca::ScaSystem;
 use supermem::workloads::spec::ALL_KINDS;
 use supermem::workloads::{AnyWorkload, WorkloadSpec};
-use supermem::{run_single, RunConfig, Scheme, SystemBuilder};
-use supermem_bench::txns;
+use supermem::{run_single, sweep, RunConfig, Scheme, SystemBuilder};
+use supermem_bench::{txns, Report};
 
 /// Runs one workload through the SCA adapter, mirroring `run_single`'s
 /// measurement discipline.
 fn run_sca(rc: &RunConfig) -> (f64, u64, u64) {
-    let mut mem = ScaSystem::new(SystemBuilder::new().scheme(Scheme::Sca).seed(rc.seed).build());
+    let mut mem = ScaSystem::new(
+        SystemBuilder::new()
+            .scheme(Scheme::Sca)
+            .seed(rc.seed)
+            .build(),
+    );
     let spec = WorkloadSpec::new(rc.kind)
         .with_txns(rc.txns)
         .with_req_bytes(rc.req_bytes)
@@ -41,6 +46,33 @@ fn run_sca(rc: &RunConfig) -> (f64, u64, u64) {
 
 fn main() {
     let n = txns();
+    // One job per workload row; each row needs the WB/SuperMem runs and
+    // the SCA adapter run, so the row is the parallel grain.
+    let rows = sweep(&ALL_KINDS, |kind| {
+        let run = |scheme: Scheme| {
+            let mut rc = RunConfig::new(scheme, *kind);
+            rc.txns = n;
+            rc.req_bytes = 1024;
+            run_single(&rc)
+        };
+        let wb = run(Scheme::WriteBackIdeal);
+        let sm = run(Scheme::SuperMem);
+        let mut rc = RunConfig::new(Scheme::Sca, *kind);
+        rc.txns = n;
+        rc.req_bytes = 1024;
+        let (sca_lat, sca_writes, writebacks) = run_sca(&rc);
+        let base = wb.mean_txn_latency();
+        vec![
+            kind.name().into(),
+            "1.00".into(),
+            format!("{:.2}", sca_lat / base),
+            format!("{:.2}", sm.mean_txn_latency() / base),
+            format!("{:.2}", sca_writes as f64 / wb.nvm_writes() as f64),
+            format!("{:.2}", sm.nvm_writes() as f64 / wb.nvm_writes() as f64),
+            writebacks.to_string(),
+        ]
+    });
+
     let mut t = TextTable::new(vec![
         "workload".into(),
         "WB lat".into(),
@@ -50,32 +82,15 @@ fn main() {
         "SuperMem writes".into(),
         "SCA sw calls".into(),
     ]);
-    for kind in ALL_KINDS {
-        let run = |scheme: Scheme| {
-            let mut rc = RunConfig::new(scheme, kind);
-            rc.txns = n;
-            rc.req_bytes = 1024;
-            run_single(&rc)
-        };
-        let wb = run(Scheme::WriteBackIdeal);
-        let sm = run(Scheme::SuperMem);
-        let mut rc = RunConfig::new(Scheme::Sca, kind);
-        rc.txns = n;
-        rc.req_bytes = 1024;
-        let (sca_lat, sca_writes, writebacks) = run_sca(&rc);
-        let base = wb.mean_txn_latency();
-        t.row(vec![
-            kind.name().into(),
-            "1.00".into(),
-            format!("{:.2}", sca_lat / base),
-            format!("{:.2}", sm.mean_txn_latency() / base),
-            format!("{:.2}", sca_writes as f64 / wb.nvm_writes() as f64),
-            format!("{:.2}", sm.nvm_writes() as f64 / wb.nvm_writes() as f64),
-            writebacks.to_string(),
-        ]);
+    for row in rows {
+        t.row(row);
     }
-    println!("SCA vs SuperMem (normalized to the battery-backed ideal WB)");
-    println!("{}", t.render());
-    println!("SCA needs \"SCA sw calls\" explicit counter_cache_writeback()s compiled");
-    println!("into the application; SuperMem needs zero software changes (paper §1).");
+    let mut rep = Report::new("sca");
+    rep.section(
+        "SCA vs SuperMem (normalized to the battery-backed ideal WB)",
+        t,
+    );
+    rep.footnote("SCA needs \"SCA sw calls\" explicit counter_cache_writeback()s compiled");
+    rep.footnote("into the application; SuperMem needs zero software changes (paper §1).");
+    rep.emit();
 }

@@ -27,7 +27,8 @@ use supermem::persist::{
     recover_transactions, DirectMem, PMem, RecoveredMemory, RecoveryOutcome, TxnManager,
 };
 use supermem::sim::{Config, CounterCacheBacking, CounterCacheMode};
-use supermem::Scheme;
+use supermem::{sweep, Scheme};
+use supermem_bench::Report;
 
 const DATA_ADDR: u64 = 0x2000;
 const LOG_ADDR: u64 = 0x10_0000;
@@ -35,6 +36,8 @@ const DATA_LEN: usize = 256;
 
 const OLD_WORD: u64 = 0x1111_1111_1111_1111;
 const NEW_WORD: u64 = 0x2222_2222_2222_2222;
+
+const SCHEMES: [&str; 4] = ["Unsec", "SuperMem", "WT w/o register", "WB w/o battery"];
 
 #[derive(Debug, Default)]
 struct Tally {
@@ -73,7 +76,7 @@ fn scheme_config(name: &str) -> Config {
 }
 
 /// Sweeps one mutation routine over every append-boundary crash point.
-fn sweep(
+fn crash_sweep(
     cfg: &Config,
     base: &DirectMem,
     mutate: impl Fn(&mut DirectMem),
@@ -105,7 +108,6 @@ fn sweep(
 }
 
 fn main() {
-    let schemes = ["Unsec", "SuperMem", "WT w/o register", "WB w/o battery"];
     let headers = vec![
         "scheme".into(),
         "crash points".into(),
@@ -115,14 +117,14 @@ fn main() {
         "verdict".into(),
     ];
 
-    // --- Experiment 1: durable transaction (Table 1).
-    let mut t1 = TextTable::new(headers.clone());
-    for name in schemes {
+    // --- Experiment 1: durable transaction (Table 1). Each scheme's
+    // crash-point sweep is independent, so schemes run in parallel.
+    let t1_rows = sweep(&SCHEMES, |name| {
         let cfg = scheme_config(name);
         let mut base = DirectMem::new(&cfg);
         base.persist(DATA_ADDR, &[0x11; DATA_LEN]);
         base.shutdown();
-        let (total, tally) = sweep(
+        let (total, tally) = crash_sweep(
             &cfg,
             &base,
             |mem| {
@@ -145,26 +147,27 @@ fn main() {
                 }
             },
         );
-        t1.row(vec![
-            name.into(),
+        vec![
+            (*name).into(),
             total.to_string(),
             tally.old.to_string(),
             tally.new.to_string(),
             tally.unrecoverable.to_string(),
             tally.verdict().into(),
-        ]);
+        ]
+    });
+    let mut t1 = TextTable::new(headers.clone());
+    for row in t1_rows {
+        t1.row(row);
     }
-    println!("Table 1: durable transaction (undo log), crash at every append boundary");
-    println!("{}", t1.render());
 
     // --- Experiment 2: atomic in-place update (Figure 6).
-    let mut t2 = TextTable::new(headers);
-    for name in schemes {
+    let t2_rows = sweep(&SCHEMES, |name| {
         let cfg = scheme_config(name);
         let mut base = DirectMem::new(&cfg);
         base.persist(DATA_ADDR, &OLD_WORD.to_le_bytes());
         base.shutdown();
-        let (total, tally) = sweep(
+        let (total, tally) = crash_sweep(
             &cfg,
             &base,
             |mem| {
@@ -176,16 +179,29 @@ fn main() {
                 _ => None,
             },
         );
-        t2.row(vec![
-            name.into(),
+        vec![
+            (*name).into(),
             total.to_string(),
             tally.old.to_string(),
             tally.new.to_string(),
             tally.unrecoverable.to_string(),
             tally.verdict().into(),
-        ]);
+        ]
+    });
+    let mut t2 = TextTable::new(headers);
+    for row in t2_rows {
+        t2.row(row);
     }
-    println!("Figure 6 scenario: atomic 8-byte in-place update (no log)");
-    println!("{}", t2.render());
-    println!("(old = pre-mutation state; new = mutation visible)");
+
+    let mut rep = Report::new("table1");
+    rep.section(
+        "Table 1: durable transaction (undo log), crash at every append boundary",
+        t1,
+    );
+    rep.section(
+        "Figure 6 scenario: atomic 8-byte in-place update (no log)",
+        t2,
+    );
+    rep.footnote("(old = pre-mutation state; new = mutation visible)");
+    rep.emit();
 }

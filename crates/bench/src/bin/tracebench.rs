@@ -11,19 +11,16 @@ use supermem::metrics::TextTable;
 use supermem::scheme::FIGURE_SCHEMES;
 use supermem::trace::encode;
 use supermem::workloads::spec::ALL_KINDS;
-use supermem::{record_workload_trace, replay_trace, RunConfig, Scheme};
-use supermem_bench::txns;
+use supermem::{record_workload_trace, replay_trace, sweep, RunConfig, Scheme};
+use supermem_bench::{txns, Report};
 
 fn main() {
     let n = txns();
-    let mut table = TextTable::new(
-        std::iter::once("workload".to_owned())
-            .chain(FIGURE_SCHEMES.iter().map(|s| s.name().to_owned()))
-            .chain(std::iter::once("trace size".to_owned()))
-            .collect(),
-    );
-    for kind in ALL_KINDS {
-        let mut rc = RunConfig::new(Scheme::SuperMem, kind);
+    // One job per workload: record the trace, then replay it through
+    // every scheme. The replays share the recorded trace, so the
+    // workload is the natural parallel grain.
+    let rows = sweep(&ALL_KINDS, |kind| {
+        let mut rc = RunConfig::new(Scheme::SuperMem, *kind);
         rc.txns = n;
         rc.req_bytes = 1024;
         rc.array_footprint = 1 << 20;
@@ -39,9 +36,22 @@ fn main() {
             cells.push(format!("{:.2}", lat / b));
         }
         cells.push(format!("{} KiB", encoded.len() / 1024));
+        cells
+    });
+
+    let mut table = TextTable::new(
+        std::iter::once("workload".to_owned())
+            .chain(FIGURE_SCHEMES.iter().map(|s| s.name().to_owned()))
+            .chain(std::iter::once("trace size".to_owned()))
+            .collect(),
+    );
+    for cells in rows {
         table.row(cells);
     }
-    println!("Trace-driven replay: one recorded trace per workload, every scheme");
-    println!("(txn latency normalized to Unsec; identical traffic everywhere)");
-    println!("{}", table.render());
+    let mut rep = Report::new("tracebench");
+    rep.section(
+        "Trace-driven replay: one recorded trace per workload, every scheme\n(txn latency normalized to Unsec; identical traffic everywhere)",
+        table,
+    );
+    rep.emit();
 }

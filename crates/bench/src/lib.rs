@@ -26,9 +26,16 @@
 //! 200) — the figures' *shapes* are stable well below that.
 #![warn(missing_docs)]
 
+pub mod micro;
+pub mod report;
+
+pub use report::Report;
 
 use supermem::metrics::TextTable;
-use supermem::RunResult;
+use supermem::scheme::FIGURE_SCHEMES;
+use supermem::workloads::spec::ALL_KINDS;
+use supermem::workloads::WorkloadKind;
+use supermem::{sweep, RunConfig, RunResult, Scheme};
 
 /// Transactions per run, from `SUPERMEM_TXNS` (default 200).
 pub fn txns() -> u64 {
@@ -41,13 +48,9 @@ pub fn txns() -> u64 {
 /// The paper's three transaction request sizes.
 pub const REQUEST_SIZES: [u64; 3] = [256, 1024, 4096];
 
-/// Renders one normalized-metric table: workloads as rows, schemes as
+/// Builds one normalized-metric table: workloads as rows, schemes as
 /// columns, each cell `metric(scheme) / metric(first scheme)`.
-pub fn normalized_table(
-    title: &str,
-    scheme_names: &[&str],
-    rows: &[(String, Vec<f64>)],
-) -> String {
+pub fn normalized_text_table(scheme_names: &[&str], rows: &[(String, Vec<f64>)]) -> TextTable {
     let mut headers = vec!["workload".to_owned()];
     headers.extend(scheme_names.iter().map(|s| (*s).to_owned()));
     let mut table = TextTable::new(headers);
@@ -57,7 +60,60 @@ pub fn normalized_table(
         cells.extend(values.iter().map(|v| format!("{:.2}", v / base)));
         table.row(cells);
     }
-    format!("{title}\n{}", table.render())
+    table
+}
+
+/// [`normalized_text_table`] rendered under a title line.
+pub fn normalized_table(title: &str, scheme_names: &[&str], rows: &[(String, Vec<f64>)]) -> String {
+    format!(
+        "{title}\n{}",
+        normalized_text_table(scheme_names, rows).render()
+    )
+}
+
+/// The workload × scheme grid behind Figures 13–15: one [`RunConfig`]
+/// per (part, workload, scheme) cell, all cells executed through the
+/// parallel sweep engine, one table per part with each workload row
+/// normalized to the first scheme's metric.
+///
+/// Cells are reassembled **in input order**, so the rendered report is
+/// byte-identical to the historical sequential nested loops.
+pub fn normalized_figure_report<F, R, M>(
+    name: &str,
+    part_titles: &[String],
+    make: F,
+    runner: R,
+    metric: M,
+) -> Report
+where
+    F: Fn(usize, WorkloadKind, Scheme) -> RunConfig,
+    R: Fn(&RunConfig) -> RunResult + Sync,
+    M: Fn(&RunResult) -> f64,
+{
+    let mut jobs = Vec::new();
+    for part in 0..part_titles.len() {
+        for kind in ALL_KINDS {
+            for scheme in FIGURE_SCHEMES {
+                jobs.push(make(part, kind, scheme));
+            }
+        }
+    }
+    let results = sweep(&jobs, |rc| runner(rc));
+    let scheme_names = FIGURE_SCHEMES.map(|s| s.name());
+    let cells_per_part = ALL_KINDS.len() * FIGURE_SCHEMES.len();
+    let mut rep = Report::new(name);
+    for (part, chunk) in results.chunks(cells_per_part).enumerate() {
+        let rows: Vec<(String, Vec<f64>)> = ALL_KINDS
+            .iter()
+            .zip(chunk.chunks(FIGURE_SCHEMES.len()))
+            .map(|(kind, cells)| (kind.name().to_owned(), cells.iter().map(&metric).collect()))
+            .collect();
+        rep.section(
+            &part_titles[part],
+            normalized_text_table(&scheme_names, &rows),
+        );
+    }
+    rep
 }
 
 /// Formats a run's headline numbers for debugging output.

@@ -75,6 +75,12 @@ impl CounterCache {
         self.cache.peek(page.0)
     }
 
+    /// True if `page` is resident with unpersisted updates. No LRU or
+    /// statistics side effects; always `false` for write-through caches.
+    pub fn is_dirty(&self, page: supermem_nvm::addr::PageId) -> bool {
+        self.cache.is_dirty(page.0)
+    }
+
     /// Inserts counters fetched from NVM. Returns an evicted entry; in
     /// write-back mode a *dirty* eviction must be persisted by the
     /// caller.
@@ -190,7 +196,10 @@ mod tests {
         cc.fill(PageId(1), CounterLine::new());
         let mut line = CounterLine::new();
         line.increment(0);
-        assert_eq!(cc.update(PageId(1), line), CounterCacheOutcome::WriteThrough);
+        assert_eq!(
+            cc.update(PageId(1), line),
+            CounterCacheOutcome::WriteThrough
+        );
         assert!(cc.drain_dirty().is_empty());
     }
 
@@ -200,7 +209,10 @@ mod tests {
         cc.fill(PageId(1), CounterLine::new());
         let mut line = CounterLine::new();
         line.increment(5);
-        assert_eq!(cc.update(PageId(1), line.clone()), CounterCacheOutcome::Deferred);
+        assert_eq!(
+            cc.update(PageId(1), line.clone()),
+            CounterCacheOutcome::Deferred
+        );
         let dirty = cc.drain_dirty();
         assert_eq!(dirty, vec![(PageId(1), line)]);
     }

@@ -63,12 +63,15 @@ impl CacheHierarchy {
     /// Builds the hierarchy described by `cfg` (sizes, ways, latencies,
     /// core count).
     pub fn new(cfg: &Config) -> Self {
-        let mk = |bytes: u64, ways: usize| {
-            SetAssocCache::with_geometry(bytes, cfg.line_bytes, ways)
-        };
+        let mk =
+            |bytes: u64, ways: usize| SetAssocCache::with_geometry(bytes, cfg.line_bytes, ways);
         Self {
-            l1: (0..cfg.cores).map(|_| mk(cfg.l1_bytes, cfg.l1_ways)).collect(),
-            l2: (0..cfg.cores).map(|_| mk(cfg.l2_bytes, cfg.l2_ways)).collect(),
+            l1: (0..cfg.cores)
+                .map(|_| mk(cfg.l1_bytes, cfg.l1_ways))
+                .collect(),
+            l2: (0..cfg.cores)
+                .map(|_| mk(cfg.l2_bytes, cfg.l2_ways))
+                .collect(),
             l3: mk(cfg.l3_bytes, cfg.l3_ways),
             l1_latency: cfg.l1_latency,
             l2_latency: cfg.l2_latency,

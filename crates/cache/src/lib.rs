@@ -23,7 +23,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod counter_cache;
 pub mod hierarchy;
 pub mod setassoc;

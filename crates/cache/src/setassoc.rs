@@ -138,7 +138,10 @@ impl<V> SetAssocCache<V> {
     /// Checks residency without perturbing LRU or hit counters.
     pub fn peek(&self, key: u64) -> Option<&V> {
         let set = self.set_of(key);
-        self.sets[set].iter().find(|s| s.key == key).map(|s| &s.value)
+        self.sets[set]
+            .iter()
+            .find(|s| s.key == key)
+            .map(|s| &s.value)
     }
 
     /// True if `key` is resident and dirty (no LRU side effects).
@@ -393,38 +396,47 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
+    //! Deterministic randomized tests (seeded SplitMix64 stands in for
+    //! proptest, which is unavailable in offline builds).
     use super::*;
-    use proptest::prelude::*;
     use std::collections::HashMap;
+    use supermem_sim::SplitMix64;
 
-    proptest! {
-        /// The cache never exceeds its capacity and any resident entry
-        /// holds the most recently inserted value for its key.
-        #[test]
-        fn capacity_and_coherence(ops in proptest::collection::vec((0u64..32, any::<u16>()), 1..200)) {
+    /// The cache never exceeds its capacity and any resident entry
+    /// holds the most recently inserted value for its key.
+    #[test]
+    fn capacity_and_coherence() {
+        let mut rng = SplitMix64::new(0xCAC4E);
+        for _ in 0..64 {
             let mut c: SetAssocCache<u16> = SetAssocCache::new(4, 2);
             let mut shadow: HashMap<u64, u16> = HashMap::new();
-            for (k, v) in ops {
+            for _ in 0..rng.next_range(1, 200) {
+                let k = rng.next_below(32);
+                let v = rng.next_u64() as u16;
                 c.insert(k, v);
                 shadow.insert(k, v);
-                prop_assert!(c.len() <= 8);
+                assert!(c.len() <= 8);
                 if let Some(resident) = c.peek(k) {
-                    prop_assert_eq!(resident, &shadow[&k]);
+                    assert_eq!(resident, &shadow[&k]);
                 }
             }
             for (k, v, _) in c.iter() {
-                prop_assert_eq!(&shadow[&k], v);
+                assert_eq!(&shadow[&k], v);
             }
         }
+    }
 
-        /// Dirty data is never silently lost: an entry that was marked
-        /// dirty either remains resident or is reported dirty on eviction.
-        #[test]
-        fn no_silent_dirty_loss(keys in proptest::collection::vec(0u64..16, 1..100)) {
+    /// Dirty data is never silently lost: an entry that was marked
+    /// dirty either remains resident or is reported dirty on eviction.
+    #[test]
+    fn no_silent_dirty_loss() {
+        let mut rng = SplitMix64::new(0xD127);
+        for _ in 0..64 {
             let mut c: SetAssocCache<u64> = SetAssocCache::new(2, 2);
             let mut dirty_outstanding: std::collections::HashSet<u64> = Default::default();
-            for k in keys {
+            for _ in 0..rng.next_range(1, 100) {
+                let k = rng.next_below(16);
                 if let Some(ev) = c.insert_with_dirty(k, k, true) {
                     if ev.dirty {
                         dirty_outstanding.remove(&ev.key);
@@ -433,7 +445,7 @@ mod proptests {
                 dirty_outstanding.insert(k);
                 // Every outstanding dirty key must still be resident.
                 for d in &dirty_outstanding {
-                    prop_assert!(c.is_dirty(*d), "dirty key {d} lost");
+                    assert!(c.is_dirty(*d), "dirty key {d} lost");
                 }
             }
         }

@@ -66,7 +66,7 @@ pub fn parse_run_flags(argv: &[String]) -> Result<Parsed, ArgError> {
     let mut leftover = Vec::new();
     let mut it = argv.iter().peekable();
     let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
-                     flag: &str|
+                 flag: &str|
      -> Result<String, ArgError> {
         it.next()
             .cloned()
@@ -135,8 +135,23 @@ mod tests {
     #[test]
     fn parses_full_flag_set() {
         let p = parse_run_flags(&strs(&[
-            "--scheme", "wt+cwc", "--workload", "btree", "--txns", "42", "--req", "4K",
-            "--wq", "64", "--cc", "1M", "--programs", "4", "--seed", "9", "--csv",
+            "--scheme",
+            "wt+cwc",
+            "--workload",
+            "btree",
+            "--txns",
+            "42",
+            "--req",
+            "4K",
+            "--wq",
+            "64",
+            "--cc",
+            "1M",
+            "--programs",
+            "4",
+            "--seed",
+            "9",
+            "--csv",
         ]))
         .unwrap();
         assert_eq!(p.rc.scheme, Scheme::WtCwc);

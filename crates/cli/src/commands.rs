@@ -6,7 +6,7 @@ use supermem::persist::{
     TxnManager,
 };
 use supermem::workloads::spec::ALL_KINDS;
-use supermem::{run_multicore, run_single, RunConfig, RunResult};
+use supermem::{run_multicore, run_single, sweep, RunConfig, RunResult};
 
 use crate::args::{parse_run_flags, ArgError, Parsed};
 
@@ -33,9 +33,18 @@ fn result_row(r: &RunResult) -> Vec<String> {
 }
 
 fn result_headers() -> Vec<String> {
-    ["scheme", "workload", "txns", "cyc/txn", "nvm writes", "coalesced", "cc hit", "cycles"]
-        .map(str::to_owned)
-        .to_vec()
+    [
+        "scheme",
+        "workload",
+        "txns",
+        "cyc/txn",
+        "nvm writes",
+        "coalesced",
+        "cc hit",
+        "cycles",
+    ]
+    .map(str::to_owned)
+    .to_vec()
 }
 
 /// `supermem run`
@@ -73,11 +82,7 @@ pub fn cmd_sweep(argv: &[String]) -> Result<(), ArgError> {
         return Err(ArgError("--values must list at least one point".into()));
     }
 
-    let mut t = TextTable::new(
-        std::iter::once(param.clone())
-            .chain(result_headers())
-            .collect(),
-    );
+    let mut jobs = Vec::with_capacity(points.len());
     for &v in &points {
         let mut rc = p.rc.clone();
         match param.as_str() {
@@ -87,9 +92,20 @@ pub fn cmd_sweep(argv: &[String]) -> Result<(), ArgError> {
             "programs" => rc.programs = v as usize,
             other => return Err(ArgError(format!("unknown sweep param `{other}`"))),
         }
-        let r = execute(&rc);
+        jobs.push(rc);
+    }
+    // All points run through the parallel sweep engine; results come
+    // back in input order, so the table matches the sequential output.
+    let results = sweep(&jobs, execute);
+
+    let mut t = TextTable::new(
+        std::iter::once(param.clone())
+            .chain(result_headers())
+            .collect(),
+    );
+    for (&v, r) in points.iter().zip(&results) {
         let mut row = vec![v.to_string()];
-        row.extend(result_row(&r));
+        row.extend(result_row(r));
         t.row(row);
     }
     print!("{}", if p.csv { t.to_csv() } else { t.render() });

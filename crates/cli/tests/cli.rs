@@ -37,7 +37,13 @@ fn list_names_all_schemes_and_workloads() {
 #[test]
 fn run_produces_a_result_row() {
     let (ok, stdout, stderr) = run(&[
-        "run", "--scheme", "supermem", "--workload", "queue", "--txns", "25",
+        "run",
+        "--scheme",
+        "supermem",
+        "--workload",
+        "queue",
+        "--txns",
+        "25",
     ]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("SuperMem"));
@@ -48,7 +54,14 @@ fn run_produces_a_result_row() {
 #[test]
 fn csv_output_is_machine_readable() {
     let (ok, stdout, _) = run(&[
-        "run", "--scheme", "unsec", "--workload", "queue", "--txns", "20", "--csv",
+        "run",
+        "--scheme",
+        "unsec",
+        "--workload",
+        "queue",
+        "--txns",
+        "20",
+        "--csv",
     ]);
     assert!(ok);
     let mut lines = stdout.lines();
@@ -61,8 +74,16 @@ fn csv_output_is_machine_readable() {
 #[test]
 fn sweep_emits_one_row_per_point() {
     let (ok, stdout, stderr) = run(&[
-        "sweep", "--param", "wq", "--values", "8,32", "--workload", "queue", "--txns",
-        "20", "--csv",
+        "sweep",
+        "--param",
+        "wq",
+        "--values",
+        "8,32",
+        "--workload",
+        "queue",
+        "--txns",
+        "20",
+        "--csv",
     ]);
     assert!(ok, "stderr: {stderr}");
     assert_eq!(stdout.lines().count(), 3, "header + 2 rows:\n{stdout}");

@@ -43,24 +43,27 @@
 //!   secure memory controller, exposing the
 //!   [`PMem`](supermem_persist::PMem) interface.
 //! * [`runner`] — single-core and multi-core experiment drivers.
+//! * [`sweep`] — parallel experiment engine: fans independent runs over
+//!   a scoped worker pool, results in input order (bit-identical to a
+//!   sequential sweep).
 //! * [`metrics`] — result aggregation and normalization helpers for the
 //!   figure harness.
 #![warn(missing_docs)]
-
 
 pub mod metrics;
 pub mod runner;
 pub mod sca;
 pub mod scheme;
+pub mod sweep;
 pub mod system;
 
 pub use metrics::RunResult;
 pub use runner::{
-    record_workload_trace, replay_trace, run_multicore, run_multicore_trace, run_single,
-    RunConfig,
+    record_workload_trace, replay_trace, run_multicore, run_multicore_trace, run_single, RunConfig,
 };
 pub use sca::ScaSystem;
 pub use scheme::Scheme;
+pub use sweep::{run_batch, sweep, worker_count};
 pub use system::{System, SystemBuilder};
 
 // Re-export the substrate crates so downstream users need only one

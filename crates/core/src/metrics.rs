@@ -118,6 +118,16 @@ impl TextTable {
         self.rows.push(cells);
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The appended rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Renders the aligned table.
     pub fn render(&self) -> String {
         let cols = self.headers.len();

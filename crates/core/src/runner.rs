@@ -236,7 +236,8 @@ pub fn record_workload_trace(rc: &RunConfig) -> Vec<TraceEvent> {
         w.step(&mut recorder).expect("transaction commit failed");
         recorder.txn_end();
     }
-    w.verify(&mut recorder).expect("workload verification failed");
+    w.verify(&mut recorder)
+        .expect("workload verification failed");
     recorder.into_trace()
 }
 
@@ -400,7 +401,10 @@ mod tests {
         let u = unsec.mean_txn_latency();
         let w = wt.mean_txn_latency();
         let s = sm.mean_txn_latency();
-        assert!(w > u * 1.2, "WT ({w:.0}) must clearly exceed Unsec ({u:.0})");
+        assert!(
+            w > u * 1.2,
+            "WT ({w:.0}) must clearly exceed Unsec ({u:.0})"
+        );
         assert!(s < w, "SuperMem ({s:.0}) must beat WT ({w:.0})");
     }
 
@@ -410,7 +414,10 @@ mod tests {
         let wt = run_single(&quick(Scheme::WriteThrough, WorkloadKind::Queue));
         let sm = run_single(&quick(Scheme::SuperMem, WorkloadKind::Queue));
         let base = unsec.nvm_writes() as f64;
-        assert!((wt.nvm_writes() as f64 / base - 2.0).abs() < 0.15, "WT ~2x writes");
+        assert!(
+            (wt.nvm_writes() as f64 / base - 2.0).abs() < 0.15,
+            "WT ~2x writes"
+        );
         assert!(
             (sm.nvm_writes() as f64) < wt.nvm_writes() as f64 * 0.9,
             "CWC must remove counter writes"
@@ -500,7 +507,10 @@ mod tests {
         // Compare the log+bucket region head (written bytes only).
         reference.read(0, &mut a);
         rec.read(0, &mut b);
-        assert_eq!(a, b, "replayed ciphertext must decrypt to the reference bytes");
+        assert_eq!(
+            a, b,
+            "replayed ciphertext must decrypt to the reference bytes"
+        );
     }
 
     #[test]

@@ -155,7 +155,10 @@ mod tests {
         let mut rec = RecoveredMemory::from_image(&cfg, sys.crash_now());
         let mut buf = [0u8; 128];
         rec.read(0x1000, &mut buf);
-        assert_ne!(buf, [7; 128], "unmodified app on SCA hardware loses counters");
+        assert_ne!(
+            buf, [7; 128],
+            "unmodified app on SCA hardware loses counters"
+        );
     }
 
     #[test]

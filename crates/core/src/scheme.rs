@@ -134,15 +134,15 @@ impl Scheme {
     /// post-crash counter reconstruction.
     pub fn counter_atomic(self) -> bool {
         match self {
-            Scheme::Unsec => true, // no counters to lose
+            Scheme::Unsec => true,          // no counters to lose
             Scheme::WriteBackIdeal => true, // battery persists the cache
             Scheme::WriteThrough
             | Scheme::WtCwc
             | Scheme::WtXbank
             | Scheme::SuperMem
             | Scheme::WtSameBank => true, // write-through + atomic register
-            Scheme::Osiris => false, // recoverable, but only via ECC search
-            Scheme::Sca => false, // atomic only at software-inserted points
+            Scheme::Osiris => false,        // recoverable, but only via ECC search
+            Scheme::Sca => false,           // atomic only at software-inserted points
         }
     }
 }
@@ -200,7 +200,10 @@ mod tests {
     #[test]
     fn names_are_paper_labels() {
         let names: Vec<&str> = FIGURE_SCHEMES.iter().map(|s| s.name()).collect();
-        assert_eq!(names, ["Unsec", "WB", "WT", "WT+CWC", "WT+XBank", "SuperMem"]);
+        assert_eq!(
+            names,
+            ["Unsec", "WB", "WT", "WT+CWC", "WT+XBank", "SuperMem"]
+        );
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Parallel experiment engine.
+//!
+//! Every figure in the evaluation is a grid of independent runs: each
+//! [`RunConfig`] fully determines its [`RunResult`] (the simulator is
+//! seeded and single-threaded *within* a run), so a figure's cell jobs
+//! can execute on any host thread in any order without changing a
+//! single output bit. This module fans a job list over a scoped worker
+//! pool and returns results **in input order**, which is what makes the
+//! figure binaries' tables byte-identical to their sequential output.
+//!
+//! Worker count comes from [`worker_count`]: the `SUPERMEM_THREADS`
+//! environment variable when set (a value of `1` forces the sequential
+//! path, useful for A/B timing), otherwise
+//! [`std::thread::available_parallelism`].
+//!
+//! ```
+//! use supermem::workloads::WorkloadKind;
+//! use supermem::{run_batch, RunConfig, Scheme};
+//!
+//! let mut rc = RunConfig::new(Scheme::SuperMem, WorkloadKind::Array);
+//! rc.txns = 5;
+//! let results = run_batch(&[rc.clone(), rc]);
+//! assert_eq!(results[0].total_cycles, results[1].total_cycles);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::metrics::RunResult;
+use crate::runner::{run_single, RunConfig};
+
+/// Number of worker threads a sweep will use: `SUPERMEM_THREADS` if set
+/// to a positive integer, else the host's available parallelism.
+pub fn worker_count() -> usize {
+    if let Some(n) = std::env::var("SUPERMEM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `worker` over every job on [`worker_count`] threads, returning
+/// results in input order.
+///
+/// Jobs are claimed dynamically (an atomic cursor), so a long-running
+/// cell does not stall the rest of its row. With one worker (or one
+/// job) this degenerates to a plain sequential map — no threads are
+/// spawned — which keeps single-core hosts and `SUPERMEM_THREADS=1`
+/// A/B runs free of scheduling noise.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker (the scope joins all threads
+/// first).
+pub fn sweep<J, T, F>(jobs: &[J], worker: F) -> Vec<T>
+where
+    J: Sync,
+    T: Send,
+    F: Fn(&J) -> T + Sync,
+{
+    sweep_on(worker_count(), jobs, worker)
+}
+
+/// [`sweep`] with an explicit thread count (testable without touching
+/// the process environment).
+pub fn sweep_on<J, T, F>(threads: usize, jobs: &[J], worker: F) -> Vec<T>
+where
+    J: Sync,
+    T: Send,
+    F: Fn(&J) -> T + Sync,
+{
+    let threads = threads.max(1).min(jobs.len());
+    if threads <= 1 {
+        return jobs.iter().map(worker).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                let out = worker(job);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every claimed job stores a result")
+        })
+        .collect()
+}
+
+/// Runs a batch of experiment configurations through [`run_single`] in
+/// parallel, preserving input order.
+pub fn run_batch(configs: &[RunConfig]) -> Vec<RunResult> {
+    sweep(configs, run_single)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::WorkloadKind;
+    use crate::Scheme;
+
+    #[test]
+    fn preserves_input_order() {
+        let jobs: Vec<u64> = (0..100).collect();
+        let out = sweep_on(8, &jobs, |&j| j * 3);
+        assert_eq!(out, (0..100).map(|j| j * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let jobs: Vec<u64> = (0..64).collect();
+        let seq = sweep_on(1, &jobs, |&j| j.wrapping_mul(0x9E37_79B9).rotate_left(7));
+        for threads in [2, 3, 8, 64, 200] {
+            let par = sweep_on(threads, &jobs, |&j| {
+                j.wrapping_mul(0x9E37_79B9).rotate_left(7)
+            });
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_job() {
+        let out: Vec<u64> = sweep_on(4, &[], |j: &u64| *j);
+        assert!(out.is_empty());
+        assert_eq!(sweep_on(4, &[7u64], |j| j + 1), vec![8]);
+    }
+
+    #[test]
+    fn run_batch_matches_run_single() {
+        let mut rc = RunConfig::new(Scheme::SuperMem, WorkloadKind::Array);
+        rc.txns = 10;
+        let configs = vec![rc.clone(), rc.clone()];
+        let batch = sweep_on(2, &configs, run_single);
+        let solo = run_single(&rc);
+        for r in &batch {
+            assert_eq!(r.total_cycles, solo.total_cycles);
+            assert_eq!(r.stats, solo.stats);
+        }
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+}

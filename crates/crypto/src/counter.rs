@@ -297,58 +297,61 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
+    //! Deterministic randomized tests (seeded SplitMix64 stands in for
+    //! proptest, which is unavailable in offline builds).
     use super::*;
-    use proptest::prelude::*;
+    use supermem_sim::SplitMix64;
 
-    fn arb_counterline() -> impl Strategy<Value = CounterLine> {
-        (
-            any::<u64>(),
-            proptest::collection::vec(0u8..MINOR_LIMIT, LINES_PER_PAGE),
-        )
-            .prop_map(|(major, minors)| {
-                let mut c = CounterLine::new();
-                // Build through the public-ish path: set fields directly
-                // via decode of a hand-packed image would re-test decode,
-                // so construct via increments is too slow; use encode of a
-                // manually assembled value instead.
-                c.major = major;
-                c.minors.copy_from_slice(&minors);
-                c
-            })
+    fn random_counterline(rng: &mut SplitMix64) -> CounterLine {
+        let mut c = CounterLine::new();
+        c.major = rng.next_u64();
+        for m in &mut c.minors {
+            *m = rng.next_below(MINOR_LIMIT as u64) as u8;
+        }
+        c
     }
 
-    proptest! {
-        #[test]
-        fn roundtrip_encode_decode(c in arb_counterline()) {
-            prop_assert_eq!(CounterLine::decode(&c.encode()), c);
+    #[test]
+    fn roundtrip_encode_decode() {
+        let mut rng = SplitMix64::new(0xC0DE);
+        for _ in 0..256 {
+            let c = random_counterline(&mut rng);
+            assert_eq!(CounterLine::decode(&c.encode()), c);
         }
+    }
 
-        #[test]
-        fn increments_always_supersede(mut c in arb_counterline(), line in 0usize..LINES_PER_PAGE) {
+    #[test]
+    fn increments_always_supersede() {
+        let mut rng = SplitMix64::new(0x5EED);
+        for _ in 0..256 {
+            let mut c = random_counterline(&mut rng);
+            let line = rng.next_below(LINES_PER_PAGE as u64) as usize;
             let before = c.clone();
             match c.increment(line) {
                 IncrementOutcome::Incremented(_) => {
-                    prop_assert!(c.supersedes(&before));
-                    prop_assert!(!before.supersedes(&c));
+                    assert!(c.supersedes(&before));
+                    assert!(!before.supersedes(&c));
                 }
                 IncrementOutcome::Overflow => {
-                    prop_assert_eq!(&c, &before);
+                    assert_eq!(&c, &before);
                     c.bump_major();
-                    prop_assert!(c.supersedes(&before));
+                    assert!(c.supersedes(&before));
                 }
             }
         }
+    }
 
-        #[test]
-        fn decode_never_yields_saturated_minor(bytes in proptest::array::uniform32(any::<u8>())) {
-            // decode masks each minor to 7 bits even for arbitrary input.
+    #[test]
+    fn decode_never_yields_saturated_minor() {
+        // decode masks each minor to 7 bits even for arbitrary input.
+        let mut rng = SplitMix64::new(0xDEC0DE);
+        for _ in 0..256 {
             let mut full = [0u8; 64];
-            full[..32].copy_from_slice(&bytes);
-            full[32..].copy_from_slice(&bytes);
+            rng.fill_bytes(&mut full);
             let c = CounterLine::decode(&full);
             for i in 0..LINES_PER_PAGE {
-                prop_assert!(c.minor(i) < MINOR_LIMIT);
+                assert!(c.minor(i) < MINOR_LIMIT);
             }
         }
     }

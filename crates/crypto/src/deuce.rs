@@ -90,7 +90,11 @@ impl DeuceEngine {
         meta.count += 1;
         if meta.count.is_multiple_of(EPOCH) || old_plain.is_none() {
             // Epoch boundary (or first write): full re-encryption.
-            meta.mask = if meta.count.is_multiple_of(EPOCH) { 0 } else { u16::MAX };
+            meta.mask = if meta.count.is_multiple_of(EPOCH) {
+                0
+            } else {
+                u16::MAX
+            };
             if meta.count.is_multiple_of(EPOCH) {
                 let pad = self.pad(addr, meta.count);
                 return xor(new_plain, &pad);
@@ -187,7 +191,12 @@ mod tests {
     fn to_boundary(e: &DeuceEngine, meta: &mut DeuceMeta, addr: u64, plain: &[u8; 64]) -> [u8; 64] {
         let mut cipher;
         loop {
-            cipher = e.write(meta, addr, if meta.count == 0 { None } else { Some(plain) }, plain);
+            cipher = e.write(
+                meta,
+                addr,
+                if meta.count == 0 { None } else { Some(plain) },
+                plain,
+            );
             if meta.count.is_multiple_of(EPOCH) {
                 return cipher;
             }
@@ -223,7 +232,10 @@ mod tests {
         let c0 = e.encrypt_line(&plain, 0x80, 0, 1);
         let c1 = e.encrypt_line(&plain, 0x80, 0, 2);
         let flips = bit_flips(&c0, &c1);
-        assert!(flips > 180, "CTR rewrite should flip ~256 bits, got {flips}");
+        assert!(
+            flips > 180,
+            "CTR rewrite should flip ~256 bits, got {flips}"
+        );
     }
 
     #[test]

@@ -46,12 +46,16 @@ impl EncryptionEngine {
     /// counter above 2^48 is unreachable within NVM endurance (the same
     /// argument the paper makes for 64 bits).
     pub fn otp(&self, line_addr: u64, major: u64, minor: u8) -> [u8; 64] {
+        // The four chunk seeds share bytes 0..15 (address ‖ major ‖
+        // minor); only the chunk-index byte varies, so the prefix is
+        // assembled once. The AES key schedule was expanded once at
+        // engine construction and is reused across all four blocks.
+        let mut seed = [0u8; 16];
+        seed[..8].copy_from_slice(&line_addr.to_le_bytes());
+        seed[8..14].copy_from_slice(&major.to_le_bytes()[..6]);
+        seed[14] = minor;
         let mut pad = [0u8; 64];
         for idx in 0u8..4 {
-            let mut seed = [0u8; 16];
-            seed[..8].copy_from_slice(&line_addr.to_le_bytes());
-            seed[8..14].copy_from_slice(&major.to_le_bytes()[..6]);
-            seed[14] = minor;
             seed[15] = idx;
             let block = self.aes.encrypt_block(seed);
             pad[idx as usize * 16..idx as usize * 16 + 16].copy_from_slice(&block);
@@ -60,7 +64,13 @@ impl EncryptionEngine {
     }
 
     /// Encrypts a 64-byte line: `cipher = plain XOR OTP`.
-    pub fn encrypt_line(&self, plain: &[u8; 64], line_addr: u64, major: u64, minor: u8) -> [u8; 64] {
+    pub fn encrypt_line(
+        &self,
+        plain: &[u8; 64],
+        line_addr: u64,
+        major: u64,
+        minor: u8,
+    ) -> [u8; 64] {
         let pad = self.otp(line_addr, major, minor);
         let mut out = [0u8; 64];
         for i in 0..64 {
@@ -172,37 +182,48 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
+    //! Deterministic randomized tests (seeded SplitMix64 stands in for
+    //! proptest, which is unavailable in offline builds).
     use super::*;
-    use proptest::prelude::*;
+    use supermem_sim::SplitMix64;
 
-    proptest! {
-        #[test]
-        fn roundtrip_any_line(
-            data in proptest::array::uniform32(any::<u8>()),
-            addr in any::<u64>(),
-            major in any::<u64>(),
-            minor in 0u8..128,
-        ) {
-            let e = EncryptionEngine::new([0xA5; 16]);
+    #[test]
+    fn roundtrip_any_line() {
+        let e = EncryptionEngine::new([0xA5; 16]);
+        let mut rng = SplitMix64::new(0xE1C0DE);
+        for _ in 0..512 {
             let mut line = [0u8; 64];
-            line[..32].copy_from_slice(&data);
-            line[32..].copy_from_slice(&data);
+            rng.fill_bytes(&mut line);
+            let addr = rng.next_u64();
+            let major = rng.next_u64();
+            let minor = rng.next_below(128) as u8;
             let ct = e.encrypt_line(&line, addr, major, minor);
-            prop_assert_eq!(e.decrypt_line(&ct, addr, major, minor), line);
+            assert_eq!(
+                e.decrypt_line(&ct, addr, major, minor),
+                line,
+                "addr={addr:#x} major={major} minor={minor}"
+            );
         }
+    }
 
-        #[test]
-        fn xor_depth_one(
-            addr in any::<u64>(),
-            major in 0u64..(1 << 48),
-            minor in 0u8..128,
-        ) {
-            // encrypt(encrypt(x)) == x: the pad application is an involution.
-            let e = EncryptionEngine::new([0x77; 16]);
-            let line = [0x3Cu8; 64];
-            let twice = e.encrypt_line(&e.encrypt_line(&line, addr, major, minor), addr, major, minor);
-            prop_assert_eq!(twice, line);
+    #[test]
+    fn xor_depth_one() {
+        // encrypt(encrypt(x)) == x: the pad application is an involution.
+        let e = EncryptionEngine::new([0x77; 16]);
+        let line = [0x3Cu8; 64];
+        let mut rng = SplitMix64::new(0xDE97);
+        for _ in 0..512 {
+            let addr = rng.next_u64();
+            let major = rng.next_below(1 << 48);
+            let minor = rng.next_below(128) as u8;
+            let twice = e.encrypt_line(
+                &e.encrypt_line(&line, addr, major, minor),
+                addr,
+                major,
+                minor,
+            );
+            assert_eq!(twice, line, "addr={addr:#x} major={major} minor={minor}");
         }
     }
 }

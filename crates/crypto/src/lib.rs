@@ -32,7 +32,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod aes;
 pub mod counter;
 pub mod deuce;

@@ -156,7 +156,10 @@ mod tests {
         let mut b = bmt(1000);
         b.update(123, &[7u8; 64]);
         assert!(b.verify(123, &[7u8; 64]));
-        assert!(!b.verify(123, &[0u8; 64]), "old value must no longer verify");
+        assert!(
+            !b.verify(123, &[0u8; 64]),
+            "old value must no longer verify"
+        );
         // Untouched pages still verify.
         assert!(b.verify(124, &[0u8; 64]));
     }
@@ -233,65 +236,78 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
+    //! Deterministic randomized tests (seeded SplitMix64 stands in for
+    //! proptest, which is unavailable in offline builds).
     use super::*;
-    use proptest::prelude::*;
+    use supermem_sim::SplitMix64;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// After any update sequence, the latest value of every touched
-        /// page verifies and a forged value does not.
-        #[test]
-        fn updates_verify_and_forgeries_fail(
-            updates in proptest::collection::vec((0u64..200, any::<u8>()), 1..60)
-        ) {
+    /// After any update sequence, the latest value of every touched
+    /// page verifies and a forged value does not.
+    #[test]
+    fn updates_verify_and_forgeries_fail() {
+        let mut rng = SplitMix64::new(0xB317);
+        for _ in 0..24 {
             let mut b = Bmt::new([1; 16], 200);
             let mut latest = std::collections::HashMap::new();
-            for (page, fill) in &updates {
-                b.update(*page, &[*fill; 64]);
-                latest.insert(*page, *fill);
+            for _ in 0..rng.next_range(1, 60) {
+                let page = rng.next_below(200);
+                let fill = rng.next_u64() as u8;
+                b.update(page, &[fill; 64]);
+                latest.insert(page, fill);
             }
             for (page, fill) in &latest {
-                prop_assert!(b.verify(*page, &[*fill; 64]));
-                prop_assert!(!b.verify(*page, &[fill.wrapping_add(1); 64]));
+                assert!(b.verify(*page, &[*fill; 64]));
+                assert!(!b.verify(*page, &[fill.wrapping_add(1); 64]));
             }
         }
+    }
 
-        /// Tampering any stored node that verification consults as a
-        /// *sibling* (not a node it recomputes itself) is detected.
-        /// Nodes on the page's own path are recomputed and substituted,
-        /// so tampering them is inconsequential — and correctly NOT
-        /// reported, because the recomputation supersedes them.
-        #[test]
-        fn sibling_tampering_is_detected(
-            page in 0u64..64,
-            level in 0usize..2,
-            offset in 1usize..8, // never the page's own node
-            xor in 1u64..u64::MAX,
-        ) {
+    /// Tampering any stored node that verification consults as a
+    /// *sibling* (not a node it recomputes itself) is detected.
+    /// Nodes on the page's own path are recomputed and substituted,
+    /// so tampering them is inconsequential — and correctly NOT
+    /// reported, because the recomputation supersedes them.
+    #[test]
+    fn sibling_tampering_is_detected() {
+        let mut rng = SplitMix64::new(0x7A3B);
+        for _ in 0..64 {
+            let page = rng.next_below(64);
+            let level = rng.next_below(2) as usize;
+            let offset = rng.next_range(1, 8) as usize; // never the page's own node
+            let xor = rng.next_range(1, u64::MAX);
             let mut b = Bmt::new([2; 16], 64);
             b.update(page, &[0xCC; 64]);
-            let own = if level == 0 { page as usize } else { page as usize / 8 };
+            let own = if level == 0 {
+                page as usize
+            } else {
+                page as usize / 8
+            };
             let group = own / 8 * 8;
             let idx = group + (own % 8 + offset) % 8;
             b.tamper_node(level, idx, xor);
-            prop_assert!(!b.verify(page, &[0xCC; 64]));
+            assert!(!b.verify(page, &[0xCC; 64]));
         }
+    }
 
-        /// Conversely: tampering a node the verifier recomputes (its own
-        /// path) does not break verification of the true value.
-        #[test]
-        fn own_path_nodes_are_self_healing(
-            page in 0u64..64,
-            level in 0usize..2,
-            xor in 1u64..u64::MAX,
-        ) {
+    /// Conversely: tampering a node the verifier recomputes (its own
+    /// path) does not break verification of the true value.
+    #[test]
+    fn own_path_nodes_are_self_healing() {
+        let mut rng = SplitMix64::new(0x4EA1);
+        for _ in 0..64 {
+            let page = rng.next_below(64);
+            let level = rng.next_below(2) as usize;
+            let xor = rng.next_range(1, u64::MAX);
             let mut b = Bmt::new([2; 16], 64);
             b.update(page, &[0xCC; 64]);
-            let own = if level == 0 { page as usize } else { page as usize / 8 };
+            let own = if level == 0 {
+                page as usize
+            } else {
+                page as usize / 8
+            };
             b.tamper_node(level, own, xor);
-            prop_assert!(b.verify(page, &[0xCC; 64]));
+            assert!(b.verify(page, &[0xCC; 64]));
         }
     }
 }

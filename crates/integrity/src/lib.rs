@@ -32,7 +32,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod bmt;
 pub mod digest;
 

@@ -35,7 +35,10 @@ use supermem_sim::CounterPlacement;
 /// assert_eq!(counter_bank(CounterPlacement::SameBank, 5, 8), 5);
 /// ```
 pub fn counter_bank(placement: CounterPlacement, data_bank: usize, banks: usize) -> usize {
-    assert!(data_bank < banks, "bank {data_bank} out of range ({banks} banks)");
+    assert!(
+        data_bank < banks,
+        "bank {data_bank} out of range ({banks} banks)"
+    );
     match placement {
         CounterPlacement::SingleBank => banks - 1,
         CounterPlacement::SameBank => data_bank,

@@ -18,9 +18,9 @@
 //! the data append when the atomic register is disabled (Figure 6).
 
 use supermem_cache::{CounterCache, CounterCacheOutcome};
-use supermem_integrity::Bmt;
 use supermem_crypto::counter::IncrementOutcome;
 use supermem_crypto::{CounterLine, EncryptionEngine};
+use supermem_integrity::Bmt;
 use supermem_nvm::addr::{AddressMap, LineAddr, PageId};
 use supermem_nvm::bank::{BankTimer, OpKind};
 use supermem_nvm::{LineData, NvmStore};
@@ -110,7 +110,9 @@ impl MemoryController {
         let wtr = cfg.nvm_wtr_cycles();
         Self {
             map,
-            banks: (0..cfg.banks).map(|_| BankTimer::new(read, write, wtr)).collect(),
+            banks: (0..cfg.banks)
+                .map(|_| BankTimer::new(read, write, wtr))
+                .collect(),
             store,
             wq: WriteQueue::new(cfg.write_queue_entries, cfg.cwc),
             cc: CounterCache::new(
@@ -273,8 +275,13 @@ impl MemoryController {
     }
 
     fn wait_slots(&mut self, needed: usize, from: Cycle) -> Cycle {
-        self.wq
-            .wait_for_slots(needed, from, &mut self.banks, &mut self.store, &mut self.stats)
+        self.wq.wait_for_slots(
+            needed,
+            from,
+            &mut self.banks,
+            &mut self.store,
+            &mut self.stats,
+        )
     }
 
     /// Lets the write queue issue everything that can start by `now`.
@@ -461,9 +468,9 @@ impl MemoryController {
             let done_read = self.banks[data_bank].issue(OpKind::Read, t);
             self.stats.nvm_data_reads += 1;
             let cipher_old = self.store.read_data(line);
-            let plain =
-                self.engine
-                    .decrypt_line(&cipher_old, line.0, old.major(), old.minor(idx));
+            let plain = self
+                .engine
+                .decrypt_line(&cipher_old, line.0, old.major(), old.minor(idx));
             let cipher_new = self.engine.encrypt_line(&plain, line.0, ctr.major(), 0);
             let tag = self
                 .cfg
@@ -493,17 +500,19 @@ impl MemoryController {
     /// in the paper's §2.3/§6). Returns the retire cycle, or `at` if the
     /// page's counters are clean or absent.
     pub fn writeback_page_counters(&mut self, page: PageId, at: Cycle) -> Cycle {
-        let Some(ctr) = self.cc.peek(page).cloned() else {
-            return at;
-        };
-        // Only dirty entries need persisting; `dirty_entries` is the
-        // cheap way to test dirtiness without LRU side effects.
-        if !self.cc.dirty_entries().iter().any(|(p, _)| *p == page) {
+        // Only dirty entries need persisting; `is_dirty` tests this
+        // without LRU side effects (and, unlike snapshotting the full
+        // dirty set, without cloning every dirty counter line).
+        if !self.cc.is_dirty(page) {
             return at;
         }
+        let encoded = self
+            .cc
+            .peek(page)
+            .expect("dirty page must be resident")
+            .encode();
         let bank = self.ctr_bank(page);
         let t = self.wait_slots(1, at + self.cfg.counter_cache_latency);
-        let encoded = ctr.encode();
         self.note_counter_write(page, &encoded);
         self.wq
             .append(WqTarget::Counter(page), bank, encoded, None, t);
@@ -592,7 +601,11 @@ mod tests {
         let line = LineAddr(0x4000);
         let retire = mc.flush_line(line, [0x5A; 64], 0);
         mc.finish(retire);
-        assert_ne!(mc.store().read_data(line), [0x5A; 64], "NVM must hold ciphertext");
+        assert_ne!(
+            mc.store().read_data(line),
+            [0x5A; 64],
+            "NVM must hold ciphertext"
+        );
     }
 
     #[test]
@@ -741,8 +754,7 @@ mod tests {
                 let ctr = CounterLine::decode(&image.store.read_counter(page));
                 if i < crash_at {
                     assert_eq!(ctr.minor(0), 1, "counter persisted for flush {i}");
-                    let plain =
-                        engine.decrypt_line(&image.store.read_data(line), line.0, 0, 1);
+                    let plain = engine.decrypt_line(&image.store.read_data(line), line.0, 0, 1);
                     assert_eq!(plain, [0xC0 + i as u8; 64], "data persisted for flush {i}");
                 }
             }
@@ -859,7 +871,11 @@ mod tests {
         let t = mc.flush_line(a, [3; 64], t);
         mc.finish(t);
         let ctr = CounterLine::decode(&mc.store().read_counter(PageId(0)));
-        assert_eq!(ctr.minor(0), 2, "counter forwarding must see the pending value");
+        assert_eq!(
+            ctr.minor(0),
+            2,
+            "counter forwarding must see the pending value"
+        );
         let (data, _) = mc.read_line(a, t + 10_000);
         assert_eq!(data, [3; 64]);
     }

@@ -32,7 +32,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod bankmap;
 pub mod controller;
 pub mod rsr;

@@ -19,7 +19,7 @@
 use supermem_nvm::addr::{LineAddr, PageId};
 use supermem_nvm::bank::{BankTimer, OpKind};
 use supermem_nvm::{LineData, NvmStore};
-use supermem_sim::{Cycle, Stats};
+use supermem_sim::{Cycle, FxHashMap, Stats};
 
 /// What a write-queue entry targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -71,7 +71,16 @@ impl WqEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct WriteQueue {
-    entries: Vec<WqEntry>,
+    /// Slab of `capacity` slots; `None` slots are free.
+    slots: Vec<Option<WqEntry>>,
+    /// Free slot indices (reuse order is irrelevant to results).
+    free: Vec<usize>,
+    /// Target → occupied slots in age (seq) order. Appends push at the
+    /// back, so the front is always the oldest pending write to that
+    /// target — which makes CWC, read forwarding, and the same-address
+    /// ordering check in [`WriteQueue::next_issuable`] O(1) per entry
+    /// instead of a queue scan.
+    index: FxHashMap<WqTarget, Vec<usize>>,
     capacity: usize,
     cwc: bool,
     seq: u64,
@@ -87,7 +96,9 @@ impl WriteQueue {
     pub fn new(capacity: usize, cwc: bool) -> Self {
         assert!(capacity >= 2, "write queue must hold a data+counter pair");
         Self {
-            entries: Vec::with_capacity(capacity),
+            slots: (0..capacity).map(|_| None).collect(),
+            free: (0..capacity).rev().collect(),
+            index: FxHashMap::default(),
             capacity,
             cwc,
             seq: 0,
@@ -96,12 +107,12 @@ impl WriteQueue {
 
     /// Entries currently pending.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.capacity - self.free.len()
     }
 
     /// True when no entries are pending.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.free.len() == self.capacity
     }
 
     /// Capacity in entries.
@@ -111,7 +122,7 @@ impl WriteQueue {
 
     /// Free slots right now.
     pub fn free_slots(&self) -> usize {
-        self.capacity - self.entries.len()
+        self.free.len()
     }
 
     /// Whether CWC is enabled.
@@ -119,10 +130,44 @@ impl WriteQueue {
         self.cwc
     }
 
+    /// Occupied entries, any order.
+    fn entries(&self) -> impl Iterator<Item = (usize, &WqEntry)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|e| (i, e)))
+    }
+
+    /// Removes and returns the entry in `slot`, maintaining the index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is free (a queue-internal sequencing bug).
+    fn remove_slot(&mut self, slot: usize) -> WqEntry {
+        let e = self.slots[slot].take().expect("slot occupied");
+        self.free.push(slot);
+        let list = self
+            .index
+            .get_mut(&e.target)
+            .expect("indexed target for occupied slot");
+        let pos = list
+            .iter()
+            .position(|&s| s == slot)
+            .expect("slot present in its target list");
+        list.remove(pos);
+        if list.is_empty() {
+            self.index.remove(&e.target);
+        }
+        e
+    }
+
     /// Snapshot of pending entries as `(target, seq)` pairs, in queue
-    /// order (diagnostics).
+    /// (age) order (diagnostics).
     pub fn pending(&self) -> Vec<(WqTarget, u64)> {
-        self.entries.iter().map(|e| (e.target, e.seq)).collect()
+        let mut out: Vec<(WqTarget, u64)> =
+            self.entries().map(|(_, e)| (e.target, e.seq)).collect();
+        out.sort_by_key(|&(_, seq)| seq);
+        out
     }
 
     /// Applies CWC for an incoming counter line of `page`: removes an
@@ -132,18 +177,16 @@ impl WriteQueue {
         if !self.cwc {
             return false;
         }
-        // The flag bit restricts the scan to counter entries; at most one
-        // can match because this very rule keeps them unique per page.
-        if let Some(pos) = self
-            .entries
-            .iter()
-            .position(|e| e.target == WqTarget::Counter(page))
-        {
-            self.entries.remove(pos);
-            stats.counter_writes_coalesced += 1;
-            return true;
-        }
-        false
+        // The flag bit restricts the lookup to counter entries; at most
+        // one can be pending because this very rule keeps them unique
+        // per page.
+        let Some(list) = self.index.get(&WqTarget::Counter(page)) else {
+            return false;
+        };
+        let oldest = list[0];
+        self.remove_slot(oldest);
+        stats.counter_writes_coalesced += 1;
+        true
     }
 
     /// Appends an entry. The caller must have ensured a free slot via
@@ -177,12 +220,12 @@ impl WriteQueue {
         tag: Option<u64>,
         ready: Cycle,
     ) -> u64 {
-        assert!(
-            self.entries.len() < self.capacity,
-            "write queue overflow: wait_for_slots first"
-        );
+        let slot = self
+            .free
+            .pop()
+            .expect("write queue overflow: wait_for_slots first");
         self.seq += 1;
-        self.entries.push(WqEntry {
+        self.slots[slot] = Some(WqEntry {
             target,
             bank,
             payload,
@@ -191,24 +234,26 @@ impl WriteQueue {
             ready,
             seq: self.seq,
         });
+        self.index.entry(target).or_default().push(slot);
         self.seq
+    }
+
+    /// The newest pending entry for `target` (back of its age-ordered
+    /// slot list).
+    fn newest(&self, target: WqTarget) -> Option<&WqEntry> {
+        let &slot = self.index.get(&target)?.last()?;
+        self.slots[slot].as_ref()
     }
 
     /// The newest pending write to data line `line`, for read forwarding.
     pub fn forward_data(&self, line: LineAddr) -> Option<&WqEntry> {
-        self.entries
-            .iter()
-            .filter(|e| e.target == WqTarget::Data(line))
-            .max_by_key(|e| e.seq)
+        self.newest(WqTarget::Data(line))
     }
 
     /// The newest pending counter write for `page`, for counter-fetch
     /// forwarding (the NVM copy may be stale while an entry is pending).
     pub fn forward_counter(&self, page: PageId) -> Option<&WqEntry> {
-        self.entries
-            .iter()
-            .filter(|e| e.target == WqTarget::Counter(page))
-            .max_by_key(|e| e.seq)
+        self.newest(WqTarget::Counter(page))
     }
 
     /// Index and start time of the next entry to issue: the entry with
@@ -221,11 +266,10 @@ impl WriteQueue {
     /// last.
     fn next_issuable(&self, banks: &[BankTimer]) -> Option<(usize, Cycle)> {
         let mut best: Option<(usize, Cycle, u64)> = None;
-        for (i, e) in self.entries.iter().enumerate() {
-            let blocked = self
-                .entries
-                .iter()
-                .any(|o| o.seq < e.seq && o.target == e.target);
+        for (i, e) in self.entries() {
+            // An older same-target entry exists iff this slot is not the
+            // front of its target's age-ordered list — an O(1) check.
+            let blocked = self.index[&e.target][0] != i;
             if blocked {
                 continue;
             }
@@ -245,7 +289,7 @@ impl WriteQueue {
         store: &mut NvmStore,
         stats: &mut Stats,
     ) -> Cycle {
-        let e = self.entries.remove(idx);
+        let e = self.remove_slot(idx);
         let start = banks[e.bank].earliest_start(OpKind::Write, e.ready);
         banks[e.bank].issue(OpKind::Write, e.ready);
         if stats.bank_writes.len() <= e.bank {
@@ -341,7 +385,7 @@ impl WriteQueue {
     /// touching bank timers or statistics — the ADR battery drain
     /// performed at a crash.
     pub fn flush_into(&self, store: &mut NvmStore) {
-        let mut ordered: Vec<&WqEntry> = self.entries.iter().collect();
+        let mut ordered: Vec<&WqEntry> = self.entries().map(|(_, e)| e).collect();
         ordered.sort_by_key(|e| e.seq);
         for e in ordered {
             match e.target {
@@ -356,23 +400,55 @@ impl WriteQueue {
         }
     }
 
+    /// Test-only invariant check: the target index must agree with a
+    /// linear scan of the slot slab — every occupied slot appears in
+    /// exactly its target's list, lists are age (seq) ordered,
+    /// free-list accounting matches, and forwarding answers equal the
+    /// max-seq entry a scan would find.
+    #[cfg(test)]
+    pub(crate) fn assert_index_matches_linear_scan(&self) {
+        let mut occupied: Vec<(usize, &WqEntry)> = self.entries().collect();
+        occupied.sort_by_key(|&(_, e)| e.seq);
+        let mut oracle: FxHashMap<WqTarget, Vec<usize>> = FxHashMap::default();
+        for &(slot, e) in &occupied {
+            oracle.entry(e.target).or_default().push(slot);
+        }
+        assert_eq!(self.index, oracle, "index diverged from slot scan");
+        assert_eq!(
+            self.free.len() + occupied.len(),
+            self.capacity,
+            "free-list accounting broken"
+        );
+        for &slot in &self.free {
+            assert!(self.slots[slot].is_none(), "free slot {slot} is occupied");
+        }
+        for target in oracle.keys() {
+            let newest_scan = occupied
+                .iter()
+                .filter(|(_, e)| e.target == *target)
+                .max_by_key(|(_, e)| e.seq)
+                .map(|&(_, e)| e.seq);
+            assert_eq!(
+                self.newest(*target).map(|e| e.seq),
+                newest_scan,
+                "forwarding answer diverged from linear scan for {target:?}"
+            );
+        }
+    }
+
     /// Removes and returns every pending entry touching page `page`
     /// (its data lines or its counter line). Used before page
     /// re-encryption so no stale ciphertext can land after the rewrite.
     pub fn extract_page_entries(&mut self, page: PageId, page_bytes: u64) -> Vec<WqEntry> {
-        let mut out = Vec::new();
-        let mut i = 0;
-        while i < self.entries.len() {
-            let hit = match self.entries[i].target {
+        let hits: Vec<usize> = self
+            .entries()
+            .filter(|(_, e)| match e.target {
                 WqTarget::Data(line) => line.0 / page_bytes == page.0,
                 WqTarget::Counter(p) => p == page,
-            };
-            if hit {
-                out.push(self.entries.remove(i));
-            } else {
-                i += 1;
-            }
-        }
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let mut out: Vec<WqEntry> = hits.into_iter().map(|i| self.remove_slot(i)).collect();
         out.sort_by_key(|e| e.seq);
         out
     }
@@ -567,7 +643,11 @@ mod tests {
         wq.append(WqTarget::Data(LineAddr(0)), 0, [5; 64], None, 1000);
         wq.append(WqTarget::Data(LineAddr(0)), 0, [6; 64], None, 10);
         wq.drain_all(0, &mut b, &mut store, &mut stats);
-        assert_eq!(store.read_data(LineAddr(0)), [6; 64], "newest payload must win");
+        assert_eq!(
+            store.read_data(LineAddr(0)),
+            [6; 64],
+            "newest payload must win"
+        );
     }
 
     #[test]
@@ -611,11 +691,13 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
+    //! Deterministic randomized tests (seeded SplitMix64 stands in for
+    //! proptest, which is unavailable in offline builds).
     use super::*;
-    use proptest::prelude::*;
     use std::collections::HashMap;
     use supermem_nvm::bank::BankTimer;
+    use supermem_sim::SplitMix64;
 
     fn banks(n: usize) -> Vec<BankTimer> {
         (0..n).map(|_| BankTimer::new(126, 626, 15)).collect()
@@ -628,29 +710,35 @@ mod proptests {
         Drain { until: u64 },
     }
 
-    fn arb_qop() -> impl Strategy<Value = QOp> {
-        prop_oneof![
-            (0u64..16, any::<u8>(), 0u64..10_000).prop_map(|(l, fill, ready)| QOp::AppendData {
-                line: l * 64,
-                fill,
-                ready,
-            }),
-            (0u64..4, any::<u8>(), 0u64..10_000).prop_map(|(page, fill, ready)| {
-                QOp::AppendCounter { page, fill, ready }
-            }),
-            (0u64..100_000).prop_map(|until| QOp::Drain { until }),
-        ]
+    fn random_qop(rng: &mut SplitMix64) -> QOp {
+        match rng.next_below(3) {
+            0 => QOp::AppendData {
+                line: rng.next_below(16) * 64,
+                fill: rng.next_u64() as u8,
+                ready: rng.next_below(10_000),
+            },
+            1 => QOp::AppendCounter {
+                page: rng.next_below(4),
+                fill: rng.next_u64() as u8,
+                ready: rng.next_below(10_000),
+            },
+            _ => QOp::Drain {
+                until: rng.next_below(100_000),
+            },
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// Under arbitrary appends (with arbitrary, possibly inverted
-        /// ready times), coalescing, and partial drains, the queue never
-        /// exceeds capacity and the final store holds the newest payload
-        /// for every line — no write is ever lost or misordered.
-        #[test]
-        fn no_lost_or_stale_writes(ops in proptest::collection::vec(arb_qop(), 1..150)) {
+    /// Under arbitrary appends (with arbitrary, possibly inverted
+    /// ready times), coalescing, and partial drains, the queue never
+    /// exceeds capacity and the final store holds the newest payload
+    /// for every line — no write is ever lost or misordered.
+    #[test]
+    fn no_lost_or_stale_writes() {
+        let mut rng = SplitMix64::new(0x90EE);
+        for _ in 0..64 {
+            let ops: Vec<QOp> = (0..rng.next_range(1, 150))
+                .map(|_| random_qop(&mut rng))
+                .collect();
             let mut wq = WriteQueue::new(8, true);
             let mut b = banks(2);
             let mut store = NvmStore::new();
@@ -661,7 +749,13 @@ mod proptests {
                 match op {
                     QOp::AppendData { line, fill, ready } => {
                         wq.wait_for_slots(1, *ready, &mut b, &mut store, &mut stats);
-                        wq.append(WqTarget::Data(LineAddr(*line)), (*line / 64 % 2) as usize, [*fill; 64], None, *ready);
+                        wq.append(
+                            WqTarget::Data(LineAddr(*line)),
+                            (*line / 64 % 2) as usize,
+                            [*fill; 64],
+                            None,
+                            *ready,
+                        );
                         newest_data.insert(*line, *fill);
                     }
                     QOp::AppendCounter { page, fill, ready } => {
@@ -669,22 +763,114 @@ mod proptests {
                         wq.coalesce_counter(PageId(*page), &mut stats);
                         // Coalescing may have freed a slot; capacity is
                         // still guaranteed by the earlier wait.
-                        wq.append(WqTarget::Counter(PageId(*page)), (*page % 2) as usize, [*fill; 64], None, *ready);
+                        wq.append(
+                            WqTarget::Counter(PageId(*page)),
+                            (*page % 2) as usize,
+                            [*fill; 64],
+                            None,
+                            *ready,
+                        );
                         newest_ctr.insert(*page, *fill);
                     }
                     QOp::Drain { until } => {
                         wq.drain_until(*until, &mut b, &mut store, &mut stats);
                     }
                 }
-                prop_assert!(wq.len() <= wq.capacity());
+                assert!(wq.len() <= wq.capacity());
             }
             wq.drain_all(0, &mut b, &mut store, &mut stats);
             for (&line, &fill) in &newest_data {
-                prop_assert_eq!(store.read_data(LineAddr(line)), [fill; 64]);
+                assert_eq!(store.read_data(LineAddr(line)), [fill; 64]);
             }
             for (&page, &fill) in &newest_ctr {
-                prop_assert_eq!(store.read_counter(PageId(page)), [fill; 64]);
+                assert_eq!(store.read_counter(PageId(page)), [fill; 64]);
             }
+        }
+    }
+
+    /// The auxiliary target index must stay in lockstep with a linear
+    /// scan of the slot slab under arbitrary append / CWC coalesce /
+    /// partial drain sequences, forwarding must return exactly what a
+    /// scan for the max-seq matching entry would, and CWC must fire
+    /// iff a counter entry for the page is pending — removing exactly
+    /// the oldest one.
+    #[test]
+    fn index_agrees_with_linear_scan_oracle() {
+        let mut rng = SplitMix64::new(0x1D0C);
+        for _ in 0..64 {
+            let ops: Vec<QOp> = (0..rng.next_range(1, 150))
+                .map(|_| random_qop(&mut rng))
+                .collect();
+            let mut wq = WriteQueue::new(8, true);
+            let mut b = banks(2);
+            let mut store = NvmStore::new();
+            let mut stats = Stats::new(2);
+            for op in &ops {
+                match op {
+                    QOp::AppendData { line, fill, ready } => {
+                        wq.wait_for_slots(1, *ready, &mut b, &mut store, &mut stats);
+                        wq.append(
+                            WqTarget::Data(LineAddr(*line)),
+                            (*line / 64 % 2) as usize,
+                            [*fill; 64],
+                            None,
+                            *ready,
+                        );
+                    }
+                    QOp::AppendCounter { page, fill, ready } => {
+                        wq.wait_for_slots(1, *ready, &mut b, &mut store, &mut stats);
+                        let target = WqTarget::Counter(PageId(*page));
+                        let before: Vec<u64> = wq
+                            .pending()
+                            .iter()
+                            .filter(|&&(t, _)| t == target)
+                            .map(|&(_, s)| s)
+                            .collect();
+                        let merged = wq.coalesce_counter(PageId(*page), &mut stats);
+                        assert_eq!(merged, !before.is_empty(), "CWC fires iff one pends");
+                        if merged {
+                            let after: Vec<u64> = wq
+                                .pending()
+                                .iter()
+                                .filter(|&&(t, _)| t == target)
+                                .map(|&(_, s)| s)
+                                .collect();
+                            let oldest = *before.iter().min().expect("non-empty");
+                            assert!(!after.contains(&oldest), "CWC drops the oldest");
+                            assert_eq!(after.len(), before.len() - 1);
+                        }
+                        wq.append(target, (*page % 2) as usize, [*fill; 64], None, *ready);
+                    }
+                    QOp::Drain { until } => {
+                        wq.drain_until(*until, &mut b, &mut store, &mut stats);
+                    }
+                }
+                wq.assert_index_matches_linear_scan();
+                // Forwarding vs oracle over the whole address domain,
+                // including targets with nothing pending (must be None).
+                for line in 0..16u64 {
+                    let addr = LineAddr(line * 64);
+                    let scan = wq
+                        .pending()
+                        .iter()
+                        .filter(|&&(t, _)| t == WqTarget::Data(addr))
+                        .map(|&(_, s)| s)
+                        .max();
+                    assert_eq!(wq.forward_data(addr).map(|e| e.seq), scan);
+                }
+                for page in 0..4u64 {
+                    let scan = wq
+                        .pending()
+                        .iter()
+                        .filter(|&&(t, _)| t == WqTarget::Counter(PageId(page)))
+                        .map(|&(_, s)| s)
+                        .max();
+                    assert_eq!(wq.forward_counter(PageId(page)).map(|e| e.seq), scan);
+                }
+            }
+            wq.drain_all(0, &mut b, &mut store, &mut stats);
+            wq.assert_index_matches_linear_scan();
+            assert!(wq.is_empty(), "drain_all empties the queue");
         }
     }
 }

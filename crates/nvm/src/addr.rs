@@ -63,7 +63,10 @@ impl AddressMap {
         assert!(page_bytes.is_power_of_two(), "page size must be 2^k");
         assert!((banks as u64).is_power_of_two(), "bank count must be 2^k");
         assert!(line_bytes <= page_bytes, "line larger than page");
-        assert!(capacity > 0 && capacity.is_multiple_of(page_bytes), "capacity must be whole pages");
+        assert!(
+            capacity > 0 && capacity.is_multiple_of(page_bytes),
+            "capacity must be whole pages"
+        );
         Self {
             capacity,
             line_bytes,
@@ -98,7 +101,10 @@ impl AddressMap {
     ///
     /// Panics (in debug builds) if the address is beyond capacity.
     pub fn line_of(&self, byte_addr: u64) -> LineAddr {
-        debug_assert!(byte_addr < self.capacity, "address {byte_addr:#x} out of range");
+        debug_assert!(
+            byte_addr < self.capacity,
+            "address {byte_addr:#x} out of range"
+        );
         LineAddr(byte_addr & !(self.line_bytes - 1))
     }
 
@@ -118,7 +124,10 @@ impl AddressMap {
     ///
     /// Panics if `idx >= lines_per_page()`.
     pub fn line_in_page(&self, page: PageId, idx: usize) -> LineAddr {
-        assert!((idx as u64) < self.lines_per_page(), "line index {idx} out of page");
+        assert!(
+            (idx as u64) < self.lines_per_page(),
+            "line index {idx} out of page"
+        );
         LineAddr(page.0 * self.page_bytes + idx as u64 * self.line_bytes)
     }
 

@@ -114,7 +114,7 @@ mod tests {
     fn read_after_write_pays_turnaround() {
         let mut b = bank();
         b.issue(OpKind::Write, 0); // busy until 626
-        // Read ready at 0 must wait 626 + tWTR.
+                                   // Read ready at 0 must wait 626 + tWTR.
         assert_eq!(b.earliest_start(OpKind::Read, 0), 641);
         assert_eq!(b.issue(OpKind::Read, 0), 641 + 126);
     }

@@ -25,7 +25,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod addr;
 pub mod bank;
 pub mod store;

@@ -8,7 +8,7 @@
 //! The store is purely functional with respect to time — all timing lives
 //! in [`crate::bank`] and the memory controller.
 
-use std::collections::HashMap;
+use supermem_sim::FxHashMap;
 
 use crate::addr::{LineAddr, PageId};
 use crate::wearlevel::StartGap;
@@ -28,11 +28,11 @@ use crate::{LineData, LINE_BYTES};
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NvmStore {
-    data: HashMap<u64, LineData>,
-    counters: HashMap<u64, LineData>,
-    tags: HashMap<u64, u64>,
-    data_wear: HashMap<u64, u64>,
-    counter_wear: HashMap<u64, u64>,
+    data: FxHashMap<u64, LineData>,
+    counters: FxHashMap<u64, LineData>,
+    tags: FxHashMap<u64, u64>,
+    data_wear: FxHashMap<u64, u64>,
+    counter_wear: FxHashMap<u64, u64>,
     wear_leveling: Option<StartGap>,
 }
 
@@ -94,7 +94,10 @@ impl NvmStore {
     /// Reads the counter line of a page; absent lines are zero (fresh
     /// counters).
     pub fn read_counter(&self, page: PageId) -> LineData {
-        self.counters.get(&page.0).copied().unwrap_or([0; LINE_BYTES])
+        self.counters
+            .get(&page.0)
+            .copied()
+            .unwrap_or([0; LINE_BYTES])
     }
 
     /// Writes the counter line of a page.

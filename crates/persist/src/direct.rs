@@ -12,8 +12,6 @@
 //! machinery can be exercised and tested below the system layer, and it
 //! is what the Table 1 experiments use.
 
-use std::collections::HashMap;
-
 use supermem_memctrl::{CrashImage, MemoryController};
 use supermem_nvm::addr::LineAddr;
 use supermem_nvm::LineData;
@@ -42,7 +40,7 @@ const HIT_COST: Cycle = 2;
 #[derive(Debug, Clone)]
 pub struct DirectMem {
     mc: MemoryController,
-    buffer: HashMap<u64, (LineData, bool)>,
+    buffer: supermem_sim::FxHashMap<u64, (LineData, bool)>,
     now: Cycle,
     pending_retire: Cycle,
 }
@@ -58,7 +56,7 @@ impl DirectMem {
     pub fn from_controller(mc: MemoryController) -> Self {
         Self {
             mc,
-            buffer: HashMap::new(),
+            buffer: supermem_sim::FxHashMap::default(),
             now: 0,
             pending_retire: 0,
         }
@@ -239,8 +237,8 @@ mod tests {
     fn clwb_of_clean_lines_is_cheap() {
         let mut mem = DirectMem::new(&cfg());
         mem.persist(0x100, &[1; 8]);
-        let writes_before = mem.controller().stats().nvm_data_writes
-            + mem.controller().wq_len() as u64;
+        let writes_before =
+            mem.controller().stats().nvm_data_writes + mem.controller().wq_len() as u64;
         mem.clwb(0x100, 8); // clean: no new flush
         mem.sfence();
         let writes_after =

@@ -34,21 +34,20 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod arena;
 pub mod direct;
 pub mod log;
 pub mod pmem;
-pub mod redo;
 pub mod recovery;
+pub mod redo;
 pub mod txn;
 
 pub use arena::Arena;
 pub use direct::DirectMem;
 pub use pmem::{PMem, VecMem};
-pub use redo::{recover_redo_transactions, RedoTxn, RedoTxnManager};
 pub use recovery::{
-    recover_osiris, recover_transactions, verify_image_integrity, IntegrityVerdict,
-    OsirisReport, RecoveredMemory, RecoveryOutcome,
+    recover_osiris, recover_transactions, verify_image_integrity, IntegrityVerdict, OsirisReport,
+    RecoveredMemory, RecoveryOutcome,
 };
+pub use redo::{recover_redo_transactions, RedoTxn, RedoTxnManager};
 pub use txn::{Txn, TxnError, TxnManager};

@@ -8,7 +8,7 @@
 //! here is the functional reference used by unit tests and by trace-free
 //! data-structure testing.
 
-use std::collections::HashMap;
+use supermem_sim::FxHashMap;
 
 /// Byte-addressable persistent memory as seen by a program.
 ///
@@ -65,7 +65,7 @@ pub trait PMem {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct VecMem {
-    lines: HashMap<u64, [u8; 64]>,
+    lines: FxHashMap<u64, [u8; 64]>,
     flushes: u64,
     fences: u64,
 }

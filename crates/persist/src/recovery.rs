@@ -21,8 +21,7 @@ use supermem_nvm::{LineData, NvmStore};
 use supermem_sim::Config;
 
 use crate::log::{
-    decode_records, log_checksum, read_header, LOG_MAGIC, STATE_COMMITTED, STATE_EMPTY,
-    STATE_VALID,
+    decode_records, log_checksum, read_header, LOG_MAGIC, STATE_COMMITTED, STATE_EMPTY, STATE_VALID,
 };
 use crate::pmem::PMem;
 
@@ -155,8 +154,10 @@ impl RecoveredMemory {
             let plain = self
                 .engine
                 .decrypt_line(&cipher, line.0, old.major(), old.minor(idx));
-            self.store
-                .write_data(line, self.engine.encrypt_line(&plain, line.0, ctr.major(), 0));
+            self.store.write_data(
+                line,
+                self.engine.encrypt_line(&plain, line.0, ctr.major(), 0),
+            );
         }
     }
 
@@ -262,8 +263,7 @@ pub fn recover_osiris(cfg: &Config, image: CrashImage) -> (RecoveredMemory, Osir
                 current_page = Some((page, CounterLine::decode(&store.read_counter(page)), false));
             }
             None => {
-                current_page =
-                    Some((page, CounterLine::decode(&store.read_counter(page)), false));
+                current_page = Some((page, CounterLine::decode(&store.read_counter(page)), false));
             }
             _ => {}
         }
@@ -431,10 +431,7 @@ mod tests {
     #[test]
     fn functional_write_handles_minor_overflow() {
         let cfg = cfg();
-        let mut rec = RecoveredMemory::from_image(
-            &cfg,
-            MemoryController::new(&cfg).crash_now(),
-        );
+        let mut rec = RecoveredMemory::from_image(&cfg, MemoryController::new(&cfg).crash_now());
         // Initialize the neighbor so we can check it survives re-keying.
         rec.write(64, &[5u8; 8]);
         for i in 0..200u32 {
@@ -570,9 +567,11 @@ mod tests {
     #[test]
     fn recovery_of_fresh_memory_reports_nolog() {
         let cfg = cfg();
-        let mut rec =
-            RecoveredMemory::from_image(&cfg, MemoryController::new(&cfg).crash_now());
-        assert_eq!(recover_transactions(&mut rec, 0x10000), RecoveryOutcome::NoLog);
+        let mut rec = RecoveredMemory::from_image(&cfg, MemoryController::new(&cfg).crash_now());
+        assert_eq!(
+            recover_transactions(&mut rec, 0x10000),
+            RecoveryOutcome::NoLog
+        );
     }
 
     #[test]
@@ -582,8 +581,7 @@ mod tests {
             STATE_VALID,
         };
         let cfg = cfg();
-        let mut rec =
-            RecoveredMemory::from_image(&cfg, MemoryController::new(&cfg).crash_now());
+        let mut rec = RecoveredMemory::from_image(&cfg, MemoryController::new(&cfg).crash_now());
         let log = 0x20000u64;
         // Data was "mutated" to 9s; the log says it used to be 1s.
         rec.write(0x100, &[9; 16]);
@@ -614,26 +612,30 @@ mod tests {
     fn bad_checksum_reports_corrupt() {
         use crate::log::{LOG_MAGIC, STATE_VALID};
         let cfg = cfg();
-        let mut rec =
-            RecoveredMemory::from_image(&cfg, MemoryController::new(&cfg).crash_now());
+        let mut rec = RecoveredMemory::from_image(&cfg, MemoryController::new(&cfg).crash_now());
         let log = 0x30000u64;
         rec.write_u64(log, LOG_MAGIC);
         rec.write_u64(log + 8, 1);
         rec.write_u64(log + 16, STATE_VALID);
         rec.write_u64(log + 24, 8);
         rec.write_u64(log + 32, 0xBAD);
-        assert_eq!(recover_transactions(&mut rec, log), RecoveryOutcome::CorruptLog);
+        assert_eq!(
+            recover_transactions(&mut rec, log),
+            RecoveryOutcome::CorruptLog
+        );
     }
 
     #[test]
     fn insane_state_reports_corrupt() {
         use crate::log::LOG_MAGIC;
         let cfg = cfg();
-        let mut rec =
-            RecoveredMemory::from_image(&cfg, MemoryController::new(&cfg).crash_now());
+        let mut rec = RecoveredMemory::from_image(&cfg, MemoryController::new(&cfg).crash_now());
         let log = 0x40000u64;
         rec.write_u64(log, LOG_MAGIC);
         rec.write_u64(log + 16, 77);
-        assert_eq!(recover_transactions(&mut rec, log), RecoveryOutcome::CorruptLog);
+        assert_eq!(
+            recover_transactions(&mut rec, log),
+            RecoveryOutcome::CorruptLog
+        );
     }
 }

@@ -162,10 +162,7 @@ impl RedoTxn<'_> {
 /// transaction *forward*. Returns what was found; on
 /// [`RecoveryOutcome::RolledBack`] — reused here to mean "records were
 /// applied" — the redo records have been written in place.
-pub fn recover_redo_transactions(
-    mem: &mut RecoveredMemory,
-    log_base: u64,
-) -> RecoveryOutcome {
+pub fn recover_redo_transactions(mem: &mut RecoveredMemory, log_base: u64) -> RecoveryOutcome {
     use crate::log::{decode_records, read_header};
     let h = read_header(mem, log_base);
     if h.magic != LOG_MAGIC {
@@ -297,7 +294,10 @@ mod crash_tests {
         }
         // Redo's commit point is the state flip right after logging: most
         // crash points after it roll forward to the new value.
-        assert!(new_count >= total / 2, "redo must roll forward aggressively");
+        assert!(
+            new_count >= total / 2,
+            "redo must roll forward aggressively"
+        );
     }
 
     /// Roll-forward is idempotent: recovering twice is harmless.

@@ -344,27 +344,33 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
+    //! Deterministic randomized tests (seeded SplitMix64 stands in for
+    //! proptest, which is unavailable in offline builds).
     use super::*;
     use crate::pmem::VecMem;
-    use proptest::prelude::*;
     use std::collections::HashMap;
+    use supermem_sim::SplitMix64;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
+    fn random_bytes(rng: &mut SplitMix64, lo: u64, hi: u64) -> Vec<u8> {
+        let mut v = vec![0u8; rng.next_range(lo, hi) as usize];
+        rng.fill_bytes(&mut v);
+        v
+    }
 
-        /// Arbitrary sequences of multi-record transactions leave memory
-        /// exactly as a byte-level reference model predicts.
-        #[test]
-        fn committed_txns_match_reference(
-            txns in proptest::collection::vec(
-                proptest::collection::vec(
-                    (0u64..2048, proptest::collection::vec(any::<u8>(), 1..60)),
-                    1..5,
-                ),
-                1..20,
-            )
-        ) {
+    /// Arbitrary sequences of multi-record transactions leave memory
+    /// exactly as a byte-level reference model predicts.
+    #[test]
+    fn committed_txns_match_reference() {
+        let mut rng = SplitMix64::new(0x7317);
+        for _ in 0..32 {
+            let txns: Vec<Vec<(u64, Vec<u8>)>> = (0..rng.next_range(1, 20))
+                .map(|_| {
+                    (0..rng.next_range(1, 5))
+                        .map(|_| (rng.next_below(2048), random_bytes(&mut rng, 1, 60)))
+                        .collect()
+                })
+                .collect();
             let mut mem = VecMem::new();
             let mut txm = TxnManager::new(0x10_0000, 8192);
             let mut reference: HashMap<u64, u8> = HashMap::new();
@@ -383,19 +389,23 @@ mod proptests {
             for (&addr, &expect) in &reference {
                 let mut got = [0u8; 1];
                 mem.read(addr, &mut got);
-                prop_assert_eq!(got[0], expect, "byte at {:#x}", addr);
+                assert_eq!(got[0], expect, "byte at {addr:#x}");
             }
         }
+    }
 
-        /// txn.read always observes staged writes over memory, matching a
-        /// byte-level overlay model.
-        #[test]
-        fn overlay_read_matches_model(
-            base in proptest::collection::vec(any::<u8>(), 64..128),
-            staged in proptest::collection::vec((0u64..96, proptest::collection::vec(any::<u8>(), 1..20)), 0..6),
-            read_at in 0u64..64,
-            read_len in 1usize..48,
-        ) {
+    /// txn.read always observes staged writes over memory, matching a
+    /// byte-level overlay model.
+    #[test]
+    fn overlay_read_matches_model() {
+        let mut rng = SplitMix64::new(0x0731);
+        for _ in 0..64 {
+            let base = random_bytes(&mut rng, 64, 128);
+            let staged: Vec<(u64, Vec<u8>)> = (0..rng.next_below(6))
+                .map(|_| (rng.next_below(96), random_bytes(&mut rng, 1, 20)))
+                .collect();
+            let read_at = rng.next_below(64);
+            let read_len = rng.next_range(1, 48) as usize;
             let mut mem = VecMem::new();
             mem.write(0, &base);
             let mut model: Vec<u8> = {
@@ -411,7 +421,10 @@ mod proptests {
             }
             let mut got = vec![0u8; read_len];
             txn.read(&mut mem, read_at, &mut got);
-            prop_assert_eq!(&got[..], &model[read_at as usize..read_at as usize + read_len]);
+            assert_eq!(
+                &got[..],
+                &model[read_at as usize..read_at as usize + read_len]
+            );
         }
     }
 }

@@ -266,7 +266,10 @@ impl Config {
             v != 0 && v & (v - 1) == 0
         }
         if !pow2(self.line_bytes) {
-            return Err(format!("line_bytes {} must be a power of two", self.line_bytes));
+            return Err(format!(
+                "line_bytes {} must be a power of two",
+                self.line_bytes
+            ));
         }
         if !pow2(self.page_bytes) || self.page_bytes < self.line_bytes {
             return Err(format!(
@@ -293,7 +296,11 @@ impl Config {
             ("l1", self.l1_bytes, self.l1_ways),
             ("l2", self.l2_bytes, self.l2_ways),
             ("l3", self.l3_bytes, self.l3_ways),
-            ("counter_cache", self.counter_cache_bytes, self.counter_cache_ways),
+            (
+                "counter_cache",
+                self.counter_cache_bytes,
+                self.counter_cache_ways,
+            ),
         ] {
             if ways == 0 || !bytes.is_multiple_of(self.line_bytes * ways as u64) {
                 return Err(format!(
@@ -343,14 +350,26 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_geometry() {
-        let c = Config { line_bytes: 48, ..Config::default() };
+        let c = Config {
+            line_bytes: 48,
+            ..Config::default()
+        };
         assert!(c.validate().is_err());
-        let c = Config { banks: 6, ..Config::default() };
+        let c = Config {
+            banks: 6,
+            ..Config::default()
+        };
         assert!(c.validate().is_err());
-        let c = Config { write_queue_entries: 1, ..Config::default() };
+        let c = Config {
+            write_queue_entries: 1,
+            ..Config::default()
+        };
         assert!(c.validate().is_err());
         // Page smaller than a line.
-        let c = Config { page_bytes: 32, ..Config::default() };
+        let c = Config {
+            page_bytes: 32,
+            ..Config::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -368,7 +387,10 @@ mod tests {
 
     #[test]
     fn validate_rejects_indivisible_cache() {
-        let c = Config { l1_bytes: 1000, ..Config::default() };
+        let c = Config {
+            l1_bytes: 1000,
+            ..Config::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -1,0 +1,144 @@
+//! Fast, deterministic hashing for simulator-internal maps.
+//!
+//! `std`'s default hasher (SipHash-1-3) is keyed per-`HashMap` with
+//! `RandomState` and pays its keyed-PRF cost on every lookup. Simulator
+//! maps (the NVM backing store, the write-queue target index, workload
+//! shadow state) are keyed by small integers under no adversarial
+//! pressure, so a multiply-xor hash in the FxHash family is both much
+//! faster and — being unseeded — fully deterministic across runs, which
+//! the bit-identical figure regeneration relies on. Iteration order of
+//! a `HashMap` is still unspecified; call sites that iterate must sort
+//! (see `NvmStore::data_lines`) or be order-insensitive.
+//!
+//! # Examples
+//!
+//! ```
+//! use supermem_sim::hash::FxHashMap;
+//!
+//! let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+//! m.insert(0x40, 7);
+//! assert_eq!(m[&0x40], 7);
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Firefox hash: rotate, xor, multiply per word. Word-at-a-time for
+/// integers (the dominant key type here), byte-folded otherwise.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+/// The multiplier from the FxHash family (derived from the golden
+/// ratio, as in Firefox and rustc).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut last = [0u8; 8];
+            last[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(last));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// A `BuildHasher` producing [`FxHasher`]s (unseeded, deterministic).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` with the fast deterministic hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` with the fast deterministic hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        // Unseeded: two independent maps hash identically (unlike
+        // RandomState). Figure regeneration depends on this.
+        assert_eq!(hash_one(0xDEAD_BEEFu64), hash_one(0xDEAD_BEEFu64));
+        assert_eq!(hash_one("counter"), hash_one("counter"));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        // Not a collision-resistance claim; just a sanity check that
+        // nearby integer keys (the common case: line addresses) spread.
+        let hashes: Vec<u64> = (0u64..1024).map(|i| hash_one(i * 64)).collect();
+        let mut sorted = hashes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), hashes.len());
+    }
+
+    #[test]
+    fn byte_slices_fold_tail() {
+        assert_ne!(hash_one([1u8, 2, 3]), hash_one([1u8, 2, 4]));
+        assert_ne!(hash_one([0u8; 9].as_slice()), hash_one([0u8; 8].as_slice()));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..100 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m[&40], 80);
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+    }
+}

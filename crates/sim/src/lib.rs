@@ -20,13 +20,14 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod config;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use config::{Config, CounterCacheBacking, CounterCacheMode, CounterPlacement};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use rng::SplitMix64;
 pub use stats::Stats;
 pub use time::{ns_to_cycles, Cycle};

@@ -95,10 +95,12 @@ pub fn decode(buf: &[u8]) -> Result<Vec<TraceEvent>, CodecError> {
         *pos += n;
         Ok(s)
     };
-    let rd_u32 =
-        |pos: &mut usize| -> Result<u32, CodecError> { Ok(u32::from_le_bytes(take(pos, 4)?.try_into().unwrap())) };
-    let rd_u64 =
-        |pos: &mut usize| -> Result<u64, CodecError> { Ok(u64::from_le_bytes(take(pos, 8)?.try_into().unwrap())) };
+    let rd_u32 = |pos: &mut usize| -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()))
+    };
+    let rd_u64 = |pos: &mut usize| -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(take(pos, 8)?.try_into().unwrap()))
+    };
 
     if rd_u32(&mut pos)? != MAGIC {
         return Err(CodecError::BadMagic);
@@ -152,9 +154,15 @@ mod tests {
                 addr: 0x1000,
                 bytes: vec![1, 2, 3, 4, 5],
             },
-            TraceEvent::Clwb { addr: 0x1000, len: 5 },
+            TraceEvent::Clwb {
+                addr: 0x1000,
+                len: 5,
+            },
             TraceEvent::Sfence,
-            TraceEvent::Read { addr: 0x1000, len: 5 },
+            TraceEvent::Read {
+                addr: 0x1000,
+                len: 5,
+            },
             TraceEvent::TxnEnd,
         ]
     }
@@ -213,26 +221,44 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
+    //! Deterministic randomized tests (seeded SplitMix64 stands in for
+    //! proptest, which is unavailable in offline builds).
     use super::*;
-    use proptest::prelude::*;
+    use supermem_sim::SplitMix64;
 
-    fn arb_event() -> impl Strategy<Value = TraceEvent> {
-        prop_oneof![
-            (any::<u64>(), any::<u32>()).prop_map(|(addr, len)| TraceEvent::Read { addr, len }),
-            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..100))
-                .prop_map(|(addr, bytes)| TraceEvent::Write { addr, bytes }),
-            (any::<u64>(), any::<u64>()).prop_map(|(addr, len)| TraceEvent::Clwb { addr, len }),
-            Just(TraceEvent::Sfence),
-            Just(TraceEvent::TxnBegin),
-            Just(TraceEvent::TxnEnd),
-        ]
+    fn random_event(rng: &mut SplitMix64) -> TraceEvent {
+        match rng.next_below(6) {
+            0 => TraceEvent::Read {
+                addr: rng.next_u64(),
+                len: rng.next_u64() as u32,
+            },
+            1 => {
+                let mut bytes = vec![0u8; rng.next_below(100) as usize];
+                rng.fill_bytes(&mut bytes);
+                TraceEvent::Write {
+                    addr: rng.next_u64(),
+                    bytes,
+                }
+            }
+            2 => TraceEvent::Clwb {
+                addr: rng.next_u64(),
+                len: rng.next_u64(),
+            },
+            3 => TraceEvent::Sfence,
+            4 => TraceEvent::TxnBegin,
+            _ => TraceEvent::TxnEnd,
+        }
     }
 
-    proptest! {
-        #[test]
-        fn any_trace_roundtrips(events in proptest::collection::vec(arb_event(), 0..200)) {
-            prop_assert_eq!(decode(&encode(&events)).unwrap(), events);
+    #[test]
+    fn any_trace_roundtrips() {
+        let mut rng = SplitMix64::new(0x7ACE);
+        for _ in 0..64 {
+            let events: Vec<TraceEvent> = (0..rng.next_below(200))
+                .map(|_| random_event(&mut rng))
+                .collect();
+            assert_eq!(decode(&encode(&events)).unwrap(), events);
         }
     }
 }

@@ -37,7 +37,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod codec;
 pub mod event;
 pub mod record;

@@ -141,7 +141,7 @@ mod tests {
     fn unbalanced_markers_are_tolerated() {
         let mut mem = VecMem::new();
         let trace = vec![
-            TraceEvent::TxnEnd, // stray end
+            TraceEvent::TxnEnd,   // stray end
             TraceEvent::TxnBegin, // never closed
         ];
         let spans = replay_transactions(&trace, &mut mem, |_, _| {});

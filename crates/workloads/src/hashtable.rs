@@ -4,7 +4,7 @@
 //! touch unrelated pages — the *poor* spatial locality case of §5.4
 //! where counter-cache capacity matters most.
 
-use std::collections::HashMap;
+use supermem_sim::FxHashMap;
 
 use supermem_persist::{Arena, PMem, TxnError, TxnManager};
 use supermem_sim::SplitMix64;
@@ -25,7 +25,7 @@ pub struct HashTableWorkload {
     value_bytes: u64,
     nbuckets: u64,
     rng: SplitMix64,
-    shadow: HashMap<u64, (u64, Vec<u8>)>,
+    shadow: FxHashMap<u64, (u64, Vec<u8>)>,
 }
 
 impl HashTableWorkload {
@@ -52,7 +52,9 @@ impl HashTableWorkload {
         let bucket_bytes = (BUCKET_HEADER + value_bytes + 63) & !63;
         let mut arena = Arena::new(base, len);
         let log_bytes = 2 * req_bytes + 4096;
-        let log_base = arena.alloc(log_bytes, 64).expect("region too small for log");
+        let log_base = arena
+            .alloc(log_bytes, 64)
+            .expect("region too small for log");
         let buckets_base = arena
             .alloc(nbuckets * bucket_bytes, 64)
             .expect("region too small for buckets");
@@ -67,7 +69,7 @@ impl HashTableWorkload {
             value_bytes,
             nbuckets,
             rng: SplitMix64::new(seed),
-            shadow: HashMap::new(),
+            shadow: FxHashMap::default(),
         }
     }
 

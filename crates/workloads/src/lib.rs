@@ -33,7 +33,6 @@
 //! ```
 #![warn(missing_docs)]
 
-
 pub mod array;
 pub mod btree;
 pub mod hashtable;

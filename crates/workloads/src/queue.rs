@@ -48,7 +48,9 @@ impl QueueWorkload {
         assert!(req_bytes >= 8, "item size too small");
         let mut arena = Arena::new(base, len);
         let log_bytes = 2 * req_bytes + 4096;
-        let log_base = arena.alloc(log_bytes, 64).expect("region too small for log");
+        let log_base = arena
+            .alloc(log_bytes, 64)
+            .expect("region too small for log");
         let header_base = arena.alloc(64, 64).expect("region too small for header");
         let items_base = arena
             .alloc(capacity * req_bytes, 64)

@@ -4,7 +4,9 @@
 //! node", §5.4): every insert touches a handful of scattered nodes
 //! (path + rotations), giving this workload *poor* spatial locality.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
+
+use supermem_sim::FxHashMap;
 
 use supermem_persist::{Arena, PMem, TxnError, TxnManager};
 use supermem_sim::SplitMix64;
@@ -53,7 +55,7 @@ impl RbNode {
 /// before being staged into the transaction exactly once each.
 struct Ctx<'m, M: PMem> {
     mem: &'m mut M,
-    cache: HashMap<u64, RbNode>,
+    cache: FxHashMap<u64, RbNode>,
     dirty: Vec<u64>,
     root: u64,
 }
@@ -191,7 +193,7 @@ pub struct RbTreeWorkload {
     root: u64,
     rng: SplitMix64,
     shadow: BTreeMap<u64, Vec<u8>>,
-    addr_of: HashMap<u64, u64>,
+    addr_of: FxHashMap<u64, u64>,
     key_space: u64,
 }
 
@@ -208,7 +210,9 @@ impl RbTreeWorkload {
         let node_bytes = (NODE_HEADER + value_bytes + 63) & !63;
         let mut arena = Arena::new(base, len);
         let log_bytes = 4 * req_bytes + 8192;
-        let log_base = arena.alloc(log_bytes, 64).expect("region too small for log");
+        let log_base = arena
+            .alloc(log_bytes, 64)
+            .expect("region too small for log");
         let header_base = arena.alloc(64, 64).expect("region too small for header");
         mem.write_u64(header_base, NIL);
         mem.clwb(header_base, 8);
@@ -222,7 +226,7 @@ impl RbTreeWorkload {
             root: NIL,
             rng: SplitMix64::new(seed),
             shadow: BTreeMap::new(),
-            addr_of: HashMap::new(),
+            addr_of: FxHashMap::default(),
             key_space: u64::MAX / 2,
         }
     }
@@ -266,7 +270,12 @@ impl RbTreeWorkload {
     /// # Errors
     ///
     /// Propagates [`TxnError`] from the commit.
-    pub fn insert<M: PMem>(&mut self, mem: &mut M, key: u64, value: Vec<u8>) -> Result<(), TxnError> {
+    pub fn insert<M: PMem>(
+        &mut self,
+        mem: &mut M,
+        key: u64,
+        value: Vec<u8>,
+    ) -> Result<(), TxnError> {
         assert!(
             value.len() as u64 <= self.value_bytes,
             "value exceeds the node's inline capacity"
@@ -280,10 +289,13 @@ impl RbTreeWorkload {
             return Ok(());
         }
 
-        let new_addr = self.arena.alloc(self.node_bytes, 64).expect("node space exhausted");
+        let new_addr = self
+            .arena
+            .alloc(self.node_bytes, 64)
+            .expect("node space exhausted");
         let mut ctx = Ctx {
             mem,
-            cache: HashMap::new(),
+            cache: FxHashMap::default(),
             dirty: Vec::new(),
             root: self.root,
         };
@@ -611,23 +623,24 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
+    //! Deterministic randomized tests (seeded SplitMix64 stands in for
+    //! proptest, which is unavailable in offline builds).
     use super::*;
-    use proptest::prelude::*;
     use supermem_persist::VecMem;
+    use supermem_sim::SplitMix64;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-        #[test]
-        fn arbitrary_insert_sequences_keep_rb_invariants(
-            keys in proptest::collection::vec(0u64..256, 1..120)
-        ) {
+    #[test]
+    fn arbitrary_insert_sequences_keep_rb_invariants() {
+        let mut rng = SplitMix64::new(0x4B73);
+        for _ in 0..24 {
             let mut mem = VecMem::new();
             let mut t = RbTreeWorkload::new(&mut mem, 0, 1 << 24, 64, 0);
-            for (i, k) in keys.iter().enumerate() {
-                t.insert(&mut mem, *k, vec![i as u8; 24]).unwrap();
+            for i in 0..rng.next_range(1, 120) {
+                t.insert(&mut mem, rng.next_below(256), vec![i as u8; 24])
+                    .unwrap();
             }
-            prop_assert!(t.verify(&mut mem).is_ok());
+            assert!(t.verify(&mut mem).is_ok());
         }
     }
 }

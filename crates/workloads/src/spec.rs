@@ -189,12 +189,7 @@ impl AnyWorkload {
     ///
     /// Panics if the spec's region is too small for the structure.
     pub fn build<M: PMem>(spec: &WorkloadSpec, mem: &mut M) -> Self {
-        let (base, len, req, seed) = (
-            spec.region_base,
-            spec.region_len,
-            spec.req_bytes,
-            spec.seed,
-        );
+        let (base, len, req, seed) = (spec.region_base, spec.region_len, spec.req_bytes, spec.seed);
         match spec.kind {
             WorkloadKind::Array => {
                 let item = (req / 2).max(8);
@@ -320,7 +315,10 @@ mod tests {
             assert_eq!(WorkloadKind::from_name(kind.name()), Some(kind));
         }
         assert_eq!(WorkloadKind::from_name("nope"), None);
-        assert_eq!(WorkloadKind::from_name("hashtable"), Some(WorkloadKind::HashTable));
+        assert_eq!(
+            WorkloadKind::from_name("hashtable"),
+            Some(WorkloadKind::HashTable)
+        );
         assert_eq!(WorkloadKind::from_name("ycsb"), Some(WorkloadKind::Ycsb));
     }
 

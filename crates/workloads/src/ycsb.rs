@@ -152,7 +152,10 @@ mod tests {
         }
         let (reads, inserts) = w.op_counts();
         let read_share = reads as f64 / (reads + inserts) as f64;
-        assert!((0.7..0.9).contains(&read_share), "read share {read_share:.2}");
+        assert!(
+            (0.7..0.9).contains(&read_share),
+            "read share {read_share:.2}"
+        );
         w.verify(&mut mem).unwrap();
     }
 

@@ -28,7 +28,10 @@ fn demo(name: &str, cfg: &Config) {
     // the counter alone — the Figure 6 window.
     mem.controller_mut().arm_crash_after_appends(1);
     mem.persist(ADDR, &NEW.to_le_bytes());
-    let image = mem.controller_mut().take_crash_image().expect("crash fired");
+    let image = mem
+        .controller_mut()
+        .take_crash_image()
+        .expect("crash fired");
 
     let mut rec = RecoveredMemory::from_image(cfg, image);
     let value = rec.read_u64(ADDR);

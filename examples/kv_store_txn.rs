@@ -12,7 +12,10 @@ use supermem::workloads::BTreeWorkload;
 use supermem::{Scheme, SystemBuilder};
 
 fn main() {
-    let mut sys = SystemBuilder::new().scheme(Scheme::SuperMem).seed(7).build();
+    let mut sys = SystemBuilder::new()
+        .scheme(Scheme::SuperMem)
+        .seed(7)
+        .build();
 
     // A B-tree KV store in a 256 MiB region: 1 KB values out of line,
     // every insert a durable undo-logged transaction.
@@ -43,7 +46,11 @@ fn main() {
     for key in [0u64, 17, 99, 199] {
         let value = lookup(&mut recovered, key).expect("key must survive the crash");
         assert_eq!(value, vec![(key % 251) as u8; 1000]);
-        println!("key {key:3} -> {} bytes, first byte {}", value.len(), value[0]);
+        println!(
+            "key {key:3} -> {} bytes, first byte {}",
+            value.len(),
+            value[0]
+        );
     }
     println!("all spot-checked keys recovered intact");
 }

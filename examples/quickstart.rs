@@ -11,7 +11,10 @@ fn main() {
     // 8 banks of PCM behind a 32-entry ADR write queue, a 256 KB
     // write-through counter cache, counter write coalescing, and
     // cross-bank counter storage.
-    let mut sys = SystemBuilder::new().scheme(Scheme::SuperMem).seed(42).build();
+    let mut sys = SystemBuilder::new()
+        .scheme(Scheme::SuperMem)
+        .seed(42)
+        .build();
 
     // Ordinary persistent-memory programming: store, flush, fence.
     let message = b"SuperMem: application-transparent secure persistent memory";
@@ -23,7 +26,10 @@ fn main() {
     let mut buf = vec![0u8; message.len()];
     sys.read(0x1000, &mut buf);
     assert_eq!(&buf, message);
-    println!("read back through the hierarchy: {:?}", String::from_utf8_lossy(&buf));
+    println!(
+        "read back through the hierarchy: {:?}",
+        String::from_utf8_lossy(&buf)
+    );
 
     // The NVM DIMM itself holds only ciphertext: a thief learns nothing.
     let line = supermem::nvm::addr::LineAddr(0x1000);
@@ -35,7 +41,10 @@ fn main() {
     } else {
         raw
     };
-    assert_ne!(&raw[..message.len().min(64)], &message[..message.len().min(64)]);
+    assert_ne!(
+        &raw[..message.len().min(64)],
+        &message[..message.len().min(64)]
+    );
     println!("DIMM bytes are ciphertext: {:02x?}...", &raw[..8]);
 
     // Power failure: volatile state is gone, the ADR domain survives,

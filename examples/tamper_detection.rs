@@ -20,7 +20,10 @@ use supermem::{Scheme, SystemBuilder};
 fn main() {
     // A SuperMem system plus an integrity tree over its first 4096
     // counter lines (16 MiB of protected data).
-    let mut sys = SystemBuilder::new().scheme(Scheme::SuperMem).seed(99).build();
+    let mut sys = SystemBuilder::new()
+        .scheme(Scheme::SuperMem)
+        .seed(99)
+        .build();
     let mut bmt = Bmt::new([0x17; 16], 4096);
     println!(
         "integrity tree: {} counter lines, height {}",
@@ -63,14 +66,8 @@ fn main() {
     // Decryption without the tree would have silently returned garbage:
     let line = LineAddr(3 * 4096);
     let ctr = CounterLine::decode(&forged);
-    let engine =
-        supermem::crypto::EncryptionEngine::new(sys.config().encryption_key());
-    let garbage = engine.decrypt_line(
-        &tampered.read_data(line),
-        line.0,
-        ctr.major(),
-        ctr.minor(0),
-    );
+    let engine = supermem::crypto::EncryptionEngine::new(sys.config().encryption_key());
+    let garbage = engine.decrypt_line(&tampered.read_data(line), line.0, ctr.major(), ctr.minor(0));
     assert_ne!(garbage, [4u8; 64]);
     println!(
         "without the tree, the same read silently decrypts to garbage: {:02x?}...",

@@ -45,7 +45,9 @@ fn counter_rollback_attack_is_detected() {
     let mut image = sys.crash_now();
     // The attacker rewinds page 3's counter line to fresh (a replay of
     // old DIMM contents).
-    image.store.write_counter(PageId(3), CounterLine::new().encode());
+    image
+        .store
+        .write_counter(PageId(3), CounterLine::new().encode());
     assert_eq!(
         verify_image_integrity(&cfg, &image).unwrap(),
         IntegrityVerdict::Tampered

@@ -2,15 +2,19 @@
 //! operation sequence and any scheme, the controller must behave as a
 //! simple byte-addressable memory (the oracle is a HashMap), both
 //! during execution and through a crash at the end.
+//!
+//! Deterministic randomized testing: a seeded SplitMix64 generates the
+//! operation sequences (stands in for proptest, which is unavailable in
+//! offline builds). Every case is reproducible from the fixed seeds.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
 use supermem::memctrl::MemoryController;
 use supermem::nvm::addr::LineAddr;
 use supermem::persist::{PMem, RecoveredMemory};
 use supermem::scheme::FIGURE_SCHEMES;
 use supermem::sim::Config;
+use supermem_sim::SplitMix64;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -20,26 +24,31 @@ enum Op {
     Read { line: u64 },
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    // 24 lines across 3 pages: enough to exercise CWC, cc eviction, and
-    // same-line reordering hazards without slowing the test down.
-    prop_oneof![
-        (0u64..24, any::<u8>()).prop_map(|(l, fill)| Op::Flush { line: l * 64, fill }),
-        (0u64..24).prop_map(|l| Op::Read { line: l * 64 }),
-    ]
+/// 24 lines across 3 pages: enough to exercise CWC, cc eviction, and
+/// same-line reordering hazards without slowing the test down.
+fn random_op(rng: &mut SplitMix64) -> Op {
+    if rng.next_below(2) == 0 {
+        Op::Flush {
+            line: rng.next_below(24) * 64,
+            fill: rng.next_u64() as u8,
+        }
+    } else {
+        Op::Read {
+            line: rng.next_below(24) * 64,
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Live reads always return the newest flushed value; after a crash
-    /// the recovered image matches the oracle exactly.
-    #[test]
-    fn controller_matches_oracle(
-        ops in proptest::collection::vec(arb_op(), 1..120),
-        scheme_idx in 0usize..FIGURE_SCHEMES.len(),
-    ) {
-        let scheme = FIGURE_SCHEMES[scheme_idx];
+/// Live reads always return the newest flushed value; after a crash
+/// the recovered image matches the oracle exactly.
+#[test]
+fn controller_matches_oracle() {
+    let mut rng = SplitMix64::new(0x04AC1E);
+    for _ in 0..48 {
+        let scheme = FIGURE_SCHEMES[rng.next_below(FIGURE_SCHEMES.len() as u64) as usize];
+        let ops: Vec<Op> = (0..rng.next_range(1, 120))
+            .map(|_| random_op(&mut rng))
+            .collect();
         let cfg = scheme.apply(Config::default());
         let mut mc = MemoryController::new(&cfg);
         let mut oracle: HashMap<u64, u8> = HashMap::new();
@@ -54,7 +63,7 @@ proptest! {
                     let (data, done) = mc.read_line(LineAddr(*line), t);
                     t = done;
                     if let Some(&fill) = oracle.get(line) {
-                        prop_assert_eq!(data, [fill; 64], "live read at {:#x} under {}", line, scheme);
+                        assert_eq!(data, [fill; 64], "live read at {line:#x} under {scheme}");
                     }
                 }
             }
@@ -65,14 +74,22 @@ proptest! {
         for (&line, &fill) in &oracle {
             let mut buf = [0u8; 64];
             rec.read(line, &mut buf);
-            prop_assert_eq!(buf, [fill; 64], "post-crash read at {:#x} under {}", line, scheme);
+            assert_eq!(
+                buf, [fill; 64],
+                "post-crash read at {line:#x} under {scheme}"
+            );
         }
     }
+}
 
-    /// Hammering a single line across the minor-counter overflow keeps
-    /// both the hot line and a cold neighbor intact, live and post-crash.
-    #[test]
-    fn overflow_boundary_is_oracle_clean(extra in 1u64..40, seed in any::<u8>()) {
+/// Hammering a single line across the minor-counter overflow keeps
+/// both the hot line and a cold neighbor intact, live and post-crash.
+#[test]
+fn overflow_boundary_is_oracle_clean() {
+    let mut rng = SplitMix64::new(0x0F10);
+    for _ in 0..24 {
+        let extra = rng.next_range(1, 40);
+        let seed = rng.next_u64() as u8;
         let cfg = supermem::Scheme::SuperMem.apply(Config::default());
         let mut mc = MemoryController::new(&cfg);
         let mut t = mc.flush_line(LineAddr(64), [seed; 64], 0);
@@ -83,23 +100,29 @@ proptest! {
             t = mc.flush_line(LineAddr(0), [last; 64], t);
         }
         let (data, done) = mc.read_line(LineAddr(0), t);
-        prop_assert_eq!(data, [last; 64]);
+        assert_eq!(data, [last; 64]);
         let (data, _) = mc.read_line(LineAddr(64), done);
-        prop_assert_eq!(data, [seed; 64]);
-        prop_assert_eq!(mc.stats().pages_reencrypted, 1);
+        assert_eq!(data, [seed; 64]);
+        assert_eq!(mc.stats().pages_reencrypted, 1);
 
         let mut rec = RecoveredMemory::from_image(&cfg, mc.crash_now());
         let mut buf = [0u8; 64];
         rec.read(0, &mut buf);
-        prop_assert_eq!(buf, [last; 64]);
+        assert_eq!(buf, [last; 64]);
         rec.read(64, &mut buf);
-        prop_assert_eq!(buf, [seed; 64]);
+        assert_eq!(buf, [seed; 64]);
     }
+}
 
-    /// Timing sanity under random traffic: retire cycles are meaningful
-    /// (monotone per line's visibility) and stats add up.
-    #[test]
-    fn stats_are_consistent(ops in proptest::collection::vec(arb_op(), 1..80)) {
+/// Timing sanity under random traffic: retire cycles are meaningful
+/// (monotone per line's visibility) and stats add up.
+#[test]
+fn stats_are_consistent() {
+    let mut rng = SplitMix64::new(0x57A7);
+    for _ in 0..48 {
+        let ops: Vec<Op> = (0..rng.next_range(1, 80))
+            .map(|_| random_op(&mut rng))
+            .collect();
         let cfg = supermem::Scheme::SuperMem.apply(Config::default());
         let mut mc = MemoryController::new(&cfg);
         let mut t = 0u64;
@@ -120,12 +143,9 @@ proptest! {
         let s = mc.stats();
         // Every flush lands exactly one data write; counter writes plus
         // coalesced merges account for the other half of each pair.
-        prop_assert_eq!(s.nvm_data_writes, flushes + 64 * s.pages_reencrypted);
-        prop_assert_eq!(
-            s.nvm_counter_writes + s.counter_writes_coalesced,
-            flushes
-        );
+        assert_eq!(s.nvm_data_writes, flushes + 64 * s.pages_reencrypted);
+        assert_eq!(s.nvm_counter_writes + s.counter_writes_coalesced, flushes);
         let bank_total: u64 = s.bank_writes.iter().sum();
-        prop_assert_eq!(bank_total, s.nvm_writes_total());
+        assert_eq!(bank_total, s.nvm_writes_total());
     }
 }

@@ -70,7 +70,10 @@ fn supermem_txn_recovers_at_every_append_boundary() {
         }
     }
     assert!(saw_old, "early crashes must roll back");
-    assert!(saw_new, "the final crash point must show the committed state");
+    assert!(
+        saw_new,
+        "the final crash point must show the committed state"
+    );
 }
 
 #[test]
@@ -109,7 +112,11 @@ fn multi_record_txn_is_atomic_across_crashes() {
             }
         }
         versions.dedup();
-        assert_eq!(versions.len(), 1, "crash point {k}: torn transaction {versions:?}");
+        assert_eq!(
+            versions.len(),
+            1,
+            "crash point {k}: torn transaction {versions:?}"
+        );
     }
 }
 
@@ -142,7 +149,10 @@ fn unbacked_write_back_cache_is_not_crash_consistent() {
             garbage += 1;
         }
     }
-    assert!(garbage > 0, "losing dirty counters must corrupt some crash points");
+    assert!(
+        garbage > 0,
+        "losing dirty counters must corrupt some crash points"
+    );
 }
 
 #[test]
@@ -150,7 +160,10 @@ fn workload_crash_mid_run_leaves_decryptable_structures() {
     // Run the queue workload on the full timed system, crash mid-run,
     // and check the recovered header and items decrypt to plausible
     // values (indices within bounds, monotone).
-    let mut sys = SystemBuilder::new().scheme(Scheme::SuperMem).seed(3).build();
+    let mut sys = SystemBuilder::new()
+        .scheme(Scheme::SuperMem)
+        .seed(3)
+        .build();
     let cfg = sys.config().clone();
     let spec = WorkloadSpec::new(WorkloadKind::Queue)
         .with_txns(50)
@@ -192,7 +205,10 @@ fn recovery_completes_interrupted_page_reencryption() {
     mem.controller_mut().arm_crash_after_appends(20);
     mem.persist(0x40, &[0xFF; 8]);
     mem.persist(0x80, &[0xEE; 8]);
-    let image = mem.controller_mut().take_crash_image().expect("crash fired");
+    let image = mem
+        .controller_mut()
+        .take_crash_image()
+        .expect("crash fired");
     let mut rec = RecoveredMemory::from_image(&cfg, image);
     let mut buf = [0u8; 64];
     rec.read(0x0, &mut buf);

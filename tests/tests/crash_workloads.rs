@@ -21,7 +21,10 @@ const TXNS: u64 = 30;
 /// recovered memory (after transaction rollback) plus the recovery
 /// outcome.
 fn crash_run(kind: WorkloadKind, appends: u64, seed: u64) -> (RecoveredMemory, RecoveryOutcome) {
-    let mut sys = SystemBuilder::new().scheme(Scheme::SuperMem).seed(seed).build();
+    let mut sys = SystemBuilder::new()
+        .scheme(Scheme::SuperMem)
+        .seed(seed)
+        .build();
     let cfg = sys.config().clone();
     let spec = WorkloadSpec::new(kind)
         .with_txns(TXNS)
@@ -34,9 +37,7 @@ fn crash_run(kind: WorkloadKind, appends: u64, seed: u64) -> (RecoveredMemory, R
     for _ in 0..TXNS {
         w.step(&mut sys).expect("txn");
     }
-    let image = sys
-        .take_crash_image()
-        .unwrap_or_else(|| sys.crash_now()); // ran to completion: crash at end
+    let image = sys.take_crash_image().unwrap_or_else(|| sys.crash_now()); // ran to completion: crash at end
     let mut rec = RecoveredMemory::from_image(&cfg, image);
     let outcome = recover_transactions(&mut rec, 0); // log is the region's first allocation
     (rec, outcome)

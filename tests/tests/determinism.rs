@@ -34,7 +34,10 @@ fn different_seeds_produce_different_runs() {
 
 #[test]
 fn multicore_is_deterministic_too() {
-    let mut rc = RunConfig::new(Scheme::WriteThrough, supermem::workloads::WorkloadKind::Queue);
+    let mut rc = RunConfig::new(
+        Scheme::WriteThrough,
+        supermem::workloads::WorkloadKind::Queue,
+    );
     rc.txns = 15;
     rc.programs = 4;
     let a = run_multicore(&rc);

@@ -103,8 +103,8 @@ fn xbank_spreads_counter_writes_singlebank_concentrates_them() {
     let single = run(Scheme::WriteThrough); // SingleBank placement
     let xbank = run(Scheme::WtXbank);
     // SingleBank: the last bank serves every counter write.
-    let last_share = single.stats.bank_writes[7] as f64
-        / single.stats.bank_writes.iter().sum::<u64>() as f64;
+    let last_share =
+        single.stats.bank_writes[7] as f64 / single.stats.bank_writes.iter().sum::<u64>() as f64;
     assert!(
         last_share > 0.4,
         "SingleBank must concentrate writes in bank 7 (got {last_share:.2})"
@@ -126,5 +126,8 @@ fn request_size_scales_write_volume() {
     };
     let small = writes(256);
     let large = writes(4096);
-    assert!(large > small * 4, "4KB txns must write far more than 256B txns");
+    assert!(
+        large > small * 4,
+        "4KB txns must write far more than 256B txns"
+    );
 }

@@ -7,8 +7,8 @@ use supermem::persist::{
     recover_osiris, recover_transactions, DirectMem, PMem, RecoveryOutcome, TxnManager,
 };
 use supermem::sim::Config;
-use supermem::{Scheme, SystemBuilder};
 use supermem::workloads::{AnyWorkload, WorkloadKind, WorkloadSpec};
+use supermem::{Scheme, SystemBuilder};
 
 const DATA: u64 = 0x8000;
 const LOG: u64 = 0x20_0000;

@@ -1,11 +1,15 @@
 //! Property-based integration tests: the timed secure system must be
 //! byte-equivalent to the functional reference under arbitrary
 //! operation sequences, for every scheme.
+//!
+//! Deterministic randomized testing: a seeded SplitMix64 generates the
+//! operation sequences (stands in for proptest, which is unavailable in
+//! offline builds). Every case is reproducible from the fixed seeds.
 
-use proptest::prelude::*;
 use supermem::persist::{PMem, RecoveredMemory, VecMem};
 use supermem::scheme::FIGURE_SCHEMES;
 use supermem::{Scheme, SystemBuilder};
+use supermem_sim::SplitMix64;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -15,26 +19,34 @@ enum Op {
     Sfence,
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    let addr = 0u64..(48 << 10);
-    prop_oneof![
-        (addr.clone(), proptest::collection::vec(any::<u8>(), 1..150))
-            .prop_map(|(addr, bytes)| Op::Write { addr, bytes }),
-        (addr.clone(), 1usize..150).prop_map(|(addr, len)| Op::Read { addr, len }),
-        (addr, 1u64..150).prop_map(|(addr, len)| Op::Clwb { addr, len }),
-        Just(Op::Sfence),
-    ]
+fn random_op(rng: &mut SplitMix64) -> Op {
+    let addr = rng.next_below(48 << 10);
+    match rng.next_below(4) {
+        0 => {
+            let mut bytes = vec![0u8; rng.next_range(1, 150) as usize];
+            rng.fill_bytes(&mut bytes);
+            Op::Write { addr, bytes }
+        }
+        1 => Op::Read {
+            addr,
+            len: rng.next_range(1, 150) as usize,
+        },
+        2 => Op::Clwb {
+            addr,
+            len: rng.next_range(1, 150),
+        },
+        _ => Op::Sfence,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn system_matches_functional_reference(
-        ops in proptest::collection::vec(arb_op(), 1..80),
-        scheme_idx in 0usize..FIGURE_SCHEMES.len(),
-    ) {
-        let scheme = FIGURE_SCHEMES[scheme_idx];
+#[test]
+fn system_matches_functional_reference() {
+    let mut rng = SplitMix64::new(0xF19A);
+    for case in 0..16 {
+        let scheme = FIGURE_SCHEMES[rng.next_below(FIGURE_SCHEMES.len() as u64) as usize];
+        let ops: Vec<Op> = (0..rng.next_range(1, 80))
+            .map(|_| random_op(&mut rng))
+            .collect();
         let mut sys = SystemBuilder::new().scheme(scheme).build();
         let mut reference = VecMem::new();
         // Both views start from "initialized zeros" over the exercised
@@ -53,23 +65,31 @@ proptest! {
                     let mut b = vec![0u8; *len];
                     sys.read(*addr, &mut a);
                     reference.read(*addr, &mut b);
-                    prop_assert_eq!(a, b, "read divergence at {:#x} under {}", addr, scheme);
+                    assert_eq!(
+                        a, b,
+                        "case {case}: read divergence at {addr:#x} under {scheme}"
+                    );
                 }
                 Op::Clwb { addr, len } => sys.clwb(*addr, *len),
                 Op::Sfence => sys.sfence(),
             }
         }
     }
+}
 
-    #[test]
-    fn checkpointed_state_always_recovers(
-        writes in proptest::collection::vec(
-            (0u64..(16 << 10), proptest::collection::vec(any::<u8>(), 1..100)),
-            1..30
-        ),
-    ) {
+#[test]
+fn checkpointed_state_always_recovers() {
+    let mut rng = SplitMix64::new(0xC4EC);
+    for case in 0..16 {
         // Whatever was written before a checkpoint must survive a crash
         // bit-for-bit, under the full SuperMem scheme.
+        let writes: Vec<(u64, Vec<u8>)> = (0..rng.next_range(1, 30))
+            .map(|_| {
+                let mut bytes = vec![0u8; rng.next_range(1, 100) as usize];
+                rng.fill_bytes(&mut bytes);
+                (rng.next_below(16 << 10), bytes)
+            })
+            .collect();
         let mut sys = SystemBuilder::new().scheme(Scheme::SuperMem).build();
         let mut reference = VecMem::new();
         for (addr, bytes) in &writes {
@@ -84,12 +104,18 @@ proptest! {
             let mut want = vec![0u8; bytes.len()];
             rec.read(*addr, &mut got);
             reference.read(*addr, &mut want);
-            prop_assert_eq!(got, want, "divergence at {:#x}", addr);
+            assert_eq!(got, want, "case {case}: divergence at {addr:#x}");
         }
     }
+}
 
-    #[test]
-    fn clock_is_monotone(ops in proptest::collection::vec(arb_op(), 1..60)) {
+#[test]
+fn clock_is_monotone() {
+    let mut rng = SplitMix64::new(0xC10C);
+    for _ in 0..16 {
+        let ops: Vec<Op> = (0..rng.next_range(1, 60))
+            .map(|_| random_op(&mut rng))
+            .collect();
         let mut sys = SystemBuilder::new().scheme(Scheme::SuperMem).build();
         let mut last = sys.now();
         for op in &ops {
@@ -103,7 +129,7 @@ proptest! {
                 Op::Sfence => sys.sfence(),
             }
             let now = sys.now();
-            prop_assert!(now >= last, "clock went backwards: {last} -> {now}");
+            assert!(now >= last, "clock went backwards: {last} -> {now}");
             last = now;
         }
     }

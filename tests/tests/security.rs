@@ -11,7 +11,9 @@ fn flushed_dimm_bytes(scheme: Scheme, addr: u64, data: &[u8]) -> [u8; 64] {
     sys.clwb(addr, data.len() as u64);
     sys.sfence();
     let image = sys.crash_now();
-    image.store.read_data(supermem::nvm::addr::LineAddr(addr & !63))
+    image
+        .store
+        .read_data(supermem::nvm::addr::LineAddr(addr & !63))
 }
 
 #[test]
@@ -25,7 +27,10 @@ fn dimm_holds_ciphertext_when_encrypted() {
 fn unsec_dimm_holds_plaintext() {
     let secret = [0x41u8; 64];
     let raw = flushed_dimm_bytes(Scheme::Unsec, 0x1000, &secret);
-    assert_eq!(raw, secret, "the Unsec baseline is deliberately unprotected");
+    assert_eq!(
+        raw, secret,
+        "the Unsec baseline is deliberately unprotected"
+    );
 }
 
 #[test]
@@ -54,7 +59,10 @@ fn rewriting_same_value_changes_ciphertext() {
     sys.write(0x3000, &data);
     sys.clwb(0x3000, 64);
     sys.sfence();
-    let first = sys.crash_now().store.read_data(supermem::nvm::addr::LineAddr(0x3000));
+    let first = sys
+        .crash_now()
+        .store
+        .read_data(supermem::nvm::addr::LineAddr(0x3000));
     // Touch and rewrite the identical bytes.
     sys.write(0x3000, &[0u8; 64]);
     sys.clwb(0x3000, 64);
@@ -62,7 +70,10 @@ fn rewriting_same_value_changes_ciphertext() {
     sys.write(0x3000, &data);
     sys.clwb(0x3000, 64);
     sys.sfence();
-    let second = sys.crash_now().store.read_data(supermem::nvm::addr::LineAddr(0x3000));
+    let second = sys
+        .crash_now()
+        .store
+        .read_data(supermem::nvm::addr::LineAddr(0x3000));
     assert_ne!(first, second, "counter-mode must never reuse a pad");
 }
 
@@ -71,11 +82,17 @@ fn different_seeds_produce_unrelated_ciphertexts() {
     // The per-machine key is derived from the seed; two machines never
     // share pads.
     let a = flushed_dimm_bytes(Scheme::SuperMem, 0x1000, &[9u8; 64]);
-    let mut sys = SystemBuilder::new().scheme(Scheme::SuperMem).seed(999).build();
+    let mut sys = SystemBuilder::new()
+        .scheme(Scheme::SuperMem)
+        .seed(999)
+        .build();
     sys.write(0x1000, &[9u8; 64]);
     sys.clwb(0x1000, 64);
     sys.sfence();
-    let b = sys.crash_now().store.read_data(supermem::nvm::addr::LineAddr(0x1000));
+    let b = sys
+        .crash_now()
+        .store
+        .read_data(supermem::nvm::addr::LineAddr(0x1000));
     assert_ne!(a, b);
 }
 
