@@ -1,0 +1,93 @@
+//! Hot-path regression guard: re-runs the memory-controller micro
+//! benchmarks (observers disabled, as in production figure runs) and
+//! fails when any exceeds its committed reference in
+//! `results/BENCH_sweep.json` by more than `SUPERMEM_BENCH_TOLERANCE`
+//! (default 4x — generous on purpose; this catches gross regressions
+//! like an always-active probe layer, not minor jitter).
+
+use std::hint::black_box;
+use std::process::ExitCode;
+
+use supermem::memctrl::MemoryController;
+use supermem::nvm::addr::LineAddr;
+use supermem::sim::Config;
+use supermem::Scheme;
+use supermem_bench::guard::{check, extract_after_ns, tolerance, GuardCheck};
+use supermem_bench::micro::Harness;
+
+fn baseline_json() -> String {
+    let path = std::env::var("SUPERMEM_BENCH_BASELINE").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/BENCH_sweep.json"
+        )
+        .to_owned()
+    });
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read bench baseline {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let baseline = baseline_json();
+    let tol = tolerance();
+    let mut h = Harness::new("benchguard");
+
+    for scheme in [Scheme::Unsec, Scheme::WriteThrough, Scheme::SuperMem] {
+        let cfg = scheme.apply(Config::default());
+        let mut mc = MemoryController::new(&cfg);
+        let mut t = 0u64;
+        let mut i = 0u64;
+        h.bench(&format!("flush_line/{scheme}"), || {
+            let line = LineAddr((i % 64) * 64);
+            i += 1;
+            t = mc.flush_line(black_box(line), [i as u8; 64], t);
+            t
+        });
+    }
+    {
+        let cfg = Scheme::SuperMem.apply(Config::default());
+        let mut mc = MemoryController::new(&cfg);
+        let mut t = 0;
+        for i in 0..64u64 {
+            t = mc.flush_line(LineAddr(i * 64), [i as u8; 64], t);
+        }
+        t = mc.finish(t);
+        let mut i = 0u64;
+        h.bench("read_line/SuperMem", || {
+            let line = LineAddr((i % 64) * 64);
+            i += 1;
+            let (data, done) = mc.read_line(black_box(line), t);
+            t = done;
+            data
+        });
+    }
+
+    let checks: Vec<GuardCheck> = h
+        .results()
+        .iter()
+        .map(|r| {
+            let reference = extract_after_ns(&baseline, &r.name)
+                .unwrap_or_else(|| panic!("no after_ns reference for {} in baseline", r.name));
+            check(&r.name, reference, r.ns_per_iter, tol)
+        })
+        .collect();
+
+    let mut failed = false;
+    for c in &checks {
+        let verdict = if c.passed() { "ok" } else { "REGRESSED" };
+        println!(
+            "{:<22} measured {:>8.1} ns/iter  reference {:>7.1}  limit {:>8.1} ({tol}x)  {verdict}",
+            c.name, c.measured_ns, c.reference_ns, c.limit_ns
+        );
+        failed |= !c.passed();
+    }
+    if failed {
+        eprintln!("benchguard: hot-path regression detected (see REGRESSED rows)");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "benchguard: all {} hot-path benchmarks within tolerance",
+        checks.len()
+    );
+    ExitCode::SUCCESS
+}

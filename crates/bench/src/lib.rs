@@ -26,6 +26,7 @@
 //! 200) — the figures' *shapes* are stable well below that.
 #![warn(missing_docs)]
 
+pub mod guard;
 pub mod micro;
 pub mod report;
 

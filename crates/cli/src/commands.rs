@@ -6,16 +6,19 @@ use supermem::persist::{
     TxnManager,
 };
 use supermem::workloads::spec::ALL_KINDS;
-use supermem::{run_multicore, run_single, sweep, RunConfig, RunResult};
+use supermem::{sweep, Experiment, RunConfig, RunResult};
 
 use crate::args::{parse_run_flags, ArgError, Parsed};
 
+/// Validates `rc` up front so the free-run path below cannot panic.
+fn validated(rc: &RunConfig) -> Result<(), ArgError> {
+    rc.validate().map_err(|e| ArgError(e.to_string()))
+}
+
 fn execute(rc: &RunConfig) -> RunResult {
-    if rc.programs > 1 {
-        run_multicore(rc)
-    } else {
-        run_single(rc)
-    }
+    Experiment::new(rc.clone())
+        .expect("config validated before execute")
+        .run()
 }
 
 fn result_row(r: &RunResult) -> Vec<String> {
@@ -52,6 +55,7 @@ pub fn cmd_run(p: Parsed) -> Result<(), ArgError> {
     if let Some(flag) = p.leftover.first() {
         return Err(ArgError(format!("unknown flag `{flag}`")));
     }
+    validated(&p.rc)?;
     let r = execute(&p.rc);
     let mut t = TextTable::new(result_headers());
     t.row(result_row(&r));
@@ -94,6 +98,9 @@ pub fn cmd_sweep(argv: &[String]) -> Result<(), ArgError> {
         }
         jobs.push(rc);
     }
+    for rc in &jobs {
+        validated(rc)?;
+    }
     // All points run through the parallel sweep engine; results come
     // back in input order, so the table matches the sequential output.
     let results = sweep(&jobs, execute);
@@ -109,6 +116,116 @@ pub fn cmd_sweep(argv: &[String]) -> Result<(), ArgError> {
         t.row(row);
     }
     print!("{}", if p.csv { t.to_csv() } else { t.render() });
+    Ok(())
+}
+
+/// `supermem profile [run flags] [--json]`: run once with the built-in
+/// telemetry observer attached and print the latency attribution.
+pub fn cmd_profile(argv: &[String]) -> Result<(), ArgError> {
+    let p = parse_run_flags(argv)?;
+    let mut json = false;
+    for flag in &p.leftover {
+        match flag.as_str() {
+            "--json" => json = true,
+            other => return Err(ArgError(format!("unknown flag `{other}`"))),
+        }
+    }
+    let mut exp = Experiment::new(p.rc.clone())
+        .map_err(|e| ArgError(e.to_string()))?
+        .observe();
+    let r = exp.run();
+    let t = r
+        .telemetry
+        .as_ref()
+        .expect("observed run returns telemetry");
+    if json {
+        println!("{}", t.to_json(r.total_cycles));
+        return Ok(());
+    }
+
+    let b = &t.breakdown;
+    let flush_total = b.counter_fetch_cycles + b.crypto_cycles + b.queue_admission_cycles;
+    let share = |c: u64| {
+        if flush_total == 0 {
+            "-".to_owned()
+        } else {
+            format!("{:.1}%", 100.0 * c as f64 / flush_total as f64)
+        }
+    };
+    let mut attribution = TextTable::new(
+        ["flush phase", "cycles", "share"]
+            .map(str::to_owned)
+            .to_vec(),
+    );
+    attribution.row(vec![
+        "counter fetch".into(),
+        b.counter_fetch_cycles.to_string(),
+        share(b.counter_fetch_cycles),
+    ]);
+    attribution.row(vec![
+        "crypto".into(),
+        b.crypto_cycles.to_string(),
+        share(b.crypto_cycles),
+    ]);
+    attribution.row(vec![
+        "queue admission".into(),
+        b.queue_admission_cycles.to_string(),
+        share(b.queue_admission_cycles),
+    ]);
+    println!(
+        "{} / {} — {} txns, {} cycles",
+        r.scheme, r.workload, r.txns, r.total_cycles
+    );
+    println!();
+    print!("{}", attribution.render());
+
+    let mut hist = TextTable::new(
+        ["latency", "count", "mean cyc", "max cyc"]
+            .map(str::to_owned)
+            .to_vec(),
+    );
+    for (name, h) in [
+        ("txn", &t.txn_latency),
+        ("flush", &t.flush_latency),
+        ("read", &t.read_latency),
+    ] {
+        hist.row(vec![
+            name.into(),
+            h.count().to_string(),
+            format!("{:.1}", h.mean()),
+            h.max().to_string(),
+        ]);
+    }
+    println!();
+    print!("{}", hist.render());
+
+    println!();
+    println!(
+        "write queue: {} enqueues, {} coalesced, {} stalls ({} cycles), \
+         occupancy mean {:.2} max {}",
+        t.wq_occupancy.enqueues,
+        b.coalesced,
+        b.wq_stalls,
+        b.wq_stall_cycles,
+        t.wq_occupancy.histogram.mean(),
+        t.wq_occupancy.max,
+    );
+    let mut banks = TextTable::new(
+        ["bank", "reads", "writes", "busy cyc", "util"]
+            .map(str::to_owned)
+            .to_vec(),
+    );
+    for (i, bank) in t.banks.banks().iter().enumerate() {
+        banks.row(vec![
+            i.to_string(),
+            bank.reads.to_string(),
+            bank.writes.to_string(),
+            bank.busy_cycles.to_string(),
+            format!("{:.1}%", 100.0 * t.banks.utilization(i, r.total_cycles)),
+        ]);
+    }
+    println!();
+    print!("{}", banks.render());
     Ok(())
 }
 

@@ -4,6 +4,7 @@
 //! supermem run   [--scheme S] [--workload W] [--txns N] [--req BYTES]
 //!                [--wq ENTRIES] [--cc BYTES] [--programs P] [--seed X] [--csv]
 //! supermem sweep --param {wq|cc|req|programs} --values a,b,c [run flags]
+//! supermem profile [run flags] [--json]
 //! supermem crash [--scheme S] [--txns N]
 //! supermem list
 //! ```
@@ -32,13 +33,14 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  supermem run   [--scheme S] [--workload W] [--txns N] [--req BYTES]\n                 [--wq ENTRIES] [--cc BYTES] [--programs P] [--seed X] [--csv]\n  supermem sweep --param {wq|cc|req|programs} --values a,b,c [run flags]\n  supermem crash [--scheme S] [--txns N]\n  supermem list\n\nschemes: unsec wb wt wt+cwc wt+xbank supermem wt+samebank osiris sca\nworkloads: array queue btree hash rbtree\nsizes accept K/M suffixes (e.g. --cc 256K)"
+    "usage:\n  supermem run     [--scheme S] [--workload W] [--txns N] [--req BYTES]\n                   [--wq ENTRIES] [--cc BYTES] [--programs P] [--seed X] [--csv]\n  supermem sweep   --param {wq|cc|req|programs} --values a,b,c [run flags]\n  supermem profile [run flags] [--json]\n  supermem crash   [--scheme S] [--txns N]\n  supermem list\n\nschemes: unsec wb wt wt+cwc wt+xbank supermem wt+samebank osiris sca\nworkloads: array queue btree hash rbtree\nsizes accept K/M suffixes (e.g. --cc 256K)"
 }
 
 fn dispatch(argv: &[String]) -> Result<(), ArgError> {
     match argv.first().map(String::as_str) {
         Some("run") => commands::cmd_run(parse_run_flags(&argv[1..])?),
         Some("sweep") => commands::cmd_sweep(&argv[1..]),
+        Some("profile") => commands::cmd_profile(&argv[1..]),
         Some("crash") => commands::cmd_crash(parse_run_flags(&argv[1..])?),
         Some("list") => {
             commands::cmd_list();

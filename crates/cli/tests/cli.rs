@@ -90,6 +90,52 @@ fn sweep_emits_one_row_per_point() {
 }
 
 #[test]
+fn profile_prints_latency_attribution() {
+    let (ok, stdout, stderr) = run(&[
+        "profile",
+        "--scheme",
+        "supermem",
+        "--workload",
+        "queue",
+        "--txns",
+        "20",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("flush phase"));
+    assert!(stdout.contains("counter fetch"));
+    assert!(stdout.contains("queue admission"));
+    assert!(stdout.contains("write queue:"));
+}
+
+#[test]
+fn profile_json_reconciles_with_txns() {
+    let (ok, stdout, stderr) = run(&[
+        "profile",
+        "--scheme",
+        "supermem",
+        "--workload",
+        "queue",
+        "--txns",
+        "20",
+        "--json",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    let line = stdout.lines().next().expect("one JSON object");
+    assert!(line.starts_with('{') && line.ends_with('}'));
+    assert!(line.contains("\"breakdown\":"));
+    assert!(line.contains("\"txns\":20"));
+    assert!(line.contains("\"histograms\":"));
+    assert!(line.contains("\"banks\":["));
+}
+
+#[test]
+fn profile_rejects_invalid_config() {
+    let (ok, _, stderr) = run(&["profile", "--programs", "99"]);
+    assert!(!ok);
+    assert!(stderr.contains("programs must be in"));
+}
+
+#[test]
 fn crash_reports_a_verdict() {
     let (ok, stdout, _) = run(&["crash", "--scheme", "supermem"]);
     assert!(ok);

@@ -42,14 +42,19 @@
 //! * [`system`] — the timed machine: per-core L1/L2 + shared L3 over the
 //!   secure memory controller, exposing the
 //!   [`PMem`](supermem_persist::PMem) interface.
-//! * [`runner`] — single-core and multi-core experiment drivers.
-//! * [`sweep`] — parallel experiment engine: fans independent runs over
+//! * [`runner`] — run configuration plus free-function experiment
+//!   drivers (thin wrappers over [`experiment`]).
+//! * [`experiment`] — the [`Experiment`] session API: builder-validated
+//!   configuration, pluggable [`sim::Observer`]s, and collected
+//!   [`sim::Telemetry`] on the [`RunResult`].
+//! * [`mod@sweep`] — parallel experiment engine: fans independent runs over
 //!   a scoped worker pool, results in input order (bit-identical to a
 //!   sequential sweep).
 //! * [`metrics`] — result aggregation and normalization helpers for the
 //!   figure harness.
 #![warn(missing_docs)]
 
+pub mod experiment;
 pub mod metrics;
 pub mod runner;
 pub mod sca;
@@ -57,6 +62,7 @@ pub mod scheme;
 pub mod sweep;
 pub mod system;
 
+pub use experiment::{ConfigError, Experiment};
 pub use metrics::RunResult;
 pub use runner::{
     record_workload_trace, replay_trace, run_multicore, run_multicore_trace, run_single, RunConfig,

@@ -6,7 +6,7 @@
 //! `supermem-bench` binaries print.
 
 use supermem_nvm::WearReport;
-use supermem_sim::{Cycle, Stats};
+use supermem_sim::{Cycle, Stats, Telemetry};
 
 use crate::scheme::Scheme;
 
@@ -29,6 +29,9 @@ pub struct RunResult {
     pub total_cycles: Cycle,
     /// Per-line wear summary of the NVM at the end of the run.
     pub wear: WearReport,
+    /// Collected probe telemetry, present when the run was observed via
+    /// [`crate::Experiment::observe`]; `None` for unobserved runs.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl RunResult {
@@ -128,9 +131,13 @@ impl TextTable {
         &self.rows
     }
 
-    /// Renders the aligned table.
+    /// Renders the aligned table. A table with no columns renders as the
+    /// empty string (headerless tables have nothing to align).
     pub fn render(&self) -> String {
         let cols = self.headers.len();
+        if cols == 0 {
+            return String::new();
+        }
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
@@ -218,6 +225,15 @@ mod tests {
     }
 
     #[test]
+    fn zero_column_table_renders_empty() {
+        // Regression: `2 * (cols - 1)` underflowed usize and the
+        // separator `repeat` panicked with capacity overflow.
+        let t = TextTable::new(Vec::new());
+        assert_eq!(t.render(), "");
+        assert_eq!(t.to_csv(), "\n");
+    }
+
+    #[test]
     fn run_result_accessors() {
         let mut stats = Stats::new(8);
         stats.record_txn(100);
@@ -233,6 +249,7 @@ mod tests {
             stats,
             total_cycles: 300,
             wear: WearReport::default(),
+            telemetry: None,
         };
         assert_eq!(r.mean_txn_latency(), 150.0);
         assert_eq!(r.nvm_writes(), 10);

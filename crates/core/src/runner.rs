@@ -1,27 +1,28 @@
-//! Experiment drivers.
+//! Experiment configuration and free-function drivers.
 //!
-//! [`run_single`] executes one workload on one core; [`run_multicore`]
-//! runs `programs` copies of the workload on separate cores over the
-//! shared L3 / memory controller / NVM banks, interleaving cores in
-//! simulated-time order (the core with the smallest clock executes its
-//! next transaction). Both drivers:
+//! [`RunConfig`] describes one experiment; [`RunConfig::validate`]
+//! rejects bad parameter combinations with a typed
+//! [`ConfigError`] instead of a mid-run panic. The
+//! free functions here ([`run_single`], [`run_multicore`],
+//! [`replay_trace`], [`run_multicore_trace`]) are thin wrappers over
+//! [`crate::Experiment`] sessions, kept for callers that don't need
+//! observers. Every driver:
 //!
-//! 1. build and initialize the workload,
-//! 2. checkpoint and reset statistics (figures measure the steady phase),
-//! 3. run the transactions, recording per-transaction latency,
-//! 4. **verify the persistent structure against its shadow model** — so
+//! 1. builds and initializes the workload,
+//! 2. checkpoints and resets statistics (figures measure the steady phase),
+//! 3. runs the transactions, recording per-transaction latency,
+//! 4. **verifies the persistent structure against its shadow model** — so
 //!    every data point in every figure doubles as an end-to-end
 //!    correctness test of the encryption/persistence stack,
-//! 5. drain everything so write counts are complete.
+//! 5. drains everything so write counts are complete.
 
-use supermem_persist::VecMem;
 use supermem_sim::{Config, CounterPlacement};
-use supermem_trace::{TraceEvent, TraceRecorder};
-use supermem_workloads::{AnyWorkload, WorkloadKind, WorkloadSpec};
+use supermem_trace::TraceEvent;
+use supermem_workloads::{WorkloadKind, WorkloadSpec};
 
+use crate::experiment::{record_program_trace, ConfigError, Experiment};
 use crate::metrics::RunResult;
 use crate::scheme::Scheme;
-use crate::system::System;
 
 /// Parameters of one experiment run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,7 +91,116 @@ impl RunConfig {
         }
     }
 
-    fn build_config(&self) -> Config {
+    /// Sets the transaction count per program.
+    pub fn with_txns(mut self, txns: u64) -> Self {
+        self.txns = txns;
+        self
+    }
+
+    /// Sets the transaction request size in bytes.
+    pub fn with_req_bytes(mut self, req_bytes: u64) -> Self {
+        self.req_bytes = req_bytes;
+        self
+    }
+
+    /// Sets the write-queue capacity (Figure 16 sweeps this).
+    pub fn with_write_queue_entries(mut self, entries: usize) -> Self {
+        self.write_queue_entries = entries;
+        self
+    }
+
+    /// Sets the counter-cache size in bytes (Figure 17 sweeps this).
+    pub fn with_counter_cache_bytes(mut self, bytes: u64) -> Self {
+        self.counter_cache_bytes = bytes;
+        self
+    }
+
+    /// Sets the concurrent program count for multi-core runs.
+    pub fn with_programs(mut self, programs: usize) -> Self {
+        self.programs = programs;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the array workload footprint in bytes.
+    pub fn with_array_footprint(mut self, bytes: u64) -> Self {
+        self.array_footprint = bytes;
+        self
+    }
+
+    /// Sets the hash workload bucket count (must be a power of two).
+    pub fn with_hash_buckets(mut self, buckets: u64) -> Self {
+        self.hash_buckets = buckets;
+        self
+    }
+
+    /// Sets the YCSB workload read percentage (0..=100).
+    pub fn with_ycsb_read_pct(mut self, pct: u8) -> Self {
+        self.ycsb_read_pct = pct;
+        self
+    }
+
+    /// Enables Start-Gap wear leveling with interval `psi`.
+    pub fn with_wear_psi(mut self, psi: Option<u64>) -> Self {
+        self.wear_psi = psi;
+        self
+    }
+
+    /// Enables Bonsai-Merkle-Tree authentication of the counter region.
+    pub fn with_integrity_tree(mut self, on: bool) -> Self {
+        self.integrity_tree = on;
+        self
+    }
+
+    /// Overrides the counter-line placement (None = scheme default).
+    pub fn with_placement_override(mut self, placement: Option<CounterPlacement>) -> Self {
+        self.placement_override = placement;
+        self
+    }
+
+    /// Overrides CWC on/off (None = scheme default).
+    pub fn with_cwc_override(mut self, cwc: Option<bool>) -> Self {
+        self.cwc_override = cwc;
+        self
+    }
+
+    /// Checks this configuration without running it: program/core
+    /// bounds, power-of-two bucket counts, and the derived machine
+    /// configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use supermem::{RunConfig, Scheme};
+    /// use supermem::workloads::WorkloadKind;
+    ///
+    /// let rc = RunConfig::new(Scheme::SuperMem, WorkloadKind::Array);
+    /// assert!(rc.validate().is_ok());
+    /// assert!(rc.with_programs(99).validate().is_err());
+    /// ```
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let cfg = self.build_config();
+        if self.programs < 1 || self.programs > cfg.cores {
+            return Err(ConfigError::Programs {
+                programs: self.programs,
+                cores: cfg.cores,
+            });
+        }
+        if !self.hash_buckets.is_power_of_two() {
+            return Err(ConfigError::HashBuckets(self.hash_buckets));
+        }
+        if self.ycsb_read_pct > 100 {
+            return Err(ConfigError::ReadPct(self.ycsb_read_pct));
+        }
+        cfg.validate().map_err(ConfigError::Machine)
+    }
+
+    pub(crate) fn build_config(&self) -> Config {
         let mut cfg = self.scheme.apply(Config::default());
         cfg.write_queue_entries = self.write_queue_entries;
         cfg.counter_cache_bytes = self.counter_cache_bytes;
@@ -106,7 +216,7 @@ impl RunConfig {
         cfg
     }
 
-    fn spec_for(&self, program: usize) -> WorkloadSpec {
+    pub(crate) fn spec_for(&self, program: usize) -> WorkloadSpec {
         // Each program gets a private 256 MiB slice of the 8 GB space.
         let region = 1u64 << 28;
         WorkloadSpec::new(self.kind)
@@ -120,104 +230,37 @@ impl RunConfig {
     }
 }
 
+/// Builds an unobserved [`Experiment`] session, panicking on an invalid
+/// configuration (the free-function contract; use [`Experiment::new`]
+/// directly for a `Result`).
+fn session(rc: &RunConfig) -> Experiment {
+    Experiment::new(rc.clone()).unwrap_or_else(|e| panic!("{e}"))
+}
+
 /// Runs one workload on core 0.
+///
+/// Equivalent to `Experiment::new(rc.clone())?.run_single()`; use
+/// [`Experiment`] directly to attach observers or handle configuration
+/// errors without panicking.
 ///
 /// # Panics
 ///
-/// Panics if a transaction fails to commit or the final verification
-/// finds a divergence — either indicates a simulator bug, not a
-/// recoverable condition.
+/// Panics if `rc` is invalid, a transaction fails to commit, or the
+/// final verification finds a divergence.
 pub fn run_single(rc: &RunConfig) -> RunResult {
-    let mut sys = System::new(rc.build_config());
-    let spec = rc.spec_for(0);
-    let mut w = AnyWorkload::build(&spec, &mut sys);
-    sys.checkpoint();
-    sys.reset_stats();
-    let measure_start = sys.now();
-    for _ in 0..rc.txns {
-        let start = sys.now();
-        w.step(&mut sys).expect("transaction commit failed");
-        let end = sys.now();
-        sys.stats_mut().record_txn(end - start);
-    }
-    sys.checkpoint(); // complete the write counts
-    let measured_end = sys.now();
-    let stats = sys.stats().clone();
-    let wear = sys.controller().store().wear_report();
-    // Verify *after* snapshotting: the full-structure scan would
-    // otherwise swamp the measured phase's cache statistics.
-    w.verify(&mut sys).expect("workload verification failed");
-    RunResult {
-        scheme: rc.scheme,
-        workload: spec.kind.name().to_owned(),
-        req_bytes: rc.req_bytes,
-        programs: 1,
-        txns: rc.txns,
-        stats,
-        total_cycles: measured_end - measure_start,
-        wear,
-    }
+    session(rc).run_single()
 }
 
 /// Runs `programs` copies of the workload on separate cores.
+///
+/// Equivalent to `Experiment::new(rc.clone())?.run_multicore()`.
 ///
 /// # Panics
 ///
 /// Panics if `programs` is zero or exceeds the configured core count,
 /// if a transaction fails, or if verification finds a divergence.
 pub fn run_multicore(rc: &RunConfig) -> RunResult {
-    let cfg = rc.build_config();
-    assert!(
-        rc.programs >= 1 && rc.programs <= cfg.cores,
-        "programs must be in 1..={}",
-        cfg.cores
-    );
-    let mut sys = System::new(cfg);
-    let mut workloads = Vec::with_capacity(rc.programs);
-    for p in 0..rc.programs {
-        sys.set_active_core(p);
-        workloads.push(AnyWorkload::build(&rc.spec_for(p), &mut sys));
-    }
-    sys.set_active_core(0);
-    sys.checkpoint();
-    sys.reset_stats();
-    let measure_start = sys.max_now();
-
-    // Simulated-time-ordered interleaving: the core with the smallest
-    // clock executes its next transaction.
-    let mut remaining: Vec<u64> = vec![rc.txns; rc.programs];
-    while remaining.iter().any(|&r| r > 0) {
-        let core = (0..rc.programs)
-            .filter(|&p| remaining[p] > 0)
-            .min_by_key(|&p| sys.core_now(p))
-            .expect("some program has work left");
-        sys.set_active_core(core);
-        let start = sys.now();
-        workloads[core]
-            .step(&mut sys)
-            .expect("transaction commit failed");
-        let end = sys.now();
-        sys.stats_mut().record_txn(end - start);
-        remaining[core] -= 1;
-    }
-    sys.checkpoint();
-    let measured_end = sys.max_now();
-    let stats = sys.stats().clone();
-    let wear = sys.controller().store().wear_report();
-    for (p, w) in workloads.iter_mut().enumerate() {
-        sys.set_active_core(p);
-        w.verify(&mut sys).expect("workload verification failed");
-    }
-    RunResult {
-        scheme: rc.scheme,
-        workload: rc.kind.name().to_owned(),
-        req_bytes: rc.req_bytes,
-        programs: rc.programs,
-        txns: rc.txns * rc.programs as u64,
-        stats,
-        total_cycles: measured_end - measure_start,
-        wear,
-    }
+    session(rc).run_multicore()
 }
 
 /// Records the memory-operation trace of `rc`'s workload against a
@@ -228,139 +271,30 @@ pub fn run_multicore(rc: &RunConfig) -> RunResult {
 ///
 /// Panics if a transaction fails to commit.
 pub fn record_workload_trace(rc: &RunConfig) -> Vec<TraceEvent> {
-    let mut mem = VecMem::new();
-    let mut recorder = TraceRecorder::new(&mut mem);
-    let mut w = AnyWorkload::build(&rc.spec_for(0), &mut recorder);
-    for _ in 0..rc.txns {
-        recorder.txn_begin();
-        w.step(&mut recorder).expect("transaction commit failed");
-        recorder.txn_end();
-    }
-    w.verify(&mut recorder)
-        .expect("workload verification failed");
-    recorder.into_trace()
+    record_program_trace(rc, 0, true)
 }
 
 /// Replays a recorded trace through a timed system configured by `rc`
 /// (the replay half of trace-driven simulation): identical memory
 /// behavior, different machine. Per-transaction latencies come from the
 /// trace's markers.
+///
+/// # Panics
+///
+/// Panics if `rc` is invalid.
 pub fn replay_trace(rc: &RunConfig, trace: &[TraceEvent]) -> RunResult {
-    use supermem_persist::PMem;
-    let mut sys = System::new(rc.build_config());
-    let measure_start = sys.now();
-    let mut txn_start = None;
-    let mut scratch = Vec::new();
-    for event in trace {
-        match event {
-            TraceEvent::Read { addr, len } => {
-                scratch.resize(*len as usize, 0);
-                sys.read(*addr, &mut scratch);
-            }
-            TraceEvent::Write { addr, bytes } => sys.write(*addr, bytes),
-            TraceEvent::Clwb { addr, len } => sys.clwb(*addr, *len),
-            TraceEvent::Sfence => sys.sfence(),
-            TraceEvent::TxnBegin => txn_start = Some(sys.now()),
-            TraceEvent::TxnEnd => {
-                if let Some(start) = txn_start.take() {
-                    let end = sys.now();
-                    sys.stats_mut().record_txn(end - start);
-                }
-            }
-        }
-    }
-    sys.checkpoint();
-    let measured_end = sys.now();
-    let wear = sys.controller().store().wear_report();
-    RunResult {
-        scheme: rc.scheme,
-        workload: format!("{}(trace)", rc.kind.name()),
-        req_bytes: rc.req_bytes,
-        programs: 1,
-        txns: rc.txns,
-        stats: sys.stats().clone(),
-        total_cycles: measured_end - measure_start,
-        wear,
-    }
+    session(rc).replay(trace)
 }
 
-/// Multi-core run with *event-granularity* interleaving: per-program
-/// traces are recorded up front, then replayed concurrently — at every
-/// step the core with the smallest clock executes its next memory
-/// operation. This models bank/queue contention at the same granularity
-/// as a cycle-driven simulator, unlike [`run_multicore`]'s
-/// transaction-granularity scheduling, at the cost of trace memory.
+/// Multi-core run with *event-granularity* interleaving (see
+/// [`Experiment::run_multicore_trace`]).
 ///
 /// # Panics
 ///
 /// Panics if `programs` is zero or exceeds the configured core count,
 /// or if trace recording fails.
 pub fn run_multicore_trace(rc: &RunConfig) -> RunResult {
-    use supermem_persist::PMem;
-    let cfg = rc.build_config();
-    assert!(
-        rc.programs >= 1 && rc.programs <= cfg.cores,
-        "programs must be in 1..={}",
-        cfg.cores
-    );
-    // Record each program's trace against a private functional memory.
-    let traces: Vec<Vec<TraceEvent>> = (0..rc.programs)
-        .map(|p| {
-            let mut mem = VecMem::new();
-            let mut recorder = TraceRecorder::new(&mut mem);
-            let mut w = AnyWorkload::build(&rc.spec_for(p), &mut recorder);
-            for _ in 0..rc.txns {
-                recorder.txn_begin();
-                w.step(&mut recorder).expect("transaction commit failed");
-                recorder.txn_end();
-            }
-            recorder.into_trace()
-        })
-        .collect();
-
-    let mut sys = System::new(cfg);
-    let measure_start = 0;
-    let mut cursors = vec![0usize; rc.programs];
-    let mut txn_starts: Vec<Option<supermem_sim::Cycle>> = vec![None; rc.programs];
-    let mut scratch = Vec::new();
-    // The core with the smallest clock and remaining work goes next.
-    while let Some(core) = (0..rc.programs)
-        .filter(|&p| cursors[p] < traces[p].len())
-        .min_by_key(|&p| sys.core_now(p))
-    {
-        sys.set_active_core(core);
-        let event = &traces[core][cursors[core]];
-        cursors[core] += 1;
-        match event {
-            TraceEvent::Read { addr, len } => {
-                scratch.resize(*len as usize, 0);
-                sys.read(*addr, &mut scratch);
-            }
-            TraceEvent::Write { addr, bytes } => sys.write(*addr, bytes),
-            TraceEvent::Clwb { addr, len } => sys.clwb(*addr, *len),
-            TraceEvent::Sfence => sys.sfence(),
-            TraceEvent::TxnBegin => txn_starts[core] = Some(sys.now()),
-            TraceEvent::TxnEnd => {
-                if let Some(start) = txn_starts[core].take() {
-                    let end = sys.now();
-                    sys.stats_mut().record_txn(end - start);
-                }
-            }
-        }
-    }
-    sys.checkpoint();
-    let measured_end = sys.max_now();
-    let wear = sys.controller().store().wear_report();
-    RunResult {
-        scheme: rc.scheme,
-        workload: format!("{}(trace)", rc.kind.name()),
-        req_bytes: rc.req_bytes,
-        programs: rc.programs,
-        txns: rc.txns * rc.programs as u64,
-        stats: sys.stats().clone(),
-        total_cycles: measured_end - measure_start,
-        wear,
-    }
+    session(rc).run_multicore_trace()
 }
 
 #[cfg(test)]
@@ -483,7 +417,8 @@ mod tests {
 
     #[test]
     fn trace_replay_reproduces_contents() {
-        use supermem_persist::{PMem, RecoveredMemory};
+        use crate::system::System;
+        use supermem_persist::{PMem, RecoveredMemory, VecMem};
         let rc = quick(Scheme::SuperMem, WorkloadKind::HashTable);
         let trace = record_workload_trace(&rc);
         // Functional reference of the final bytes.

@@ -17,7 +17,7 @@ use supermem_cache::CacheHierarchy;
 use supermem_memctrl::{CrashImage, MemoryController};
 use supermem_nvm::addr::LineAddr;
 use supermem_persist::PMem;
-use supermem_sim::{Config, Cycle, Stats};
+use supermem_sim::{Config, Cycle, Event, Observer, Stats};
 
 use crate::scheme::Scheme;
 
@@ -232,6 +232,29 @@ impl System {
         &self.mc
     }
 
+    /// Attaches an [`Observer`] to the machine's probe stream. All
+    /// controller- and core-level events emitted from now on are
+    /// delivered to it; observers never affect simulated timing.
+    pub fn attach_observer(&mut self, obs: Box<dyn Observer>) {
+        self.mc.attach_observer(obs);
+    }
+
+    /// Detaches and returns all attached observers (typically at the end
+    /// of the measured window, before verification traffic).
+    pub fn take_observers(&mut self) -> Vec<Box<dyn Observer>> {
+        self.mc.take_observers()
+    }
+
+    /// Records a committed transaction spanning `[start, end]` on the
+    /// active core: updates [`Stats`] and emits a probe event.
+    pub fn record_txn(&mut self, start: Cycle, end: Cycle) {
+        self.mc.stats_mut().record_txn(end.saturating_sub(start));
+        let core = self.active;
+        self.mc
+            .probes_mut()
+            .emit_with(|| Event::TxnCommit { core, start, end });
+    }
+
     /// Explicitly writes back one page's dirty counter line — the SCA
     /// `counter_cache_writeback()` primitive (see [`crate::sca`]).
     /// Returns whether a writeback was actually issued; its retire is
@@ -340,9 +363,17 @@ impl PMem for System {
 
     fn sfence(&mut self) {
         self.mc.stats_mut().sfence_ops += 1;
-        let core = &mut self.cores[self.active];
+        let core_idx = self.active;
+        let core = &mut self.cores[core_idx];
+        let stall = core.pending_retire.saturating_sub(core.now);
         core.now = core.now.max(core.pending_retire) + 1;
         core.pending_retire = 0;
+        let at = core.now;
+        self.mc.probes_mut().emit_with(|| Event::SfenceRetire {
+            core: core_idx,
+            at,
+            stall,
+        });
     }
 }
 

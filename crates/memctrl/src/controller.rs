@@ -24,7 +24,7 @@ use supermem_integrity::Bmt;
 use supermem_nvm::addr::{AddressMap, LineAddr, PageId};
 use supermem_nvm::bank::{BankTimer, OpKind};
 use supermem_nvm::{LineData, NvmStore};
-use supermem_sim::{Config, CounterCacheBacking, Cycle, Stats};
+use supermem_sim::{Config, CounterCacheBacking, Cycle, Event, Observer, Probes, Stats};
 
 use crate::bankmap::counter_bank;
 use crate::rsr::Rsr;
@@ -79,6 +79,7 @@ pub struct MemoryController {
     crash_image: Option<CrashImage>,
     append_events: u64,
     bmt: Option<Bmt>,
+    probes: Probes,
 }
 
 impl MemoryController {
@@ -130,8 +131,26 @@ impl MemoryController {
             bmt: cfg
                 .integrity_tree
                 .then(|| Bmt::new(cfg.encryption_key(), cfg.integrity_pages)),
+            probes: Probes::default(),
             cfg: cfg.clone(),
         }
+    }
+
+    /// Attaches an [`Observer`] to the controller's event stream. With no
+    /// observer attached the probe layer is a single branch per emission
+    /// site and event payloads are never constructed.
+    pub fn attach_observer(&mut self, obs: Box<dyn Observer>) {
+        self.probes.attach(obs);
+    }
+
+    /// Detaches and returns all attached observers.
+    pub fn take_observers(&mut self) -> Vec<Box<dyn Observer>> {
+        self.probes.take()
+    }
+
+    /// The probe hub (the system layer emits core-level events here).
+    pub fn probes_mut(&mut self) -> &mut Probes {
+        &mut self.probes
     }
 
     /// The address map in use.
@@ -227,10 +246,19 @@ impl MemoryController {
     fn fetch_counter(&mut self, page: PageId, at: Cycle) -> (CounterLine, Cycle) {
         let t = at + self.cfg.counter_cache_latency;
         if let Some(ctr) = self.cc.get(page) {
+            let ctr = ctr.clone();
             self.stats.counter_cache_hits += 1;
-            return (ctr.clone(), t);
+            self.probes.emit_with(|| Event::CounterCacheHit {
+                page: page.0,
+                at: t,
+            });
+            return (ctr, t);
         }
         self.stats.counter_cache_misses += 1;
+        self.probes.emit_with(|| Event::CounterCacheMiss {
+            page: page.0,
+            at: t,
+        });
         if let Some(entry) = self.wq.forward_counter(page) {
             self.stats.wq_read_forwards += 1;
             let ctr = CounterLine::decode(&entry.payload);
@@ -240,6 +268,13 @@ impl MemoryController {
         let bank = self.ctr_bank(page);
         let mut done = self.banks[bank].issue(OpKind::Read, t);
         self.stats.nvm_counter_reads += 1;
+        let read_service = self.cfg.nvm_read_service_cycles();
+        self.probes.emit_with(|| Event::BankBusy {
+            bank,
+            start: done - read_service,
+            end: done,
+            write: false,
+        });
         let raw = self.store.read_counter(page);
         // Counters arriving from (attacker-writable) NVM are verified
         // against the trusted root before use.
@@ -268,6 +303,7 @@ impl MemoryController {
                 let encoded = evicted_ctr.encode();
                 self.wq
                     .append(WqTarget::Counter(evicted_page), bank, encoded, None, t);
+                self.note_enqueue(true, bank, t);
                 self.note_counter_write(evicted_page, &encoded);
                 self.note_append_event();
             }
@@ -281,13 +317,30 @@ impl MemoryController {
             &mut self.banks,
             &mut self.store,
             &mut self.stats,
+            &mut self.probes,
         )
+    }
+
+    /// Notes a completed write-queue append on the probe stream.
+    fn note_enqueue(&mut self, counter: bool, bank: usize, at: Cycle) {
+        let occupancy = self.wq.len();
+        self.probes.emit_with(|| Event::WqEnqueue {
+            counter,
+            bank,
+            at,
+            occupancy,
+        });
     }
 
     /// Lets the write queue issue everything that can start by `now`.
     pub fn drain_until(&mut self, now: Cycle) {
-        self.wq
-            .drain_until(now, &mut self.banks, &mut self.store, &mut self.stats);
+        self.wq.drain_until(
+            now,
+            &mut self.banks,
+            &mut self.store,
+            &mut self.stats,
+            &mut self.probes,
+        );
     }
 
     /// Services a demand read of `line` issued at cycle `at`; returns the
@@ -307,13 +360,32 @@ impl MemoryController {
                 }
                 _ => payload,
             };
+            self.probes.emit_with(|| Event::ReadServed {
+                line: line.0,
+                issued: at,
+                done,
+                forwarded: true,
+            });
             return (data, done);
         }
         let bank = self.map.data_bank(line);
         let done_data = self.banks[bank].issue(OpKind::Read, at);
         self.stats.nvm_data_reads += 1;
+        let read_service = self.cfg.nvm_read_service_cycles();
+        self.probes.emit_with(|| Event::BankBusy {
+            bank,
+            start: done_data - read_service,
+            end: done_data,
+            write: false,
+        });
         let cipher = self.store.read_data(line);
         if !self.cfg.encryption {
+            self.probes.emit_with(|| Event::ReadServed {
+                line: line.0,
+                issued: at,
+                done: done_data,
+                forwarded: false,
+            });
             return (cipher, done_data);
         }
         let page = self.map.page_of_line(line);
@@ -323,7 +395,14 @@ impl MemoryController {
         let plain = self
             .engine
             .decrypt_line(&cipher, line.0, ctr.major(), ctr.minor(idx));
-        (plain, done_data.max(otp_ready) + 1)
+        let done = done_data.max(otp_ready) + 1;
+        self.probes.emit_with(|| Event::ReadServed {
+            line: line.0,
+            issued: at,
+            done,
+            forwarded: false,
+        });
+        (plain, done)
     }
 
     /// Handles a cache-line flush arriving at cycle `at` (Figure 7):
@@ -338,7 +417,15 @@ impl MemoryController {
             let t = self.wait_slots(1, at);
             self.wq
                 .append(WqTarget::Data(line), data_bank, plaintext, None, t);
+            self.note_enqueue(false, data_bank, t);
             self.note_append_event();
+            self.probes.emit_with(|| Event::FlushRetired {
+                line: line.0,
+                issued: at,
+                counter_ready: at,
+                encrypted: at,
+                retired: t,
+            });
             return t;
         }
 
@@ -368,7 +455,12 @@ impl MemoryController {
         let retire = match action {
             CounterCacheOutcome::WriteThrough => {
                 let ctr_bank = self.ctr_bank(page);
-                self.wq.coalesce_counter(page, &mut self.stats);
+                if self.wq.coalesce_counter(page, &mut self.stats) {
+                    self.probes.emit_with(|| Event::WqCoalesce {
+                        page: page.0,
+                        at: t_enc,
+                    });
+                }
                 let t_app = self.wait_slots(2, t_enc);
                 let encoded = ctr.encode();
                 self.note_counter_write(page, &encoded);
@@ -377,6 +469,7 @@ impl MemoryController {
                     // enter the ADR domain as one event.
                     self.wq
                         .append(WqTarget::Counter(page), ctr_bank, encoded, None, t_app);
+                    self.note_enqueue(true, ctr_bank, t_app);
                     self.wq.append_tagged(
                         WqTarget::Data(line),
                         data_bank,
@@ -385,12 +478,14 @@ impl MemoryController {
                         tag,
                         t_app,
                     );
+                    self.note_enqueue(false, data_bank, t_app);
                     self.note_append_event();
                 } else {
                     // Vulnerable baseline (Figure 6): counter first, data
                     // second, separately interruptible.
                     self.wq
                         .append(WqTarget::Counter(page), ctr_bank, encoded, None, t_app);
+                    self.note_enqueue(true, ctr_bank, t_app);
                     self.note_append_event();
                     self.wq.append_tagged(
                         WqTarget::Data(line),
@@ -400,6 +495,7 @@ impl MemoryController {
                         tag,
                         t_app,
                     );
+                    self.note_enqueue(false, data_bank, t_app);
                     self.note_append_event();
                 }
                 t_app
@@ -414,6 +510,7 @@ impl MemoryController {
                     tag,
                     t_app,
                 );
+                self.note_enqueue(false, data_bank, t_app);
                 self.note_append_event();
                 // Osiris bounds counter staleness: every `window`-th
                 // increment of a minor persists the counter line, so
@@ -427,6 +524,7 @@ impl MemoryController {
                         self.note_counter_write(page, &encoded);
                         self.wq
                             .append(WqTarget::Counter(page), ctr_bank, encoded, None, t_app);
+                        self.note_enqueue(true, ctr_bank, t_app);
                         self.note_append_event();
                     }
                 }
@@ -442,7 +540,18 @@ impl MemoryController {
             .is_some_and(|r| r.page() == page && r.all_done())
         {
             self.rsr = None;
+            self.probes.emit_with(|| Event::RsrRetired {
+                page: page.0,
+                at: retire,
+            });
         }
+        self.probes.emit_with(|| Event::FlushRetired {
+            line: line.0,
+            issued: at,
+            counter_ready: t_ctr,
+            encrypted: t_enc,
+            retired: retire,
+        });
         retire
     }
 
@@ -453,11 +562,17 @@ impl MemoryController {
     /// line through its normal path.
     fn reencrypt_page(&mut self, page: PageId, ctr: &mut CounterLine, at: Cycle) -> Cycle {
         self.stats.pages_reencrypted += 1;
+        self.probes
+            .emit_with(|| Event::ReencryptStart { page: page.0, at });
         // No stale ciphertext for this page may drain after the rewrite:
         // push out everything pending first.
-        let t0 = self
-            .wq
-            .drain_all(at, &mut self.banks, &mut self.store, &mut self.stats);
+        let t0 = self.wq.drain_all(
+            at,
+            &mut self.banks,
+            &mut self.store,
+            &mut self.stats,
+            &mut self.probes,
+        );
         let old = ctr.clone();
         self.rsr = Some(Rsr::new(page, old.major()));
         ctr.bump_major();
@@ -467,6 +582,13 @@ impl MemoryController {
             let line = self.map.line_in_page(page, idx);
             let done_read = self.banks[data_bank].issue(OpKind::Read, t);
             self.stats.nvm_data_reads += 1;
+            let read_service = self.cfg.nvm_read_service_cycles();
+            self.probes.emit_with(|| Event::BankBusy {
+                bank: data_bank,
+                start: done_read - read_service,
+                end: done_read,
+                write: false,
+            });
             let cipher_old = self.store.read_data(line);
             let plain = self
                 .engine
@@ -485,12 +607,19 @@ impl MemoryController {
                 tag,
                 t_app,
             );
+            self.note_enqueue(false, data_bank, t_app);
             if let Some(r) = self.rsr.as_mut() {
                 r.set_done(idx);
             }
             self.note_append_event();
             t = t_app;
         }
+        let lines = self.map.lines_per_page() as u32;
+        self.probes.emit_with(|| Event::ReencryptDone {
+            page: page.0,
+            lines,
+            at: t,
+        });
         t
     }
 
@@ -516,6 +645,7 @@ impl MemoryController {
         self.note_counter_write(page, &encoded);
         self.wq
             .append(WqTarget::Counter(page), bank, encoded, None, t);
+        self.note_enqueue(true, bank, t);
         self.note_append_event();
         self.cc_clear_dirty(page);
         t
@@ -537,10 +667,16 @@ impl MemoryController {
             self.note_counter_write(page, &encoded);
             self.wq
                 .append(WqTarget::Counter(page), bank, encoded, None, t_app);
+            self.note_enqueue(true, bank, t_app);
             t = t_app;
         }
-        self.wq
-            .drain_all(t, &mut self.banks, &mut self.store, &mut self.stats)
+        self.wq.drain_all(
+            t,
+            &mut self.banks,
+            &mut self.store,
+            &mut self.stats,
+            &mut self.probes,
+        )
     }
 
     /// Arms a crash that triggers after `appends` more append events

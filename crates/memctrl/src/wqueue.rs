@@ -19,7 +19,7 @@
 use supermem_nvm::addr::{LineAddr, PageId};
 use supermem_nvm::bank::{BankTimer, OpKind};
 use supermem_nvm::{LineData, NvmStore};
-use supermem_sim::{Cycle, FxHashMap, Stats};
+use supermem_sim::{Cycle, Event, FxHashMap, Probes, Stats};
 
 /// What a write-queue entry targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -288,14 +288,28 @@ impl WriteQueue {
         banks: &mut [BankTimer],
         store: &mut NvmStore,
         stats: &mut Stats,
+        probes: &mut Probes,
     ) -> Cycle {
         let e = self.remove_slot(idx);
         let start = banks[e.bank].earliest_start(OpKind::Write, e.ready);
-        banks[e.bank].issue(OpKind::Write, e.ready);
+        let end = banks[e.bank].issue(OpKind::Write, e.ready);
         if stats.bank_writes.len() <= e.bank {
             stats.bank_writes.resize(e.bank + 1, 0);
         }
         stats.bank_writes[e.bank] += 1;
+        probes.emit_with(|| Event::WqIssue {
+            counter: e.is_counter(),
+            bank: e.bank,
+            ready: e.ready,
+            start,
+            occupancy: self.capacity - self.free.len(),
+        });
+        probes.emit_with(|| Event::BankBusy {
+            bank: e.bank,
+            start,
+            end,
+            write: true,
+        });
         match e.target {
             WqTarget::Data(line) => {
                 stats.nvm_data_writes += 1;
@@ -319,12 +333,13 @@ impl WriteQueue {
         banks: &mut [BankTimer],
         store: &mut NvmStore,
         stats: &mut Stats,
+        probes: &mut Probes,
     ) {
         while let Some((idx, start)) = self.next_issuable(banks) {
             if start > now {
                 break;
             }
-            self.issue_at(idx, banks, store, stats);
+            self.issue_at(idx, banks, store, stats, probes);
         }
     }
 
@@ -343,10 +358,11 @@ impl WriteQueue {
         banks: &mut [BankTimer],
         store: &mut NvmStore,
         stats: &mut Stats,
+        probes: &mut Probes,
     ) -> Cycle {
         assert!(needed <= self.capacity, "cannot wait for {needed} slots");
         // Opportunistically drain what has already had time to issue.
-        self.drain_until(from, banks, store, stats);
+        self.drain_until(from, banks, store, stats, probes);
         if self.free_slots() >= needed {
             return from;
         }
@@ -357,10 +373,15 @@ impl WriteQueue {
                 .next_issuable(banks)
                 .expect("full queue must have an issuable entry");
             let freed_at = start.max(t);
-            self.issue_at(idx, banks, store, stats);
+            self.issue_at(idx, banks, store, stats, probes);
             t = freed_at;
         }
         stats.wq_stall_cycles += t - from;
+        probes.emit_with(|| Event::WqStall {
+            needed,
+            from,
+            until: t,
+        });
         t
     }
 
@@ -372,11 +393,12 @@ impl WriteQueue {
         banks: &mut [BankTimer],
         store: &mut NvmStore,
         stats: &mut Stats,
+        probes: &mut Probes,
     ) -> Cycle {
         let mut t = from;
         while let Some((idx, start)) = self.next_issuable(banks) {
             t = t.max(start);
-            self.issue_at(idx, banks, store, stats);
+            self.issue_at(idx, banks, store, stats, probes);
         }
         t
     }
@@ -474,7 +496,7 @@ mod tests {
         let mut stats = Stats::new(2);
         let (t, bank, payload) = data_entry_args(0x40, 0);
         wq.append(t, bank, payload, None, 0);
-        wq.drain_all(0, &mut b, &mut store, &mut stats);
+        wq.drain_all(0, &mut b, &mut store, &mut stats, &mut Probes::default());
         assert_eq!(store.read_data(LineAddr(0x40)), [0x40; 64]);
         assert_eq!(stats.nvm_data_writes, 1);
         assert_eq!(stats.bank_writes[0], 1);
@@ -518,9 +540,9 @@ mod tests {
         let mut store = NvmStore::new();
         let mut stats = Stats::new(1);
         wq.append(WqTarget::Data(LineAddr(0)), 0, [1; 64], None, 100);
-        wq.drain_until(50, &mut b, &mut store, &mut stats);
+        wq.drain_until(50, &mut b, &mut store, &mut stats, &mut Probes::default());
         assert_eq!(wq.len(), 1, "not ready yet");
-        wq.drain_until(100, &mut b, &mut store, &mut stats);
+        wq.drain_until(100, &mut b, &mut store, &mut stats, &mut Probes::default());
         assert_eq!(wq.len(), 0);
     }
 
@@ -533,9 +555,9 @@ mod tests {
         wq.append(WqTarget::Data(LineAddr(0)), 0, [1; 64], None, 0);
         wq.append(WqTarget::Data(LineAddr(64)), 0, [2; 64], None, 0);
         // At t=0 only the first can start; the second starts at 626.
-        wq.drain_until(0, &mut b, &mut store, &mut stats);
+        wq.drain_until(0, &mut b, &mut store, &mut stats, &mut Probes::default());
         assert_eq!(wq.len(), 1);
-        wq.drain_until(626, &mut b, &mut store, &mut stats);
+        wq.drain_until(626, &mut b, &mut store, &mut stats, &mut Probes::default());
         assert_eq!(wq.len(), 0);
     }
 
@@ -547,7 +569,7 @@ mod tests {
         let mut stats = Stats::new(2);
         wq.append(WqTarget::Data(LineAddr(0)), 0, [1; 64], None, 0);
         wq.append(WqTarget::Data(LineAddr(4096)), 1, [2; 64], None, 0);
-        wq.drain_until(0, &mut b, &mut store, &mut stats);
+        wq.drain_until(0, &mut b, &mut store, &mut stats, &mut Probes::default());
         assert_eq!(wq.len(), 0, "both banks start at t=0");
     }
 
@@ -562,7 +584,7 @@ mod tests {
         wq.append(WqTarget::Data(LineAddr(64)), 0, [2; 64], None, 0);
         // Both pending; second can't start until 626. Wait for 2 slots at t=0:
         // first frees its slot at 0 (service start), second at 626.
-        let t = wq.wait_for_slots(2, 0, &mut b, &mut store, &mut stats);
+        let t = wq.wait_for_slots(2, 0, &mut b, &mut store, &mut stats, &mut Probes::default());
         assert_eq!(t, 626);
         assert_eq!(stats.wq_stall_cycles, 626);
         assert_eq!(stats.wq_full_events, 1);
@@ -575,7 +597,14 @@ mod tests {
         let mut b = banks(1);
         let mut store = NvmStore::new();
         let mut stats = Stats::new(1);
-        let t = wq.wait_for_slots(2, 77, &mut b, &mut store, &mut stats);
+        let t = wq.wait_for_slots(
+            2,
+            77,
+            &mut b,
+            &mut store,
+            &mut stats,
+            &mut Probes::default(),
+        );
         assert_eq!(t, 77);
         assert_eq!(stats.wq_stall_cycles, 0);
     }
@@ -642,7 +671,7 @@ mod tests {
         let mut stats = Stats::new(1);
         wq.append(WqTarget::Data(LineAddr(0)), 0, [5; 64], None, 1000);
         wq.append(WqTarget::Data(LineAddr(0)), 0, [6; 64], None, 10);
-        wq.drain_all(0, &mut b, &mut store, &mut stats);
+        wq.drain_all(0, &mut b, &mut store, &mut stats, &mut Probes::default());
         assert_eq!(
             store.read_data(LineAddr(0)),
             [6; 64],
@@ -659,7 +688,7 @@ mod tests {
         let mut stats = Stats::new(2);
         wq.append(WqTarget::Data(LineAddr(0)), 0, [1; 64], None, 1000);
         wq.append(WqTarget::Data(LineAddr(4096)), 1, [2; 64], None, 0);
-        wq.drain_until(0, &mut b, &mut store, &mut stats);
+        wq.drain_until(0, &mut b, &mut store, &mut stats, &mut Probes::default());
         assert_eq!(wq.len(), 1, "the line in the other bank issues at t=0");
         assert_eq!(store.read_data(LineAddr(4096)), [2; 64]);
     }
@@ -685,7 +714,7 @@ mod tests {
         // final store value is the newer payload.
         wq.append(WqTarget::Data(LineAddr(0)), 0, [1; 64], None, 0);
         wq.append(WqTarget::Data(LineAddr(0)), 0, [2; 64], None, 0);
-        wq.drain_all(0, &mut b, &mut store, &mut stats);
+        wq.drain_all(0, &mut b, &mut store, &mut stats, &mut Probes::default());
         assert_eq!(store.read_data(LineAddr(0)), [2; 64]);
     }
 }
@@ -748,7 +777,14 @@ mod randomized {
             for op in &ops {
                 match op {
                     QOp::AppendData { line, fill, ready } => {
-                        wq.wait_for_slots(1, *ready, &mut b, &mut store, &mut stats);
+                        wq.wait_for_slots(
+                            1,
+                            *ready,
+                            &mut b,
+                            &mut store,
+                            &mut stats,
+                            &mut Probes::default(),
+                        );
                         wq.append(
                             WqTarget::Data(LineAddr(*line)),
                             (*line / 64 % 2) as usize,
@@ -759,7 +795,14 @@ mod randomized {
                         newest_data.insert(*line, *fill);
                     }
                     QOp::AppendCounter { page, fill, ready } => {
-                        wq.wait_for_slots(1, *ready, &mut b, &mut store, &mut stats);
+                        wq.wait_for_slots(
+                            1,
+                            *ready,
+                            &mut b,
+                            &mut store,
+                            &mut stats,
+                            &mut Probes::default(),
+                        );
                         wq.coalesce_counter(PageId(*page), &mut stats);
                         // Coalescing may have freed a slot; capacity is
                         // still guaranteed by the earlier wait.
@@ -773,12 +816,18 @@ mod randomized {
                         newest_ctr.insert(*page, *fill);
                     }
                     QOp::Drain { until } => {
-                        wq.drain_until(*until, &mut b, &mut store, &mut stats);
+                        wq.drain_until(
+                            *until,
+                            &mut b,
+                            &mut store,
+                            &mut stats,
+                            &mut Probes::default(),
+                        );
                     }
                 }
                 assert!(wq.len() <= wq.capacity());
             }
-            wq.drain_all(0, &mut b, &mut store, &mut stats);
+            wq.drain_all(0, &mut b, &mut store, &mut stats, &mut Probes::default());
             for (&line, &fill) in &newest_data {
                 assert_eq!(store.read_data(LineAddr(line)), [fill; 64]);
             }
@@ -808,7 +857,14 @@ mod randomized {
             for op in &ops {
                 match op {
                     QOp::AppendData { line, fill, ready } => {
-                        wq.wait_for_slots(1, *ready, &mut b, &mut store, &mut stats);
+                        wq.wait_for_slots(
+                            1,
+                            *ready,
+                            &mut b,
+                            &mut store,
+                            &mut stats,
+                            &mut Probes::default(),
+                        );
                         wq.append(
                             WqTarget::Data(LineAddr(*line)),
                             (*line / 64 % 2) as usize,
@@ -818,7 +874,14 @@ mod randomized {
                         );
                     }
                     QOp::AppendCounter { page, fill, ready } => {
-                        wq.wait_for_slots(1, *ready, &mut b, &mut store, &mut stats);
+                        wq.wait_for_slots(
+                            1,
+                            *ready,
+                            &mut b,
+                            &mut store,
+                            &mut stats,
+                            &mut Probes::default(),
+                        );
                         let target = WqTarget::Counter(PageId(*page));
                         let before: Vec<u64> = wq
                             .pending()
@@ -842,7 +905,13 @@ mod randomized {
                         wq.append(target, (*page % 2) as usize, [*fill; 64], None, *ready);
                     }
                     QOp::Drain { until } => {
-                        wq.drain_until(*until, &mut b, &mut store, &mut stats);
+                        wq.drain_until(
+                            *until,
+                            &mut b,
+                            &mut store,
+                            &mut stats,
+                            &mut Probes::default(),
+                        );
                     }
                 }
                 wq.assert_index_matches_linear_scan();
@@ -868,7 +937,7 @@ mod randomized {
                     assert_eq!(wq.forward_counter(PageId(page)).map(|e| e.seq), scan);
                 }
             }
-            wq.drain_all(0, &mut b, &mut store, &mut stats);
+            wq.drain_all(0, &mut b, &mut store, &mut stats, &mut Probes::default());
             wq.assert_index_matches_linear_scan();
             assert!(wq.is_empty(), "drain_all empties the queue");
         }

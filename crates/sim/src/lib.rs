@@ -22,12 +22,17 @@
 
 pub mod config;
 pub mod hash;
+pub mod probe;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use config::{Config, CounterCacheBacking, CounterCacheMode, CounterPlacement};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use probe::{
+    BankUtilization, Event, LatencyBreakdown, Log2Histogram, Observer, OccupancySeries, Probes,
+    Telemetry,
+};
 pub use rng::SplitMix64;
 pub use stats::Stats;
 pub use time::{ns_to_cycles, Cycle};
