@@ -29,7 +29,13 @@ fn baseline_json() -> String {
 
 fn main() -> ExitCode {
     let baseline = baseline_json();
-    let tol = tolerance();
+    let tol = match tolerance() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("benchguard: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let mut h = Harness::new("benchguard");
 
     for scheme in [Scheme::Unsec, Scheme::WriteThrough, Scheme::SuperMem] {

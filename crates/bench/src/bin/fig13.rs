@@ -31,7 +31,7 @@ fn main() {
             rc
         },
         run_single,
-        |r| r.mean_txn_latency(),
+        supermem::RunResult::mean_txn_latency,
     )
     .emit();
 }

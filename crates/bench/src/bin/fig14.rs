@@ -35,7 +35,7 @@ fn main() {
             rc
         },
         run_multicore,
-        |r| r.mean_txn_latency(),
+        supermem::RunResult::mean_txn_latency,
     )
     .emit();
 }

@@ -32,7 +32,7 @@ fn main() {
             rc
         },
         run_multicore_trace,
-        |r| r.mean_txn_latency(),
+        supermem::RunResult::mean_txn_latency,
     )
     .emit();
 }

@@ -59,14 +59,37 @@ pub fn check(name: &str, reference_ns: f64, measured_ns: f64, tolerance: f64) ->
     }
 }
 
+/// Parses a `SUPERMEM_BENCH_TOLERANCE` value. `None` (variable unset)
+/// yields the default 4.0; a set-but-invalid value is an error rather
+/// than a silent fallback — a typo like `4,5` or `4x` must not quietly
+/// re-enable the default and mask a tightened (or loosened) guard.
+///
+/// # Errors
+///
+/// Returns a message naming the bad value when it does not parse as a
+/// finite number greater than zero.
+pub fn parse_tolerance(raw: Option<&str>) -> Result<f64, String> {
+    let Some(raw) = raw else {
+        return Ok(4.0);
+    };
+    match raw.trim().parse::<f64>() {
+        Ok(v) if v > 0.0 && v.is_finite() => Ok(v),
+        Ok(v) => Err(format!(
+            "SUPERMEM_BENCH_TOLERANCE must be a finite multiplier > 0, got `{v}`"
+        )),
+        Err(_) => Err(format!("SUPERMEM_BENCH_TOLERANCE is not a number: `{raw}`")),
+    }
+}
+
 /// The guard tolerance multiplier from `SUPERMEM_BENCH_TOLERANCE`
-/// (default 4.0; values must be positive).
-pub fn tolerance() -> f64 {
-    std::env::var("SUPERMEM_BENCH_TOLERANCE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|v: &f64| *v > 0.0)
-        .unwrap_or(4.0)
+/// (default 4.0; values must be positive and finite).
+///
+/// # Errors
+///
+/// Propagates [`parse_tolerance`] errors when the variable is set to
+/// something unusable.
+pub fn tolerance() -> Result<f64, String> {
+    parse_tolerance(std::env::var("SUPERMEM_BENCH_TOLERANCE").ok().as_deref())
 }
 
 #[cfg(test)]
@@ -93,11 +116,29 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::float_cmp)] // exact arithmetic on small integers
     fn check_applies_tolerance() {
         let c = check("b", 100.0, 350.0, 4.0);
         assert!(c.passed());
         let c = check("b", 100.0, 450.0, 4.0);
         assert!(!c.passed());
         assert_eq!(c.limit_ns, 400.0);
+    }
+
+    #[test]
+    #[allow(clippy::float_cmp)] // exact arithmetic on small integers
+    fn tolerance_unset_defaults() {
+        assert_eq!(parse_tolerance(None), Ok(4.0));
+        assert_eq!(parse_tolerance(Some("2.5")), Ok(2.5));
+        assert_eq!(parse_tolerance(Some(" 8 ")), Ok(8.0));
+    }
+
+    #[test]
+    fn tolerance_garbage_is_an_error_not_the_default() {
+        // Regression: these used to silently fall back to 4.0.
+        for bad in ["4x", "4,5", "", "fast", "NaN", "inf", "0", "-1"] {
+            let r = parse_tolerance(Some(bad));
+            assert!(r.is_err(), "`{bad}` must be rejected, got {r:?}");
+        }
     }
 }

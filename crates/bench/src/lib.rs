@@ -100,7 +100,7 @@ where
         }
     }
     let results = sweep(&jobs, |rc| runner(rc));
-    let scheme_names = FIGURE_SCHEMES.map(|s| s.name());
+    let scheme_names = FIGURE_SCHEMES.map(supermem::Scheme::name);
     let cells_per_part = ALL_KINDS.len() * FIGURE_SCHEMES.len();
     let mut rep = Report::new(name);
     for (part, chunk) in results.chunks(cells_per_part).enumerate() {

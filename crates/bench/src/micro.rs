@@ -93,7 +93,7 @@ impl Harness {
                 start.elapsed().as_secs_f64() * 1e9 / iters as f64
             })
             .collect();
-        per_iter.sort_by(|a, b| a.total_cmp(b));
+        per_iter.sort_by(f64::total_cmp);
         self.results.push(BenchResult {
             name: name.to_owned(),
             ns_per_iter: per_iter[per_iter.len() / 2],

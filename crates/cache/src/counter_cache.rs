@@ -44,6 +44,9 @@ pub enum CounterCacheOutcome {
 pub struct CounterCache {
     cache: SetAssocCache<CounterLine>,
     mode: CounterCacheMode,
+    /// Fault injection (`Mutation::WtOff`): a write-through update is
+    /// silently deferred instead, stranding the counter dirty in cache.
+    drop_write_through: bool,
 }
 
 impl CounterCache {
@@ -56,12 +59,20 @@ impl CounterCache {
         Self {
             cache: SetAssocCache::with_geometry(capacity_bytes, line_bytes, ways),
             mode,
+            drop_write_through: false,
         }
     }
 
     /// The configured write policy.
     pub fn mode(&self) -> CounterCacheMode {
         self.mode
+    }
+
+    /// Arms the `wt-off` fault injection: write-through updates are
+    /// silently deferred (dirty in cache, nothing persisted). Only the
+    /// checker's mutant harness turns this on.
+    pub fn inject_drop_write_through(&mut self) {
+        self.drop_write_through = true;
     }
 
     /// Looks up the counters of `page`, refreshing LRU. Counts toward the
@@ -114,6 +125,12 @@ impl CounterCache {
             .expect("counter update for a non-resident page: fill first");
         *slot = line;
         match self.mode {
+            CounterCacheMode::WriteThrough if self.drop_write_through => {
+                // Injected defect: the update never reaches NVM and the
+                // cache is unbacked, so a crash loses this counter.
+                *dirty = true;
+                CounterCacheOutcome::Deferred
+            }
             CounterCacheMode::WriteThrough => {
                 *dirty = false;
                 CounterCacheOutcome::WriteThrough
@@ -240,6 +257,17 @@ mod tests {
         cc.update(PageId(0), line);
         let (_, _, dirty) = cc.fill(PageId(1), CounterLine::new()).expect("eviction");
         assert!(!dirty, "write-through entries must evict clean");
+    }
+
+    #[test]
+    fn injected_wt_off_defers_and_dirties() {
+        let mut cc = wt();
+        cc.inject_drop_write_through();
+        cc.fill(PageId(1), CounterLine::new());
+        let mut line = CounterLine::new();
+        line.increment(0);
+        assert_eq!(cc.update(PageId(1), line), CounterCacheOutcome::Deferred);
+        assert!(cc.is_dirty(PageId(1)), "dropped write-through strands dirt");
     }
 
     #[test]

@@ -122,16 +122,13 @@ impl<V> SetAssocCache<V> {
         let tick = self.tick;
         let set = self.set_of(key);
         let slot = self.sets[set].iter_mut().find(|s| s.key == key);
-        match slot {
-            Some(s) => {
-                s.stamp = tick;
-                self.hits += 1;
-                Some((&mut s.value, &mut s.dirty))
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
+        if let Some(s) = slot {
+            s.stamp = tick;
+            self.hits += 1;
+            Some((&mut s.value, &mut s.dirty))
+        } else {
+            self.misses += 1;
+            None
         }
     }
 
@@ -434,7 +431,7 @@ mod randomized {
         let mut rng = SplitMix64::new(0xD127);
         for _ in 0..64 {
             let mut c: SetAssocCache<u64> = SetAssocCache::new(2, 2);
-            let mut dirty_outstanding: std::collections::HashSet<u64> = Default::default();
+            let mut dirty_outstanding = std::collections::HashSet::new();
             for _ in 0..rng.next_range(1, 100) {
                 let k = rng.next_below(16);
                 if let Some(ev) = c.insert_with_dirty(k, k, true) {

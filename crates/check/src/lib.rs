@@ -1,0 +1,41 @@
+//! Persistency-ordering checker for the SuperMem reproduction.
+//!
+//! This crate consumes the simulator's probe stream ([`supermem_sim::Event`])
+//! through a shadow happens-before model of the secure-memory persist path —
+//! write queue, 2-line staging register, counter-write coalescer, and
+//! re-encryption status register — and reports violations of the paper's
+//! crash-consistency invariants (catalog in [`Rule`]; prose in DESIGN.md §11).
+//!
+//! The checker is a pure [`supermem_sim::Observer`]: it never feeds back into
+//! simulated timing, so a checked run produces bit-identical results to an
+//! unchecked one.
+//!
+//! # Examples
+//!
+//! ```
+//! use supermem_check::{Checker, CheckerMode};
+//! use supermem_sim::Event;
+//!
+//! let mut checker = Checker::new(CheckerMode::strict());
+//! // A data line persists and the fence retires with no counter co-enqueued:
+//! use supermem_sim::Observer;
+//! checker.on_event(&Event::WqEnqueue {
+//!     counter: false,
+//!     addr: 0x40,
+//!     seq: 1,
+//!     bank: 0,
+//!     at: 10,
+//!     occupancy: 1,
+//! });
+//! checker.on_event(&Event::SfenceRetire { core: 0, at: 20, stall: 0 });
+//! let report = checker.take_report();
+//! assert_eq!(report.violations.len(), 1);
+//! assert_eq!(report.violations[0].rule, supermem_check::Rule::P1);
+//! ```
+#![deny(missing_docs)]
+
+mod checker;
+mod rules;
+
+pub use checker::{CheckReport, Checker, CheckerMode, Violation};
+pub use rules::Rule;

@@ -45,8 +45,8 @@ pub fn parse_scheme(s: &str) -> Result<Scheme, ArgError> {
 /// Parses a size with optional `K`/`M` suffix.
 pub fn parse_size(s: &str) -> Result<u64, ArgError> {
     let (digits, mult) = match s.as_bytes().last() {
-        Some(b'K') | Some(b'k') => (&s[..s.len() - 1], 1024),
-        Some(b'M') | Some(b'm') => (&s[..s.len() - 1], 1024 * 1024),
+        Some(b'K' | b'k') => (&s[..s.len() - 1], 1024),
+        Some(b'M' | b'm') => (&s[..s.len() - 1], 1024 * 1024),
         _ => (s, 1),
     };
     digits

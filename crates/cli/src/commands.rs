@@ -5,8 +5,12 @@ use supermem::persist::{
     recover_osiris, recover_transactions, DirectMem, PMem, RecoveredMemory, RecoveryOutcome,
     TxnManager,
 };
+use supermem::scheme::FIGURE_SCHEMES;
+use supermem::sim::{CounterPlacement, Mutation};
+use supermem::verify::{check_run, check_run_trace, run_mutant, CheckReport};
 use supermem::workloads::spec::ALL_KINDS;
-use supermem::{sweep, Experiment, RunConfig, RunResult};
+use supermem::workloads::WorkloadKind;
+use supermem::{sweep, Experiment, RunConfig, RunResult, Scheme};
 
 use crate::args::{parse_run_flags, ArgError, Parsed};
 
@@ -232,11 +236,11 @@ pub fn cmd_profile(argv: &[String]) -> Result<(), ArgError> {
 /// `supermem crash`: sweep a crash over every append boundary of one
 /// durable transaction under the chosen scheme.
 pub fn cmd_crash(p: Parsed) -> Result<(), ArgError> {
+    const DATA: u64 = 0x2000;
+    const LOG: u64 = 0x10_0000;
     if let Some(flag) = p.leftover.first() {
         return Err(ArgError(format!("unknown flag `{flag}`")));
     }
-    const DATA: u64 = 0x2000;
-    const LOG: u64 = 0x10_0000;
     let cfg = p.rc.scheme.apply(supermem::sim::Config::default());
     let mut base = DirectMem::new(&cfg);
     base.persist(DATA, &[0x11; 256]);
@@ -274,10 +278,10 @@ pub fn cmd_crash(p: Parsed) -> Result<(), ArgError> {
         let mut buf = [0u8; 256];
         rec.read(DATA, &mut buf);
         match () {
-            _ if outcome == RecoveryOutcome::CorruptLog => bad += 1,
-            _ if buf == [0x11; 256] => old += 1,
-            _ if buf == [0x22; 256] => new += 1,
-            _ => bad += 1,
+            () if outcome == RecoveryOutcome::CorruptLog => bad += 1,
+            () if buf == [0x11; 256] => old += 1,
+            () if buf == [0x22; 256] => new += 1,
+            () => bad += 1,
         }
     }
     println!(
@@ -290,6 +294,294 @@ pub fn cmd_crash(p: Parsed) -> Result<(), ArgError> {
         println!("verdict: UNRECOVERABLE windows exist");
     }
     Ok(())
+}
+
+/// One named figure configuration the checker sweeps: a batch of runs
+/// (mirroring the corresponding bench binary's parameter points) and
+/// whether they replay through the event-granularity trace pipeline.
+struct CheckConfig {
+    name: &'static str,
+    runs: Vec<RunConfig>,
+    trace: bool,
+}
+
+/// The 17 figure configurations, one per bench binary, with `txns`
+/// transactions per run. Each mirrors its binary's distinctive knobs at
+/// checker-sweep scale.
+fn check_configs(txns: u64) -> Vec<CheckConfig> {
+    let base = |scheme, kind| {
+        RunConfig::new(scheme, kind)
+            .with_txns(txns)
+            .with_req_bytes(1024)
+            .with_array_footprint(1 << 20)
+    };
+    let plain = |name, runs| CheckConfig {
+        name,
+        runs,
+        trace: false,
+    };
+    vec![
+        plain(
+            "fig13",
+            FIGURE_SCHEMES
+                .iter()
+                .map(|&s| base(s, WorkloadKind::Array))
+                .collect(),
+        ),
+        plain(
+            "fig14",
+            [Scheme::WriteThrough, Scheme::SuperMem]
+                .iter()
+                .map(|&s| base(s, WorkloadKind::Queue).with_programs(4))
+                .collect(),
+        ),
+        CheckConfig {
+            name: "fig14t",
+            runs: [Scheme::WriteThrough, Scheme::SuperMem]
+                .iter()
+                .map(|&s| base(s, WorkloadKind::Queue).with_programs(4))
+                .collect(),
+            trace: true,
+        },
+        plain(
+            "fig15",
+            [Scheme::WriteThrough, Scheme::SuperMem]
+                .iter()
+                .map(|&s| base(s, WorkloadKind::HashTable))
+                .collect(),
+        ),
+        plain(
+            "fig16",
+            [16usize, 64]
+                .iter()
+                .map(|&wq| base(Scheme::SuperMem, WorkloadKind::Queue).with_write_queue_entries(wq))
+                .collect(),
+        ),
+        plain(
+            "fig17",
+            [64u64 << 10, 1 << 20]
+                .iter()
+                .map(|&cc| base(Scheme::SuperMem, WorkloadKind::BTree).with_counter_cache_bytes(cc))
+                .collect(),
+        ),
+        plain(
+            "table1",
+            vec![
+                base(Scheme::SuperMem, WorkloadKind::Array),
+                base(Scheme::WriteThrough, WorkloadKind::Array),
+            ],
+        ),
+        plain(
+            "headline",
+            vec![
+                base(Scheme::SuperMem, WorkloadKind::Queue),
+                base(Scheme::WriteBackIdeal, WorkloadKind::Queue),
+            ],
+        ),
+        plain(
+            "ablation",
+            vec![
+                base(Scheme::WriteThrough, WorkloadKind::Queue)
+                    .with_placement_override(Some(CounterPlacement::SameBank))
+                    .with_cwc_override(Some(false)),
+                base(Scheme::WriteThrough, WorkloadKind::Queue)
+                    .with_placement_override(Some(CounterPlacement::CrossBank))
+                    .with_cwc_override(Some(true)),
+            ],
+        ),
+        plain(
+            "osiris",
+            vec![
+                base(Scheme::Osiris, WorkloadKind::Array),
+                base(Scheme::SuperMem, WorkloadKind::Array),
+            ],
+        ),
+        plain(
+            "endurance",
+            vec![
+                base(Scheme::WriteThrough, WorkloadKind::BTree),
+                base(Scheme::SuperMem, WorkloadKind::BTree),
+            ],
+        ),
+        CheckConfig {
+            name: "tracebench",
+            runs: vec![base(Scheme::SuperMem, WorkloadKind::Array)],
+            trace: true,
+        },
+        plain(
+            "battery",
+            vec![base(Scheme::WriteBackIdeal, WorkloadKind::Queue)],
+        ),
+        plain(
+            "mixed",
+            [10u8, 90]
+                .iter()
+                .map(|&pct| base(Scheme::SuperMem, WorkloadKind::Ycsb).with_ycsb_read_pct(pct))
+                .collect(),
+        ),
+        plain("sca", vec![base(Scheme::Sca, WorkloadKind::Array)]),
+        plain(
+            "bitwrites",
+            vec![base(Scheme::Unsec, WorkloadKind::BTree).with_req_bytes(256)],
+        ),
+        plain(
+            "authenticated",
+            vec![base(Scheme::SuperMem, WorkloadKind::Queue).with_integrity_tree(true)],
+        ),
+    ]
+}
+
+/// Checks one figure configuration, merging all of its runs' reports.
+fn check_one(cc: &CheckConfig) -> Result<CheckReport, ArgError> {
+    let mut merged = CheckReport::default();
+    for rc in &cc.runs {
+        let report = if cc.trace {
+            check_run_trace(rc)
+        } else {
+            check_run(rc)
+        }
+        .map_err(|e| ArgError(format!("{}: {e}", cc.name)))?;
+        merged.events_seen += report.events_seen;
+        merged.violations.extend(report.violations);
+    }
+    Ok(merged)
+}
+
+/// Finds the smallest transaction count (halving from `txns`) at which
+/// `cc` still reports a violation — the minimal reproducer.
+fn shrink_repro(cc: &CheckConfig, txns: u64) -> u64 {
+    let mut best = txns;
+    let mut t = txns / 2;
+    while t >= 1 {
+        let smaller = CheckConfig {
+            name: cc.name,
+            runs: cc.runs.iter().map(|rc| rc.clone().with_txns(t)).collect(),
+            trace: cc.trace,
+        };
+        match check_one(&smaller) {
+            Ok(r) if !r.is_clean() => {
+                best = t;
+                t /= 2;
+            }
+            _ => break,
+        }
+    }
+    best
+}
+
+/// `supermem check [--json] [--txns N] [--config NAME] [--mutate M]`:
+/// run the persistency-ordering checker over the figure configurations
+/// (or prove a rule fires under an injected mutation).
+pub fn cmd_check(argv: &[String]) -> Result<(), ArgError> {
+    let mut json = false;
+    let mut txns = 25u64;
+    let mut only: Option<String> = None;
+    let mut mutate: Option<Mutation> = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--txns" => {
+                txns = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| ArgError("invalid --txns".into()))?;
+            }
+            "--config" => only = it.next().cloned(),
+            "--mutate" => {
+                let m = it
+                    .next()
+                    .ok_or_else(|| ArgError("--mutate needs a value".into()))?;
+                mutate = Some(Mutation::parse(m).ok_or_else(|| {
+                    ArgError(format!(
+                        "unknown mutation `{m}` (expected one of: wt-off pair-split \
+                         cwc-newest rsr-skip)"
+                    ))
+                })?);
+            }
+            other => return Err(ArgError(format!("unknown flag `{other}`"))),
+        }
+    }
+
+    if let Some(m) = mutate {
+        let report = run_mutant(Some(m));
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            println!("mutation {}: {report}", m.name());
+        }
+        return if report.is_clean() {
+            Err(ArgError(format!(
+                "mutation `{}` injected but no invariant fired",
+                m.name()
+            )))
+        } else {
+            Ok(())
+        };
+    }
+
+    let configs: Vec<CheckConfig> = check_configs(txns)
+        .into_iter()
+        .filter(|c| only.as_deref().is_none_or(|n| n == c.name))
+        .collect();
+    if configs.is_empty() {
+        return Err(ArgError(format!(
+            "unknown config `{}`",
+            only.unwrap_or_default()
+        )));
+    }
+
+    let mut t = TextTable::new(
+        ["config", "runs", "events", "violations", "status"]
+            .map(str::to_owned)
+            .to_vec(),
+    );
+    let mut dirty = Vec::new();
+    let mut json_rows = Vec::new();
+    for cc in &configs {
+        let report = check_one(cc)?;
+        t.row(vec![
+            cc.name.to_owned(),
+            cc.runs.len().to_string(),
+            report.events_seen.to_string(),
+            report.violations.len().to_string(),
+            if report.is_clean() { "ok" } else { "FAIL" }.to_owned(),
+        ]);
+        if json {
+            json_rows.push(format!("\"{}\":{}", cc.name, report.to_json()));
+        }
+        if !report.is_clean() {
+            dirty.push((cc, report));
+        }
+    }
+    if json {
+        println!("{{{}}}", json_rows.join(","));
+    } else {
+        print!("{}", t.render());
+    }
+
+    if dirty.is_empty() {
+        return Ok(());
+    }
+    for (cc, report) in &dirty {
+        eprintln!();
+        eprintln!("{}:", cc.name);
+        for v in &report.violations {
+            eprintln!("  {v}");
+            for (ord, ev) in &v.window {
+                eprintln!("    #{ord} {ev}");
+            }
+        }
+        let min = shrink_repro(cc, txns);
+        eprintln!(
+            "  minimal repro: supermem check --config {} --txns {min}",
+            cc.name
+        );
+    }
+    Err(ArgError(format!(
+        "persistency-ordering violations in {} configuration(s)",
+        dirty.len()
+    )))
 }
 
 /// `supermem list`

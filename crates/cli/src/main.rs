@@ -6,6 +6,7 @@
 //! supermem sweep --param {wq|cc|req|programs} --values a,b,c [run flags]
 //! supermem profile [run flags] [--json]
 //! supermem crash [--scheme S] [--txns N]
+//! supermem check [--json] [--txns N] [--config NAME] [--mutate M]
 //! supermem list
 //! ```
 //!
@@ -33,7 +34,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  supermem run     [--scheme S] [--workload W] [--txns N] [--req BYTES]\n                   [--wq ENTRIES] [--cc BYTES] [--programs P] [--seed X] [--csv]\n  supermem sweep   --param {wq|cc|req|programs} --values a,b,c [run flags]\n  supermem profile [run flags] [--json]\n  supermem crash   [--scheme S] [--txns N]\n  supermem list\n\nschemes: unsec wb wt wt+cwc wt+xbank supermem wt+samebank osiris sca\nworkloads: array queue btree hash rbtree\nsizes accept K/M suffixes (e.g. --cc 256K)"
+    "usage:\n  supermem run     [--scheme S] [--workload W] [--txns N] [--req BYTES]\n                   [--wq ENTRIES] [--cc BYTES] [--programs P] [--seed X] [--csv]\n  supermem sweep   --param {wq|cc|req|programs} --values a,b,c [run flags]\n  supermem profile [run flags] [--json]\n  supermem crash   [--scheme S] [--txns N]\n  supermem check   [--json] [--txns N] [--config NAME]\n                   [--mutate {wt-off|pair-split|cwc-newest|rsr-skip}]\n  supermem list\n\nschemes: unsec wb wt wt+cwc wt+xbank supermem wt+samebank osiris sca\nworkloads: array queue btree hash rbtree\nsizes accept K/M suffixes (e.g. --cc 256K)"
 }
 
 fn dispatch(argv: &[String]) -> Result<(), ArgError> {
@@ -42,11 +43,12 @@ fn dispatch(argv: &[String]) -> Result<(), ArgError> {
         Some("sweep") => commands::cmd_sweep(&argv[1..]),
         Some("profile") => commands::cmd_profile(&argv[1..]),
         Some("crash") => commands::cmd_crash(parse_run_flags(&argv[1..])?),
+        Some("check") => commands::cmd_check(&argv[1..]),
         Some("list") => {
             commands::cmd_list();
             Ok(())
         }
-        Some("help") | Some("--help") | Some("-h") | None => {
+        Some("help" | "--help" | "-h") | None => {
             println!("{}", usage());
             Ok(())
         }

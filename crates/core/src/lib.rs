@@ -52,7 +52,10 @@
 //!   sequential sweep).
 //! * [`metrics`] — result aggregation and normalization helpers for the
 //!   figure harness.
-#![warn(missing_docs)]
+//! * [`verify`] — checked runs: the persistency-ordering checker
+//!   (`supermem-check`) attached to an experiment's probe stream, plus
+//!   the mutant harness proving each invariant fires.
+#![deny(missing_docs)]
 
 pub mod experiment;
 pub mod metrics;
@@ -61,6 +64,7 @@ pub mod sca;
 pub mod scheme;
 pub mod sweep;
 pub mod system;
+pub mod verify;
 
 pub use experiment::{ConfigError, Experiment};
 pub use metrics::RunResult;
@@ -71,10 +75,12 @@ pub use sca::ScaSystem;
 pub use scheme::Scheme;
 pub use sweep::{run_batch, sweep, worker_count};
 pub use system::{System, SystemBuilder};
+pub use verify::{check_run, check_run_trace, run_mutant, CheckReport, Checker, CheckerMode, Rule};
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.
 pub use supermem_cache as cache;
+pub use supermem_check as check;
 pub use supermem_crypto as crypto;
 pub use supermem_integrity as integrity;
 pub use supermem_memctrl as memctrl;

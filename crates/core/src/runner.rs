@@ -16,7 +16,7 @@
 //!    correctness test of the encryption/persistence stack,
 //! 5. drains everything so write counts are complete.
 
-use supermem_sim::{Config, CounterPlacement};
+use supermem_sim::{Config, CounterPlacement, Mutation};
 use supermem_trace::TraceEvent;
 use supermem_workloads::{WorkloadKind, WorkloadSpec};
 
@@ -57,6 +57,8 @@ pub struct RunConfig {
     pub placement_override: Option<CounterPlacement>,
     /// Ablation override: CWC on/off (None = scheme default).
     pub cwc_override: Option<bool>,
+    /// Fault injection for the persistency-ordering checker (None = none).
+    pub mutation: Option<Mutation>,
 }
 
 impl Default for RunConfig {
@@ -77,6 +79,7 @@ impl Default for RunConfig {
             integrity_tree: false,
             placement_override: None,
             cwc_override: None,
+            mutation: None,
         }
     }
 }
@@ -169,6 +172,13 @@ impl RunConfig {
         self
     }
 
+    /// Injects a known-bad behavior into the memory controller for the
+    /// persistency-ordering checker's mutant harness (None = none).
+    pub fn with_mutation(mut self, mutation: Option<Mutation>) -> Self {
+        self.mutation = mutation;
+        self
+    }
+
     /// Checks this configuration without running it: program/core
     /// bounds, power-of-two bucket counts, and the derived machine
     /// configuration.
@@ -213,7 +223,15 @@ impl RunConfig {
         }
         cfg.wear_psi = self.wear_psi;
         cfg.integrity_tree = self.integrity_tree;
+        cfg.mutation = self.mutation;
         cfg
+    }
+
+    /// The machine [`Config`] this run derives — scheme knobs, sweep
+    /// parameters, and overrides applied. This is exactly the
+    /// configuration [`crate::System`] is built with.
+    pub fn machine_config(&self) -> Config {
+        self.build_config()
     }
 
     pub(crate) fn spec_for(&self, program: usize) -> WorkloadSpec {

@@ -38,9 +38,7 @@ pub fn worker_count() -> usize {
     {
         return n.max(1);
     }
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// Runs `worker` over every job on [`worker_count`] threads, returning

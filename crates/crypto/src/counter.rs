@@ -289,7 +289,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "index out of bounds")]
     fn minor_index_out_of_range_panics() {
         let c = CounterLine::new();
         let _ = c.minor(64);

@@ -24,7 +24,7 @@ use supermem_integrity::Bmt;
 use supermem_nvm::addr::{AddressMap, LineAddr, PageId};
 use supermem_nvm::bank::{BankTimer, OpKind};
 use supermem_nvm::{LineData, NvmStore};
-use supermem_sim::{Config, CounterCacheBacking, Cycle, Event, Observer, Probes, Stats};
+use supermem_sim::{Config, CounterCacheBacking, Cycle, Event, Mutation, Observer, Probes, Stats};
 
 use crate::bankmap::counter_bank;
 use crate::rsr::Rsr;
@@ -109,6 +109,15 @@ impl MemoryController {
         let read = cfg.nvm_read_service_cycles();
         let write = cfg.nvm_write_service_cycles();
         let wtr = cfg.nvm_wtr_cycles();
+        let mut cc = CounterCache::new(
+            cfg.counter_cache_bytes,
+            cfg.line_bytes,
+            cfg.counter_cache_ways,
+            cfg.counter_cache_mode,
+        );
+        if cfg.mutation == Some(Mutation::WtOff) {
+            cc.inject_drop_write_through();
+        }
         Self {
             map,
             banks: (0..cfg.banks)
@@ -116,12 +125,7 @@ impl MemoryController {
                 .collect(),
             store,
             wq: WriteQueue::new(cfg.write_queue_entries, cfg.cwc),
-            cc: CounterCache::new(
-                cfg.counter_cache_bytes,
-                cfg.line_bytes,
-                cfg.counter_cache_ways,
-                cfg.counter_cache_mode,
-            ),
+            cc,
             engine: EncryptionEngine::new(cfg.encryption_key()),
             stats: Stats::new(cfg.banks),
             rsr: None,
@@ -221,7 +225,7 @@ impl MemoryController {
         CrashImage {
             store,
             rsr: self.rsr,
-            bmt_root: self.bmt.as_ref().map(|b| b.root()),
+            bmt_root: self.bmt.as_ref().map(supermem_integrity::Bmt::root),
         }
     }
 
@@ -301,9 +305,10 @@ impl MemoryController {
                 let bank = self.ctr_bank(evicted_page);
                 let t = self.wait_slots(1, at);
                 let encoded = evicted_ctr.encode();
-                self.wq
+                let seq = self
+                    .wq
                     .append(WqTarget::Counter(evicted_page), bank, encoded, None, t);
-                self.note_enqueue(true, bank, t);
+                self.note_enqueue(WqTarget::Counter(evicted_page), bank, t, seq);
                 self.note_counter_write(evicted_page, &encoded);
                 self.note_append_event();
             }
@@ -322,10 +327,16 @@ impl MemoryController {
     }
 
     /// Notes a completed write-queue append on the probe stream.
-    fn note_enqueue(&mut self, counter: bool, bank: usize, at: Cycle) {
+    fn note_enqueue(&mut self, target: WqTarget, bank: usize, at: Cycle, seq: u64) {
         let occupancy = self.wq.len();
+        let (counter, addr) = match target {
+            WqTarget::Counter(page) => (true, page.0),
+            WqTarget::Data(line) => (false, line.0),
+        };
         self.probes.emit_with(|| Event::WqEnqueue {
             counter,
+            addr,
+            seq,
             bank,
             at,
             occupancy,
@@ -415,9 +426,10 @@ impl MemoryController {
         let data_bank = self.map.data_bank(line);
         if !self.cfg.encryption {
             let t = self.wait_slots(1, at);
-            self.wq
+            let seq = self
+                .wq
                 .append(WqTarget::Data(line), data_bank, plaintext, None, t);
-            self.note_enqueue(false, data_bank, t);
+            self.note_enqueue(WqTarget::Data(line), data_bank, t, seq);
             self.note_append_event();
             self.probes.emit_with(|| Event::FlushRetired {
                 line: line.0,
@@ -453,56 +465,26 @@ impl MemoryController {
         // The counter cache entry is resident (fetch_counter filled it).
         let action = self.cc.update(page, ctr.clone());
         let retire = match action {
-            CounterCacheOutcome::WriteThrough => {
-                let ctr_bank = self.ctr_bank(page);
-                if self.wq.coalesce_counter(page, &mut self.stats) {
-                    self.probes.emit_with(|| Event::WqCoalesce {
-                        page: page.0,
-                        at: t_enc,
-                    });
-                }
-                let t_app = self.wait_slots(2, t_enc);
-                let encoded = ctr.encode();
-                self.note_counter_write(page, &encoded);
-                if self.cfg.atomic_pair_append {
-                    // Both lines leave the staging register together: they
-                    // enter the ADR domain as one event.
-                    self.wq
-                        .append(WqTarget::Counter(page), ctr_bank, encoded, None, t_app);
-                    self.note_enqueue(true, ctr_bank, t_app);
-                    self.wq.append_tagged(
-                        WqTarget::Data(line),
-                        data_bank,
-                        cipher,
-                        Some((major, minor)),
-                        tag,
-                        t_app,
-                    );
-                    self.note_enqueue(false, data_bank, t_app);
-                    self.note_append_event();
-                } else {
-                    // Vulnerable baseline (Figure 6): counter first, data
-                    // second, separately interruptible.
-                    self.wq
-                        .append(WqTarget::Counter(page), ctr_bank, encoded, None, t_app);
-                    self.note_enqueue(true, ctr_bank, t_app);
-                    self.note_append_event();
-                    self.wq.append_tagged(
-                        WqTarget::Data(line),
-                        data_bank,
-                        cipher,
-                        Some((major, minor)),
-                        tag,
-                        t_app,
-                    );
-                    self.note_enqueue(false, data_bank, t_app);
-                    self.note_append_event();
-                }
-                t_app
-            }
-            CounterCacheOutcome::Deferred => {
-                let mut t_app = self.wait_slots(1, t_enc);
-                self.wq.append_tagged(
+            CounterCacheOutcome::WriteThrough
+                if self.cfg.mutation == Some(Mutation::CwcNewest)
+                    && self.wq.forward_counter(page).is_some() =>
+            {
+                // Injected defect: "coalescing" keeps the stale pending
+                // counter entry and drops the incoming (newest) update,
+                // so the data line enqueues alone under an old counter.
+                let victim = self
+                    .wq
+                    .forward_counter(page)
+                    .map(|e| e.seq)
+                    .expect("pending counter checked above");
+                self.stats.counter_writes_coalesced += 1;
+                self.probes.emit_with(|| Event::WqCoalesce {
+                    page: page.0,
+                    victim_seq: victim,
+                    at: t_enc,
+                });
+                let t_app = self.wait_slots(1, t_enc);
+                let seq = self.wq.append_tagged(
                     WqTarget::Data(line),
                     data_bank,
                     cipher,
@@ -510,7 +492,104 @@ impl MemoryController {
                     tag,
                     t_app,
                 );
-                self.note_enqueue(false, data_bank, t_app);
+                self.note_enqueue(WqTarget::Data(line), data_bank, t_app, seq);
+                self.note_append_event();
+                t_app
+            }
+            CounterCacheOutcome::WriteThrough => {
+                let ctr_bank = self.ctr_bank(page);
+                if let Some(victim) = self.wq.coalesce_counter(page, &mut self.stats) {
+                    self.probes.emit_with(|| Event::WqCoalesce {
+                        page: page.0,
+                        victim_seq: victim,
+                        at: t_enc,
+                    });
+                }
+                let t_app = self.wait_slots(2, t_enc);
+                let encoded = ctr.encode();
+                self.note_counter_write(page, &encoded);
+                if self.cfg.atomic_pair_append && self.cfg.mutation != Some(Mutation::PairSplit) {
+                    // Both lines leave the staging register together: they
+                    // enter the ADR domain as one event.
+                    self.probes.emit_with(|| Event::RegisterStage {
+                        line: line.0,
+                        page: page.0,
+                        at: t_app,
+                    });
+                    let seq =
+                        self.wq
+                            .append(WqTarget::Counter(page), ctr_bank, encoded, None, t_app);
+                    self.note_enqueue(WqTarget::Counter(page), ctr_bank, t_app, seq);
+                    let seq = self.wq.append_tagged(
+                        WqTarget::Data(line),
+                        data_bank,
+                        cipher,
+                        Some((major, minor)),
+                        tag,
+                        t_app,
+                    );
+                    self.note_enqueue(WqTarget::Data(line), data_bank, t_app, seq);
+                    self.note_append_event();
+                    t_app
+                } else if self.cfg.atomic_pair_append {
+                    // Injected defect (pair-split): the controller still
+                    // stages the pair — claiming atomicity — but releases
+                    // the two lines separately, with the queue free to
+                    // issue in between (the Figure 6 window reopened).
+                    self.probes.emit_with(|| Event::RegisterStage {
+                        line: line.0,
+                        page: page.0,
+                        at: t_app,
+                    });
+                    let seq =
+                        self.wq
+                            .append(WqTarget::Counter(page), ctr_bank, encoded, None, t_app);
+                    self.note_enqueue(WqTarget::Counter(page), ctr_bank, t_app, seq);
+                    self.note_append_event();
+                    let t_late = self.wait_slots(1, t_app + 1);
+                    let seq = self.wq.append_tagged(
+                        WqTarget::Data(line),
+                        data_bank,
+                        cipher,
+                        Some((major, minor)),
+                        tag,
+                        t_late,
+                    );
+                    self.note_enqueue(WqTarget::Data(line), data_bank, t_late, seq);
+                    self.note_append_event();
+                    t_late
+                } else {
+                    // Vulnerable baseline (Figure 6): counter first, data
+                    // second, separately interruptible.
+                    let seq =
+                        self.wq
+                            .append(WqTarget::Counter(page), ctr_bank, encoded, None, t_app);
+                    self.note_enqueue(WqTarget::Counter(page), ctr_bank, t_app, seq);
+                    self.note_append_event();
+                    let seq = self.wq.append_tagged(
+                        WqTarget::Data(line),
+                        data_bank,
+                        cipher,
+                        Some((major, minor)),
+                        tag,
+                        t_app,
+                    );
+                    self.note_enqueue(WqTarget::Data(line), data_bank, t_app, seq);
+                    self.note_append_event();
+                    t_app
+                }
+            }
+            CounterCacheOutcome::Deferred => {
+                let mut t_app = self.wait_slots(1, t_enc);
+                let seq = self.wq.append_tagged(
+                    WqTarget::Data(line),
+                    data_bank,
+                    cipher,
+                    Some((major, minor)),
+                    tag,
+                    t_app,
+                );
+                self.note_enqueue(WqTarget::Data(line), data_bank, t_app, seq);
                 self.note_append_event();
                 // Osiris bounds counter staleness: every `window`-th
                 // increment of a minor persists the counter line, so
@@ -522,9 +601,10 @@ impl MemoryController {
                         t_app = self.wait_slots(1, t_app);
                         let encoded = ctr.encode();
                         self.note_counter_write(page, &encoded);
-                        self.wq
-                            .append(WqTarget::Counter(page), ctr_bank, encoded, None, t_app);
-                        self.note_enqueue(true, ctr_bank, t_app);
+                        let seq =
+                            self.wq
+                                .append(WqTarget::Counter(page), ctr_bank, encoded, None, t_app);
+                        self.note_enqueue(WqTarget::Counter(page), ctr_bank, t_app, seq);
                         self.note_append_event();
                     }
                 }
@@ -599,7 +679,7 @@ impl MemoryController {
                 .osiris_window
                 .map(|_| supermem_crypto::line_tag(&plain));
             let t_app = self.wait_slots(1, done_read + self.cfg.aes_latency);
-            self.wq.append_tagged(
+            let seq = self.wq.append_tagged(
                 WqTarget::Data(line),
                 data_bank,
                 cipher_new,
@@ -607,9 +687,20 @@ impl MemoryController {
                 tag,
                 t_app,
             );
-            self.note_enqueue(false, data_bank, t_app);
-            if let Some(r) = self.rsr.as_mut() {
-                r.set_done(idx);
+            self.note_enqueue(WqTarget::Data(line), data_bank, t_app, seq);
+            // Injected defect (rsr-skip): line 0's done-bit is never set,
+            // so the RSR can never retire and a crash after this rewrite
+            // replays the line under an ambiguous epoch.
+            let skip_done = self.cfg.mutation == Some(Mutation::RsrSkip) && idx == 0;
+            if !skip_done {
+                if let Some(r) = self.rsr.as_mut() {
+                    r.set_done(idx);
+                    self.probes.emit_with(|| Event::RsrMarkDone {
+                        page: page.0,
+                        idx: idx as u32,
+                        at: t_app,
+                    });
+                }
             }
             self.note_append_event();
             t = t_app;
@@ -643,9 +734,10 @@ impl MemoryController {
         let bank = self.ctr_bank(page);
         let t = self.wait_slots(1, at + self.cfg.counter_cache_latency);
         self.note_counter_write(page, &encoded);
-        self.wq
+        let seq = self
+            .wq
             .append(WqTarget::Counter(page), bank, encoded, None, t);
-        self.note_enqueue(true, bank, t);
+        self.note_enqueue(WqTarget::Counter(page), bank, t, seq);
         self.note_append_event();
         self.cc_clear_dirty(page);
         t
@@ -665,9 +757,10 @@ impl MemoryController {
             let t_app = self.wait_slots(1, t);
             let encoded = ctr.encode();
             self.note_counter_write(page, &encoded);
-            self.wq
+            let seq = self
+                .wq
                 .append(WqTarget::Counter(page), bank, encoded, None, t_app);
-            self.note_enqueue(true, bank, t_app);
+            self.note_enqueue(WqTarget::Counter(page), bank, t_app, seq);
             t = t_app;
         }
         self.wq.drain_all(

@@ -172,21 +172,20 @@ impl WriteQueue {
 
     /// Applies CWC for an incoming counter line of `page`: removes an
     /// older pending counter entry with the same address, if any.
-    /// Returns `true` if a merge happened. No-op when CWC is disabled.
-    pub fn coalesce_counter(&mut self, page: PageId, stats: &mut Stats) -> bool {
+    /// Returns the removed entry's sequence number if a merge happened.
+    /// No-op when CWC is disabled.
+    pub fn coalesce_counter(&mut self, page: PageId, stats: &mut Stats) -> Option<u64> {
         if !self.cwc {
-            return false;
+            return None;
         }
         // The flag bit restricts the lookup to counter entries; at most
         // one can be pending because this very rule keeps them unique
         // per page.
-        let Some(list) = self.index.get(&WqTarget::Counter(page)) else {
-            return false;
-        };
+        let list = self.index.get(&WqTarget::Counter(page))?;
         let oldest = list[0];
-        self.remove_slot(oldest);
+        let victim = self.remove_slot(oldest);
         stats.counter_writes_coalesced += 1;
-        true
+        Some(victim.seq)
     }
 
     /// Appends an entry. The caller must have ensured a free slot via
@@ -299,6 +298,11 @@ impl WriteQueue {
         stats.bank_writes[e.bank] += 1;
         probes.emit_with(|| Event::WqIssue {
             counter: e.is_counter(),
+            addr: match e.target {
+                WqTarget::Data(line) => line.0,
+                WqTarget::Counter(page) => page.0,
+            },
+            seq: e.seq,
             bank: e.bank,
             ready: e.ready,
             start,
@@ -506,12 +510,12 @@ mod tests {
     fn cwc_removes_older_counter_entry() {
         let mut wq = WriteQueue::new(8, true);
         let mut stats = Stats::new(1);
-        wq.append(WqTarget::Counter(PageId(3)), 0, [1; 64], None, 0);
-        assert!(wq.coalesce_counter(PageId(3), &mut stats));
+        let seq = wq.append(WqTarget::Counter(PageId(3)), 0, [1; 64], None, 0);
+        assert_eq!(wq.coalesce_counter(PageId(3), &mut stats), Some(seq));
         assert_eq!(wq.len(), 0);
         assert_eq!(stats.counter_writes_coalesced, 1);
         // Nothing left to merge.
-        assert!(!wq.coalesce_counter(PageId(3), &mut stats));
+        assert_eq!(wq.coalesce_counter(PageId(3), &mut stats), None);
     }
 
     #[test]
@@ -519,7 +523,7 @@ mod tests {
         let mut wq = WriteQueue::new(8, false);
         let mut stats = Stats::new(1);
         wq.append(WqTarget::Counter(PageId(3)), 0, [1; 64], None, 0);
-        assert!(!wq.coalesce_counter(PageId(3), &mut stats));
+        assert_eq!(wq.coalesce_counter(PageId(3), &mut stats), None);
         assert_eq!(wq.len(), 1);
     }
 
@@ -529,7 +533,7 @@ mod tests {
         let mut stats = Stats::new(1);
         wq.append(WqTarget::Counter(PageId(4)), 0, [1; 64], None, 0);
         wq.append(WqTarget::Data(LineAddr(0x40)), 0, [2; 64], None, 0);
-        assert!(!wq.coalesce_counter(PageId(3), &mut stats));
+        assert_eq!(wq.coalesce_counter(PageId(3), &mut stats), None);
         assert_eq!(wq.len(), 2);
     }
 
@@ -890,15 +894,20 @@ mod randomized {
                             .map(|&(_, s)| s)
                             .collect();
                         let merged = wq.coalesce_counter(PageId(*page), &mut stats);
-                        assert_eq!(merged, !before.is_empty(), "CWC fires iff one pends");
-                        if merged {
+                        assert_eq!(
+                            merged.is_some(),
+                            !before.is_empty(),
+                            "CWC fires iff one pends"
+                        );
+                        if let Some(victim) = merged {
+                            let oldest = *before.iter().min().expect("non-empty");
+                            assert_eq!(victim, oldest, "CWC reports the oldest as victim");
                             let after: Vec<u64> = wq
                                 .pending()
                                 .iter()
                                 .filter(|&&(t, _)| t == target)
                                 .map(|&(_, s)| s)
                                 .collect();
-                            let oldest = *before.iter().min().expect("non-empty");
                             assert!(!after.contains(&oldest), "CWC drops the oldest");
                             assert_eq!(after.len(), before.len() - 1);
                         }

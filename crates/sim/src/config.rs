@@ -40,6 +40,62 @@ pub enum CounterPlacement {
     CrossBank,
 }
 
+/// A deliberate, named defect injected into the memory controller so the
+/// persistency-ordering checker (`supermem-check`) can prove its rules
+/// fire. `None` (the default) is the faithful design; every mutation
+/// models one of the crash-consistency hazards the paper's mechanisms
+/// exist to close.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// Drop the write-through counter persist: data lines enqueue alone
+    /// and the updated counter stays (dirty) in the unbacked cache — the
+    /// hazard of §3.2 that rule P1 detects.
+    WtOff,
+    /// Split the 2-line staging-register append: the controller still
+    /// claims atomicity but releases the counter and data lines
+    /// separately, reopening the Figure 6 window that rule P2 detects.
+    PairSplit,
+    /// Invert CWC victim choice: coalescing keeps the *stale* pending
+    /// counter entry and drops the newest update — the §3.4 hazard that
+    /// rule P3 detects.
+    CwcNewest,
+    /// Skip one RSR done-bit during page re-encryption, leaving a crash
+    /// point where recovery cannot tell the line's encryption epoch —
+    /// the §3.4.4 hazard the R-series rules detect.
+    RsrSkip,
+}
+
+impl Mutation {
+    /// The CLI spelling of this mutation (`--mutate <name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::WtOff => "wt-off",
+            Mutation::PairSplit => "pair-split",
+            Mutation::CwcNewest => "cwc-newest",
+            Mutation::RsrSkip => "rsr-skip",
+        }
+    }
+
+    /// Parses a CLI spelling; returns `None` for unknown names.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "wt-off" => Some(Mutation::WtOff),
+            "pair-split" => Some(Mutation::PairSplit),
+            "cwc-newest" => Some(Mutation::CwcNewest),
+            "rsr-skip" => Some(Mutation::RsrSkip),
+            _ => None,
+        }
+    }
+
+    /// All mutations, in CLI listing order.
+    pub const ALL: [Mutation; 4] = [
+        Mutation::WtOff,
+        Mutation::PairSplit,
+        Mutation::CwcNewest,
+        Mutation::RsrSkip,
+    ];
+}
+
 /// Full configuration of the simulated secure-PM system.
 ///
 /// Construct with [`Config::default`] and override fields, or use the
@@ -148,6 +204,9 @@ pub struct Config {
     /// Start-Gap wear leveling beneath the data region: move the gap
     /// every `psi` writes (`None` disables it).
     pub wear_psi: Option<u64>,
+    /// Injected known-bad behavior for checker validation (`None` = the
+    /// faithful design; see [`Mutation`]).
+    pub mutation: Option<Mutation>,
 
     /// Master seed for the run.
     pub seed: u64,
@@ -193,6 +252,7 @@ impl Default for Config {
             integrity_pages: 4096,
             hash_latency: 40,
             wear_psi: None,
+            mutation: None,
             seed: 0xC0FFEE,
         }
     }
@@ -214,6 +274,12 @@ impl Config {
     /// Sets the master seed and returns the config.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Injects a known-bad [`Mutation`] (checker validation only).
+    pub fn with_mutation(mut self, mutation: Mutation) -> Self {
+        self.mutation = Some(mutation);
         self
     }
 
@@ -263,7 +329,7 @@ impl Config {
     /// count for the XBank mapping, and so on).
     pub fn validate(&self) -> Result<(), String> {
         fn pow2(v: u64) -> bool {
-            v != 0 && v & (v - 1) == 0
+            v != 0 && v.is_power_of_two()
         }
         if !pow2(self.line_bytes) {
             return Err(format!(

@@ -18,7 +18,7 @@
 //! let b = rng.next_u64();
 //! assert_ne!(a, b);
 //! ```
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod hash;
@@ -27,7 +27,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use config::{Config, CounterCacheBacking, CounterCacheMode, CounterPlacement};
+pub use config::{Config, CounterCacheBacking, CounterCacheMode, CounterPlacement, Mutation};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use probe::{
     BankUtilization, Event, LatencyBreakdown, Log2Histogram, Observer, OccupancySeries, Probes,

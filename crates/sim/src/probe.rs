@@ -37,7 +37,14 @@
 //!
 //! let mut probes = Probes::default();
 //! probes.attach(Box::new(EnqueueWatcher::default()));
-//! probes.emit_with(|| Event::WqEnqueue { counter: false, bank: 0, at: 10, occupancy: 1 });
+//! probes.emit_with(|| Event::WqEnqueue {
+//!     counter: false,
+//!     addr: 0x40,
+//!     seq: 1,
+//!     bank: 0,
+//!     at: 10,
+//!     occupancy: 1,
+//! });
 //! ```
 
 use crate::time::Cycle;
@@ -56,6 +63,10 @@ pub enum Event {
     WqEnqueue {
         /// `true` for a counter line, `false` for a data line.
         counter: bool,
+        /// Line address for data entries; page id for counter entries.
+        addr: u64,
+        /// Queue sequence number assigned to the entry (monotonic).
+        seq: u64,
         /// Destination bank.
         bank: usize,
         /// Cycle at which the entry was appended.
@@ -67,6 +78,10 @@ pub enum Event {
     WqIssue {
         /// `true` for a counter line, `false` for a data line.
         counter: bool,
+        /// Line address for data entries; page id for counter entries.
+        addr: u64,
+        /// Queue sequence number of the departing entry.
+        seq: u64,
         /// Destination bank.
         bank: usize,
         /// Cycle at which the entry became eligible to issue.
@@ -81,7 +96,20 @@ pub enum Event {
     WqCoalesce {
         /// Counter page whose queued counter line absorbed the write.
         page: u64,
+        /// Queue sequence number of the removed (victim) entry.
+        victim_seq: u64,
         /// Cycle of the coalesced (dropped) append.
+        at: Cycle,
+    },
+    /// The 2-line staging register latched a data+counter pair for an
+    /// atomic write-queue append (paper Figure 7, `Sto` step). The next
+    /// two enqueues must be exactly this pair, at this cycle.
+    RegisterStage {
+        /// Data line held in the register.
+        line: u64,
+        /// Counter page paired with the line.
+        page: u64,
+        /// Cycle the pair leaves the register for the queue.
         at: Cycle,
     },
     /// The write queue was full; the producer stalled waiting for slots.
@@ -141,6 +169,17 @@ pub enum Event {
         /// Number of cache lines rewritten.
         lines: u32,
         /// Cycle the rewrite loop completed.
+        at: Cycle,
+    },
+    /// One line's done-bit was set in the re-encryption status register
+    /// (its rewrite entered the ADR domain; a crash now replays only the
+    /// remaining lines).
+    RsrMarkDone {
+        /// Data page being re-encrypted.
+        page: u64,
+        /// Index of the line within the page whose bit was set.
+        idx: u32,
+        /// Cycle the rewrite was appended (bit set at the same instant).
         at: Cycle,
     },
     /// The re-encryption status register for a page was retired (all lines
@@ -299,6 +338,8 @@ impl Default for Log2Histogram {
     }
 }
 
+// Buckets are summarized rather than dumped; the raw array is noise.
+#[allow(clippy::missing_fields_in_debug)]
 impl fmt::Debug for Log2Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Log2Histogram")
@@ -606,7 +647,10 @@ impl Observer for Telemetry {
                 b.sfence_stall_cycles += stall;
             }
             Event::ReencryptStart { .. } => b.reencryptions += 1,
-            Event::ReencryptDone { .. } | Event::RsrRetired { .. } => {}
+            Event::ReencryptDone { .. }
+            | Event::RsrRetired { .. }
+            | Event::RsrMarkDone { .. }
+            | Event::RegisterStage { .. } => {}
             Event::FlushRetired {
                 issued,
                 counter_ready,

@@ -377,7 +377,7 @@ impl BTreeWorkload {
         Ok(())
     }
 
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments, clippy::self_only_used_in_recursion)]
     fn walk<M: PMem>(
         &self,
         mem: &mut M,

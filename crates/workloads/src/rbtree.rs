@@ -397,7 +397,7 @@ impl RbTreeWorkload {
         Ok(())
     }
 
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments, clippy::self_only_used_in_recursion)]
     fn check<M: PMem>(
         &self,
         mem: &mut M,
