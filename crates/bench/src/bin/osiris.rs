@@ -74,7 +74,7 @@ fn main() {
         for _ in 0..50 {
             w.step(&mut sys).expect("txn");
         }
-        let (_, report) = recover_osiris(&cfg, sys.crash_now());
+        let (_, report) = recover_osiris(&cfg, sys.crash_now()).expect("osiris window configured");
         vec![
             format!("{footprint_kb} KiB"),
             report.lines_scanned.to_string(),

@@ -23,9 +23,7 @@
 //!   unrecoverable once data is mutated (Table 1's "No" rows).
 
 use supermem::metrics::TextTable;
-use supermem::persist::{
-    recover_transactions, DirectMem, PMem, RecoveredMemory, RecoveryOutcome, TxnManager,
-};
+use supermem::persist::{recover_transactions, DirectMem, PMem, RecoveredMemory, TxnManager};
 use supermem::sim::{Config, CounterCacheBacking, CounterCacheMode};
 use supermem::{sweep, Scheme};
 use supermem_bench::Report;
@@ -134,8 +132,7 @@ fn main() {
                 txn.commit(mem).expect("commit");
             },
             |rec| {
-                let outcome = recover_transactions(rec, LOG_ADDR);
-                if outcome == RecoveryOutcome::CorruptLog {
+                if recover_transactions(rec, LOG_ADDR).is_err() {
                     return None;
                 }
                 let mut data = [0u8; DATA_LEN];

@@ -1,18 +1,33 @@
 //! Command implementations.
 
 use supermem::metrics::TextTable;
+use supermem::nvm::FaultClass;
 use supermem::persist::{
-    recover_osiris, recover_transactions, DirectMem, PMem, RecoveredMemory, RecoveryOutcome,
-    TxnManager,
+    recover_osiris, recover_transactions, DirectMem, PMem, RecoveredMemory, TxnManager,
 };
 use supermem::scheme::FIGURE_SCHEMES;
 use supermem::sim::{CounterPlacement, Mutation};
+use supermem::torture::{self, TortureConfig};
 use supermem::verify::{check_run, check_run_trace, run_mutant, CheckReport};
 use supermem::workloads::spec::ALL_KINDS;
 use supermem::workloads::WorkloadKind;
 use supermem::{sweep, Experiment, RunConfig, RunResult, Scheme};
+use supermem_bench::Report;
 
-use crate::args::{parse_run_flags, ArgError, Parsed};
+use crate::args::{parse_run_flags, parse_scheme, ArgError, Parsed};
+
+/// Every scheme `supermem crash` sweeps when none is named.
+const ALL_SCHEMES: [Scheme; 9] = [
+    Scheme::Unsec,
+    Scheme::WriteBackIdeal,
+    Scheme::WriteThrough,
+    Scheme::WtCwc,
+    Scheme::WtXbank,
+    Scheme::SuperMem,
+    Scheme::WtSameBank,
+    Scheme::Osiris,
+    Scheme::Sca,
+];
 
 /// Validates `rc` up front so the free-run path below cannot panic.
 fn validated(rc: &RunConfig) -> Result<(), ArgError> {
@@ -233,15 +248,13 @@ pub fn cmd_profile(argv: &[String]) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `supermem crash`: sweep a crash over every append boundary of one
-/// durable transaction under the chosen scheme.
-pub fn cmd_crash(p: Parsed) -> Result<(), ArgError> {
+/// Sweeps a crash over every append boundary of one durable transaction
+/// under `scheme`, classifying each recovery. Returns
+/// `(total, rolled_back, committed, unrecoverable)`.
+fn crash_sweep_scheme(scheme: Scheme) -> Result<(u64, u64, u64, u64), String> {
     const DATA: u64 = 0x2000;
     const LOG: u64 = 0x10_0000;
-    if let Some(flag) = p.leftover.first() {
-        return Err(ArgError(format!("unknown flag `{flag}`")));
-    }
-    let cfg = p.rc.scheme.apply(supermem::sim::Config::default());
+    let cfg = scheme.apply(supermem::sim::Config::default());
     let mut base = DirectMem::new(&cfg);
     base.persist(DATA, &[0x11; 256]);
     base.shutdown();
@@ -263,37 +276,217 @@ pub fn cmd_crash(p: Parsed) -> Result<(), ArgError> {
         let mut mem = base.clone();
         mem.controller_mut().arm_crash_after_appends(k);
         run_txn(&mut mem);
-        let image = mem
-            .controller_mut()
-            .take_crash_image()
-            .expect("armed crash fires");
+        let Some(image) = mem.controller_mut().take_crash_image() else {
+            return Err(format!(
+                "{scheme}: crash armed after {k} appends never fired \
+                 (the transaction issued only {total})"
+            ));
+        };
         // Osiris-style schemes reconstruct stale counters from ECC tags
         // before the log scan; strict schemes go straight to recovery.
-        let mut rec = if cfg.osiris_window.is_some() {
-            recover_osiris(&cfg, image).0
+        // On this clean (un-faulted) media a recovery error still means
+        // the scheme lost state it needed — count it as unrecoverable.
+        let rec = if cfg.osiris_window.is_some() {
+            recover_osiris(&cfg, image).map(|(rec, _)| rec).ok()
         } else {
-            RecoveredMemory::from_image(&cfg, image)
+            Some(RecoveredMemory::from_image(&cfg, image))
         };
-        let outcome = recover_transactions(&mut rec, LOG);
+        let Some(mut rec) = rec else {
+            bad += 1;
+            continue;
+        };
+        if recover_transactions(&mut rec, LOG).is_err() {
+            bad += 1;
+            continue;
+        }
         let mut buf = [0u8; 256];
         rec.read(DATA, &mut buf);
-        match () {
-            () if outcome == RecoveryOutcome::CorruptLog => bad += 1,
-            () if buf == [0x11; 256] => old += 1,
-            () if buf == [0x22; 256] => new += 1,
-            () => bad += 1,
+        match buf {
+            b if b == [0x11; 256] => old += 1,
+            b if b == [0x22; 256] => new += 1,
+            _ => bad += 1,
         }
     }
-    println!(
-        "{}: {total} crash points -> {old} rolled back, {new} committed, {bad} unrecoverable",
-        p.rc.scheme
-    );
-    if bad == 0 {
-        println!("verdict: recoverable at every crash point");
-    } else {
-        println!("verdict: UNRECOVERABLE windows exist");
+    Ok((total, old, new, bad))
+}
+
+/// `supermem crash [--scheme S] [--json]`: sweep a crash over every
+/// append boundary of one durable transaction — under every scheme by
+/// default, or just the named one.
+pub fn cmd_crash(argv: &[String]) -> Result<(), ArgError> {
+    let mut only: Option<Scheme> = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scheme" => {
+                let s = it
+                    .next()
+                    .ok_or_else(|| ArgError("--scheme needs a value".into()))?;
+                only = Some(parse_scheme(s)?);
+            }
+            "--json" => {} // Report::emit picks this up from the process args.
+            other => return Err(ArgError(format!("unknown flag `{other}`"))),
+        }
     }
+    let schemes: Vec<Scheme> = match only {
+        Some(s) => vec![s],
+        None => ALL_SCHEMES.to_vec(),
+    };
+
+    // Each scheme's crash-point sweep is independent: fan out.
+    let rows = sweep(&schemes, |&scheme| crash_sweep_scheme(scheme));
+
+    let mut t = TextTable::new(
+        [
+            "scheme",
+            "crash points",
+            "rolled back",
+            "committed",
+            "unrecoverable",
+            "verdict",
+        ]
+        .map(str::to_owned)
+        .to_vec(),
+    );
+    for (scheme, row) in schemes.iter().zip(rows) {
+        let (total, old, new, bad) = row.map_err(ArgError)?;
+        t.row(vec![
+            scheme.name().to_owned(),
+            total.to_string(),
+            old.to_string(),
+            new.to_string(),
+            bad.to_string(),
+            if bad == 0 {
+                "recoverable at every crash point"
+            } else {
+                "UNRECOVERABLE windows"
+            }
+            .to_owned(),
+        ]);
+    }
+    let mut rep = Report::new("crash");
+    rep.section(
+        "Crash-point sweep: one durable undo-logged transaction per scheme",
+        t,
+    );
+    rep.footnote("(rolled back = old state restored; committed = new state durable)");
+    rep.emit();
     Ok(())
+}
+
+/// `supermem torture [--scheme S] [--fault F|none] [--point K]
+/// [--seed N] [--seeds COUNT] [--json]`: the differential crash-torture
+/// campaign — media faults injected at crash time, every recovered
+/// image checked against the shadow oracle. Exits non-zero (with a
+/// shrunk reproducer per case) if any injection corrupts silently.
+pub fn cmd_torture(argv: &[String]) -> Result<(), ArgError> {
+    let mut cfg = TortureConfig::default();
+    let mut it = argv.iter();
+    let value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, ArgError> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| ArgError(format!("{flag} needs a value")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scheme" => cfg.schemes = vec![parse_scheme(&value(&mut it, "--scheme")?)?],
+            "--fault" => {
+                let f = value(&mut it, "--fault")?;
+                cfg.classes = if f.eq_ignore_ascii_case("none") {
+                    vec![None]
+                } else {
+                    vec![Some(FaultClass::parse(&f).ok_or_else(|| {
+                        ArgError(format!(
+                            "unknown fault `{f}` (expected none or one of: {})",
+                            FaultClass::ALL.map(FaultClass::name).join(" ")
+                        ))
+                    })?)]
+                };
+            }
+            "--point" => {
+                cfg.point = Some(
+                    value(&mut it, "--point")?
+                        .parse()
+                        .map_err(|_| ArgError("invalid --point".into()))?,
+                );
+            }
+            "--seed" => {
+                cfg.seeds = vec![value(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| ArgError("invalid --seed".into()))?];
+            }
+            "--seeds" => {
+                let n: u64 = value(&mut it, "--seeds")?
+                    .parse()
+                    .map_err(|_| ArgError("invalid --seeds".into()))?;
+                if n == 0 {
+                    return Err(ArgError("--seeds must be at least 1".into()));
+                }
+                cfg.seeds = (1..=n).collect();
+            }
+            "--json" => {} // Report::emit picks this up from the process args.
+            other => return Err(ArgError(format!("unknown flag `{other}`"))),
+        }
+    }
+
+    let report = torture::run_torture(&cfg);
+
+    let mut t = TextTable::new(
+        [
+            "scheme",
+            "cases",
+            "recovered-old",
+            "recovered-new",
+            "detected",
+            "silent",
+            "verdict",
+        ]
+        .map(str::to_owned)
+        .to_vec(),
+    );
+    for s in report.by_scheme() {
+        t.row(vec![
+            s.scheme.name().to_owned(),
+            s.cases.to_string(),
+            s.recovered_old.to_string(),
+            s.recovered_new.to_string(),
+            s.detected.to_string(),
+            s.silent.to_string(),
+            s.verdict().to_owned(),
+        ]);
+    }
+    let mut rep = Report::new("torture");
+    rep.section(
+        "Differential crash torture: crash point x fault class x seed",
+        t,
+    );
+    rep.footnote(&format!(
+        "{} injections across {} scheme(s), {} fault class(es), {} seed(s)",
+        report.total(),
+        cfg.schemes.len(),
+        cfg.classes.len(),
+        cfg.seeds.len()
+    ));
+    rep.footnote("(detected = degraded but flagged by ECC/poison/dirty-shutdown or a typed error)");
+    rep.emit();
+
+    let silent = report.silent();
+    if silent.is_empty() {
+        return Ok(());
+    }
+    for r in &silent {
+        eprintln!();
+        eprintln!("silent corruption: {}", r.case.repro());
+        eprintln!("  {}", r.detail);
+        let mut min = r.case;
+        min.point = torture::shrink_point(&r.case);
+        eprintln!("  minimal repro: {}", min.repro());
+    }
+    Err(ArgError(format!(
+        "silent corruption in {} of {} injections",
+        silent.len(),
+        report.total()
+    )))
 }
 
 /// One named figure configuration the checker sweeps: a batch of runs

@@ -5,7 +5,9 @@
 //!                [--wq ENTRIES] [--cc BYTES] [--programs P] [--seed X] [--csv]
 //! supermem sweep --param {wq|cc|req|programs} --values a,b,c [run flags]
 //! supermem profile [run flags] [--json]
-//! supermem crash [--scheme S] [--txns N]
+//! supermem crash [--scheme S] [--json]
+//! supermem torture [--scheme S] [--fault F|none] [--point K]
+//!                  [--seed N] [--seeds COUNT] [--json]
 //! supermem check [--json] [--txns N] [--config NAME] [--mutate M]
 //! supermem list
 //! ```
@@ -34,7 +36,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  supermem run     [--scheme S] [--workload W] [--txns N] [--req BYTES]\n                   [--wq ENTRIES] [--cc BYTES] [--programs P] [--seed X] [--csv]\n  supermem sweep   --param {wq|cc|req|programs} --values a,b,c [run flags]\n  supermem profile [run flags] [--json]\n  supermem crash   [--scheme S] [--txns N]\n  supermem check   [--json] [--txns N] [--config NAME]\n                   [--mutate {wt-off|pair-split|cwc-newest|rsr-skip}]\n  supermem list\n\nschemes: unsec wb wt wt+cwc wt+xbank supermem wt+samebank osiris sca\nworkloads: array queue btree hash rbtree\nsizes accept K/M suffixes (e.g. --cc 256K)"
+    "usage:\n  supermem run     [--scheme S] [--workload W] [--txns N] [--req BYTES]\n                   [--wq ENTRIES] [--cc BYTES] [--programs P] [--seed X] [--csv]\n  supermem sweep   --param {wq|cc|req|programs} --values a,b,c [run flags]\n  supermem profile [run flags] [--json]\n  supermem crash   [--scheme S] [--json]\n  supermem torture [--scheme S] [--fault F|none] [--point K]\n                   [--seed N] [--seeds COUNT] [--json]\n  supermem check   [--json] [--txns N] [--config NAME]\n                   [--mutate {wt-off|pair-split|cwc-newest|rsr-skip}]\n  supermem list\n\nschemes: unsec wb wt wt+cwc wt+xbank supermem wt+samebank osiris sca\nfaults:  torn bit-flip double-flip stuck-at transient-read bank-fail\nworkloads: array queue btree hash rbtree\nsizes accept K/M suffixes (e.g. --cc 256K)"
 }
 
 fn dispatch(argv: &[String]) -> Result<(), ArgError> {
@@ -42,7 +44,8 @@ fn dispatch(argv: &[String]) -> Result<(), ArgError> {
         Some("run") => commands::cmd_run(parse_run_flags(&argv[1..])?),
         Some("sweep") => commands::cmd_sweep(&argv[1..]),
         Some("profile") => commands::cmd_profile(&argv[1..]),
-        Some("crash") => commands::cmd_crash(parse_run_flags(&argv[1..])?),
+        Some("crash") => commands::cmd_crash(&argv[1..]),
+        Some("torture") => commands::cmd_torture(&argv[1..]),
         Some("check") => commands::cmd_check(&argv[1..]),
         Some("list") => {
             commands::cmd_list();

@@ -55,6 +55,9 @@
 //! * [`verify`] — checked runs: the persistency-ordering checker
 //!   (`supermem-check`) attached to an experiment's probe stream, plus
 //!   the mutant harness proving each invariant fires.
+//! * [`torture`] — the differential crash-torture engine: media faults
+//!   injected at crash time, every recovered image checked against a
+//!   shadow oracle, silent corruption shrunk to a minimal reproducer.
 #![deny(missing_docs)]
 
 pub mod experiment;
@@ -64,6 +67,7 @@ pub mod sca;
 pub mod scheme;
 pub mod sweep;
 pub mod system;
+pub mod torture;
 pub mod verify;
 
 pub use experiment::{ConfigError, Experiment};
@@ -75,6 +79,9 @@ pub use sca::ScaSystem;
 pub use scheme::Scheme;
 pub use sweep::{run_batch, sweep, worker_count};
 pub use system::{System, SystemBuilder};
+pub use torture::{
+    run_torture, Classification, TortureCase, TortureConfig, TortureReport, TORTURE_SCHEMES,
+};
 pub use verify::{check_run, check_run_trace, run_mutant, CheckReport, Checker, CheckerMode, Rule};
 
 // Re-export the substrate crates so downstream users need only one

@@ -1,0 +1,634 @@
+//! Differential crash-torture engine (robustness campaign).
+//!
+//! Every scheme claims some crash-consistency story; this module attacks
+//! those claims with *media faults* layered on top of the crash model:
+//! torn write-queue drains, bit flips under a SECDED ECC model, stuck-at
+//! cells, transient read failures, and whole-bank fail-stops (see
+//! [`supermem_nvm::fault`]). A torture campaign sweeps
+//! crash-point × fault-class × seed across schemes in parallel (via
+//! [`mod@crate::sweep`]), recovers every resulting image, and differentially
+//! checks the recovered bytes against a shadow oracle holding the only
+//! two legal states — the pre-transaction and post-transaction images.
+//!
+//! Each case is classified ([`Classification`]):
+//!
+//! * **recovered-old / recovered-new** — the data matches one oracle
+//!   state exactly: crash consistency held.
+//! * **detected** — recovery refused (a typed
+//!   [`RecoveryError`](supermem_persist::RecoveryError)) or the data is
+//!   wrong *and* a hardware-observable signal fired: an ECC detection, a
+//!   poisoned read, an Osiris unrecoverable line, or the NVDIMM
+//!   dirty-shutdown flag (real DIMMs latch a "last shutdown state" bit
+//!   when the ADR drain does not complete; torn or dropped drain entries
+//!   set the modeled equivalent). Degraded but honest.
+//! * **silent** — the data is neither oracle state and nothing noticed.
+//!   This is silent corruption, the one unacceptable outcome; the
+//!   campaign fails and [`shrink_point`] produces a minimal reproducer.
+//!
+//! # Examples
+//!
+//! ```
+//! use supermem::torture::{run_torture, Classification, TortureConfig};
+//!
+//! let mut cfg = TortureConfig::default();
+//! cfg.schemes = vec![supermem::Scheme::SuperMem];
+//! cfg.seeds = vec![1];
+//! let report = run_torture(&cfg);
+//! assert!(report.silent().is_empty(), "no silent corruption");
+//! assert!(report.total() > 0);
+//! ```
+
+use supermem_nvm::{FaultClass, FaultSpec};
+use supermem_persist::{
+    recover_osiris, recover_transactions, DirectMem, PMem, RecoveredMemory, TxnManager,
+};
+use supermem_sim::Config;
+
+use crate::scheme::Scheme;
+use crate::sweep::sweep;
+
+/// Address of the data region the tortured transaction mutates.
+pub const DATA_ADDR: u64 = 0x2000;
+/// Address of the undo log.
+pub const LOG_ADDR: u64 = 0x10_0000;
+/// Bytes mutated per transaction.
+pub const DATA_LEN: usize = 256;
+
+const OLD_BYTE: u8 = 0x11;
+const NEW_BYTE: u8 = 0x22;
+
+/// Schemes the campaign sweeps by default: every evaluated configuration
+/// except SCA, which by design does not persist its counters (the paper
+/// pairs it with a full-memory re-encryption sweep at recovery, which
+/// this harness does not model), so a differential check against live
+/// data is meaningless for it.
+pub const TORTURE_SCHEMES: [Scheme; 8] = [
+    Scheme::Unsec,
+    Scheme::WriteBackIdeal,
+    Scheme::WriteThrough,
+    Scheme::WtCwc,
+    Scheme::WtXbank,
+    Scheme::SuperMem,
+    Scheme::WtSameBank,
+    Scheme::Osiris,
+];
+
+/// What a torture case amounted to after recovery and the differential
+/// check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Classification {
+    /// The pre-transaction state survived intact (rollback or early
+    /// crash).
+    RecoveredOld,
+    /// The post-transaction state survived intact (commit completed).
+    RecoveredNew,
+    /// The state is degraded but the damage was *detected*: recovery
+    /// returned a typed error, or a hardware-observable fault signal
+    /// (ECC detection, poisoned read, dirty-shutdown flag) fired.
+    Detected,
+    /// Wrong data with no error and no detection signal: silent
+    /// corruption. A campaign containing one of these fails.
+    Silent,
+}
+
+impl Classification {
+    /// Stable display spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Classification::RecoveredOld => "recovered-old",
+            Classification::RecoveredNew => "recovered-new",
+            Classification::Detected => "detected",
+            Classification::Silent => "SILENT",
+        }
+    }
+}
+
+impl std::fmt::Display for Classification {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One fully determined torture case: scheme, optional fault (None is
+/// the no-fault baseline), crash point, and injection seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TortureCase {
+    /// Scheme under torture.
+    pub scheme: Scheme,
+    /// Fault class to inject, or `None` for the crash-only baseline.
+    pub class: Option<FaultClass>,
+    /// Crash after this many write-queue appends (1-based).
+    pub point: u64,
+    /// Seed fixing every choice the injection makes.
+    pub seed: u64,
+}
+
+impl TortureCase {
+    /// The CLI invocation reproducing exactly this case.
+    pub fn repro(&self) -> String {
+        format!(
+            "supermem torture --scheme {} --fault {} --point {} --seed {}",
+            self.scheme.name().to_ascii_lowercase(),
+            self.class.map_or("none", FaultClass::name),
+            self.point,
+            self.seed
+        )
+    }
+}
+
+/// The outcome of one executed [`TortureCase`].
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// The case that ran.
+    pub case: TortureCase,
+    /// How it was classified.
+    pub classification: Classification,
+    /// Human-readable evidence for the classification.
+    pub detail: String,
+}
+
+/// Per-scheme tally of classifications.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemeSummary {
+    /// The scheme being summarized.
+    pub scheme: Scheme,
+    /// Total cases run against it.
+    pub cases: u64,
+    /// Cases classified [`Classification::RecoveredOld`].
+    pub recovered_old: u64,
+    /// Cases classified [`Classification::RecoveredNew`].
+    pub recovered_new: u64,
+    /// Cases classified [`Classification::Detected`].
+    pub detected: u64,
+    /// Cases classified [`Classification::Silent`].
+    pub silent: u64,
+}
+
+impl SchemeSummary {
+    /// One-word verdict for the summary table.
+    pub fn verdict(&self) -> &'static str {
+        if self.silent > 0 {
+            "SILENT CORRUPTION"
+        } else {
+            "fail-safe"
+        }
+    }
+}
+
+/// Everything a torture campaign produced.
+#[derive(Debug, Clone)]
+pub struct TortureReport {
+    /// Every executed case, in sweep (input) order.
+    pub results: Vec<CaseResult>,
+}
+
+impl TortureReport {
+    /// Total number of injections executed.
+    pub fn total(&self) -> u64 {
+        self.results.len() as u64
+    }
+
+    /// The silent-corruption cases (a passing campaign has none).
+    pub fn silent(&self) -> Vec<&CaseResult> {
+        self.results
+            .iter()
+            .filter(|r| r.classification == Classification::Silent)
+            .collect()
+    }
+
+    /// Count of cases with the given classification.
+    pub fn count(&self, c: Classification) -> u64 {
+        self.results
+            .iter()
+            .filter(|r| r.classification == c)
+            .count() as u64
+    }
+
+    /// Per-scheme tallies, in first-seen order.
+    pub fn by_scheme(&self) -> Vec<SchemeSummary> {
+        let mut out: Vec<SchemeSummary> = Vec::new();
+        for r in &self.results {
+            if !out.iter().any(|s| s.scheme == r.case.scheme) {
+                out.push(SchemeSummary {
+                    scheme: r.case.scheme,
+                    cases: 0,
+                    recovered_old: 0,
+                    recovered_new: 0,
+                    detected: 0,
+                    silent: 0,
+                });
+            }
+            let entry = out
+                .iter_mut()
+                .find(|s| s.scheme == r.case.scheme)
+                .expect("present by construction");
+            entry.cases += 1;
+            match r.classification {
+                Classification::RecoveredOld => entry.recovered_old += 1,
+                Classification::RecoveredNew => entry.recovered_new += 1,
+                Classification::Detected => entry.detected += 1,
+                Classification::Silent => entry.silent += 1,
+            }
+        }
+        out
+    }
+}
+
+/// Campaign shape: which schemes, which fault classes (with `None` as
+/// the crash-only baseline), which seeds, and optionally a single fixed
+/// crash point instead of the full sweep.
+#[derive(Debug, Clone)]
+pub struct TortureConfig {
+    /// Schemes to torture.
+    pub schemes: Vec<Scheme>,
+    /// Fault classes; `None` entries run the crash-only baseline.
+    pub classes: Vec<Option<FaultClass>>,
+    /// Injection seeds; each (scheme, class, point) runs once per seed.
+    pub seeds: Vec<u64>,
+    /// Restrict the sweep to this single crash point, if set.
+    pub point: Option<u64>,
+}
+
+impl Default for TortureConfig {
+    fn default() -> Self {
+        let mut classes: Vec<Option<FaultClass>> = vec![None];
+        classes.extend(FaultClass::ALL.into_iter().map(Some));
+        Self {
+            schemes: TORTURE_SCHEMES.to_vec(),
+            classes,
+            seeds: vec![1, 2],
+            point: None,
+        }
+    }
+}
+
+fn old_image() -> [u8; DATA_LEN] {
+    [OLD_BYTE; DATA_LEN]
+}
+
+fn new_image() -> [u8; DATA_LEN] {
+    [NEW_BYTE; DATA_LEN]
+}
+
+/// Builds the pre-transaction system: the old data durably persisted,
+/// queues drained.
+fn base_system(cfg: &Config) -> DirectMem {
+    let mut base = DirectMem::new(cfg);
+    base.persist(DATA_ADDR, &old_image());
+    base.shutdown();
+    base
+}
+
+/// The tortured workload: one durable undo-logged transaction flipping
+/// the data region from the old to the new oracle state.
+fn run_txn(mem: &mut DirectMem) {
+    let mut txm = TxnManager::new(LOG_ADDR, 4096);
+    let mut txn = txm.begin();
+    txn.write(DATA_ADDR, new_image().to_vec());
+    txn.commit(mem).expect("commit");
+}
+
+/// Number of write-queue append boundaries the torture transaction
+/// crosses under `scheme` — i.e. how many distinct crash points the
+/// sweep visits (a dry run, no faults).
+pub fn crash_points(scheme: Scheme) -> u64 {
+    let cfg = scheme.apply(Config::default());
+    let base = base_system(&cfg);
+    let mut dry = base.clone();
+    let before = dry.controller().append_events();
+    run_txn(&mut dry);
+    dry.shutdown();
+    dry.controller().append_events() - before
+}
+
+/// Executes one torture case end to end: establish the old state, arm
+/// the crash, inject the fault, run the transaction, recover the image,
+/// and classify the result against the shadow oracle.
+pub fn run_case(tc: &TortureCase) -> CaseResult {
+    let cfg = tc.scheme.apply(Config::default());
+    let spec = tc.class.map(|class| FaultSpec {
+        class,
+        seed: tc.seed,
+    });
+
+    let base = base_system(&cfg);
+    let mut mem = base.clone();
+    mem.controller_mut().arm_crash_after_appends(tc.point);
+    if let Some(spec) = spec {
+        if spec.class.is_power_event() {
+            // Torn drains and bank fail-stops happen *at* the power
+            // event, inside the controller's crash snapshot.
+            mem.controller_mut().set_fault_plan(spec);
+        }
+    }
+    run_txn(&mut mem);
+
+    let mut image = if let Some(image) = mem.controller_mut().take_crash_image() {
+        image
+    } else {
+        // The armed point lies beyond the final append: the
+        // transaction completed. Finish cleanly and image that.
+        mem.shutdown();
+        mem.crash_now()
+    };
+    if let Some(spec) = spec {
+        if !spec.class.is_power_event() {
+            // Media strikes (flips, stuck cells, transients) land on
+            // the settled image, after the dust of the crash.
+            image.store.strike_faults(spec);
+        }
+    }
+
+    classify(tc, &cfg, image)
+}
+
+fn classify(tc: &TortureCase, cfg: &Config, image: supermem_memctrl::CrashImage) -> CaseResult {
+    let done = |classification, detail| CaseResult {
+        case: *tc,
+        classification,
+        detail,
+    };
+
+    // Recover counters first (Osiris trial decryption where the scheme
+    // relaxes counter persistence, integrity-checked rebuild otherwise),
+    // then replay/roll back the transaction log.
+    let (mut rec, osiris_unrecoverable) = if cfg.osiris_window.is_some() {
+        match recover_osiris(cfg, image) {
+            Ok((rec, report)) => (rec, report.unrecoverable_lines),
+            Err(e) => {
+                return done(
+                    Classification::Detected,
+                    format!("osiris counter recovery refused: {e}"),
+                )
+            }
+        }
+    } else {
+        match RecoveredMemory::from_image_checked(cfg, image) {
+            Ok(rec) => (rec, 0),
+            Err(e) => {
+                return done(
+                    Classification::Detected,
+                    format!("image rebuild refused: {e}"),
+                )
+            }
+        }
+    };
+    let outcome = match recover_transactions(&mut rec, LOG_ADDR) {
+        Ok(o) => o,
+        Err(e) => {
+            return done(
+                Classification::Detected,
+                format!("log recovery failed: {e}"),
+            )
+        }
+    };
+
+    // Differential check against the shadow oracle: the only two legal
+    // states are the pre- and post-transaction images.
+    let mut buf = [0u8; DATA_LEN];
+    rec.read(DATA_ADDR, &mut buf);
+    if buf == old_image() {
+        return done(
+            Classification::RecoveredOld,
+            format!("old state intact after {outcome:?}"),
+        );
+    }
+    if buf == new_image() {
+        return done(
+            Classification::RecoveredNew,
+            format!("new state intact after {outcome:?}"),
+        );
+    }
+
+    // Wrong data: acceptable only if something noticed. `any_detected`
+    // covers ECC detections, poisoned/lost reads, and transient
+    // exhaustion; torn or dropped drain entries latch the modeled
+    // NVDIMM dirty-shutdown flag.
+    let fc = rec.store().fault_counters();
+    let dirty_shutdown = fc.torn_entries > 0 || fc.dropped_writes > 0;
+    if fc.any_detected() || dirty_shutdown || rec.media_failures() > 0 || osiris_unrecoverable > 0 {
+        return done(
+            Classification::Detected,
+            format!(
+                "degraded data with detection signals after {outcome:?}: \
+                 ecc_detections={} lost_reads={} transient_failures={} \
+                 torn_entries={} dropped_writes={} media_failures={} \
+                 osiris_unrecoverable={}",
+                fc.ecc_detections,
+                fc.lost_reads,
+                fc.transient_failures,
+                fc.torn_entries,
+                fc.dropped_writes,
+                rec.media_failures(),
+                osiris_unrecoverable
+            ),
+        );
+    }
+    done(
+        Classification::Silent,
+        format!("data is neither oracle state and nothing detected it (after {outcome:?})"),
+    )
+}
+
+/// Shrinks a failing case to the smallest crash point that still
+/// reproduces its classification — the torture analogue of the checker's
+/// transaction-count shrinking. Returns the minimal point.
+pub fn shrink_point(tc: &TortureCase) -> u64 {
+    let target = run_case(tc).classification;
+    let mut best = tc.point;
+    let mut probe = tc.point / 2;
+    while probe >= 1 {
+        let mut smaller = *tc;
+        smaller.point = probe;
+        if run_case(&smaller).classification == target {
+            best = probe;
+            probe /= 2;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// Runs the full campaign: for every scheme the crash points are counted
+/// with a dry run, then every (class, point, seed) combination fans out
+/// over the parallel sweep engine. Results come back in input order.
+pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
+    let mut cases: Vec<TortureCase> = Vec::new();
+    for &scheme in &cfg.schemes {
+        let total = crash_points(scheme);
+        let points: Vec<u64> = match cfg.point {
+            Some(p) => vec![p.clamp(1, total)],
+            None => (1..=total).collect(),
+        };
+        for &class in &cfg.classes {
+            for &point in &points {
+                for &seed in &cfg.seeds {
+                    cases.push(TortureCase {
+                        scheme,
+                        class,
+                        point,
+                        seed,
+                    });
+                }
+            }
+        }
+    }
+    let results = sweep(&cases, run_case);
+    TortureReport { results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single(scheme: Scheme, class: Option<FaultClass>, seeds: &[u64]) -> TortureReport {
+        let cfg = TortureConfig {
+            schemes: vec![scheme],
+            classes: vec![class],
+            seeds: seeds.to_vec(),
+            point: None,
+        };
+        run_torture(&cfg)
+    }
+
+    #[test]
+    fn baseline_without_faults_always_recovers_an_oracle_state() {
+        // Satellite (c): recovery of an un-faulted crash image must never
+        // report corruption, at any crash point, under several seeds.
+        for scheme in [Scheme::SuperMem, Scheme::WriteThrough, Scheme::Osiris] {
+            let report = single(scheme, None, &[1, 2, 3]);
+            for r in &report.results {
+                assert!(
+                    matches!(
+                        r.classification,
+                        Classification::RecoveredOld | Classification::RecoveredNew
+                    ),
+                    "{}: un-faulted case must recover cleanly, got {} ({})",
+                    r.case.repro(),
+                    r.classification,
+                    r.detail
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn torn_drains_never_corrupt_silently() {
+        let report = single(Scheme::SuperMem, Some(FaultClass::Torn), &[1, 2, 3, 4]);
+        assert!(report.silent().is_empty(), "torn drain slipped through");
+        // The tear must actually bite somewhere: at least one case must
+        // deviate from the clean-crash classification or carry tear
+        // evidence in its detail.
+        assert!(
+            report
+                .results
+                .iter()
+                .any(|r| r.classification == Classification::Detected),
+            "no torn case was detected — the injection is not wired up"
+        );
+    }
+
+    #[test]
+    fn double_flips_are_detected_not_silent() {
+        let report = single(Scheme::SuperMem, Some(FaultClass::DoubleFlip), &[1, 2, 3]);
+        assert!(report.silent().is_empty());
+        assert!(
+            report
+                .results
+                .iter()
+                .any(|r| r.classification == Classification::Detected),
+            "an uncorrectable double flip must surface as detected"
+        );
+    }
+
+    #[test]
+    fn single_flips_and_stuck_cells_are_absorbed() {
+        // SECDED corrects single wrong bits, so these classes should
+        // leave recovery intact (and certainly never silent).
+        for class in [FaultClass::BitFlip, FaultClass::StuckAt] {
+            let report = single(Scheme::SuperMem, Some(class), &[1, 2]);
+            assert!(report.silent().is_empty(), "{class}: silent corruption");
+            assert_eq!(
+                report.count(Classification::RecoveredOld)
+                    + report.count(Classification::RecoveredNew)
+                    + report.count(Classification::Detected),
+                report.total()
+            );
+        }
+    }
+
+    #[test]
+    fn transient_reads_are_retried_through() {
+        let report = single(Scheme::SuperMem, Some(FaultClass::TransientRead), &[1, 2]);
+        assert!(report.silent().is_empty());
+    }
+
+    #[test]
+    fn bank_failures_degrade_but_never_lie() {
+        let report = single(Scheme::SuperMem, Some(FaultClass::BankFail), &[1, 2]);
+        assert!(report.silent().is_empty(), "bank loss must be detected");
+        assert!(
+            report
+                .results
+                .iter()
+                .any(|r| r.classification == Classification::Detected),
+            "losing a whole bank must be detected somewhere in the sweep"
+        );
+    }
+
+    #[test]
+    fn report_tallies_are_consistent() {
+        let report = single(Scheme::WriteThrough, Some(FaultClass::BitFlip), &[7]);
+        let by_scheme = report.by_scheme();
+        assert_eq!(by_scheme.len(), 1);
+        let s = by_scheme[0];
+        assert_eq!(s.cases, report.total());
+        assert_eq!(
+            s.recovered_old + s.recovered_new + s.detected + s.silent,
+            s.cases
+        );
+        assert_eq!(s.verdict(), "fail-safe");
+    }
+
+    #[test]
+    fn repro_line_round_trips_through_the_cli_spelling() {
+        let tc = TortureCase {
+            scheme: Scheme::WtXbank,
+            class: Some(FaultClass::DoubleFlip),
+            point: 5,
+            seed: 9,
+        };
+        assert_eq!(
+            tc.repro(),
+            "supermem torture --scheme wt+xbank --fault double-flip --point 5 --seed 9"
+        );
+        let tc = TortureCase {
+            scheme: Scheme::SuperMem,
+            class: None,
+            point: 1,
+            seed: 1,
+        };
+        assert!(tc.repro().contains("--fault none"));
+    }
+
+    #[test]
+    fn shrink_finds_a_smaller_point_with_the_same_outcome() {
+        // Shrinking a clean case keeps its class of outcome; the exact
+        // classification at the minimal point must match the original's.
+        let tc = TortureCase {
+            scheme: Scheme::SuperMem,
+            class: None,
+            point: crash_points(Scheme::SuperMem),
+            seed: 1,
+        };
+        let min = shrink_point(&tc);
+        assert!(min >= 1 && min <= tc.point);
+        let mut at_min = tc;
+        at_min.point = min;
+        assert_eq!(
+            run_case(&at_min).classification,
+            run_case(&tc).classification
+        );
+    }
+}

@@ -23,6 +23,7 @@ use supermem_crypto::{CounterLine, EncryptionEngine};
 use supermem_integrity::Bmt;
 use supermem_nvm::addr::{AddressMap, LineAddr, PageId};
 use supermem_nvm::bank::{BankTimer, OpKind};
+use supermem_nvm::fault::{FaultPlan, FaultSpec, MediaError};
 use supermem_nvm::{LineData, NvmStore};
 use supermem_sim::{Config, CounterCacheBacking, Cycle, Event, Mutation, Observer, Probes, Stats};
 
@@ -35,6 +36,13 @@ const FORWARD_LATENCY: Cycle = 4;
 
 /// Latency of the staging-register store step (`Sto` in Figure 7).
 const REGISTER_LATENCY: Cycle = 1;
+
+/// Bounded retries for transiently failing NVM array reads.
+const READ_RETRY_LIMIT: u32 = 3;
+
+/// Base backoff (cycles) before re-issuing a transiently failed read;
+/// doubles on every retry.
+const RETRY_BACKOFF: Cycle = 8;
 
 /// The persistent state left behind by a (simulated) power failure:
 /// the NVM byte store after the ADR battery drained the write queue,
@@ -80,6 +88,7 @@ pub struct MemoryController {
     append_events: u64,
     bmt: Option<Bmt>,
     probes: Probes,
+    fault_spec: Option<FaultSpec>,
 }
 
 impl MemoryController {
@@ -136,6 +145,7 @@ impl MemoryController {
                 .integrity_tree
                 .then(|| Bmt::new(cfg.encryption_key(), cfg.integrity_pages)),
             probes: Probes::default(),
+            fault_spec: None,
             cfg: cfg.clone(),
         }
     }
@@ -216,17 +226,56 @@ impl MemoryController {
 
     fn snapshot(&self) -> CrashImage {
         let mut store = self.store.clone();
-        self.wq.flush_into(&mut store);
-        if self.cfg.counter_cache_backing == CounterCacheBacking::Battery {
-            for (page, ctr) in self.cc_dirty_entries() {
-                store.write_counter(page, ctr.encode());
+        match self.fault_spec {
+            None => {
+                self.wq.flush_into(&mut store);
+                if self.cfg.counter_cache_backing == CounterCacheBacking::Battery {
+                    for (page, ctr) in self.cc_dirty_entries() {
+                        store.write_counter(page, ctr.encode());
+                    }
+                }
             }
+            Some(spec) => self.snapshot_faulted(&mut store, spec),
         }
         CrashImage {
             store,
             rsr: self.rsr,
             bmt_root: self.bmt.as_ref().map(supermem_integrity::Bmt::root),
         }
+    }
+
+    /// The power event goes wrong: the ADR drain tears mid-flush and/or
+    /// a bank fail-stops, per `spec`. Everything the media loses or
+    /// mangles is recorded in a [`FaultPlan`] attached to the image's
+    /// store, so recovery's checked reads see the damage.
+    fn snapshot_faulted(&self, store: &mut NvmStore, spec: FaultSpec) {
+        let mut plan = FaultPlan::new(spec);
+        let failed = plan.failed_bank(self.banks.len());
+        if let Some(fb) = failed {
+            // Settled lines on the failed bank are gone with it.
+            for line in store.data_lines() {
+                if self.map.data_bank(line) == fb {
+                    plan.note_lost_data(line);
+                }
+            }
+            for page in store.counter_lines() {
+                if self.ctr_bank(page) == fb {
+                    plan.note_lost_counter(page);
+                }
+            }
+        }
+        let tear = plan.drain_tear(self.wq.len());
+        self.wq.flush_into_faulted(store, failed, tear, &mut plan);
+        if self.cfg.counter_cache_backing == CounterCacheBacking::Battery {
+            for (page, ctr) in self.cc_dirty_entries() {
+                if failed == Some(self.ctr_bank(page)) {
+                    plan.note_lost_counter(page);
+                } else {
+                    store.write_counter(page, ctr.encode());
+                }
+            }
+        }
+        store.attach_faults(plan);
     }
 
     fn cc_dirty_entries(&self) -> Vec<(PageId, CounterLine)> {
@@ -270,6 +319,12 @@ impl MemoryController {
             return (ctr, t + FORWARD_LATENCY);
         }
         let bank = self.ctr_bank(page);
+        if self.banks[bank].is_failed() {
+            // Degraded mode: poison (fresh, all-zero) counters; skip
+            // the cache fill so later reads can see a repaired bank.
+            self.stats.poisoned_reads += 1;
+            return (CounterLine::decode(&[0; 64]), t + 1);
+        }
         let mut done = self.banks[bank].issue(OpKind::Read, t);
         self.stats.nvm_counter_reads += 1;
         let read_service = self.cfg.nvm_read_service_cycles();
@@ -279,7 +334,12 @@ impl MemoryController {
             end: done,
             write: false,
         });
-        let raw = self.store.read_counter(page);
+        let (raw, done_media) = self.media_read_counter(page, bank, done);
+        done = done_media;
+        let Some(raw) = raw else {
+            self.stats.poisoned_reads += 1;
+            return (CounterLine::decode(&[0; 64]), done);
+        };
         // Counters arriving from (attacker-writable) NVM are verified
         // against the trusted root before use.
         if let Some(bmt) = &self.bmt {
@@ -380,6 +440,19 @@ impl MemoryController {
             return (data, done);
         }
         let bank = self.map.data_bank(line);
+        if self.banks[bank].is_failed() {
+            // Degraded mode: the bank is gone; answer with poison
+            // rather than wedging behind dead hardware.
+            self.stats.poisoned_reads += 1;
+            let done = at + 1;
+            self.probes.emit_with(|| Event::ReadServed {
+                line: line.0,
+                issued: at,
+                done,
+                forwarded: false,
+            });
+            return ([0; 64], done);
+        }
         let done_data = self.banks[bank].issue(OpKind::Read, at);
         self.stats.nvm_data_reads += 1;
         let read_service = self.cfg.nvm_read_service_cycles();
@@ -389,7 +462,17 @@ impl MemoryController {
             end: done_data,
             write: false,
         });
-        let cipher = self.store.read_data(line);
+        let (cipher, done_data) = self.media_read_data(line, bank, done_data);
+        let Some(cipher) = cipher else {
+            self.stats.poisoned_reads += 1;
+            self.probes.emit_with(|| Event::ReadServed {
+                line: line.0,
+                issued: at,
+                done: done_data,
+                forwarded: false,
+            });
+            return ([0; 64], done_data);
+        };
         if !self.cfg.encryption {
             self.probes.emit_with(|| Event::ReadServed {
                 line: line.0,
@@ -797,6 +880,97 @@ impl MemoryController {
     pub fn crash_now(&self) -> CrashImage {
         self.snapshot()
     }
+
+    /// Makes the next power event go wrong per `spec`: the crash image
+    /// produced by [`MemoryController::crash_now`] or an armed crash
+    /// will carry the spec's torn drain or failed bank, recorded in a
+    /// [`FaultPlan`] attached to the image store. The live system is
+    /// unaffected until then.
+    pub fn set_fault_plan(&mut self, spec: FaultSpec) {
+        self.fault_spec = Some(spec);
+    }
+
+    /// Attaches a fault plan to the *live* store, so demand reads hit
+    /// the media model (tests of the retry/poison path use this).
+    pub fn attach_store_faults(&mut self, plan: FaultPlan) {
+        self.store.attach_faults(plan);
+    }
+
+    /// Fail-stops a bank: the controller enters degraded mode, dropping
+    /// writes headed there and poisoning reads instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn mark_bank_failed(&mut self, bank: usize) {
+        self.banks[bank].mark_failed();
+    }
+
+    /// True when any bank has fail-stopped.
+    pub fn is_degraded(&self) -> bool {
+        self.banks.iter().any(BankTimer::is_failed)
+    }
+
+    /// Reads a data line through the media model with bounded
+    /// retry-with-backoff on transient failures. Returns `None` (and
+    /// the final completion cycle) when the line is unreadable — the
+    /// caller poisons the response instead of panicking.
+    fn media_read_data(
+        &mut self,
+        line: LineAddr,
+        bank: usize,
+        done: Cycle,
+    ) -> (Option<LineData>, Cycle) {
+        let before = self.store.fault_counters().ecc_corrections;
+        let mut done = done;
+        let mut backoff = RETRY_BACKOFF;
+        let mut out = None;
+        for attempt in 0..=READ_RETRY_LIMIT {
+            match self.store.read_data_checked(line) {
+                Ok(d) => {
+                    out = Some(d);
+                    break;
+                }
+                Err(MediaError::Transient) if attempt < READ_RETRY_LIMIT => {
+                    self.stats.read_retries += 1;
+                    done = self.banks[bank].issue(OpKind::Read, done + backoff);
+                    backoff *= 2;
+                }
+                Err(_) => break,
+            }
+        }
+        self.stats.ecc_corrections += self.store.fault_counters().ecc_corrections - before;
+        (out, done)
+    }
+
+    /// [`Self::media_read_data`] for a counter line.
+    fn media_read_counter(
+        &mut self,
+        page: PageId,
+        bank: usize,
+        done: Cycle,
+    ) -> (Option<LineData>, Cycle) {
+        let before = self.store.fault_counters().ecc_corrections;
+        let mut done = done;
+        let mut backoff = RETRY_BACKOFF;
+        let mut out = None;
+        for attempt in 0..=READ_RETRY_LIMIT {
+            match self.store.read_counter_checked(page) {
+                Ok(d) => {
+                    out = Some(d);
+                    break;
+                }
+                Err(MediaError::Transient) if attempt < READ_RETRY_LIMIT => {
+                    self.stats.read_retries += 1;
+                    done = self.banks[bank].issue(OpKind::Read, done + backoff);
+                    backoff *= 2;
+                }
+                Err(_) => break,
+            }
+        }
+        self.stats.ecc_corrections += self.store.fault_counters().ecc_corrections - before;
+        (out, done)
+    }
 }
 
 #[cfg(test)]
@@ -1133,5 +1307,89 @@ mod tests {
         mc.stats_mut().record_txn(10);
         assert_eq!(mc.stats().txn_commits, 1);
         assert_eq!(mc.wq_len(), 0);
+    }
+
+    /// Writes a line durably and returns the controller plus the retire
+    /// cycle, for the media-fault tests below.
+    fn settled_line(c: &Config, line: LineAddr, fill: u8) -> (MemoryController, Cycle) {
+        let mut mc = MemoryController::new(c);
+        let retire = mc.flush_line(line, [fill; 64], 0);
+        let t = mc.finish(retire);
+        (mc, t)
+    }
+
+    #[test]
+    fn transient_read_failures_are_retried_through() {
+        let line = LineAddr(0x4000);
+        let (mut mc, t) = settled_line(&cfg(), line, 0x5A);
+        let mut plan = FaultPlan::default();
+        plan.fail_data_reads(line, 2);
+        mc.attach_store_faults(plan);
+        let (data, done) = mc.read_line(line, t);
+        assert_eq!(data, [0x5A; 64], "retries must recover the data");
+        assert_eq!(mc.stats().read_retries, 2);
+        assert_eq!(mc.stats().poisoned_reads, 0);
+        assert!(done > t, "backoff costs cycles");
+    }
+
+    #[test]
+    fn exhausted_retries_poison_instead_of_panicking() {
+        let line = LineAddr(0x4000);
+        let (mut mc, t) = settled_line(&cfg(), line, 0x5A);
+        let mut plan = FaultPlan::default();
+        // One more failure than the initial attempt plus its retries.
+        plan.fail_data_reads(line, 4);
+        mc.attach_store_faults(plan);
+        let (data, _) = mc.read_line(line, t);
+        assert_eq!(data, [0; 64], "unreadable line answers poison");
+        assert_eq!(mc.stats().poisoned_reads, 1);
+        assert_eq!(mc.stats().read_retries, 3);
+    }
+
+    #[test]
+    fn single_bit_flip_is_corrected_and_counted() {
+        let line = LineAddr(0x4000);
+        let (mut mc, t) = settled_line(&cfg(), line, 0x5A);
+        let mut plan = FaultPlan::default();
+        plan.flip_data_bit(line, 17);
+        mc.attach_store_faults(plan);
+        let (data, _) = mc.read_line(line, t);
+        assert_eq!(data, [0x5A; 64], "SECDED corrects a single wrong bit");
+        assert!(mc.stats().ecc_corrections >= 1);
+        assert_eq!(mc.stats().poisoned_reads, 0);
+    }
+
+    #[test]
+    fn double_bit_flip_is_detected_and_poisoned() {
+        let line = LineAddr(0x4000);
+        let (mut mc, t) = settled_line(&cfg(), line, 0x5A);
+        let mut plan = FaultPlan::default();
+        plan.flip_data_bit(line, 3);
+        plan.flip_data_bit(line, 100);
+        mc.attach_store_faults(plan);
+        let (data, _) = mc.read_line(line, t);
+        assert_eq!(data, [0; 64], "uncorrectable line answers poison");
+        assert_eq!(mc.stats().poisoned_reads, 1);
+        assert!(mc.store().fault_counters().ecc_detections >= 1);
+    }
+
+    #[test]
+    fn failed_bank_degrades_reads_and_writes() {
+        let c = cfg();
+        let line = LineAddr(0x4000);
+        let (mut mc, t) = settled_line(&c, line, 0x5A);
+        let map = AddressMap::new(c.nvm_bytes, c.line_bytes, c.page_bytes, c.banks);
+        assert!(!mc.is_degraded());
+        mc.mark_bank_failed(map.data_bank(line));
+        assert!(mc.is_degraded());
+        // Reads of the dead bank answer poison, not a wedge or a panic.
+        let (data, _) = mc.read_line(line, t);
+        assert_eq!(data, [0; 64]);
+        assert_eq!(mc.stats().poisoned_reads, 1);
+        // Writes headed there are dropped and counted.
+        let dropped_before = mc.stats().dropped_writes;
+        let retire = mc.flush_line(line, [0x77; 64], t);
+        mc.finish(retire);
+        assert!(mc.stats().dropped_writes > dropped_before);
     }
 }

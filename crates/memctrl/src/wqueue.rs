@@ -18,6 +18,7 @@
 
 use supermem_nvm::addr::{LineAddr, PageId};
 use supermem_nvm::bank::{BankTimer, OpKind};
+use supermem_nvm::fault::{tear_line, DrainTear, FaultPlan};
 use supermem_nvm::{LineData, NvmStore};
 use supermem_sim::{Cycle, Event, FxHashMap, Probes, Stats};
 
@@ -290,6 +291,12 @@ impl WriteQueue {
         probes: &mut Probes,
     ) -> Cycle {
         let e = self.remove_slot(idx);
+        if banks[e.bank].is_failed() {
+            // Degraded mode: the bank is gone, so the write is dropped
+            // rather than wedging the queue behind dead hardware.
+            stats.dropped_writes += 1;
+            return e.ready;
+        }
         let start = banks[e.bank].earliest_start(OpKind::Write, e.ready);
         let end = banks[e.bank].issue(OpKind::Write, e.ready);
         if stats.bank_writes.len() <= e.bank {
@@ -422,6 +429,65 @@ impl WriteQueue {
                     }
                 }
                 WqTarget::Counter(page) => store.write_counter(page, e.payload),
+            }
+        }
+    }
+
+    /// [`WriteQueue::flush_into`] under a failing power event: the ADR
+    /// drain tears at `tear` (entries past the cut are dropped, the
+    /// entry at the cut lands as a seeded old/new word mix) and entries
+    /// headed for `failed_bank` are lost with the hardware. Everything
+    /// dropped or torn is recorded in `plan` so recovery's checked reads
+    /// and the torture classifier can see what the media did.
+    pub fn flush_into_faulted(
+        &self,
+        store: &mut NvmStore,
+        failed_bank: Option<usize>,
+        tear: Option<DrainTear>,
+        plan: &mut FaultPlan,
+    ) {
+        let mut ordered: Vec<&WqEntry> = self.entries().map(|(_, e)| e).collect();
+        ordered.sort_by_key(|e| e.seq);
+        for (i, e) in ordered.iter().enumerate() {
+            if let Some(t) = tear {
+                if i > t.cut {
+                    // Power died before this entry drained.
+                    plan.note_torn_entry();
+                    continue;
+                }
+            }
+            if Some(e.bank) == failed_bank {
+                match e.target {
+                    WqTarget::Data(line) => plan.note_lost_data(line),
+                    WqTarget::Counter(page) => plan.note_lost_counter(page),
+                }
+                continue;
+            }
+            let torn = tear.filter(|t| t.cut == i);
+            match e.target {
+                WqTarget::Data(line) => {
+                    let payload = match torn {
+                        Some(t) => {
+                            plan.note_torn_entry();
+                            tear_line(&store.read_data(line), &e.payload, t.mask)
+                        }
+                        None => e.payload,
+                    };
+                    store.write_data(line, payload);
+                    if let Some(tag) = e.tag {
+                        store.write_tag(line, tag);
+                    }
+                }
+                WqTarget::Counter(page) => {
+                    let payload = match torn {
+                        Some(t) => {
+                            plan.note_torn_entry();
+                            tear_line(&store.read_counter(page), &e.payload, t.mask)
+                        }
+                        None => e.payload,
+                    };
+                    store.write_counter(page, payload);
+                }
             }
         }
     }
@@ -950,5 +1016,58 @@ mod randomized {
             wq.assert_index_matches_linear_scan();
             assert!(wq.is_empty(), "drain_all empties the queue");
         }
+    }
+
+    #[test]
+    fn faulted_flush_tears_the_cut_entry_and_drops_the_rest() {
+        use supermem_nvm::fault::{DrainTear, FaultPlan};
+        let mut wq = WriteQueue::new(8, false);
+        let mut store = NvmStore::new();
+        store.write_data(LineAddr(0x80), [0xAA; 64]); // old bytes at the cut
+        for addr in [0x40u64, 0x80, 0xC0] {
+            wq.append(WqTarget::Data(LineAddr(addr)), 0, [addr as u8; 64], None, 0);
+        }
+        let mut plan = FaultPlan::default();
+        let tear = DrainTear {
+            cut: 1,
+            mask: 0x0F, // words 0..4 land new, words 4..8 keep old
+        };
+        wq.flush_into_faulted(&mut store, None, Some(tear), &mut plan);
+        // Before the cut: fully applied.
+        assert_eq!(store.read_data(LineAddr(0x40)), [0x40; 64]);
+        // At the cut: a seeded old/new word mix, not either whole line.
+        let torn = store.read_data(LineAddr(0x80));
+        assert_eq!(
+            &torn[..32],
+            &[0x80; 32][..],
+            "mask=0x0F lands new low words"
+        );
+        assert_eq!(
+            &torn[32..],
+            &[0xAA; 32][..],
+            "mask=0x0F keeps old high words"
+        );
+        // After the cut: never written, and the loss is recorded.
+        assert_eq!(store.read_data(LineAddr(0xC0)), [0; 64]);
+        assert_eq!(plan.counters().torn_entries, 2, "one torn + one dropped");
+    }
+
+    #[test]
+    fn faulted_flush_loses_entries_headed_for_the_failed_bank() {
+        use supermem_nvm::fault::FaultPlan;
+        let mut wq = WriteQueue::new(8, false);
+        let mut store = NvmStore::new();
+        wq.append(WqTarget::Data(LineAddr(0x40)), 0, [1; 64], None, 0);
+        wq.append(WqTarget::Data(LineAddr(0x80)), 1, [2; 64], None, 0);
+        wq.append(WqTarget::Counter(PageId(3)), 0, [4; 64], None, 0);
+        let mut plan = FaultPlan::default();
+        wq.flush_into_faulted(&mut store, Some(0), None, &mut plan);
+        // Bank 0's data and counter entries died with the hardware.
+        assert_eq!(store.read_data(LineAddr(0x40)), [0; 64]);
+        assert!(plan.data_lost(LineAddr(0x40)));
+        assert!(plan.counter_lost(PageId(3)));
+        // Bank 1's entry landed.
+        assert_eq!(store.read_data(LineAddr(0x80)), [2; 64]);
+        assert!(!plan.data_lost(LineAddr(0x80)));
     }
 }

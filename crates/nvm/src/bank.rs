@@ -37,6 +37,7 @@ pub struct BankTimer {
     wtr: Cycle,
     busy_until: Cycle,
     last_op: Option<OpKind>,
+    failed: bool,
 }
 
 impl BankTimer {
@@ -48,6 +49,7 @@ impl BankTimer {
             wtr,
             busy_until: 0,
             last_op: None,
+            failed: false,
         }
     }
 
@@ -80,10 +82,22 @@ impl BankTimer {
     }
 
     /// Resets the bank to idle (used when constructing a post-crash
-    /// system image).
+    /// system image). A failed bank stays failed — the hardware is
+    /// gone, not merely idle.
     pub fn reset(&mut self) {
         self.busy_until = 0;
         self.last_op = None;
+    }
+
+    /// Marks the bank as failed: the controller's degraded mode drops
+    /// writes headed here and poisons reads instead of issuing them.
+    pub fn mark_failed(&mut self) {
+        self.failed = true;
+    }
+
+    /// Whether the bank has fail-stopped.
+    pub fn is_failed(&self) -> bool {
+        self.failed
     }
 }
 

@@ -12,6 +12,10 @@
 //! * [`store`] — the persistent byte contents: a sparse map of 64 B lines
 //!   holding *ciphertext* plus the counter-line region. This is what
 //!   survives a simulated crash.
+//! * [`fault`] — the imperfect-DIMM model: seeded torn drains, bit
+//!   flips / stuck-at cells under a SECDED ECC, transient read failures,
+//!   and fail-stopped banks, all layered over the store without
+//!   disturbing its ground truth.
 //!
 //! # Examples
 //!
@@ -27,11 +31,13 @@
 
 pub mod addr;
 pub mod bank;
+pub mod fault;
 pub mod store;
 pub mod wearlevel;
 
 pub use addr::{AddressMap, LineAddr, PageId};
 pub use bank::{BankTimer, OpKind};
+pub use fault::{DrainTear, FaultClass, FaultCounters, FaultPlan, FaultSpec, MediaError};
 pub use store::{NvmStore, WearReport};
 pub use wearlevel::StartGap;
 

@@ -8,9 +8,10 @@
 //! The store is purely functional with respect to time — all timing lives
 //! in [`crate::bank`] and the memory controller.
 
-use supermem_sim::FxHashMap;
+use supermem_sim::{FxHashMap, SplitMix64};
 
 use crate::addr::{LineAddr, PageId};
+use crate::fault::{FaultClass, FaultCounters, FaultPlan, FaultSpec, MediaError, LINE_BITS};
 use crate::wearlevel::StartGap;
 use crate::{LineData, LINE_BYTES};
 
@@ -34,6 +35,7 @@ pub struct NvmStore {
     data_wear: FxHashMap<u64, u64>,
     counter_wear: FxHashMap<u64, u64>,
     wear_leveling: Option<StartGap>,
+    faults: Option<FaultPlan>,
 }
 
 /// Per-cell-endurance summary of an [`NvmStore`] (paper §3.4.1 motivates
@@ -72,9 +74,16 @@ impl NvmStore {
         self.wear_leveling = Some(StartGap::new(lines, psi));
     }
 
-    /// Writes a data line.
+    /// Writes a data line. With a [`FaultPlan`] attached, a full-line
+    /// rewrite clears pending bit flips, and writes to lines lost with a
+    /// failed bank are dropped.
     pub fn write_data(&mut self, line: LineAddr, bytes: LineData) {
         debug_assert_eq!(line.0 % LINE_BYTES as u64, 0, "unaligned line address");
+        if let Some(plan) = &mut self.faults {
+            if !plan.admit_data_write(line) {
+                return;
+            }
+        }
         match &mut self.wear_leveling {
             Some(sg) => {
                 let slot = sg.map(line.0 / LINE_BYTES as u64);
@@ -100,8 +109,14 @@ impl NvmStore {
             .unwrap_or([0; LINE_BYTES])
     }
 
-    /// Writes the counter line of a page.
+    /// Writes the counter line of a page (same fault semantics as
+    /// [`Self::write_data`]).
     pub fn write_counter(&mut self, page: PageId, bytes: LineData) {
+        if let Some(plan) = &mut self.faults {
+            if !plan.admit_counter_write(page) {
+                return;
+            }
+        }
         *self.counter_wear.entry(page.0).or_insert(0) += 1;
         self.counters.insert(page.0, bytes);
     }
@@ -162,6 +177,122 @@ impl NvmStore {
     /// Per-line write count of a counter line (0 if never written).
     pub fn counter_wear(&self, page: PageId) -> u64 {
         self.counter_wear.get(&page.0).copied().unwrap_or(0)
+    }
+
+    /// Attaches (or replaces) the fault plan governing checked reads
+    /// and faulted writes.
+    pub fn attach_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The attached fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Read-side fault tallies (zero when no plan is attached).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults
+            .as_ref()
+            .map(FaultPlan::counters)
+            .unwrap_or_default()
+    }
+
+    /// Reads a data line *through the media model*: loss, transient
+    /// failure, and the SECDED correct-vs-detect resolution all apply.
+    /// Without an attached plan this is [`Self::read_data`].
+    ///
+    /// # Errors
+    ///
+    /// [`MediaError`] per the attached [`FaultPlan`].
+    pub fn read_data_checked(&mut self, line: LineAddr) -> Result<LineData, MediaError> {
+        let stored = self.data.get(&line.0).copied().unwrap_or([0; LINE_BYTES]);
+        match &mut self.faults {
+            None => Ok(stored),
+            Some(plan) => plan.filter_data_read(line, stored),
+        }
+    }
+
+    /// [`Self::read_data_checked`] for a counter line.
+    ///
+    /// # Errors
+    ///
+    /// [`MediaError`] per the attached [`FaultPlan`].
+    pub fn read_counter_checked(&mut self, page: PageId) -> Result<LineData, MediaError> {
+        let stored = self
+            .counters
+            .get(&page.0)
+            .copied()
+            .unwrap_or([0; LINE_BYTES]);
+        match &mut self.faults {
+            None => Ok(stored),
+            Some(plan) => plan.filter_counter_read(page, stored),
+        }
+    }
+
+    /// Strikes a settled (crash-image) store with an image-level fault:
+    /// picks a seeded victim among the written lines and registers the
+    /// class's corruption in the attached [`FaultPlan`] (creating one if
+    /// absent). Power-event classes ([`FaultClass::is_power_event`]) are
+    /// applied during the drain instead and are a no-op here.
+    pub fn strike_faults(&mut self, spec: FaultSpec) {
+        if spec.class.is_power_event() {
+            return;
+        }
+        let data = self.data_lines();
+        let ctrs = self.counter_lines();
+        let mut rng = SplitMix64::new(spec.seed ^ 0x57A1_4EBF);
+        let mut plan = self.faults.take().unwrap_or_else(|| FaultPlan::new(spec));
+        let total = data.len() + ctrs.len();
+        if total > 0 {
+            match spec.class {
+                FaultClass::StuckAt => {
+                    // Stuck cells are modeled for data lines only.
+                    if !data.is_empty() {
+                        let line = data[rng.next_below(data.len() as u64) as usize];
+                        let bit = rng.next_below(LINE_BITS as u64) as usize;
+                        let stored = self.read_data(line);
+                        let forced = stored[bit / 8] >> (bit % 8) & 1 == 0;
+                        plan.stick_data_cell(line, bit, forced);
+                    }
+                }
+                FaultClass::BitFlip | FaultClass::DoubleFlip => {
+                    let bit1 = rng.next_below(LINE_BITS as u64) as usize;
+                    // Second bit distinct from the first.
+                    let mut bit2 = rng.next_below(LINE_BITS as u64 - 1) as usize;
+                    if bit2 >= bit1 {
+                        bit2 += 1;
+                    }
+                    let double = spec.class == FaultClass::DoubleFlip;
+                    let idx = rng.next_below(total as u64) as usize;
+                    if idx < data.len() {
+                        plan.flip_data_bit(data[idx], bit1);
+                        if double {
+                            plan.flip_data_bit(data[idx], bit2);
+                        }
+                    } else {
+                        let page = ctrs[idx - data.len()];
+                        plan.flip_counter_bit(page, bit1);
+                        if double {
+                            plan.flip_counter_bit(page, bit2);
+                        }
+                    }
+                }
+                FaultClass::TransientRead => {
+                    // 1..=4 failures: seeds above the retry budget (3)
+                    // exercise the poison/detect path too.
+                    let times = 1 + rng.next_below(4) as u32;
+                    let idx = rng.next_below(total as u64) as usize;
+                    if idx < data.len() {
+                        plan.fail_data_reads(data[idx], times);
+                    } else {
+                        plan.fail_counter_reads(ctrs[idx - data.len()], times);
+                    }
+                }
+                FaultClass::Torn | FaultClass::BankFail => unreachable!("power-event class"),
+            }
+        }
+        self.faults = Some(plan);
     }
 }
 

@@ -257,7 +257,7 @@ mod tests {
         let mut rec = RecoveredMemory::from_image(&cfg, mem.crash_now());
         assert_eq!(
             recover_transactions(&mut rec, 0x100000),
-            RecoveryOutcome::CleanCommitted { seq: 1 }
+            Ok(RecoveryOutcome::CleanCommitted { seq: 1 })
         );
         let mut buf = [0u8; 128];
         rec.read(0x2000, &mut buf);
@@ -287,7 +287,7 @@ mod tests {
             .take_crash_image()
             .expect("crash fired during mutate");
         let mut rec = RecoveredMemory::from_image(&cfg, image);
-        let out = recover_transactions(&mut rec, 0x100000);
+        let out = recover_transactions(&mut rec, 0x100000).expect("clean media");
         assert!(
             matches!(out, RecoveryOutcome::RolledBack { .. }),
             "expected rollback, got {out:?}"

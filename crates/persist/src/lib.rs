@@ -47,7 +47,7 @@ pub use direct::DirectMem;
 pub use pmem::{PMem, VecMem};
 pub use recovery::{
     recover_osiris, recover_transactions, verify_image_integrity, IntegrityVerdict, OsirisReport,
-    RecoveredMemory, RecoveryOutcome,
+    RecoveredMemory, RecoveryError, RecoveryOutcome,
 };
 pub use redo::{recover_redo_transactions, RedoTxn, RedoTxnManager};
 pub use txn::{Txn, TxnError, TxnManager};

@@ -13,17 +13,29 @@
 //!    atomically, and yielding garbage otherwise (Figure 4).
 //! 3. Scan the transaction log and roll back an uncommitted transaction
 //!    ([`recover_transactions`]).
+//!
+//! Recovery runs against an *imperfect* DIMM: every media access goes
+//! through the store's checked read path, so a [`FaultPlan`] attached to
+//! the image surfaces as retried transients, ECC corrections, or — for
+//! uncorrectable damage — a typed [`RecoveryError`] instead of a panic
+//! or silently wrong bytes.
+//!
+//! [`FaultPlan`]: supermem_nvm::FaultPlan
 
 use supermem_crypto::{CounterLine, EncryptionEngine};
 use supermem_memctrl::CrashImage;
 use supermem_nvm::addr::{AddressMap, LineAddr, PageId};
-use supermem_nvm::{LineData, NvmStore};
+use supermem_nvm::{LineData, MediaError, NvmStore};
 use supermem_sim::Config;
 
 use crate::log::{
     decode_records, log_checksum, read_header, LOG_MAGIC, STATE_COMMITTED, STATE_EMPTY, STATE_VALID,
 };
 use crate::pmem::PMem;
+
+/// Transient reads are re-issued this many times before the line is
+/// declared failed (mirrors the controller's live-path retry budget).
+const READ_RETRY_LIMIT: u32 = 3;
 
 /// What the log scan found and did.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,15 +55,55 @@ pub enum RecoveryOutcome {
         /// Number of undo records applied.
         records: usize,
     },
-    /// The header is recognizable but inconsistent (bad state word, bad
-    /// checksum, undecodable records): the data cannot be trusted.
-    CorruptLog,
 }
+
+/// Why a recovery pass could not produce a trusted state.
+///
+/// The taxonomy matters to the caller: `TornLog` means the *log* is
+/// unusable but the data region may simply be pre-transaction;
+/// `DetectedCorrupt` means the media itself reported damage the ECC
+/// could not correct; `Unrecoverable` means the damage reaches state
+/// the recovery algorithm has no second copy of.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// The configuration cannot drive this recovery flavor (e.g.
+    /// [`recover_osiris`] without `Config::osiris_window`).
+    Config(String),
+    /// An uncorrectable media error was detected (ECC detection, a lost
+    /// line, retry exhaustion, or an integrity-root mismatch) — the
+    /// damage is *known*, not silent.
+    DetectedCorrupt(String),
+    /// The log header or payload is internally inconsistent (bad state
+    /// word, bad checksum, undecodable records): a torn log write.
+    TornLog(String),
+    /// Damage reaches state with no redundant copy; the image cannot be
+    /// rebuilt.
+    Unrecoverable(String),
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Config(s) => write!(f, "configuration error: {s}"),
+            Self::DetectedCorrupt(s) => write!(f, "detected media corruption: {s}"),
+            Self::TornLog(s) => write!(f, "torn log: {s}"),
+            Self::Unrecoverable(s) => write!(f, "unrecoverable: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
 
 /// A functional, decrypted view of a post-crash NVM image.
 ///
 /// Implements [`PMem`] (flush/fence are no-ops — recovery runs against
 /// durable state) so the log machinery can operate on it directly.
+///
+/// All media accesses go through the store's checked read path:
+/// transient failures are retried (counted in
+/// [`RecoveredMemory::read_retries`]); uncorrectable errors poison the
+/// line to zeroes and count in [`RecoveredMemory::media_failures`], so
+/// callers can distinguish "clean read" from "the DIMM lied".
 ///
 /// # Examples
 ///
@@ -76,6 +128,8 @@ pub struct RecoveredMemory {
     map: AddressMap,
     engine: EncryptionEngine,
     encryption: bool,
+    read_retries: u64,
+    media_failures: u64,
 }
 
 impl RecoveredMemory {
@@ -108,17 +162,128 @@ impl RecoveredMemory {
             map,
             engine,
             encryption: cfg.encryption,
+            read_retries: 0,
+            media_failures: 0,
         }
     }
 
-    fn read_line_plain(&self, line: LineAddr) -> LineData {
-        let cipher = self.store.read_data(line);
+    /// Like [`RecoveredMemory::from_image`], but first re-verifies the
+    /// integrity tree over the image's counter region *through the
+    /// checked media path*, so both active tampering and uncorrectable
+    /// media damage on counter lines surface before any data is trusted.
+    ///
+    /// Images without an integrity root (the system ran without
+    /// `Config::integrity_tree`) skip the tree check and build normally.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::DetectedCorrupt`] when a counter line is
+    /// unreadable (uncorrectable ECC error, lost line, retry
+    /// exhaustion) or the recomputed root diverges from the trusted
+    /// root register.
+    pub fn from_image_checked(cfg: &Config, mut image: CrashImage) -> Result<Self, RecoveryError> {
+        let mut retries = 0u64;
+        if let Some(root) = image.bmt_root {
+            let mut bmt = supermem_integrity::Bmt::new(cfg.encryption_key(), cfg.integrity_pages);
+            let pages: Vec<PageId> = image
+                .store
+                .counter_lines()
+                .into_iter()
+                .filter(|p| p.0 < cfg.integrity_pages)
+                .collect();
+            for page in pages {
+                let mut attempt = 0u32;
+                let raw = loop {
+                    match image.store.read_counter_checked(page) {
+                        Ok(d) => break d,
+                        Err(MediaError::Transient) if attempt < READ_RETRY_LIMIT => {
+                            attempt += 1;
+                            retries += 1;
+                        }
+                        Err(e) => {
+                            return Err(RecoveryError::DetectedCorrupt(format!(
+                                "counter line of page {} unreadable during integrity \
+                                 verification: {e}",
+                                page.0
+                            )))
+                        }
+                    }
+                };
+                bmt.update(page.0, &raw);
+            }
+            if bmt.root() != root {
+                return Err(RecoveryError::DetectedCorrupt(
+                    "integrity root mismatch: counter region does not match the trusted root"
+                        .into(),
+                ));
+            }
+        }
+        let mut rec = Self::from_image(cfg, image);
+        rec.read_retries += retries;
+        Ok(rec)
+    }
+
+    /// Transient-read retries performed so far.
+    pub fn read_retries(&self) -> u64 {
+        self.read_retries
+    }
+
+    /// Reads answered with poison (or writes skipped) because the media
+    /// reported an uncorrectable error.
+    pub fn media_failures(&self) -> u64 {
+        self.media_failures
+    }
+
+    /// Checked data-line read: retries transients, returns `None` after
+    /// an uncorrectable error (counted in `media_failures`).
+    fn checked_data_read(&mut self, line: LineAddr) -> Option<LineData> {
+        let mut attempt = 0u32;
+        loop {
+            match self.store.read_data_checked(line) {
+                Ok(d) => return Some(d),
+                Err(MediaError::Transient) if attempt < READ_RETRY_LIMIT => {
+                    attempt += 1;
+                    self.read_retries += 1;
+                }
+                Err(_) => {
+                    self.media_failures += 1;
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Checked counter-line read; same policy as data lines.
+    fn checked_counter_read(&mut self, page: PageId) -> Option<LineData> {
+        let mut attempt = 0u32;
+        loop {
+            match self.store.read_counter_checked(page) {
+                Ok(d) => return Some(d),
+                Err(MediaError::Transient) if attempt < READ_RETRY_LIMIT => {
+                    attempt += 1;
+                    self.read_retries += 1;
+                }
+                Err(_) => {
+                    self.media_failures += 1;
+                    return None;
+                }
+            }
+        }
+    }
+
+    fn read_line_plain(&mut self, line: LineAddr) -> LineData {
+        let Some(cipher) = self.checked_data_read(line) else {
+            return [0; 64];
+        };
         if !self.encryption {
             return cipher;
         }
         let page = self.map.page_of_line(line);
         let idx = self.map.line_index_in_page(line);
-        let ctr = CounterLine::decode(&self.store.read_counter(page));
+        let Some(raw) = self.checked_counter_read(page) else {
+            return [0; 64];
+        };
+        let ctr = CounterLine::decode(&raw);
         self.engine
             .decrypt_line(&cipher, line.0, ctr.major(), ctr.minor(idx))
     }
@@ -130,7 +295,10 @@ impl RecoveredMemory {
         }
         let page = self.map.page_of_line(line);
         let idx = self.map.line_index_in_page(line);
-        let mut ctr = CounterLine::decode(&self.store.read_counter(page));
+        let Some(raw) = self.checked_counter_read(page) else {
+            return; // counter unreadable: cannot re-encrypt, skip the write
+        };
+        let mut ctr = CounterLine::decode(&raw);
         if ctr.increment(idx) == supermem_crypto::IncrementOutcome::Overflow {
             self.reencrypt_page_functional(page, &mut ctr);
             assert!(matches!(
@@ -229,22 +397,47 @@ pub struct OsirisReport {
     pub unrecoverable_lines: u64,
 }
 
+/// Checked read with the standard retry budget; `None` marks the line
+/// as lost to the Osiris scan.
+fn scan_read<F>(mut read: F) -> Option<LineData>
+where
+    F: FnMut() -> Result<LineData, MediaError>,
+{
+    let mut attempt = 0u32;
+    loop {
+        match read() {
+            Ok(d) => return Some(d),
+            Err(MediaError::Transient) if attempt < READ_RETRY_LIMIT => attempt += 1,
+            Err(_) => return None,
+        }
+    }
+}
+
 /// Reconstructs stale counters after a crash of an Osiris-style system
 /// (`Config::osiris_window` must be set): for every written data line,
 /// trial-decrypts under candidate minors `stored..stored + window` and
 /// accepts the one matching the line's ECC tag, then rewrites the
 /// corrected counter lines into the image.
 ///
+/// All scan reads go through the checked media path: a data line the
+/// media cannot produce counts as unrecoverable; an unreadable counter
+/// line makes every trial for its page fail, with the same effect.
+///
 /// Returns the consistent [`RecoveredMemory`] plus the cost report.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the configuration has no Osiris window (nothing to
-/// recover — use [`RecoveredMemory::from_image`] directly).
-pub fn recover_osiris(cfg: &Config, image: CrashImage) -> (RecoveredMemory, OsirisReport) {
-    let window = cfg
-        .osiris_window
-        .expect("recover_osiris requires Config::osiris_window");
+/// [`RecoveryError::Config`] if the configuration has no Osiris window
+/// (nothing to recover — use [`RecoveredMemory::from_image`] directly).
+pub fn recover_osiris(
+    cfg: &Config,
+    image: CrashImage,
+) -> Result<(RecoveredMemory, OsirisReport), RecoveryError> {
+    let Some(window) = cfg.osiris_window else {
+        return Err(RecoveryError::Config(
+            "recover_osiris requires Config::osiris_window".into(),
+        ));
+    };
     let map = AddressMap::new(cfg.nvm_bytes, cfg.line_bytes, cfg.page_bytes, cfg.banks);
     let engine = EncryptionEngine::new(cfg.encryption_key());
     let CrashImage { mut store, rsr, .. } = image;
@@ -252,20 +445,22 @@ pub fn recover_osiris(cfg: &Config, image: CrashImage) -> (RecoveredMemory, Osir
 
     // Group written lines by page so each counter line is decoded and
     // rewritten once.
+    let lines: Vec<LineAddr> = store.data_lines();
     let mut current_page: Option<(PageId, CounterLine, bool)> = None;
-    for line in store.data_lines() {
+    for line in lines {
         let page = map.page_of_line(line);
-        match &current_page {
-            Some((p, ctr, changed)) if *p != page => {
-                if *changed {
-                    store.write_counter(*p, ctr.encode());
-                }
-                current_page = Some((page, CounterLine::decode(&store.read_counter(page)), false));
+        let needs_load = match &current_page {
+            Some((p, _, _)) => *p != page,
+            None => true,
+        };
+        if needs_load {
+            if let Some((p, ctr, true)) = current_page.take() {
+                store.write_counter(p, ctr.encode());
             }
-            None => {
-                current_page = Some((page, CounterLine::decode(&store.read_counter(page)), false));
-            }
-            _ => {}
+            // An unreadable counter line decodes as zeroes: every trial
+            // for this page misses its tag and counts unrecoverable.
+            let raw = scan_read(|| store.read_counter_checked(page)).unwrap_or([0; 64]);
+            current_page = Some((page, CounterLine::decode(&raw), false));
         }
         let (_, ctr, changed) = current_page.as_mut().expect("page context set");
         report.lines_scanned += 1;
@@ -274,7 +469,10 @@ pub fn recover_osiris(cfg: &Config, image: CrashImage) -> (RecoveredMemory, Osir
             continue; // never written through the Osiris path
         }
         let idx = map.line_index_in_page(line);
-        let cipher = store.read_data(line);
+        let Some(cipher) = scan_read(|| store.read_data_checked(line)) else {
+            report.unrecoverable_lines += 1;
+            continue;
+        };
         let stored = ctr.minor(idx);
         let mut found = false;
         for delta in 0..=window {
@@ -309,7 +507,7 @@ pub fn recover_osiris(cfg: &Config, image: CrashImage) -> (RecoveredMemory, Osir
             bmt_root: None,
         },
     );
-    (rec, report)
+    Ok((rec, report))
 }
 
 /// Active-tampering verdict for a crash image (see
@@ -360,19 +558,43 @@ pub fn verify_image_integrity(
 /// Scans the log region at `log_base` and rolls back an uncommitted
 /// transaction. Returns what was found; on [`RecoveryOutcome::RolledBack`]
 /// the undo records have been applied to `mem`.
-pub fn recover_transactions(mem: &mut RecoveredMemory, log_base: u64) -> RecoveryOutcome {
+///
+/// # Errors
+///
+/// [`RecoveryError::DetectedCorrupt`] when reading the header or payload
+/// hit an uncorrectable media error; [`RecoveryError::TornLog`] when the
+/// log is internally inconsistent (bad checksum, undecodable records, or
+/// a state word no protocol stage writes).
+pub fn recover_transactions(
+    mem: &mut RecoveredMemory,
+    log_base: u64,
+) -> Result<RecoveryOutcome, RecoveryError> {
+    let failures_before = mem.media_failures();
     let h = read_header(mem, log_base);
+    if mem.media_failures() > failures_before {
+        return Err(RecoveryError::DetectedCorrupt(
+            "log header read hit an uncorrectable media error".into(),
+        ));
+    }
     if h.magic != LOG_MAGIC {
-        return RecoveryOutcome::NoLog;
+        return Ok(RecoveryOutcome::NoLog);
     }
     match h.state {
-        STATE_COMMITTED => RecoveryOutcome::CleanCommitted { seq: h.seq },
-        STATE_EMPTY => RecoveryOutcome::NoLog,
+        STATE_COMMITTED => Ok(RecoveryOutcome::CleanCommitted { seq: h.seq }),
+        STATE_EMPTY => Ok(RecoveryOutcome::NoLog),
         STATE_VALID => {
             let mut payload = vec![0u8; h.len as usize];
             mem.read(log_base + crate::log::LOG_HEADER_BYTES, &mut payload);
+            if mem.media_failures() > failures_before {
+                return Err(RecoveryError::DetectedCorrupt(
+                    "log payload read hit an uncorrectable media error".into(),
+                ));
+            }
             if log_checksum(h.seq, &payload) != h.checksum {
-                return RecoveryOutcome::CorruptLog;
+                return Err(RecoveryError::TornLog(format!(
+                    "log seq {} fails its checksum",
+                    h.seq
+                )));
             }
             match decode_records(&payload) {
                 Some(records) => {
@@ -381,15 +603,20 @@ pub fn recover_transactions(mem: &mut RecoveredMemory, log_base: u64) -> Recover
                     }
                     // Retire the log so a second recovery is a no-op.
                     mem.write_u64(log_base + 16, STATE_COMMITTED);
-                    RecoveryOutcome::RolledBack {
+                    Ok(RecoveryOutcome::RolledBack {
                         seq: h.seq,
                         records: records.len(),
-                    }
+                    })
                 }
-                None => RecoveryOutcome::CorruptLog,
+                None => Err(RecoveryError::TornLog(format!(
+                    "log seq {} payload does not decode",
+                    h.seq
+                ))),
             }
         }
-        _ => RecoveryOutcome::CorruptLog,
+        other => Err(RecoveryError::TornLog(format!(
+            "log state word {other} matches no protocol stage"
+        ))),
     }
 }
 
@@ -515,7 +742,7 @@ mod tests {
         naive.read(0x40, &mut buf);
         assert_ne!(buf, [3u8; 64], "stale counter must not decrypt");
         // ...with Osiris reconstruction it comes back.
-        let (mut rec, report) = super::recover_osiris(&cfg, image);
+        let (mut rec, report) = super::recover_osiris(&cfg, image).expect("window is set");
         rec.read(0x40, &mut buf);
         assert_eq!(buf, [3u8; 64]);
         assert_eq!(report.counters_corrected, 1);
@@ -533,7 +760,7 @@ mod tests {
             for i in 0..n {
                 t = mc.flush_line(LineAddr(i * 64), [i as u8; 64], t);
             }
-            let (_, report) = super::recover_osiris(&cfg, mc.crash_now());
+            let (_, report) = super::recover_osiris(&cfg, mc.crash_now()).expect("window is set");
             report.lines_scanned
         };
         assert_eq!(lines_written(16), 16);
@@ -548,7 +775,7 @@ mod tests {
         let mut mc = MemoryController::new(&cfg);
         let t = mc.flush_line(LineAddr(0x80), [9; 64], 0);
         mc.finish(t);
-        let (mut rec, report) = super::recover_osiris(&cfg, mc.crash_now());
+        let (mut rec, report) = super::recover_osiris(&cfg, mc.crash_now()).expect("window is set");
         assert_eq!(report.counters_corrected, 0);
         assert_eq!(report.unrecoverable_lines, 0);
         let mut buf = [0u8; 64];
@@ -557,11 +784,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "osiris_window")]
-    fn osiris_recovery_requires_the_window() {
+    fn osiris_recovery_without_window_is_a_config_error() {
         let cfg = Config::default();
         let mc = MemoryController::new(&cfg);
-        let _ = super::recover_osiris(&cfg, mc.crash_now());
+        let err = super::recover_osiris(&cfg, mc.crash_now()).unwrap_err();
+        assert!(matches!(err, RecoveryError::Config(_)), "got {err:?}");
+        assert!(err.to_string().contains("osiris_window"));
     }
 
     #[test]
@@ -570,7 +798,7 @@ mod tests {
         let mut rec = RecoveredMemory::from_image(&cfg, MemoryController::new(&cfg).crash_now());
         assert_eq!(
             recover_transactions(&mut rec, 0x10000),
-            RecoveryOutcome::NoLog
+            Ok(RecoveryOutcome::NoLog)
         );
     }
 
@@ -596,20 +824,23 @@ mod tests {
         rec.write_u64(log + 24, payload.len() as u64);
         rec.write_u64(log + 32, ck(5, &payload));
 
-        let out = recover_transactions(&mut rec, log);
+        let out = recover_transactions(&mut rec, log).expect("clean media");
         assert_eq!(out, RecoveryOutcome::RolledBack { seq: 5, records: 1 });
         let mut buf = [0u8; 16];
         rec.read(0x100, &mut buf);
         assert_eq!(buf, [1; 16]);
-        // Second scan finds a committed (retired) log.
+        // Second scan finds a committed (retired) log: recovering twice
+        // is a no-op and the rolled-back data is untouched.
         assert_eq!(
             recover_transactions(&mut rec, log),
-            RecoveryOutcome::CleanCommitted { seq: 5 }
+            Ok(RecoveryOutcome::CleanCommitted { seq: 5 })
         );
+        rec.read(0x100, &mut buf);
+        assert_eq!(buf, [1; 16], "second recovery must not reapply records");
     }
 
     #[test]
-    fn bad_checksum_reports_corrupt() {
+    fn bad_checksum_is_a_torn_log() {
         use crate::log::{LOG_MAGIC, STATE_VALID};
         let cfg = cfg();
         let mut rec = RecoveredMemory::from_image(&cfg, MemoryController::new(&cfg).crash_now());
@@ -619,23 +850,155 @@ mod tests {
         rec.write_u64(log + 16, STATE_VALID);
         rec.write_u64(log + 24, 8);
         rec.write_u64(log + 32, 0xBAD);
-        assert_eq!(
-            recover_transactions(&mut rec, log),
-            RecoveryOutcome::CorruptLog
-        );
+        let err = recover_transactions(&mut rec, log).unwrap_err();
+        assert!(matches!(err, RecoveryError::TornLog(_)), "got {err:?}");
+        assert!(err.to_string().contains("checksum"));
     }
 
     #[test]
-    fn insane_state_reports_corrupt() {
+    fn insane_state_is_a_torn_log() {
         use crate::log::LOG_MAGIC;
         let cfg = cfg();
         let mut rec = RecoveredMemory::from_image(&cfg, MemoryController::new(&cfg).crash_now());
         let log = 0x40000u64;
         rec.write_u64(log, LOG_MAGIC);
         rec.write_u64(log + 16, 77);
-        assert_eq!(
-            recover_transactions(&mut rec, log),
-            RecoveryOutcome::CorruptLog
+        let err = recover_transactions(&mut rec, log).unwrap_err();
+        assert!(matches!(err, RecoveryError::TornLog(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn recovery_error_displays_its_taxonomy() {
+        let cases = [
+            (RecoveryError::Config("c".into()), "configuration error"),
+            (
+                RecoveryError::DetectedCorrupt("d".into()),
+                "detected media corruption",
+            ),
+            (RecoveryError::TornLog("t".into()), "torn log"),
+            (RecoveryError::Unrecoverable("u".into()), "unrecoverable"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    fn integrity_cfg() -> Config {
+        Config {
+            integrity_tree: true,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn checked_build_accepts_a_clean_image() {
+        let cfg = integrity_cfg();
+        let mut mc = MemoryController::new(&cfg);
+        let t = mc.flush_line(LineAddr(0x40), [0xAA; 64], 0);
+        mc.finish(t);
+        let image = mc.crash_now();
+        let mut rec = RecoveredMemory::from_image_checked(&cfg, image).expect("clean image");
+        let mut buf = [0u8; 8];
+        rec.read(0x40, &mut buf);
+        assert_eq!(buf, [0xAA; 8]);
+        assert_eq!(rec.media_failures(), 0);
+    }
+
+    #[test]
+    fn checked_build_detects_counter_tampering() {
+        let cfg = integrity_cfg();
+        let mut mc = MemoryController::new(&cfg);
+        let t = mc.flush_line(LineAddr(0x40), [0xAA; 64], 0);
+        mc.finish(t);
+        let mut image = mc.crash_now();
+        // Flip stored counter bytes behind the controller's back.
+        let page = image
+            .store
+            .counter_lines()
+            .into_iter()
+            .next()
+            .expect("a counter line");
+        let mut raw = image.store.read_counter(page);
+        raw[0] ^= 0xFF;
+        image.store.write_counter(page, raw);
+        let err = RecoveredMemory::from_image_checked(&cfg, image).unwrap_err();
+        assert!(
+            matches!(err, RecoveryError::DetectedCorrupt(_)),
+            "got {err:?}"
         );
+        assert!(err.to_string().contains("integrity root mismatch"));
+    }
+
+    #[test]
+    fn checked_build_detects_uncorrectable_counter_flips() {
+        use supermem_nvm::{FaultClass, FaultPlan, FaultSpec};
+        let cfg = integrity_cfg();
+        let mut mc = MemoryController::new(&cfg);
+        let t = mc.flush_line(LineAddr(0x40), [0xAA; 64], 0);
+        mc.finish(t);
+        let mut image = mc.crash_now();
+        // Force a double-bit flip onto the image's only counter line.
+        let page = image
+            .store
+            .counter_lines()
+            .into_iter()
+            .next()
+            .expect("a counter line");
+        let mut plan = FaultPlan::new(FaultSpec {
+            class: FaultClass::DoubleFlip,
+            seed: 1,
+        });
+        plan.flip_counter_bit(page, 3);
+        plan.flip_counter_bit(page, 200);
+        image.store.attach_faults(plan);
+        let err = RecoveredMemory::from_image_checked(&cfg, image).unwrap_err();
+        assert!(
+            matches!(err, RecoveryError::DetectedCorrupt(_)),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("unreadable"));
+    }
+
+    #[test]
+    fn recovery_retries_transient_reads_and_succeeds() {
+        use supermem_nvm::{FaultClass, FaultPlan, FaultSpec};
+        let cfg = cfg();
+        let mut mc = MemoryController::new(&cfg);
+        let t = mc.flush_line(LineAddr(0x40), [0x5A; 64], 0);
+        mc.finish(t);
+        let mut image = mc.crash_now();
+        let mut plan = FaultPlan::new(FaultSpec {
+            class: FaultClass::TransientRead,
+            seed: 1,
+        });
+        plan.fail_data_reads(LineAddr(0x40), 2);
+        image.store.attach_faults(plan);
+        let mut rec = RecoveredMemory::from_image(&cfg, image);
+        let mut buf = [0u8; 8];
+        rec.read(0x40, &mut buf);
+        assert_eq!(buf, [0x5A; 8], "retries must recover the line");
+        assert!(rec.read_retries() >= 2);
+        assert_eq!(rec.media_failures(), 0);
+    }
+
+    #[test]
+    fn recovery_poisons_lost_lines_and_counts_the_failure() {
+        use supermem_nvm::{FaultClass, FaultPlan, FaultSpec};
+        let cfg = cfg();
+        let mut mc = MemoryController::new(&cfg);
+        let t = mc.flush_line(LineAddr(0x40), [0x5A; 64], 0);
+        mc.finish(t);
+        let mut image = mc.crash_now();
+        let mut plan = FaultPlan::new(FaultSpec {
+            class: FaultClass::BankFail,
+            seed: 1,
+        });
+        plan.note_lost_data(LineAddr(0x40));
+        image.store.attach_faults(plan);
+        let mut rec = RecoveredMemory::from_image(&cfg, image);
+        let mut buf = [0u8; 8];
+        rec.read(0x40, &mut buf);
+        assert_eq!(buf, [0; 8], "lost lines read as poison");
+        assert!(rec.media_failures() > 0, "the failure must be counted");
     }
 }

@@ -22,7 +22,7 @@ use crate::log::{
     STATE_EMPTY,
 };
 use crate::pmem::PMem;
-use crate::recovery::{RecoveredMemory, RecoveryOutcome};
+use crate::recovery::{RecoveredMemory, RecoveryError, RecoveryOutcome};
 use crate::txn::TxnError;
 
 /// `state`: records applied in place; the log is retired.
@@ -162,19 +162,42 @@ impl RedoTxn<'_> {
 /// transaction *forward*. Returns what was found; on
 /// [`RecoveryOutcome::RolledBack`] — reused here to mean "records were
 /// applied" — the redo records have been written in place.
-pub fn recover_redo_transactions(mem: &mut RecoveredMemory, log_base: u64) -> RecoveryOutcome {
+///
+/// # Errors
+///
+/// [`RecoveryError::DetectedCorrupt`] when reading the header or payload
+/// hit an uncorrectable media error; [`RecoveryError::TornLog`] when the
+/// log is internally inconsistent.
+pub fn recover_redo_transactions(
+    mem: &mut RecoveredMemory,
+    log_base: u64,
+) -> Result<RecoveryOutcome, RecoveryError> {
     use crate::log::{decode_records, read_header};
+    let failures_before = mem.media_failures();
     let h = read_header(mem, log_base);
+    if mem.media_failures() > failures_before {
+        return Err(RecoveryError::DetectedCorrupt(
+            "redo-log header read hit an uncorrectable media error".into(),
+        ));
+    }
     if h.magic != LOG_MAGIC {
-        return RecoveryOutcome::NoLog;
+        return Ok(RecoveryOutcome::NoLog);
     }
     match h.state {
-        STATE_APPLIED | STATE_EMPTY => RecoveryOutcome::CleanCommitted { seq: h.seq },
+        STATE_APPLIED | STATE_EMPTY => Ok(RecoveryOutcome::CleanCommitted { seq: h.seq }),
         STATE_COMMITTED => {
             let mut payload = vec![0u8; h.len as usize];
             mem.read(log_base + LOG_HEADER_BYTES, &mut payload);
+            if mem.media_failures() > failures_before {
+                return Err(RecoveryError::DetectedCorrupt(
+                    "redo-log payload read hit an uncorrectable media error".into(),
+                ));
+            }
             if log_checksum(h.seq, &payload) != h.checksum {
-                return RecoveryOutcome::CorruptLog;
+                return Err(RecoveryError::TornLog(format!(
+                    "redo log seq {} fails its checksum",
+                    h.seq
+                )));
             }
             match decode_records(&payload) {
                 Some(records) => {
@@ -182,15 +205,20 @@ pub fn recover_redo_transactions(mem: &mut RecoveredMemory, log_base: u64) -> Re
                         mem.write(r.addr, &r.data);
                     }
                     mem.write_u64(log_base + 16, STATE_APPLIED);
-                    RecoveryOutcome::RolledBack {
+                    Ok(RecoveryOutcome::RolledBack {
                         seq: h.seq,
                         records: records.len(),
-                    }
+                    })
                 }
-                None => RecoveryOutcome::CorruptLog,
+                None => Err(RecoveryError::TornLog(format!(
+                    "redo log seq {} payload does not decode",
+                    h.seq
+                ))),
             }
         }
-        _ => RecoveryOutcome::CorruptLog,
+        other => Err(RecoveryError::TornLog(format!(
+            "redo log state word {other} matches no protocol stage"
+        ))),
     }
 }
 
@@ -282,8 +310,8 @@ mod crash_tests {
             run_txn(&mut mem);
             let image = mem.controller_mut().take_crash_image().expect("fired");
             let mut rec = RecoveredMemory::from_image(&cfg, image);
-            let outcome = recover_redo_transactions(&mut rec, LOG);
-            assert_ne!(outcome, RecoveryOutcome::CorruptLog, "crash point {k}");
+            recover_redo_transactions(&mut rec, LOG)
+                .unwrap_or_else(|e| panic!("crash point {k}: {e}"));
             let mut buf = [0u8; 256];
             rec.read(DATA, &mut buf);
             if buf == [0x22; 256] {
@@ -311,8 +339,8 @@ mod crash_tests {
         run_txn(&mut mem);
         let image = mem.controller_mut().take_crash_image().expect("fired");
         let mut rec = RecoveredMemory::from_image(&cfg, image);
-        let first = recover_redo_transactions(&mut rec, LOG);
-        let second = recover_redo_transactions(&mut rec, LOG);
+        let first = recover_redo_transactions(&mut rec, LOG).expect("clean media");
+        let second = recover_redo_transactions(&mut rec, LOG).expect("clean media");
         assert!(matches!(first, RecoveryOutcome::RolledBack { .. }));
         assert!(matches!(second, RecoveryOutcome::CleanCommitted { .. }));
         let mut buf = [0u8; 256];

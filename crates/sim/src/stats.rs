@@ -63,6 +63,15 @@ pub struct Stats {
     pub integrity_verifications: u64,
     /// Integrity-tree verification failures (active tampering detected).
     pub integrity_violations: u64,
+    /// Retries of NVM reads that failed transiently.
+    pub read_retries: u64,
+    /// Single-bit media errors ECC corrected on the read path.
+    pub ecc_corrections: u64,
+    /// Reads answered with poison (zeroes) after an unrecoverable media
+    /// error or retry exhaustion.
+    pub poisoned_reads: u64,
+    /// Writes dropped in degraded mode because their bank has failed.
+    pub dropped_writes: u64,
     /// Committed transactions.
     pub txn_commits: u64,
     /// Per-transaction latencies in cycles.
@@ -152,6 +161,10 @@ impl Stats {
         self.pages_reencrypted += other.pages_reencrypted;
         self.integrity_verifications += other.integrity_verifications;
         self.integrity_violations += other.integrity_violations;
+        self.read_retries += other.read_retries;
+        self.ecc_corrections += other.ecc_corrections;
+        self.poisoned_reads += other.poisoned_reads;
+        self.dropped_writes += other.dropped_writes;
         self.txn_commits += other.txn_commits;
         self.txn_latencies.extend_from_slice(&other.txn_latencies);
         if self.bank_writes.len() < other.bank_writes.len() {

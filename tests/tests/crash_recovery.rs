@@ -3,9 +3,7 @@
 //! in a transaction-consistent state under SuperMem — and demonstrably
 //! does not under the broken baselines.
 
-use supermem::persist::{
-    recover_transactions, DirectMem, PMem, RecoveredMemory, RecoveryOutcome, TxnManager,
-};
+use supermem::persist::{recover_transactions, DirectMem, PMem, RecoveredMemory, TxnManager};
 use supermem::sim::{Config, CounterCacheBacking, CounterCacheMode};
 use supermem::workloads::{AnyWorkload, WorkloadKind, WorkloadSpec};
 use supermem::{Scheme, SystemBuilder};
@@ -57,8 +55,7 @@ fn supermem_txn_recovers_at_every_append_boundary() {
     let mut saw_new = false;
     for k in 1..=total {
         let mut rec = crash_at(&cfg, &base, k, mutate);
-        let outcome = recover_transactions(&mut rec, LOG);
-        assert_ne!(outcome, RecoveryOutcome::CorruptLog, "crash point {k}");
+        recover_transactions(&mut rec, LOG).unwrap_or_else(|e| panic!("crash point {k}: {e}"));
         let mut buf = [0u8; 512];
         rec.read(DATA, &mut buf);
         if buf == [0x11; 512] {
@@ -98,7 +95,7 @@ fn multi_record_txn_is_atomic_across_crashes() {
     let total = append_count(&base, mutate);
     for k in 1..=total {
         let mut rec = crash_at(&cfg, &base, k, mutate);
-        recover_transactions(&mut rec, LOG);
+        recover_transactions(&mut rec, LOG).unwrap_or_else(|e| panic!("crash point {k}: {e}"));
         let mut versions = Vec::new();
         for (addr, old, new) in ranges {
             let mut buf = [0u8; 128];
@@ -142,7 +139,9 @@ fn unbacked_write_back_cache_is_not_crash_consistent() {
     let mut garbage = 0;
     for k in 1..=total {
         let mut rec = crash_at(&cfg, &base, k, mutate);
-        recover_transactions(&mut rec, LOG);
+        // An undecryptable log may legitimately surface as a torn-log
+        // error here: this scheme is the negative control.
+        let _ = recover_transactions(&mut rec, LOG);
         let mut buf = [0u8; 512];
         rec.read(DATA, &mut buf);
         if buf != [0x11; 512] && buf != [0x22; 512] {

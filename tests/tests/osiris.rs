@@ -3,9 +3,7 @@
 //! grows with the memory footprint — the §6 trade-off against
 //! SuperMem's strict (and recovery-free) counter persistence.
 
-use supermem::persist::{
-    recover_osiris, recover_transactions, DirectMem, PMem, RecoveryOutcome, TxnManager,
-};
+use supermem::persist::{recover_osiris, recover_transactions, DirectMem, PMem, TxnManager};
 use supermem::sim::Config;
 use supermem::workloads::{AnyWorkload, WorkloadKind, WorkloadSpec};
 use supermem::{Scheme, SystemBuilder};
@@ -36,10 +34,10 @@ fn osiris_txn_recovers_at_every_append_boundary_via_ecc() {
         mem.controller_mut().arm_crash_after_appends(k);
         mutate(&mut mem);
         let image = mem.controller_mut().take_crash_image().expect("fired");
-        let (mut rec, report) = recover_osiris(&cfg, image);
+        let (mut rec, report) =
+            recover_osiris(&cfg, image).unwrap_or_else(|e| panic!("crash point {k}: {e}"));
         assert_eq!(report.unrecoverable_lines, 0, "crash point {k}");
-        let outcome = recover_transactions(&mut rec, LOG);
-        assert_ne!(outcome, RecoveryOutcome::CorruptLog, "crash point {k}");
+        recover_transactions(&mut rec, LOG).unwrap_or_else(|e| panic!("crash point {k}: {e}"));
         let mut buf = [0u8; 512];
         rec.read(DATA, &mut buf);
         assert!(
@@ -62,7 +60,7 @@ fn osiris_recovery_cost_scales_with_footprint_supermem_is_free() {
         for _ in 0..20 {
             w.step(&mut sys).expect("txn");
         }
-        let (_, report) = recover_osiris(&cfg, sys.crash_now());
+        let (_, report) = recover_osiris(&cfg, sys.crash_now()).expect("osiris window set");
         report.trial_decryptions
     };
     let small = cost(128 << 10);
