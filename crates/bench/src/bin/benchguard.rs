@@ -8,7 +8,7 @@
 use std::hint::black_box;
 use std::process::ExitCode;
 
-use supermem::memctrl::MemoryController;
+use supermem::memctrl::{ChannelSet, MemoryController};
 use supermem::nvm::addr::LineAddr;
 use supermem::sim::Config;
 use supermem::Scheme;
@@ -47,6 +47,22 @@ fn main() -> ExitCode {
             let line = LineAddr((i % 64) * 64);
             i += 1;
             t = mc.flush_line(black_box(line), [i as u8; 64], t);
+            t
+        });
+    }
+    {
+        // The sharded front end, flushing round-robin across 4 channels
+        // (line address strides whole pages, so the channel selector
+        // exercises the interleave path on every call).
+        let cfg = Scheme::SuperMem.apply(Config::default().with_channels(4));
+        let page = cfg.page_bytes;
+        let mut set = ChannelSet::new(&cfg);
+        let mut t = 0u64;
+        let mut i = 0u64;
+        h.bench("flush_line/SuperMem-ch4", || {
+            let line = LineAddr((i % 4) * page + (i / 4 % 16) * 64);
+            i += 1;
+            t = set.flush_line(black_box(line), [i as u8; 64], t);
             t
         });
     }

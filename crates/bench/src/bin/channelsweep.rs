@@ -1,0 +1,62 @@
+//! Channel-scaling sweep (journal extension of the paper): transaction
+//! throughput for WT and SuperMem as the memory system is sharded over
+//! 1 → 8 address-interleaved channels.
+//!
+//! The conference paper evaluates a single memory channel; the journal
+//! version (*A Secure and Persistent Memory System for NVM*) and
+//! Triad-NVM both use multi-channel configurations. Each channel owns a
+//! full controller — write queue, counter cache port, staging register,
+//! banks — so flushes to different channels overlap completely. Cells
+//! are throughput normalized to the 1-channel run of the same scheme
+//! and workload (higher is better); scaling should be monotonic but
+//! sub-linear, since same-channel dependences (counter and data of one
+//! line share a channel) and core-side serialization remain.
+
+use supermem::metrics::TextTable;
+use supermem::workloads::spec::ALL_KINDS;
+use supermem::{run_batch, RunConfig, Scheme};
+use supermem_bench::{txns, Report};
+
+const CHANNELS: [usize; 4] = [1, 2, 4, 8];
+const SCHEMES: [Scheme; 2] = [Scheme::WriteThrough, Scheme::SuperMem];
+
+fn main() {
+    let n = txns();
+    let mut jobs = Vec::new();
+    for scheme in SCHEMES {
+        for kind in ALL_KINDS {
+            for ch in CHANNELS {
+                let mut rc = RunConfig::new(scheme, kind);
+                rc.txns = n;
+                rc.req_bytes = 1024;
+                rc.channels = ch;
+                jobs.push(rc);
+            }
+        }
+    }
+    let results = run_batch(&jobs);
+
+    let headers: Vec<String> = std::iter::once("workload".to_owned())
+        .chain(CHANNELS.iter().map(|c| format!("ch={c}")))
+        .collect();
+    let mut rep = Report::new("channelsweep");
+    let mut chunks = results.chunks(CHANNELS.len());
+    for scheme in SCHEMES {
+        let mut t = TextTable::new(headers.clone());
+        for kind in ALL_KINDS {
+            let row = chunks.next().expect("one chunk per (scheme, workload)");
+            let base = row[0].total_cycles;
+            let mut cells = vec![kind.name().to_owned()];
+            for r in row {
+                cells.push(format!("{:.2}", base as f64 / r.total_cycles as f64));
+            }
+            t.row(cells);
+        }
+        rep.section(
+            &format!("Channel scaling: {scheme} throughput, normalized to 1 channel"),
+            t,
+        );
+    }
+    rep.footnote("(cells = cycles(1 channel) / cycles(N channels); higher is better)");
+    rep.emit();
+}

@@ -32,6 +32,9 @@ pub struct CheckerMode {
     pub line_bytes: u64,
     /// Page size in bytes (data address → page mapping).
     pub page_bytes: u64,
+    /// Interleaved memory channels; the staging register, coalescer,
+    /// and RSR are per-channel hardware, so their shadows shard too.
+    pub channels: usize,
 }
 
 impl CheckerMode {
@@ -44,6 +47,7 @@ impl CheckerMode {
             encryption: cfg.encryption,
             line_bytes: cfg.line_bytes,
             page_bytes: cfg.page_bytes,
+            channels: cfg.channels,
         }
     }
 
@@ -55,6 +59,7 @@ impl CheckerMode {
             encryption: true,
             line_bytes: 64,
             page_bytes: 4096,
+            channels: 1,
         }
     }
 
@@ -64,6 +69,16 @@ impl CheckerMode {
 
     fn line_index_in_page(&self, line_addr: u64) -> u32 {
         ((line_addr % self.page_bytes) / self.line_bytes) as u32
+    }
+
+    /// The channel owning a (counter) page: pages interleave round-robin.
+    fn channel_of_page(&self, page: u64) -> usize {
+        (page % self.channels.max(1) as u64) as usize
+    }
+
+    /// The channel owning a data line address.
+    fn channel_of_line(&self, line_addr: u64) -> usize {
+        self.channel_of_page(self.page_of(line_addr))
     }
 }
 
@@ -226,15 +241,20 @@ pub struct Checker {
     pending_counter: HashMap<u64, Vec<u64>>,
     /// Shadow write queue: pending data entry seqs per line address.
     pending_data: HashMap<u64, Vec<u64>>,
-    stage: Option<StageState>,
-    /// P3: a coalesce happened; the superseding counter enqueue must follow.
-    coalesce_open: Option<(u64, Cycle)>,
-    rsr: Option<RsrTrack>,
+    /// Per-channel staging registers (the 2-line register is per-channel
+    /// hardware; appends from different channels legally interleave).
+    stage: Vec<Option<StageState>>,
+    /// P3, per channel: a coalesce happened; the superseding counter
+    /// enqueue must follow on the same channel.
+    coalesce_open: Vec<Option<(u64, Cycle)>>,
+    /// Per-channel re-encryption status registers.
+    rsr: Vec<Option<RsrTrack>>,
 }
 
 impl Checker {
     /// Create a checker armed for the given machine mode.
     pub fn new(mode: CheckerMode) -> Self {
+        let channels = mode.channels.max(1);
         Checker {
             mode,
             window: VecDeque::with_capacity(WINDOW_CAP),
@@ -244,9 +264,9 @@ impl Checker {
             awaiting: BTreeMap::new(),
             pending_counter: HashMap::new(),
             pending_data: HashMap::new(),
-            stage: None,
-            coalesce_open: None,
-            rsr: None,
+            stage: vec![None; channels],
+            coalesce_open: vec![None; channels],
+            rsr: vec![None; channels],
         }
     }
 
@@ -265,10 +285,16 @@ impl Checker {
     }
 
     fn handle_enqueue(&mut self, counter: bool, addr: u64, seq: u64, at: Cycle) {
+        let ch = if counter {
+            self.mode.channel_of_page(addr)
+        } else {
+            self.mode.channel_of_line(addr)
+        };
+
         // P3b: a coalesce must be immediately superseded by the newer
-        // counter entry for the same page; any other enqueue first means
-        // the newest counter was the one dropped.
-        if let Some((page, copen_at)) = self.coalesce_open.take() {
+        // counter entry for the same page; any other enqueue on the same
+        // channel first means the newest counter was the one dropped.
+        if let Some((page, copen_at)) = self.coalesce_open[ch].take() {
             if !(counter && addr == page) {
                 self.violate(
                     Rule::P3,
@@ -283,13 +309,14 @@ impl Checker {
             }
         }
 
-        // P2: while a staged pair is latched, the next two enqueues must be
-        // exactly counter(page)@at then data(line)@at.
+        // P2: while a channel's staged pair is latched, that channel's
+        // next two enqueues must be exactly counter(page)@at then
+        // data(line)@at.
         if self.mode.atomic_pair {
-            if let Some(stage) = self.stage.clone() {
+            if let Some(stage) = self.stage[ch].clone() {
                 if !stage.got_counter {
                     if counter && addr == stage.page && at == stage.at {
-                        self.stage.as_mut().expect("stage present").got_counter = true;
+                        self.stage[ch].as_mut().expect("stage present").got_counter = true;
                     } else {
                         self.violate(
                             Rule::P2,
@@ -304,10 +331,10 @@ impl Checker {
                                 if counter { "counter" } else { "data" }
                             ),
                         );
-                        self.stage = None;
+                        self.stage[ch] = None;
                     }
                 } else if !counter && addr == stage.line && at == stage.at {
-                    self.stage = None; // pair completed atomically
+                    self.stage[ch] = None; // pair completed atomically
                 } else {
                     self.violate(
                         Rule::P2,
@@ -321,7 +348,7 @@ impl Checker {
                             if counter { "counter" } else { "data" }
                         ),
                     );
-                    self.stage = None;
+                    self.stage[ch] = None;
                 }
             }
         }
@@ -350,8 +377,9 @@ impl Checker {
         }
 
         // R bookkeeping: rewrites landing in the page under re-encryption,
-        // and the new major counter persisting after completion.
-        if let Some(r) = self.rsr.as_mut() {
+        // and the new major counter persisting after completion — on the
+        // owning channel's RSR.
+        if let Some(r) = self.rsr[ch].as_mut() {
             if counter && addr == r.page && r.done {
                 r.counter_since_done = true;
             }
@@ -382,18 +410,21 @@ impl Checker {
 
         // P2: a staged counter that issues before its data line even entered
         // the queue means the register pair never made it in atomically.
-        if let Some(stage) = &self.stage {
-            if stage.got_counter && counter && addr == stage.page {
-                let line = stage.line;
-                self.violate(
-                    Rule::P2,
-                    start,
-                    format!(
-                        "staged counter for page {addr} issued to its bank before the \
-                         paired data line {line:#x} entered the write queue"
-                    ),
-                );
-                self.stage = None;
+        if counter {
+            let ch = self.mode.channel_of_page(addr);
+            if let Some(stage) = &self.stage[ch] {
+                if stage.got_counter && addr == stage.page {
+                    let line = stage.line;
+                    self.violate(
+                        Rule::P2,
+                        start,
+                        format!(
+                            "staged counter for page {addr} issued to its bank before the \
+                             paired data line {line:#x} entered the write queue"
+                        ),
+                    );
+                    self.stage[ch] = None;
+                }
             }
         }
     }
@@ -437,7 +468,7 @@ impl Checker {
             }
         };
         if ok {
-            self.coalesce_open = Some((page, at));
+            self.coalesce_open[self.mode.channel_of_page(page)] = Some((page, at));
         }
     }
 
@@ -488,7 +519,8 @@ impl Checker {
         if !self.mode.encryption {
             return;
         }
-        if let Some(prev) = &self.rsr {
+        let ch = self.mode.channel_of_page(page);
+        if let Some(prev) = &self.rsr[ch] {
             let prev_page = prev.page;
             let prev_at = prev.started_at;
             self.violate(
@@ -500,7 +532,7 @@ impl Checker {
                 ),
             );
         }
-        self.rsr = Some(RsrTrack {
+        self.rsr[ch] = Some(RsrTrack {
             page,
             started_at: at,
             marked: BTreeSet::new(),
@@ -516,7 +548,7 @@ impl Checker {
         if !self.mode.encryption {
             return;
         }
-        match self.rsr.as_mut() {
+        match self.rsr[self.mode.channel_of_page(page)].as_mut() {
             Some(r) if r.page == page && !r.done => {
                 r.marked.insert(idx);
             }
@@ -545,7 +577,7 @@ impl Checker {
         if !self.mode.encryption {
             return;
         }
-        match self.rsr.as_mut() {
+        match self.rsr[self.mode.channel_of_page(page)].as_mut() {
             Some(r) if r.page == page => {
                 let rewrites_seen = r.rewrites.len();
                 let missing: Vec<String> = (0..lines)
@@ -592,7 +624,7 @@ impl Checker {
         if !self.mode.encryption {
             return;
         }
-        match self.rsr.take() {
+        match self.rsr[self.mode.channel_of_page(page)].take() {
             Some(r) if r.page == page => {
                 if !r.done {
                     self.violate(
@@ -644,41 +676,43 @@ impl Checker {
         }
     }
 
-    /// End-of-stream checks: nothing may be left half-done.
+    /// End-of-stream checks: nothing may be left half-done on any channel.
     pub fn finalize(&mut self) {
-        if let Some(stage) = self.stage.take() {
-            let line = stage.line;
-            let at = stage.at;
-            self.violate(
-                Rule::P2,
-                at,
-                format!(
-                    "run ended with the staging register still holding line {line:#x} \
-                     (pair never fully appended)"
-                ),
-            );
-        }
-        if let Some((page, at)) = self.coalesce_open.take() {
-            self.violate(
-                Rule::P3,
-                at,
-                format!(
-                    "run ended with a coalesce on counter page {page} never superseded \
-                     by the newer counter enqueue"
-                ),
-            );
-        }
-        if let Some(r) = self.rsr.take() {
-            let page = r.page;
-            let at = r.started_at;
-            self.violate(
-                Rule::R5,
-                at,
-                format!(
-                    "run ended with page {page}'s RSR still live (re-encryption started \
-                     at cycle {at} never retired)"
-                ),
-            );
+        for ch in 0..self.stage.len() {
+            if let Some(stage) = self.stage[ch].take() {
+                let line = stage.line;
+                let at = stage.at;
+                self.violate(
+                    Rule::P2,
+                    at,
+                    format!(
+                        "run ended with the staging register still holding line {line:#x} \
+                         (pair never fully appended)"
+                    ),
+                );
+            }
+            if let Some((page, at)) = self.coalesce_open[ch].take() {
+                self.violate(
+                    Rule::P3,
+                    at,
+                    format!(
+                        "run ended with a coalesce on counter page {page} never superseded \
+                         by the newer counter enqueue"
+                    ),
+                );
+            }
+            if let Some(r) = self.rsr[ch].take() {
+                let page = r.page;
+                let at = r.started_at;
+                self.violate(
+                    Rule::R5,
+                    at,
+                    format!(
+                        "run ended with page {page}'s RSR still live (re-encryption started \
+                         at cycle {at} never retired)"
+                    ),
+                );
+            }
         }
     }
 
@@ -721,7 +755,8 @@ impl Observer for Checker {
                 at,
             } => self.handle_coalesce(page, victim_seq, at),
             Event::RegisterStage { line, page, at } if self.mode.atomic_pair => {
-                if let Some(prev) = self.stage.replace(StageState {
+                let ch = self.mode.channel_of_page(page);
+                if let Some(prev) = self.stage[ch].replace(StageState {
                     line,
                     page,
                     at,
@@ -1049,10 +1084,64 @@ mod tests {
             encryption: true,
             line_bytes: 64,
             page_bytes: 4096,
+            channels: 1,
         };
         let mut c = Checker::new(mode);
         c.on_event(&enq(false, 0x40, 1, 10));
         c.on_event(&sfence(20));
+        let report = c.take_report();
+        assert!(report.is_clean(), "unexpected: {report}");
+    }
+
+    #[test]
+    fn multi_channel_concurrent_rsrs_are_legal() {
+        // Each channel has its own RSR: pages 7 and 8 live on different
+        // channels at channels=2, so overlapping re-encryptions are fine.
+        let mut mode = CheckerMode::strict();
+        mode.channels = 2;
+        let mut c = Checker::new(mode);
+        c.on_event(&Event::ReencryptStart { page: 7, at: 100 });
+        c.on_event(&Event::ReencryptStart { page: 8, at: 101 });
+        let report = c.take_report();
+        assert!(
+            !report.rules_fired().contains(&Rule::R1),
+            "independent channels must not trip R1: {report}"
+        );
+        // Same-channel nesting still fires: pages 7 and 9 share channel 1.
+        let mut mode = CheckerMode::strict();
+        mode.channels = 2;
+        let mut c = Checker::new(mode);
+        c.on_event(&Event::ReencryptStart { page: 7, at: 100 });
+        c.on_event(&Event::ReencryptStart { page: 9, at: 101 });
+        assert!(c.take_report().rules_fired().contains(&Rule::R1));
+    }
+
+    #[test]
+    fn multi_channel_interleaved_pairs_pass() {
+        // The 2-line staging register is per-channel hardware: channel 1
+        // latching while channel 0's pair is still in flight is legal.
+        let mut mode = CheckerMode::strict();
+        mode.channels = 2;
+        let mut c = Checker::new(mode);
+        for ev in [
+            Event::RegisterStage {
+                line: 0x40,
+                page: 0,
+                at: 10,
+            },
+            Event::RegisterStage {
+                line: 4096 + 0x40,
+                page: 1,
+                at: 10,
+            },
+            enq(true, 0, 1, 10),
+            enq(false, 0x40, 2, 10),
+            enq(true, 1, 3, 10),
+            enq(false, 4096 + 0x40, 4, 10),
+            sfence(20),
+        ] {
+            c.on_event(&ev);
+        }
         let report = c.take_report();
         assert!(report.is_clean(), "unexpected: {report}");
     }

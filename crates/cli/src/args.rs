@@ -92,6 +92,14 @@ pub fn parse_run_flags(argv: &[String]) -> Result<Parsed, ArgError> {
                     .map_err(|_| ArgError("invalid --wq".into()))?;
             }
             "--cc" => rc.counter_cache_bytes = parse_size(&value(&mut it, "--cc")?)?,
+            "--channels" => {
+                rc.channels = value(&mut it, "--channels")?
+                    .parse()
+                    .map_err(|_| ArgError("invalid --channels".into()))?;
+                if rc.channels == 0 || !rc.channels.is_power_of_two() {
+                    return Err(ArgError("--channels must be a power of two".into()));
+                }
+            }
             "--programs" => {
                 rc.programs = value(&mut it, "--programs")?
                     .parse()
@@ -171,6 +179,14 @@ mod tests {
         let p = parse_run_flags(&strs(&["--param", "wq", "--scheme", "unsec"])).unwrap();
         assert_eq!(p.leftover, strs(&["--param", "wq"]));
         assert_eq!(p.rc.scheme, Scheme::Unsec);
+    }
+
+    #[test]
+    fn channels_flag_parses_and_validates() {
+        let p = parse_run_flags(&strs(&["--channels", "4"])).unwrap();
+        assert_eq!(p.rc.channels, 4);
+        assert!(parse_run_flags(&strs(&["--channels", "3"])).is_err());
+        assert!(parse_run_flags(&strs(&["--channels", "0"])).is_err());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use supermem::persist::{
 use supermem::scheme::FIGURE_SCHEMES;
 use supermem::sim::{CounterPlacement, Mutation};
 use supermem::torture::{self, TortureConfig};
-use supermem::verify::{check_run, check_run_trace, run_mutant, CheckReport};
+use supermem::verify::{check_run, check_run_trace, run_mutant_sharded, CheckReport};
 use supermem::workloads::spec::ALL_KINDS;
 use supermem::workloads::WorkloadKind;
 use supermem::{sweep, Experiment, RunConfig, RunResult, Scheme};
@@ -229,19 +229,32 @@ pub fn cmd_profile(argv: &[String]) -> Result<(), ArgError> {
         t.wq_occupancy.histogram.mean(),
         t.wq_occupancy.max,
     );
-    let mut banks = TextTable::new(
-        ["bank", "reads", "writes", "busy cyc", "util"]
-            .map(str::to_owned)
-            .to_vec(),
-    );
+    // Bank ids are machine-global (`channel * banks + bank`); with more
+    // than one channel the table splits the id into its two coordinates.
+    let banks_per_channel = p.rc.machine_config().banks;
+    let multi = p.rc.channels > 1;
+    let headers: &[&str] = if multi {
+        &["ch", "bank", "reads", "writes", "busy cyc", "util"]
+    } else {
+        &["bank", "reads", "writes", "busy cyc", "util"]
+    };
+    let mut banks = TextTable::new(headers.iter().map(|s| (*s).to_owned()).collect());
     for (i, bank) in t.banks.banks().iter().enumerate() {
-        banks.row(vec![
-            i.to_string(),
+        let mut row = if multi {
+            vec![
+                (i / banks_per_channel).to_string(),
+                (i % banks_per_channel).to_string(),
+            ]
+        } else {
+            vec![i.to_string()]
+        };
+        row.extend([
             bank.reads.to_string(),
             bank.writes.to_string(),
             bank.busy_cycles.to_string(),
             format!("{:.1}%", 100.0 * t.banks.utilization(i, r.total_cycles)),
         ]);
+        banks.row(row);
     }
     println!();
     print!("{}", banks.render());
@@ -251,10 +264,12 @@ pub fn cmd_profile(argv: &[String]) -> Result<(), ArgError> {
 /// Sweeps a crash over every append boundary of one durable transaction
 /// under `scheme`, classifying each recovery. Returns
 /// `(total, rolled_back, committed, unrecoverable)`.
-fn crash_sweep_scheme(scheme: Scheme) -> Result<(u64, u64, u64, u64), String> {
+fn crash_sweep_scheme(scheme: Scheme, channels: usize) -> Result<(u64, u64, u64, u64), String> {
     const DATA: u64 = 0x2000;
     const LOG: u64 = 0x10_0000;
-    let cfg = scheme.apply(supermem::sim::Config::default());
+    let cfg = scheme
+        .apply(supermem::sim::Config::default())
+        .with_channels(channels);
     let mut base = DirectMem::new(&cfg);
     base.persist(DATA, &[0x11; 256]);
     base.shutdown();
@@ -276,7 +291,7 @@ fn crash_sweep_scheme(scheme: Scheme) -> Result<(u64, u64, u64, u64), String> {
         let mut mem = base.clone();
         mem.controller_mut().arm_crash_after_appends(k);
         run_txn(&mut mem);
-        let Some(image) = mem.controller_mut().take_crash_image() else {
+        let Some(machine) = mem.controller_mut().take_machine_crash_image() else {
             return Err(format!(
                 "{scheme}: crash armed after {k} appends never fired \
                  (the transaction issued only {total})"
@@ -287,9 +302,11 @@ fn crash_sweep_scheme(scheme: Scheme) -> Result<(u64, u64, u64, u64), String> {
         // On this clean (un-faulted) media a recovery error still means
         // the scheme lost state it needed — count it as unrecoverable.
         let rec = if cfg.osiris_window.is_some() {
-            recover_osiris(&cfg, image).map(|(rec, _)| rec).ok()
+            recover_osiris(&cfg, machine.merged())
+                .map(|(rec, _)| rec)
+                .ok()
         } else {
-            Some(RecoveredMemory::from_image(&cfg, image))
+            Some(RecoveredMemory::from_machine_image(&cfg, machine))
         };
         let Some(mut rec) = rec else {
             bad += 1;
@@ -310,11 +327,12 @@ fn crash_sweep_scheme(scheme: Scheme) -> Result<(u64, u64, u64, u64), String> {
     Ok((total, old, new, bad))
 }
 
-/// `supermem crash [--scheme S] [--json]`: sweep a crash over every
-/// append boundary of one durable transaction — under every scheme by
-/// default, or just the named one.
+/// `supermem crash [--scheme S] [--channels N] [--json]`: sweep a
+/// crash over every append boundary of one durable transaction — under
+/// every scheme by default, or just the named one.
 pub fn cmd_crash(argv: &[String]) -> Result<(), ArgError> {
     let mut only: Option<Scheme> = None;
+    let mut channels = 1usize;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -323,6 +341,15 @@ pub fn cmd_crash(argv: &[String]) -> Result<(), ArgError> {
                     .next()
                     .ok_or_else(|| ArgError("--scheme needs a value".into()))?;
                 only = Some(parse_scheme(s)?);
+            }
+            "--channels" => {
+                channels = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| ArgError("invalid --channels".into()))?;
+                if channels == 0 || !channels.is_power_of_two() {
+                    return Err(ArgError("--channels must be a power of two".into()));
+                }
             }
             "--json" => {} // Report::emit picks this up from the process args.
             other => return Err(ArgError(format!("unknown flag `{other}`"))),
@@ -334,7 +361,7 @@ pub fn cmd_crash(argv: &[String]) -> Result<(), ArgError> {
     };
 
     // Each scheme's crash-point sweep is independent: fan out.
-    let rows = sweep(&schemes, |&scheme| crash_sweep_scheme(scheme));
+    let rows = sweep(&schemes, |&scheme| crash_sweep_scheme(scheme, channels));
 
     let mut t = TextTable::new(
         [
@@ -375,7 +402,7 @@ pub fn cmd_crash(argv: &[String]) -> Result<(), ArgError> {
 }
 
 /// `supermem torture [--scheme S] [--fault F|none] [--point K]
-/// [--seed N] [--seeds COUNT] [--json]`: the differential crash-torture
+/// [--seed N] [--seeds COUNT] [--channels N] [--json]`: the differential crash-torture
 /// campaign — media faults injected at crash time, every recovered
 /// image checked against the shadow oracle. Exits non-zero (with a
 /// shrunk reproducer per case) if any injection corrupts silently.
@@ -423,6 +450,15 @@ pub fn cmd_torture(argv: &[String]) -> Result<(), ArgError> {
                     return Err(ArgError("--seeds must be at least 1".into()));
                 }
                 cfg.seeds = (1..=n).collect();
+            }
+            "--channels" => {
+                let n: usize = value(&mut it, "--channels")?
+                    .parse()
+                    .map_err(|_| ArgError("invalid --channels".into()))?;
+                if n == 0 || !n.is_power_of_two() {
+                    return Err(ArgError("--channels must be a power of two".into()));
+                }
+                cfg.channels = vec![n];
             }
             "--json" => {} // Report::emit picks this up from the process args.
             other => return Err(ArgError(format!("unknown flag `{other}`"))),
@@ -662,12 +698,13 @@ fn shrink_repro(cc: &CheckConfig, txns: u64) -> u64 {
     best
 }
 
-/// `supermem check [--json] [--txns N] [--config NAME] [--mutate M]`:
-/// run the persistency-ordering checker over the figure configurations
-/// (or prove a rule fires under an injected mutation).
+/// `supermem check [--json] [--txns N] [--config NAME] [--channels N]
+/// [--mutate M]`: run the persistency-ordering checker over the figure
+/// configurations (or prove a rule fires under an injected mutation).
 pub fn cmd_check(argv: &[String]) -> Result<(), ArgError> {
     let mut json = false;
     let mut txns = 25u64;
+    let mut channels = 1usize;
     let mut only: Option<String> = None;
     let mut mutate: Option<Mutation> = None;
     let mut it = argv.iter();
@@ -679,6 +716,15 @@ pub fn cmd_check(argv: &[String]) -> Result<(), ArgError> {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .ok_or_else(|| ArgError("invalid --txns".into()))?;
+            }
+            "--channels" => {
+                channels = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| ArgError("invalid --channels".into()))?;
+                if channels == 0 || !channels.is_power_of_two() {
+                    return Err(ArgError("--channels must be a power of two".into()));
+                }
             }
             "--config" => only = it.next().cloned(),
             "--mutate" => {
@@ -697,7 +743,7 @@ pub fn cmd_check(argv: &[String]) -> Result<(), ArgError> {
     }
 
     if let Some(m) = mutate {
-        let report = run_mutant(Some(m));
+        let report = run_mutant_sharded(Some(m), channels);
         if json {
             println!("{}", report.to_json());
         } else {
@@ -713,10 +759,17 @@ pub fn cmd_check(argv: &[String]) -> Result<(), ArgError> {
         };
     }
 
-    let configs: Vec<CheckConfig> = check_configs(txns)
+    let mut configs: Vec<CheckConfig> = check_configs(txns)
         .into_iter()
         .filter(|c| only.as_deref().is_none_or(|n| n == c.name))
         .collect();
+    // Every figure configuration runs unchanged at any interleaving
+    // width; the checker shards its shadow state to match.
+    for cc in &mut configs {
+        for rc in &mut cc.runs {
+            rc.channels = channels;
+        }
+    }
     if configs.is_empty() {
         return Err(ArgError(format!(
             "unknown config `{}`",
@@ -766,8 +819,13 @@ pub fn cmd_check(argv: &[String]) -> Result<(), ArgError> {
             }
         }
         let min = shrink_repro(cc, txns);
+        let ch = if channels == 1 {
+            String::new()
+        } else {
+            format!(" --channels {channels}")
+        };
         eprintln!(
-            "  minimal repro: supermem check --config {} --txns {min}",
+            "  minimal repro: supermem check --config {} --txns {min}{ch}",
             cc.name
         );
     }

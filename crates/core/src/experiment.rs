@@ -50,7 +50,7 @@ pub enum ConfigError {
     /// `ycsb_read_pct` exceeds 100.
     ReadPct(u8),
     /// The derived machine [`supermem_sim::Config`] is invalid.
-    Machine(String),
+    Machine(supermem_sim::ConfigError),
 }
 
 impl fmt::Display for ConfigError {
@@ -65,12 +65,19 @@ impl fmt::Display for ConfigError {
             ConfigError::ReadPct(p) => {
                 write!(f, "ycsb_read_pct must be in 0..=100, got {p}")
             }
-            ConfigError::Machine(msg) => write!(f, "invalid machine configuration: {msg}"),
+            ConfigError::Machine(err) => write!(f, "invalid machine configuration: {err}"),
         }
     }
 }
 
-impl std::error::Error for ConfigError {}
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Machine(err) => Some(err),
+            _ => None,
+        }
+    }
+}
 
 /// One validated, instrumentable experiment session.
 ///
@@ -183,7 +190,7 @@ impl Experiment {
         let measured_end = sys.now();
         let stats = sys.stats().clone();
         let telemetry = self.collect(&mut sys);
-        let wear = sys.controller().store().wear_report();
+        let wear = sys.controller().wear_report();
         // Verify *after* snapshotting: the full-structure scan would
         // otherwise swamp the measured phase's cache statistics.
         w.verify(&mut sys).expect("workload verification failed");
@@ -242,7 +249,7 @@ impl Experiment {
         let measured_end = sys.max_now();
         let stats = sys.stats().clone();
         let telemetry = self.collect(&mut sys);
-        let wear = sys.controller().store().wear_report();
+        let wear = sys.controller().wear_report();
         for (p, w) in workloads.iter_mut().enumerate() {
             sys.set_active_core(p);
             w.verify(&mut sys).expect("workload verification failed");
@@ -288,7 +295,7 @@ impl Experiment {
         sys.checkpoint();
         let measured_end = sys.now();
         let telemetry = self.collect(&mut sys);
-        let wear = sys.controller().store().wear_report();
+        let wear = sys.controller().wear_report();
         RunResult {
             scheme: rc.scheme,
             workload: format!("{}(trace)", rc.kind.name()),
@@ -339,7 +346,7 @@ impl Experiment {
         sys.checkpoint();
         let measured_end = sys.max_now();
         let telemetry = self.collect(&mut sys);
-        let wear = sys.controller().store().wear_report();
+        let wear = sys.controller().wear_report();
         RunResult {
             scheme: rc.scheme,
             workload: format!("{}(trace)", rc.kind.name()),

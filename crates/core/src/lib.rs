@@ -82,7 +82,10 @@ pub use system::{System, SystemBuilder};
 pub use torture::{
     run_torture, Classification, TortureCase, TortureConfig, TortureReport, TORTURE_SCHEMES,
 };
-pub use verify::{check_run, check_run_trace, run_mutant, CheckReport, Checker, CheckerMode, Rule};
+pub use verify::{
+    check_run, check_run_trace, run_mutant, run_mutant_sharded, CheckReport, Checker, CheckerMode,
+    Rule,
+};
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.

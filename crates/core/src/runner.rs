@@ -39,6 +39,9 @@ pub struct RunConfig {
     pub write_queue_entries: usize,
     /// Counter-cache bytes (Figure 17 sweeps this).
     pub counter_cache_bytes: u64,
+    /// Interleaved memory channels (power of two; the paper's single
+    /// controller is `1`).
+    pub channels: usize,
     /// Concurrent programs for multi-core runs.
     pub programs: usize,
     /// Master seed.
@@ -70,6 +73,7 @@ impl Default for RunConfig {
             req_bytes: 1024,
             write_queue_entries: 32,
             counter_cache_bytes: 256 * 1024,
+            channels: 1,
             programs: 1,
             seed: 1,
             array_footprint: 8 << 20,
@@ -115,6 +119,12 @@ impl RunConfig {
     /// Sets the counter-cache size in bytes (Figure 17 sweeps this).
     pub fn with_counter_cache_bytes(mut self, bytes: u64) -> Self {
         self.counter_cache_bytes = bytes;
+        self
+    }
+
+    /// Sets the interleaved memory channel count (power of two).
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        self.channels = channels;
         self
     }
 
@@ -214,6 +224,7 @@ impl RunConfig {
         let mut cfg = self.scheme.apply(Config::default());
         cfg.write_queue_entries = self.write_queue_entries;
         cfg.counter_cache_bytes = self.counter_cache_bytes;
+        cfg.channels = self.channels;
         cfg.seed = self.seed;
         if let Some(p) = self.placement_override {
             cfg.counter_placement = p;

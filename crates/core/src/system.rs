@@ -14,7 +14,7 @@
 //! controller but do not block the core (hardware write-buffers them).
 
 use supermem_cache::CacheHierarchy;
-use supermem_memctrl::{CrashImage, MemoryController};
+use supermem_memctrl::{ChannelSet, CrashImage, MachineCrashImage};
 use supermem_nvm::addr::LineAddr;
 use supermem_persist::PMem;
 use supermem_sim::{Config, Cycle, Event, Observer, Stats};
@@ -118,7 +118,7 @@ impl SystemBuilder {
 #[derive(Debug, Clone)]
 pub struct System {
     cfg: Config,
-    mc: MemoryController,
+    mc: ChannelSet,
     caches: CacheHierarchy,
     cores: Vec<CoreState>,
     active: usize,
@@ -131,7 +131,7 @@ impl System {
     ///
     /// Panics if `cfg` is invalid.
     pub fn new(cfg: Config) -> Self {
-        let mc = MemoryController::new(&cfg);
+        let mc = ChannelSet::new(&cfg);
         let caches = CacheHierarchy::new(&cfg);
         Self {
             cores: vec![CoreState::default(); cfg.cores],
@@ -191,7 +191,7 @@ impl System {
     /// Discards accumulated statistics (used after warm-up /
     /// initialization so figures measure only the steady phase).
     pub fn reset_stats(&mut self) {
-        *self.mc.stats_mut() = Stats::new(self.cfg.banks);
+        *self.mc.stats_mut() = Stats::new(self.cfg.banks * self.cfg.channels);
     }
 
     /// Flushes every dirty cache line and drains the write queue: a
@@ -211,25 +211,43 @@ impl System {
         }
     }
 
-    /// Simulates a power failure right now.
+    /// Simulates a power failure right now, merging all channels into
+    /// one image.
     pub fn crash_now(&self) -> CrashImage {
         self.mc.crash_now()
     }
 
-    /// Arms a crash after `appends` more write-queue append events (see
-    /// [`MemoryController::arm_crash_after_appends`]).
+    /// [`System::crash_now`] keeping per-channel images separate.
+    pub fn machine_crash_now(&self) -> MachineCrashImage {
+        self.mc.machine_crash_now()
+    }
+
+    /// Arms a crash after `appends` more write-queue append events
+    /// machine-wide (see [`ChannelSet::arm_crash_after_appends`]).
     pub fn arm_crash_after_appends(&mut self, appends: u64) {
         self.mc.arm_crash_after_appends(appends);
     }
 
-    /// Retrieves the image frozen by an armed crash, if it triggered.
+    /// Retrieves the merged image frozen by an armed crash, if it
+    /// triggered.
     pub fn take_crash_image(&mut self) -> Option<CrashImage> {
         self.mc.take_crash_image()
     }
 
-    /// Direct access to the memory controller (diagnostics).
-    pub fn controller(&self) -> &MemoryController {
+    /// [`System::take_crash_image`] keeping per-channel images separate.
+    pub fn take_machine_crash_image(&mut self) -> Option<MachineCrashImage> {
+        self.mc.take_machine_crash_image()
+    }
+
+    /// Direct access to the memory system (diagnostics).
+    pub fn controller(&self) -> &ChannelSet {
         &self.mc
+    }
+
+    /// Direct access to the memory system, mutably (fault plans,
+    /// degraded-mode injection).
+    pub fn controller_mut(&mut self) -> &mut ChannelSet {
+        &mut self.mc
     }
 
     /// Attaches an [`Observer`] to the machine's probe stream. All

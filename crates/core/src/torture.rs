@@ -117,22 +117,30 @@ pub struct TortureCase {
     pub scheme: Scheme,
     /// Fault class to inject, or `None` for the crash-only baseline.
     pub class: Option<FaultClass>,
-    /// Crash after this many write-queue appends (1-based).
+    /// Crash after this many write-queue appends (1-based,
+    /// machine-wide across channels).
     pub point: u64,
     /// Seed fixing every choice the injection makes.
     pub seed: u64,
+    /// Interleaved memory channels (power of two; 1 = the paper's
+    /// single controller).
+    pub channels: usize,
 }
 
 impl TortureCase {
     /// The CLI invocation reproducing exactly this case.
     pub fn repro(&self) -> String {
-        format!(
+        let mut line = format!(
             "supermem torture --scheme {} --fault {} --point {} --seed {}",
             self.scheme.name().to_ascii_lowercase(),
             self.class.map_or("none", FaultClass::name),
             self.point,
             self.seed
-        )
+        );
+        if self.channels != 1 {
+            line.push_str(&format!(" --channels {}", self.channels));
+        }
+        line
     }
 }
 
@@ -247,6 +255,10 @@ pub struct TortureConfig {
     pub seeds: Vec<u64>,
     /// Restrict the sweep to this single crash point, if set.
     pub point: Option<u64>,
+    /// Channel counts to sweep. Channel counts above 1 run only the
+    /// schemes whose multi-channel behavior the campaign certifies
+    /// (SuperMem and WriteThrough) when more than one count is listed.
+    pub channels: Vec<usize>,
 }
 
 impl Default for TortureConfig {
@@ -258,6 +270,7 @@ impl Default for TortureConfig {
             classes,
             seeds: vec![1, 2],
             point: None,
+            channels: vec![1, 2],
         }
     }
 }
@@ -289,10 +302,11 @@ fn run_txn(mem: &mut DirectMem) {
 }
 
 /// Number of write-queue append boundaries the torture transaction
-/// crosses under `scheme` — i.e. how many distinct crash points the
-/// sweep visits (a dry run, no faults).
-pub fn crash_points(scheme: Scheme) -> u64 {
-    let cfg = scheme.apply(Config::default());
+/// crosses under `scheme` with `channels` interleaved controllers —
+/// i.e. how many distinct crash points the sweep visits (a dry run, no
+/// faults).
+pub fn crash_points(scheme: Scheme, channels: usize) -> u64 {
+    let cfg = scheme.apply(Config::default()).with_channels(channels);
     let base = base_system(&cfg);
     let mut dry = base.clone();
     let before = dry.controller().append_events();
@@ -305,7 +319,10 @@ pub fn crash_points(scheme: Scheme) -> u64 {
 /// the crash, inject the fault, run the transaction, recover the image,
 /// and classify the result against the shadow oracle.
 pub fn run_case(tc: &TortureCase) -> CaseResult {
-    let cfg = tc.scheme.apply(Config::default());
+    let cfg = tc
+        .scheme
+        .apply(Config::default())
+        .with_channels(tc.channels);
     let spec = tc.class.map(|class| FaultSpec {
         class,
         seed: tc.seed,
@@ -323,26 +340,33 @@ pub fn run_case(tc: &TortureCase) -> CaseResult {
     }
     run_txn(&mut mem);
 
-    let mut image = if let Some(image) = mem.controller_mut().take_crash_image() {
-        image
+    let mut machine = if let Some(m) = mem.controller_mut().take_machine_crash_image() {
+        m
     } else {
         // The armed point lies beyond the final append: the
         // transaction completed. Finish cleanly and image that.
         mem.shutdown();
-        mem.crash_now()
+        mem.machine_crash_now()
     };
     if let Some(spec) = spec {
         if !spec.class.is_power_event() {
             // Media strikes (flips, stuck cells, transients) land on
-            // the settled image, after the dust of the crash.
-            image.store.strike_faults(spec);
+            // the settled image, after the dust of the crash — on one
+            // seed-chosen channel, mirroring the single fault plan a
+            // power event leaves behind.
+            let ch = (tc.seed as usize) % machine.channels.len();
+            machine.channels[ch].store.strike_faults(spec);
         }
     }
 
-    classify(tc, &cfg, image)
+    classify(tc, &cfg, machine)
 }
 
-fn classify(tc: &TortureCase, cfg: &Config, image: supermem_memctrl::CrashImage) -> CaseResult {
+fn classify(
+    tc: &TortureCase,
+    cfg: &Config,
+    machine: supermem_memctrl::MachineCrashImage,
+) -> CaseResult {
     let done = |classification, detail| CaseResult {
         case: *tc,
         classification,
@@ -353,7 +377,7 @@ fn classify(tc: &TortureCase, cfg: &Config, image: supermem_memctrl::CrashImage)
     // relaxes counter persistence, integrity-checked rebuild otherwise),
     // then replay/roll back the transaction log.
     let (mut rec, osiris_unrecoverable) = if cfg.osiris_window.is_some() {
-        match recover_osiris(cfg, image) {
+        match recover_osiris(cfg, machine.merged()) {
             Ok((rec, report)) => (rec, report.unrecoverable_lines),
             Err(e) => {
                 return done(
@@ -363,7 +387,7 @@ fn classify(tc: &TortureCase, cfg: &Config, image: supermem_memctrl::CrashImage)
             }
         }
     } else {
-        match RecoveredMemory::from_image_checked(cfg, image) {
+        match RecoveredMemory::from_machine_image_checked(cfg, machine) {
             Ok(rec) => (rec, 0),
             Err(e) => {
                 return done(
@@ -455,21 +479,32 @@ pub fn shrink_point(tc: &TortureCase) -> u64 {
 /// over the parallel sweep engine. Results come back in input order.
 pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
     let mut cases: Vec<TortureCase> = Vec::new();
-    for &scheme in &cfg.schemes {
-        let total = crash_points(scheme);
-        let points: Vec<u64> = match cfg.point {
-            Some(p) => vec![p.clamp(1, total)],
-            None => (1..=total).collect(),
-        };
-        for &class in &cfg.classes {
-            for &point in &points {
-                for &seed in &cfg.seeds {
-                    cases.push(TortureCase {
-                        scheme,
-                        class,
-                        point,
-                        seed,
-                    });
+    for &channels in &cfg.channels {
+        for &scheme in &cfg.schemes {
+            // In matrix mode the multi-channel columns certify only the
+            // schemes whose sharded behavior the campaign pins down.
+            if channels != 1
+                && cfg.channels.len() > 1
+                && !matches!(scheme, Scheme::SuperMem | Scheme::WriteThrough)
+            {
+                continue;
+            }
+            let total = crash_points(scheme, channels);
+            let points: Vec<u64> = match cfg.point {
+                Some(p) => vec![p.clamp(1, total)],
+                None => (1..=total).collect(),
+            };
+            for &class in &cfg.classes {
+                for &point in &points {
+                    for &seed in &cfg.seeds {
+                        cases.push(TortureCase {
+                            scheme,
+                            class,
+                            point,
+                            seed,
+                            channels,
+                        });
+                    }
                 }
             }
         }
@@ -483,11 +518,21 @@ mod tests {
     use super::*;
 
     fn single(scheme: Scheme, class: Option<FaultClass>, seeds: &[u64]) -> TortureReport {
+        single_ch(scheme, class, seeds, 1)
+    }
+
+    fn single_ch(
+        scheme: Scheme,
+        class: Option<FaultClass>,
+        seeds: &[u64],
+        channels: usize,
+    ) -> TortureReport {
         let cfg = TortureConfig {
             schemes: vec![scheme],
             classes: vec![class],
             seeds: seeds.to_vec(),
             point: None,
+            channels: vec![channels],
         };
         run_torture(&cfg)
     }
@@ -598,6 +643,7 @@ mod tests {
             class: Some(FaultClass::DoubleFlip),
             point: 5,
             seed: 9,
+            channels: 1,
         };
         assert_eq!(
             tc.repro(),
@@ -608,8 +654,68 @@ mod tests {
             class: None,
             point: 1,
             seed: 1,
+            channels: 1,
         };
         assert!(tc.repro().contains("--fault none"));
+        let mut tc2 = tc;
+        tc2.channels = 2;
+        assert!(tc2.repro().ends_with("--channels 2"));
+    }
+
+    #[test]
+    fn multi_channel_baseline_recovers_an_oracle_state() {
+        for scheme in [Scheme::SuperMem, Scheme::WriteThrough] {
+            let report = single_ch(scheme, None, &[1, 2], 2);
+            for r in &report.results {
+                assert_eq!(r.case.channels, 2);
+                assert!(
+                    matches!(
+                        r.classification,
+                        Classification::RecoveredOld | Classification::RecoveredNew
+                    ),
+                    "{}: un-faulted 2-channel case must recover cleanly, got {} ({})",
+                    r.case.repro(),
+                    r.classification,
+                    r.detail
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_channel_torn_drains_never_corrupt_silently() {
+        let report = single_ch(Scheme::SuperMem, Some(FaultClass::Torn), &[1, 2], 2);
+        assert!(
+            report.silent().is_empty(),
+            "torn drain slipped through at 2 channels"
+        );
+    }
+
+    #[test]
+    fn matrix_mode_limits_multi_channel_columns_to_certified_schemes() {
+        let cfg = TortureConfig {
+            schemes: vec![Scheme::SuperMem, Scheme::Osiris],
+            classes: vec![None],
+            seeds: vec![1],
+            point: Some(1),
+            channels: vec![1, 2],
+        };
+        let report = run_torture(&cfg);
+        assert!(report
+            .results
+            .iter()
+            .any(|r| r.case.scheme == Scheme::Osiris && r.case.channels == 1));
+        assert!(
+            !report
+                .results
+                .iter()
+                .any(|r| r.case.scheme == Scheme::Osiris && r.case.channels == 2),
+            "Osiris must not appear in the multi-channel column"
+        );
+        assert!(report
+            .results
+            .iter()
+            .any(|r| r.case.scheme == Scheme::SuperMem && r.case.channels == 2));
     }
 
     #[test]
@@ -619,8 +725,9 @@ mod tests {
         let tc = TortureCase {
             scheme: Scheme::SuperMem,
             class: None,
-            point: crash_points(Scheme::SuperMem),
+            point: crash_points(Scheme::SuperMem, 1),
             seed: 1,
+            channels: 1,
         };
         let min = shrink_point(&tc);
         assert!(min >= 1 && min <= tc.point);

@@ -86,9 +86,19 @@ pub fn mutant_config(mutation: Option<Mutation>) -> Config {
 /// hammers a single line past the 7-bit minor-counter limit to force a
 /// page re-encryption — exercising the RSR protocol (R1–R6).
 pub fn run_mutant(mutation: Option<Mutation>) -> CheckReport {
+    run_mutant_sharded(mutation, 1)
+}
+
+/// [`run_mutant`] with the machine sharded over `channels` interleaved
+/// channels. The stress pattern's page-0 working set maps to channel 0,
+/// so the injected bug runs through one sharded controller while the
+/// checker's per-channel shadow state watches every channel — proving
+/// the mutation harness keeps its teeth at any interleaving width.
+pub fn run_mutant_sharded(mutation: Option<Mutation>, channels: usize) -> CheckReport {
     use supermem_persist::PMem;
 
-    let cfg = mutant_config(mutation);
+    let mut cfg = mutant_config(mutation);
+    cfg.channels = channels;
     let checker = Checker::new(CheckerMode::from_config(&cfg));
     let mut sys = System::new(cfg);
     sys.attach_observer(Box::new(checker));
@@ -166,6 +176,19 @@ mod tests {
         let report = run_mutant(None);
         assert!(report.is_clean(), "{report}");
         assert!(report.events_seen > 0);
+    }
+
+    #[test]
+    fn every_mutation_still_trips_on_a_sharded_machine() {
+        // The acceptance bar for the multi-channel refactor: sharding
+        // must not blunt the mutation harness. A clean sharded control
+        // run pins the other direction (no false positives).
+        let report = run_mutant_sharded(None, 4);
+        assert!(report.is_clean(), "clean @4ch: {report}");
+        for m in Mutation::ALL {
+            let report = run_mutant_sharded(Some(m), 4);
+            assert!(!report.is_clean(), "{} undetected at 4 channels", m.name());
+        }
     }
 
     #[test]

@@ -17,19 +17,24 @@
 //! the Table 1 experiments land a failure *between* the counter append and
 //! the data append when the atomic register is disabled (Figure 6).
 
-use supermem_cache::{CounterCache, CounterCacheOutcome};
-use supermem_crypto::counter::IncrementOutcome;
-use supermem_crypto::{CounterLine, EncryptionEngine};
+use supermem_cache::CounterCache;
+use supermem_crypto::EncryptionEngine;
 use supermem_integrity::Bmt;
 use supermem_nvm::addr::{AddressMap, LineAddr, PageId};
 use supermem_nvm::bank::{BankTimer, OpKind};
-use supermem_nvm::fault::{FaultPlan, FaultSpec, MediaError};
+use supermem_nvm::fault::{FaultSpec, MediaError};
 use supermem_nvm::{LineData, NvmStore};
-use supermem_sim::{Config, CounterCacheBacking, Cycle, Event, Mutation, Observer, Probes, Stats};
+use supermem_sim::{Config, Cycle, Event, Mutation, Observer, Probes, Stats};
 
 use crate::bankmap::counter_bank;
 use crate::rsr::Rsr;
-use crate::wqueue::{WqTarget, WriteQueue};
+use crate::wqueue::WriteQueue;
+
+mod append;
+mod counter;
+mod crash;
+mod drain;
+mod encrypt;
 
 /// Latency of forwarding a read from a pending write-queue entry.
 const FORWARD_LATENCY: Cycle = 4;
@@ -89,6 +94,11 @@ pub struct MemoryController {
     bmt: Option<Bmt>,
     probes: Probes,
     fault_spec: Option<FaultSpec>,
+    /// Offset of this controller's bank 0 in the machine-global bank
+    /// numbering (`channel_index * cfg.banks`; 0 for a single channel).
+    /// Bank timers and write-queue entries stay channel-local; only
+    /// stats and emitted events carry global bank ids.
+    bank_base: usize,
 }
 
 impl MemoryController {
@@ -107,14 +117,43 @@ impl MemoryController {
     /// # Panics
     ///
     /// Panics if `cfg` fails [`Config::validate`].
-    pub fn with_store(cfg: &Config, mut store: NvmStore) -> Self {
+    pub fn with_store(cfg: &Config, store: NvmStore) -> Self {
+        Self::with_store_for_channel(cfg, store, 0)
+    }
+
+    /// Builds the controller of channel `channel` over a fresh DIMM
+    /// slice. Stats and events report machine-global bank ids offset by
+    /// `channel * cfg.banks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`Config::validate`] or `channel` is out of
+    /// range.
+    pub fn for_channel(cfg: &Config, channel: usize) -> Self {
+        Self::with_store_for_channel(cfg, NvmStore::new(), channel)
+    }
+
+    /// [`MemoryController::for_channel`] over existing NVM contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`Config::validate`] or `channel` is out of
+    /// range.
+    pub fn with_store_for_channel(cfg: &Config, mut store: NvmStore, channel: usize) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("invalid configuration: {e}");
         }
+        assert!(channel < cfg.channels, "channel {channel} out of range");
         if let Some(psi) = cfg.wear_psi {
             store.enable_wear_leveling(cfg.nvm_bytes / cfg.line_bytes, psi);
         }
-        let map = AddressMap::new(cfg.nvm_bytes, cfg.line_bytes, cfg.page_bytes, cfg.banks);
+        let map = AddressMap::with_channels(
+            cfg.nvm_bytes,
+            cfg.line_bytes,
+            cfg.page_bytes,
+            cfg.banks,
+            cfg.channels,
+        );
         let read = cfg.nvm_read_service_cycles();
         let write = cfg.nvm_write_service_cycles();
         let wtr = cfg.nvm_wtr_cycles();
@@ -127,16 +166,19 @@ impl MemoryController {
         if cfg.mutation == Some(Mutation::WtOff) {
             cc.inject_drop_write_through();
         }
+        let bank_base = channel * cfg.banks;
+        let mut wq = WriteQueue::new(cfg.write_queue_entries, cfg.cwc);
+        wq.set_bank_base(bank_base);
         Self {
             map,
             banks: (0..cfg.banks)
                 .map(|_| BankTimer::new(read, write, wtr))
                 .collect(),
             store,
-            wq: WriteQueue::new(cfg.write_queue_entries, cfg.cwc),
+            wq,
             cc,
             engine: EncryptionEngine::new(cfg.encryption_key()),
-            stats: Stats::new(cfg.banks),
+            stats: Stats::new(cfg.banks * cfg.channels),
             rsr: None,
             armed_crash: None,
             crash_image: None,
@@ -146,6 +188,7 @@ impl MemoryController {
                 .then(|| Bmt::new(cfg.encryption_key(), cfg.integrity_pages)),
             probes: Probes::default(),
             fault_spec: None,
+            bank_base,
             cfg: cfg.clone(),
         }
     }
@@ -170,6 +213,11 @@ impl MemoryController {
     /// The address map in use.
     pub fn map(&self) -> &AddressMap {
         &self.map
+    }
+
+    /// The configuration this controller was built with.
+    pub fn config(&self) -> &Config {
+        &self.cfg
     }
 
     /// Statistics accumulated so far.
@@ -200,9 +248,18 @@ impl MemoryController {
         self.append_events
     }
 
-    /// Snapshot of pending write-queue entries (diagnostics).
-    pub fn wq_pending(&self) -> Vec<(crate::wqueue::WqTarget, u64)> {
+    /// Pending write-queue entries in age order (diagnostics).
+    ///
+    /// Allocation-free: yields straight from the queue's slot slab, so
+    /// per-event inspection (the checker probes this on its hot path)
+    /// does not clone the queue into a `Vec`.
+    pub fn wq_pending(&self) -> impl Iterator<Item = (crate::wqueue::WqTarget, u64)> + '_ {
         self.wq.pending()
+    }
+
+    /// This controller's channel index (0 for a single-channel machine).
+    pub fn channel(&self) -> usize {
+        self.bank_base / self.cfg.banks.max(1)
     }
 
     fn ctr_bank(&self, page: PageId) -> usize {
@@ -211,207 +268,6 @@ impl MemoryController {
             self.map.page_bank(page),
             self.cfg.banks,
         )
-    }
-
-    fn note_append_event(&mut self) {
-        self.append_events += 1;
-        if let Some(n) = self.armed_crash.as_mut() {
-            *n -= 1;
-            if *n == 0 {
-                self.armed_crash = None;
-                self.crash_image = Some(self.snapshot());
-            }
-        }
-    }
-
-    fn snapshot(&self) -> CrashImage {
-        let mut store = self.store.clone();
-        match self.fault_spec {
-            None => {
-                self.wq.flush_into(&mut store);
-                if self.cfg.counter_cache_backing == CounterCacheBacking::Battery {
-                    for (page, ctr) in self.cc_dirty_entries() {
-                        store.write_counter(page, ctr.encode());
-                    }
-                }
-            }
-            Some(spec) => self.snapshot_faulted(&mut store, spec),
-        }
-        CrashImage {
-            store,
-            rsr: self.rsr,
-            bmt_root: self.bmt.as_ref().map(supermem_integrity::Bmt::root),
-        }
-    }
-
-    /// The power event goes wrong: the ADR drain tears mid-flush and/or
-    /// a bank fail-stops, per `spec`. Everything the media loses or
-    /// mangles is recorded in a [`FaultPlan`] attached to the image's
-    /// store, so recovery's checked reads see the damage.
-    fn snapshot_faulted(&self, store: &mut NvmStore, spec: FaultSpec) {
-        let mut plan = FaultPlan::new(spec);
-        let failed = plan.failed_bank(self.banks.len());
-        if let Some(fb) = failed {
-            // Settled lines on the failed bank are gone with it.
-            for line in store.data_lines() {
-                if self.map.data_bank(line) == fb {
-                    plan.note_lost_data(line);
-                }
-            }
-            for page in store.counter_lines() {
-                if self.ctr_bank(page) == fb {
-                    plan.note_lost_counter(page);
-                }
-            }
-        }
-        let tear = plan.drain_tear(self.wq.len());
-        self.wq.flush_into_faulted(store, failed, tear, &mut plan);
-        if self.cfg.counter_cache_backing == CounterCacheBacking::Battery {
-            for (page, ctr) in self.cc_dirty_entries() {
-                if failed == Some(self.ctr_bank(page)) {
-                    plan.note_lost_counter(page);
-                } else {
-                    store.write_counter(page, ctr.encode());
-                }
-            }
-        }
-        store.attach_faults(plan);
-    }
-
-    fn cc_dirty_entries(&self) -> Vec<(PageId, CounterLine)> {
-        self.cc.dirty_entries()
-    }
-
-    /// Folds a counter write into the integrity tree (the hash engine
-    /// runs alongside the write path; its latency is off the retire
-    /// critical path because the tree root is an on-chip register).
-    fn note_counter_write(&mut self, page: PageId, encoded: &[u8; 64]) {
-        if let Some(bmt) = &mut self.bmt {
-            if page.0 < self.cfg.integrity_pages {
-                bmt.update(page.0, encoded);
-            }
-        }
-    }
-
-    /// Fetches the authoritative counters for `page`: counter cache, then
-    /// a pending write-queue entry (the NVM copy may lag it), then NVM.
-    /// Returns the counters and the cycle at which they are available.
-    fn fetch_counter(&mut self, page: PageId, at: Cycle) -> (CounterLine, Cycle) {
-        let t = at + self.cfg.counter_cache_latency;
-        if let Some(ctr) = self.cc.get(page) {
-            let ctr = ctr.clone();
-            self.stats.counter_cache_hits += 1;
-            self.probes.emit_with(|| Event::CounterCacheHit {
-                page: page.0,
-                at: t,
-            });
-            return (ctr, t);
-        }
-        self.stats.counter_cache_misses += 1;
-        self.probes.emit_with(|| Event::CounterCacheMiss {
-            page: page.0,
-            at: t,
-        });
-        if let Some(entry) = self.wq.forward_counter(page) {
-            self.stats.wq_read_forwards += 1;
-            let ctr = CounterLine::decode(&entry.payload);
-            self.fill_counter_cache(page, ctr.clone(), t + FORWARD_LATENCY);
-            return (ctr, t + FORWARD_LATENCY);
-        }
-        let bank = self.ctr_bank(page);
-        if self.banks[bank].is_failed() {
-            // Degraded mode: poison (fresh, all-zero) counters; skip
-            // the cache fill so later reads can see a repaired bank.
-            self.stats.poisoned_reads += 1;
-            return (CounterLine::decode(&[0; 64]), t + 1);
-        }
-        let mut done = self.banks[bank].issue(OpKind::Read, t);
-        self.stats.nvm_counter_reads += 1;
-        let read_service = self.cfg.nvm_read_service_cycles();
-        self.probes.emit_with(|| Event::BankBusy {
-            bank,
-            start: done - read_service,
-            end: done,
-            write: false,
-        });
-        let (raw, done_media) = self.media_read_counter(page, bank, done);
-        done = done_media;
-        let Some(raw) = raw else {
-            self.stats.poisoned_reads += 1;
-            return (CounterLine::decode(&[0; 64]), done);
-        };
-        // Counters arriving from (attacker-writable) NVM are verified
-        // against the trusted root before use.
-        if let Some(bmt) = &self.bmt {
-            if page.0 < self.cfg.integrity_pages {
-                self.stats.integrity_verifications += 1;
-                done += self.cfg.hash_latency * bmt.height() as Cycle;
-                if !bmt.verify(page.0, &raw) {
-                    self.stats.integrity_violations += 1;
-                }
-            }
-        }
-        let ctr = CounterLine::decode(&raw);
-        self.fill_counter_cache(page, ctr.clone(), done);
-        (ctr, done)
-    }
-
-    /// Inserts counters into the counter cache; a dirty write-back
-    /// eviction becomes a counter write to NVM.
-    fn fill_counter_cache(&mut self, page: PageId, ctr: CounterLine, at: Cycle) {
-        if let Some((evicted_page, evicted_ctr, dirty)) = self.cc.fill(page, ctr) {
-            if dirty {
-                self.stats.counter_cache_writebacks += 1;
-                let bank = self.ctr_bank(evicted_page);
-                let t = self.wait_slots(1, at);
-                let encoded = evicted_ctr.encode();
-                let seq = self
-                    .wq
-                    .append(WqTarget::Counter(evicted_page), bank, encoded, None, t);
-                self.note_enqueue(WqTarget::Counter(evicted_page), bank, t, seq);
-                self.note_counter_write(evicted_page, &encoded);
-                self.note_append_event();
-            }
-        }
-    }
-
-    fn wait_slots(&mut self, needed: usize, from: Cycle) -> Cycle {
-        self.wq.wait_for_slots(
-            needed,
-            from,
-            &mut self.banks,
-            &mut self.store,
-            &mut self.stats,
-            &mut self.probes,
-        )
-    }
-
-    /// Notes a completed write-queue append on the probe stream.
-    fn note_enqueue(&mut self, target: WqTarget, bank: usize, at: Cycle, seq: u64) {
-        let occupancy = self.wq.len();
-        let (counter, addr) = match target {
-            WqTarget::Counter(page) => (true, page.0),
-            WqTarget::Data(line) => (false, line.0),
-        };
-        self.probes.emit_with(|| Event::WqEnqueue {
-            counter,
-            addr,
-            seq,
-            bank,
-            at,
-            occupancy,
-        });
-    }
-
-    /// Lets the write queue issue everything that can start by `now`.
-    pub fn drain_until(&mut self, now: Cycle) {
-        self.wq.drain_until(
-            now,
-            &mut self.banks,
-            &mut self.store,
-            &mut self.stats,
-            &mut self.probes,
-        );
     }
 
     /// Services a demand read of `line` issued at cycle `at`; returns the
@@ -456,8 +312,9 @@ impl MemoryController {
         let done_data = self.banks[bank].issue(OpKind::Read, at);
         self.stats.nvm_data_reads += 1;
         let read_service = self.cfg.nvm_read_service_cycles();
+        let gbank = self.bank_base + bank;
         self.probes.emit_with(|| Event::BankBusy {
-            bank,
+            bank: gbank,
             start: done_data - read_service,
             end: done_data,
             write: false,
@@ -499,201 +356,27 @@ impl MemoryController {
         (plain, done)
     }
 
-    /// Handles a cache-line flush arriving at cycle `at` (Figure 7):
-    /// encrypts `plaintext` under the incremented counter and appends the
-    /// data and counter writes. Returns the retire cycle — the moment the
-    /// entries are accepted into the ADR domain, which is when the flush
-    /// is architecturally durable (§2.1).
+    /// Handles a cache-line flush arriving at cycle `at` (Figure 7) by
+    /// running the staged write-path pipeline: drain what the banks can
+    /// take, update the counter (overflow triggers a page
+    /// re-encryption), run the AES pipeline, then hand the sealed line
+    /// to the append stage, which releases it into the ADR write queue
+    /// per the configured staging discipline. Returns the retire cycle —
+    /// the moment the entries are accepted into the ADR domain, which is
+    /// when the flush is architecturally durable (§2.1).
     pub fn flush_line(&mut self, line: LineAddr, plaintext: LineData, at: Cycle) -> Cycle {
         self.drain_until(at);
-        let data_bank = self.map.data_bank(line);
         if !self.cfg.encryption {
-            let t = self.wait_slots(1, at);
-            let seq = self
-                .wq
-                .append(WqTarget::Data(line), data_bank, plaintext, None, t);
-            self.note_enqueue(WqTarget::Data(line), data_bank, t, seq);
-            self.note_append_event();
-            self.probes.emit_with(|| Event::FlushRetired {
-                line: line.0,
-                issued: at,
-                counter_ready: at,
-                encrypted: at,
-                retired: t,
-            });
-            return t;
+            return self.flush_unsec(line, plaintext, at);
         }
-
         let page = self.map.page_of_line(line);
         let idx = self.map.line_index_in_page(line);
-        let (mut ctr, mut t_ctr) = self.fetch_counter(page, at);
-        if ctr.increment(idx) == IncrementOutcome::Overflow {
-            t_ctr = self.reencrypt_page(page, &mut ctr, t_ctr);
-            match ctr.increment(idx) {
-                IncrementOutcome::Incremented(_) => {}
-                IncrementOutcome::Overflow => unreachable!("fresh minors cannot overflow"),
-            }
-        }
-        let major = ctr.major();
-        let minor = ctr.minor(idx);
-        let cipher = self.engine.encrypt_line(&plaintext, line.0, major, minor);
-        // In Osiris mode every data line carries an ECC-derived plaintext
-        // tag so post-crash recovery can re-derive stale counters.
-        let tag = self
-            .cfg
-            .osiris_window
-            .map(|_| supermem_crypto::line_tag(&plaintext));
-        let t_enc = t_ctr + self.cfg.aes_latency + REGISTER_LATENCY;
-
-        // The counter cache entry is resident (fetch_counter filled it).
+        let (ctr, t_ctr) = self.counter_update(page, idx, at);
+        let enc = self.encrypt_stage(line, &plaintext, &ctr, idx, t_ctr);
+        // The counter cache entry is resident (the counter stage filled
+        // it); its update outcome picks the append discipline.
         let action = self.cc.update(page, ctr.clone());
-        let retire = match action {
-            CounterCacheOutcome::WriteThrough
-                if self.cfg.mutation == Some(Mutation::CwcNewest)
-                    && self.wq.forward_counter(page).is_some() =>
-            {
-                // Injected defect: "coalescing" keeps the stale pending
-                // counter entry and drops the incoming (newest) update,
-                // so the data line enqueues alone under an old counter.
-                let victim = self
-                    .wq
-                    .forward_counter(page)
-                    .map(|e| e.seq)
-                    .expect("pending counter checked above");
-                self.stats.counter_writes_coalesced += 1;
-                self.probes.emit_with(|| Event::WqCoalesce {
-                    page: page.0,
-                    victim_seq: victim,
-                    at: t_enc,
-                });
-                let t_app = self.wait_slots(1, t_enc);
-                let seq = self.wq.append_tagged(
-                    WqTarget::Data(line),
-                    data_bank,
-                    cipher,
-                    Some((major, minor)),
-                    tag,
-                    t_app,
-                );
-                self.note_enqueue(WqTarget::Data(line), data_bank, t_app, seq);
-                self.note_append_event();
-                t_app
-            }
-            CounterCacheOutcome::WriteThrough => {
-                let ctr_bank = self.ctr_bank(page);
-                if let Some(victim) = self.wq.coalesce_counter(page, &mut self.stats) {
-                    self.probes.emit_with(|| Event::WqCoalesce {
-                        page: page.0,
-                        victim_seq: victim,
-                        at: t_enc,
-                    });
-                }
-                let t_app = self.wait_slots(2, t_enc);
-                let encoded = ctr.encode();
-                self.note_counter_write(page, &encoded);
-                if self.cfg.atomic_pair_append && self.cfg.mutation != Some(Mutation::PairSplit) {
-                    // Both lines leave the staging register together: they
-                    // enter the ADR domain as one event.
-                    self.probes.emit_with(|| Event::RegisterStage {
-                        line: line.0,
-                        page: page.0,
-                        at: t_app,
-                    });
-                    let seq =
-                        self.wq
-                            .append(WqTarget::Counter(page), ctr_bank, encoded, None, t_app);
-                    self.note_enqueue(WqTarget::Counter(page), ctr_bank, t_app, seq);
-                    let seq = self.wq.append_tagged(
-                        WqTarget::Data(line),
-                        data_bank,
-                        cipher,
-                        Some((major, minor)),
-                        tag,
-                        t_app,
-                    );
-                    self.note_enqueue(WqTarget::Data(line), data_bank, t_app, seq);
-                    self.note_append_event();
-                    t_app
-                } else if self.cfg.atomic_pair_append {
-                    // Injected defect (pair-split): the controller still
-                    // stages the pair — claiming atomicity — but releases
-                    // the two lines separately, with the queue free to
-                    // issue in between (the Figure 6 window reopened).
-                    self.probes.emit_with(|| Event::RegisterStage {
-                        line: line.0,
-                        page: page.0,
-                        at: t_app,
-                    });
-                    let seq =
-                        self.wq
-                            .append(WqTarget::Counter(page), ctr_bank, encoded, None, t_app);
-                    self.note_enqueue(WqTarget::Counter(page), ctr_bank, t_app, seq);
-                    self.note_append_event();
-                    let t_late = self.wait_slots(1, t_app + 1);
-                    let seq = self.wq.append_tagged(
-                        WqTarget::Data(line),
-                        data_bank,
-                        cipher,
-                        Some((major, minor)),
-                        tag,
-                        t_late,
-                    );
-                    self.note_enqueue(WqTarget::Data(line), data_bank, t_late, seq);
-                    self.note_append_event();
-                    t_late
-                } else {
-                    // Vulnerable baseline (Figure 6): counter first, data
-                    // second, separately interruptible.
-                    let seq =
-                        self.wq
-                            .append(WqTarget::Counter(page), ctr_bank, encoded, None, t_app);
-                    self.note_enqueue(WqTarget::Counter(page), ctr_bank, t_app, seq);
-                    self.note_append_event();
-                    let seq = self.wq.append_tagged(
-                        WqTarget::Data(line),
-                        data_bank,
-                        cipher,
-                        Some((major, minor)),
-                        tag,
-                        t_app,
-                    );
-                    self.note_enqueue(WqTarget::Data(line), data_bank, t_app, seq);
-                    self.note_append_event();
-                    t_app
-                }
-            }
-            CounterCacheOutcome::Deferred => {
-                let mut t_app = self.wait_slots(1, t_enc);
-                let seq = self.wq.append_tagged(
-                    WqTarget::Data(line),
-                    data_bank,
-                    cipher,
-                    Some((major, minor)),
-                    tag,
-                    t_app,
-                );
-                self.note_enqueue(WqTarget::Data(line), data_bank, t_app, seq);
-                self.note_append_event();
-                // Osiris bounds counter staleness: every `window`-th
-                // increment of a minor persists the counter line, so
-                // recovery's trial-decryption search stays within the
-                // window.
-                if let Some(window) = self.cfg.osiris_window {
-                    if minor % window == 0 {
-                        let ctr_bank = self.ctr_bank(page);
-                        t_app = self.wait_slots(1, t_app);
-                        let encoded = ctr.encode();
-                        self.note_counter_write(page, &encoded);
-                        let seq =
-                            self.wq
-                                .append(WqTarget::Counter(page), ctr_bank, encoded, None, t_app);
-                        self.note_enqueue(WqTarget::Counter(page), ctr_bank, t_app, seq);
-                        self.note_append_event();
-                    }
-                }
-                t_app
-            }
-        };
+        let retire = self.dispatch_append(line, page, &ctr, &enc, action);
         // The re-encryption's new counters are durable now (write queue in
         // write-through mode, battery-backed counter cache in write-back):
         // free the RSR.
@@ -708,6 +391,7 @@ impl MemoryController {
                 at: retire,
             });
         }
+        let t_enc = enc.ready;
         self.probes.emit_with(|| Event::FlushRetired {
             line: line.0,
             issued: at,
@@ -716,199 +400,6 @@ impl MemoryController {
             retired: retire,
         });
         retire
-    }
-
-    /// Re-encrypts `page` after a minor-counter overflow (§3.4.4):
-    /// reads all 64 lines, decrypts under the old counters, re-encrypts
-    /// under `major + 1` with zeroed minors, and appends the rewrites.
-    /// `ctr` is updated in place. The caller persists the new counter
-    /// line through its normal path.
-    fn reencrypt_page(&mut self, page: PageId, ctr: &mut CounterLine, at: Cycle) -> Cycle {
-        self.stats.pages_reencrypted += 1;
-        self.probes
-            .emit_with(|| Event::ReencryptStart { page: page.0, at });
-        // No stale ciphertext for this page may drain after the rewrite:
-        // push out everything pending first.
-        let t0 = self.wq.drain_all(
-            at,
-            &mut self.banks,
-            &mut self.store,
-            &mut self.stats,
-            &mut self.probes,
-        );
-        let old = ctr.clone();
-        self.rsr = Some(Rsr::new(page, old.major()));
-        ctr.bump_major();
-        let data_bank = self.map.page_bank(page);
-        let mut t = t0;
-        for idx in 0..self.map.lines_per_page() as usize {
-            let line = self.map.line_in_page(page, idx);
-            let done_read = self.banks[data_bank].issue(OpKind::Read, t);
-            self.stats.nvm_data_reads += 1;
-            let read_service = self.cfg.nvm_read_service_cycles();
-            self.probes.emit_with(|| Event::BankBusy {
-                bank: data_bank,
-                start: done_read - read_service,
-                end: done_read,
-                write: false,
-            });
-            let cipher_old = self.store.read_data(line);
-            let plain = self
-                .engine
-                .decrypt_line(&cipher_old, line.0, old.major(), old.minor(idx));
-            let cipher_new = self.engine.encrypt_line(&plain, line.0, ctr.major(), 0);
-            let tag = self
-                .cfg
-                .osiris_window
-                .map(|_| supermem_crypto::line_tag(&plain));
-            let t_app = self.wait_slots(1, done_read + self.cfg.aes_latency);
-            let seq = self.wq.append_tagged(
-                WqTarget::Data(line),
-                data_bank,
-                cipher_new,
-                Some((ctr.major(), 0)),
-                tag,
-                t_app,
-            );
-            self.note_enqueue(WqTarget::Data(line), data_bank, t_app, seq);
-            // Injected defect (rsr-skip): line 0's done-bit is never set,
-            // so the RSR can never retire and a crash after this rewrite
-            // replays the line under an ambiguous epoch.
-            let skip_done = self.cfg.mutation == Some(Mutation::RsrSkip) && idx == 0;
-            if !skip_done {
-                if let Some(r) = self.rsr.as_mut() {
-                    r.set_done(idx);
-                    self.probes.emit_with(|| Event::RsrMarkDone {
-                        page: page.0,
-                        idx: idx as u32,
-                        at: t_app,
-                    });
-                }
-            }
-            self.note_append_event();
-            t = t_app;
-        }
-        let lines = self.map.lines_per_page() as u32;
-        self.probes.emit_with(|| Event::ReencryptDone {
-            page: page.0,
-            lines,
-            at: t,
-        });
-        t
-    }
-
-    /// Explicitly writes back one page's dirty counter line from the
-    /// write-back counter cache (the `counter_cache_writeback()`
-    /// primitive of Liu et al.'s selective counter-atomicity, discussed
-    /// in the paper's §2.3/§6). Returns the retire cycle, or `at` if the
-    /// page's counters are clean or absent.
-    pub fn writeback_page_counters(&mut self, page: PageId, at: Cycle) -> Cycle {
-        // Only dirty entries need persisting; `is_dirty` tests this
-        // without LRU side effects (and, unlike snapshotting the full
-        // dirty set, without cloning every dirty counter line).
-        if !self.cc.is_dirty(page) {
-            return at;
-        }
-        let encoded = self
-            .cc
-            .peek(page)
-            .expect("dirty page must be resident")
-            .encode();
-        let bank = self.ctr_bank(page);
-        let t = self.wait_slots(1, at + self.cfg.counter_cache_latency);
-        self.note_counter_write(page, &encoded);
-        let seq = self
-            .wq
-            .append(WqTarget::Counter(page), bank, encoded, None, t);
-        self.note_enqueue(WqTarget::Counter(page), bank, t, seq);
-        self.note_append_event();
-        self.cc_clear_dirty(page);
-        t
-    }
-
-    fn cc_clear_dirty(&mut self, page: PageId) {
-        self.cc.clear_dirty(page);
-    }
-
-    /// Clean shutdown: flushes dirty write-back counters and drains the
-    /// write queue. Returns the cycle the last write began service.
-    pub fn finish(&mut self, from: Cycle) -> Cycle {
-        let mut t = from;
-        for (page, ctr) in self.cc.drain_dirty() {
-            self.stats.counter_cache_writebacks += 1;
-            let bank = self.ctr_bank(page);
-            let t_app = self.wait_slots(1, t);
-            let encoded = ctr.encode();
-            self.note_counter_write(page, &encoded);
-            let seq = self
-                .wq
-                .append(WqTarget::Counter(page), bank, encoded, None, t_app);
-            self.note_enqueue(WqTarget::Counter(page), bank, t_app, seq);
-            t = t_app;
-        }
-        self.wq.drain_all(
-            t,
-            &mut self.banks,
-            &mut self.store,
-            &mut self.stats,
-            &mut self.probes,
-        )
-    }
-
-    /// Arms a crash that triggers after `appends` more append events
-    /// (an atomic data+counter pair counts as one event; with
-    /// `atomic_pair_append` disabled the counter and data appends are
-    /// separate events). The frozen image is retrievable with
-    /// [`MemoryController::take_crash_image`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `appends` is zero.
-    pub fn arm_crash_after_appends(&mut self, appends: u64) {
-        assert!(appends > 0, "crash countdown must be positive");
-        self.armed_crash = Some(appends);
-        self.crash_image = None;
-    }
-
-    /// The image frozen by an armed crash, if it has triggered.
-    pub fn take_crash_image(&mut self) -> Option<CrashImage> {
-        self.crash_image.take()
-    }
-
-    /// Simulates an immediate power failure and returns the surviving
-    /// NVM image.
-    pub fn crash_now(&self) -> CrashImage {
-        self.snapshot()
-    }
-
-    /// Makes the next power event go wrong per `spec`: the crash image
-    /// produced by [`MemoryController::crash_now`] or an armed crash
-    /// will carry the spec's torn drain or failed bank, recorded in a
-    /// [`FaultPlan`] attached to the image store. The live system is
-    /// unaffected until then.
-    pub fn set_fault_plan(&mut self, spec: FaultSpec) {
-        self.fault_spec = Some(spec);
-    }
-
-    /// Attaches a fault plan to the *live* store, so demand reads hit
-    /// the media model (tests of the retry/poison path use this).
-    pub fn attach_store_faults(&mut self, plan: FaultPlan) {
-        self.store.attach_faults(plan);
-    }
-
-    /// Fail-stops a bank: the controller enters degraded mode, dropping
-    /// writes headed there and poisoning reads instead of panicking.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bank` is out of range.
-    pub fn mark_bank_failed(&mut self, bank: usize) {
-        self.banks[bank].mark_failed();
-    }
-
-    /// True when any bank has fail-stopped.
-    pub fn is_degraded(&self) -> bool {
-        self.banks.iter().any(BankTimer::is_failed)
     }
 
     /// Reads a data line through the media model with bounded
@@ -976,7 +467,9 @@ impl MemoryController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use supermem_sim::{CounterCacheMode, CounterPlacement};
+    use supermem_crypto::CounterLine;
+    use supermem_nvm::fault::FaultPlan;
+    use supermem_sim::{CounterCacheBacking, CounterCacheMode, CounterPlacement};
 
     fn cfg() -> Config {
         Config::default()

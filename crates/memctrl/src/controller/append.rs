@@ -1,0 +1,250 @@
+//! Append stage of the write path: staging-register release disciplines
+//! and write-queue admission.
+//!
+//! This stage decides *how* an encrypted line and its counter enter the
+//! ADR domain: coalesced against a pending counter write (CWC), as an
+//! atomic 2-line register pair (the paper's staging register), split or
+//! non-atomically for the vulnerable baselines, or data-only under a
+//! write-back counter cache. Everything upstream (counter fetch, AES)
+//! has already happened; everything downstream (bank issue) is the
+//! drain stage's business.
+
+use supermem_cache::CounterCacheOutcome;
+use supermem_crypto::CounterLine;
+use supermem_nvm::addr::{LineAddr, PageId};
+use supermem_nvm::LineData;
+use supermem_sim::{Cycle, Event, Mutation};
+
+use crate::wqueue::WqTarget;
+
+use super::encrypt::EncryptedWrite;
+use super::MemoryController;
+
+impl MemoryController {
+    /// Notes a completed write-queue append on the probe stream. `bank`
+    /// is channel-local; the emitted event carries the machine-global
+    /// bank id.
+    pub(super) fn note_enqueue(&mut self, target: WqTarget, bank: usize, at: Cycle, seq: u64) {
+        let occupancy = self.wq.len();
+        let gbank = self.bank_base + bank;
+        let (counter, addr) = match target {
+            WqTarget::Counter(page) => (true, page.0),
+            WqTarget::Data(line) => (false, line.0),
+        };
+        self.probes.emit_with(|| Event::WqEnqueue {
+            counter,
+            addr,
+            seq,
+            bank: gbank,
+            at,
+            occupancy,
+        });
+    }
+
+    /// Appends the encrypted data line at `t_app`.
+    pub(super) fn append_data(&mut self, line: LineAddr, enc: &EncryptedWrite, t_app: Cycle) {
+        let data_bank = self.map.data_bank(line);
+        let seq = self.wq.append_tagged(
+            WqTarget::Data(line),
+            data_bank,
+            enc.cipher,
+            Some((enc.major, enc.minor)),
+            enc.tag,
+            t_app,
+        );
+        self.note_enqueue(WqTarget::Data(line), data_bank, t_app, seq);
+    }
+
+    /// Appends `page`'s encoded counter line at `t_app`, folding it into
+    /// the integrity tree.
+    pub(super) fn append_counter(&mut self, page: PageId, encoded: [u8; 64], t_app: Cycle) {
+        let ctr_bank = self.ctr_bank(page);
+        self.note_counter_write(page, &encoded);
+        let seq = self
+            .wq
+            .append(WqTarget::Counter(page), ctr_bank, encoded, None, t_app);
+        self.note_enqueue(WqTarget::Counter(page), ctr_bank, t_app, seq);
+    }
+
+    /// The unencrypted write path: the plaintext line enqueues alone.
+    pub(super) fn flush_unsec(&mut self, line: LineAddr, plaintext: LineData, at: Cycle) -> Cycle {
+        let data_bank = self.map.data_bank(line);
+        let t = self.wait_slots(1, at);
+        let seq = self
+            .wq
+            .append(WqTarget::Data(line), data_bank, plaintext, None, t);
+        self.note_enqueue(WqTarget::Data(line), data_bank, t, seq);
+        self.note_append_event();
+        self.probes.emit_with(|| Event::FlushRetired {
+            line: line.0,
+            issued: at,
+            counter_ready: at,
+            encrypted: at,
+            retired: t,
+        });
+        t
+    }
+
+    /// Routes an encrypted line to the release discipline the counter
+    /// cache's update outcome (and any injected defect) selects. Returns
+    /// the retire cycle.
+    pub(super) fn dispatch_append(
+        &mut self,
+        line: LineAddr,
+        page: PageId,
+        ctr: &CounterLine,
+        enc: &EncryptedWrite,
+        action: CounterCacheOutcome,
+    ) -> Cycle {
+        match action {
+            CounterCacheOutcome::WriteThrough
+                if self.cfg.mutation == Some(Mutation::CwcNewest)
+                    && self.wq.forward_counter(page).is_some() =>
+            {
+                self.append_cwc_newest(line, page, enc)
+            }
+            CounterCacheOutcome::WriteThrough => self.append_write_through(line, page, ctr, enc),
+            CounterCacheOutcome::Deferred => self.append_deferred(line, page, ctr, enc),
+        }
+    }
+
+    /// Injected defect: "coalescing" keeps the stale pending counter
+    /// entry and drops the incoming (newest) update, so the data line
+    /// enqueues alone under an old counter.
+    fn append_cwc_newest(&mut self, line: LineAddr, page: PageId, enc: &EncryptedWrite) -> Cycle {
+        let victim = self
+            .wq
+            .forward_counter(page)
+            .map(|e| e.seq)
+            .expect("pending counter checked above");
+        self.stats.counter_writes_coalesced += 1;
+        let t_enc = enc.ready;
+        self.probes.emit_with(|| Event::WqCoalesce {
+            page: page.0,
+            victim_seq: victim,
+            at: t_enc,
+        });
+        let t_app = self.wait_slots(1, t_enc);
+        self.append_data(line, enc, t_app);
+        self.note_append_event();
+        t_app
+    }
+
+    /// Write-through counter update: coalesce any pending counter write
+    /// for the page (CWC keeps the newest), then release the counter and
+    /// data lines per the configured staging discipline.
+    fn append_write_through(
+        &mut self,
+        line: LineAddr,
+        page: PageId,
+        ctr: &CounterLine,
+        enc: &EncryptedWrite,
+    ) -> Cycle {
+        let t_enc = enc.ready;
+        if let Some(victim) = self.wq.coalesce_counter(page, &mut self.stats) {
+            self.probes.emit_with(|| Event::WqCoalesce {
+                page: page.0,
+                victim_seq: victim,
+                at: t_enc,
+            });
+        }
+        let t_app = self.wait_slots(2, t_enc);
+        let encoded = ctr.encode();
+        if self.cfg.atomic_pair_append && self.cfg.mutation != Some(Mutation::PairSplit) {
+            self.append_pair_atomic(line, page, encoded, enc, t_app)
+        } else if self.cfg.atomic_pair_append {
+            self.append_pair_split(line, page, encoded, enc, t_app)
+        } else {
+            self.append_nonatomic(line, page, encoded, enc, t_app)
+        }
+    }
+
+    /// Emits the staging-register occupancy event for an (allegedly)
+    /// atomic counter+data pair.
+    fn stage_pair(&mut self, line: LineAddr, page: PageId, at: Cycle) {
+        self.probes.emit_with(|| Event::RegisterStage {
+            line: line.0,
+            page: page.0,
+            at,
+        });
+    }
+
+    /// Both lines leave the staging register together: they enter the
+    /// ADR domain as one event.
+    fn append_pair_atomic(
+        &mut self,
+        line: LineAddr,
+        page: PageId,
+        encoded: [u8; 64],
+        enc: &EncryptedWrite,
+        t_app: Cycle,
+    ) -> Cycle {
+        self.stage_pair(line, page, t_app);
+        self.append_counter(page, encoded, t_app);
+        self.append_data(line, enc, t_app);
+        self.note_append_event();
+        t_app
+    }
+
+    /// Injected defect (pair-split): the controller still stages the
+    /// pair — claiming atomicity — but releases the two lines
+    /// separately, with the queue free to issue in between (the Figure 6
+    /// window reopened).
+    fn append_pair_split(
+        &mut self,
+        line: LineAddr,
+        page: PageId,
+        encoded: [u8; 64],
+        enc: &EncryptedWrite,
+        t_app: Cycle,
+    ) -> Cycle {
+        self.stage_pair(line, page, t_app);
+        self.append_counter(page, encoded, t_app);
+        self.note_append_event();
+        let t_late = self.wait_slots(1, t_app + 1);
+        self.append_data(line, enc, t_late);
+        self.note_append_event();
+        t_late
+    }
+
+    /// Vulnerable baseline (Figure 6): counter first, data second,
+    /// separately interruptible.
+    fn append_nonatomic(
+        &mut self,
+        line: LineAddr,
+        page: PageId,
+        encoded: [u8; 64],
+        enc: &EncryptedWrite,
+        t_app: Cycle,
+    ) -> Cycle {
+        self.append_counter(page, encoded, t_app);
+        self.note_append_event();
+        self.append_data(line, enc, t_app);
+        self.note_append_event();
+        t_app
+    }
+
+    /// Write-back counter cache: only the data line enqueues now; the
+    /// dirty counter stays resident. Osiris additionally persists the
+    /// counter line every `window`-th minor increment so recovery's
+    /// trial-decryption search stays within the window.
+    fn append_deferred(
+        &mut self,
+        line: LineAddr,
+        page: PageId,
+        ctr: &CounterLine,
+        enc: &EncryptedWrite,
+    ) -> Cycle {
+        let mut t_app = self.wait_slots(1, enc.ready);
+        self.append_data(line, enc, t_app);
+        self.note_append_event();
+        if let Some(window) = self.cfg.osiris_window {
+            if enc.minor.is_multiple_of(window) {
+                t_app = self.wait_slots(1, t_app);
+                self.append_counter(page, ctr.encode(), t_app);
+                self.note_append_event();
+            }
+        }
+        t_app
+    }
+}

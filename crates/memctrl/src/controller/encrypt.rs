@@ -1,0 +1,60 @@
+//! Encrypt stage of the write path (`AES` + `Sto` in Figure 7).
+//!
+//! Seals a plaintext line under its freshly incremented counter and
+//! stamps the cycle at which the ciphertext has cleared the AES
+//! pipeline and the staging-register store. The output bundle is the
+//! only thing the append stage needs to know about the line's contents.
+
+use supermem_crypto::CounterLine;
+use supermem_nvm::addr::LineAddr;
+use supermem_nvm::LineData;
+use supermem_sim::Cycle;
+
+use super::{MemoryController, REGISTER_LATENCY};
+
+/// Output of the encrypt stage: one ciphertext line ready for staging,
+/// with the counter values it was sealed under.
+#[derive(Debug)]
+pub(super) struct EncryptedWrite {
+    /// Ciphertext bound for NVM.
+    pub(super) cipher: LineData,
+    /// Major counter the OTP was derived from.
+    pub(super) major: u64,
+    /// Minor counter the OTP was derived from.
+    pub(super) minor: u8,
+    /// Osiris plaintext tag, when trial-decryption recovery is on.
+    pub(super) tag: Option<u64>,
+    /// Cycle at which the line has cleared the AES pipeline and the
+    /// staging-register store (`Sto` in Figure 7).
+    pub(super) ready: Cycle,
+}
+
+impl MemoryController {
+    /// Runs the AES pipeline over `plaintext` under the (already
+    /// incremented) counters in `ctr` for line `idx` of its page.
+    pub(super) fn encrypt_stage(
+        &mut self,
+        line: LineAddr,
+        plaintext: &LineData,
+        ctr: &CounterLine,
+        idx: usize,
+        t_ctr: Cycle,
+    ) -> EncryptedWrite {
+        let major = ctr.major();
+        let minor = ctr.minor(idx);
+        let cipher = self.engine.encrypt_line(plaintext, line.0, major, minor);
+        // In Osiris mode every data line carries an ECC-derived plaintext
+        // tag so post-crash recovery can re-derive stale counters.
+        let tag = self
+            .cfg
+            .osiris_window
+            .map(|_| supermem_crypto::line_tag(plaintext));
+        EncryptedWrite {
+            cipher,
+            major,
+            minor,
+            tag,
+            ready: t_ctr + self.cfg.aes_latency + REGISTER_LATENCY,
+        }
+    }
+}

@@ -13,9 +13,12 @@
 //! * [`rsr`] — the re-encryption status register that makes
 //!   minor-counter-overflow page re-encryption crash consistent (§3.4.4).
 //! * [`controller`] — the controller proper: the Figure 7 write sequence
-//!   (fetch counter → increment → encrypt → stage in register → append
-//!   data+counter atomically), the decrypt-overlapped read path, crash
-//!   snapshots with ADR drain, and page re-encryption.
+//!   as a staged pipeline (drain → counter update → encrypt → append),
+//!   the decrypt-overlapped read path, crash snapshots with ADR drain,
+//!   and page re-encryption.
+//! * [`channel`] — the interleaved multi-channel front end: one
+//!   controller per channel behind a single-controller interface, with
+//!   machine-wide statistics, probes, and crash arming.
 //!
 //! # Examples
 //!
@@ -33,11 +36,13 @@
 #![warn(missing_docs)]
 
 pub mod bankmap;
+pub mod channel;
 pub mod controller;
 pub mod rsr;
 pub mod wqueue;
 
 pub use bankmap::counter_bank;
+pub use channel::{ChannelSet, MachineCrashImage};
 pub use controller::{CrashImage, MemoryController};
 pub use rsr::Rsr;
 pub use wqueue::{WqEntry, WqTarget, WriteQueue};

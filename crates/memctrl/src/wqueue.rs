@@ -85,6 +85,11 @@ pub struct WriteQueue {
     capacity: usize,
     cwc: bool,
     seq: u64,
+    /// Offset added to entry bank indices when reporting stats/events, so
+    /// a per-channel queue attributes its writes to machine-global bank
+    /// ids (`channel * banks_per_channel + local_bank`). Entry `bank`
+    /// fields stay channel-local (they index the channel's bank timers).
+    bank_base: usize,
 }
 
 impl WriteQueue {
@@ -103,7 +108,14 @@ impl WriteQueue {
             capacity,
             cwc,
             seq: 0,
+            bank_base: 0,
         }
+    }
+
+    /// Sets the global-bank offset reported in stats and events (a
+    /// channel's queue reports `bank_base + local_bank`).
+    pub fn set_bank_base(&mut self, bank_base: usize) {
+        self.bank_base = bank_base;
     }
 
     /// Entries currently pending.
@@ -162,13 +174,23 @@ impl WriteQueue {
         e
     }
 
-    /// Snapshot of pending entries as `(target, seq)` pairs, in queue
-    /// (age) order (diagnostics).
-    pub fn pending(&self) -> Vec<(WqTarget, u64)> {
-        let mut out: Vec<(WqTarget, u64)> =
-            self.entries().map(|(_, e)| (e.target, e.seq)).collect();
-        out.sort_by_key(|&(_, seq)| seq);
-        out
+    /// Pending entries as `(target, seq)` pairs, in queue (age) order
+    /// (diagnostics).
+    ///
+    /// Allocation-free: each step is a min-scan over the (capacity-bounded,
+    /// ≤ ~64-slot) slab for the next sequence number, so per-event probe
+    /// inspection does not allocate a `Vec` on the hot path.
+    pub fn pending(&self) -> impl Iterator<Item = (WqTarget, u64)> + '_ {
+        let mut last_seq = 0u64;
+        std::iter::from_fn(move || {
+            let next = self
+                .entries()
+                .filter(|(_, e)| e.seq > last_seq)
+                .min_by_key(|(_, e)| e.seq)
+                .map(|(_, e)| (e.target, e.seq))?;
+            last_seq = next.1;
+            Some(next)
+        })
     }
 
     /// Applies CWC for an incoming counter line of `page`: removes an
@@ -299,10 +321,11 @@ impl WriteQueue {
         }
         let start = banks[e.bank].earliest_start(OpKind::Write, e.ready);
         let end = banks[e.bank].issue(OpKind::Write, e.ready);
-        if stats.bank_writes.len() <= e.bank {
-            stats.bank_writes.resize(e.bank + 1, 0);
+        let global_bank = self.bank_base + e.bank;
+        if stats.bank_writes.len() <= global_bank {
+            stats.bank_writes.resize(global_bank + 1, 0);
         }
-        stats.bank_writes[e.bank] += 1;
+        stats.bank_writes[global_bank] += 1;
         probes.emit_with(|| Event::WqIssue {
             counter: e.is_counter(),
             addr: match e.target {
@@ -310,13 +333,13 @@ impl WriteQueue {
                 WqTarget::Counter(page) => page.0,
             },
             seq: e.seq,
-            bank: e.bank,
+            bank: global_bank,
             ready: e.ready,
             start,
             occupancy: self.capacity - self.free.len(),
         });
         probes.emit_with(|| Event::BankBusy {
-            bank: e.bank,
+            bank: global_bank,
             start,
             end,
             write: true,
@@ -768,10 +791,34 @@ mod tests {
         let mut wq = WriteQueue::new(4, false);
         wq.append(WqTarget::Data(LineAddr(0)), 0, [1; 64], None, 0);
         wq.append(WqTarget::Counter(PageId(2)), 1, [2; 64], None, 0);
-        let p = wq.pending();
+        let p: Vec<_> = wq.pending().collect();
         assert_eq!(p.len(), 2);
         assert_eq!(p[0].0, WqTarget::Data(LineAddr(0)));
         assert!(p[0].1 < p[1].1, "seq must increase");
+    }
+
+    #[test]
+    fn pending_iterator_matches_sorted_scan() {
+        // The lazy min-scan iterator must yield exactly what collecting
+        // and sorting the slab by seq would, in the same order.
+        let mut wq = WriteQueue::new(8, true);
+        let mut stats = Stats::new(2);
+        for addr in [0u64, 64, 128, 192] {
+            wq.append(WqTarget::Data(LineAddr(addr)), 0, [1; 64], None, 0);
+        }
+        wq.append(WqTarget::Counter(PageId(1)), 1, [2; 64], None, 0);
+        // Punch a hole in the seq sequence so order != slot order.
+        wq.coalesce_counter(PageId(1), &mut stats);
+        wq.append(WqTarget::Counter(PageId(1)), 1, [3; 64], None, 0);
+        let mut oracle: Vec<(WqTarget, u64)> =
+            wq.entries().map(|(_, e)| (e.target, e.seq)).collect();
+        oracle.sort_by_key(|&(_, seq)| seq);
+        let got: Vec<_> = wq.pending().collect();
+        assert_eq!(got, oracle);
+        assert!(
+            got.windows(2).all(|w| w[0].1 < w[1].1),
+            "strictly ascending"
+        );
     }
 
     #[test]
@@ -955,9 +1002,8 @@ mod randomized {
                         let target = WqTarget::Counter(PageId(*page));
                         let before: Vec<u64> = wq
                             .pending()
-                            .iter()
-                            .filter(|&&(t, _)| t == target)
-                            .map(|&(_, s)| s)
+                            .filter(|&(t, _)| t == target)
+                            .map(|(_, s)| s)
                             .collect();
                         let merged = wq.coalesce_counter(PageId(*page), &mut stats);
                         assert_eq!(
@@ -970,9 +1016,8 @@ mod randomized {
                             assert_eq!(victim, oldest, "CWC reports the oldest as victim");
                             let after: Vec<u64> = wq
                                 .pending()
-                                .iter()
-                                .filter(|&&(t, _)| t == target)
-                                .map(|&(_, s)| s)
+                                .filter(|&(t, _)| t == target)
+                                .map(|(_, s)| s)
                                 .collect();
                             assert!(!after.contains(&oldest), "CWC drops the oldest");
                             assert_eq!(after.len(), before.len() - 1);
@@ -996,18 +1041,16 @@ mod randomized {
                     let addr = LineAddr(line * 64);
                     let scan = wq
                         .pending()
-                        .iter()
-                        .filter(|&&(t, _)| t == WqTarget::Data(addr))
-                        .map(|&(_, s)| s)
+                        .filter(|&(t, _)| t == WqTarget::Data(addr))
+                        .map(|(_, s)| s)
                         .max();
                     assert_eq!(wq.forward_data(addr).map(|e| e.seq), scan);
                 }
                 for page in 0..4u64 {
                     let scan = wq
                         .pending()
-                        .iter()
-                        .filter(|&&(t, _)| t == WqTarget::Counter(PageId(page)))
-                        .map(|&(_, s)| s)
+                        .filter(|&(t, _)| t == WqTarget::Counter(PageId(page)))
+                        .map(|(_, s)| s)
                         .max();
                     assert_eq!(wq.forward_counter(PageId(page)).map(|e| e.seq), scan);
                 }

@@ -1,12 +1,18 @@
-//! Physical address map: lines, pages, and bank interleaving.
+//! Physical address map: lines, pages, channel and bank interleaving.
 //!
-//! The map is page-interleaved: page `p` lives entirely in bank
-//! `p mod N`. This matches the paper's Figure 8, where a data block (and
-//! the whole page around it) resides in one bank, and consecutive pages of
-//! an OS-contiguous allocation fall into adjacent banks.
+//! The map is page-interleaved, channel bits first: page `p` lives in
+//! channel `p mod C` and, within that channel, in bank `(p / C) mod N`.
+//! With a single channel (`C = 1`) this degenerates to exactly the
+//! historical `p mod N` layout of the paper's Figure 8, where a data block
+//! (and the whole page around it) resides in one bank, and consecutive
+//! pages of an OS-contiguous allocation fall into adjacent banks — or,
+//! with multiple channels, round-robin across channels first and then
+//! across the banks of each channel, which is how real PM platforms spread
+//! OS-contiguous traffic over every controller.
 //!
 //! Counter lines are addressed by [`PageId`] in a dedicated counter region
-//! (one 64 B counter line per 4 KB data page); *which bank* a counter line
+//! (one 64 B counter line per 4 KB data page); a page's counter line lives
+//! in the *same channel* as the page, but *which bank* of that channel it
 //! occupies is a memory-controller policy (SingleBank / SameBank / XBank)
 //! and therefore lives in `supermem-memctrl`, not here.
 
@@ -49,29 +55,56 @@ pub struct AddressMap {
     line_bytes: u64,
     page_bytes: u64,
     banks: usize,
+    channels: usize,
 }
 
 impl AddressMap {
-    /// Creates a map for the given geometry.
+    /// Creates a single-channel map for the given geometry.
     ///
     /// # Panics
     ///
     /// Panics if any size is zero, not a power of two, or inconsistent
     /// (`line_bytes > page_bytes`, capacity not page-aligned).
     pub fn new(capacity: u64, line_bytes: u64, page_bytes: u64, banks: usize) -> Self {
+        Self::with_channels(capacity, line_bytes, page_bytes, banks, 1)
+    }
+
+    /// Creates a map interleaving pages over `channels` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size or count is zero, not a power of two, or
+    /// inconsistent (`line_bytes > page_bytes`, capacity not page-aligned,
+    /// fewer pages than channels).
+    pub fn with_channels(
+        capacity: u64,
+        line_bytes: u64,
+        page_bytes: u64,
+        banks: usize,
+        channels: usize,
+    ) -> Self {
         assert!(line_bytes.is_power_of_two(), "line size must be 2^k");
         assert!(page_bytes.is_power_of_two(), "page size must be 2^k");
         assert!((banks as u64).is_power_of_two(), "bank count must be 2^k");
+        assert!(
+            (channels as u64).is_power_of_two(),
+            "channel count must be 2^k"
+        );
         assert!(line_bytes <= page_bytes, "line larger than page");
         assert!(
             capacity > 0 && capacity.is_multiple_of(page_bytes),
             "capacity must be whole pages"
+        );
+        assert!(
+            capacity / page_bytes >= channels as u64,
+            "fewer pages than channels"
         );
         Self {
             capacity,
             line_bytes,
             page_bytes,
             banks,
+            channels,
         }
     }
 
@@ -80,9 +113,14 @@ impl AddressMap {
         self.capacity
     }
 
-    /// Number of banks.
+    /// Number of banks per channel.
     pub fn banks(&self) -> usize {
         self.banks
+    }
+
+    /// Number of address-interleaved channels.
+    pub fn channels(&self) -> usize {
+        self.channels
     }
 
     /// Lines per page (64 in the default geometry).
@@ -131,14 +169,58 @@ impl AddressMap {
         LineAddr(page.0 * self.page_bytes + idx as u64 * self.line_bytes)
     }
 
-    /// The bank holding a data line (page-interleaved).
+    /// The bank holding a data line, within the line's channel
+    /// (page-interleaved; channel bits are consumed first).
     pub fn data_bank(&self, line: LineAddr) -> usize {
-        (self.page_of_line(line).0 % self.banks as u64) as usize
+        self.page_bank(self.page_of_line(line))
     }
 
-    /// The bank holding a whole page.
+    /// The bank holding a whole page, within the page's channel.
     pub fn page_bank(&self, page: PageId) -> usize {
-        (page.0 % self.banks as u64) as usize
+        ((page.0 / self.channels as u64) % self.banks as u64) as usize
+    }
+
+    /// The channel holding a whole page (and its counter line).
+    pub fn page_channel(&self, page: PageId) -> usize {
+        (page.0 % self.channels as u64) as usize
+    }
+
+    /// The channel holding a data line.
+    pub fn line_channel(&self, line: LineAddr) -> usize {
+        self.page_channel(self.page_of_line(line))
+    }
+
+    /// Decomposes a line address into `(channel, bank, row)`.
+    ///
+    /// The row encodes the line's position within its `(channel, bank)`
+    /// slice: `row = (page / (channels * banks)) * lines_per_page + idx`.
+    /// Together with [`AddressMap::recompose`] this forms a bijection —
+    /// every line maps to exactly one `(channel, bank, row)` triple and
+    /// round-trips (pinned by the seeded property test in this module).
+    pub fn decompose(&self, line: LineAddr) -> (usize, usize, u64) {
+        let page = self.page_of_line(line);
+        let idx = self.line_index_in_page(line) as u64;
+        let row_page = page.0 / (self.channels as u64 * self.banks as u64);
+        (
+            self.page_channel(page),
+            self.page_bank(page),
+            row_page * self.lines_per_page() + idx,
+        )
+    }
+
+    /// Inverse of [`AddressMap::decompose`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` or `bank` is out of range.
+    pub fn recompose(&self, channel: usize, bank: usize, row: u64) -> LineAddr {
+        assert!(channel < self.channels, "channel {channel} out of range");
+        assert!(bank < self.banks, "bank {bank} out of range");
+        let row_page = row / self.lines_per_page();
+        let idx = row % self.lines_per_page();
+        let page =
+            (row_page * self.banks as u64 + bank as u64) * self.channels as u64 + channel as u64;
+        LineAddr(page * self.page_bytes + idx * self.line_bytes)
     }
 
     /// Iterates over the line addresses covered by `[start, start+len)`.
@@ -217,7 +299,76 @@ mod tests {
         assert_eq!(m.lines_per_page(), 64);
         assert_eq!(m.pages(), (8u64 << 30) / 4096);
         assert_eq!(m.banks(), 8);
+        assert_eq!(m.channels(), 1);
         assert_eq!(m.capacity(), 8 << 30);
+    }
+
+    #[test]
+    fn single_channel_matches_historical_layout() {
+        // With channels = 1 the channel-aware map must be bit-identical to
+        // the original `page % banks` interleave.
+        let m = AddressMap::with_channels(8 << 30, 64, 4096, 8, 1);
+        for p in 0..64u64 {
+            let line = m.line_in_page(PageId(p), 3);
+            assert_eq!(m.page_bank(PageId(p)), (p % 8) as usize);
+            assert_eq!(m.data_bank(line), (p % 8) as usize);
+            assert_eq!(m.page_channel(PageId(p)), 0);
+            assert_eq!(m.line_channel(line), 0);
+        }
+    }
+
+    #[test]
+    fn channels_interleave_pages_round_robin() {
+        let m = AddressMap::with_channels(8 << 30, 64, 4096, 8, 4);
+        for p in 0..64u64 {
+            assert_eq!(m.page_channel(PageId(p)), (p % 4) as usize);
+            assert_eq!(m.page_bank(PageId(p)), ((p / 4) % 8) as usize);
+        }
+        // All lines of a page share the page's channel and bank.
+        let line0 = m.line_in_page(PageId(13), 0);
+        let line63 = m.line_in_page(PageId(13), 63);
+        assert_eq!(m.line_channel(line0), m.line_channel(line63));
+        assert_eq!(m.data_bank(line0), m.data_bank(line63));
+    }
+
+    /// Seeded property test: `decompose`/`recompose` is a bijection for
+    /// every power-of-two (channels, banks) combination — each line maps
+    /// to exactly one in-range `(channel, bank, row)` and round-trips.
+    #[test]
+    fn decompose_recompose_bijection_property() {
+        use supermem_sim::SplitMix64;
+
+        let mut rng = SplitMix64::new(0x0DD5_EED5);
+        for &channels in &[1usize, 2, 4, 8] {
+            for &banks in &[1usize, 2, 4, 8, 16] {
+                let capacity: u64 = 1 << 24; // 4096 pages
+                let m = AddressMap::with_channels(capacity, 64, 4096, banks, channels);
+                let lines = capacity / 64;
+                let rows_per_slice = lines / (channels as u64 * banks as u64);
+
+                // Random sample of lines round-trips through one triple.
+                for _ in 0..256 {
+                    let line = LineAddr((rng.next_u64() % lines) * 64);
+                    let (c, b, row) = m.decompose(line);
+                    assert!(c < channels && b < banks && row < rows_per_slice);
+                    assert_eq!(m.recompose(c, b, row), line);
+                }
+
+                // Exhaustive inverse direction: every triple yields a
+                // distinct in-range line that decomposes back to itself.
+                let mut seen = std::collections::HashSet::new();
+                for c in 0..channels {
+                    for b in 0..banks {
+                        for row in (0..rows_per_slice).step_by(17) {
+                            let line = m.recompose(c, b, row);
+                            assert!(line.0 < capacity);
+                            assert!(seen.insert(line.0), "duplicate line {line}");
+                            assert_eq!(m.decompose(line), (c, b, row));
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -179,6 +179,31 @@ impl NvmStore {
         self.counter_wear.get(&page.0).copied().unwrap_or(0)
     }
 
+    /// Merges another store into this one (multi-channel crash-image
+    /// assembly).
+    ///
+    /// Channel interleaving makes the two stores' address sets disjoint,
+    /// so contents simply union; on an overlapping key (which interleaved
+    /// channels never produce) `other` wins. Wear counts are summed per
+    /// key so the merged wear report equals the sum of the per-channel
+    /// reports. A fault plan attached to `other` replaces `self`'s (the
+    /// merged view keeps at most one plan; recovery attaches per-channel
+    /// plans before merging when it needs faulted reads).
+    pub fn absorb(&mut self, other: NvmStore) {
+        self.data.extend(other.data);
+        self.counters.extend(other.counters);
+        self.tags.extend(other.tags);
+        for (k, v) in other.data_wear {
+            *self.data_wear.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in other.counter_wear {
+            *self.counter_wear.entry(k).or_insert(0) += v;
+        }
+        if other.faults.is_some() {
+            self.faults = other.faults;
+        }
+    }
+
     /// Attaches (or replaces) the fault plan governing checked reads
     /// and faulted writes.
     pub fn attach_faults(&mut self, plan: FaultPlan) {
@@ -383,6 +408,27 @@ mod tests {
         );
         // Contents are unaffected by the remap.
         assert_eq!(leveled.read_data(LineAddr(0)), plain.read_data(LineAddr(0)));
+    }
+
+    #[test]
+    fn absorb_unions_contents_and_sums_wear() {
+        let mut a = NvmStore::new();
+        let mut b = NvmStore::new();
+        a.write_data(LineAddr(0x40), [1; 64]);
+        a.write_data(LineAddr(0x40), [2; 64]);
+        a.write_counter(PageId(0), [3; 64]);
+        b.write_data(LineAddr(0x80), [4; 64]);
+        b.write_counter(PageId(1), [5; 64]);
+        b.write_tag(LineAddr(0x80), 77);
+        a.absorb(b);
+        assert_eq!(a.read_data(LineAddr(0x40)), [2; 64]);
+        assert_eq!(a.read_data(LineAddr(0x80)), [4; 64]);
+        assert_eq!(a.read_counter(PageId(1)), [5; 64]);
+        assert_eq!(a.read_tag(LineAddr(0x80)), 77);
+        let r = a.wear_report();
+        assert_eq!(r.total_data_writes, 3);
+        assert_eq!(r.total_counter_writes, 2);
+        assert_eq!(r.max_data_wear, 2);
     }
 
     #[test]

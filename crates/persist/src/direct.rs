@@ -12,7 +12,7 @@
 //! machinery can be exercised and tested below the system layer, and it
 //! is what the Table 1 experiments use.
 
-use supermem_memctrl::{CrashImage, MemoryController};
+use supermem_memctrl::{ChannelSet, CrashImage, MachineCrashImage, MemoryController};
 use supermem_nvm::addr::LineAddr;
 use supermem_nvm::LineData;
 use supermem_sim::{Config, Cycle};
@@ -22,8 +22,9 @@ use crate::pmem::PMem;
 /// Per-instruction cost charged for buffer hits (an L1-ish latency).
 const HIT_COST: Cycle = 2;
 
-/// Byte-addressable persistent memory backed by a [`MemoryController`],
-/// with an unbounded volatile buffer in place of a cache hierarchy.
+/// Byte-addressable persistent memory backed by a [`ChannelSet`] (one
+/// memory controller per configured channel), with an unbounded volatile
+/// buffer in place of a cache hierarchy.
 ///
 /// # Examples
 ///
@@ -39,7 +40,7 @@ const HIT_COST: Cycle = 2;
 /// ```
 #[derive(Debug, Clone)]
 pub struct DirectMem {
-    mc: MemoryController,
+    mc: ChannelSet,
     buffer: supermem_sim::FxHashMap<u64, (LineData, bool)>,
     now: Cycle,
     pending_retire: Cycle,
@@ -48,12 +49,22 @@ pub struct DirectMem {
 impl DirectMem {
     /// A fresh system over zeroed NVM.
     pub fn new(cfg: &Config) -> Self {
-        Self::from_controller(MemoryController::new(cfg))
+        Self::from_channels(ChannelSet::new(cfg))
     }
 
-    /// Wraps an existing controller (e.g. one restarted on a recovered
-    /// store).
+    /// Wraps an existing single-channel controller (e.g. one restarted
+    /// on a recovered store).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller was built for a multi-channel
+    /// configuration — wrap a full [`ChannelSet`] instead.
     pub fn from_controller(mc: MemoryController) -> Self {
+        Self::from_channels(ChannelSet::from_single(mc))
+    }
+
+    /// Wraps an existing channel set.
+    pub fn from_channels(mc: ChannelSet) -> Self {
         Self {
             mc,
             buffer: supermem_sim::FxHashMap::default(),
@@ -67,20 +78,26 @@ impl DirectMem {
         self.now
     }
 
-    /// The underlying controller.
-    pub fn controller(&self) -> &MemoryController {
+    /// The underlying memory system.
+    pub fn controller(&self) -> &ChannelSet {
         &self.mc
     }
 
-    /// The underlying controller, mutably (arming crashes, statistics).
-    pub fn controller_mut(&mut self) -> &mut MemoryController {
+    /// The underlying memory system, mutably (arming crashes,
+    /// statistics).
+    pub fn controller_mut(&mut self) -> &mut ChannelSet {
         &mut self.mc
     }
 
     /// Simulates an immediate power failure: buffered dirty lines vanish;
-    /// the ADR domain survives.
+    /// the ADR domain survives as one merged image.
     pub fn crash_now(&self) -> CrashImage {
         self.mc.crash_now()
+    }
+
+    /// [`DirectMem::crash_now`] keeping per-channel images separate.
+    pub fn machine_crash_now(&self) -> MachineCrashImage {
+        self.mc.machine_crash_now()
     }
 
     /// Flushes every dirty buffered line and drains the controller —

@@ -23,7 +23,7 @@
 //! [`FaultPlan`]: supermem_nvm::FaultPlan
 
 use supermem_crypto::{CounterLine, EncryptionEngine};
-use supermem_memctrl::CrashImage;
+use supermem_memctrl::{CrashImage, MachineCrashImage};
 use supermem_nvm::addr::{AddressMap, LineAddr, PageId};
 use supermem_nvm::{LineData, MediaError, NvmStore};
 use supermem_sim::Config;
@@ -136,25 +136,18 @@ impl RecoveredMemory {
     /// Builds the view, completing any interrupted page re-encryption
     /// recorded in the RSR.
     pub fn from_image(cfg: &Config, image: CrashImage) -> Self {
-        let map = AddressMap::new(cfg.nvm_bytes, cfg.line_bytes, cfg.page_bytes, cfg.banks);
+        let map = AddressMap::with_channels(
+            cfg.nvm_bytes,
+            cfg.line_bytes,
+            cfg.page_bytes,
+            cfg.banks,
+            cfg.channels,
+        );
         let engine = EncryptionEngine::new(cfg.encryption_key());
         let CrashImage { mut store, rsr, .. } = image;
         if cfg.encryption {
             if let Some(rsr) = rsr {
-                let page = rsr.page();
-                let old = CounterLine::decode(&store.read_counter(page));
-                let new_major = rsr.old_major() + 1;
-                for idx in 0..map.lines_per_page() as usize {
-                    let line = map.line_in_page(page, idx);
-                    let cipher = store.read_data(line);
-                    let plain = if rsr.is_done(idx) {
-                        engine.decrypt_line(&cipher, line.0, new_major, 0)
-                    } else {
-                        engine.decrypt_line(&cipher, line.0, old.major(), old.minor(idx))
-                    };
-                    store.write_data(line, engine.encrypt_line(&plain, line.0, new_major, 0));
-                }
-                store.write_counter(page, CounterLine::with_major(new_major).encode());
+                Self::complete_rsr(&map, &engine, &mut store, &rsr);
             }
         }
         Self {
@@ -165,6 +158,56 @@ impl RecoveredMemory {
             read_retries: 0,
             media_failures: 0,
         }
+    }
+
+    /// Builds the view from a multi-channel crash image: each channel's
+    /// interrupted page re-encryption (the per-channel RSR) is completed
+    /// against that channel's own store first, then the disjoint
+    /// per-channel stores are merged into one address space.
+    pub fn from_machine_image(cfg: &Config, mut machine: MachineCrashImage) -> Self {
+        let map = AddressMap::with_channels(
+            cfg.nvm_bytes,
+            cfg.line_bytes,
+            cfg.page_bytes,
+            cfg.banks,
+            cfg.channels,
+        );
+        let engine = EncryptionEngine::new(cfg.encryption_key());
+        if cfg.encryption {
+            for image in &mut machine.channels {
+                if let Some(rsr) = image.rsr.take() {
+                    Self::complete_rsr(&map, &engine, &mut image.store, &rsr);
+                }
+            }
+        }
+        Self::from_image(cfg, machine.merged())
+    }
+
+    /// Finishes the page re-encryption an RSR recorded as in flight:
+    /// done lines already decrypt under `(old_major + 1, 0)`, the rest
+    /// still decrypt with the old counter line the controller left
+    /// untouched; everything is rewritten under the new epoch and the
+    /// counter line reset (paper §3.4.4).
+    fn complete_rsr(
+        map: &AddressMap,
+        engine: &EncryptionEngine,
+        store: &mut NvmStore,
+        rsr: &supermem_memctrl::Rsr,
+    ) {
+        let page = rsr.page();
+        let old = CounterLine::decode(&store.read_counter(page));
+        let new_major = rsr.old_major() + 1;
+        for idx in 0..map.lines_per_page() as usize {
+            let line = map.line_in_page(page, idx);
+            let cipher = store.read_data(line);
+            let plain = if rsr.is_done(idx) {
+                engine.decrypt_line(&cipher, line.0, new_major, 0)
+            } else {
+                engine.decrypt_line(&cipher, line.0, old.major(), old.minor(idx))
+            };
+            store.write_data(line, engine.encrypt_line(&plain, line.0, new_major, 0));
+        }
+        store.write_counter(page, CounterLine::with_major(new_major).encode());
     }
 
     /// Like [`RecoveredMemory::from_image`], but first re-verifies the
@@ -182,45 +225,77 @@ impl RecoveredMemory {
     /// exhaustion) or the recomputed root diverges from the trusted
     /// root register.
     pub fn from_image_checked(cfg: &Config, mut image: CrashImage) -> Result<Self, RecoveryError> {
-        let mut retries = 0u64;
-        if let Some(root) = image.bmt_root {
-            let mut bmt = supermem_integrity::Bmt::new(cfg.encryption_key(), cfg.integrity_pages);
-            let pages: Vec<PageId> = image
-                .store
-                .counter_lines()
-                .into_iter()
-                .filter(|p| p.0 < cfg.integrity_pages)
-                .collect();
-            for page in pages {
-                let mut attempt = 0u32;
-                let raw = loop {
-                    match image.store.read_counter_checked(page) {
-                        Ok(d) => break d,
-                        Err(MediaError::Transient) if attempt < READ_RETRY_LIMIT => {
-                            attempt += 1;
-                            retries += 1;
-                        }
-                        Err(e) => {
-                            return Err(RecoveryError::DetectedCorrupt(format!(
-                                "counter line of page {} unreadable during integrity \
-                                 verification: {e}",
-                                page.0
-                            )))
-                        }
-                    }
-                };
-                bmt.update(page.0, &raw);
-            }
-            if bmt.root() != root {
-                return Err(RecoveryError::DetectedCorrupt(
-                    "integrity root mismatch: counter region does not match the trusted root"
-                        .into(),
-                ));
-            }
-        }
+        let retries = Self::verify_image_integrity(cfg, &mut image)?;
         let mut rec = Self::from_image(cfg, image);
         rec.read_retries += retries;
         Ok(rec)
+    }
+
+    /// [`RecoveredMemory::from_machine_image`] with the per-channel
+    /// integrity verification of [`RecoveredMemory::from_image_checked`]:
+    /// each channel maintains its own tree over the counter lines it
+    /// owns, so each per-channel root is re-verified against that
+    /// channel's store before any merging or re-encryption happens.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::DetectedCorrupt`] when any channel's counter
+    /// region is unreadable or fails its root check.
+    pub fn from_machine_image_checked(
+        cfg: &Config,
+        mut machine: MachineCrashImage,
+    ) -> Result<Self, RecoveryError> {
+        let mut retries = 0u64;
+        for image in &mut machine.channels {
+            retries += Self::verify_image_integrity(cfg, image)?;
+        }
+        let mut rec = Self::from_machine_image(cfg, machine);
+        rec.read_retries += retries;
+        Ok(rec)
+    }
+
+    /// Recomputes the integrity tree over one image's counter lines
+    /// through the checked media path and compares it against the
+    /// image's trusted root (when one was recorded). Returns the number
+    /// of transient-read retries performed.
+    fn verify_image_integrity(cfg: &Config, image: &mut CrashImage) -> Result<u64, RecoveryError> {
+        let mut retries = 0u64;
+        let Some(root) = image.bmt_root else {
+            return Ok(0);
+        };
+        let mut bmt = supermem_integrity::Bmt::new(cfg.encryption_key(), cfg.integrity_pages);
+        let pages: Vec<PageId> = image
+            .store
+            .counter_lines()
+            .into_iter()
+            .filter(|p| p.0 < cfg.integrity_pages)
+            .collect();
+        for page in pages {
+            let mut attempt = 0u32;
+            let raw = loop {
+                match image.store.read_counter_checked(page) {
+                    Ok(d) => break d,
+                    Err(MediaError::Transient) if attempt < READ_RETRY_LIMIT => {
+                        attempt += 1;
+                        retries += 1;
+                    }
+                    Err(e) => {
+                        return Err(RecoveryError::DetectedCorrupt(format!(
+                            "counter line of page {} unreadable during integrity \
+                             verification: {e}",
+                            page.0
+                        )))
+                    }
+                }
+            };
+            bmt.update(page.0, &raw);
+        }
+        if bmt.root() != root {
+            return Err(RecoveryError::DetectedCorrupt(
+                "integrity root mismatch: counter region does not match the trusted root".into(),
+            ));
+        }
+        Ok(retries)
     }
 
     /// Transient-read retries performed so far.
@@ -1000,5 +1075,93 @@ mod tests {
         rec.read(0x40, &mut buf);
         assert_eq!(buf, [0; 8], "lost lines read as poison");
         assert!(rec.media_failures() > 0, "the failure must be counted");
+    }
+
+    #[test]
+    fn machine_image_recovers_lines_from_every_channel() {
+        use supermem_memctrl::ChannelSet;
+        let cfg = cfg().with_channels(4);
+        let mut set = ChannelSet::new(&cfg);
+        let mut t = 0;
+        // One line per channel: pages 0..4 interleave round-robin.
+        for ch in 0..4u64 {
+            let addr = ch * cfg.page_bytes + 0x40;
+            t = set.flush_line(LineAddr(addr), [ch as u8 + 1; 64], t);
+        }
+        set.finish(t);
+        let mut rec = RecoveredMemory::from_machine_image(&cfg, set.machine_crash_now());
+        for ch in 0..4u64 {
+            let mut buf = [0u8; 8];
+            rec.read(ch * cfg.page_bytes + 0x40, &mut buf);
+            assert_eq!(buf, [ch as u8 + 1; 8], "channel {ch} line lost");
+        }
+    }
+
+    #[test]
+    fn machine_image_completes_each_channels_rsr() {
+        use supermem_memctrl::ChannelSet;
+        let cfg = cfg().with_channels(2);
+        let mut set = ChannelSet::new(&cfg);
+        // Overflow the minor counter of page 0 (channel 0) while page 1
+        // (channel 1) holds steady data, then crash mid-re-encryption.
+        let mut t = set.flush_line(LineAddr(cfg.page_bytes + 0x40), [0x77; 64], 0);
+        for i in 0..127u64 {
+            t = set.flush_line(LineAddr(0x40), [i as u8; 64], t);
+        }
+        set.arm_crash_after_appends(10);
+        set.flush_line(LineAddr(0x40), [0xEE; 64], t);
+        let machine = set
+            .take_machine_crash_image()
+            .expect("crash fired mid-reencryption");
+        assert!(
+            machine.channels.iter().any(|c| c.rsr.is_some()),
+            "the overflow must leave an RSR in some channel"
+        );
+        let mut rec = RecoveredMemory::from_machine_image(&cfg, machine);
+        let mut buf = [0u8; 8];
+        rec.read(cfg.page_bytes + 0x40, &mut buf);
+        assert_eq!(buf, [0x77; 8], "the other channel's data must survive");
+        rec.read(0x40, &mut buf);
+        assert!(
+            buf == [126; 8] || buf == [0xEE; 8],
+            "re-encrypted line must decrypt to old or new value, got {buf:?}"
+        );
+    }
+
+    #[test]
+    fn machine_image_checked_verifies_each_channel_root() {
+        use supermem_memctrl::ChannelSet;
+        let mut cfg = cfg().with_channels(2);
+        cfg.integrity_tree = true;
+        let mut set = ChannelSet::new(&cfg);
+        let mut t = 0;
+        for ch in 0..2u64 {
+            t = set.flush_line(LineAddr(ch * cfg.page_bytes + 0x40), [9; 64], t);
+        }
+        set.finish(t);
+
+        // Clean machine image verifies and recovers.
+        let mut rec = RecoveredMemory::from_machine_image_checked(&cfg, set.machine_crash_now())
+            .expect("clean image must verify");
+        let mut buf = [0u8; 8];
+        rec.read(cfg.page_bytes + 0x40, &mut buf);
+        assert_eq!(buf, [9; 8]);
+
+        // Tamper with one channel's counter line: that channel's root
+        // check must reject the whole recovery.
+        let mut machine = set.machine_crash_now();
+        let victim = machine
+            .channels
+            .iter_mut()
+            .find(|c| !c.store.counter_lines().is_empty())
+            .expect("some channel holds counters");
+        let page = victim.store.counter_lines()[0];
+        let mut raw = victim.store.read_counter(page);
+        raw[0] ^= 0xFF;
+        victim.store.write_counter(page, raw);
+        assert!(matches!(
+            RecoveredMemory::from_machine_image_checked(&cfg, machine),
+            Err(RecoveryError::DetectedCorrupt(_))
+        ));
     }
 }

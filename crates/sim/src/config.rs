@@ -8,6 +8,93 @@
 //! by the paper (citing prior work).
 
 use crate::time::{ns_to_cycles, Cycle};
+use std::error::Error;
+use std::fmt;
+
+/// A violated [`Config`] invariant, reported by [`Config::validate`].
+///
+/// Each variant names one constraint and carries the offending value(s),
+/// so callers can match on the failure class instead of parsing strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `line_bytes` is not a power of two.
+    LineBytesNotPow2(u64),
+    /// `page_bytes` is not a power of two at least as large as a line.
+    PageBytesInvalid(u64),
+    /// `banks` is not a power of two.
+    BanksNotPow2(usize),
+    /// `channels` is not a power of two.
+    ChannelsNotPow2(usize),
+    /// XBank counter placement requires an even number of banks.
+    XBankOddBanks(usize),
+    /// The write queue cannot hold a data+counter pair.
+    WriteQueueTooSmall(usize),
+    /// `nvm_bytes` is not a whole number of pages.
+    NvmNotWholePages(u64),
+    /// The NVM does not split into at least one page per channel.
+    NvmTooSmallForChannels {
+        /// Total pages in the NVM.
+        pages: u64,
+        /// Configured channel count.
+        channels: usize,
+    },
+    /// `cores` is zero.
+    NoCores,
+    /// A cache capacity is not divisible by `ways * line_bytes`.
+    CacheGeometry {
+        /// Which cache (`"l1"`, `"l2"`, `"l3"`, or `"counter_cache"`).
+        cache: &'static str,
+        /// Configured capacity in bytes.
+        bytes: u64,
+        /// Configured associativity.
+        ways: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::LineBytesNotPow2(v) => {
+                write!(f, "line_bytes {v} must be a power of two")
+            }
+            ConfigError::PageBytesInvalid(v) => {
+                write!(f, "page_bytes {v} must be a power of two >= line_bytes")
+            }
+            ConfigError::BanksNotPow2(v) => write!(f, "banks {v} must be a power of two"),
+            ConfigError::ChannelsNotPow2(v) => {
+                write!(f, "channels {v} must be a power of two")
+            }
+            ConfigError::XBankOddBanks(v) => {
+                write!(f, "XBank placement requires an even bank count (got {v})")
+            }
+            ConfigError::WriteQueueTooSmall(v) => {
+                write!(
+                    f,
+                    "write queue must hold at least a data+counter pair (got {v})"
+                )
+            }
+            ConfigError::NvmNotWholePages(v) => {
+                write!(f, "nvm_bytes {v} must be a whole number of pages")
+            }
+            ConfigError::NvmTooSmallForChannels { pages, channels } => {
+                write!(
+                    f,
+                    "NVM of {pages} pages cannot be interleaved over {channels} channels"
+                )
+            }
+            ConfigError::NoCores => write!(f, "at least one core is required"),
+            ConfigError::CacheGeometry { cache, bytes, ways } => {
+                write!(
+                    f,
+                    "{cache}: {bytes} bytes must be divisible by ways*line ({ways} ways)"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
 
 /// Policy of the on-chip counter cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -143,8 +230,16 @@ pub struct Config {
 
     /// NVM capacity in bytes (paper: 8 GB).
     pub nvm_bytes: u64,
-    /// Number of NVM banks (paper: 8).
+    /// Number of NVM banks per channel (paper: 8).
     pub banks: usize,
+    /// Number of address-interleaved memory channels (power of two).
+    ///
+    /// Pages interleave across channels (`channel = page % channels`);
+    /// each channel owns an independent controller, write queue, counter
+    /// cache, and bank set. The paper evaluates a single channel, so the
+    /// default is 1 and the `channels = 1` address mapping is bit-identical
+    /// to the unsharded layout.
+    pub channels: usize,
     /// PCM activate latency tRCD in ns.
     pub trcd_ns: f64,
     /// PCM CAS latency tCL in ns.
@@ -230,6 +325,7 @@ impl Default for Config {
             l3_latency: 30,
             nvm_bytes: 8 << 30,
             banks: 8,
+            channels: 1,
             trcd_ns: 48.0,
             tcl_ns: 15.0,
             tcwd_ns: 13.0,
@@ -274,6 +370,12 @@ impl Config {
     /// Sets the master seed and returns the config.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the memory channel count and returns the config.
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        self.channels = channels;
         self
     }
 
@@ -324,39 +426,42 @@ impl Config {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first violated
-    /// constraint (power-of-two sizes, non-zero capacities, an even bank
-    /// count for the XBank mapping, and so on).
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated constraint as a typed [`ConfigError`]
+    /// (power-of-two sizes, non-zero capacities, an even bank count for
+    /// the XBank mapping, and so on).
+    pub fn validate(&self) -> Result<(), ConfigError> {
         fn pow2(v: u64) -> bool {
             v != 0 && v.is_power_of_two()
         }
         if !pow2(self.line_bytes) {
-            return Err(format!(
-                "line_bytes {} must be a power of two",
-                self.line_bytes
-            ));
+            return Err(ConfigError::LineBytesNotPow2(self.line_bytes));
         }
         if !pow2(self.page_bytes) || self.page_bytes < self.line_bytes {
-            return Err(format!(
-                "page_bytes {} must be a power of two >= line_bytes",
-                self.page_bytes
-            ));
+            return Err(ConfigError::PageBytesInvalid(self.page_bytes));
         }
         if !pow2(self.banks as u64) {
-            return Err(format!("banks {} must be a power of two", self.banks));
+            return Err(ConfigError::BanksNotPow2(self.banks));
+        }
+        if !pow2(self.channels as u64) {
+            return Err(ConfigError::ChannelsNotPow2(self.channels));
         }
         if self.counter_placement == CounterPlacement::CrossBank && !self.banks.is_multiple_of(2) {
-            return Err("XBank placement requires an even bank count".to_owned());
+            return Err(ConfigError::XBankOddBanks(self.banks));
         }
         if self.write_queue_entries < 2 {
-            return Err("write queue must hold at least a data+counter pair".to_owned());
+            return Err(ConfigError::WriteQueueTooSmall(self.write_queue_entries));
         }
         if !self.nvm_bytes.is_multiple_of(self.page_bytes) {
-            return Err("nvm_bytes must be a whole number of pages".to_owned());
+            return Err(ConfigError::NvmNotWholePages(self.nvm_bytes));
+        }
+        if self.pages() < self.channels as u64 {
+            return Err(ConfigError::NvmTooSmallForChannels {
+                pages: self.pages(),
+                channels: self.channels,
+            });
         }
         if self.cores == 0 {
-            return Err("at least one core is required".to_owned());
+            return Err(ConfigError::NoCores);
         }
         for (name, bytes, ways) in [
             ("l1", self.l1_bytes, self.l1_ways),
@@ -369,9 +474,11 @@ impl Config {
             ),
         ] {
             if ways == 0 || !bytes.is_multiple_of(self.line_bytes * ways as u64) {
-                return Err(format!(
-                    "{name}: {bytes} bytes must be divisible by ways*line ({ways} ways)"
-                ));
+                return Err(ConfigError::CacheGeometry {
+                    cache: name,
+                    bytes,
+                    ways,
+                });
             }
         }
         Ok(())
@@ -457,7 +564,32 @@ mod tests {
             l1_bytes: 1000,
             ..Config::default()
         };
-        assert!(c.validate().is_err());
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::CacheGeometry { cache: "l1", .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_non_pow2_channels() {
+        let c = Config::default().with_channels(3);
+        assert_eq!(c.validate(), Err(ConfigError::ChannelsNotPow2(3)));
+        let c = Config::default().with_channels(0);
+        assert_eq!(c.validate(), Err(ConfigError::ChannelsNotPow2(0)));
+        for ch in [1, 2, 4, 8] {
+            assert!(Config::default().with_channels(ch).validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn config_error_displays_offending_value() {
+        let c = Config {
+            banks: 6,
+            ..Config::default()
+        };
+        let err = c.validate().unwrap_err();
+        assert_eq!(err, ConfigError::BanksNotPow2(6));
+        assert!(err.to_string().contains('6'));
     }
 
     #[test]

@@ -27,7 +27,9 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use config::{Config, CounterCacheBacking, CounterCacheMode, CounterPlacement, Mutation};
+pub use config::{
+    Config, ConfigError, CounterCacheBacking, CounterCacheMode, CounterPlacement, Mutation,
+};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use probe::{
     BankUtilization, Event, LatencyBreakdown, Log2Histogram, Observer, OccupancySeries, Probes,

@@ -53,6 +53,7 @@ fn every_fault_class_leaves_a_trace_somewhere_in_the_sweep() {
             classes: vec![Some(class)],
             seeds: vec![1, 2, 3],
             point: None,
+            channels: vec![1],
         };
         let report = run_torture(&cfg);
         assert!(report.silent().is_empty(), "{class}: silent corruption");
@@ -87,8 +88,9 @@ fn seeded_cases_are_deterministic() {
     let tc = TortureCase {
         scheme: Scheme::SuperMem,
         class: Some(FaultClass::Torn),
-        point: crash_points(Scheme::SuperMem) / 2,
+        point: crash_points(Scheme::SuperMem, 1) / 2,
         seed: 42,
+        channels: 1,
     };
     let a = run_case(&tc);
     let b = run_case(&tc);
@@ -106,6 +108,7 @@ fn osiris_scheme_survives_torture_through_trial_decryption_recovery() {
         classes: vec![None, Some(FaultClass::Torn), Some(FaultClass::DoubleFlip)],
         seeds: vec![1, 2],
         point: None,
+        channels: vec![1],
     };
     let report = run_torture(&cfg);
     assert!(report.silent().is_empty());
