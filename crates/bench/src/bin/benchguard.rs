@@ -11,7 +11,8 @@ use std::process::ExitCode;
 use supermem::memctrl::{ChannelSet, MemoryController};
 use supermem::nvm::addr::LineAddr;
 use supermem::sim::Config;
-use supermem::Scheme;
+use supermem::workloads::WorkloadKind;
+use supermem::{run_single, RunConfig, Scheme};
 use supermem_bench::guard::{check, extract_after_ns, tolerance, GuardCheck};
 use supermem_bench::micro::Harness;
 
@@ -81,6 +82,22 @@ fn main() -> ExitCode {
             let (data, done) = mc.read_line(black_box(line), t);
             t = done;
             data
+        });
+    }
+
+    {
+        // Wall-clock guard for a whole large run on the widest committed
+        // configuration: 8 channels, array workload, 40 transactions per
+        // iteration. This is the figure-suite shape (front end + barrier
+        // engine + crypto + drain fast path together), so it catches
+        // regressions the per-call microbenchmarks above cannot see,
+        // e.g. a barrier that stops skipping quiescent channels.
+        let mut rc = RunConfig::new(Scheme::SuperMem, WorkloadKind::Array);
+        rc.txns = 40;
+        rc.req_bytes = 1024;
+        rc.channels = 8;
+        h.bench("single_run/SuperMem-ch8-large", || {
+            black_box(run_single(black_box(&rc)))
         });
     }
 

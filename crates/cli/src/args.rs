@@ -118,6 +118,15 @@ pub fn parse_run_flags(argv: &[String]) -> Result<Parsed, ArgError> {
                     return Err(ArgError("--read-pct must be 0..=100".into()));
                 }
             }
+            "--run-threads" => {
+                let n: usize = value(&mut it, "--run-threads")?
+                    .parse()
+                    .map_err(|_| ArgError("invalid --run-threads".into()))?;
+                if n == 0 {
+                    return Err(ArgError("--run-threads must be at least 1".into()));
+                }
+                rc.run_threads = n;
+            }
             "--csv" => csv = true,
             other => {
                 leftover.push(other.to_owned());
@@ -187,6 +196,14 @@ mod tests {
         assert_eq!(p.rc.channels, 4);
         assert!(parse_run_flags(&strs(&["--channels", "3"])).is_err());
         assert!(parse_run_flags(&strs(&["--channels", "0"])).is_err());
+    }
+
+    #[test]
+    fn run_threads_flag_parses_and_validates() {
+        let p = parse_run_flags(&strs(&["--run-threads", "4"])).unwrap();
+        assert_eq!(p.rc.run_threads, 4);
+        assert!(parse_run_flags(&strs(&["--run-threads", "0"])).is_err());
+        assert!(parse_run_flags(&strs(&["--run-threads", "x"])).is_err());
     }
 
     #[test]

@@ -233,6 +233,13 @@ pub fn cmd_profile(argv: &[String]) -> Result<(), ArgError> {
     // than one channel the table splits the id into its two coordinates.
     let banks_per_channel = p.rc.machine_config().banks;
     let multi = p.rc.channels > 1;
+    println!(
+        "channels: {} × {} banks, {} intra-run worker thread{}",
+        p.rc.channels,
+        banks_per_channel,
+        p.rc.run_threads,
+        if p.rc.run_threads == 1 { "" } else { "s" },
+    );
     let headers: &[&str] = if multi {
         &["ch", "bank", "reads", "writes", "busy cyc", "util"]
     } else {

@@ -73,11 +73,12 @@ pub mod verify;
 pub use experiment::{ConfigError, Experiment};
 pub use metrics::RunResult;
 pub use runner::{
-    record_workload_trace, replay_trace, run_multicore, run_multicore_trace, run_single, RunConfig,
+    env_run_threads, record_workload_trace, replay_trace, run_multicore, run_multicore_trace,
+    run_single, RunConfig,
 };
 pub use sca::ScaSystem;
 pub use scheme::Scheme;
-pub use sweep::{run_batch, sweep, worker_count};
+pub use sweep::{run_batch, sweep, thread_budget, worker_count};
 pub use system::{System, SystemBuilder};
 pub use torture::{
     run_torture, Classification, TortureCase, TortureConfig, TortureReport, TORTURE_SCHEMES,

@@ -62,6 +62,24 @@ pub struct RunConfig {
     pub cwc_override: Option<bool>,
     /// Fault injection for the persistency-ordering checker (None = none).
     pub mutation: Option<Mutation>,
+    /// Host worker threads advancing channels within this run (an
+    /// execution knob, not a machine parameter: results are identical
+    /// at every setting). Defaults to `SUPERMEM_RUN_THREADS` or 1; only
+    /// multi-channel configs have sibling work to parallelize.
+    pub run_threads: usize,
+}
+
+/// The intra-run worker-thread count requested via the
+/// `SUPERMEM_RUN_THREADS` environment variable, or 1 (sequential) when
+/// unset or unparsable. [`RunConfig::default`] starts from this, and the
+/// sweep engine divides its own worker budget by it so that
+/// `run_threads × sweep workers` never oversubscribes the host.
+pub fn env_run_threads() -> usize {
+    std::env::var("SUPERMEM_RUN_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 impl Default for RunConfig {
@@ -84,6 +102,7 @@ impl Default for RunConfig {
             placement_override: None,
             cwc_override: None,
             mutation: None,
+            run_threads: env_run_threads(),
         }
     }
 }
@@ -125,6 +144,13 @@ impl RunConfig {
     /// Sets the interleaved memory channel count (power of two).
     pub fn with_channels(mut self, channels: usize) -> Self {
         self.channels = channels;
+        self
+    }
+
+    /// Sets the intra-run worker-thread count (values below 1 mean the
+    /// sequential path). Results are identical at every setting.
+    pub fn with_run_threads(mut self, run_threads: usize) -> Self {
+        self.run_threads = run_threads.max(1);
         self
     }
 
@@ -235,6 +261,7 @@ impl RunConfig {
         cfg.wear_psi = self.wear_psi;
         cfg.integrity_tree = self.integrity_tree;
         cfg.mutation = self.mutation;
+        cfg.run_threads = self.run_threads.max(1);
         cfg
     }
 

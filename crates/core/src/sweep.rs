@@ -11,7 +11,10 @@
 //! Worker count comes from [`worker_count`]: the `SUPERMEM_THREADS`
 //! environment variable when set (a value of `1` forces the sequential
 //! path, useful for A/B timing), otherwise
-//! [`std::thread::available_parallelism`].
+//! [`std::thread::available_parallelism`] — divided by
+//! `SUPERMEM_RUN_THREADS` when intra-run parallelism is on, so the two
+//! levels of parallelism share one host budget instead of
+//! multiplying.
 //!
 //! ```
 //! use supermem::workloads::WorkloadKind;
@@ -27,11 +30,21 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::metrics::RunResult;
-use crate::runner::{run_single, RunConfig};
+use crate::runner::{env_run_threads, run_single, RunConfig};
 
-/// Number of worker threads a sweep will use: `SUPERMEM_THREADS` if set
-/// to a positive integer, else the host's available parallelism.
+/// Number of worker threads a sweep will use: the host thread budget
+/// ([`thread_budget`]) divided by the intra-run worker count
+/// ([`env_run_threads`]), so `sweep workers × run_threads` never
+/// oversubscribes the host. With `SUPERMEM_RUN_THREADS` unset (the
+/// default `run_threads = 1`) this is exactly the budget.
 pub fn worker_count() -> usize {
+    (thread_budget() / env_run_threads()).max(1)
+}
+
+/// The host thread budget before intra-run arbitration:
+/// `SUPERMEM_THREADS` if set to a positive integer, else the host's
+/// available parallelism.
+pub fn thread_budget() -> usize {
     if let Some(n) = std::env::var("SUPERMEM_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())

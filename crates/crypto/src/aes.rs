@@ -15,6 +15,17 @@
 //! Correctness is pinned by the FIPS-197 Appendix B/C and SP 800-38A
 //! test vectors, plus a randomized cross-check against the
 //! straightforward byte-wise implementation kept in the test module.
+//!
+//! With the `simd-aes` feature (on by default) the cipher additionally
+//! carries a hardware path: on x86-64 hosts whose CPU reports AES-NI,
+//! [`Aes128::encrypt_block`], [`Aes128::decrypt_block`], and the
+//! four-block [`Aes128::encrypt4`] dispatch at runtime to the `AESENC`/
+//! `AESDEC` pipeline in the private `simd` module, falling back to the
+//! T-table path
+//! everywhere else (non-x86 targets, older CPUs, and miri, which does
+//! not model vendor intrinsics). Both paths produce byte-identical
+//! output — the `hardware_path_matches_ttable_path` test cross-checks
+//! them exhaustively over random keys and blocks.
 
 /// The AES S-box (FIPS-197 Figure 7).
 const SBOX: [u8; 256] = [
@@ -183,6 +194,52 @@ impl Aes128 {
 
     /// Encrypts one 16-byte block.
     pub fn encrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+        #[cfg(all(feature = "simd-aes", target_arch = "x86_64", not(miri)))]
+        if aesni_available() {
+            let mut b = block;
+            // SAFETY: AES-NI support was verified at runtime just above.
+            unsafe { simd::encrypt1(&self.ek, &mut b) };
+            return b;
+        }
+        self.encrypt_block_ttable(block)
+    }
+
+    /// Encrypts four 16-byte blocks with the same key schedule.
+    ///
+    /// This is the shape of the counter-mode pad derivation (four pad
+    /// blocks per 64-byte line): on AES-NI hosts all four blocks travel
+    /// the hardware pipeline together, hiding the `AESENC` latency, and
+    /// the round keys are loaded once instead of four times. The output
+    /// is byte-for-byte what four [`Aes128::encrypt_block`] calls give.
+    pub fn encrypt4(&self, blocks: [[u8; 16]; 4]) -> [[u8; 16]; 4] {
+        let mut out = blocks;
+        #[cfg(all(feature = "simd-aes", target_arch = "x86_64", not(miri)))]
+        if aesni_available() {
+            // SAFETY: AES-NI support was verified at runtime just above.
+            unsafe { simd::encrypt4(&self.ek, &mut out) };
+            return out;
+        }
+        for b in &mut out {
+            *b = self.encrypt_block_ttable(*b);
+        }
+        out
+    }
+
+    /// Decrypts one 16-byte block.
+    pub fn decrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+        #[cfg(all(feature = "simd-aes", target_arch = "x86_64", not(miri)))]
+        if aesni_available() {
+            let mut b = block;
+            // SAFETY: AES-NI support was verified at runtime just above.
+            unsafe { simd::decrypt1(&self.dk, &mut b) };
+            return b;
+        }
+        self.decrypt_block_ttable(block)
+    }
+
+    /// The table-driven encryption path (used when AES-NI is compiled
+    /// out, not present on the host CPU, or under miri).
+    fn encrypt_block_ttable(&self, block: [u8; 16]) -> [u8; 16] {
         let mut w = [0u32; 4];
         for c in 0..4 {
             let col: [u8; 4] = block[c * 4..c * 4 + 4].try_into().expect("4-byte column");
@@ -214,8 +271,9 @@ impl Aes128 {
         out
     }
 
-    /// Decrypts one 16-byte block.
-    pub fn decrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+    /// The table-driven decryption path (used when AES-NI is compiled
+    /// out, not present on the host CPU, or under miri).
+    fn decrypt_block_ttable(&self, block: [u8; 16]) -> [u8; 16] {
         let mut w = [0u32; 4];
         for c in 0..4 {
             let col: [u8; 4] = block[c * 4..c * 4 + 4].try_into().expect("4-byte column");
@@ -244,6 +302,116 @@ impl Aes128 {
             out[c * 4..c * 4 + 4].copy_from_slice(&word.to_le_bytes());
         }
         out
+    }
+}
+
+/// Whether the hardware AES path may be taken on this host.
+///
+/// `is_x86_feature_detected!` caches its CPUID probe internally, so the
+/// per-block dispatch cost is one relaxed atomic load.
+#[cfg(all(feature = "simd-aes", target_arch = "x86_64", not(miri)))]
+#[inline]
+fn aesni_available() -> bool {
+    std::arch::is_x86_feature_detected!("aes")
+}
+
+/// Hardware AES-128 via the x86-64 AES-NI instructions.
+///
+/// The round keys need no conversion: `ek`/`dk` hold little-endian
+/// column words, so on a little-endian x86-64 host the in-memory bytes
+/// of each `[u32; 4]` round group are exactly the 16-byte round key the
+/// `AESENC` family consumes. The decryption schedule `dk` already has
+/// InvMixColumns folded into rounds 1..=9 in reversed order (the
+/// equivalent inverse cipher), which is precisely the key layout
+/// `AESDEC` expects.
+#[cfg(all(feature = "simd-aes", target_arch = "x86_64", not(miri)))]
+mod simd {
+    use core::arch::x86_64::{
+        __m128i, _mm_aesdec_si128, _mm_aesdeclast_si128, _mm_aesenc_si128, _mm_aesenclast_si128,
+        _mm_loadu_si128, _mm_storeu_si128, _mm_xor_si128,
+    };
+
+    /// Loads round key `r` from a word-form schedule.
+    ///
+    /// # Safety
+    ///
+    /// `r` must be in `0..=10`; SSE2 is part of the x86-64 baseline.
+    #[inline]
+    #[allow(clippy::cast_ptr_alignment)] // _mm_loadu_si128 is an unaligned load
+    unsafe fn round_key(keys: &[u32; 44], r: usize) -> __m128i {
+        debug_assert!(r <= 10);
+        _mm_loadu_si128(keys.as_ptr().add(4 * r).cast::<__m128i>())
+    }
+
+    /// Encrypts one block in place.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AES-NI (`is_x86_feature_detected!("aes")`).
+    #[target_feature(enable = "aes")]
+    #[allow(clippy::cast_ptr_alignment)]
+    pub(super) unsafe fn encrypt1(ek: &[u32; 44], block: &mut [u8; 16]) {
+        let mut s = _mm_loadu_si128(block.as_ptr().cast::<__m128i>());
+        s = _mm_xor_si128(s, round_key(ek, 0));
+        for r in 1..10 {
+            s = _mm_aesenc_si128(s, round_key(ek, r));
+        }
+        s = _mm_aesenclast_si128(s, round_key(ek, 10));
+        _mm_storeu_si128(block.as_mut_ptr().cast::<__m128i>(), s);
+    }
+
+    /// Encrypts four blocks in place, interleaved so the four `AESENC`
+    /// chains pipeline through the AES unit instead of serializing.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AES-NI (`is_x86_feature_detected!("aes")`).
+    #[target_feature(enable = "aes")]
+    #[allow(clippy::cast_ptr_alignment)]
+    pub(super) unsafe fn encrypt4(ek: &[u32; 44], blocks: &mut [[u8; 16]; 4]) {
+        let mut s0 = _mm_loadu_si128(blocks[0].as_ptr().cast::<__m128i>());
+        let mut s1 = _mm_loadu_si128(blocks[1].as_ptr().cast::<__m128i>());
+        let mut s2 = _mm_loadu_si128(blocks[2].as_ptr().cast::<__m128i>());
+        let mut s3 = _mm_loadu_si128(blocks[3].as_ptr().cast::<__m128i>());
+        let k = round_key(ek, 0);
+        s0 = _mm_xor_si128(s0, k);
+        s1 = _mm_xor_si128(s1, k);
+        s2 = _mm_xor_si128(s2, k);
+        s3 = _mm_xor_si128(s3, k);
+        for r in 1..10 {
+            let k = round_key(ek, r);
+            s0 = _mm_aesenc_si128(s0, k);
+            s1 = _mm_aesenc_si128(s1, k);
+            s2 = _mm_aesenc_si128(s2, k);
+            s3 = _mm_aesenc_si128(s3, k);
+        }
+        let k = round_key(ek, 10);
+        s0 = _mm_aesenclast_si128(s0, k);
+        s1 = _mm_aesenclast_si128(s1, k);
+        s2 = _mm_aesenclast_si128(s2, k);
+        s3 = _mm_aesenclast_si128(s3, k);
+        _mm_storeu_si128(blocks[0].as_mut_ptr().cast::<__m128i>(), s0);
+        _mm_storeu_si128(blocks[1].as_mut_ptr().cast::<__m128i>(), s1);
+        _mm_storeu_si128(blocks[2].as_mut_ptr().cast::<__m128i>(), s2);
+        _mm_storeu_si128(blocks[3].as_mut_ptr().cast::<__m128i>(), s3);
+    }
+
+    /// Decrypts one block in place over the equivalent-inverse-cipher
+    /// schedule `dk`.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AES-NI (`is_x86_feature_detected!("aes")`).
+    #[target_feature(enable = "aes")]
+    #[allow(clippy::cast_ptr_alignment)]
+    pub(super) unsafe fn decrypt1(dk: &[u32; 44], block: &mut [u8; 16]) {
+        let mut s = _mm_loadu_si128(block.as_ptr().cast::<__m128i>());
+        s = _mm_xor_si128(s, round_key(dk, 0));
+        for r in 1..10 {
+            s = _mm_aesdec_si128(s, round_key(dk, r));
+        }
+        s = _mm_aesdeclast_si128(s, round_key(dk, 10));
+        _mm_storeu_si128(block.as_mut_ptr().cast::<__m128i>(), s);
     }
 }
 
@@ -421,6 +589,79 @@ mod tests {
             assert_eq!(ct, reference::encrypt_block(&aes.ek, block));
             assert_eq!(aes.decrypt_block(ct), block);
             assert_eq!(reference::decrypt_block(&aes.ek, ct), block);
+        }
+    }
+
+    #[test]
+    fn ttable_path_matches_fips_vectors() {
+        // The fallback path pinned directly, so it stays validated even
+        // on hosts where the public API dispatches to AES-NI.
+        let aes = Aes128::new(hex16("2b7e151628aed2a6abf7158809cf4f3c"));
+        let pt = hex16("3243f6a8885a308d313198a2e0370734");
+        let ct = aes.encrypt_block_ttable(pt);
+        assert_eq!(ct, hex16("3925841d02dc09fbdc118597196a0b32"));
+        assert_eq!(aes.decrypt_block_ttable(ct), pt);
+    }
+
+    #[test]
+    fn encrypt4_matches_four_single_blocks() {
+        let mut rng = SplitMix64::new(0xE4E4);
+        for _ in 0..200 {
+            let mut key = [0u8; 16];
+            rng.fill_bytes(&mut key);
+            let aes = Aes128::new(key);
+            let mut blocks = [[0u8; 16]; 4];
+            for b in &mut blocks {
+                rng.fill_bytes(b);
+            }
+            let quad = aes.encrypt4(blocks);
+            for (q, b) in quad.iter().zip(&blocks) {
+                assert_eq!(*q, aes.encrypt_block(*b));
+                assert_eq!(*q, aes.encrypt_block_ttable(*b));
+            }
+        }
+    }
+
+    /// Exhaustive cross-check of the hardware path against the T-table
+    /// path: random keys, random blocks, both directions, plus the
+    /// four-block batch API (ISSUE 6 acceptance bar for `simd-aes`).
+    #[test]
+    #[cfg(all(feature = "simd-aes", target_arch = "x86_64", not(miri)))]
+    fn hardware_path_matches_ttable_path() {
+        if !aesni_available() {
+            eprintln!("skipping: host CPU does not report AES-NI");
+            return;
+        }
+        let mut rng = SplitMix64::new(0x051D_0AE5);
+        for _ in 0..4096 {
+            let mut key = [0u8; 16];
+            let mut block = [0u8; 16];
+            rng.fill_bytes(&mut key);
+            rng.fill_bytes(&mut block);
+            let aes = Aes128::new(key);
+
+            let sw_ct = aes.encrypt_block_ttable(block);
+            let mut hw_ct = block;
+            // SAFETY: AES-NI presence checked at the top of the test.
+            unsafe { simd::encrypt1(&aes.ek, &mut hw_ct) };
+            assert_eq!(hw_ct, sw_ct, "encrypt mismatch key={key:02x?}");
+
+            let mut hw_pt = sw_ct;
+            // SAFETY: as above.
+            unsafe { simd::decrypt1(&aes.dk, &mut hw_pt) };
+            assert_eq!(hw_pt, block, "decrypt mismatch key={key:02x?}");
+            assert_eq!(aes.decrypt_block_ttable(sw_ct), block);
+
+            let mut quad = [block; 4];
+            for (i, b) in quad.iter_mut().enumerate() {
+                b[0] ^= i as u8;
+            }
+            let mut hw_quad = quad;
+            // SAFETY: as above.
+            unsafe { simd::encrypt4(&aes.ek, &mut hw_quad) };
+            for (hw, pt) in hw_quad.iter().zip(&quad) {
+                assert_eq!(*hw, aes.encrypt_block_ttable(*pt));
+            }
         }
     }
 

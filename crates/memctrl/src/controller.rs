@@ -169,6 +169,7 @@ impl MemoryController {
         let bank_base = channel * cfg.banks;
         let mut wq = WriteQueue::new(cfg.write_queue_entries, cfg.cwc);
         wq.set_bank_base(bank_base);
+        wq.set_fast_forward(cfg.fast_forward);
         Self {
             map,
             banks: (0..cfg.banks)

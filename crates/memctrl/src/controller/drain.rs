@@ -22,6 +22,15 @@ impl MemoryController {
         );
     }
 
+    /// Whether [`MemoryController::drain_until`]`(now)` could issue
+    /// anything. A `false` is exact (empty queue, or every pending
+    /// entry provably starts after `now`), so callers may skip the
+    /// drain — and in particular skip the cross-channel state swap the
+    /// [`ChannelSet`](crate::ChannelSet) performs around sibling drains.
+    pub fn would_drain(&self, now: Cycle) -> bool {
+        self.wq.may_issue_by(now)
+    }
+
     /// Blocks (in simulated time) until `needed` queue slots are free,
     /// draining entries as banks become available. Returns the cycle at
     /// which the slots are guaranteed.

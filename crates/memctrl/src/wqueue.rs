@@ -90,6 +90,17 @@ pub struct WriteQueue {
     /// ids (`channel * banks_per_channel + local_bank`). Entry `bank`
     /// fields stay channel-local (they index the channel's bank timers).
     bank_base: usize,
+    /// Fast-forward cache: a lower bound on the earliest cycle at which
+    /// any pending entry could begin service, or `None` when unknown.
+    /// Valid because [`BankTimer::earliest_start`] for a write is
+    /// `max(ready, busy_until)` and `busy_until` only increases on a
+    /// live controller, so the bound can only move later until the
+    /// queue itself changes — appends and removals reset it to `None`.
+    next_start: Option<Cycle>,
+    /// When false, [`WriteQueue::drain_until`] ignores the cache and
+    /// rescans the slab on every call (the tick-by-tick reference
+    /// behavior the equivalence tests A/B against).
+    fast_forward: bool,
 }
 
 impl WriteQueue {
@@ -109,6 +120,36 @@ impl WriteQueue {
             cwc,
             seq: 0,
             bank_base: 0,
+            next_start: None,
+            fast_forward: true,
+        }
+    }
+
+    /// Enables or disables the drain fast path (on by default). The
+    /// fast path is exact — it only skips scans that would provably
+    /// issue nothing — so this knob exists for A/B equivalence tests
+    /// and for ruling the cache out while debugging.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
+    }
+
+    /// The cached lower bound on the next entry's service start, if one
+    /// is currently known. `None` means the next drain will rescan.
+    pub fn next_issue_bound(&self) -> Option<Cycle> {
+        self.next_start
+    }
+
+    /// Whether a drain at `now` could issue anything. A `false` answer
+    /// is exact (the queue is empty, or every pending entry provably
+    /// starts after `now`), so callers may skip the drain outright; a
+    /// `true` answer is conservative and merely means "scan needed".
+    pub fn may_issue_by(&self, now: Cycle) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        match (self.fast_forward, self.next_start) {
+            (true, Some(bound)) => bound <= now,
+            _ => true,
         }
     }
 
@@ -157,6 +198,7 @@ impl WriteQueue {
     ///
     /// Panics if the slot is free (a queue-internal sequencing bug).
     fn remove_slot(&mut self, slot: usize) -> WqEntry {
+        self.next_start = None;
         let e = self.slots[slot].take().expect("slot occupied");
         self.free.push(slot);
         let list = self
@@ -246,6 +288,7 @@ impl WriteQueue {
             .free
             .pop()
             .expect("write queue overflow: wait_for_slots first");
+        self.next_start = None;
         self.seq += 1;
         self.slots[slot] = Some(WqEntry {
             target,
@@ -369,8 +412,18 @@ impl WriteQueue {
         stats: &mut Stats,
         probes: &mut Probes,
     ) {
+        // Fast-forward: an empty queue, or a cached bound proving every
+        // pending entry starts after `now`, means the O(capacity) slab
+        // scan below would issue nothing — skip it. Exact, not an
+        // approximation: the skipped scan has no side effects.
+        if self.is_empty() || !self.may_issue_by(now) {
+            return;
+        }
         while let Some((idx, start)) = self.next_issuable(banks) {
             if start > now {
+                // Remember where the scan stopped: until the queue next
+                // mutates, no drain before `start` can issue anything.
+                self.next_start = Some(start);
                 break;
             }
             self.issue_at(idx, banks, store, stats, probes);

@@ -32,8 +32,8 @@ pub use config::{
 };
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use probe::{
-    BankUtilization, Event, LatencyBreakdown, Log2Histogram, Observer, OccupancySeries, Probes,
-    Telemetry,
+    BankUtilization, Event, EventTape, LatencyBreakdown, Log2Histogram, Observer, OccupancySeries,
+    Probes, Telemetry,
 };
 pub use rng::SplitMix64;
 pub use stats::Stats;

@@ -240,7 +240,11 @@ pub enum Event {
 /// because the memory controller itself is `Clone` and collectors are
 /// retrieved by downcast; see the module-level example for the two-line
 /// implementations.
-pub trait Observer: fmt::Debug + 'static {
+///
+/// Observers are `Send` so a controller carrying one can be advanced on
+/// an intra-run worker thread (the per-channel barrier engine); they
+/// are plain accumulators, so the bound costs implementations nothing.
+pub trait Observer: fmt::Debug + Send + 'static {
     /// Called once per emitted event, in simulation order.
     fn on_event(&mut self, ev: &Event);
     /// Clone this observer behind a fresh box ([`Probes`] is `Clone`).
@@ -296,6 +300,62 @@ impl Probes {
         for obs in &mut self.observers {
             obs.on_event(&ev);
         }
+    }
+}
+
+/// An observer that records every event verbatim, in emission order.
+///
+/// This is the replay buffer of the intra-run parallel engine: when
+/// sibling channels drain on worker threads, each drains into its own
+/// tape, and the tapes are replayed into the shared machine hub in
+/// ascending channel order after the join — reproducing byte-for-byte
+/// the stream the sequential path emits. Also handy in tests that want
+/// to assert on exact event sequences.
+///
+/// # Examples
+///
+/// ```
+/// use supermem_sim::probe::{Event, EventTape, Probes};
+///
+/// let mut probes = Probes::default();
+/// probes.attach(Box::new(EventTape::default()));
+/// probes.emit_with(|| Event::SfenceRetire { core: 0, at: 7, stall: 0 });
+/// let tape: Box<EventTape> = probes
+///     .take()
+///     .remove(0)
+///     .as_any_mut()
+///     .downcast_mut::<EventTape>()
+///     .map(std::mem::take)
+///     .map(Box::new)
+///     .expect("tape observer");
+/// assert_eq!(tape.events().len(), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct EventTape {
+    events: Vec<Event>,
+}
+
+impl EventTape {
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consumes the tape, returning the recorded events.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+impl Observer for EventTape {
+    fn on_event(&mut self, ev: &Event) {
+        self.events.push(ev.clone());
+    }
+    fn box_clone(&self) -> Box<dyn Observer> {
+        Box::new(self.clone())
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 
