@@ -15,6 +15,7 @@ use supermem::workloads::WorkloadKind;
 use supermem::{run_single, RunConfig, Scheme};
 use supermem_bench::guard::{check, extract_after_ns, tolerance, GuardCheck};
 use supermem_bench::micro::Harness;
+use supermem_serve::{run_serve, ServeConfig};
 
 fn baseline_json() -> String {
     let path = std::env::var("SUPERMEM_BENCH_BASELINE").unwrap_or_else(|_| {
@@ -83,6 +84,39 @@ fn main() -> ExitCode {
             t = done;
             data
         });
+    }
+
+    {
+        // The serving engine end to end: 4 cores, 64 open-loop requests
+        // against one shared stack, shadow-verified. Guards the
+        // arbitration loop + CAS retry path + per-core telemetry on top
+        // of the ordinary flush machinery.
+        let cfg = ServeConfig {
+            requests: 64,
+            region_len: 1 << 18,
+            ..ServeConfig::default()
+        };
+        h.bench("serve/SuperMem-c4", || {
+            black_box(run_serve(black_box(&cfg)).expect("serve config is valid"))
+        });
+
+        // The simulated p99 of the same configuration is a pure function
+        // of (config, seed): guard it for *exact* equality, so a timing
+        // or protocol change that shifts the serving tail must update
+        // the committed baseline deliberately.
+        let r = run_serve(&cfg).expect("serve config is valid");
+        let want = extract_after_ns(&baseline, "serve/SuperMem-c4-p99cyc")
+            .unwrap_or_else(|| panic!("no serve/SuperMem-c4-p99cyc reference in baseline"));
+        #[allow(clippy::float_cmp)] // u64 cycles round-trip exactly through f64
+        if r.p99 as f64 != want {
+            eprintln!(
+                "benchguard: serve p99 drifted: measured {} cycles, committed {want} \
+                 (deterministic value — a real change must update BENCH_sweep.json)",
+                r.p99
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("serve/SuperMem-c4-p99cyc  exact {} cycles  ok", r.p99);
     }
 
     {

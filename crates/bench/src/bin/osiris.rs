@@ -18,7 +18,7 @@
 use supermem::metrics::TextTable;
 use supermem::persist::recover_osiris;
 use supermem::workloads::spec::ALL_KINDS;
-use supermem::workloads::{AnyWorkload, WorkloadKind, WorkloadSpec};
+use supermem::workloads::{WorkloadKind, WorkloadSpec};
 use supermem::{run_batch, sweep, RunConfig, Scheme, SystemBuilder};
 use supermem_bench::{txns, Report};
 
@@ -70,7 +70,7 @@ fn main() {
             .with_txns(50)
             .with_req_bytes(1024)
             .with_array_footprint(footprint_kb << 10);
-        let mut w = AnyWorkload::build(&spec, &mut sys);
+        let mut w = spec.build(&mut sys).expect("valid spec");
         for _ in 0..50 {
             w.step(&mut sys).expect("txn");
         }

@@ -9,7 +9,7 @@
 use supermem::metrics::TextTable;
 use supermem::sca::ScaSystem;
 use supermem::workloads::spec::ALL_KINDS;
-use supermem::workloads::{AnyWorkload, WorkloadSpec};
+use supermem::workloads::WorkloadSpec;
 use supermem::{run_single, sweep, RunConfig, Scheme, SystemBuilder};
 use supermem_bench::{txns, Report};
 
@@ -27,7 +27,7 @@ fn run_sca(rc: &RunConfig) -> (f64, u64, u64) {
         .with_req_bytes(rc.req_bytes)
         .with_seed(rc.seed)
         .with_array_footprint(rc.array_footprint);
-    let mut w = AnyWorkload::build(&spec, &mut mem);
+    let mut w = spec.build(&mut mem).expect("valid spec");
     mem.inner_mut().checkpoint();
     mem.inner_mut().reset_stats();
     let mut latencies = Vec::with_capacity(rc.txns as usize);

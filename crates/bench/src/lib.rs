@@ -21,6 +21,7 @@
 //! | `sca` | §2.3/§6 related work | SCA's software contract vs SuperMem's transparency |
 //! | `bitwrites` | §6 related work | bits flipped per write: CTR vs DEUCE vs plaintext |
 //! | `authenticated` | §2.2.1 footnote | Merkle-tree verification overhead on SuperMem |
+//! | `servesweep` | serving extension | open-loop tail latency on shared lock-free structures: baseline, re-encryption storm, degraded bank |
 //!
 //! Set `SUPERMEM_TXNS` to change the per-run transaction count (default
 //! 200) — the figures' *shapes* are stable well below that.

@@ -147,7 +147,10 @@ impl CacheHierarchy {
     /// Returns the L1 store latency.
     ///
     /// Callers establish residency with [`Self::load`] + [`Self::fill`]
-    /// first (write-allocate).
+    /// first (write-allocate). The store invalidates every *other*
+    /// core's private copy of the line (write-invalidate coherence), so
+    /// a sharing core's next load misses its private levels and picks
+    /// up the new value from the shared L3.
     ///
     /// # Panics
     ///
@@ -165,6 +168,20 @@ impl CacheHierarchy {
         // version older than what `clwb` already persisted.
         self.l2[core].set_value_quiet(key, data);
         self.l3.set_value_quiet(key, data);
+        // Write-invalidate: other cores' private copies are now stale.
+        // Their next load falls through to the shared (value-coherent)
+        // L3, which is how shared lock-free structures observe each
+        // other's CAS publications.
+        for (c, l1) in self.l1.iter_mut().enumerate() {
+            if c != core {
+                l1.remove(key);
+            }
+        }
+        for (c, l2) in self.l2.iter_mut().enumerate() {
+            if c != core {
+                l2.remove(key);
+            }
+        }
         self.l1_latency
     }
 
@@ -428,6 +445,23 @@ mod tests {
         // Core 1 misses its private levels but hits shared L3.
         let r = h.load(1, line);
         assert_eq!(r.level, 3);
+    }
+
+    #[test]
+    fn store_invalidates_other_cores_private_copies() {
+        // Core 1 caches a line, core 0 stores to it; core 1's next load
+        // must miss its private levels and see the new value from L3.
+        let mut h = CacheHierarchy::new(&small_cfg());
+        let line = LineAddr(0x40);
+        h.fill(1, line, [1; 64]);
+        assert_eq!(h.load(1, line).level, 1);
+        h.fill(0, line, [1; 64]);
+        h.store(0, line, [2; 64]);
+        let r = h.load(1, line);
+        assert_eq!(r.level, 3, "private copies must have been invalidated");
+        assert_eq!(r.data, Some([2; 64]), "L3 must serve the stored value");
+        // The writer keeps its own (newest) copy.
+        assert_eq!(h.load(0, line).level, 1);
     }
 
     #[test]

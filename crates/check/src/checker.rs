@@ -235,7 +235,11 @@ pub struct Checker {
     /// same page (atomic pairs balance exactly; surpluses carry over).
     credits: HashMap<u64, u64>,
     /// P1: data pages persisted since the last counter enqueue/sfence, still
-    /// owed a counter before the next sfence retires.
+    /// owed a counter before the next sfence retires. Armed globally: the
+    /// write queues are shared hardware, so a data line one core persisted
+    /// without its counter is exposed by *any* core's retiring fence, not
+    /// just the enqueuer's — which is exactly how shared lock-free
+    /// structures order their publications.
     awaiting: BTreeMap<u64, Cycle>,
     /// Shadow write queue: pending counter entry seqs per counter page.
     pending_counter: HashMap<u64, Vec<u64>>,
@@ -472,7 +476,7 @@ impl Checker {
         }
     }
 
-    fn handle_sfence(&mut self, at: Cycle) {
+    fn handle_sfence(&mut self, core: usize, at: Cycle) {
         if self.mode.write_through && !self.awaiting.is_empty() {
             let pages: Vec<String> = self
                 .awaiting
@@ -484,9 +488,9 @@ impl Checker {
                 Rule::P1,
                 at,
                 format!(
-                    "sfence retired with data persisted for page(s) [{}] but no \
-                     co-enqueued counter write (earliest uncovered data enqueue at \
-                     cycle {first_at})",
+                    "sfence on core {core} retired with data persisted for page(s) \
+                     [{}] but no co-enqueued counter write (earliest uncovered data \
+                     enqueue at cycle {first_at})",
                     pages.join(", ")
                 ),
             );
@@ -773,7 +777,7 @@ impl Observer for Checker {
                     );
                 }
             }
-            Event::SfenceRetire { at, .. } => self.handle_sfence(at),
+            Event::SfenceRetire { core, at, .. } => self.handle_sfence(core, at),
             Event::ReadServed {
                 line,
                 done,
@@ -827,11 +831,11 @@ mod tests {
     }
 
     fn sfence(at: Cycle) -> Event {
-        Event::SfenceRetire {
-            core: 0,
-            at,
-            stall: 0,
-        }
+        sfence_on(0, at)
+    }
+
+    fn sfence_on(core: usize, at: Cycle) -> Event {
+        Event::SfenceRetire { core, at, stall: 0 }
     }
 
     fn run(events: &[Event]) -> CheckReport {
@@ -865,6 +869,34 @@ mod tests {
         let report = run(&[enq(false, 0x40, 1, 10), sfence(20)]);
         assert_eq!(report.rules_fired(), vec![Rule::P1]);
         assert_eq!(report.violations[0].at, 20);
+    }
+
+    #[test]
+    fn p1_arming_is_cross_core() {
+        // Interleaved streams from two cores sharing a structure: core 0
+        // and core 1 each persist an atomic pair, their fences interleave,
+        // and the run is clean — counters enqueued by one core discharge
+        // the shared write queue regardless of who fences.
+        let clean = run(&[
+            enq(true, 0, 1, 10),
+            enq(false, 0x40, 2, 10),
+            enq(true, 1, 3, 12),
+            enq(false, 4096 + 0x80, 4, 12),
+            sfence_on(1, 14),
+            sfence_on(0, 15),
+        ]);
+        assert!(clean.is_clean(), "unexpected: {clean}");
+
+        // Core 0 persists data with no counter; core 1's fence is the
+        // first to retire and must still trip P1 — a shared structure's
+        // readers order on any core's fence, not just the writer's.
+        let dirty = run(&[enq(false, 0x40, 1, 10), sfence_on(1, 20)]);
+        assert_eq!(dirty.rules_fired(), vec![Rule::P1]);
+        assert!(
+            dirty.violations[0].message.contains("core 1"),
+            "fencing core not attributed: {}",
+            dirty.violations[0].message
+        );
     }
 
     #[test]

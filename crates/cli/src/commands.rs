@@ -13,6 +13,9 @@ use supermem::workloads::spec::ALL_KINDS;
 use supermem::workloads::WorkloadKind;
 use supermem::{sweep, Experiment, RunConfig, RunResult, Scheme};
 use supermem_bench::Report;
+use supermem_serve::{
+    run_serve, run_serve_torture, ServeConfig, ServeTortureConfig, StructureKind,
+};
 
 use crate::args::{parse_run_flags, parse_scheme, ArgError, Parsed};
 
@@ -199,9 +202,11 @@ pub fn cmd_profile(argv: &[String]) -> Result<(), ArgError> {
     print!("{}", attribution.render());
 
     let mut hist = TextTable::new(
-        ["latency", "count", "mean cyc", "max cyc"]
-            .map(str::to_owned)
-            .to_vec(),
+        [
+            "latency", "count", "mean cyc", "p50", "p99", "p999", "max cyc",
+        ]
+        .map(str::to_owned)
+        .to_vec(),
     );
     for (name, h) in [
         ("txn", &t.txn_latency),
@@ -212,6 +217,9 @@ pub fn cmd_profile(argv: &[String]) -> Result<(), ArgError> {
             name.into(),
             h.count().to_string(),
             format!("{:.1}", h.mean()),
+            h.p50().to_string(),
+            h.p99().to_string(),
+            h.p999().to_string(),
             h.max().to_string(),
         ]);
     }
@@ -524,6 +532,272 @@ pub fn cmd_torture(argv: &[String]) -> Result<(), ArgError> {
         let mut min = r.case;
         min.point = torture::shrink_point(&r.case);
         eprintln!("  minimal repro: {}", min.repro());
+    }
+    Err(ArgError(format!(
+        "silent corruption in {} of {} injections",
+        silent.len(),
+        report.total()
+    )))
+}
+
+/// `supermem serve [--structure S] [--scheme S] [--cores N] [--requests N]
+/// [--read-pct P] [--mean-gap G] [--zipf T] [--keyspace K] [--buckets B]
+/// [--seed X] [--channels N] [--run-threads N] [--degraded BANK] [--json]`
+/// — drive a shared lock-free structure open-loop and print the tail
+/// table; or `supermem serve --torture [--structure S] [--scheme S]
+/// [--fault F|none] [--point K] [--seed N] [--seeds COUNT] [--json]` —
+/// the CAS-window crash campaign.
+pub fn cmd_serve(argv: &[String]) -> Result<(), ArgError> {
+    let mut cfg = ServeConfig::default();
+    let mut torture = false;
+    let mut fault: Option<Vec<Option<FaultClass>>> = None;
+    let mut point: Option<u64> = None;
+    let mut seeds: Option<Vec<u64>> = None;
+    let mut structure_named = false;
+    let mut seed_named = false;
+    let mut it = argv.iter();
+    let value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, ArgError> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| ArgError(format!("{flag} needs a value")))
+    };
+    let parse_num = |s: String, flag: &str| -> Result<u64, ArgError> {
+        s.parse().map_err(|_| ArgError(format!("invalid {flag}")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--torture" => torture = true,
+            "--structure" => {
+                let s = value(&mut it, "--structure")?;
+                cfg.structure = StructureKind::parse(&s).ok_or_else(|| {
+                    ArgError(format!(
+                        "unknown structure `{s}` (expected stack|queue|hash)"
+                    ))
+                })?;
+                structure_named = true;
+            }
+            "--scheme" => cfg.scheme = parse_scheme(&value(&mut it, "--scheme")?)?,
+            "--cores" => cfg.cores = parse_num(value(&mut it, "--cores")?, "--cores")? as usize,
+            "--requests" => cfg.requests = parse_num(value(&mut it, "--requests")?, "--requests")?,
+            "--read-pct" => {
+                cfg.read_pct = value(&mut it, "--read-pct")?
+                    .parse()
+                    .map_err(|_| ArgError("invalid --read-pct".into()))?;
+            }
+            "--mean-gap" => cfg.mean_gap = parse_num(value(&mut it, "--mean-gap")?, "--mean-gap")?,
+            "--zipf" => {
+                cfg.zipf_theta = value(&mut it, "--zipf")?
+                    .parse()
+                    .map_err(|_| ArgError("invalid --zipf".into()))?;
+            }
+            "--keyspace" => cfg.keyspace = parse_num(value(&mut it, "--keyspace")?, "--keyspace")?,
+            "--buckets" => {
+                cfg.hash_buckets = parse_num(value(&mut it, "--buckets")?, "--buckets")?;
+            }
+            "--seed" => {
+                cfg.seed = parse_num(value(&mut it, "--seed")?, "--seed")?;
+                seed_named = true;
+            }
+            "--seeds" => {
+                let n = parse_num(value(&mut it, "--seeds")?, "--seeds")?;
+                if n == 0 {
+                    return Err(ArgError("--seeds must be at least 1".into()));
+                }
+                seeds = Some((1..=n).collect());
+            }
+            "--channels" => {
+                cfg.channels = parse_num(value(&mut it, "--channels")?, "--channels")? as usize;
+                if cfg.channels == 0 || !cfg.channels.is_power_of_two() {
+                    return Err(ArgError("--channels must be a power of two".into()));
+                }
+            }
+            "--run-threads" => {
+                cfg.run_threads =
+                    parse_num(value(&mut it, "--run-threads")?, "--run-threads")? as usize;
+                if cfg.run_threads == 0 {
+                    return Err(ArgError("--run-threads must be at least 1".into()));
+                }
+            }
+            "--degraded" => {
+                cfg.degraded_bank =
+                    Some(parse_num(value(&mut it, "--degraded")?, "--degraded")? as usize);
+            }
+            "--fault" => {
+                let f = value(&mut it, "--fault")?;
+                fault = Some(if f.eq_ignore_ascii_case("none") {
+                    vec![None]
+                } else {
+                    vec![Some(FaultClass::parse(&f).ok_or_else(|| {
+                        ArgError(format!(
+                            "unknown fault `{f}` (expected none or one of: {})",
+                            FaultClass::ALL.map(FaultClass::name).join(" ")
+                        ))
+                    })?)]
+                });
+            }
+            "--point" => point = Some(parse_num(value(&mut it, "--point")?, "--point")?),
+            "--json" => {} // Report::emit picks this up from the process args.
+            other => return Err(ArgError(format!("unknown flag `{other}`"))),
+        }
+    }
+
+    if torture {
+        if seeds.is_none() && seed_named {
+            seeds = Some(vec![cfg.seed]);
+        }
+        return cmd_serve_torture(&cfg, structure_named, fault, point, seeds);
+    }
+    if fault.is_some() || point.is_some() {
+        return Err(ArgError("--fault/--point only apply with --torture".into()));
+    }
+
+    cfg.validate().map_err(|e| ArgError(e.to_string()))?;
+    let r = run_serve(&cfg).map_err(|e| ArgError(e.to_string()))?;
+
+    let mut t = TextTable::new(
+        [
+            "structure",
+            "cores",
+            "reqs",
+            "p50",
+            "p99",
+            "p999",
+            "mean",
+            "max",
+            "retries",
+            "reenc",
+        ]
+        .map(str::to_owned)
+        .to_vec(),
+    );
+    t.row(vec![
+        r.structure.to_string(),
+        r.cores.to_string(),
+        r.completed.to_string(),
+        r.p50.to_string(),
+        r.p99.to_string(),
+        r.p999.to_string(),
+        format!("{:.0}", r.mean),
+        r.max.to_string(),
+        r.retries.to_string(),
+        r.reencryptions.to_string(),
+    ]);
+    let mut rep = Report::new("serve");
+    rep.section(
+        &format!(
+            "Open-loop serving: {} cores on one shared {} under {} \
+             (sojourn latency, cycles)",
+            r.cores, r.structure, r.scheme
+        ),
+        t,
+    );
+    let mut per_core = TextTable::new(["core", "completed"].map(str::to_owned).to_vec());
+    for (c, n) in r.per_core.iter().enumerate() {
+        per_core.row(vec![c.to_string(), n.to_string()]);
+    }
+    rep.section("Per-core completions", per_core);
+    if cfg.degraded_bank.is_some() {
+        rep.footnote(&format!(
+            "degraded mode: bank {} failed at time zero — {} poisoned reads, \
+             {} dropped writes, shadow verification skipped",
+            cfg.degraded_bank.unwrap_or_default(),
+            r.poisoned_reads,
+            r.dropped_writes
+        ));
+    } else {
+        rep.footnote("persistent structure verified against the shadow model");
+    }
+    rep.footnote(&format!(
+        "digest {:#018x} — identical across reruns of the same (config, seed)",
+        r.digest
+    ));
+    rep.emit();
+    Ok(())
+}
+
+/// The `--torture` arm of `cmd_serve`.
+fn cmd_serve_torture(
+    cfg: &ServeConfig,
+    structure_named: bool,
+    fault: Option<Vec<Option<FaultClass>>>,
+    point: Option<u64>,
+    seeds: Option<Vec<u64>>,
+) -> Result<(), ArgError> {
+    use supermem::torture::Classification;
+
+    let mut tc = ServeTortureConfig {
+        schemes: vec![cfg.scheme],
+        point,
+        ..ServeTortureConfig::default()
+    };
+    if structure_named {
+        tc.structures = vec![cfg.structure];
+    }
+    if let Some(classes) = fault {
+        tc.classes = classes;
+    }
+    if let Some(s) = seeds {
+        tc.seeds = s;
+    }
+
+    let report = run_serve_torture(&tc);
+    let mut t = TextTable::new(
+        [
+            "structure",
+            "cases",
+            "recovered-old",
+            "recovered-new",
+            "detected",
+            "silent",
+        ]
+        .map(str::to_owned)
+        .to_vec(),
+    );
+    for &structure in &tc.structures {
+        let of = |c: Classification| {
+            report
+                .results
+                .iter()
+                .filter(|r| r.case.structure == structure && r.classification == c)
+                .count()
+        };
+        t.row(vec![
+            structure.to_string(),
+            report
+                .results
+                .iter()
+                .filter(|r| r.case.structure == structure)
+                .count()
+                .to_string(),
+            of(Classification::RecoveredOld).to_string(),
+            of(Classification::RecoveredNew).to_string(),
+            of(Classification::Detected).to_string(),
+            of(Classification::Silent).to_string(),
+        ]);
+    }
+    let mut rep = Report::new("serve-torture");
+    rep.section(
+        "CAS-window crash torture: crash point x fault class x seed",
+        t,
+    );
+    rep.footnote(&format!(
+        "{} injections across {} structure(s), {} fault class(es), {} seed(s)",
+        report.total(),
+        tc.structures.len(),
+        tc.classes.len(),
+        tc.seeds.len()
+    ));
+    rep.footnote("(crash points land between announce, node persist, linearizing CAS, completion)");
+    rep.emit();
+
+    let silent = report.silent();
+    if silent.is_empty() {
+        return Ok(());
+    }
+    for r in &silent {
+        eprintln!();
+        eprintln!("silent corruption: {}", r.case.repro());
+        eprintln!("  {}", r.detail);
     }
     Err(ArgError(format!(
         "silent corruption in {} of {} injections",

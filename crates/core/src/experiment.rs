@@ -28,7 +28,7 @@ use std::fmt;
 use supermem_persist::{PMem, VecMem};
 use supermem_sim::{Cycle, Observer, Telemetry};
 use supermem_trace::{TraceEvent, TraceRecorder};
-use supermem_workloads::AnyWorkload;
+use supermem_workloads::SpecError;
 
 use crate::metrics::RunResult;
 use crate::runner::RunConfig;
@@ -51,6 +51,8 @@ pub enum ConfigError {
     ReadPct(u8),
     /// The derived machine [`supermem_sim::Config`] is invalid.
     Machine(supermem_sim::ConfigError),
+    /// The derived [`supermem_workloads::WorkloadSpec`] is invalid.
+    Spec(SpecError),
 }
 
 impl fmt::Display for ConfigError {
@@ -66,6 +68,7 @@ impl fmt::Display for ConfigError {
                 write!(f, "ycsb_read_pct must be in 0..=100, got {p}")
             }
             ConfigError::Machine(err) => write!(f, "invalid machine configuration: {err}"),
+            ConfigError::Spec(err) => write!(f, "invalid workload spec: {err}"),
         }
     }
 }
@@ -74,8 +77,15 @@ impl std::error::Error for ConfigError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ConfigError::Machine(err) => Some(err),
+            ConfigError::Spec(err) => Some(err),
             _ => None,
         }
+    }
+}
+
+impl From<SpecError> for ConfigError {
+    fn from(err: SpecError) -> Self {
+        ConfigError::Spec(err)
     }
 }
 
@@ -175,7 +185,7 @@ impl Experiment {
         let rc = self.rc.clone();
         let mut sys = System::new(rc.build_config());
         let spec = rc.spec_for(0);
-        let mut w = AnyWorkload::build(&spec, &mut sys);
+        let mut w = spec.build(&mut sys).expect("validated spec must build");
         sys.checkpoint();
         sys.reset_stats();
         self.arm(&mut sys);
@@ -220,7 +230,11 @@ impl Experiment {
         let mut workloads = Vec::with_capacity(rc.programs);
         for p in 0..rc.programs {
             sys.set_active_core(p);
-            workloads.push(AnyWorkload::build(&rc.spec_for(p), &mut sys));
+            workloads.push(
+                rc.spec_for(p)
+                    .build(&mut sys)
+                    .expect("validated spec must build"),
+            );
         }
         sys.set_active_core(0);
         sys.checkpoint();
@@ -405,7 +419,10 @@ pub(crate) fn record_program_trace(
 ) -> Vec<TraceEvent> {
     let mut mem = VecMem::new();
     let mut recorder = TraceRecorder::new(&mut mem);
-    let mut w = AnyWorkload::build(&rc.spec_for(program), &mut recorder);
+    let mut w = rc
+        .spec_for(program)
+        .build(&mut recorder)
+        .expect("validated spec must build");
     for _ in 0..rc.txns {
         recorder.txn_begin();
         w.step(&mut recorder).expect("transaction commit failed");

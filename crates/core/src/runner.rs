@@ -243,6 +243,9 @@ impl RunConfig {
         if self.ycsb_read_pct > 100 {
             return Err(ConfigError::ReadPct(self.ycsb_read_pct));
         }
+        // The remaining workload parameters (request-size floors, ...)
+        // are owned by the spec's own typed validation.
+        self.spec_for(0).validate().map_err(ConfigError::Spec)?;
         cfg.validate().map_err(ConfigError::Machine)
     }
 

@@ -188,6 +188,18 @@ impl System {
         self.cores.iter().map(|c| c.now).max().unwrap_or(0)
     }
 
+    /// Warps an idle core's clock forward to `cycle` (no-op if the core
+    /// is already past it). Open-loop traffic generators use this to
+    /// model a core sitting idle until the next request's arrival time:
+    /// core clocks otherwise only advance through memory operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn advance_core_to(&mut self, core: usize, cycle: Cycle) {
+        self.cores[core].now = self.cores[core].now.max(cycle);
+    }
+
     /// Discards accumulated statistics (used after warm-up /
     /// initialization so figures measure only the steady phase).
     pub fn reset_stats(&mut self) {

@@ -13,6 +13,9 @@
 //! * [`txn`] — durable transactions: *prepare* (log the old data),
 //!   *mutate* (write in place), *commit* (invalidate the log), each stage
 //!   fenced exactly as in Table 1.
+//! * [`slot`] — per-core operation-descriptor slots (memento-style)
+//!   making lock-free CAS linearization points crash-recoverable, with
+//!   a checksummed recovery scan.
 //! * [`recovery`] — rebuilding a consistent state from a post-crash NVM
 //!   image: completing an interrupted page re-encryption from the RSR,
 //!   decrypting through the stored counters, and rolling back
@@ -40,6 +43,7 @@ pub mod log;
 pub mod pmem;
 pub mod recovery;
 pub mod redo;
+pub mod slot;
 pub mod txn;
 
 pub use arena::Arena;
@@ -50,4 +54,5 @@ pub use recovery::{
     RecoveredMemory, RecoveryError, RecoveryOutcome,
 };
 pub use redo::{recover_redo_transactions, RedoTxn, RedoTxnManager};
+pub use slot::{SlotArray, SlotError, SlotRecord, SlotState, SlotView};
 pub use txn::{Txn, TxnError, TxnManager};

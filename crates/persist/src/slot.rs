@@ -1,0 +1,384 @@
+//! Per-core persistent operation-descriptor slots (memento-style).
+//!
+//! Lock-free persistent structures linearize at a CAS on a shared
+//! pointer, but a crash can land *inside* the CAS window: after the
+//! new node is durable, before (or after) the pointer swing, before
+//! the completion record. A recovery pass must then decide — for each
+//! in-flight operation — whether it took effect, exactly once.
+//!
+//! The memento/Capsules technique gives every core one cache-line-sized
+//! *descriptor slot* in persistent memory. Before attempting an
+//! operation the core **announces** it (persists the full operation
+//! record with state `PENDING`); after the linearizing store is durable
+//! it **completes** it (persists state `DONE` plus the result). Each
+//! transition is a single-line persist, so a crash image always holds,
+//! per core, exactly one of: an idle slot, a `PENDING` record (op may
+//! or may not have linearized — resolved by inspecting the structure),
+//! or a `DONE` record (op definitely applied). The slot line carries a
+//! checksum so recovery can also *detect* media corruption of the
+//! descriptor itself instead of trusting a torn record.
+//!
+//! # Examples
+//!
+//! ```
+//! use supermem_persist::pmem::VecMem;
+//! use supermem_persist::slot::{SlotArray, SlotRecord, SlotState};
+//!
+//! let mut mem = VecMem::new();
+//! let slots = SlotArray::new(0x1000, 2);
+//! slots.init(&mut mem);
+//!
+//! let rec = SlotRecord { seq: 1, op: 7, a: 42, b: 99 };
+//! slots.announce(&mut mem, 0, &rec);
+//! slots.complete(&mut mem, 0, 1234);
+//!
+//! let scan = slots.scan(&mut mem).unwrap();
+//! assert_eq!(scan[0].state, SlotState::Done);
+//! assert_eq!(scan[0].result, 1234);
+//! assert_eq!(scan[1].state, SlotState::Idle);
+//! ```
+
+use crate::pmem::PMem;
+
+/// Slot-line word offsets (all fields are 8-byte little-endian words).
+const OFF_STATE: u64 = 0;
+const OFF_SEQ: u64 = 8;
+const OFF_OP: u64 = 16;
+const OFF_A: u64 = 24;
+const OFF_B: u64 = 32;
+const OFF_RESULT: u64 = 40;
+const OFF_CSUM: u64 = 48;
+
+const STATE_IDLE: u64 = 0;
+const STATE_PENDING: u64 = 1;
+const STATE_DONE: u64 = 2;
+
+/// The durable lifecycle state of one descriptor slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotState {
+    /// No operation in flight (fresh, or the last one was retired).
+    Idle,
+    /// An operation was announced; it may or may not have linearized.
+    Pending,
+    /// The operation linearized and its result is recorded.
+    Done,
+}
+
+/// The announced operation record (structure-defined encoding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SlotRecord {
+    /// Per-core monotonically increasing operation sequence number.
+    pub seq: u64,
+    /// Operation code (meaning owned by the data structure).
+    pub op: u64,
+    /// First operand (key, node address, ...).
+    pub a: u64,
+    /// Second operand (value, expected pointer, ...).
+    pub b: u64,
+}
+
+/// One slot as seen by a recovery scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotView {
+    /// Slot index (one per core).
+    pub slot: usize,
+    /// Durable lifecycle state.
+    pub state: SlotState,
+    /// The announced record (zeroed for an idle fresh slot).
+    pub rec: SlotRecord,
+    /// The recorded result (only meaningful in [`SlotState::Done`]).
+    pub result: u64,
+}
+
+/// A recovery scan refusing to trust the descriptor area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SlotError {
+    /// The state word holds none of the three legal encodings.
+    BadState {
+        /// Slot index.
+        slot: usize,
+        /// The illegal state word found.
+        value: u64,
+    },
+    /// The slot line's checksum does not cover its contents.
+    BadChecksum {
+        /// Slot index.
+        slot: usize,
+    },
+}
+
+impl std::fmt::Display for SlotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlotError::BadState { slot, value } => {
+                write!(f, "descriptor slot {slot}: illegal state word {value:#x}")
+            }
+            SlotError::BadChecksum { slot } => {
+                write!(f, "descriptor slot {slot}: checksum mismatch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SlotError {}
+
+/// Avalanche mix (splitmix64 finalizer) — spreads every input bit so
+/// a torn mix of old and new words cannot re-checksum by accident.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn checksum(state: u64, rec: &SlotRecord, result: u64) -> u64 {
+    let mut h = 0x5E17_C0DE_5107_A11Eu64;
+    for w in [state, rec.seq, rec.op, rec.a, rec.b, result] {
+        h = mix(h ^ w);
+    }
+    h
+}
+
+/// A fixed array of per-core descriptor slots in persistent memory,
+/// one 64-byte line per slot.
+#[derive(Debug, Clone, Copy)]
+pub struct SlotArray {
+    base: u64,
+    slots: usize,
+}
+
+impl SlotArray {
+    /// Bytes occupied by one slot (one cache line).
+    pub const SLOT_BYTES: u64 = 64;
+
+    /// A slot array of `slots` descriptors starting at line-aligned
+    /// `base`.
+    ///
+    /// # Panics
+    /// If `base` is not 64-byte aligned or `slots` is zero.
+    pub fn new(base: u64, slots: usize) -> Self {
+        assert!(
+            base.is_multiple_of(64),
+            "slot array base must be line-aligned"
+        );
+        assert!(slots > 0, "slot array needs at least one slot");
+        Self { base, slots }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots
+    }
+
+    /// Always false — construction requires at least one slot.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Address of slot `slot`'s line.
+    pub fn addr(&self, slot: usize) -> u64 {
+        assert!(slot < self.slots, "slot {slot} out of range");
+        self.base + slot as u64 * Self::SLOT_BYTES
+    }
+
+    /// First byte past the slot area (for carving subsequent regions).
+    pub fn end(&self) -> u64 {
+        self.base + self.slots as u64 * Self::SLOT_BYTES
+    }
+
+    fn write_line<M: PMem>(
+        &self,
+        mem: &mut M,
+        slot: usize,
+        state: u64,
+        rec: &SlotRecord,
+        result: u64,
+    ) {
+        let a = self.addr(slot);
+        mem.write_u64(a + OFF_STATE, state);
+        mem.write_u64(a + OFF_SEQ, rec.seq);
+        mem.write_u64(a + OFF_OP, rec.op);
+        mem.write_u64(a + OFF_A, rec.a);
+        mem.write_u64(a + OFF_B, rec.b);
+        mem.write_u64(a + OFF_RESULT, result);
+        mem.write_u64(a + OFF_CSUM, checksum(state, rec, result));
+        mem.clwb(a, Self::SLOT_BYTES);
+        mem.sfence();
+    }
+
+    /// Writes every slot as a checksummed idle record and persists the
+    /// area. Must run once before first use so a recovery scan can
+    /// demand a valid checksum on *every* slot.
+    pub fn init<M: PMem>(&self, mem: &mut M) {
+        for s in 0..self.slots {
+            self.write_line(mem, s, STATE_IDLE, &SlotRecord::default(), 0);
+        }
+    }
+
+    /// Durably announces an operation in `slot`: after this returns the
+    /// crash image holds the full `PENDING` record.
+    pub fn announce<M: PMem>(&self, mem: &mut M, slot: usize, rec: &SlotRecord) {
+        self.write_line(mem, slot, STATE_PENDING, rec, 0);
+    }
+
+    /// Durably completes the announced operation in `slot`, recording
+    /// `result`. Call only after the linearizing store is durable.
+    pub fn complete<M: PMem>(&self, mem: &mut M, slot: usize, result: u64) {
+        let view = self.load(mem, slot);
+        self.write_line(mem, slot, STATE_DONE, &view.rec, result);
+    }
+
+    /// Durably retires `slot` back to idle, keeping the sequence number
+    /// so recovery can still order the core's history.
+    pub fn retire<M: PMem>(&self, mem: &mut M, slot: usize) {
+        let view = self.load(mem, slot);
+        self.write_line(mem, slot, STATE_IDLE, &view.rec, 0);
+    }
+
+    /// Reads `slot` without checksum verification (the running fast
+    /// path; recovery uses [`SlotArray::scan`]).
+    pub fn load<M: PMem>(&self, mem: &mut M, slot: usize) -> SlotView {
+        let a = self.addr(slot);
+        let state = match mem.read_u64(a + OFF_STATE) {
+            STATE_PENDING => SlotState::Pending,
+            STATE_DONE => SlotState::Done,
+            _ => SlotState::Idle,
+        };
+        SlotView {
+            slot,
+            state,
+            rec: SlotRecord {
+                seq: mem.read_u64(a + OFF_SEQ),
+                op: mem.read_u64(a + OFF_OP),
+                a: mem.read_u64(a + OFF_A),
+                b: mem.read_u64(a + OFF_B),
+            },
+            result: mem.read_u64(a + OFF_RESULT),
+        }
+    }
+
+    /// Recovery scan: reads every slot, verifies state encoding and
+    /// checksum, and returns the per-core views. Any slot that fails
+    /// verification aborts the scan with a typed error — the caller
+    /// must treat the image as corrupted (detected), never guess.
+    pub fn scan<M: PMem>(&self, mem: &mut M) -> Result<Vec<SlotView>, SlotError> {
+        let mut out = Vec::with_capacity(self.slots);
+        for s in 0..self.slots {
+            let a = self.addr(s);
+            let state_word = mem.read_u64(a + OFF_STATE);
+            let state = match state_word {
+                STATE_IDLE => SlotState::Idle,
+                STATE_PENDING => SlotState::Pending,
+                STATE_DONE => SlotState::Done,
+                value => return Err(SlotError::BadState { slot: s, value }),
+            };
+            let view = self.load(mem, s);
+            let want = checksum(state_word, &view.rec, view.result);
+            if mem.read_u64(a + OFF_CSUM) != want {
+                return Err(SlotError::BadChecksum { slot: s });
+            }
+            out.push(SlotView { state, ..view });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmem::VecMem;
+
+    fn fresh() -> (VecMem, SlotArray) {
+        let mut mem = VecMem::new();
+        let slots = SlotArray::new(0x2000, 4);
+        slots.init(&mut mem);
+        (mem, slots)
+    }
+
+    #[test]
+    fn init_scans_clean_and_idle() {
+        let (mut mem, slots) = fresh();
+        let scan = slots.scan(&mut mem).unwrap();
+        assert_eq!(scan.len(), 4);
+        assert!(scan.iter().all(|v| v.state == SlotState::Idle));
+    }
+
+    #[test]
+    fn announce_complete_retire_lifecycle() {
+        let (mut mem, slots) = fresh();
+        let rec = SlotRecord {
+            seq: 3,
+            op: 1,
+            a: 0xAB,
+            b: 0xCD,
+        };
+        slots.announce(&mut mem, 2, &rec);
+        let v = slots.scan(&mut mem).unwrap()[2];
+        assert_eq!(v.state, SlotState::Pending);
+        assert_eq!(v.rec, rec);
+
+        slots.complete(&mut mem, 2, 77);
+        let v = slots.scan(&mut mem).unwrap()[2];
+        assert_eq!(v.state, SlotState::Done);
+        assert_eq!(v.rec, rec);
+        assert_eq!(v.result, 77);
+
+        slots.retire(&mut mem, 2);
+        let v = slots.scan(&mut mem).unwrap()[2];
+        assert_eq!(v.state, SlotState::Idle);
+        assert_eq!(v.rec.seq, 3, "retire keeps the sequence number");
+    }
+
+    #[test]
+    fn scan_rejects_corrupted_state_word() {
+        let (mut mem, slots) = fresh();
+        mem.write_u64(slots.addr(1), 9);
+        assert_eq!(
+            slots.scan(&mut mem),
+            Err(SlotError::BadState { slot: 1, value: 9 })
+        );
+    }
+
+    #[test]
+    fn scan_rejects_torn_record() {
+        let (mut mem, slots) = fresh();
+        let rec = SlotRecord {
+            seq: 1,
+            op: 4,
+            a: 10,
+            b: 20,
+        };
+        slots.announce(&mut mem, 0, &rec);
+        // Flip one operand word without re-checksumming (a torn or
+        // bit-flipped descriptor line).
+        mem.write_u64(slots.addr(0) + 24, 11);
+        assert_eq!(
+            slots.scan(&mut mem),
+            Err(SlotError::BadChecksum { slot: 0 })
+        );
+    }
+
+    #[test]
+    fn each_transition_is_one_line_persist() {
+        let (mut mem, slots) = fresh();
+        let f0 = mem.flush_count();
+        slots.announce(&mut mem, 0, &SlotRecord::default());
+        assert_eq!(mem.flush_count(), f0 + 1);
+        slots.complete(&mut mem, 0, 1);
+        assert_eq!(mem.flush_count(), f0 + 2);
+    }
+
+    #[test]
+    fn layout_is_dense_lines() {
+        let s = SlotArray::new(0, 3);
+        assert_eq!(s.addr(0), 0);
+        assert_eq!(s.addr(2), 128);
+        assert_eq!(s.end(), 192);
+    }
+
+    #[test]
+    #[should_panic(expected = "line-aligned")]
+    fn rejects_unaligned_base() {
+        let _ = SlotArray::new(8, 1);
+    }
+}

@@ -1,0 +1,282 @@
+//! Open-loop traffic generation: Zipfian key skew, a configurable
+//! read/write mix, and Poisson inter-arrival gaps at a target offered
+//! load.
+//!
+//! *Open-loop* means arrival times are drawn independently of service
+//! completion: a request's timestamp is fixed when it is generated, and
+//! a slow server accumulates queueing delay instead of silently
+//! throttling the offered load (the closed-loop fallacy). This is what
+//! makes tail latency meaningful — p99/p999 include the time requests
+//! spend waiting behind a re-encryption storm, not just raw service
+//! time.
+//!
+//! Everything is driven by one [`SplitMix64`] stream, so a (spec, seed)
+//! pair always produces the identical request schedule.
+
+use supermem_sim::SplitMix64;
+
+/// What a generated request asks the structure to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqKind {
+    /// Insert/push/enqueue `key` with a generated value.
+    Update,
+    /// Pop/dequeue (hash structures have no remove; the generator maps
+    /// this onto [`ReqKind::Update`] for them).
+    Remove,
+    /// Lookup/peek.
+    Read,
+}
+
+/// One generated request: arrival time, kind, and operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Open-loop arrival cycle (absolute, monotone across the stream).
+    pub at: u64,
+    /// Operation kind.
+    pub kind: ReqKind,
+    /// Zipfian-drawn key.
+    pub key: u64,
+    /// Generated value (updates only; 0 otherwise).
+    pub value: u64,
+}
+
+/// Traffic shape: volume, mix, skew, and arrival process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficSpec {
+    /// Total requests to generate.
+    pub requests: u64,
+    /// Percentage of requests that are reads (0..=100).
+    pub read_pct: u8,
+    /// Zipfian skew exponent θ; 0.0 is uniform, 0.99 is the YCSB
+    /// default hot-key skew.
+    pub zipf_theta: f64,
+    /// Number of distinct keys (ranks) the Zipfian draws from.
+    pub keyspace: u64,
+    /// Mean inter-arrival gap in cycles (Poisson process). 0 means
+    /// fully backlogged: every request arrives at cycle 0.
+    pub mean_gap: u64,
+    /// RNG seed fixing the whole schedule.
+    pub seed: u64,
+    /// When true, non-read requests alternate update/remove by a coin
+    /// flip; when false they are all updates (hash structures).
+    pub removes: bool,
+}
+
+impl Default for TrafficSpec {
+    fn default() -> Self {
+        Self {
+            requests: 64,
+            read_pct: 50,
+            zipf_theta: 0.99,
+            keyspace: 64,
+            mean_gap: 0,
+            seed: 1,
+            removes: true,
+        }
+    }
+}
+
+/// Deterministic open-loop request generator.
+///
+/// # Examples
+///
+/// ```
+/// use supermem_serve::traffic::{TrafficGen, TrafficSpec};
+///
+/// let spec = TrafficSpec { requests: 10, ..TrafficSpec::default() };
+/// let a: Vec<_> = TrafficGen::new(&spec).collect();
+/// let b: Vec<_> = TrafficGen::new(&spec).collect();
+/// assert_eq!(a, b, "same spec + seed => same schedule");
+/// assert_eq!(a.len(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrafficGen {
+    rng: SplitMix64,
+    /// Cumulative Zipfian mass per rank, scaled to `u64::MAX`.
+    cum: Vec<u64>,
+    remaining: u64,
+    clock: u64,
+    read_pct: u8,
+    mean_gap: u64,
+    removes: bool,
+}
+
+impl TrafficGen {
+    /// Builds the generator, precomputing the Zipfian cumulative table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keyspace` is 0 or `read_pct > 100`.
+    pub fn new(spec: &TrafficSpec) -> Self {
+        assert!(spec.keyspace > 0, "keyspace must be positive");
+        assert!(spec.read_pct <= 100, "read_pct out of range");
+        // Zipfian: P(rank r) ∝ 1 / r^θ over ranks 1..=keyspace. The
+        // cumulative table maps a uniform u64 draw to a rank by binary
+        // search; θ = 0 degenerates to uniform.
+        let n = spec.keyspace as usize;
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for r in 1..=n {
+            total += (r as f64).powf(-spec.zipf_theta);
+            cum.push(total);
+        }
+        let scale = u64::MAX as f64 / total;
+        let cum: Vec<u64> = cum.iter().map(|&c| (c * scale) as u64).collect();
+        Self {
+            rng: SplitMix64::new(spec.seed),
+            cum,
+            remaining: spec.requests,
+            clock: 0,
+            read_pct: spec.read_pct,
+            mean_gap: spec.mean_gap,
+            removes: spec.removes,
+        }
+    }
+
+    /// Draws one Zipfian rank in `0..keyspace` (rank 0 is the hottest).
+    fn zipf_rank(&mut self) -> u64 {
+        let u = self.rng.next_u64();
+        self.cum.partition_point(|&c| c < u) as u64
+    }
+
+    /// Draws one exponential inter-arrival gap with the configured mean
+    /// (inverse-CDF on a 53-bit uniform), at least 1 cycle.
+    fn poisson_gap(&mut self) -> u64 {
+        if self.mean_gap == 0 {
+            return 0;
+        }
+        // Uniform in (0, 1]: never ln(0).
+        let u = ((self.rng.next_u64() >> 11) + 1) as f64 / (1u64 << 53) as f64;
+        let gap = -(self.mean_gap as f64) * u.ln();
+        (gap.round() as u64).max(1)
+    }
+}
+
+impl Iterator for TrafficGen {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.clock += self.poisson_gap();
+        let key = self.zipf_rank();
+        let kind = if self.rng.next_below(100) < u64::from(self.read_pct) {
+            ReqKind::Read
+        } else if self.removes && self.rng.next_below(2) == 0 {
+            ReqKind::Remove
+        } else {
+            ReqKind::Update
+        };
+        let value = match kind {
+            ReqKind::Update => self.rng.next_u64() | 1,
+            _ => 0,
+        };
+        Some(Request {
+            at: self.clock,
+            kind,
+            key,
+            value,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = TrafficSpec {
+            requests: 200,
+            mean_gap: 50,
+            ..TrafficSpec::default()
+        };
+        let a: Vec<Request> = TrafficGen::new(&spec).collect();
+        let b: Vec<Request> = TrafficGen::new(&spec).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_spaced() {
+        let spec = TrafficSpec {
+            requests: 100,
+            mean_gap: 100,
+            ..TrafficSpec::default()
+        };
+        let reqs: Vec<Request> = TrafficGen::new(&spec).collect();
+        for w in reqs.windows(2) {
+            assert!(w[1].at > w[0].at, "open-loop arrivals must advance");
+        }
+        let span = reqs.last().unwrap().at - reqs[0].at;
+        let mean = span as f64 / 99.0;
+        assert!(
+            (50.0..200.0).contains(&mean),
+            "empirical mean gap {mean:.1} far from 100"
+        );
+    }
+
+    #[test]
+    fn backlogged_traffic_arrives_at_zero() {
+        let spec = TrafficSpec {
+            requests: 10,
+            mean_gap: 0,
+            ..TrafficSpec::default()
+        };
+        assert!(TrafficGen::new(&spec).all(|r| r.at == 0));
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_low_ranks() {
+        let spec = TrafficSpec {
+            requests: 2000,
+            read_pct: 100,
+            zipf_theta: 0.99,
+            keyspace: 1000,
+            ..TrafficSpec::default()
+        };
+        let hot = TrafficGen::new(&spec).filter(|r| r.key < 10).count();
+        // Under θ=0.99 the top 1% of ranks draw a large share; under
+        // uniform they would draw ~1%.
+        assert!(hot > 400, "only {hot}/2000 hits on the 10 hottest keys");
+        let spec_uniform = TrafficSpec {
+            zipf_theta: 0.0,
+            ..spec
+        };
+        let hot_u = TrafficGen::new(&spec_uniform)
+            .filter(|r| r.key < 10)
+            .count();
+        assert!(hot_u < 60, "uniform draw is implausibly skewed: {hot_u}");
+    }
+
+    #[test]
+    fn read_pct_shapes_the_mix() {
+        let spec = TrafficSpec {
+            requests: 1000,
+            read_pct: 80,
+            ..TrafficSpec::default()
+        };
+        let reads = TrafficGen::new(&spec)
+            .filter(|r| r.kind == ReqKind::Read)
+            .count();
+        assert!((700..900).contains(&reads), "reads = {reads}");
+        let spec = TrafficSpec {
+            read_pct: 0,
+            removes: false,
+            ..spec
+        };
+        assert!(TrafficGen::new(&spec).all(|r| r.kind == ReqKind::Update));
+    }
+
+    #[test]
+    fn keys_stay_inside_the_keyspace() {
+        let spec = TrafficSpec {
+            requests: 500,
+            keyspace: 7,
+            ..TrafficSpec::default()
+        };
+        assert!(TrafficGen::new(&spec).all(|r| r.key < 7));
+    }
+}

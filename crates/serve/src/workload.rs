@@ -1,0 +1,124 @@
+//! Adapter registering a served structure behind the unified
+//! [`Workload`] trait, so the spec-driven runner machinery (checker
+//! harnesses, sweeps) can drive a shared structure exactly like the
+//! paper's workloads — one request to completion per `step`.
+
+use supermem::persist::{PMem, TxnError};
+use supermem::workloads::Workload;
+
+use crate::service::{Service, StepResult, StructureKind};
+use crate::traffic::{TrafficGen, TrafficSpec};
+
+/// A served structure driven single-threaded through the workload
+/// trait: every `step` runs one generated request to completion on
+/// core 0.
+///
+/// # Examples
+///
+/// ```
+/// use supermem::persist::VecMem;
+/// use supermem::workloads::Workload;
+/// use supermem_serve::{ServeWorkload, StructureKind, TrafficSpec};
+///
+/// let mut mem = VecMem::new();
+/// let mut w: Box<dyn Workload<VecMem>> = Box::new(ServeWorkload::new(
+///     &mut mem,
+///     StructureKind::Stack,
+///     0x1000,
+///     1 << 18,
+///     8,
+///     TrafficSpec::default(),
+/// ));
+/// for _ in 0..10 {
+///     w.step(&mut mem).unwrap();
+/// }
+/// assert_eq!(w.committed(), 10);
+/// w.verify(&mut mem).unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeWorkload {
+    service: Service,
+    traffic: TrafficGen,
+}
+
+impl ServeWorkload {
+    /// Initializes the structure in `[base, base + region_len)` and the
+    /// traffic stream that will drive it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate layout (see
+    /// [`Service::new`](crate::service::Service::new)).
+    pub fn new<M: PMem>(
+        mem: &mut M,
+        kind: StructureKind,
+        base: u64,
+        region_len: u64,
+        nbuckets: u64,
+        mut spec: TrafficSpec,
+    ) -> Self {
+        spec.removes = kind != StructureKind::Hash;
+        spec.requests = u64::MAX; // the runner decides how many steps
+        Self {
+            service: Service::new(mem, kind, base, region_len, 1, nbuckets),
+            traffic: TrafficGen::new(&spec),
+        }
+    }
+
+    /// The underlying service (layout access, retry counters).
+    pub fn service(&self) -> &Service {
+        &self.service
+    }
+}
+
+impl<M: PMem> Workload<M> for ServeWorkload {
+    fn name(&self) -> &'static str {
+        match self.service.layout().kind {
+            StructureKind::Stack => "serve-stack",
+            StructureKind::Queue => "serve-queue",
+            StructureKind::Hash => "serve-hash",
+        }
+    }
+
+    fn step(&mut self, mem: &mut M) -> Result<(), TxnError> {
+        let req = self.traffic.next().expect("traffic stream is unbounded");
+        self.service.start_op(mem, 0, &req);
+        while self.service.step(mem, 0) == StepResult::InFlight {}
+        Ok(())
+    }
+
+    fn verify(&mut self, mem: &mut M) -> Result<(), String> {
+        self.service.verify(mem)
+    }
+
+    fn committed(&self) -> u64 {
+        self.service.completed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supermem::persist::VecMem;
+
+    #[test]
+    fn trait_object_drives_every_structure() {
+        for kind in StructureKind::ALL {
+            let mut mem = VecMem::new();
+            let mut w: Box<dyn Workload<VecMem>> = Box::new(ServeWorkload::new(
+                &mut mem,
+                kind,
+                0x1000,
+                1 << 18,
+                8,
+                TrafficSpec::default(),
+            ));
+            for _ in 0..25 {
+                w.step(&mut mem).unwrap();
+            }
+            assert_eq!(w.committed(), 25, "{kind}");
+            w.verify(&mut mem).unwrap();
+            assert!(w.name().starts_with("serve-"));
+        }
+    }
+}

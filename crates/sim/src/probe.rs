@@ -473,11 +473,69 @@ impl Log2Histogram {
             .map(|(i, &c)| (Self::bucket_lo(i), c))
     }
 
-    fn to_json(&self) -> String {
+    /// The `q`-th percentile (`0.0..=100.0`) of the recorded values:
+    /// nearest rank, linearly interpolated toward the *upper* edge of
+    /// the matched power-of-two bucket (conservative for tails), and
+    /// clamped to the exact observed [`max`] — so the top rank always
+    /// reports the true maximum.
+    ///
+    /// Deterministic: integer arithmetic over the bucket counts, so the
+    /// same histogram always reports the same percentile. Returns 0 for
+    /// an empty histogram.
+    ///
+    /// [`max`]: Log2Histogram::max
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 100.0);
+        // Nearest rank, 1-based: the smallest rank covering q percent.
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                let lo = Self::bucket_lo(i);
+                let width = lo; // bucket i >= 1 spans [lo, 2*lo); bucket 0 is {0}
+                let k = rank - seen; // 1-based position inside the bucket
+                let interp = (u128::from(width) * u128::from(k) / u128::from(c)) as u64;
+                return (lo + interp).min(self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Median latency (50th percentile).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// Tail latency: 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Extreme tail latency: 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.percentile(99.9)
+    }
+
+    /// Render the histogram as a self-contained JSON object: exact
+    /// aggregates, the percentile summary, and the non-empty buckets.
+    pub fn to_json(&self) -> String {
         let mut s = String::from("{");
         s.push_str(&format!(
-            "\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
-            self.count, self.sum, self.max
+            "\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p99\":{},\"p999\":{},\"buckets\":[",
+            self.count,
+            self.sum,
+            self.max,
+            self.p50(),
+            self.p99(),
+            self.p999()
         ));
         let mut first = true;
         for (lo, c) in self.nonzero() {
@@ -665,6 +723,9 @@ pub struct Telemetry {
     pub wq_occupancy: OccupancySeries,
     /// Per-bank busy accounting.
     pub banks: BankUtilization,
+    /// Per-core transaction latency histograms, indexed by the issuing
+    /// core of each [`Event::TxnCommit`] (grown on demand).
+    pub per_core_txn: Vec<Log2Histogram>,
 }
 
 impl Observer for Telemetry {
@@ -737,10 +798,14 @@ impl Observer for Telemetry {
                 b.read_cycles += done.saturating_sub(issued);
                 self.read_latency.record(done.saturating_sub(issued));
             }
-            Event::TxnCommit { start, end, .. } => {
+            Event::TxnCommit { core, start, end } => {
                 b.txns += 1;
                 b.txn_cycles += end.saturating_sub(start);
                 self.txn_latency.record(end.saturating_sub(start));
+                if core >= self.per_core_txn.len() {
+                    self.per_core_txn.resize(core + 1, Log2Histogram::default());
+                }
+                self.per_core_txn[core].record(end.saturating_sub(start));
             }
         }
     }
@@ -805,6 +870,14 @@ impl Telemetry {
             self.wq_occupancy.histogram.mean(),
             self.wq_occupancy.histogram.to_json()
         ));
+        s.push_str("\"per_core_txn\":[");
+        for (i, h) in self.per_core_txn.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&h.to_json());
+        }
+        s.push_str("],");
         s.push_str("\"banks\":[");
         for (i, bank) in self.banks.banks().iter().enumerate() {
             if i > 0 {
@@ -879,6 +952,72 @@ mod tests {
         let json = t.to_json(1000);
         assert!(json.contains("\"counter_fetch_cycles\":10"));
         assert!(json.contains("\"total_cycles\":1000"));
+    }
+
+    #[test]
+    fn percentiles_are_exact_on_single_bucket_values() {
+        let mut h = Log2Histogram::default();
+        assert_eq!(h.percentile(99.0), 0, "empty histogram reports 0");
+        for _ in 0..100 {
+            h.record(64); // all in [64, 128)
+        }
+        // Every rank interpolates inside one bucket of identical values;
+        // the clamp to max() pins the answer to the exact value.
+        assert_eq!(h.p50(), 64);
+        assert_eq!(h.p99(), 64);
+        assert_eq!(h.p999(), 64);
+    }
+
+    #[test]
+    fn percentiles_rank_across_buckets() {
+        let mut h = Log2Histogram::default();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        // One extreme tail sample on top of the 99 small ones.
+        h.record(100_000);
+        // Rank 50 of 100 interpolates inside the [8,16) bucket.
+        assert!((8..16).contains(&h.p50()), "p50 {}", h.p50());
+        // Rank 99 of 100 still lands in the [8,16) bucket (upper-edge
+        // interpolation can report the bucket's closing edge) ...
+        assert!(h.p99() <= 16, "p99 {}", h.p99());
+        // ... and the 99.9th percentile is the tail sample itself.
+        assert_eq!(h.p999(), 100_000);
+        // Monotonic in q.
+        assert!(h.p50() <= h.p99() && h.p99() <= h.p999());
+    }
+
+    #[test]
+    fn percentile_json_and_accessors_agree() {
+        let mut h = Log2Histogram::default();
+        for v in [5u64, 50, 500, 5000] {
+            h.record(v);
+        }
+        let json = h.to_json();
+        assert!(json.contains(&format!("\"p50\":{}", h.p50())), "{json}");
+        assert!(json.contains(&format!("\"p999\":{}", h.p999())), "{json}");
+    }
+
+    #[test]
+    fn telemetry_attributes_txns_to_cores() {
+        let mut t = Telemetry::default();
+        t.on_event(&Event::TxnCommit {
+            core: 0,
+            start: 0,
+            end: 10,
+        });
+        t.on_event(&Event::TxnCommit {
+            core: 2,
+            start: 0,
+            end: 30,
+        });
+        assert_eq!(t.per_core_txn.len(), 3);
+        assert_eq!(t.per_core_txn[0].count(), 1);
+        assert_eq!(t.per_core_txn[1].count(), 0);
+        assert_eq!(t.per_core_txn[2].sum(), 30);
+        assert_eq!(t.txn_latency.count(), 2, "aggregate still fed");
+        let json = t.to_json(100);
+        assert!(json.contains("\"per_core_txn\":["), "{json}");
     }
 
     #[test]

@@ -17,15 +17,19 @@
 //! state against it — which is also how the crash experiments decide
 //! whether a recovered image is consistent.
 //!
+//! Construction is unified behind [`WorkloadSpec::build`] (fallible,
+//! typed [`SpecError`]s), and all drivers speak the [`Workload`] trait,
+//! so structures defined in other crates plug in without new match arms.
+//!
 //! # Examples
 //!
 //! ```
 //! use supermem_persist::VecMem;
-//! use supermem_workloads::{AnyWorkload, WorkloadKind, WorkloadSpec};
+//! use supermem_workloads::{WorkloadKind, WorkloadSpec};
 //!
 //! let spec = WorkloadSpec::new(WorkloadKind::Queue).with_txns(10);
 //! let mut mem = VecMem::new();
-//! let mut w = AnyWorkload::build(&spec, &mut mem);
+//! let mut w = spec.build(&mut mem).unwrap();
 //! for _ in 0..spec.txns {
 //!     w.step(&mut mem).unwrap();
 //! }
@@ -46,5 +50,5 @@ pub use btree::BTreeWorkload;
 pub use hashtable::HashTableWorkload;
 pub use queue::QueueWorkload;
 pub use rbtree::RbTreeWorkload;
-pub use spec::{AnyWorkload, WorkloadKind, WorkloadSpec};
+pub use spec::{AnyWorkload, SpecError, Workload, WorkloadKind, WorkloadSpec};
 pub use ycsb::YcsbWorkload;

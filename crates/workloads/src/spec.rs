@@ -5,6 +5,13 @@
 //! / 1 KB / 4 KB in Figures 13 and 15) — plus the memory region the
 //! instance lives in (each simulated core gets a private region).
 //! [`AnyWorkload`] is the enum-dispatched instance.
+//!
+//! Construction is unified: [`WorkloadSpec::validate`] rejects malformed
+//! parameters with a typed [`SpecError`], and [`WorkloadSpec::build`] is
+//! the one fallible entry point producing an [`AnyWorkload`]. Every
+//! benchmark — including external crates' structures, such as the serve
+//! engine's shared lock-free services — speaks the object-safe
+//! [`Workload`] trait, so drivers never match on concrete types.
 
 use supermem_persist::{PMem, TxnError};
 
@@ -73,6 +80,86 @@ impl std::fmt::Display for WorkloadKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
     }
+}
+
+/// A malformed [`WorkloadSpec`], reported instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// YCSB read percentage above 100.
+    ReadPct(u8),
+    /// Hash bucket count is zero or not a power of two.
+    HashBuckets(u64),
+    /// Request size below the structure's minimum record size.
+    ReqBytes {
+        /// The workload the size is too small for.
+        kind: WorkloadKind,
+        /// The offending request size.
+        req_bytes: u64,
+        /// The smallest size the structure accepts.
+        min: u64,
+    },
+    /// The memory region cannot hold the structure's initial state.
+    RegionTooSmall {
+        /// The workload that did not fit.
+        kind: WorkloadKind,
+        /// What failed while seeding the structure.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::ReadPct(p) => write!(f, "ycsb read percentage {p} exceeds 100"),
+            SpecError::HashBuckets(b) => {
+                write!(f, "hash bucket count {b} must be a nonzero power of two")
+            }
+            SpecError::ReqBytes {
+                kind,
+                req_bytes,
+                min,
+            } => write!(
+                f,
+                "request size {req_bytes} B below {kind}'s minimum of {min} B"
+            ),
+            SpecError::RegionTooSmall { kind, detail } => {
+                write!(f, "region too small for {kind}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// The behavior every benchmark exposes to a driver: run transactions,
+/// verify against the shadow model, report progress.
+///
+/// The core `Experiment`, the CLI, and the bench binaries drive
+/// workloads exclusively through this trait (via [`AnyWorkload`]'s
+/// impl), so adding a structure — in this crate or another, like the
+/// serve engine's shared lock-free services — never edits their match
+/// arms.
+pub trait Workload<M: PMem> {
+    /// The workload's figure name.
+    fn name(&self) -> &'static str;
+
+    /// Executes one durable transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TxnError`] from the commit.
+    fn step(&mut self, mem: &mut M) -> Result<(), TxnError>;
+
+    /// Verifies the persistent state against the shadow model.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first divergence.
+    fn verify(&mut self, mem: &mut M) -> Result<(), String>;
+
+    /// Committed transactions so far.
+    fn committed(&self) -> u64;
 }
 
 /// Parameters of one workload instance.
@@ -162,6 +249,92 @@ impl WorkloadSpec {
         self.ycsb_read_pct = pct;
         self
     }
+
+    /// The smallest request size `kind` accepts (the structures' record
+    /// headers put a floor under the per-transaction payload).
+    fn min_req_bytes(kind: WorkloadKind) -> u64 {
+        match kind {
+            WorkloadKind::Queue => 8,
+            WorkloadKind::Array | WorkloadKind::BTree | WorkloadKind::Ycsb => 16,
+            WorkloadKind::HashTable => 17, // must exceed the 16 B bucket header
+            WorkloadKind::RbTree => 41,    // must exceed the 40 B node header
+        }
+    }
+
+    /// Checks the spec's parameters without building anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SpecError`] found. The checks mirror the
+    /// construction-time assertions of the individual structures, so a
+    /// spec that validates does not panic in [`WorkloadSpec::build`].
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.ycsb_read_pct > 100 {
+            return Err(SpecError::ReadPct(self.ycsb_read_pct));
+        }
+        if self.hash_buckets == 0 || !self.hash_buckets.is_power_of_two() {
+            return Err(SpecError::HashBuckets(self.hash_buckets));
+        }
+        let min = Self::min_req_bytes(self.kind);
+        if self.req_bytes < min {
+            return Err(SpecError::ReqBytes {
+                kind: self.kind,
+                req_bytes: self.req_bytes,
+                min,
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds and initializes the workload described by this spec
+    /// inside `mem` — the unified, fallible construction path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] for malformed parameters (see
+    /// [`WorkloadSpec::validate`]) or a region too small to seed the
+    /// structure.
+    pub fn build<M: PMem>(&self, mem: &mut M) -> Result<AnyWorkload, SpecError> {
+        self.validate()?;
+        let (base, len, req, seed) = (self.region_base, self.region_len, self.req_bytes, self.seed);
+        Ok(match self.kind {
+            WorkloadKind::Array => {
+                let item = (req / 2).max(8);
+                let count = (self.array_footprint / item).max(2);
+                AnyWorkload::Array(ArrayWorkload::new(mem, base, len, req, count, seed))
+            }
+            WorkloadKind::Queue => AnyWorkload::Queue(QueueWorkload::new(
+                mem,
+                base,
+                len,
+                req,
+                self.queue_capacity,
+                seed,
+            )),
+            WorkloadKind::BTree => {
+                AnyWorkload::BTree(BTreeWorkload::new(mem, base, len, req, seed))
+            }
+            WorkloadKind::HashTable => AnyWorkload::HashTable(HashTableWorkload::new(
+                mem,
+                base,
+                len,
+                req,
+                self.hash_buckets,
+                seed,
+            )),
+            WorkloadKind::RbTree => {
+                AnyWorkload::RbTree(RbTreeWorkload::new(mem, base, len, req, seed))
+            }
+            WorkloadKind::Ycsb => AnyWorkload::Ycsb(YcsbWorkload::try_new(
+                mem,
+                base,
+                len,
+                req,
+                self.ycsb_read_pct,
+                seed,
+            )?),
+        })
+    }
 }
 
 /// A constructed workload instance (enum dispatch over the five kinds).
@@ -187,46 +360,14 @@ impl AnyWorkload {
     ///
     /// # Panics
     ///
-    /// Panics if the spec's region is too small for the structure.
+    /// Panics on any malformed spec or undersized region.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the fallible `WorkloadSpec::build`, which reports a typed SpecError"
+    )]
     pub fn build<M: PMem>(spec: &WorkloadSpec, mem: &mut M) -> Self {
-        let (base, len, req, seed) = (spec.region_base, spec.region_len, spec.req_bytes, spec.seed);
-        match spec.kind {
-            WorkloadKind::Array => {
-                let item = (req / 2).max(8);
-                let count = (spec.array_footprint / item).max(2);
-                AnyWorkload::Array(ArrayWorkload::new(mem, base, len, req, count, seed))
-            }
-            WorkloadKind::Queue => AnyWorkload::Queue(QueueWorkload::new(
-                mem,
-                base,
-                len,
-                req,
-                spec.queue_capacity,
-                seed,
-            )),
-            WorkloadKind::BTree => {
-                AnyWorkload::BTree(BTreeWorkload::new(mem, base, len, req, seed))
-            }
-            WorkloadKind::HashTable => AnyWorkload::HashTable(HashTableWorkload::new(
-                mem,
-                base,
-                len,
-                req,
-                spec.hash_buckets,
-                seed,
-            )),
-            WorkloadKind::RbTree => {
-                AnyWorkload::RbTree(RbTreeWorkload::new(mem, base, len, req, seed))
-            }
-            WorkloadKind::Ycsb => AnyWorkload::Ycsb(YcsbWorkload::new(
-                mem,
-                base,
-                len,
-                req,
-                spec.ycsb_read_pct,
-                seed,
-            )),
-        }
+        spec.build(mem)
+            .unwrap_or_else(|e| panic!("workload spec invalid: {e}"))
     }
 
     /// The workload's figure name.
@@ -286,6 +427,55 @@ impl AnyWorkload {
     }
 }
 
+impl<M: PMem> Workload<M> for AnyWorkload {
+    fn name(&self) -> &'static str {
+        AnyWorkload::name(self)
+    }
+
+    fn step(&mut self, mem: &mut M) -> Result<(), TxnError> {
+        AnyWorkload::step(self, mem)
+    }
+
+    fn verify(&mut self, mem: &mut M) -> Result<(), String> {
+        AnyWorkload::verify(self, mem)
+    }
+
+    fn committed(&self) -> u64 {
+        AnyWorkload::committed(self)
+    }
+}
+
+/// Implements [`Workload`] for a concrete structure by delegating to
+/// its inherent methods of the same shape.
+macro_rules! impl_workload {
+    ($ty:ty, $name:literal) => {
+        impl<M: PMem> Workload<M> for $ty {
+            fn name(&self) -> &'static str {
+                $name
+            }
+
+            fn step(&mut self, mem: &mut M) -> Result<(), TxnError> {
+                <$ty>::step(self, mem)
+            }
+
+            fn verify(&mut self, mem: &mut M) -> Result<(), String> {
+                <$ty>::verify(self, mem)
+            }
+
+            fn committed(&self) -> u64 {
+                <$ty>::committed(self)
+            }
+        }
+    };
+}
+
+impl_workload!(ArrayWorkload, "array");
+impl_workload!(QueueWorkload, "queue");
+impl_workload!(BTreeWorkload, "btree");
+impl_workload!(HashTableWorkload, "hash");
+impl_workload!(RbTreeWorkload, "rbtree");
+impl_workload!(YcsbWorkload, "ycsb");
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,7 +489,7 @@ mod tests {
                 .with_req_bytes(256)
                 .with_array_footprint(64 << 10);
             let mut mem = VecMem::new();
-            let mut w = AnyWorkload::build(&spec, &mut mem);
+            let mut w = spec.build(&mut mem).unwrap();
             assert_eq!(w.name(), kind.name());
             for _ in 0..spec.txns {
                 w.step(&mut mem).unwrap_or_else(|e| panic!("{kind}: {e}"));
@@ -346,8 +536,8 @@ mod tests {
         let s2 = WorkloadSpec::new(WorkloadKind::BTree)
             .with_region(1 << 24, 1 << 24)
             .with_seed(5);
-        let mut w1 = AnyWorkload::build(&s1, &mut mem);
-        let mut w2 = AnyWorkload::build(&s2, &mut mem);
+        let mut w1 = s1.build(&mut mem).unwrap();
+        let mut w2 = s2.build(&mut mem).unwrap();
         for _ in 0..50 {
             w1.step(&mut mem).unwrap();
             w2.step(&mut mem).unwrap();
@@ -359,5 +549,66 @@ mod tests {
     #[test]
     fn display_matches_name() {
         assert_eq!(WorkloadKind::RbTree.to_string(), "rbtree");
+    }
+
+    #[test]
+    fn validate_rejects_malformed_specs() {
+        let bad_pct = WorkloadSpec::new(WorkloadKind::Ycsb).with_ycsb_read_pct(101);
+        assert_eq!(bad_pct.validate(), Err(SpecError::ReadPct(101)));
+
+        let bad_buckets = WorkloadSpec::new(WorkloadKind::HashTable).with_hash_buckets(3);
+        assert_eq!(bad_buckets.validate(), Err(SpecError::HashBuckets(3)));
+
+        let tiny_req = WorkloadSpec::new(WorkloadKind::RbTree).with_req_bytes(16);
+        assert_eq!(
+            tiny_req.validate(),
+            Err(SpecError::ReqBytes {
+                kind: WorkloadKind::RbTree,
+                req_bytes: 16,
+                min: 41,
+            })
+        );
+    }
+
+    #[test]
+    fn build_reports_spec_errors_without_panicking() {
+        let mut mem = VecMem::new();
+        let bad = WorkloadSpec::new(WorkloadKind::Ycsb).with_ycsb_read_pct(200);
+        assert_eq!(bad.build(&mut mem).unwrap_err(), SpecError::ReadPct(200));
+    }
+
+    #[test]
+    fn validate_accepts_every_default_spec() {
+        for kind in ALL_KINDS.into_iter().chain([WorkloadKind::Ycsb]) {
+            WorkloadSpec::new(kind).validate().unwrap();
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_build_wrapper_still_constructs() {
+        let mut mem = VecMem::new();
+        let spec = WorkloadSpec::new(WorkloadKind::Queue).with_txns(3);
+        let mut w = AnyWorkload::build(&spec, &mut mem);
+        w.step(&mut mem).unwrap();
+        assert_eq!(AnyWorkload::committed(&w), 1);
+    }
+
+    #[test]
+    fn workloads_drive_through_the_trait_object() {
+        // The unified API: a driver holding only `dyn Workload` can run
+        // any structure, including ones added outside this enum.
+        let mut mem = VecMem::new();
+        let spec = WorkloadSpec::new(WorkloadKind::BTree)
+            .with_txns(10)
+            .with_req_bytes(256);
+        let built = spec.build(&mut mem).unwrap();
+        let mut w: Box<dyn Workload<VecMem>> = Box::new(built);
+        for _ in 0..10 {
+            w.step(&mut mem).unwrap();
+        }
+        assert_eq!(w.name(), "btree");
+        assert_eq!(w.committed(), 10);
+        w.verify(&mut mem).unwrap();
     }
 }

@@ -16,6 +16,7 @@ use supermem_persist::{PMem, TxnError};
 use supermem_sim::SplitMix64;
 
 use crate::btree::BTreeWorkload;
+use crate::spec::{SpecError, WorkloadKind};
 
 /// Mixed read/insert KV workload.
 #[derive(Debug, Clone)]
@@ -35,19 +36,41 @@ impl YcsbWorkload {
     /// a transaction writes `req_bytes`. A handful of seed records are
     /// inserted so early reads have something to find.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `read_pct > 100`, the region is too small, or
-    /// `req_bytes < 16`.
-    pub fn new<M: PMem>(
+    /// Returns [`SpecError::ReadPct`] if `read_pct > 100`,
+    /// [`SpecError::ReqBytes`] if `req_bytes < 16`, and
+    /// [`SpecError::RegionTooSmall`] if seeding the store does not fit
+    /// in the region — the typed path, mirroring `RunConfig::validate`.
+    pub fn try_new<M: PMem>(
         mem: &mut M,
         base: u64,
         len: u64,
         req_bytes: u64,
         read_pct: u8,
         seed: u64,
-    ) -> Self {
-        assert!(read_pct <= 100, "read percentage out of range");
+    ) -> Result<Self, SpecError> {
+        if read_pct > 100 {
+            return Err(SpecError::ReadPct(read_pct));
+        }
+        if req_bytes < 16 {
+            return Err(SpecError::ReqBytes {
+                kind: WorkloadKind::Ycsb,
+                req_bytes,
+                min: 16,
+            });
+        }
+        // The underlying tree panics on arena exhaustion, so bound the
+        // region up front: undo log (4·req + 8 KiB), header, root node,
+        // the 8 seed records (≈ req each), a few split nodes, and
+        // alignment slack.
+        let min_len = 4 * req_bytes + 8192 + 8 * (req_bytes + 8) + 4 * 384 + 16 * 64;
+        if len < min_len {
+            return Err(SpecError::RegionTooSmall {
+                kind: WorkloadKind::Ycsb,
+                detail: format!("{len} B region, seeding needs at least {min_len} B"),
+            });
+        }
         let mut rng = SplitMix64::new(seed);
         let mut tree = BTreeWorkload::new(mem, base, len, req_bytes, rng.next_u64());
         let value_bytes = (req_bytes - 8) as usize;
@@ -56,10 +79,14 @@ impl YcsbWorkload {
             let key = rng.next_u64() >> 1;
             let mut value = vec![0u8; value_bytes];
             rng.fill_bytes(&mut value);
-            tree.insert(mem, key, value).expect("seed insert");
+            tree.insert(mem, key, value)
+                .map_err(|e| SpecError::RegionTooSmall {
+                    kind: WorkloadKind::Ycsb,
+                    detail: format!("seed insert failed: {e}"),
+                })?;
             inserted.push(key);
         }
-        Self {
+        Ok(Self {
             tree,
             inserted,
             read_pct,
@@ -67,6 +94,31 @@ impl YcsbWorkload {
             rng,
             reads: 0,
             inserts: 0,
+        })
+    }
+
+    /// Panicking construction, kept for source compatibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_pct > 100`, the region is too small, or
+    /// `req_bytes < 16`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `YcsbWorkload::try_new`, which reports a typed SpecError"
+    )]
+    pub fn new<M: PMem>(
+        mem: &mut M,
+        base: u64,
+        len: u64,
+        req_bytes: u64,
+        read_pct: u8,
+        seed: u64,
+    ) -> Self {
+        match Self::try_new(mem, base, len, req_bytes, read_pct, seed) {
+            Ok(w) => w,
+            Err(SpecError::ReadPct(_)) => panic!("read percentage out of range"),
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -120,7 +172,7 @@ mod tests {
     #[test]
     fn pure_read_mix_never_inserts_after_seeding() {
         let mut mem = VecMem::new();
-        let mut w = YcsbWorkload::new(&mut mem, 0, 1 << 24, 128, 100, 7);
+        let mut w = YcsbWorkload::try_new(&mut mem, 0, 1 << 24, 128, 100, 7).unwrap();
         for _ in 0..50 {
             w.step(&mut mem).unwrap();
         }
@@ -133,7 +185,7 @@ mod tests {
     #[test]
     fn pure_insert_mix_never_reads() {
         let mut mem = VecMem::new();
-        let mut w = YcsbWorkload::new(&mut mem, 0, 1 << 24, 128, 0, 7);
+        let mut w = YcsbWorkload::try_new(&mut mem, 0, 1 << 24, 128, 0, 7).unwrap();
         for _ in 0..50 {
             w.step(&mut mem).unwrap();
         }
@@ -146,7 +198,7 @@ mod tests {
     #[test]
     fn mixed_ratio_is_roughly_respected() {
         let mut mem = VecMem::new();
-        let mut w = YcsbWorkload::new(&mut mem, 0, 1 << 24, 128, 80, 9);
+        let mut w = YcsbWorkload::try_new(&mut mem, 0, 1 << 24, 128, 80, 9).unwrap();
         for _ in 0..500 {
             w.step(&mut mem).unwrap();
         }
@@ -161,8 +213,34 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "out of range")]
+    #[allow(deprecated)]
     fn rejects_bad_percentage() {
         let mut mem = VecMem::new();
         YcsbWorkload::new(&mut mem, 0, 1 << 24, 128, 101, 0);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors_instead_of_panicking() {
+        // The regression the deprecated constructor used to panic on.
+        let mut mem = VecMem::new();
+        assert_eq!(
+            YcsbWorkload::try_new(&mut mem, 0, 1 << 24, 128, 101, 0).unwrap_err(),
+            SpecError::ReadPct(101)
+        );
+        assert_eq!(
+            YcsbWorkload::try_new(&mut mem, 0, 1 << 24, 8, 50, 0).unwrap_err(),
+            SpecError::ReqBytes {
+                kind: WorkloadKind::Ycsb,
+                req_bytes: 8,
+                min: 16,
+            }
+        );
+        // An undersized region surfaces as a typed error too, not a
+        // seed-insert panic.
+        let err = YcsbWorkload::try_new(&mut mem, 0, 4096, 128, 50, 0).unwrap_err();
+        assert!(
+            matches!(err, SpecError::RegionTooSmall { .. }),
+            "got {err:?}"
+        );
     }
 }

@@ -100,7 +100,7 @@ fn verification_happens_on_counter_fetches_and_costs_little() {
     let spec = supermem::workloads::WorkloadSpec::new(WorkloadKind::HashTable)
         .with_txns(60)
         .with_req_bytes(256);
-    let mut w = supermem::workloads::AnyWorkload::build(&spec, &mut sys);
+    let mut w = spec.build(&mut sys).expect("valid spec");
     sys.checkpoint();
     sys.reset_stats();
     let start = sys.now();

@@ -5,7 +5,7 @@
 
 use supermem::persist::{recover_transactions, DirectMem, PMem, RecoveredMemory, TxnManager};
 use supermem::sim::{Config, CounterCacheBacking, CounterCacheMode};
-use supermem::workloads::{AnyWorkload, WorkloadKind, WorkloadSpec};
+use supermem::workloads::{WorkloadKind, WorkloadSpec};
 use supermem::{Scheme, SystemBuilder};
 
 const DATA: u64 = 0x8000;
@@ -167,7 +167,7 @@ fn workload_crash_mid_run_leaves_decryptable_structures() {
     let spec = WorkloadSpec::new(WorkloadKind::Queue)
         .with_txns(50)
         .with_req_bytes(256);
-    let mut w = AnyWorkload::build(&spec, &mut sys);
+    let mut w = spec.build(&mut sys).expect("valid spec");
     sys.checkpoint();
     sys.arm_crash_after_appends(123);
     for _ in 0..50 {

@@ -11,7 +11,7 @@
 
 use supermem::persist::{recover_transactions, RecoveredMemory, RecoveryOutcome};
 use supermem::workloads::{btree, hashtable, queue, rbtree};
-use supermem::workloads::{AnyWorkload, WorkloadKind, WorkloadSpec};
+use supermem::workloads::{WorkloadKind, WorkloadSpec};
 use supermem::{Scheme, SystemBuilder};
 
 const REQ: u64 = 256;
@@ -31,7 +31,7 @@ fn crash_run(kind: WorkloadKind, appends: u64, seed: u64) -> (RecoveredMemory, R
         .with_req_bytes(REQ)
         .with_seed(seed)
         .with_hash_buckets(256);
-    let mut w = AnyWorkload::build(&spec, &mut sys);
+    let mut w = spec.build(&mut sys).expect("valid spec");
     sys.checkpoint();
     sys.arm_crash_after_appends(appends);
     for _ in 0..TXNS {

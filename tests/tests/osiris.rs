@@ -5,7 +5,7 @@
 
 use supermem::persist::{recover_osiris, recover_transactions, DirectMem, PMem, TxnManager};
 use supermem::sim::Config;
-use supermem::workloads::{AnyWorkload, WorkloadKind, WorkloadSpec};
+use supermem::workloads::{WorkloadKind, WorkloadSpec};
 use supermem::{Scheme, SystemBuilder};
 
 const DATA: u64 = 0x8000;
@@ -56,7 +56,7 @@ fn osiris_recovery_cost_scales_with_footprint_supermem_is_free() {
             .with_txns(20)
             .with_req_bytes(256)
             .with_array_footprint(footprint);
-        let mut w = AnyWorkload::build(&spec, &mut sys);
+        let mut w = spec.build(&mut sys).expect("valid spec");
         for _ in 0..20 {
             w.step(&mut sys).expect("txn");
         }
