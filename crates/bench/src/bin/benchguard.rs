@@ -15,7 +15,8 @@ use supermem::workloads::WorkloadKind;
 use supermem::{run_single, RunConfig, Scheme};
 use supermem_bench::guard::{check, extract_after_ns, tolerance, GuardCheck};
 use supermem_bench::micro::Harness;
-use supermem_serve::{run_serve, ServeConfig};
+use supermem_lincheck::{lincheck, LincheckConfig};
+use supermem_serve::{run_serve, ServeConfig, StructureKind};
 
 fn baseline_json() -> String {
     let path = std::env::var("SUPERMEM_BENCH_BASELINE").unwrap_or_else(|_| {
@@ -117,6 +118,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("serve/SuperMem-c4-p99cyc  exact {} cycles  ok", r.p99);
+    }
+
+    {
+        // The durable-linearizability model checker on its largest
+        // exhaustive CI config (queue, 2 cores x 3 mixed ops, crash
+        // after every persist-relevant step: 440 schedules, ~10k crash
+        // points). Guards the explorer's clone-per-node, crash-image
+        // replay, and dedup costs — the CI lincheck job's 60 s budget
+        // rests on this staying cheap.
+        let cfg = LincheckConfig::mixed(StructureKind::Queue, 2, 3);
+        h.bench("lincheck/queue-2x3", || {
+            let r = lincheck(black_box(&cfg));
+            assert!(r.violation.is_none(), "lincheck violation in benchguard");
+            black_box(r.stats.crash_points)
+        });
     }
 
     {

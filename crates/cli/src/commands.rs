@@ -13,6 +13,7 @@ use supermem::workloads::spec::ALL_KINDS;
 use supermem::workloads::WorkloadKind;
 use supermem::{sweep, Experiment, RunConfig, RunResult, Scheme};
 use supermem_bench::Report;
+use supermem_lincheck::{find_minimal, lincheck, CrashMode, LincheckConfig, Mutant};
 use supermem_serve::{
     run_serve, run_serve_torture, ServeConfig, ServeTortureConfig, StructureKind,
 };
@@ -1114,6 +1115,180 @@ pub fn cmd_check(argv: &[String]) -> Result<(), ArgError> {
         "persistency-ordering violations in {} configuration(s)",
         dirty.len()
     )))
+}
+
+/// `supermem lincheck [--structure S|all] [--cores N] [--ops N]
+/// [--depth N] [--crash {all|none|K}] [--reduce] [--mutate M] [--json]`
+pub fn cmd_lincheck(argv: &[String]) -> Result<(), ArgError> {
+    let mut structure: Option<StructureKind> = None;
+    let mut cores = 2usize;
+    let mut ops = 3usize;
+    let mut depth = 96u64;
+    let mut crash = CrashMode::All;
+    let mut reduce = false;
+    let mut mutate: Option<Mutant> = None;
+    let mut json = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--structure" => {
+                let s = it
+                    .next()
+                    .ok_or_else(|| ArgError("--structure needs a value".into()))?;
+                if s != "all" {
+                    structure = Some(StructureKind::parse(s).ok_or_else(|| {
+                        ArgError(format!("unknown structure `{s}` (stack queue hash all)"))
+                    })?);
+                }
+            }
+            "--cores" => {
+                cores = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|c| (1..=4).contains(c))
+                    .ok_or_else(|| ArgError("invalid --cores (1..=4)".into()))?;
+            }
+            "--ops" => {
+                ops = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|o| (1..=8).contains(o))
+                    .ok_or_else(|| ArgError("invalid --ops (1..=8)".into()))?;
+            }
+            "--depth" => {
+                depth = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|d| *d > 0)
+                    .ok_or_else(|| ArgError("invalid --depth".into()))?;
+            }
+            "--crash" => {
+                let c = it
+                    .next()
+                    .ok_or_else(|| ArgError("--crash needs a value".into()))?;
+                crash = match c.as_str() {
+                    "all" => CrashMode::All,
+                    "none" => CrashMode::Final,
+                    k => CrashMode::AfterPersist(k.parse().map_err(|_| {
+                        ArgError(format!(
+                            "invalid --crash `{k}` (all, none, or a persist index)"
+                        ))
+                    })?),
+                };
+            }
+            "--reduce" => reduce = true,
+            "--json" => json = true,
+            "--mutate" => {
+                let m = it
+                    .next()
+                    .ok_or_else(|| ArgError("--mutate needs a value".into()))?;
+                mutate = Some(Mutant::parse(m).ok_or_else(|| {
+                    ArgError(format!(
+                        "unknown mutant `{m}` (expected one of: skip-linearize \
+                         complete-first drop-invalidate skip-scan)"
+                    ))
+                })?);
+            }
+            other => return Err(ArgError(format!("unknown flag `{other}`"))),
+        }
+    }
+    let structures: Vec<StructureKind> =
+        structure.map_or_else(|| StructureKind::ALL.to_vec(), |s| vec![s]);
+
+    let mut t = TextTable::new(
+        [
+            "structure",
+            "schedules",
+            "crash points",
+            "dedup",
+            "pruned",
+            "ms",
+            "verdict",
+        ]
+        .map(str::to_owned)
+        .to_vec(),
+    );
+    let mut json_rows = Vec::new();
+    let mut violations = Vec::new();
+    let mut missed = Vec::new();
+    for s in &structures {
+        let mut cfg = LincheckConfig::mixed(*s, cores, ops);
+        cfg.crash = crash;
+        cfg.reduce = reduce;
+        cfg.mutant = mutate;
+        cfg.max_actions = depth;
+        let t0 = std::time::Instant::now();
+        let report = lincheck(&cfg);
+        let ms = t0.elapsed().as_millis();
+        let caught = report.violation.is_some();
+        let verdict = match (mutate.is_some(), caught) {
+            (false, false) => "ok",
+            (false, true) => "VIOLATION",
+            (true, true) => "caught",
+            (true, false) => "MISSED",
+        };
+        t.row(vec![
+            s.name().to_owned(),
+            report.stats.schedules.to_string(),
+            report.stats.crash_points.to_string(),
+            report.stats.dedup_hits.to_string(),
+            report.stats.sleep_pruned.to_string(),
+            ms.to_string(),
+            verdict.to_owned(),
+        ]);
+        if json {
+            let viol = report
+                .violation
+                .as_ref()
+                .map_or_else(|| "null".to_owned(), |v| format!("{:?}", v.to_string()));
+            json_rows.push(format!(
+                "\"{}\":{{\"schedules\":{},\"crash_points\":{},\"dedup_hits\":{},\
+                 \"sleep_pruned\":{},\"ms\":{ms},\"violation\":{viol}}}",
+                s.name(),
+                report.stats.schedules,
+                report.stats.crash_points,
+                report.stats.dedup_hits,
+                report.stats.sleep_pruned,
+            ));
+        }
+        match (mutate.is_some(), caught) {
+            (true, false) => missed.push(*s),
+            (_, true) => violations.push((*s, cfg)),
+            _ => {}
+        }
+    }
+    if json {
+        println!("{{{}}}", json_rows.join(","));
+    } else {
+        print!("{}", t.render());
+    }
+
+    // Shrink every violation to a minimal replayable witness.
+    for (s, cfg) in &violations {
+        if let Some(repro) = find_minimal(cfg) {
+            eprintln!();
+            eprintln!("{s}: minimal repro: {}", repro.summary());
+        }
+    }
+    if let Some(m) = mutate {
+        return if missed.is_empty() {
+            Ok(())
+        } else {
+            let names: Vec<&str> = missed.iter().map(|s| s.name()).collect();
+            Err(ArgError(format!(
+                "mutant `{m}` injected but not caught on: {}",
+                names.join(", ")
+            )))
+        };
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(ArgError(format!(
+            "durable-linearizability violations in {} structure(s)",
+            violations.len()
+        )))
+    }
 }
 
 /// `supermem list`

@@ -12,6 +12,8 @@
 //!                [--read-pct P] [--mean-gap G] [--degraded BANK]
 //!                [--torture [--fault F|none] [--point K]] [--json]
 //! supermem check [--json] [--txns N] [--config NAME] [--mutate M]
+//! supermem lincheck [--structure S|all] [--cores N] [--ops N] [--depth N]
+//!                   [--crash {all|none|K}] [--reduce] [--mutate M] [--json]
 //! supermem list
 //! ```
 //!
@@ -39,7 +41,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  supermem run     [--scheme S] [--workload W] [--txns N] [--req BYTES]\n                   [--wq ENTRIES] [--cc BYTES] [--programs P] [--seed X] [--csv]\n  supermem sweep   --param {wq|cc|req|programs} --values a,b,c [run flags]\n  supermem profile [run flags] [--json]\n  supermem crash   [--scheme S] [--json]\n  supermem torture [--scheme S] [--fault F|none] [--point K]\n                   [--seed N] [--seeds COUNT] [--json]\n  supermem serve   [--structure {stack|queue|hash}] [--scheme S] [--cores N]\n                   [--requests N] [--read-pct P] [--mean-gap CYC] [--zipf T]\n                   [--keyspace K] [--buckets B] [--seed X] [--channels N]\n                   [--run-threads N] [--degraded BANK] [--json]\n  supermem serve   --torture [--structure S] [--scheme S] [--fault F|none]\n                   [--point K] [--seed N] [--seeds COUNT] [--json]\n  supermem check   [--json] [--txns N] [--config NAME]\n                   [--mutate {wt-off|pair-split|cwc-newest|rsr-skip}]\n  supermem list\n\nschemes: unsec wb wt wt+cwc wt+xbank supermem wt+samebank osiris sca\nfaults:  torn bit-flip double-flip stuck-at transient-read bank-fail\nworkloads: array queue btree hash rbtree\nsizes accept K/M suffixes (e.g. --cc 256K)"
+    "usage:\n  supermem run     [--scheme S] [--workload W] [--txns N] [--req BYTES]\n                   [--wq ENTRIES] [--cc BYTES] [--programs P] [--seed X] [--csv]\n  supermem sweep   --param {wq|cc|req|programs} --values a,b,c [run flags]\n  supermem profile [run flags] [--json]\n  supermem crash   [--scheme S] [--json]\n  supermem torture [--scheme S] [--fault F|none] [--point K]\n                   [--seed N] [--seeds COUNT] [--json]\n  supermem serve   [--structure {stack|queue|hash}] [--scheme S] [--cores N]\n                   [--requests N] [--read-pct P] [--mean-gap CYC] [--zipf T]\n                   [--keyspace K] [--buckets B] [--seed X] [--channels N]\n                   [--run-threads N] [--degraded BANK] [--json]\n  supermem serve   --torture [--structure S] [--scheme S] [--fault F|none]\n                   [--point K] [--seed N] [--seeds COUNT] [--json]\n  supermem check   [--json] [--txns N] [--config NAME]\n                   [--mutate {wt-off|pair-split|cwc-newest|rsr-skip}]\n  supermem lincheck [--structure {stack|queue|hash|all}] [--cores N] [--ops N]\n                   [--depth N] [--crash {all|none|K}] [--reduce] [--json]\n                   [--mutate {skip-linearize|complete-first|drop-invalidate|skip-scan}]\n  supermem list\n\nschemes: unsec wb wt wt+cwc wt+xbank supermem wt+samebank osiris sca\nfaults:  torn bit-flip double-flip stuck-at transient-read bank-fail\nworkloads: array queue btree hash rbtree\nsizes accept K/M suffixes (e.g. --cc 256K)"
 }
 
 fn dispatch(argv: &[String]) -> Result<(), ArgError> {
@@ -51,6 +53,7 @@ fn dispatch(argv: &[String]) -> Result<(), ArgError> {
         Some("torture") => commands::cmd_torture(&argv[1..]),
         Some("serve") => commands::cmd_serve(&argv[1..]),
         Some("check") => commands::cmd_check(&argv[1..]),
+        Some("lincheck") => commands::cmd_lincheck(&argv[1..]),
         Some("list") => {
             commands::cmd_list();
             Ok(())

@@ -9,6 +9,13 @@
 //! workload with an optional fault injection ([`Mutation`]) so tests can
 //! prove each rule actually fires on the behavior it guards against.
 //!
+//! This layer validates the event *ordering* of one execution. Its
+//! siblings attack the other axes: `supermem torture` crashes the
+//! *media* one operation at a time, and `supermem-lincheck`
+//! exhaustively explores *interleavings* of the serving protocols with
+//! a crash after every persist, checking each recovered state for
+//! durable linearizability (`DESIGN.md` §16).
+//!
 //! # Examples
 //!
 //! ```

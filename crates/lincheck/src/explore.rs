@@ -1,0 +1,808 @@
+//! Exhaustive schedule and crash exploration over the serving
+//! protocols.
+//!
+//! The explorer owns the outer loop the engine normally owns: it
+//! chooses which core acts at every step, so a depth-first search over
+//! those choices enumerates *every* interleaving of a small program
+//! (2–3 cores, 2–4 operations). One execution of a schedule yields
+//! every crash image for free — [`ModelMem`] logs each persist — so
+//! each complete schedule is checked at every crash point:
+//!
+//! * **after each persist** (mid-action: the acting operation has not
+//!   returned, but the persist is durable), and
+//! * **after each action** (the durable image is whatever persists have
+//!   landed; everything the action returned has returned).
+//!
+//! Every crash point goes through three phases: *Recovery* (the image
+//! must verify), *DurableState* (the recovered entries must be
+//! durably-linearizable — see [`explain`]), and *Resume*
+//! ([`recover_resume`] resolves pending descriptors, promising pending
+//! updates, and the post-resume entries are re-checked with those
+//! promises forced). Crash points with identical durable image and
+//! per-op status are deduplicated.
+//!
+//! An optional sleep-set reduction ([`LincheckConfig::reduce`]) prunes
+//! schedules that only commute independent actions. It is *opt-in*
+//! because two line-disjoint persists are still ordered in the persist
+//! log — commuting them permutes the reachable crash images — so the
+//! default is the full exhaustive search and the reduction is a faster
+//! pre-filter with a documented blind spot.
+//!
+//! Four [`Mutant`]s wound the protocol through the [`Schedule`] hook
+//! (or the memory model), each representing a real crash-consistency
+//! bug class the checker must catch.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeSet, HashSet};
+use std::hash::{Hash, Hasher};
+
+use supermem_persist::SlotState;
+use supermem_serve::schedule::{Directive, SchedPoint, Schedule};
+use supermem_serve::service::{recover, Service, StepResult, StructureKind};
+use supermem_serve::traffic::{ReqKind, Request};
+
+use crate::mem::ModelMem;
+use crate::recovery::{recover_resume, ResumeError};
+use crate::spec::{explain, Candidate, LinOp};
+
+/// Service base address inside the model memory.
+const BASE: u64 = 0x1000;
+/// Region length: metadata + slots + dozens of node lines — far more
+/// than any checkable configuration allocates.
+const REGION: u64 = 1 << 13;
+
+/// A protocol wound the checker must detect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutant {
+    /// The linearizing pointer store is not persisted (volatile-only
+    /// publication): a completed op can vanish in a crash.
+    SkipLinearize,
+    /// The completion record is persisted *before* the linearizing
+    /// store: a crash between them forces an op whose effect is gone.
+    CompleteBeforeLinearize,
+    /// Stores stop invalidating other cores' cached lines: a CAS can
+    /// win against a stale read and overwrite a concurrent publication.
+    DropInvalidation,
+    /// Recovery re-executes pending updates without the applied-check:
+    /// an update whose linearizing store landed is applied twice.
+    SkipRecoveryScan,
+}
+
+impl Mutant {
+    /// Every mutant, in display order.
+    pub const ALL: [Mutant; 4] = [
+        Mutant::SkipLinearize,
+        Mutant::CompleteBeforeLinearize,
+        Mutant::DropInvalidation,
+        Mutant::SkipRecoveryScan,
+    ];
+
+    /// Stable CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutant::SkipLinearize => "skip-linearize",
+            Mutant::CompleteBeforeLinearize => "complete-first",
+            Mutant::DropInvalidation => "drop-invalidate",
+            Mutant::SkipRecoveryScan => "skip-scan",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        Mutant::ALL
+            .into_iter()
+            .find(|m| m.name() == s.to_ascii_lowercase())
+    }
+}
+
+impl std::fmt::Display for Mutant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The [`Schedule`] hook that injects a mutant's directives (and
+/// otherwise behaves exactly like the detached hook).
+/// [`Mutant::DropInvalidation`] is armed on [`ModelMem`] instead.
+#[derive(Debug, Clone, Copy)]
+pub struct MutantHook {
+    /// The armed mutant, if any.
+    pub mutant: Option<Mutant>,
+}
+
+impl Schedule for MutantHook {
+    fn at(&mut self, _core: usize, point: SchedPoint) -> Directive {
+        match (self.mutant, point) {
+            (Some(Mutant::SkipLinearize), SchedPoint::Linearize) => Directive::SkipPersist,
+            (Some(Mutant::CompleteBeforeLinearize), SchedPoint::Linearize) => {
+                Directive::CompleteFirst
+            }
+            (Some(Mutant::SkipRecoveryScan), SchedPoint::RecoveryScan { .. }) => Directive::Skip,
+            _ => Directive::Run,
+        }
+    }
+}
+
+/// Which crash points to check per schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// After every persist and every action (the full campaign).
+    All,
+    /// Only the dirty shutdown at quiescence (crash exploration off).
+    Final,
+    /// Only immediately after the `k`-th persist (1-based) — replaying
+    /// one reproducer point.
+    AfterPersist(u64),
+}
+
+/// Where a checked crash landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Mid-action, immediately after the `k`-th persist (1-based)
+    /// became durable.
+    AfterPersist(u64),
+    /// At the boundary after action `a` (1-based) completed.
+    AfterAction(u64),
+}
+
+impl std::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrashPoint::AfterPersist(k) => write!(f, "after persist {k}"),
+            CrashPoint::AfterAction(a) => write!(f, "after action {a}"),
+        }
+    }
+}
+
+/// Which phase of a crash-point check failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckPhase {
+    /// The crash image failed verification (corrupt slot or walk).
+    Recovery,
+    /// The recovered entries are not durably linearizable.
+    DurableState,
+    /// The post-resume entries are not durably linearizable with the
+    /// resume promises forced.
+    Resume,
+    /// Execution or resume did not terminate within its budget.
+    Stuck,
+}
+
+impl CheckPhase {
+    /// Stable display spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckPhase::Recovery => "recovery",
+            CheckPhase::DurableState => "durable-state",
+            CheckPhase::Resume => "resume",
+            CheckPhase::Stuck => "stuck",
+        }
+    }
+}
+
+impl std::fmt::Display for CheckPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One durable-linearizability violation, pinned to a schedule and a
+/// crash point.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The core sequence that produced it.
+    pub schedule: Vec<usize>,
+    /// Where the crash landed (`None` when the schedule itself got
+    /// stuck before quiescing).
+    pub crash: Option<CrashPoint>,
+    /// The failing phase.
+    pub phase: CheckPhase,
+    /// Human-readable description of the inconsistency.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sched: Vec<String> = self.schedule.iter().map(ToString::to_string).collect();
+        write!(f, "schedule [{}]", sched.join(","))?;
+        if let Some(crash) = self.crash {
+            write!(f, ", crash {crash}")?;
+        }
+        write!(f, ", phase {}: {}", self.phase, self.detail)
+    }
+}
+
+/// Exploration counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LincheckStats {
+    /// Complete schedules executed.
+    pub schedules: u64,
+    /// Crash points checked (before dedup).
+    pub crash_points: u64,
+    /// Crash points skipped as duplicates of an identical
+    /// (image, status) pair.
+    pub dedup_hits: u64,
+    /// Branches pruned by the sleep-set reduction.
+    pub sleep_pruned: u64,
+    /// Longest schedule seen.
+    pub max_actions_seen: u64,
+}
+
+/// The verdict of one exploration.
+#[derive(Debug, Clone)]
+pub struct LincheckReport {
+    /// Exploration counters.
+    pub stats: LincheckStats,
+    /// The violation found, if any (`None` ⇒ every explored crash point
+    /// is durably linearizable).
+    pub violation: Option<Violation>,
+}
+
+/// One checkable configuration.
+#[derive(Debug, Clone)]
+pub struct LincheckConfig {
+    /// Structure under test.
+    pub structure: StructureKind,
+    /// Hash bucket count (hash only).
+    pub nbuckets: u64,
+    /// Per-core operation programs; `programs.len()` is the core count.
+    pub programs: Vec<Vec<LinOp>>,
+    /// Crash points to check.
+    pub crash: CrashMode,
+    /// Arm the sleep-set reduction (see the module docs for its blind
+    /// spot; the default exhaustive search has none).
+    pub reduce: bool,
+    /// Protocol wound to inject, if any.
+    pub mutant: Option<Mutant>,
+    /// Abort a schedule exceeding this many actions as [`CheckPhase::Stuck`].
+    pub max_actions: u64,
+}
+
+impl LincheckConfig {
+    /// The standard mixed program: `ops` operations dealt round-robin
+    /// to `cores` cores — every third op a remove (where the structure
+    /// supports one), the rest updates with distinct values. Hash keys
+    /// cycle `1, 3, 2, …` so consecutive ops (which land on different
+    /// cores) contend for the same bucket — round-robin `j + 1` keys
+    /// would give each core its own bucket parity and no cross-core
+    /// conflict at all.
+    pub fn mixed(structure: StructureKind, cores: usize, ops: usize) -> Self {
+        assert!(cores > 0, "a config needs at least one core");
+        let mut programs = vec![Vec::new(); cores];
+        for j in 0..ops {
+            let j64 = j as u64;
+            let op = if j % 3 == 2 && structure != StructureKind::Hash {
+                LinOp::Remove
+            } else {
+                LinOp::Update {
+                    key: if structure == StructureKind::Hash {
+                        (j64 * 2) % 3 + 1
+                    } else {
+                        j64 + 1
+                    },
+                    value: 0x101 * (j64 + 1),
+                }
+            };
+            programs[j % cores].push(op);
+        }
+        Self {
+            structure,
+            nbuckets: 2,
+            programs,
+            crash: CrashMode::All,
+            reduce: false,
+            mutant: None,
+            max_actions: 96,
+        }
+    }
+
+    /// Total operations across all cores.
+    pub fn total_ops(&self) -> usize {
+        self.programs.iter().map(Vec::len).sum()
+    }
+}
+
+fn to_request(op: LinOp) -> Request {
+    match op {
+        LinOp::Update { key, value } => Request {
+            at: 0,
+            kind: ReqKind::Update,
+            key,
+            value,
+        },
+        LinOp::Remove => Request {
+            at: 0,
+            kind: ReqKind::Remove,
+            key: 0,
+            value: 0,
+        },
+        LinOp::Read { key } => Request {
+            at: 0,
+            kind: ReqKind::Read,
+            key,
+            value: 0,
+        },
+    }
+}
+
+/// One invoked operation's observable history in an execution.
+#[derive(Debug, Clone, Copy)]
+struct OpRec {
+    core: usize,
+    op: LinOp,
+    /// The per-core sequence number its announce carried.
+    seq: u64,
+    /// Action index of its invocation (1-based).
+    inv: u64,
+    /// Action index of its return, once done.
+    ret: Option<u64>,
+    /// The response the client saw, once done: the outer `Option` is
+    /// "has it returned", the inner is the operation's own result type
+    /// (`pop`/`get` legitimately answer `None`).
+    #[allow(clippy::option_option)]
+    result: Option<Option<u64>>,
+}
+
+/// One point of the depth-first search: a partial execution.
+#[derive(Clone)]
+struct ExecState {
+    mem: ModelMem,
+    svc: Service,
+    /// Per-core next program index.
+    next: Vec<usize>,
+    /// Per-core count of started ops (mirrors the service seq counter).
+    started: Vec<u64>,
+    /// Per-core in-flight op (index into `ops`).
+    inflight: Vec<Option<usize>>,
+    ops: Vec<OpRec>,
+    action: u64,
+    schedule: Vec<usize>,
+}
+
+impl ExecState {
+    fn new(cfg: &LincheckConfig) -> Self {
+        let cores = cfg.programs.len();
+        let mut mem = ModelMem::new(cores);
+        if cfg.mutant == Some(Mutant::DropInvalidation) {
+            mem.set_drop_invalidation(true);
+        }
+        let mut svc = Service::new(&mut mem, cfg.structure, BASE, REGION, cores, cfg.nbuckets);
+        // The explorer's oracle is the durable-linearizability check;
+        // the inline shadow asserts would fire first under mutants.
+        svc.set_strict(false);
+        mem.mark_epoch();
+        Self {
+            mem,
+            svc,
+            next: vec![0; cores],
+            started: vec![0; cores],
+            inflight: vec![None; cores],
+            ops: Vec::new(),
+            action: 0,
+            schedule: Vec::new(),
+        }
+    }
+
+    fn runnable(&self, cfg: &LincheckConfig, core: usize) -> bool {
+        self.inflight[core].is_some() || self.next[core] < cfg.programs[core].len()
+    }
+
+    /// Executes one action for `core` (admit its next op, or advance
+    /// its in-flight one) and returns the lines the action touched.
+    fn advance(
+        &mut self,
+        cfg: &LincheckConfig,
+        core: usize,
+        hook: &mut MutantHook,
+    ) -> BTreeSet<u64> {
+        self.action += 1;
+        self.schedule.push(core);
+        self.mem.begin_action(self.action, core);
+        if let Some(opi) = self.inflight[core] {
+            if let StepResult::Done { result } = self.svc.step_with(&mut self.mem, core, hook) {
+                self.ops[opi].ret = Some(self.action);
+                self.ops[opi].result = Some(result);
+                self.inflight[core] = None;
+            }
+        } else {
+            let op = cfg.programs[core][self.next[core]];
+            self.next[core] += 1;
+            self.started[core] += 1;
+            let opi = self.ops.len();
+            self.ops.push(OpRec {
+                core,
+                op,
+                seq: self.started[core],
+                inv: self.action,
+                ret: None,
+                result: None,
+            });
+            self.inflight[core] = Some(opi);
+            self.svc
+                .start_op_with(&mut self.mem, core, &to_request(op), hook);
+        }
+        self.mem.take_footprint()
+    }
+}
+
+/// A violation's minimality key: shorter schedules first, then fewer
+/// context switches, then the earlier crash point.
+type ViolKey = (usize, usize, u64);
+
+fn viol_key(v: &Violation, ordinal: u64) -> ViolKey {
+    let switches = v.schedule.windows(2).filter(|w| w[0] != w[1]).count();
+    (v.schedule.len(), switches, ordinal)
+}
+
+struct Explorer<'a> {
+    cfg: &'a LincheckConfig,
+    hook: MutantHook,
+    seen: HashSet<u64>,
+    stats: LincheckStats,
+    /// Collect mode: keep the minimal violation instead of stopping.
+    collect: bool,
+    found: Option<(ViolKey, Violation)>,
+}
+
+impl Explorer<'_> {
+    /// Records a violation; returns `true` when the search should stop.
+    fn violate(&mut self, v: Violation, ordinal: u64) -> bool {
+        let key = viol_key(&v, ordinal);
+        if self.found.as_ref().is_none_or(|(best, _)| key < *best) {
+            self.found = Some((key, v));
+        }
+        !self.collect
+    }
+
+    fn dfs(&mut self, state: &ExecState, sleep: Vec<(usize, BTreeSet<u64>)>) -> bool {
+        let cores = self.cfg.programs.len();
+        let runnable: Vec<usize> = (0..cores)
+            .filter(|&c| state.runnable(self.cfg, c))
+            .collect();
+        if runnable.is_empty() {
+            return self.check_complete(state);
+        }
+        if state.action >= self.cfg.max_actions {
+            let v = Violation {
+                schedule: state.schedule.clone(),
+                crash: None,
+                phase: CheckPhase::Stuck,
+                detail: format!(
+                    "schedule exceeded {} actions without quiescing",
+                    self.cfg.max_actions
+                ),
+            };
+            return self.violate(v, 0);
+        }
+        let mut sleep = sleep;
+        for core in runnable {
+            if sleep.iter().any(|&(c, _)| c == core) {
+                self.stats.sleep_pruned += 1;
+                continue;
+            }
+            let mut child = state.clone();
+            let footprint = child.advance(self.cfg, core, &mut self.hook);
+            // A sleeping entry stays asleep only while the executed
+            // actions remain line-disjoint from its profiled footprint
+            // (a dependent action invalidates the commutation argument).
+            let child_sleep = if self.cfg.reduce {
+                sleep
+                    .iter()
+                    .filter(|(_, fp)| fp.is_disjoint(&footprint))
+                    .cloned()
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            if self.dfs(&child, child_sleep) {
+                return true;
+            }
+            if self.cfg.reduce {
+                sleep.push((core, footprint));
+            }
+        }
+        false
+    }
+
+    /// Checks every crash point of a complete schedule.
+    fn check_complete(&mut self, state: &ExecState) -> bool {
+        self.stats.schedules += 1;
+        self.stats.max_actions_seen = self.stats.max_actions_seen.max(state.action);
+        let n = state.mem.persist_count() as u64;
+        let total = state.action;
+        let points: Vec<CrashPoint> = match self.cfg.crash {
+            CrashMode::Final => vec![CrashPoint::AfterAction(total)],
+            CrashMode::AfterPersist(k) if (1..=n).contains(&k) => {
+                vec![CrashPoint::AfterPersist(k)]
+            }
+            CrashMode::AfterPersist(_) => Vec::new(),
+            CrashMode::All => {
+                let mut pts = Vec::new();
+                let mut k = 1u64;
+                for a in 1..=total {
+                    while k <= n && state.mem.persist_action(k as usize) == a {
+                        pts.push(CrashPoint::AfterPersist(k));
+                        k += 1;
+                    }
+                    pts.push(CrashPoint::AfterAction(a));
+                }
+                pts
+            }
+        };
+        for (ordinal, pt) in points.into_iter().enumerate() {
+            if self.check_crash(state, pt, ordinal as u64) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Checks one crash point; returns `true` when the search should
+    /// stop.
+    fn check_crash(&mut self, state: &ExecState, pt: CrashPoint, ordinal: u64) -> bool {
+        self.stats.crash_points += 1;
+        // Cutoffs: `ret < ret_cut` ⇒ returned, `inv < inv_cut` ⇒
+        // invoked. A mid-action crash lands inside action t, so the
+        // acting op is invoked but never returned.
+        let (k, ret_cut, inv_cut) = match pt {
+            CrashPoint::AfterPersist(p) => {
+                let t = state.mem.persist_action(p as usize);
+                (p, t, t + 1)
+            }
+            CrashPoint::AfterAction(a) => {
+                let n = state.mem.persist_count();
+                let k = (1..=n)
+                    .take_while(|&i| state.mem.persist_action(i) <= a)
+                    .count() as u64;
+                (k, a + 1, a + 1)
+            }
+        };
+        let image = state.mem.durable_image_after(k as usize);
+        // Dedup: identical durable image + identical per-op statuses
+        // (keyed by op identity) ⇒ identical verdict. Disabled in
+        // collect mode, where a duplicate might be the minimal one.
+        if !self.collect {
+            let mut hasher = DefaultHasher::new();
+            for (addr, line) in &image {
+                addr.hash(&mut hasher);
+                line.hash(&mut hasher);
+            }
+            for rec in &state.ops {
+                (rec.core, rec.seq).hash(&mut hasher);
+                if rec.inv >= inv_cut {
+                    0u8.hash(&mut hasher);
+                } else if rec.ret.is_some_and(|r| r < ret_cut) {
+                    1u8.hash(&mut hasher);
+                    rec.result.hash(&mut hasher);
+                } else {
+                    2u8.hash(&mut hasher);
+                }
+            }
+            if !self.seen.insert(hasher.finish()) {
+                self.stats.dedup_hits += 1;
+                return false;
+            }
+        }
+
+        let cores = self.cfg.programs.len();
+        let layout = state.svc.layout();
+        let mut cmem = ModelMem::from_image(image, cores);
+        if self.cfg.mutant == Some(Mutant::DropInvalidation) {
+            cmem.set_drop_invalidation(true);
+        }
+
+        // Phase 1: the image must verify.
+        let recovered = match recover(&mut cmem, &layout) {
+            Ok(r) => r,
+            Err(e) => {
+                return self.violate(
+                    Violation {
+                        schedule: state.schedule.clone(),
+                        crash: Some(pt),
+                        phase: CheckPhase::Recovery,
+                        detail: e.to_string(),
+                    },
+                    ordinal,
+                );
+            }
+        };
+
+        // Build the crash-cut history. Forced: returned ops (response
+        // constrained) and ops whose descriptor is durably DONE with a
+        // matching seq (the protocol's completion promise).
+        let mut cands = Vec::new();
+        let mut meta = Vec::new();
+        for rec in &state.ops {
+            if rec.inv >= inv_cut {
+                continue;
+            }
+            let returned = rec.ret.is_some_and(|r| r < ret_cut);
+            let (must, response, ret) = if returned {
+                (true, rec.result, rec.ret)
+            } else {
+                let slot = &recovered.slots[rec.core];
+                let done = slot.state == SlotState::Done && slot.rec.seq == rec.seq;
+                (done, None, None)
+            };
+            cands.push(Candidate {
+                op: rec.op,
+                must,
+                response,
+                inv: rec.inv,
+                ret,
+            });
+            meta.push((rec.core, rec.seq));
+        }
+
+        // Phase 2: the recovered entries must be explainable.
+        if explain(layout.kind, layout.nbuckets, &cands, &recovered.entries).is_none() {
+            return self.violate(
+                Violation {
+                    schedule: state.schedule.clone(),
+                    crash: Some(pt),
+                    phase: CheckPhase::DurableState,
+                    detail: unexplained(&cands, &recovered.entries),
+                },
+                ordinal,
+            );
+        }
+
+        // Phase 3: resume must quiesce, and its promises (pending
+        // updates applied exactly once) must hold.
+        match recover_resume(&mut cmem, &layout, &mut self.hook) {
+            Err(ResumeError::Refused(e)) => self.violate(
+                Violation {
+                    schedule: state.schedule.clone(),
+                    crash: Some(pt),
+                    phase: CheckPhase::Recovery,
+                    detail: format!("resume re-verification failed: {e}"),
+                },
+                ordinal,
+            ),
+            Err(ResumeError::Stuck { core }) => self.violate(
+                Violation {
+                    schedule: state.schedule.clone(),
+                    crash: Some(pt),
+                    phase: CheckPhase::Stuck,
+                    detail: format!("resumed op on core {core} never completed"),
+                },
+                ordinal,
+            ),
+            Ok(outcome) => {
+                let mut cands = cands;
+                for (i, &(core, seq)) in meta.iter().enumerate() {
+                    let promised = (outcome.resumed.contains(&core)
+                        || outcome.found_applied.contains(&core))
+                        && recovered.slots[core].rec.seq == seq;
+                    if promised {
+                        cands[i].must = true;
+                    }
+                }
+                if explain(layout.kind, layout.nbuckets, &cands, &outcome.entries).is_none() {
+                    return self.violate(
+                        Violation {
+                            schedule: state.schedule.clone(),
+                            crash: Some(pt),
+                            phase: CheckPhase::Resume,
+                            detail: unexplained(&cands, &outcome.entries),
+                        },
+                        ordinal,
+                    );
+                }
+                false
+            }
+        }
+    }
+}
+
+/// Renders the inexplicable history for a violation detail line.
+fn unexplained(cands: &[Candidate], entries: &[(u64, u64)]) -> String {
+    let ops: Vec<String> = cands
+        .iter()
+        .map(|c| {
+            let mark = if c.must { "!" } else { "?" };
+            format!("{mark}{}", c.op.label())
+        })
+        .collect();
+    let ent: Vec<String> = entries.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!(
+        "no linearization of [{}] (!=forced, ?=optional) yields entries [{}]",
+        ops.join(" "),
+        ent.join(" ")
+    )
+}
+
+/// Explores `cfg` exhaustively, stopping at the first violation.
+pub fn lincheck(cfg: &LincheckConfig) -> LincheckReport {
+    run(cfg, false)
+}
+
+/// Explores `cfg` fully and reports the *minimal* violation (shortest
+/// schedule, fewest context switches, earliest crash point) — the
+/// shrinker's final pass.
+pub fn lincheck_minimal(cfg: &LincheckConfig) -> LincheckReport {
+    run(cfg, true)
+}
+
+fn run(cfg: &LincheckConfig, collect: bool) -> LincheckReport {
+    assert!(!cfg.programs.is_empty(), "a config needs at least one core");
+    let mut ex = Explorer {
+        cfg,
+        hook: MutantHook { mutant: cfg.mutant },
+        seen: HashSet::new(),
+        stats: LincheckStats::default(),
+        collect,
+        found: None,
+    };
+    let root = ExecState::new(cfg);
+    ex.dfs(&root, Vec::new());
+    LincheckReport {
+        stats: ex.stats,
+        violation: ex.found.map(|(_, v)| v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_core_push_is_clean() {
+        let cfg = LincheckConfig {
+            structure: StructureKind::Stack,
+            nbuckets: 2,
+            programs: vec![vec![LinOp::Update { key: 1, value: 10 }]],
+            crash: CrashMode::All,
+            reduce: false,
+            mutant: None,
+            max_actions: 32,
+        };
+        let report = lincheck(&cfg);
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert_eq!(report.stats.schedules, 1);
+        assert!(report.stats.crash_points >= 4);
+    }
+
+    #[test]
+    fn two_core_pushes_explore_all_interleavings() {
+        let cfg = LincheckConfig {
+            structure: StructureKind::Stack,
+            nbuckets: 2,
+            programs: vec![
+                vec![LinOp::Update { key: 1, value: 10 }],
+                vec![LinOp::Update { key: 2, value: 20 }],
+            ],
+            crash: CrashMode::All,
+            reduce: false,
+            mutant: None,
+            max_actions: 32,
+        };
+        let report = lincheck(&cfg);
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.stats.schedules > 10, "{:?}", report.stats);
+        assert!(report.stats.dedup_hits > 0);
+    }
+
+    #[test]
+    fn skip_linearize_is_caught_on_a_single_push() {
+        let cfg = LincheckConfig {
+            structure: StructureKind::Stack,
+            nbuckets: 2,
+            programs: vec![vec![LinOp::Update { key: 1, value: 10 }]],
+            crash: CrashMode::All,
+            reduce: false,
+            mutant: Some(Mutant::SkipLinearize),
+            max_actions: 32,
+        };
+        let v = lincheck(&cfg).violation.expect("mutant must be caught");
+        assert_eq!(v.phase, CheckPhase::DurableState, "{v}");
+    }
+
+    #[test]
+    fn mutant_names_round_trip() {
+        for m in Mutant::ALL {
+            assert_eq!(Mutant::parse(m.name()), Some(m));
+        }
+        assert_eq!(Mutant::parse("nonsense"), None);
+    }
+}

@@ -1,0 +1,63 @@
+//! `supermem-lincheck`: a durable-linearizability model checker for
+//! the serving protocols.
+//!
+//! The serving engine's torture harness samples crash images under
+//! random faults; the invariant checker proves per-component algebra.
+//! This crate closes the remaining gap: **interleavings**. It takes
+//! control of core scheduling through the [`Schedule`] hook that
+//! `supermem-serve` exposes at every shared-memory protocol point,
+//! exhaustively enumerates every interleaving of a small multi-core
+//! program, injects a crash after every persist and every action of
+//! every interleaving, and checks each crash image for *durable
+//! linearizability* — the recovered state must be explained by a legal
+//! sequential history that contains every operation the protocol
+//! promised (returned to its client, durably completed, or promised by
+//! recovery) and respects real-time order.
+//!
+//! * [`mem`] — [`ModelMem`]: an exact persistence model (volatile vs
+//!   durable image, persist log, per-core coherence) so one execution
+//!   yields every crash image;
+//! * [`spec`] — sequential specifications and the WGL-style
+//!   linearization search ([`explain`]);
+//! * [`recovery`] — [`recover_resume`]: drives a recovered image to
+//!   quiescence, resolving pending descriptors exactly once;
+//! * [`explore`] — the exhaustive DFS with optional sleep-set
+//!   reduction, crash-point checking, and the [`Mutant`] catalog of
+//!   injected protocol bugs;
+//! * [`shrink`] — reduces a violating configuration to a minimal,
+//!   replayable [`Repro`].
+//!
+//! # Examples
+//!
+//! ```
+//! use supermem_lincheck::{lincheck, LincheckConfig, Mutant};
+//! use supermem_serve::service::StructureKind;
+//!
+//! // The healthy protocol survives every interleaving and crash.
+//! let cfg = LincheckConfig::mixed(StructureKind::Stack, 2, 2);
+//! assert!(lincheck(&cfg).violation.is_none());
+//!
+//! // A wounded protocol does not.
+//! let mut bad = cfg.clone();
+//! bad.mutant = Some(Mutant::SkipLinearize);
+//! assert!(lincheck(&bad).violation.is_some());
+//! ```
+//!
+//! [`Schedule`]: supermem_serve::schedule::Schedule
+
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod mem;
+pub mod recovery;
+pub mod shrink;
+pub mod spec;
+
+pub use explore::{
+    lincheck, lincheck_minimal, CheckPhase, CrashMode, CrashPoint, LincheckConfig, LincheckReport,
+    LincheckStats, Mutant, MutantHook, Violation,
+};
+pub use mem::{Line, ModelMem, PersistEntry};
+pub use recovery::{recover_resume, ResumeError, ResumeOutcome};
+pub use shrink::{find_minimal, Repro};
+pub use spec::{explain, Candidate, LinOp, SeqSpec};

@@ -1,0 +1,238 @@
+//! Crash-recovery *resumption*: drive a recovered service back to
+//! quiescence, resolving every pending descriptor exactly once.
+//!
+//! After a crash the descriptor slots partition the in-flight
+//! operations:
+//!
+//! * **`DONE`** — the operation definitely applied (the protocol only
+//!   persists `DONE` after the linearizing store is durable); nothing
+//!   to do.
+//! * **`PENDING` update** — the *applied-check*: the announced
+//!   operation stamped its node with the globally unique
+//!   `(core << 48) | seq`, so recovery scans the reachable nodes for
+//!   that stamp. Found ⇒ the linearizing store landed; complete the
+//!   slot. Not found ⇒ re-execute the announced operation (the pinned
+//!   sequence number makes the re-execution stamp the *same* node seq,
+//!   which is what keeps this exactly-once under repeated crashes).
+//!   Either way the update is **promised**: after resume it must be in
+//!   the structure.
+//! * **`PENDING` remove** — retired without re-execution. A remove that
+//!   linearized returned nothing to anyone; one that did not is simply
+//!   abandoned. Both outcomes are durably linearizable (the op stays
+//!   *optional* in the checker's history), so recovery declines to
+//!   guess. This indeterminacy is deliberate and documented — the
+//!   alternative (re-executing removes) would double-remove when the
+//!   first attempt had linearized.
+//!
+//! The applied-check is hooked at [`SchedPoint::RecoveryScan`] so the
+//! model checker can inject the *skip recovery scan* mutant: bypassing
+//! the check re-executes blindly, and a crash that landed after the
+//! linearizing persist then applies the update twice.
+
+use supermem_persist::{PMem, SlotState};
+use supermem_serve::schedule::{Directive, SchedPoint, Schedule};
+use supermem_serve::service::{
+    recover, walk, walk_nodes, RecoverError, Service, ServiceLayout, StepResult, OP_REMOVE,
+};
+
+/// Step budget for one resumed operation. Resume runs cores one at a
+/// time with no interference, so a handful of steps (prepare, at most
+/// one tail-help, attempt, fixup) always suffices; exceeding the budget
+/// means the protocol livelocked — a checkable bug, not a panic.
+const RESUME_STEP_CAP: u32 = 64;
+
+/// What [`recover_resume`] did to bring the image to quiescence.
+#[derive(Debug, Clone, Default)]
+pub struct ResumeOutcome {
+    /// The structure's entries after resume, canonical walk order.
+    pub entries: Vec<(u64, u64)>,
+    /// Cores whose pending update was re-executed.
+    pub resumed: Vec<usize>,
+    /// Cores whose pending update the applied-check found already in
+    /// the structure (slot completed, nothing re-executed).
+    pub found_applied: Vec<usize>,
+    /// Cores whose pending remove was retired unresolved.
+    pub retired: Vec<usize>,
+}
+
+/// Why [`recover_resume`] could not reach quiescence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResumeError {
+    /// The image failed verification (corrupt descriptor or structure).
+    Refused(RecoverError),
+    /// A resumed operation exceeded its step budget.
+    Stuck {
+        /// The core whose re-execution never completed.
+        core: usize,
+    },
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::Refused(e) => write!(f, "recovery refused the image: {e}"),
+            ResumeError::Stuck { core } => {
+                write!(f, "resumed op on core {core} never completed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+/// Recovers `mem` (a crash image) and resolves every pending
+/// descriptor: applied-check + re-execute for updates, retire for
+/// removes. Returns the final walked entries.
+///
+/// The `sched` hook sees [`SchedPoint::RecoveryScan`] before each
+/// applied-check ([`Directive::Skip`] bypasses it) and every protocol
+/// point of the re-executed operations.
+///
+/// # Errors
+///
+/// [`ResumeError::Refused`] when the image fails verification;
+/// [`ResumeError::Stuck`] when a re-executed operation does not
+/// terminate.
+pub fn recover_resume<M: PMem, S: Schedule>(
+    mem: &mut M,
+    layout: &ServiceLayout,
+    sched: &mut S,
+) -> Result<ResumeOutcome, ResumeError> {
+    let recovered = recover(mem, layout).map_err(ResumeError::Refused)?;
+    let nodes = walk_nodes(mem, layout).map_err(|e| ResumeError::Refused(RecoverError::Walk(e)))?;
+    let mut svc =
+        Service::from_recovered(mem, *layout, &recovered).map_err(ResumeError::Refused)?;
+    let mut out = ResumeOutcome::default();
+    for view in &recovered.slots {
+        if view.state != SlotState::Pending {
+            continue;
+        }
+        let core = view.slot;
+        if view.rec.op == OP_REMOVE {
+            layout.slots.retire(mem, core);
+            out.retired.push(core);
+            continue;
+        }
+        let stamp = ((core as u64) << 48) | view.rec.seq;
+        let checked = sched.at(core, SchedPoint::RecoveryScan { slot: core }) != Directive::Skip;
+        if checked {
+            if let Some(n) = nodes.iter().find(|n| n.seq == stamp) {
+                // The linearizing store landed before the crash: the
+                // update is applied; only the completion was lost.
+                layout.slots.complete(mem, core, n.addr);
+                out.found_applied.push(core);
+                continue;
+            }
+        }
+        svc.resume_op(core, view);
+        let mut steps = 0u32;
+        loop {
+            if let StepResult::Done { .. } = svc.step_with(mem, core, sched) {
+                break;
+            }
+            steps += 1;
+            if steps > RESUME_STEP_CAP {
+                return Err(ResumeError::Stuck { core });
+            }
+        }
+        out.resumed.push(core);
+    }
+    out.entries = walk(mem, layout).map_err(|e| ResumeError::Refused(RecoverError::Walk(e)))?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::ModelMem;
+    use supermem_persist::VecMem;
+    use supermem_serve::schedule::DetachedSchedule;
+    use supermem_serve::service::StructureKind;
+    use supermem_serve::traffic::{ReqKind, Request};
+
+    const BASE: u64 = 0x1000;
+    const LEN: u64 = 1 << 13;
+
+    fn upd(key: u64, value: u64) -> Request {
+        Request {
+            at: 0,
+            kind: ReqKind::Update,
+            key,
+            value,
+        }
+    }
+
+    #[test]
+    fn quiescent_image_resumes_to_its_own_entries() {
+        let mut mem = VecMem::new();
+        let mut svc = Service::new(&mut mem, StructureKind::Stack, BASE, LEN, 2, 0);
+        for i in 1..=3u64 {
+            svc.start_op(&mut mem, 0, &upd(i, i * 10));
+            while svc.step(&mut mem, 0) == StepResult::InFlight {}
+        }
+        let out = recover_resume(&mut mem, &svc.layout(), &mut DetachedSchedule).unwrap();
+        assert_eq!(out.entries, vec![(3, 30), (2, 20), (1, 10)]);
+        assert!(out.resumed.is_empty() && out.retired.is_empty());
+    }
+
+    #[test]
+    fn pending_update_is_re_executed_exactly_once() {
+        // Crash right after the announce persist: the update must
+        // appear after resume, exactly once.
+        let mut mem = ModelMem::new(1);
+        let mut svc = Service::new(&mut mem, StructureKind::Stack, BASE, LEN, 1, 0);
+        mem.mark_epoch();
+        mem.begin_action(1, 0);
+        svc.start_op(&mut mem, 0, &upd(7, 70)); // persist 1: announce
+        assert_eq!(mem.persist_count(), 1);
+        let mut crash = ModelMem::from_image(mem.durable_image_after(1), 1);
+        let out = recover_resume(&mut crash, &svc.layout(), &mut DetachedSchedule).unwrap();
+        assert_eq!(out.entries, vec![(7, 70)]);
+        assert_eq!(out.resumed, vec![0]);
+    }
+
+    #[test]
+    fn applied_check_stops_a_double_apply() {
+        // Crash after the linearizing persist but before completion:
+        // the applied-check must find the stamped node and not push a
+        // second copy.
+        let mut mem = ModelMem::new(1);
+        let mut svc = Service::new(&mut mem, StructureKind::Stack, BASE, LEN, 1, 0);
+        mem.mark_epoch();
+        mem.begin_action(1, 0);
+        svc.start_op(&mut mem, 0, &upd(7, 70)); // persist 1: announce
+        mem.begin_action(2, 0);
+        svc.step(&mut mem, 0); // persist 2: node
+        mem.begin_action(3, 0);
+        svc.step(&mut mem, 0); // persist 3: head, persist 4: complete
+        assert_eq!(mem.persist_count(), 4);
+        let mut crash = ModelMem::from_image(mem.durable_image_after(3), 1);
+        let out = recover_resume(&mut crash, &svc.layout(), &mut DetachedSchedule).unwrap();
+        assert_eq!(out.entries, vec![(7, 70)], "exactly one copy");
+        assert_eq!(out.found_applied, vec![0]);
+        assert!(out.resumed.is_empty());
+    }
+
+    #[test]
+    fn pending_remove_is_retired_not_re_executed() {
+        let mut mem = ModelMem::new(1);
+        let mut svc = Service::new(&mut mem, StructureKind::Stack, BASE, LEN, 1, 0);
+        for i in 1..=2u64 {
+            svc.start_op(&mut mem, 0, &upd(i, i * 10));
+            while svc.step(&mut mem, 0) == StepResult::InFlight {}
+        }
+        mem.mark_epoch();
+        mem.begin_action(1, 0);
+        let pop = Request {
+            at: 0,
+            kind: ReqKind::Remove,
+            key: 0,
+            value: 0,
+        };
+        svc.start_op(&mut mem, 0, &pop); // persist 1: announce
+        let mut crash = ModelMem::from_image(mem.durable_image_after(1), 1);
+        let out = recover_resume(&mut crash, &svc.layout(), &mut DetachedSchedule).unwrap();
+        assert_eq!(out.retired, vec![0]);
+        assert_eq!(out.entries.len(), 2, "the un-attempted pop removed nothing");
+    }
+}

@@ -1,0 +1,125 @@
+//! Reproducer shrinking: reduce a violating configuration to a minimal
+//! program, schedule, and crash point.
+//!
+//! The shrinker is delta-debugging over the *configuration* followed by
+//! a minimality pass over the *exploration*:
+//!
+//! 1. drop one operation at a time, keeping any drop that still
+//!    violates, until no single drop does (a 1-minimal program);
+//! 2. drop cores whose programs emptied;
+//! 3. re-explore the reduced configuration exhaustively and keep the
+//!    minimal violation — shortest schedule, then fewest context
+//!    switches, then earliest crash point.
+//!
+//! Shrinking always runs the full exhaustive search (no sleep-set
+//! reduction): reduced configurations are tiny, and minimality claims
+//! should not inherit the reduction's crash-ordering blind spot.
+
+use supermem_serve::service::StructureKind;
+
+use crate::explore::{lincheck, lincheck_minimal, LincheckConfig, Violation};
+use crate::spec::LinOp;
+
+/// A minimal, replayable witness of a violation.
+#[derive(Debug, Clone)]
+pub struct Repro {
+    /// Structure under test.
+    pub structure: StructureKind,
+    /// Hash bucket count (hash only).
+    pub nbuckets: u64,
+    /// The 1-minimal per-core programs.
+    pub programs: Vec<Vec<LinOp>>,
+    /// The minimal violation within those programs.
+    pub violation: Violation,
+}
+
+impl Repro {
+    /// One-line replayable summary, e.g.
+    /// `stack c0=[u1=257] :: schedule [0,0,0], crash after persist 3,
+    /// phase durable-state: ...`.
+    pub fn summary(&self) -> String {
+        let progs: Vec<String> = self
+            .programs
+            .iter()
+            .enumerate()
+            .map(|(c, ops)| {
+                let labels: Vec<String> = ops.iter().map(|o| o.label()).collect();
+                format!("c{c}=[{}]", labels.join(","))
+            })
+            .collect();
+        format!(
+            "{} {} :: {}",
+            self.structure,
+            progs.join(" "),
+            self.violation
+        )
+    }
+}
+
+/// Shrinks `cfg` to a minimal reproducer, or `None` when the
+/// configuration has no violation to begin with.
+pub fn find_minimal(cfg: &LincheckConfig) -> Option<Repro> {
+    let mut cur = cfg.clone();
+    cur.reduce = false;
+    lincheck(&cur).violation.as_ref()?;
+    // 1-minimal programs: retry from the top after every successful
+    // drop so earlier ops get reconsidered.
+    loop {
+        let mut dropped = false;
+        'drops: for core in 0..cur.programs.len() {
+            for i in 0..cur.programs[core].len() {
+                let mut cand = cur.clone();
+                cand.programs[core].remove(i);
+                if cand.total_ops() > 0 && lincheck(&cand).violation.is_some() {
+                    cur = cand;
+                    dropped = true;
+                    break 'drops;
+                }
+            }
+        }
+        if !dropped {
+            break;
+        }
+    }
+    // Drop emptied cores (re-verifying: the core count changes the
+    // layout, so the violation must be re-established).
+    let mut trimmed = cur.clone();
+    trimmed.programs.retain(|p| !p.is_empty());
+    if !trimmed.programs.is_empty() && lincheck(&trimmed).violation.is_some() {
+        cur = trimmed;
+    }
+    let minimal = lincheck_minimal(&cur).violation?;
+    Some(Repro {
+        structure: cur.structure,
+        nbuckets: cur.nbuckets,
+        programs: cur.programs,
+        violation: minimal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{CrashMode, Mutant};
+
+    #[test]
+    fn healthy_config_has_nothing_to_shrink() {
+        let cfg = LincheckConfig::mixed(StructureKind::Stack, 2, 2);
+        assert!(find_minimal(&cfg).is_none());
+    }
+
+    #[test]
+    fn skip_linearize_shrinks_to_one_push() {
+        let mut cfg = LincheckConfig::mixed(StructureKind::Stack, 2, 3);
+        cfg.mutant = Some(Mutant::SkipLinearize);
+        cfg.crash = CrashMode::All;
+        let repro = find_minimal(&cfg).expect("mutant must reproduce");
+        assert_eq!(repro.programs.iter().map(Vec::len).sum::<usize>(), 1);
+        assert_eq!(repro.programs.len(), 1, "one core suffices");
+        assert!(
+            matches!(repro.programs[0][0], LinOp::Update { .. }),
+            "{}",
+            repro.summary()
+        );
+    }
+}

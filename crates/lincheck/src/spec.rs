@@ -1,0 +1,327 @@
+//! Sequential specifications and the WGL-style durable-linearizability
+//! search.
+//!
+//! A crash image is **durably linearizable** when its recovered entries
+//! (plus the responses clients already received) are explained by some
+//! legal sequential history over the abstract structure containing
+//!
+//! * every operation that *must* be there — it returned to its client
+//!   before the crash, its completion record is durably `DONE`, or
+//!   recovery promised to apply it — and
+//! * any subset of the remaining in-flight operations (they may or may
+//!   not have linearized before the crash),
+//!
+//! respecting real-time order: if `a` returned before `b` was invoked,
+//! `a` linearizes before `b`. The search is the classic Wing–Gong/Lowe
+//! scheme: depth-first over candidate linearizations, only ever
+//! choosing a *minimal* operation (no unchosen must-op returned before
+//! its invocation), pruning on response mismatches. Configurations are
+//! a handful of operations, so the state space is tiny by construction.
+
+use std::collections::VecDeque;
+
+use supermem_serve::service::StructureKind;
+
+/// One abstract client operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinOp {
+    /// push / enqueue / hash insert of `(key, value)`.
+    Update {
+        /// Key (hash bucket selector; payload elsewhere).
+        key: u64,
+        /// Value.
+        value: u64,
+    },
+    /// pop / dequeue (returns the removed value, `None` when empty).
+    Remove,
+    /// peek / front / hash lookup (returns the found value).
+    Read {
+        /// Key (hash only; stack/queue peek ignores it).
+        key: u64,
+    },
+}
+
+impl LinOp {
+    /// Compact display for schedules and reproducers, e.g. `u7=99`,
+    /// `r`, `g7`.
+    pub fn label(self) -> String {
+        match self {
+            LinOp::Update { key, value } => format!("u{key}={value}"),
+            LinOp::Remove => "r".to_owned(),
+            LinOp::Read { key } => format!("g{key}"),
+        }
+    }
+}
+
+/// The sequential specification: the abstract structure the persistent
+/// one must be explainable as.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqSpec {
+    kind: StructureKind,
+    nbuckets: u64,
+    stack: Vec<(u64, u64)>,
+    queue: VecDeque<(u64, u64)>,
+    hash: Vec<Vec<(u64, u64)>>,
+}
+
+impl SeqSpec {
+    /// An empty structure of `kind` (`nbuckets` for hashes).
+    pub fn new(kind: StructureKind, nbuckets: u64) -> Self {
+        assert!(
+            kind != StructureKind::Hash || nbuckets > 0,
+            "a hash spec needs buckets"
+        );
+        Self {
+            kind,
+            nbuckets,
+            stack: Vec::new(),
+            queue: VecDeque::new(),
+            hash: vec![
+                Vec::new();
+                if kind == StructureKind::Hash {
+                    nbuckets as usize
+                } else {
+                    0
+                }
+            ],
+        }
+    }
+
+    /// Applies one operation, returning its response (what the client
+    /// would see): removed/found value, `None` for updates, misses, and
+    /// empty removes.
+    pub fn apply(&mut self, op: LinOp) -> Option<u64> {
+        match (self.kind, op) {
+            (StructureKind::Stack, LinOp::Update { key, value }) => {
+                self.stack.push((key, value));
+                None
+            }
+            (StructureKind::Stack, LinOp::Remove) => self.stack.pop().map(|(_, v)| v),
+            (StructureKind::Stack, LinOp::Read { .. }) => self.stack.last().map(|&(_, v)| v),
+            (StructureKind::Queue, LinOp::Update { key, value }) => {
+                self.queue.push_back((key, value));
+                None
+            }
+            (StructureKind::Queue, LinOp::Remove) => self.queue.pop_front().map(|(_, v)| v),
+            (StructureKind::Queue, LinOp::Read { .. }) => self.queue.front().map(|&(_, v)| v),
+            (StructureKind::Hash, LinOp::Update { key, value }) => {
+                self.hash[(key % self.nbuckets) as usize].insert(0, (key, value));
+                None
+            }
+            // The service maps hash removes onto updates at admission;
+            // checker configs never generate them.
+            (StructureKind::Hash, LinOp::Remove) => None,
+            (StructureKind::Hash, LinOp::Read { key }) => self.hash[(key % self.nbuckets) as usize]
+                .iter()
+                .find(|&&(k, _)| k == key)
+                .map(|&(_, v)| v),
+        }
+    }
+
+    /// Entries in the structure's canonical walk order (stack
+    /// top-first, queue front-first, hash buckets in order with
+    /// newest-first chains) — directly comparable to a recovered walk.
+    pub fn entries(&self) -> Vec<(u64, u64)> {
+        match self.kind {
+            StructureKind::Stack => self.stack.iter().rev().copied().collect(),
+            StructureKind::Queue => self.queue.iter().copied().collect(),
+            StructureKind::Hash => self.hash.iter().flatten().copied().collect(),
+        }
+    }
+}
+
+/// One operation of the crash-cut history offered to the linearization
+/// search.
+#[derive(Debug, Clone, Copy)]
+pub struct Candidate {
+    /// The abstract operation.
+    pub op: LinOp,
+    /// `true` when the linearization must contain it (returned, durably
+    /// `DONE`, or promised by recovery); `false` for in-flight ops that
+    /// may or may not have linearized.
+    pub must: bool,
+    /// `Some(response)` when the client saw a response the spec must
+    /// reproduce at the op's position; `None` leaves it unconstrained.
+    pub response: Option<Option<u64>>,
+    /// Invocation action index (real-time order).
+    pub inv: u64,
+    /// Return action index, when the op returned before the cut.
+    pub ret: Option<u64>,
+}
+
+/// `true` when `a` returned before `b` was invoked, so `a` must
+/// linearize first.
+fn precedes(a: &Candidate, b: &Candidate) -> bool {
+    a.ret.is_some_and(|r| r < b.inv)
+}
+
+/// Searches for a linearization of `cands` (all `must` ops, any subset
+/// of the rest) whose final state matches `target` and whose responses
+/// match every constrained candidate. Returns the witness order as
+/// indices into `cands`, or `None` when no explanation exists.
+pub fn explain(
+    kind: StructureKind,
+    nbuckets: u64,
+    cands: &[Candidate],
+    target: &[(u64, u64)],
+) -> Option<Vec<usize>> {
+    assert!(cands.len() <= 63, "candidate history too large");
+    let optional: Vec<usize> = (0..cands.len()).filter(|&i| !cands[i].must).collect();
+    // Subsets of the optional ops, smallest first: in-flight ops that
+    // did not linearize are the common case, so try excluding first.
+    for subset in 0u64..(1 << optional.len()) {
+        let mut included: Vec<usize> = (0..cands.len()).filter(|&i| cands[i].must).collect();
+        for (bit, &i) in optional.iter().enumerate() {
+            if subset & (1 << bit) != 0 {
+                included.push(i);
+            }
+        }
+        let spec = SeqSpec::new(kind, nbuckets.max(1));
+        let mut order = Vec::with_capacity(included.len());
+        if search(cands, &mut included, &spec, target, &mut order) {
+            return Some(order);
+        }
+    }
+    None
+}
+
+/// WGL depth-first search over orders of `remaining`: choose a minimal
+/// op, apply it, prune on response mismatch, recurse.
+fn search(
+    cands: &[Candidate],
+    remaining: &mut Vec<usize>,
+    spec: &SeqSpec,
+    target: &[(u64, u64)],
+    order: &mut Vec<usize>,
+) -> bool {
+    if remaining.is_empty() {
+        return spec.entries() == target;
+    }
+    for pos in 0..remaining.len() {
+        let o = remaining[pos];
+        // Minimality: nothing still unchosen may precede `o` in real
+        // time (everything in `remaining` will be linearized).
+        if remaining
+            .iter()
+            .any(|&p| p != o && precedes(&cands[p], &cands[o]))
+        {
+            continue;
+        }
+        let mut next = spec.clone();
+        let response = next.apply(cands[o].op);
+        if let Some(expected) = cands[o].response {
+            if response != expected {
+                continue;
+            }
+        }
+        remaining.swap_remove(pos);
+        order.push(o);
+        if search(cands, remaining, &next, target, order) {
+            return true;
+        }
+        order.pop();
+        remaining.push(o);
+        let last = remaining.len() - 1;
+        remaining.swap(pos, last);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(key: u64, value: u64) -> LinOp {
+        LinOp::Update { key, value }
+    }
+
+    fn cand(op: LinOp, must: bool, inv: u64, ret: Option<u64>) -> Candidate {
+        Candidate {
+            op,
+            must,
+            response: None,
+            inv,
+            ret,
+        }
+    }
+
+    #[test]
+    fn spec_orders_match_the_walk_orders() {
+        let mut s = SeqSpec::new(StructureKind::Stack, 0);
+        s.apply(upd(1, 10));
+        s.apply(upd(2, 20));
+        assert_eq!(s.entries(), vec![(2, 20), (1, 10)], "stack is top-first");
+        assert_eq!(s.apply(LinOp::Read { key: 0 }), Some(20));
+        assert_eq!(s.apply(LinOp::Remove), Some(20));
+
+        let mut q = SeqSpec::new(StructureKind::Queue, 0);
+        q.apply(upd(1, 10));
+        q.apply(upd(2, 20));
+        assert_eq!(q.entries(), vec![(1, 10), (2, 20)], "queue is front-first");
+        assert_eq!(q.apply(LinOp::Remove), Some(10));
+
+        let mut h = SeqSpec::new(StructureKind::Hash, 2);
+        h.apply(upd(1, 10));
+        h.apply(upd(3, 30)); // same bucket, newer
+        h.apply(upd(2, 20));
+        assert_eq!(h.entries(), vec![(2, 20), (3, 30), (1, 10)]);
+        assert_eq!(h.apply(LinOp::Read { key: 3 }), Some(30));
+        assert_eq!(h.apply(LinOp::Read { key: 5 }), None);
+    }
+
+    #[test]
+    fn explain_finds_the_concurrent_order() {
+        // Two concurrent pushes; the image shows B on top of A.
+        let cands = [
+            cand(upd(1, 10), true, 0, Some(4)),
+            cand(upd(2, 20), true, 1, Some(5)),
+        ];
+        let target = [(2, 20), (1, 10)];
+        let order = explain(StructureKind::Stack, 0, &cands, &target).unwrap();
+        assert_eq!(order, vec![0, 1], "A then B explains B-on-top");
+        // And the impossible image: both pushes landed but only B shows.
+        assert!(explain(StructureKind::Stack, 0, &cands, &[(2, 20)]).is_none());
+    }
+
+    #[test]
+    fn optional_ops_may_be_dropped_but_must_ops_may_not() {
+        let inflight = [cand(upd(1, 10), false, 0, None)];
+        assert!(explain(StructureKind::Stack, 0, &inflight, &[]).is_some());
+        assert!(explain(StructureKind::Stack, 0, &inflight, &[(1, 10)]).is_some());
+        let done = [cand(upd(1, 10), true, 0, Some(1))];
+        assert!(explain(StructureKind::Stack, 0, &done, &[]).is_none());
+    }
+
+    #[test]
+    fn real_time_order_is_respected() {
+        // A returned before B was invoked, so B cannot be below A in
+        // the stack image.
+        let cands = [
+            cand(upd(1, 10), true, 0, Some(1)),
+            cand(upd(2, 20), true, 2, Some(3)),
+        ];
+        assert!(explain(StructureKind::Stack, 0, &cands, &[(2, 20), (1, 10)]).is_some());
+        assert!(explain(StructureKind::Stack, 0, &cands, &[(1, 10), (2, 20)]).is_none());
+    }
+
+    #[test]
+    fn responses_constrain_the_search() {
+        // Pop returned 20: only the B-then-pop-then? order works.
+        let mut pop = cand(LinOp::Remove, true, 2, Some(3));
+        pop.response = Some(Some(20));
+        let cands = [
+            cand(upd(1, 10), true, 0, Some(1)),
+            cand(upd(2, 20), false, 0, None),
+            pop,
+        ];
+        // Image afterwards: just A => push A, push B, pop 20.
+        let order = explain(StructureKind::Stack, 0, &cands, &[(1, 10)]).unwrap();
+        assert_eq!(order.len(), 3);
+        // If the pop had returned 10 instead, A-only is inexplicable
+        // (popping 10 empties past B or contradicts real time).
+        let mut pop10 = pop;
+        pop10.response = Some(Some(10));
+        let cands = [cands[0], cands[1], pop10];
+        assert!(explain(StructureKind::Stack, 0, &cands, &[(1, 10)]).is_none());
+    }
+}

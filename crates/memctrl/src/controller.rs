@@ -466,6 +466,7 @@ impl MemoryController {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // unwrap/expect are fine in tests
 mod tests {
     use super::*;
     use supermem_crypto::CounterLine;

@@ -112,6 +112,9 @@ impl MemoryController {
     /// entry and drops the incoming (newest) update, so the data line
     /// enqueues alone under an old counter.
     fn append_cwc_newest(&mut self, line: LineAddr, page: PageId, enc: &EncryptedWrite) -> Cycle {
+        // Justified panic: the caller dispatches here only after
+        // `forward_counter` found a pending entry.
+        #[allow(clippy::disallowed_methods)]
         let victim = self
             .wq
             .forward_counter(page)

@@ -224,6 +224,9 @@ impl MemoryController {
         if !self.cc.is_dirty(page) {
             return at;
         }
+        // Justified panic: `is_dirty` returned true just above, and only
+        // resident pages can be dirty.
+        #[allow(clippy::disallowed_methods)]
         let encoded = self
             .cc
             .peek(page)

@@ -197,6 +197,9 @@ impl WriteQueue {
     /// # Panics
     ///
     /// Panics if the slot is free (a queue-internal sequencing bug).
+    // Justified panics: the `expect`s below are the documented sequencing
+    // invariant above — slot, index, and list entries move together.
+    #[allow(clippy::disallowed_methods)]
     fn remove_slot(&mut self, slot: usize) -> WqEntry {
         self.next_start = None;
         let e = self.slots[slot].take().expect("slot occupied");
@@ -284,6 +287,8 @@ impl WriteQueue {
         tag: Option<u64>,
         ready: Cycle,
     ) -> u64 {
+        // Justified panic: overflow is the documented contract violation.
+        #[allow(clippy::disallowed_methods)]
         let slot = self
             .free
             .pop()
@@ -456,6 +461,9 @@ impl WriteQueue {
         stats.wq_full_events += 1;
         let mut t = from;
         while self.free_slots() < needed {
+            // Justified panic: a full queue always has an issuable entry
+            // (every occupied slot eventually becomes ready).
+            #[allow(clippy::disallowed_methods)]
             let (idx, start) = self
                 .next_issuable(banks)
                 .expect("full queue must have an issuable entry");
@@ -623,6 +631,7 @@ impl WriteQueue {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // unwrap/expect are fine in tests
 mod tests {
     use super::*;
 
@@ -890,6 +899,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // unwrap/expect are fine in tests
 mod randomized {
     //! Deterministic randomized tests (seeded SplitMix64 stands in for
     //! proptest, which is unavailable in offline builds).

@@ -120,6 +120,24 @@ impl Arena {
     pub fn reset(&mut self) {
         self.next = self.base;
     }
+
+    /// Advances the bump pointer to at least `addr`. Recovery uses this
+    /// to rebuild the (volatile) allocation metadata of a crash image:
+    /// reserving past every reachable node keeps re-executed
+    /// allocations from aliasing live data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` lies outside `[base, end]`.
+    pub fn reserve_until(&mut self, addr: u64) {
+        assert!(
+            addr >= self.base && addr <= self.end,
+            "reserve_until({addr:#x}) outside [{:#x}, {:#x}]",
+            self.base,
+            self.end
+        );
+        self.next = self.next.max(addr);
+    }
 }
 
 #[cfg(test)]

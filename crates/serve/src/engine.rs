@@ -287,6 +287,10 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeReport, ServeError> {
 /// # Errors
 ///
 /// [`ServeError`] if the configuration is invalid.
+// Justified panics: the four `expect`s below assert open-loop scheduler
+// bookkeeping invariants (each message names its own); a failure is an
+// engine bug, not an input condition the caller could handle.
+#[allow(clippy::disallowed_methods)]
 pub fn run_serve_observed(
     cfg: &ServeConfig,
     observers: Vec<Box<dyn Observer>>,
@@ -427,6 +431,7 @@ pub fn subseed(master: u64, salt: u64) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // unwrap/expect are fine in tests
 mod tests {
     use super::*;
 

@@ -43,13 +43,18 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod schedule;
 pub mod service;
 pub mod torture;
 pub mod traffic;
 mod workload;
 
 pub use engine::{run_serve, run_serve_observed, ServeConfig, ServeError, ServeReport};
-pub use service::{recover, RecoverError, RecoveredServe, Service, ServiceLayout, StructureKind};
+pub use schedule::{DetachedSchedule, Directive, PointLog, SchedPoint, Schedule};
+pub use service::{
+    recover, walk_nodes, NodeView, RecoverError, RecoveredServe, Service, ServiceLayout,
+    StructureKind,
+};
 pub use torture::{run_serve_torture, ServeCase, ServeTortureConfig, ServeTortureReport};
 pub use traffic::{ReqKind, Request, TrafficGen, TrafficSpec};
 pub use workload::ServeWorkload;

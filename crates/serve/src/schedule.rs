@@ -1,0 +1,134 @@
+//! Scheduling hooks: an explicit interposition point at every
+//! shared-memory step of the serving protocol.
+//!
+//! The engine runs the protocol detached ([`DetachedSchedule`]): every
+//! hook call is a no-op the compiler monomorphizes away, so attaching
+//! the hook costs nothing on the production path — the same contract as
+//! `sim::Probes`. A model checker attaches a real [`Schedule`] to (a)
+//! observe which protocol point each step reached (for schedule
+//! labeling and reproducers) and (b) inject *protocol mutations* at
+//! specific points — skip the linearizing persist, persist the
+//! completion record early, bypass the recovery applied-check — so the
+//! checker can prove it would catch those bugs.
+//!
+//! The hook deliberately does **not** choose which core runs next; the
+//! checker owns the outer loop (it calls [`Service::step_with`] on the
+//! core it wants) and the hook only interposes *within* a step.
+//!
+//! [`Service::step_with`]: crate::service::Service::step_with
+
+/// A protocol point inside one [`start_op_with`] / [`step_with`] call
+/// (or inside a recovery driver), reported to the attached [`Schedule`]
+/// in execution order.
+///
+/// [`start_op_with`]: crate::service::Service::start_op_with
+/// [`step_with`]: crate::service::Service::step_with
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPoint {
+    /// The descriptor-slot announce persist (mutating ops only).
+    Announce,
+    /// Node prepared off to the side / removal target captured.
+    Prepare,
+    /// A CAS attempt observed a changed shared pointer and is about to
+    /// rebase (push/insert), recapture (pop/dequeue), or retry.
+    AttemptFail,
+    /// The linearizing persist is about to run. Honors
+    /// [`Directive::SkipPersist`] and [`Directive::CompleteFirst`].
+    Linearize,
+    /// The completion persist is about to run.
+    Complete,
+    /// A lagging queue tail is about to be helped forward.
+    HelpTail,
+    /// The post-linearization queue tail fixup store.
+    TailFixup,
+    /// A read is about to linearize (no persist).
+    Read,
+    /// Recovery is about to run the applied-check scan for a pending
+    /// descriptor slot. Honors [`Directive::Skip`].
+    RecoveryScan {
+        /// The descriptor slot being resolved.
+        slot: usize,
+    },
+}
+
+/// What the attached schedule tells the protocol to do at a point.
+///
+/// Every point accepts [`Directive::Run`]; the non-default directives
+/// are only honored at the points documented on [`SchedPoint`] (they
+/// exist to inject protocol bugs, not to steer healthy execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Directive {
+    /// Execute the step as written.
+    #[default]
+    Run,
+    /// Perform the linearizing store volatile-only: no `clwb`/`sfence`
+    /// (mutant: *skip linearizing persist*).
+    SkipPersist,
+    /// Persist the completion record *before* the linearizing persist
+    /// (mutant: *complete-before-persist reorder*).
+    CompleteFirst,
+    /// Skip the step entirely — at [`SchedPoint::RecoveryScan`], bypass
+    /// the applied-check and re-execute blindly (mutant: *skip recovery
+    /// scan*).
+    Skip,
+}
+
+/// Interposition hook consulted at every [`SchedPoint`].
+pub trait Schedule {
+    /// Called when `core` reaches `point`; the returned directive is
+    /// honored only where [`SchedPoint`] documents it.
+    fn at(&mut self, core: usize, point: SchedPoint) -> Directive;
+}
+
+/// The production no-op schedule: every call inlines to nothing, so
+/// `step` / `start_op` compile to exactly the unhooked protocol.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DetachedSchedule;
+
+impl Schedule for DetachedSchedule {
+    #[inline(always)]
+    fn at(&mut self, _core: usize, _point: SchedPoint) -> Directive {
+        Directive::Run
+    }
+}
+
+/// A schedule that records every `(core, point)` it sees — the history
+/// recorder half of the model checker, also handy in tests.
+#[derive(Debug, Clone, Default)]
+pub struct PointLog {
+    /// Every hook call, in execution order.
+    pub points: Vec<(usize, SchedPoint)>,
+}
+
+impl Schedule for PointLog {
+    fn at(&mut self, core: usize, point: SchedPoint) -> Directive {
+        self.points.push((core, point));
+        Directive::Run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detached_always_runs() {
+        let mut d = DetachedSchedule;
+        assert_eq!(d.at(0, SchedPoint::Linearize), Directive::Run);
+        assert_eq!(
+            d.at(3, SchedPoint::RecoveryScan { slot: 1 }),
+            Directive::Run
+        );
+    }
+
+    #[test]
+    fn point_log_records_in_order() {
+        let mut log = PointLog::default();
+        log.at(0, SchedPoint::Announce);
+        log.at(1, SchedPoint::Linearize);
+        assert_eq!(
+            log.points,
+            vec![(0, SchedPoint::Announce), (1, SchedPoint::Linearize)]
+        );
+    }
+}

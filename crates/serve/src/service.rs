@@ -34,8 +34,9 @@
 use std::collections::HashSet;
 use std::collections::VecDeque;
 
-use supermem_persist::{Arena, PMem, SlotArray, SlotError, SlotRecord, SlotView};
+use supermem_persist::{Arena, PMem, SlotArray, SlotError, SlotRecord, SlotState, SlotView};
 
+use crate::schedule::{DetachedSchedule, Directive, SchedPoint, Schedule};
 use crate::traffic::{ReqKind, Request};
 
 /// Slot-record op code for insert/push/enqueue.
@@ -205,6 +206,35 @@ fn persist_ptr<M: PMem>(mem: &mut M, addr: u64, value: u64) {
     mem.sfence();
 }
 
+/// The linearizing pointer persist followed by the completion persist,
+/// under the attached schedule's directive: `SkipPersist` leaves the
+/// linearizing store volatile-only, `CompleteFirst` reorders the
+/// completion persist ahead of it. Detached, this is exactly
+/// `persist_ptr` + `slots.complete`.
+fn linearize_and_complete<M: PMem, S: Schedule>(
+    layout: &ServiceLayout,
+    mem: &mut M,
+    sched: &mut S,
+    core: usize,
+    ptr_addr: u64,
+    ptr_value: u64,
+    result: u64,
+) {
+    let dir = sched.at(core, SchedPoint::Linearize);
+    if dir == Directive::CompleteFirst {
+        layout.slots.complete(mem, core, result);
+    }
+    if dir == Directive::SkipPersist {
+        mem.write_u64(ptr_addr, ptr_value);
+    } else {
+        persist_ptr(mem, ptr_addr, ptr_value); // linearization
+    }
+    sched.at(core, SchedPoint::Complete);
+    if dir != Directive::CompleteFirst {
+        layout.slots.complete(mem, core, result);
+    }
+}
+
 /// What one [`Service::step`] call amounted to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepResult {
@@ -306,8 +336,11 @@ impl Service {
             }
             StructureKind::Queue => {
                 // The sentinel is a real (empty) node; head and tail
-                // both start on it.
-                let sentinel = arena.alloc_lines(1).expect("region holds one node");
+                // both start on it. ServiceLayout::new guarantees the
+                // arena holds at least one line.
+                let Ok(sentinel) = arena.alloc_lines(1) else {
+                    unreachable!("layout reserves node space");
+                };
                 write_node(mem, sentinel, 0, 0, 0, 0);
                 persist_ptr(mem, layout.meta0, sentinel);
                 persist_ptr(mem, layout.meta1, sentinel);
@@ -368,6 +401,24 @@ impl Service {
     ///
     /// Panics if `core` already has an operation in flight.
     pub fn start_op<M: PMem>(&mut self, mem: &mut M, core: usize, req: &Request) {
+        self.start_op_with(mem, core, req, &mut DetachedSchedule);
+    }
+
+    /// [`start_op`] with an attached [`Schedule`] hook: the announce
+    /// persist reports [`SchedPoint::Announce`] before it runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` already has an operation in flight.
+    ///
+    /// [`start_op`]: Service::start_op
+    pub fn start_op_with<M: PMem, S: Schedule>(
+        &mut self,
+        mem: &mut M,
+        core: usize,
+        req: &Request,
+        sched: &mut S,
+    ) {
         assert!(
             self.ctx[core].is_none(),
             "core {core} already has an op in flight"
@@ -390,6 +441,7 @@ impl Service {
                 a: req.key,
                 b: req.value,
             };
+            sched.at(core, SchedPoint::Announce);
             self.layout.slots.announce(mem, core, &rec);
         }
         self.ctx[core] = Some(OpCtx {
@@ -410,6 +462,17 @@ impl Service {
         ((core as u64) << 48) | self.seqs[core]
     }
 
+    /// Allocates one node line, panicking with sizing guidance when the
+    /// region cannot hold the request count.
+    fn alloc_node(&mut self, core: usize) -> u64 {
+        match self.arena.alloc_lines(1) {
+            Ok(addr) => addr,
+            Err(e) => panic!(
+                "serve arena exhausted on core {core}: size the region for the request count ({e})"
+            ),
+        }
+    }
+
     /// Advances `core`'s in-flight operation by one phase. Reads
     /// complete in a single step; mutations take at least two (prepare,
     /// then one attempt per CAS try).
@@ -419,14 +482,40 @@ impl Service {
     /// Panics if `core` has no operation in flight, or (in strict mode)
     /// if a linearized read disagrees with the shadow model.
     pub fn step<M: PMem>(&mut self, mem: &mut M, core: usize) -> StepResult {
-        let mut ctx = self.ctx[core].expect("no op in flight");
+        self.step_with(mem, core, &mut DetachedSchedule)
+    }
+
+    /// [`step`] with an attached [`Schedule`] hook: each protocol point
+    /// reports a [`SchedPoint`] before executing, and the linearizing
+    /// persist honors mutation directives. With [`DetachedSchedule`]
+    /// this monomorphizes to exactly the unhooked step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` has no operation in flight, or (in strict mode)
+    /// if a linearized read disagrees with the shadow model.
+    ///
+    /// [`step`]: Service::step
+    pub fn step_with<M: PMem, S: Schedule>(
+        &mut self,
+        mem: &mut M,
+        core: usize,
+        sched: &mut S,
+    ) -> StepResult {
+        let Some(mut ctx) = self.ctx[core] else {
+            panic!("core {core} has no op in flight");
+        };
         let out = match (self.layout.kind, ctx.kind) {
-            (_, ReqKind::Read) => self.step_read(mem, core, &mut ctx),
-            (StructureKind::Stack, ReqKind::Update) => self.step_push(mem, core, &mut ctx),
-            (StructureKind::Stack, ReqKind::Remove) => self.step_pop(mem, core, &mut ctx),
-            (StructureKind::Queue, ReqKind::Update) => self.step_enqueue(mem, core, &mut ctx),
-            (StructureKind::Queue, ReqKind::Remove) => self.step_dequeue(mem, core, &mut ctx),
-            (StructureKind::Hash, _) => self.step_hash_insert(mem, core, &mut ctx),
+            (_, ReqKind::Read) => self.step_read(mem, core, &mut ctx, sched),
+            (StructureKind::Stack, ReqKind::Update) => self.step_push(mem, core, &mut ctx, sched),
+            (StructureKind::Stack, ReqKind::Remove) => self.step_pop(mem, core, &mut ctx, sched),
+            (StructureKind::Queue, ReqKind::Update) => {
+                self.step_enqueue(mem, core, &mut ctx, sched)
+            }
+            (StructureKind::Queue, ReqKind::Remove) => {
+                self.step_dequeue(mem, core, &mut ctx, sched)
+            }
+            (StructureKind::Hash, _) => self.step_hash_insert(mem, core, &mut ctx, sched),
         };
         match out {
             StepResult::InFlight => self.ctx[core] = Some(ctx),
@@ -439,7 +528,14 @@ impl Service {
         out
     }
 
-    fn step_read<M: PMem>(&mut self, mem: &mut M, _core: usize, ctx: &mut OpCtx) -> StepResult {
+    fn step_read<M: PMem, S: Schedule>(
+        &mut self,
+        mem: &mut M,
+        core: usize,
+        ctx: &mut OpCtx,
+        sched: &mut S,
+    ) -> StepResult {
+        sched.at(core, SchedPoint::Read);
         let found = match self.layout.kind {
             StructureKind::Stack => {
                 let head = mem.read_u64(self.layout.meta0);
@@ -495,13 +591,17 @@ impl Service {
         StepResult::Done { result: found }
     }
 
-    fn step_push<M: PMem>(&mut self, mem: &mut M, core: usize, ctx: &mut OpCtx) -> StepResult {
+    fn step_push<M: PMem, S: Schedule>(
+        &mut self,
+        mem: &mut M,
+        core: usize,
+        ctx: &mut OpCtx,
+        sched: &mut S,
+    ) -> StepResult {
         match ctx.phase {
             Phase::Announced => {
-                ctx.node = self
-                    .arena
-                    .alloc_lines(1)
-                    .expect("serve arena exhausted: size the region for the request count");
+                sched.at(core, SchedPoint::Prepare);
+                ctx.node = self.alloc_node(core);
                 ctx.observed = mem.read_u64(self.layout.meta0);
                 write_node(
                     mem,
@@ -518,25 +618,40 @@ impl Service {
                 let cur = mem.read_u64(self.layout.meta0);
                 if cur != ctx.observed {
                     // CAS failure: rebase the node on the new head.
+                    sched.at(core, SchedPoint::AttemptFail);
                     ctx.observed = cur;
                     write_node(mem, ctx.node, cur, ctx.key, ctx.value, self.node_seq(core));
                     ctx.retries += 1;
                     return StepResult::InFlight;
                 }
-                persist_ptr(mem, self.layout.meta0, ctx.node); // linearization
+                linearize_and_complete(
+                    &self.layout,
+                    mem,
+                    sched,
+                    core,
+                    self.layout.meta0,
+                    ctx.node,
+                    ctx.node,
+                );
                 self.shadow_stack.push((ctx.key, ctx.value));
-                self.layout.slots.complete(mem, core, ctx.node);
                 StepResult::Done { result: None }
             }
             Phase::Fixup => unreachable!("stacks have no fixup phase"),
         }
     }
 
-    fn step_pop<M: PMem>(&mut self, mem: &mut M, core: usize, ctx: &mut OpCtx) -> StepResult {
+    fn step_pop<M: PMem, S: Schedule>(
+        &mut self,
+        mem: &mut M,
+        core: usize,
+        ctx: &mut OpCtx,
+        sched: &mut S,
+    ) -> StepResult {
         match ctx.phase {
             Phase::Announced | Phase::Prepared => {
                 let cur = mem.read_u64(self.layout.meta0);
                 if ctx.phase == Phase::Prepared && cur != ctx.observed {
+                    sched.at(core, SchedPoint::AttemptFail);
                     ctx.retries += 1;
                 }
                 if cur == 0 || !self.layout.node_in_range(cur) {
@@ -548,18 +663,28 @@ impl Service {
                             "pop saw an empty stack the shadow says is non-empty"
                         );
                     }
+                    sched.at(core, SchedPoint::Complete);
                     self.layout.slots.complete(mem, core, 0);
                     return StepResult::Done { result: None };
                 }
                 if ctx.phase == Phase::Announced || cur != ctx.observed {
                     // (Re-)capture the target and its successor.
+                    sched.at(core, SchedPoint::Prepare);
                     ctx.observed = cur;
                     ctx.node = mem.read_u64(cur + NODE_NEXT);
                     ctx.result = mem.read_u64(cur + NODE_VAL);
                     ctx.phase = Phase::Prepared;
                     return StepResult::InFlight;
                 }
-                persist_ptr(mem, self.layout.meta0, ctx.node); // linearization
+                linearize_and_complete(
+                    &self.layout,
+                    mem,
+                    sched,
+                    core,
+                    self.layout.meta0,
+                    ctx.node,
+                    ctx.result,
+                );
                 let popped = self.shadow_stack.pop();
                 if self.strict {
                     assert_eq!(
@@ -568,7 +693,6 @@ impl Service {
                         "pop result diverged from the shadow"
                     );
                 }
-                self.layout.slots.complete(mem, core, ctx.result);
                 StepResult::Done {
                     result: Some(ctx.result),
                 }
@@ -577,13 +701,17 @@ impl Service {
         }
     }
 
-    fn step_enqueue<M: PMem>(&mut self, mem: &mut M, core: usize, ctx: &mut OpCtx) -> StepResult {
+    fn step_enqueue<M: PMem, S: Schedule>(
+        &mut self,
+        mem: &mut M,
+        core: usize,
+        ctx: &mut OpCtx,
+        sched: &mut S,
+    ) -> StepResult {
         match ctx.phase {
             Phase::Announced => {
-                ctx.node = self
-                    .arena
-                    .alloc_lines(1)
-                    .expect("serve arena exhausted: size the region for the request count");
+                sched.at(core, SchedPoint::Prepare);
+                ctx.node = self.alloc_node(core);
                 write_node(mem, ctx.node, 0, ctx.key, ctx.value, self.node_seq(core));
                 ctx.observed = mem.read_u64(self.layout.meta1);
                 ctx.phase = Phase::Prepared;
@@ -594,14 +722,22 @@ impl Service {
                 if !self.layout.node_in_range(tail) {
                     // Degraded-poisoned tail: serve the append through
                     // the (possibly dropped) store anyway.
-                    persist_ptr(mem, self.layout.meta1, ctx.node);
+                    linearize_and_complete(
+                        &self.layout,
+                        mem,
+                        sched,
+                        core,
+                        self.layout.meta1,
+                        ctx.node,
+                        ctx.node,
+                    );
                     self.shadow_queue.push_back((ctx.key, ctx.value));
-                    self.layout.slots.complete(mem, core, ctx.node);
                     return StepResult::Done { result: None };
                 }
                 let next = mem.read_u64(tail + NODE_NEXT);
                 if next != 0 {
                     // Lagging tail: help it forward, then retry.
+                    sched.at(core, SchedPoint::HelpTail);
                     persist_ptr(mem, self.layout.meta1, next);
                     ctx.observed = next;
                     ctx.retries += 1;
@@ -611,18 +747,28 @@ impl Service {
                 let seq = mem.read_u64(tail + NODE_SEQ);
                 let key = mem.read_u64(tail + NODE_KEY);
                 let val = mem.read_u64(tail + NODE_VAL);
+                let dir = sched.at(core, SchedPoint::Linearize);
+                if dir == Directive::CompleteFirst {
+                    self.layout.slots.complete(mem, core, ctx.node);
+                }
                 mem.write_u64(tail + NODE_NEXT, ctx.node);
                 mem.write_u64(tail + NODE_CSUM, node_checksum(ctx.node, key, val, seq));
-                mem.clwb(tail, 64);
-                mem.sfence();
+                if dir != Directive::SkipPersist {
+                    mem.clwb(tail, 64);
+                    mem.sfence();
+                }
                 ctx.observed = tail;
                 self.shadow_queue.push_back((ctx.key, ctx.value));
-                self.layout.slots.complete(mem, core, ctx.node);
+                sched.at(core, SchedPoint::Complete);
+                if dir != Directive::CompleteFirst {
+                    self.layout.slots.complete(mem, core, ctx.node);
+                }
                 ctx.phase = Phase::Fixup;
                 StepResult::InFlight
             }
             Phase::Fixup => {
                 // Swing the tail unless someone already helped past us.
+                sched.at(core, SchedPoint::TailFixup);
                 if mem.read_u64(self.layout.meta1) == ctx.observed {
                     persist_ptr(mem, self.layout.meta1, ctx.node);
                 }
@@ -631,15 +777,23 @@ impl Service {
         }
     }
 
-    fn step_dequeue<M: PMem>(&mut self, mem: &mut M, core: usize, ctx: &mut OpCtx) -> StepResult {
+    fn step_dequeue<M: PMem, S: Schedule>(
+        &mut self,
+        mem: &mut M,
+        core: usize,
+        ctx: &mut OpCtx,
+        sched: &mut S,
+    ) -> StepResult {
         match ctx.phase {
             Phase::Announced | Phase::Prepared => {
                 let sentinel = mem.read_u64(self.layout.meta0);
                 if ctx.phase == Phase::Prepared && sentinel != ctx.observed {
+                    sched.at(core, SchedPoint::AttemptFail);
                     ctx.retries += 1;
                 }
                 if !self.layout.node_in_range(sentinel) {
                     // Degraded-poisoned head: report empty.
+                    sched.at(core, SchedPoint::Complete);
                     self.layout.slots.complete(mem, core, 0);
                     return StepResult::Done { result: None };
                 }
@@ -651,10 +805,12 @@ impl Service {
                             "dequeue saw an empty queue the shadow says is non-empty"
                         );
                     }
+                    sched.at(core, SchedPoint::Complete);
                     self.layout.slots.complete(mem, core, 0);
                     return StepResult::Done { result: None };
                 }
                 if ctx.phase == Phase::Announced || sentinel != ctx.observed {
+                    sched.at(core, SchedPoint::Prepare);
                     ctx.observed = sentinel;
                     ctx.node = first;
                     ctx.result = mem.read_u64(first + NODE_VAL);
@@ -664,13 +820,22 @@ impl Service {
                 // Check the captured first node is still the successor
                 // (another dequeuer may have won since prepare).
                 if mem.read_u64(sentinel + NODE_NEXT) != ctx.node {
+                    sched.at(core, SchedPoint::AttemptFail);
                     ctx.phase = Phase::Announced;
                     ctx.retries += 1;
                     return StepResult::InFlight;
                 }
                 // Swing the head: the dequeued node becomes the new
                 // sentinel. This is the linearization.
-                persist_ptr(mem, self.layout.meta0, ctx.node);
+                linearize_and_complete(
+                    &self.layout,
+                    mem,
+                    sched,
+                    core,
+                    self.layout.meta0,
+                    ctx.node,
+                    ctx.result,
+                );
                 let popped = self.shadow_queue.pop_front();
                 if self.strict {
                     assert_eq!(
@@ -679,7 +844,6 @@ impl Service {
                         "dequeue result diverged from the shadow"
                     );
                 }
-                self.layout.slots.complete(mem, core, ctx.result);
                 StepResult::Done {
                     result: Some(ctx.result),
                 }
@@ -688,19 +852,18 @@ impl Service {
         }
     }
 
-    fn step_hash_insert<M: PMem>(
+    fn step_hash_insert<M: PMem, S: Schedule>(
         &mut self,
         mem: &mut M,
         core: usize,
         ctx: &mut OpCtx,
+        sched: &mut S,
     ) -> StepResult {
         let bucket = self.layout.bucket_addr(ctx.key);
         match ctx.phase {
             Phase::Announced => {
-                ctx.node = self
-                    .arena
-                    .alloc_lines(1)
-                    .expect("serve arena exhausted: size the region for the request count");
+                sched.at(core, SchedPoint::Prepare);
+                ctx.node = self.alloc_node(core);
                 ctx.observed = mem.read_u64(bucket);
                 write_node(
                     mem,
@@ -716,15 +879,15 @@ impl Service {
             Phase::Prepared => {
                 let cur = mem.read_u64(bucket);
                 if cur != ctx.observed {
+                    sched.at(core, SchedPoint::AttemptFail);
                     ctx.observed = cur;
                     write_node(mem, ctx.node, cur, ctx.key, ctx.value, self.node_seq(core));
                     ctx.retries += 1;
                     return StepResult::InFlight;
                 }
-                persist_ptr(mem, bucket, ctx.node); // linearization
+                linearize_and_complete(&self.layout, mem, sched, core, bucket, ctx.node, ctx.node);
                 self.shadow_hash[(ctx.key % self.layout.nbuckets) as usize]
                     .insert(0, (ctx.key, ctx.value));
-                self.layout.slots.complete(mem, core, ctx.node);
                 StepResult::Done { result: None }
             }
             Phase::Fixup => unreachable!("hash inserts have no fixup phase"),
@@ -762,21 +925,127 @@ impl Service {
         }
         Ok(())
     }
+
+    /// Rebuilds a service over a recovered crash image so pending
+    /// operations can be re-executed: the arena's bump pointer is
+    /// advanced past every reachable node, per-core sequence counters
+    /// are restored from the (checksum-verified) descriptor slots, and
+    /// the shadow model is reseeded from the walked entries. Strict
+    /// shadow checking is off — the caller owns the oracle after a
+    /// crash.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoverError::Walk`] when the structure walk refuses the
+    /// image.
+    pub fn from_recovered<M: PMem>(
+        mem: &mut M,
+        layout: ServiceLayout,
+        recovered: &RecoveredServe,
+    ) -> Result<Self, RecoverError> {
+        let nodes = walk_nodes(mem, &layout).map_err(RecoverError::Walk)?;
+        let mut arena = Arena::new(layout.arena_base, layout.arena_end - layout.arena_base);
+        if let Some(top) = nodes.iter().map(|n| n.addr + 64).max() {
+            arena.reserve_until(top);
+        }
+        let cores = layout.slots.len();
+        let mut seqs = vec![0u64; cores];
+        for v in &recovered.slots {
+            seqs[v.slot] = v.rec.seq;
+        }
+        let entries = &recovered.entries;
+        let mut shadow_hash = vec![Vec::new(); layout.nbuckets as usize];
+        if layout.kind == StructureKind::Hash {
+            // The walk visits buckets in order, chains newest-first —
+            // exactly the shadow's per-bucket order.
+            for &(k, v) in entries {
+                shadow_hash[(k % layout.nbuckets) as usize].push((k, v));
+            }
+        }
+        Ok(Self {
+            layout,
+            arena,
+            seqs,
+            ctx: vec![None; cores],
+            shadow_stack: match layout.kind {
+                // Walk order is top-first; the shadow stores bottom-first.
+                StructureKind::Stack => entries.iter().rev().copied().collect(),
+                _ => Vec::new(),
+            },
+            shadow_queue: match layout.kind {
+                StructureKind::Queue => entries.iter().copied().collect(),
+                _ => VecDeque::new(),
+            },
+            shadow_hash,
+            strict: false,
+            completed: 0,
+            retries_total: 0,
+        })
+    }
+
+    /// Re-arms `core`'s in-flight context from its `PENDING` descriptor
+    /// so a recovery driver can re-execute the announced operation via
+    /// [`step_with`]. The descriptor is *not* re-announced and the
+    /// sequence counter is pinned to the announced seq, so the node seq
+    /// stamped by the re-execution matches the original announce — the
+    /// exactly-once applied-check keys on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view is not `PENDING`, is for a different slot, or
+    /// the core already has an operation in flight.
+    ///
+    /// [`step_with`]: Service::step_with
+    pub fn resume_op(&mut self, core: usize, view: &SlotView) {
+        assert_eq!(view.state, SlotState::Pending, "resume needs a pending op");
+        assert_eq!(view.slot, core, "descriptor belongs to another core");
+        assert!(
+            self.ctx[core].is_none(),
+            "core {core} already has an op in flight"
+        );
+        self.seqs[core] = view.rec.seq;
+        self.ctx[core] = Some(OpCtx {
+            kind: if view.rec.op == OP_REMOVE {
+                ReqKind::Remove
+            } else {
+                ReqKind::Update
+            },
+            key: view.rec.a,
+            value: view.rec.b,
+            phase: Phase::Announced,
+            node: 0,
+            observed: 0,
+            result: 0,
+            retries: 0,
+        });
+    }
+}
+
+/// One verified node in a structure walk: its line address, payload,
+/// and the writer-stamped `(core << 48) | seq` recovery can match to a
+/// pending descriptor (0 for the queue sentinel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeView {
+    /// Node line address.
+    pub addr: u64,
+    /// Payload key.
+    pub key: u64,
+    /// Payload value.
+    pub value: u64,
+    /// Writer-stamped node seq.
+    pub seq: u64,
 }
 
 /// Walks one `next`-linked chain, verifying bounds, checksums, and
-/// acyclicity. `skip_first` drops the head node's payload (queue
-/// sentinel).
+/// acyclicity, collecting every node (including a queue sentinel).
 fn walk_chain<M: PMem>(
     mem: &mut M,
     layout: &ServiceLayout,
     head: u64,
-    skip_first: bool,
     seen: &mut HashSet<u64>,
-    out: &mut Vec<(u64, u64)>,
+    out: &mut Vec<NodeView>,
 ) -> Result<(), String> {
     let mut cur = head;
-    let mut first = skip_first;
     while cur != 0 {
         if !layout.node_in_range(cur) {
             return Err(format!("pointer {cur:#x} escapes the node arena"));
@@ -791,13 +1060,47 @@ fn walk_chain<M: PMem>(
         if mem.read_u64(cur + NODE_CSUM) != node_checksum(next, key, value, seq) {
             return Err(format!("node {cur:#x} fails its checksum"));
         }
-        if !first {
-            out.push((key, value));
-        }
-        first = false;
+        out.push(NodeView {
+            addr: cur,
+            key,
+            value,
+            seq,
+        });
         cur = next;
     }
     Ok(())
+}
+
+/// Walks every reachable node in canonical order, verifying bounds,
+/// checksums, and acyclicity. The queue sentinel is included (first).
+///
+/// # Errors
+///
+/// Returns a description of the first bad pointer, checksum mismatch,
+/// or cycle.
+pub fn walk_nodes<M: PMem>(mem: &mut M, layout: &ServiceLayout) -> Result<Vec<NodeView>, String> {
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    match layout.kind {
+        StructureKind::Stack => {
+            let head = mem.read_u64(layout.meta0);
+            walk_chain(mem, layout, head, &mut seen, &mut out)?;
+        }
+        StructureKind::Queue => {
+            let sentinel = mem.read_u64(layout.meta0);
+            if sentinel == 0 {
+                return Err("queue head pointer is null".into());
+            }
+            walk_chain(mem, layout, sentinel, &mut seen, &mut out)?;
+        }
+        StructureKind::Hash => {
+            for b in 0..layout.nbuckets {
+                let head = mem.read_u64(layout.buckets_base + b * 8);
+                walk_chain(mem, layout, head, &mut seen, &mut out)?;
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Walks the whole structure in canonical order, verifying every node.
@@ -807,28 +1110,13 @@ fn walk_chain<M: PMem>(
 /// Returns a description of the first bad pointer, checksum mismatch,
 /// or cycle — a refusal the torture harness classifies as *detected*.
 pub fn walk<M: PMem>(mem: &mut M, layout: &ServiceLayout) -> Result<Vec<(u64, u64)>, String> {
-    let mut out = Vec::new();
-    let mut seen = HashSet::new();
-    match layout.kind {
-        StructureKind::Stack => {
-            let head = mem.read_u64(layout.meta0);
-            walk_chain(mem, layout, head, false, &mut seen, &mut out)?;
-        }
-        StructureKind::Queue => {
-            let sentinel = mem.read_u64(layout.meta0);
-            if sentinel == 0 {
-                return Err("queue head pointer is null".into());
-            }
-            walk_chain(mem, layout, sentinel, true, &mut seen, &mut out)?;
-        }
-        StructureKind::Hash => {
-            for b in 0..layout.nbuckets {
-                let head = mem.read_u64(layout.buckets_base + b * 8);
-                walk_chain(mem, layout, head, false, &mut seen, &mut out)?;
-            }
-        }
-    }
-    Ok(out)
+    let nodes = walk_nodes(mem, layout)?;
+    let skip = usize::from(layout.kind == StructureKind::Queue);
+    Ok(nodes
+        .into_iter()
+        .skip(skip)
+        .map(|n| (n.key, n.value))
+        .collect())
 }
 
 /// A recovery scan refusing to trust the crash image.
@@ -879,6 +1167,7 @@ pub fn recover<M: PMem>(
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // unwrap/expect are fine in tests
 mod tests {
     use super::*;
     use supermem_persist::{SlotState, VecMem};

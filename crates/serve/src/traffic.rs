@@ -183,6 +183,7 @@ impl Iterator for TrafficGen {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // unwrap/expect are fine in tests
 mod tests {
     use super::*;
 

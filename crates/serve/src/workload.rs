@@ -81,7 +81,9 @@ impl<M: PMem> Workload<M> for ServeWorkload {
     }
 
     fn step(&mut self, mem: &mut M) -> Result<(), TxnError> {
-        let req = self.traffic.next().expect("traffic stream is unbounded");
+        let Some(req) = self.traffic.next() else {
+            unreachable!("traffic stream is unbounded")
+        };
         self.service.start_op(mem, 0, &req);
         while self.service.step(mem, 0) == StepResult::InFlight {}
         Ok(())
@@ -97,6 +99,7 @@ impl<M: PMem> Workload<M> for ServeWorkload {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // unwrap/expect are fine in tests
 mod tests {
     use super::*;
     use supermem::persist::VecMem;

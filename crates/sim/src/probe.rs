@@ -421,7 +421,7 @@ impl Log2Histogram {
         };
         self.buckets[idx] += 1;
         self.count += 1;
-        self.sum += value;
+        self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
     }
 
@@ -430,7 +430,8 @@ impl Log2Histogram {
         self.count
     }
 
-    /// Exact sum of recorded values.
+    /// Sum of recorded values (exact until it saturates at `u64::MAX`,
+    /// unreachable for realistic latency streams).
     pub fn sum(&self) -> u64 {
         self.sum
     }
@@ -502,7 +503,9 @@ impl Log2Histogram {
                 let width = lo; // bucket i >= 1 spans [lo, 2*lo); bucket 0 is {0}
                 let k = rank - seen; // 1-based position inside the bucket
                 let interp = (u128::from(width) * u128::from(k) / u128::from(c)) as u64;
-                return (lo + interp).min(self.max);
+                // Saturating: in the top bucket `lo + width` is 2^64;
+                // the max clamp below restores the right answer.
+                return lo.saturating_add(interp).min(self.max);
             }
             seen += c;
         }

@@ -342,12 +342,14 @@ impl BTreeWorkload {
         }
         let mut collected = BTreeMap::new();
         let mut leaf_depths = Vec::new();
-        self.walk(
+        Self::walk(
             mem,
-            root,
-            u64::MIN,
-            u64::MAX,
-            0,
+            WalkFrame {
+                addr: root,
+                lo: u64::MIN,
+                hi: u64::MAX,
+                depth: 0,
+            },
             &mut collected,
             &mut leaf_depths,
         )?;
@@ -377,17 +379,18 @@ impl BTreeWorkload {
         Ok(())
     }
 
-    #[allow(clippy::too_many_arguments, clippy::self_only_used_in_recursion)]
     fn walk<M: PMem>(
-        &self,
         mem: &mut M,
-        addr: u64,
-        lo: u64,
-        hi: u64,
-        depth: usize,
+        frame: WalkFrame,
         out: &mut BTreeMap<u64, u64>,
         leaf_depths: &mut Vec<usize>,
     ) -> Result<(), String> {
+        let WalkFrame {
+            addr,
+            lo,
+            hi,
+            depth,
+        } = frame;
         if depth > 64 {
             return Err("tree too deep: cycle suspected".into());
         }
@@ -425,7 +428,17 @@ impl BTreeWorkload {
                 } else {
                     node.keys[i]
                 };
-                self.walk(mem, child, clo, chi, depth + 1, out, leaf_depths)?;
+                Self::walk(
+                    mem,
+                    WalkFrame {
+                        addr: child,
+                        lo: clo,
+                        hi: chi,
+                        depth: depth + 1,
+                    },
+                    out,
+                    leaf_depths,
+                )?;
             }
             for (i, &k) in node.keys.iter().enumerate() {
                 out.insert(k, node.vals[i]);
@@ -458,10 +471,12 @@ pub fn check_recovered<M: PMem>(mem: &mut M, base: u64, req_bytes: u64) -> Resul
     let mut leaf_depths = Vec::new();
     walk_recovered(
         mem,
-        root,
-        u64::MIN,
-        u64::MAX,
-        0,
+        WalkFrame {
+            addr: root,
+            lo: u64::MIN,
+            hi: u64::MAX,
+            depth: 0,
+        },
         &mut keys,
         &mut leaf_depths,
     )?;
@@ -472,15 +487,31 @@ pub fn check_recovered<M: PMem>(mem: &mut M, base: u64, req_bytes: u64) -> Resul
     Ok(keys)
 }
 
+/// One frame of a recursive descent: the node to inspect plus the
+/// separator bounds and depth it inherits from its parent.
+struct WalkFrame {
+    /// Node address.
+    addr: u64,
+    /// Inclusive lower separator bound for keys in this subtree.
+    lo: u64,
+    /// Exclusive upper separator bound.
+    hi: u64,
+    /// Distance from the root.
+    depth: usize,
+}
+
 fn walk_recovered<M: PMem>(
     mem: &mut M,
-    addr: u64,
-    lo: u64,
-    hi: u64,
-    depth: usize,
+    frame: WalkFrame,
     keys: &mut usize,
     leaf_depths: &mut Vec<usize>,
 ) -> Result<(), String> {
+    let WalkFrame {
+        addr,
+        lo,
+        hi,
+        depth,
+    } = frame;
     if depth > 64 {
         return Err("tree too deep: cycle or garbage pointer".into());
     }
@@ -524,7 +555,17 @@ fn walk_recovered<M: PMem>(
             } else {
                 node.keys[i]
             };
-            walk_recovered(mem, child, clo, chi, depth + 1, keys, leaf_depths)?;
+            walk_recovered(
+                mem,
+                WalkFrame {
+                    addr: child,
+                    lo: clo,
+                    hi: chi,
+                    depth: depth + 1,
+                },
+                keys,
+                leaf_depths,
+            )?;
         }
     }
     Ok(())

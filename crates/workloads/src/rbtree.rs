@@ -377,7 +377,17 @@ impl RbTreeWorkload {
             if RbNode::decode(&buf).red {
                 return Err("root is red".into());
             }
-            self.check(mem, root, NIL, None, None, 0, &mut collected)?;
+            Self::check(
+                mem,
+                CheckFrame {
+                    addr: root,
+                    expect_parent: NIL,
+                    lo: None,
+                    hi: None,
+                    depth: 0,
+                },
+                &mut collected,
+            )?;
         }
         if collected.len() != self.shadow.len() {
             return Err(format!(
@@ -397,17 +407,18 @@ impl RbTreeWorkload {
         Ok(())
     }
 
-    #[allow(clippy::too_many_arguments, clippy::self_only_used_in_recursion)]
     fn check<M: PMem>(
-        &self,
         mem: &mut M,
-        addr: u64,
-        expect_parent: u64,
-        lo: Option<u64>,
-        hi: Option<u64>,
-        depth: usize,
+        frame: CheckFrame,
         out: &mut BTreeMap<u64, u64>,
     ) -> Result<usize, String> {
+        let CheckFrame {
+            addr,
+            expect_parent,
+            lo,
+            hi,
+            depth,
+        } = frame;
         if addr == NIL {
             return Ok(1); // NIL counts one black
         }
@@ -435,8 +446,28 @@ impl RbTreeWorkload {
             }
         }
         out.insert(n.key, addr);
-        let lb = self.check(mem, n.left, addr, lo, Some(n.key), depth + 1, out)?;
-        let rb = self.check(mem, n.right, addr, Some(n.key + 1), hi, depth + 1, out)?;
+        let lb = Self::check(
+            mem,
+            CheckFrame {
+                addr: n.left,
+                expect_parent: addr,
+                lo,
+                hi: Some(n.key),
+                depth: depth + 1,
+            },
+            out,
+        )?;
+        let rb = Self::check(
+            mem,
+            CheckFrame {
+                addr: n.right,
+                expect_parent: addr,
+                lo: Some(n.key + 1),
+                hi,
+                depth: depth + 1,
+            },
+            out,
+        )?;
         if lb != rb {
             return Err(format!("black height mismatch under key {}", n.key));
         }
@@ -468,20 +499,47 @@ pub fn check_recovered<M: PMem>(mem: &mut M, base: u64, req_bytes: u64) -> Resul
         return Err("root is red".into());
     }
     let mut count = 0usize;
-    check_recovered_node(mem, root, NIL, None, None, 0, &mut count)?;
+    check_recovered_node(
+        mem,
+        CheckFrame {
+            addr: root,
+            expect_parent: NIL,
+            lo: None,
+            hi: None,
+            depth: 0,
+        },
+        &mut count,
+    )?;
     Ok(count)
 }
 
-#[allow(clippy::too_many_arguments)]
+/// One frame of a recursive check: the node to inspect plus the parent
+/// pointer, BST bounds, and depth it inherits.
+struct CheckFrame {
+    /// Node address (`NIL` for an absent child).
+    addr: u64,
+    /// The parent this node's back-pointer must name.
+    expect_parent: u64,
+    /// Inclusive lower BST bound, if any.
+    lo: Option<u64>,
+    /// Exclusive upper BST bound, if any.
+    hi: Option<u64>,
+    /// Distance from the root.
+    depth: usize,
+}
+
 fn check_recovered_node<M: PMem>(
     mem: &mut M,
-    addr: u64,
-    expect_parent: u64,
-    lo: Option<u64>,
-    hi: Option<u64>,
-    depth: usize,
+    frame: CheckFrame,
     count: &mut usize,
 ) -> Result<usize, String> {
+    let CheckFrame {
+        addr,
+        expect_parent,
+        lo,
+        hi,
+        depth,
+    } = frame;
     if addr == NIL {
         return Ok(1);
     }
@@ -509,8 +567,28 @@ fn check_recovered_node<M: PMem>(
         }
     }
     *count += 1;
-    let lb = check_recovered_node(mem, n.left, addr, lo, Some(n.key), depth + 1, count)?;
-    let rb = check_recovered_node(mem, n.right, addr, Some(n.key + 1), hi, depth + 1, count)?;
+    let lb = check_recovered_node(
+        mem,
+        CheckFrame {
+            addr: n.left,
+            expect_parent: addr,
+            lo,
+            hi: Some(n.key),
+            depth: depth + 1,
+        },
+        count,
+    )?;
+    let rb = check_recovered_node(
+        mem,
+        CheckFrame {
+            addr: n.right,
+            expect_parent: addr,
+            lo: Some(n.key + 1),
+            hi,
+            depth: depth + 1,
+        },
+        count,
+    )?;
     if lb != rb {
         return Err(format!("black height mismatch under key {}", n.key));
     }

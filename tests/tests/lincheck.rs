@@ -1,0 +1,179 @@
+//! Durable-linearizability model checking of the serving protocols:
+//! the healthy protocol must survive exhaustive schedule/crash
+//! exploration, every catalogued mutant must be caught, and each
+//! mutant's shrunk reproducer is pinned so a regression in the checker
+//! (or the protocol) shows up as a changed witness.
+
+use supermem_lincheck::{
+    find_minimal, lincheck, CheckPhase, CrashMode, CrashPoint, LincheckConfig, Mutant,
+};
+use supermem_serve::service::StructureKind;
+
+/// The CI tentpole: every interleaving of 2 cores x 3 mixed ops, a
+/// crash after every persist and every action, all three structures.
+#[test]
+fn healthy_protocols_survive_exhaustive_two_core_exploration() {
+    for structure in StructureKind::ALL {
+        let cfg = LincheckConfig::mixed(structure, 2, 3);
+        let report = lincheck(&cfg);
+        assert!(
+            report.violation.is_none(),
+            "{structure}: {}",
+            report.violation.unwrap()
+        );
+        assert!(
+            report.stats.schedules > 50,
+            "{structure}: suspiciously few schedules: {:?}",
+            report.stats
+        );
+        println!("{structure}: {:?}", report.stats);
+    }
+}
+
+/// The sleep-set reduction must agree with the exhaustive search on
+/// the healthy verdict while actually pruning.
+#[test]
+fn sleep_set_reduction_agrees_and_prunes() {
+    for structure in StructureKind::ALL {
+        let full = lincheck(&LincheckConfig::mixed(structure, 2, 3));
+        let mut cfg = LincheckConfig::mixed(structure, 2, 3);
+        cfg.reduce = true;
+        let reduced = lincheck(&cfg);
+        assert!(full.violation.is_none() && reduced.violation.is_none());
+        assert!(
+            reduced.stats.sleep_pruned > 0,
+            "{structure}: reduction pruned nothing: {:?}",
+            reduced.stats
+        );
+        assert!(
+            reduced.stats.schedules < full.stats.schedules,
+            "{structure}: reduction explored no fewer schedules"
+        );
+        println!(
+            "{structure}: full {} schedules, reduced {} (pruned {})",
+            full.stats.schedules, reduced.stats.schedules, reduced.stats.sleep_pruned
+        );
+    }
+}
+
+fn shrunk(structure: StructureKind, mutant: Mutant) -> supermem_lincheck::Repro {
+    let mut cfg = LincheckConfig::mixed(structure, 2, 3);
+    cfg.mutant = Some(mutant);
+    cfg.crash = CrashMode::All;
+    let repro = find_minimal(&cfg).unwrap_or_else(|| panic!("{mutant} must be caught"));
+    println!("{mutant}: {}", repro.summary());
+    repro
+}
+
+#[test]
+fn mutant_skip_linearize_minimal_repro() {
+    let repro = shrunk(StructureKind::Stack, Mutant::SkipLinearize);
+    assert_eq!(repro.programs.len(), 1, "{}", repro.summary());
+    assert_eq!(
+        repro.violation.schedule,
+        vec![0, 0, 0],
+        "{}",
+        repro.summary()
+    );
+    assert_eq!(
+        repro.violation.crash,
+        Some(CrashPoint::AfterPersist(3)),
+        "{}",
+        repro.summary()
+    );
+    assert_eq!(repro.violation.phase, CheckPhase::DurableState);
+}
+
+#[test]
+fn mutant_complete_first_minimal_repro() {
+    let repro = shrunk(StructureKind::Stack, Mutant::CompleteBeforeLinearize);
+    assert_eq!(repro.programs.len(), 1, "{}", repro.summary());
+    assert_eq!(
+        repro.violation.schedule,
+        vec![0, 0, 0],
+        "{}",
+        repro.summary()
+    );
+    assert_eq!(
+        repro.violation.crash,
+        Some(CrashPoint::AfterPersist(3)),
+        "{}",
+        repro.summary()
+    );
+    assert_eq!(repro.violation.phase, CheckPhase::DurableState);
+}
+
+/// Minimal lost-update witness: one push per core. Core 0's cache
+/// holds the head line from initialization; with invalidation dropped,
+/// core 1's publication (persist 3) never reaches it, so core 0's CAS
+/// sees the stale empty head and its own publication (persist 7)
+/// orphans core 1's completed push.
+#[test]
+fn mutant_drop_invalidation_minimal_repro() {
+    let repro = shrunk(StructureKind::Stack, Mutant::DropInvalidation);
+    assert_eq!(repro.programs.len(), 2, "{}", repro.summary());
+    assert_eq!(
+        repro.programs.iter().map(Vec::len).sum::<usize>(),
+        2,
+        "{}",
+        repro.summary()
+    );
+    assert_eq!(
+        repro.violation.schedule,
+        vec![1, 1, 1, 0, 0, 0],
+        "{}",
+        repro.summary()
+    );
+    assert_eq!(
+        repro.violation.crash,
+        Some(CrashPoint::AfterPersist(7)),
+        "{}",
+        repro.summary()
+    );
+    assert_eq!(repro.violation.phase, CheckPhase::DurableState);
+}
+
+/// Minimal double-apply witness: crash lands after the linearizing
+/// persist (persist 3) but before completion; blind re-execution then
+/// pushes a second copy of the already-applied update.
+#[test]
+fn mutant_skip_recovery_scan_minimal_repro() {
+    let repro = shrunk(StructureKind::Stack, Mutant::SkipRecoveryScan);
+    assert_eq!(repro.programs.len(), 1, "{}", repro.summary());
+    assert_eq!(
+        repro.violation.schedule,
+        vec![0, 0, 0],
+        "{}",
+        repro.summary()
+    );
+    assert_eq!(
+        repro.violation.crash,
+        Some(CrashPoint::AfterPersist(3)),
+        "{}",
+        repro.summary()
+    );
+    assert_eq!(
+        repro.violation.phase,
+        CheckPhase::Resume,
+        "{}",
+        repro.summary()
+    );
+}
+
+/// Every mutant is also caught on the queue and hash protocols (no
+/// shrinking — just detection).
+#[test]
+fn all_mutants_caught_on_all_structures() {
+    for structure in StructureKind::ALL {
+        for mutant in Mutant::ALL {
+            let mut cfg = LincheckConfig::mixed(structure, 2, 2);
+            cfg.mutant = Some(mutant);
+            let report = lincheck(&cfg);
+            assert!(
+                report.violation.is_some(),
+                "{structure}/{mutant}: not caught in {:?}",
+                report.stats
+            );
+        }
+    }
+}
