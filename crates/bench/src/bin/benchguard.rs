@@ -15,6 +15,7 @@ use supermem::workloads::WorkloadKind;
 use supermem::{run_single, RunConfig, Scheme};
 use supermem_bench::guard::{check, extract_after_ns, tolerance, GuardCheck};
 use supermem_bench::micro::Harness;
+use supermem_kv::{kv_run_case, KvClassification, KvTortureCase};
 use supermem_lincheck::{lincheck, LincheckConfig};
 use supermem_serve::{run_serve, ServeConfig, StructureKind};
 
@@ -132,6 +133,30 @@ fn main() -> ExitCode {
             let r = lincheck(black_box(&cfg));
             assert!(r.violation.is_none(), "lincheck violation in benchguard");
             black_box(r.stats.crash_points)
+        });
+    }
+
+    {
+        // KV recovery wall clock: one full crash-torture case end to
+        // end — format the WAL+snapshot store, run the 10-op workload,
+        // crash mid-run, rebuild the machine image, run the checksummed
+        // recovery (paranoid double pass), and classify against the
+        // oracle. The full 1,764-injection kvtorture figure and the CI
+        // kv job both rest on this staying in the low milliseconds.
+        let case = KvTortureCase {
+            scheme: Scheme::SuperMem,
+            class: None,
+            point: 15,
+            seed: 1,
+            channels: 1,
+        };
+        h.bench("kv/recover-case", || {
+            let r = kv_run_case(black_box(&case));
+            assert!(
+                r.classification != KvClassification::Silent,
+                "silent KV corruption in benchguard"
+            );
+            black_box(r.classification)
         });
     }
 

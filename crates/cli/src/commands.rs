@@ -10,12 +10,17 @@ use supermem::sim::{CounterPlacement, Mutation};
 use supermem::torture::{self, TortureConfig};
 use supermem::verify::{check_run, check_run_trace, run_mutant_sharded, CheckReport};
 use supermem::workloads::spec::ALL_KINDS;
+use supermem::workloads::Workload;
 use supermem::workloads::WorkloadKind;
 use supermem::{sweep, Experiment, RunConfig, RunResult, Scheme};
 use supermem_bench::Report;
+use supermem_kv::{
+    kv_crash_points, kv_run_case, kv_run_torture, kv_shrink_point, KvLayout, KvTortureCase,
+    KvTortureConfig, KvWorkload,
+};
 use supermem_lincheck::{find_minimal, lincheck, CrashMode, LincheckConfig, Mutant};
 use supermem_serve::{
-    run_serve, run_serve_torture, ServeConfig, ServeTortureConfig, StructureKind,
+    run_serve, run_serve_torture, ServeConfig, ServeTortureConfig, StructureKind, TrafficSpec,
 };
 
 use crate::args::{parse_run_flags, parse_scheme, ArgError, Parsed};
@@ -1311,4 +1316,298 @@ pub fn cmd_list() {
     for k in ALL_KINDS {
         println!("  {k}");
     }
+}
+
+/// `supermem kv {run|torture|recover}` — the recoverable KV store:
+/// drive it with Zipfian traffic (`run`), sweep the differential
+/// crash-torture campaign (`torture`), or crash one run at a chosen
+/// point and print the typed recovery report (`recover`).
+pub fn cmd_kv(argv: &[String]) -> Result<(), ArgError> {
+    match argv.first().map(String::as_str) {
+        Some("run") => cmd_kv_run(&argv[1..]),
+        Some("torture") => cmd_kv_torture(&argv[1..]),
+        Some("recover") => cmd_kv_recover(&argv[1..]),
+        Some(other) => Err(ArgError(format!(
+            "unknown kv subcommand `{other}` (expected run, torture, or recover)"
+        ))),
+        None => Err(ArgError(
+            "kv needs a subcommand: run, torture, or recover".into(),
+        )),
+    }
+}
+
+fn kv_value(it: &mut std::slice::Iter<String>, flag: &str) -> Result<String, ArgError> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| ArgError(format!("{flag} needs a value")))
+}
+
+fn kv_parse<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, ArgError> {
+    raw.parse()
+        .map_err(|_| ArgError(format!("invalid {flag} `{raw}`")))
+}
+
+fn cmd_kv_run(argv: &[String]) -> Result<(), ArgError> {
+    let mut scheme = Scheme::SuperMem;
+    let mut requests: u64 = 2000;
+    let mut spec = TrafficSpec::default();
+    let mut snapshot_every: u64 = 64;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scheme" => scheme = parse_scheme(&kv_value(&mut it, "--scheme")?)?,
+            "--requests" => requests = kv_parse(&kv_value(&mut it, "--requests")?, "--requests")?,
+            "--read-pct" => {
+                spec.read_pct = kv_parse(&kv_value(&mut it, "--read-pct")?, "--read-pct")?;
+                if spec.read_pct > 100 {
+                    return Err(ArgError("--read-pct must be 0..=100".into()));
+                }
+            }
+            "--zipf" => spec.zipf_theta = kv_parse(&kv_value(&mut it, "--zipf")?, "--zipf")?,
+            "--keyspace" => {
+                spec.keyspace = kv_parse(&kv_value(&mut it, "--keyspace")?, "--keyspace")?;
+                if spec.keyspace == 0 {
+                    return Err(ArgError("--keyspace must be at least 1".into()));
+                }
+            }
+            "--snapshot-every" => {
+                snapshot_every =
+                    kv_parse(&kv_value(&mut it, "--snapshot-every")?, "--snapshot-every")?;
+            }
+            "--seed" => spec.seed = kv_parse(&kv_value(&mut it, "--seed")?, "--seed")?,
+            "--json" => {}
+            other => return Err(ArgError(format!("unknown flag `{other}`"))),
+        }
+    }
+
+    let cfg = scheme.apply(supermem::sim::Config::default());
+    let mut mem = DirectMem::new(&cfg);
+    // Size the snapshot slots for the whole keyspace (8 B keys and
+    // values, 16 B record framing) with headroom, 64-aligned.
+    let snap_cap =
+        (supermem_kv::layout::SNAP_HEADER_LEN + spec.keyspace * 24 + 64).next_multiple_of(64);
+    let layout = KvLayout::new(0x8000, 1 << 16, snap_cap)
+        .map_err(|e| ArgError(format!("kv layout: {e}")))?;
+    let mut w = KvWorkload::new(&mut mem, layout, snapshot_every, spec)
+        .map_err(|e| ArgError(format!("kv format: {e}")))?;
+    for _ in 0..requests {
+        Workload::step(&mut w, &mut mem).map_err(|e| ArgError(format!("kv step: {e}")))?;
+    }
+    let verify = Workload::verify(&mut w, &mut mem);
+    let stats = w.store().stats();
+
+    let mut t = TextTable::new(
+        [
+            "scheme",
+            "requests",
+            "acked",
+            "reads",
+            "puts",
+            "dels",
+            "snapshots",
+            "rotations",
+            "wal-bytes",
+            "entries",
+            "verify",
+        ]
+        .map(str::to_owned)
+        .to_vec(),
+    );
+    t.row(vec![
+        scheme.name().to_owned(),
+        requests.to_string(),
+        stats.acked.to_string(),
+        w.reads().to_string(),
+        stats.puts.to_string(),
+        stats.dels.to_string(),
+        stats.snapshots.to_string(),
+        stats.rotations.to_string(),
+        stats.wal_bytes.to_string(),
+        w.store().len().to_string(),
+        match &verify {
+            Ok(()) => "ok".to_owned(),
+            Err(e) => format!("FAIL: {e}"),
+        },
+    ]);
+    let mut rep = Report::new("kv");
+    rep.section("Recoverable KV store under open-loop Zipfian traffic", t);
+    rep.footnote(
+        "(verify = recover from the persistent image and compare against the in-DRAM shadow)",
+    );
+    rep.emit();
+    verify.map_err(|e| ArgError(format!("kv verify failed: {e}")))
+}
+
+fn cmd_kv_torture(argv: &[String]) -> Result<(), ArgError> {
+    let mut cfg = KvTortureConfig::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scheme" => cfg.schemes = vec![parse_scheme(&kv_value(&mut it, "--scheme")?)?],
+            "--fault" => {
+                let f = kv_value(&mut it, "--fault")?;
+                cfg.classes = if f.eq_ignore_ascii_case("none") {
+                    vec![None]
+                } else {
+                    vec![Some(FaultClass::parse(&f).ok_or_else(|| {
+                        ArgError(format!(
+                            "unknown fault `{f}` (expected none or one of: {})",
+                            FaultClass::ALL.map(FaultClass::name).join(" ")
+                        ))
+                    })?)]
+                };
+            }
+            "--point" => cfg.point = Some(kv_parse(&kv_value(&mut it, "--point")?, "--point")?),
+            "--seed" => cfg.seeds = vec![kv_parse(&kv_value(&mut it, "--seed")?, "--seed")?],
+            "--seeds" => {
+                let n: u64 = kv_parse(&kv_value(&mut it, "--seeds")?, "--seeds")?;
+                if n == 0 {
+                    return Err(ArgError("--seeds must be at least 1".into()));
+                }
+                cfg.seeds = (1..=n).collect();
+            }
+            "--channels" => {
+                let n: usize = kv_parse(&kv_value(&mut it, "--channels")?, "--channels")?;
+                if n == 0 || !n.is_power_of_two() {
+                    return Err(ArgError("--channels must be a power of two".into()));
+                }
+                cfg.channels = vec![n];
+            }
+            "--json" => {}
+            other => return Err(ArgError(format!("unknown flag `{other}`"))),
+        }
+    }
+
+    let report = kv_run_torture(&cfg);
+
+    let mut t = TextTable::new(
+        [
+            "scheme",
+            "cases",
+            "recovered-committed",
+            "lost-unacked-tail",
+            "detected",
+            "silent",
+            "verdict",
+        ]
+        .map(str::to_owned)
+        .to_vec(),
+    );
+    for s in report.by_scheme() {
+        t.row(vec![
+            s.scheme.name().to_owned(),
+            s.cases.to_string(),
+            s.committed.to_string(),
+            s.lost_tail.to_string(),
+            s.detected.to_string(),
+            s.silent.to_string(),
+            s.verdict().to_owned(),
+        ]);
+    }
+    let mut rep = Report::new("kvtorture");
+    rep.section("KV crash torture: crash point x fault class x seed", t);
+    rep.footnote(&format!(
+        "{} injections across {} scheme(s), {} fault class(es), {} seed(s)",
+        report.total(),
+        cfg.schemes.len(),
+        cfg.classes.len(),
+        cfg.seeds.len()
+    ));
+    rep.footnote(
+        "(lost-unacked-tail = only never-acknowledged ops missing; detected = degraded but \
+         flagged by a typed error, the recovery report, or ECC/poison/dirty-shutdown)",
+    );
+    rep.emit();
+
+    let silent = report.silent();
+    if silent.is_empty() {
+        return Ok(());
+    }
+    for r in &silent {
+        eprintln!();
+        eprintln!("silent corruption: {}", r.case.repro());
+        eprintln!("  {}", r.detail);
+        let mut min = r.case;
+        min.point = kv_shrink_point(&r.case);
+        eprintln!("  minimal repro: {}", min.repro());
+    }
+    Err(ArgError(format!(
+        "silent corruption in {} of {} injections",
+        silent.len(),
+        report.total()
+    )))
+}
+
+fn cmd_kv_recover(argv: &[String]) -> Result<(), ArgError> {
+    let mut scheme = Scheme::SuperMem;
+    let mut seed: u64 = 1;
+    let mut point: Option<u64> = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scheme" => scheme = parse_scheme(&kv_value(&mut it, "--scheme")?)?,
+            "--seed" => seed = kv_parse(&kv_value(&mut it, "--seed")?, "--seed")?,
+            "--point" => point = Some(kv_parse(&kv_value(&mut it, "--point")?, "--point")?),
+            "--json" => {}
+            other => return Err(ArgError(format!("unknown flag `{other}`"))),
+        }
+    }
+
+    let total = kv_crash_points(scheme, 1, seed, KvTortureConfig::default().ops);
+    let point = point.unwrap_or(total / 2).clamp(1, total);
+    let case = KvTortureCase {
+        scheme,
+        class: None,
+        point,
+        seed,
+        channels: 1,
+    };
+    let r = kv_run_case(&case);
+
+    let mut t = TextTable::new(["field", "value"].map(str::to_owned).to_vec());
+    t.row(vec!["crash point".into(), format!("{point} of {total}")]);
+    t.row(vec!["classification".into(), r.classification.to_string()]);
+    match &r.recovery {
+        Some(rec) => {
+            t.row(vec![
+                "snapshot".into(),
+                format!("slot {} seq {}", rec.snapshot_slot, rec.snapshot_seq),
+            ]);
+            t.row(vec![
+                "snapshots rejected".into(),
+                rec.snapshots_rejected.to_string(),
+            ]);
+            t.row(vec!["manifest ok".into(), rec.manifest_ok.to_string()]);
+            t.row(vec!["wal header ok".into(), rec.wal_header_ok.to_string()]);
+            t.row(vec!["wal epoch".into(), rec.wal_seq.to_string()]);
+            t.row(vec![
+                "records replayed".into(),
+                rec.records_replayed.to_string(),
+            ]);
+            t.row(vec![
+                "corrupt entries skipped".into(),
+                rec.corrupt_entries_skipped.to_string(),
+            ]);
+            t.row(vec![
+                "torn tail".into(),
+                rec.torn_tail_at
+                    .map_or("none".to_owned(), |o| format!("at offset {o}")),
+            ]);
+            t.row(vec!["resume offset".into(), rec.resume_offset.to_string()]);
+            t.row(vec!["entries".into(), rec.entries.to_string()]);
+            t.row(vec![
+                "state digest".into(),
+                format!("{:#010x}", rec.state_digest),
+            ]);
+        }
+        None => t.row(vec!["recovery".into(), r.detail.clone()]),
+    }
+    let mut rep = Report::new("kvrecover");
+    rep.section(
+        &format!("KV recovery after a crash at append {point} ({scheme})"),
+        t,
+    );
+    rep.footnote(&r.detail);
+    rep.emit();
+    Ok(())
 }

@@ -25,6 +25,11 @@
 //!   This is silent corruption, the one unacceptable outcome; the
 //!   campaign fails and [`shrink_point`] produces a minimal reproducer.
 //!
+//! The application-level companion campaign lives in
+//! `supermem_kv::torture`: the same crash arming, fault planning, and
+//! image capture, but judged against a KV store's shadow oracle of
+//! acknowledged operations (`supermem kv torture`).
+//!
 //! # Examples
 //!
 //! ```

@@ -1,0 +1,134 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the
+//! per-record and per-snapshot checksum of the KV store's on-media
+//! formats.
+//!
+//! The workspace carries no external dependencies, so the table is
+//! generated at compile time. FNV-1a (the undo log's checksum in
+//! `supermem-persist`) is deliberately *not* reused here: CRC-32 is the
+//! storage-industry convention for log records, and its burst-error
+//! guarantees are what a torn 8-byte word inside a WAL record actually
+//! exercises.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// A streaming CRC-32 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use supermem_kv::crc32::{crc32, Crc32};
+///
+/// let mut h = Crc32::new();
+/// h.update(b"123");
+/// h.update(b"456789");
+/// assert_eq!(h.finish(), crc32(b"123456789"));
+/// assert_eq!(crc32(b"123456789"), 0xCBF4_3926); // the IEEE check value
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Self { state: !0 }
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = ((self.state ^ u32::from(b)) & 0xFF) as usize;
+            self.state = (self.state >> 8) ^ TABLE[idx];
+        }
+    }
+
+    /// The final checksum.
+    pub fn finish(self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// CRC-32 over the concatenation of `parts` (no copy).
+pub fn crc32_parts(parts: &[&[u8]]) -> u32 {
+    let mut h = Crc32::new();
+    for p in parts {
+        h.update(p);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods)] // unwrap/expect are fine in tests
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32/ISO-HDLC test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..=255).collect();
+        for split in [0, 1, 7, 128, 255, 256] {
+            assert_eq!(
+                crc32_parts(&[&data[..split], &data[split..]]),
+                crc32(&data),
+                "split at {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_bit_damage_always_changes_the_checksum() {
+        let data = [0x5Au8; 64];
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut dirty = data;
+                dirty[byte] ^= 1 << bit;
+                assert_ne!(crc32(&dirty), clean, "flip at {byte}:{bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Snapshot slots: CRC-sealed full-state checkpoints with
+//! validation-before-load and latest-valid discovery.
+//!
+//! A snapshot is written to the slot *not* currently active (the two
+//! slots alternate generations), payload first, header second, so a
+//! crash mid-write can only damage the older generation. The header
+//! records the WAL epoch (`wal_seq`) and body offset (`wal_off`) from
+//! which replay resumes — a snapshot plus its WAL suffix is the whole
+//! store.
+//!
+//! Discovery ([`discover`]) validates every slot's header *and* payload
+//! checksum before a single byte is parsed, picks the highest valid
+//! sequence, and falls back to the older slot when the newest is
+//! corrupt — the newest snapshot is an optimization, never a single
+//! point of failure.
+
+use std::collections::BTreeMap;
+
+use supermem_persist::PMem;
+
+use crate::crc32::crc32;
+use crate::layout::{
+    read4, read8, KvLayout, FORMAT_VERSION, MAX_KEY, MAX_VAL, SNAP_HEADER_LEN, SNAP_MAGIC,
+    SNAP_SLOTS,
+};
+
+/// A snapshot payload that does not fit its slot (the working set
+/// outgrew the configured layout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotOverflow {
+    /// Bytes the serialized state needs.
+    pub need: u64,
+    /// Bytes the slot payload area holds.
+    pub cap: u64,
+}
+
+/// A validated, parsed snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadedSnapshot {
+    /// Slot the snapshot was read from.
+    pub slot: u32,
+    /// Checkpoint sequence number.
+    pub seq: u64,
+    /// WAL epoch replay must run against.
+    pub wal_seq: u64,
+    /// WAL body offset replay starts from.
+    pub wal_off: u64,
+    /// The key-value state at checkpoint time.
+    pub map: BTreeMap<Vec<u8>, Vec<u8>>,
+}
+
+/// Serializes a state map (sorted entries: `klen, vlen, key, value`).
+pub fn encode_payload(map: &BTreeMap<Vec<u8>, Vec<u8>>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (k, v) in map {
+        out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        out.extend_from_slice(k);
+        out.extend_from_slice(v);
+    }
+    out
+}
+
+/// Writes and persists a snapshot into `slot`: payload first, then the
+/// CRC-sealed header. Does *not* flip the manifest — that is the
+/// caller's separate, later persist.
+///
+/// # Errors
+///
+/// [`SnapshotOverflow`] when the serialized state exceeds the slot.
+pub fn write_snapshot<M: PMem>(
+    mem: &mut M,
+    layout: &KvLayout,
+    slot: u32,
+    seq: u64,
+    wal_seq: u64,
+    wal_off: u64,
+    map: &BTreeMap<Vec<u8>, Vec<u8>>,
+) -> Result<(), SnapshotOverflow> {
+    let payload = encode_payload(map);
+    let cap = layout.snap_payload_cap();
+    if payload.len() as u64 > cap {
+        return Err(SnapshotOverflow {
+            need: payload.len() as u64,
+            cap,
+        });
+    }
+    let base = layout.slot_addr(u64::from(slot));
+    if !payload.is_empty() {
+        mem.persist(base + SNAP_HEADER_LEN, &payload);
+    }
+    let mut h = [0u8; 64];
+    h[0..8].copy_from_slice(&SNAP_MAGIC.to_le_bytes());
+    h[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    h[12..20].copy_from_slice(&seq.to_le_bytes());
+    h[20..28].copy_from_slice(&wal_seq.to_le_bytes());
+    h[28..36].copy_from_slice(&wal_off.to_le_bytes());
+    h[36..44].copy_from_slice(&(map.len() as u64).to_le_bytes());
+    h[44..52].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    h[52..56].copy_from_slice(&crc32(&payload).to_le_bytes());
+    let hcrc = crc32(&h[0..56]);
+    h[56..60].copy_from_slice(&hcrc.to_le_bytes());
+    mem.persist(base, &h);
+    Ok(())
+}
+
+/// Validates slot `slot` end to end — header magic/version/CRC, then
+/// payload CRC — and only then parses entries. `None` on any
+/// disagreement.
+pub fn load_slot<M: PMem>(mem: &mut M, layout: &KvLayout, slot: u32) -> Option<LoadedSnapshot> {
+    let base = layout.slot_addr(u64::from(slot));
+    let mut h = [0u8; 64];
+    mem.read(base, &mut h);
+    let magic = u64::from_le_bytes(read8(&h, 0)?);
+    let version = u32::from_le_bytes(read4(&h, 8)?);
+    let seq = u64::from_le_bytes(read8(&h, 12)?);
+    let wal_seq = u64::from_le_bytes(read8(&h, 20)?);
+    let wal_off = u64::from_le_bytes(read8(&h, 28)?);
+    let count = u64::from_le_bytes(read8(&h, 36)?);
+    let payload_len = u64::from_le_bytes(read8(&h, 44)?);
+    let payload_crc = u32::from_le_bytes(read4(&h, 52)?);
+    let header_crc = u32::from_le_bytes(read4(&h, 56)?);
+    if magic != SNAP_MAGIC
+        || version != FORMAT_VERSION
+        || header_crc != crc32(&h[0..56])
+        || wal_seq == 0
+        || payload_len > layout.snap_payload_cap()
+        || count > payload_len / 8 + 1
+    {
+        return None;
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    mem.read(base + SNAP_HEADER_LEN, &mut payload);
+    if crc32(&payload) != payload_crc {
+        return None;
+    }
+    // Checksum verified; now (and only now) parse.
+    let mut map = BTreeMap::new();
+    let mut pos = 0usize;
+    for _ in 0..count {
+        let klen = u32::from_le_bytes(read4(&payload, pos)?) as usize;
+        let vlen = u32::from_le_bytes(read4(&payload, pos + 4)?) as usize;
+        if klen > MAX_KEY || vlen > MAX_VAL {
+            return None;
+        }
+        pos += 8;
+        let key = payload.get(pos..pos + klen)?.to_vec();
+        let val = payload.get(pos + klen..pos + klen + vlen)?.to_vec();
+        pos += klen + vlen;
+        map.insert(key, val);
+    }
+    if pos != payload.len() || map.len() as u64 != count {
+        return None;
+    }
+    Some(LoadedSnapshot {
+        slot,
+        seq,
+        wal_seq,
+        wal_off,
+        map,
+    })
+}
+
+/// True when the slot's header is still all-zero — never written, as
+/// opposed to written and damaged. A store that has not yet rotated
+/// into its second slot is healthy, not degraded.
+fn slot_is_vacant<M: PMem>(mem: &mut M, layout: &KvLayout, slot: u32) -> bool {
+    let mut h = [0u8; SNAP_HEADER_LEN as usize];
+    mem.read(layout.slot_addr(u64::from(slot)), &mut h);
+    h.iter().all(|&b| b == 0)
+}
+
+/// Latest-valid-snapshot discovery: validates every slot and returns
+/// the highest-sequence survivor plus how many slots were rejected.
+/// Vacant (never-written) slots are neither survivors nor rejections.
+pub fn discover<M: PMem>(mem: &mut M, layout: &KvLayout) -> (Option<LoadedSnapshot>, u32) {
+    let mut best: Option<LoadedSnapshot> = None;
+    let mut rejected = 0;
+    for slot in 0..SNAP_SLOTS as u32 {
+        match load_slot(mem, layout, slot) {
+            Some(s) => {
+                if best.as_ref().is_none_or(|b| s.seq > b.seq) {
+                    best = Some(s);
+                }
+            }
+            None if slot_is_vacant(mem, layout, slot) => {}
+            None => rejected += 1,
+        }
+    }
+    (best, rejected)
+}
+
+#[cfg(test)]
+#[allow(clippy::disallowed_methods)] // unwrap/expect are fine in tests
+mod tests {
+    use super::*;
+    use supermem_persist::VecMem;
+
+    fn layout() -> KvLayout {
+        KvLayout::new(0x1000, 4096, 4096).unwrap()
+    }
+
+    fn sample_map(n: u64) -> BTreeMap<Vec<u8>, Vec<u8>> {
+        (0..n)
+            .map(|i| (i.to_le_bytes().to_vec(), vec![i as u8; 5]))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_and_discovery_prefers_newest() {
+        let l = layout();
+        let mut mem = VecMem::new();
+        write_snapshot(&mut mem, &l, 0, 3, 1, 40, &sample_map(4)).unwrap();
+        write_snapshot(&mut mem, &l, 1, 4, 2, 0, &sample_map(6)).unwrap();
+        let (best, rejected) = discover(&mut mem, &l);
+        let best = best.unwrap();
+        assert_eq!(
+            (best.slot, best.seq, best.wal_seq, best.wal_off),
+            (1, 4, 2, 0)
+        );
+        assert_eq!(best.map, sample_map(6));
+        assert_eq!(rejected, 0);
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_older_slot() {
+        let l = layout();
+        let mut mem = VecMem::new();
+        write_snapshot(&mut mem, &l, 0, 3, 1, 40, &sample_map(4)).unwrap();
+        write_snapshot(&mut mem, &l, 1, 4, 1, 96, &sample_map(6)).unwrap();
+        // Damage one payload byte of the newest snapshot.
+        let addr = l.slot_addr(1) + SNAP_HEADER_LEN + 3;
+        let mut b = [0u8; 1];
+        mem.read(addr, &mut b);
+        b[0] ^= 0x80;
+        mem.write(addr, &b);
+        let (best, rejected) = discover(&mut mem, &l);
+        let best = best.unwrap();
+        assert_eq!((best.slot, best.seq), (0, 3), "fell back to the older slot");
+        assert_eq!(rejected, 1);
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid() {
+        let l = layout();
+        let mut mem = VecMem::new();
+        write_snapshot(&mut mem, &l, 0, 1, 1, 0, &BTreeMap::new()).unwrap();
+        let s = load_slot(&mut mem, &l, 0).unwrap();
+        assert!(s.map.is_empty());
+    }
+
+    #[test]
+    fn overflow_is_typed() {
+        let l = KvLayout::new(0x1000, 4096, 512).unwrap();
+        let mut mem = VecMem::new();
+        let big = sample_map(60);
+        let err = write_snapshot(&mut mem, &l, 0, 1, 1, 0, &big).unwrap_err();
+        assert!(err.need > err.cap);
+    }
+
+    #[test]
+    fn header_bit_flip_rejects_slot() {
+        let l = layout();
+        let mut mem = VecMem::new();
+        write_snapshot(&mut mem, &l, 0, 3, 1, 40, &sample_map(4)).unwrap();
+        for at in [0u64, 12, 20, 28, 36, 44, 52] {
+            let mut dirty = mem.clone();
+            let mut b = [0u8; 1];
+            dirty.read(l.slot_addr(0) + at, &mut b);
+            b[0] ^= 0x02;
+            dirty.write(l.slot_addr(0) + at, &b);
+            assert!(load_slot(&mut dirty, &l, 0).is_none(), "header byte {at}");
+        }
+    }
+}

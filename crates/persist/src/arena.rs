@@ -57,7 +57,11 @@ impl Arena {
     /// Panics if the range overflows `u64` or `len` is zero.
     pub fn new(base: u64, len: u64) -> Self {
         assert!(len > 0, "arena must have space");
-        let end = base.checked_add(len).expect("arena range overflow");
+        let Some(end) = base.checked_add(len) else {
+            // Justified panic: documented constructor contract (see
+            // Panics above) — a range overflowing u64 is a caller bug.
+            panic!("arena range overflow: base {base:#x} + len {len:#x}");
+        };
         Self {
             base,
             end,
@@ -141,6 +145,7 @@ impl Arena {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // unwrap/expect are fine in tests
 mod tests {
     use super::*;
 

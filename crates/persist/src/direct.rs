@@ -197,6 +197,7 @@ impl PMem for DirectMem {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // unwrap/expect are fine in tests
 mod tests {
     use super::*;
     use crate::recovery::{recover_transactions, RecoveredMemory, RecoveryOutcome};

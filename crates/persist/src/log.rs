@@ -82,8 +82,14 @@ pub fn decode_records(payload: &[u8]) -> Option<Vec<UndoRecord>> {
         if payload.len() - pos < 16 {
             return None;
         }
-        let addr = u64::from_le_bytes(payload[pos..pos + 8].try_into().unwrap());
-        let len = u64::from_le_bytes(payload[pos + 8..pos + 16].try_into().unwrap()) as usize;
+        let (Ok(addr_bytes), Ok(len_bytes)) = (
+            payload[pos..pos + 8].try_into(),
+            payload[pos + 8..pos + 16].try_into(),
+        ) else {
+            return None; // length checked above; kept fallible for the policy
+        };
+        let addr = u64::from_le_bytes(addr_bytes);
+        let len = u64::from_le_bytes(len_bytes) as usize;
         pos += 16;
         if payload.len() - pos < len {
             return None;
@@ -133,6 +139,7 @@ pub fn read_header<M: PMem>(mem: &mut M, log_base: u64) -> LogHeader {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // unwrap/expect are fine in tests
 mod tests {
     use super::*;
     use crate::pmem::VecMem;

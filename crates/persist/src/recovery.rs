@@ -537,7 +537,9 @@ pub fn recover_osiris(
             let raw = scan_read(|| store.read_counter_checked(page)).unwrap_or([0; 64]);
             current_page = Some((page, CounterLine::decode(&raw), false));
         }
-        let (_, ctr, changed) = current_page.as_mut().expect("page context set");
+        let Some((_, ctr, changed)) = current_page.as_mut() else {
+            unreachable!("page context set by the needs_load branch above");
+        };
         report.lines_scanned += 1;
         let tag = store.read_tag(line);
         if tag == 0 {
@@ -696,6 +698,7 @@ pub fn recover_transactions(
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // unwrap/expect are fine in tests
 mod tests {
     use super::*;
     use supermem_memctrl::MemoryController;

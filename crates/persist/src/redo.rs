@@ -223,6 +223,7 @@ pub fn recover_redo_transactions(
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // unwrap/expect are fine in tests
 mod tests {
     use super::*;
     use crate::pmem::VecMem;
@@ -273,6 +274,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // unwrap/expect are fine in tests
 mod crash_tests {
     use super::*;
     use crate::direct::DirectMem;

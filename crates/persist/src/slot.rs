@@ -284,6 +284,7 @@ impl SlotArray {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // unwrap/expect are fine in tests
 mod tests {
     use super::*;
     use crate::pmem::VecMem;

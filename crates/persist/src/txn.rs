@@ -219,6 +219,7 @@ impl Txn<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // unwrap/expect are fine in tests
 mod tests {
     use super::*;
     use crate::log::{read_header, STATE_COMMITTED};
@@ -344,6 +345,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // unwrap/expect are fine in tests
 mod randomized {
     //! Deterministic randomized tests (seeded SplitMix64 stands in for
     //! proptest, which is unavailable in offline builds).

@@ -2,6 +2,11 @@
 //! [`Workload`] trait, so the spec-driven runner machinery (checker
 //! harnesses, sweeps) can drive a shared structure exactly like the
 //! paper's workloads — one request to completion per `step`.
+//!
+//! The recoverable KV store registers the same way (`KvWorkload` in
+//! `supermem-kv`), driven by this crate's [`TrafficGen`]; it
+//! additionally overrides the trait's `recover()` with its WAL+snapshot
+//! recovery protocol.
 
 use supermem::persist::{PMem, TxnError};
 use supermem::workloads::Workload;

@@ -160,6 +160,28 @@ pub trait Workload<M: PMem> {
 
     /// Committed transactions so far.
     fn committed(&self) -> u64;
+
+    /// Re-attaches to the structure's persistent state after a crash,
+    /// replacing this instance's volatile view with whatever recovery
+    /// reconstructs from `mem`.
+    ///
+    /// The default refuses: the paper's micro-benchmarks are recovered
+    /// by the memory-level machinery (`RecoveredMemory`, Osiris), not
+    /// by the workload itself. Storage workloads with their own
+    /// recovery protocol — such as the KV store's checksummed
+    /// WAL-plus-snapshot recovery — override this.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of why recovery failed (or is
+    /// unsupported).
+    fn recover(&mut self, mem: &mut M) -> Result<(), String> {
+        let _ = mem;
+        Err(format!(
+            "workload '{}' has no application-level recovery protocol",
+            self.name()
+        ))
+    }
 }
 
 /// Parameters of one workload instance.
