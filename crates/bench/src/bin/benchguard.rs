@@ -55,6 +55,25 @@ fn main() -> ExitCode {
         });
     }
     {
+        // The streaming-tree hot path: SuperMem flush with the integrity
+        // tree armed at frontier L1, so every counter write runs
+        // note_counter_write's pending-cache coalescing and the
+        // propagation/node-append machinery rides the queue. Guards the
+        // tree-update cost added to the per-flush path.
+        let mut cfg = Scheme::SuperMem.apply(Config::default());
+        cfg.integrity_tree = true;
+        cfg.persisted_levels = Some(1);
+        let mut mc = MemoryController::new(&cfg);
+        let mut t = 0u64;
+        let mut i = 0u64;
+        h.bench("flush_line/SuperMem-tree", || {
+            let line = LineAddr((i % 64) * 64);
+            i += 1;
+            t = mc.flush_line(black_box(line), [i as u8; 64], t);
+            t
+        });
+    }
+    {
         // The sharded front end, flushing round-robin across 4 channels
         // (line address strides whole pages, so the channel selector
         // exercises the interleave path on every call).

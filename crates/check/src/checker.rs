@@ -35,6 +35,10 @@ pub struct CheckerMode {
     /// Interleaved memory channels; the staging register, coalescer,
     /// and RSR are per-channel hardware, so their shadows shard too.
     pub channels: usize,
+    /// The streaming integrity tree is live (arms the T rules).
+    pub streaming_tree: bool,
+    /// Pages covered by the integrity tree (T2 scope).
+    pub integrity_pages: u64,
 }
 
 impl CheckerMode {
@@ -48,10 +52,14 @@ impl CheckerMode {
             line_bytes: cfg.line_bytes,
             page_bytes: cfg.page_bytes,
             channels: cfg.channels,
+            streaming_tree: cfg.streaming_tree(),
+            integrity_pages: cfg.integrity_pages,
         }
     }
 
-    /// A mode with every rule armed, for unit-testing the checker itself.
+    /// A mode with every base-catalog rule armed, for unit-testing the
+    /// checker itself. The T rules stay off (they require the streaming
+    /// tree's event vocabulary); tree tests arm them explicitly.
     pub fn strict() -> Self {
         CheckerMode {
             write_through: true,
@@ -60,6 +68,8 @@ impl CheckerMode {
             line_bytes: 64,
             page_bytes: 4096,
             channels: 1,
+            streaming_tree: false,
+            integrity_pages: 0,
         }
     }
 
@@ -253,6 +263,14 @@ pub struct Checker {
     coalesce_open: Vec<Option<(u64, Cycle)>>,
     /// Per-channel re-encryption status registers.
     rsr: Vec<Option<RsrTrack>>,
+    /// T1: leaf pages with an armed (not yet propagated) streaming-tree
+    /// update, keyed to the first arming cycle.
+    tree_armed: BTreeMap<u64, Cycle>,
+    /// T2: outstanding TreeArm credits per counter page (one per
+    /// counter write; the page's counter enqueue consumes one).
+    tree_credit: HashMap<u64, u64>,
+    /// T3: propagated leaves not yet matched by a root-register update.
+    root_due: u64,
 }
 
 impl Checker {
@@ -271,6 +289,9 @@ impl Checker {
             stage: vec![None; channels],
             coalesce_open: vec![None; channels],
             rsr: vec![None; channels],
+            tree_armed: BTreeMap::new(),
+            tree_credit: HashMap::new(),
+            root_due: 0,
         }
     }
 
@@ -362,6 +383,24 @@ impl Checker {
             self.pending_counter.entry(addr).or_default().push(seq);
         } else {
             self.pending_data.entry(addr).or_default().push(seq);
+        }
+
+        // T2: a counter write on a tree-covered page must have armed its
+        // leaf update first (the controller emits TreeArm before the
+        // counter enters the queue).
+        if counter && self.mode.streaming_tree && addr < self.mode.integrity_pages {
+            match self.tree_credit.get_mut(&addr) {
+                Some(c) if *c > 0 => *c -= 1,
+                _ => self.violate(
+                    Rule::T2,
+                    at,
+                    format!(
+                        "counter page {addr} enqueued without arming its integrity-tree \
+                         leaf update — a crash here leaves the persisted tree blind to \
+                         the new counter epoch"
+                    ),
+                ),
+            }
         }
 
         // P1 credit accounting (write-through counters only).
@@ -495,6 +534,60 @@ impl Checker {
                 ),
             );
             self.awaiting.clear();
+        }
+        // T1: every armed tree update must have propagated to its
+        // strictly-persisted ancestors before the fence retires.
+        if self.mode.streaming_tree && !self.tree_armed.is_empty() {
+            let pages: Vec<String> = self
+                .tree_armed
+                .keys()
+                .map(std::string::ToString::to_string)
+                .collect();
+            let first_at = *self.tree_armed.values().min().expect("non-empty");
+            self.violate(
+                Rule::T1,
+                at,
+                format!(
+                    "sfence on core {core} retired with integrity-tree update(s) for \
+                     leaf page(s) [{}] still armed in the pending cache (earliest armed \
+                     at cycle {first_at})",
+                    pages.join(", ")
+                ),
+            );
+            self.tree_armed.clear();
+        }
+    }
+
+    fn handle_tree_arm(&mut self, page: u64, at: Cycle) {
+        if !self.mode.streaming_tree {
+            return;
+        }
+        self.tree_armed.entry(page).or_insert(at);
+        *self.tree_credit.entry(page).or_insert(0) += 1;
+    }
+
+    fn handle_tree_propagate(&mut self, page: u64) {
+        if !self.mode.streaming_tree {
+            return;
+        }
+        self.tree_armed.remove(&page);
+        self.root_due += 1;
+    }
+
+    fn handle_root_update(&mut self, at: Cycle) {
+        if !self.mode.streaming_tree {
+            return;
+        }
+        if self.root_due == 0 {
+            self.violate(
+                Rule::T3,
+                at,
+                "root register updated with no freshly propagated leaf — a duplicated \
+                 or forged epoch"
+                    .to_string(),
+            );
+        } else {
+            self.root_due -= 1;
         }
     }
 
@@ -718,6 +811,32 @@ impl Checker {
                 );
             }
         }
+        if self.mode.streaming_tree {
+            if let Some((&page, &at)) = self.tree_armed.iter().next() {
+                let n = self.tree_armed.len();
+                self.violate(
+                    Rule::T1,
+                    at,
+                    format!(
+                        "run ended with {n} integrity-tree update(s) still armed \
+                         (first: leaf page {page}, armed at cycle {at})"
+                    ),
+                );
+                self.tree_armed.clear();
+            }
+            if self.root_due > 0 {
+                let n = self.root_due;
+                self.root_due = 0;
+                self.violate(
+                    Rule::T3,
+                    0,
+                    format!(
+                        "run ended with {n} propagated leaf update(s) never latched \
+                         into the root register"
+                    ),
+                );
+            }
+        }
     }
 
     /// Run [`Checker::finalize`] and drain the report.
@@ -790,6 +909,9 @@ impl Observer for Checker {
                 self.handle_reencrypt_done(page, lines, at);
             }
             Event::RsrRetired { page, at } => self.handle_rsr_retired(page, at),
+            Event::TreeArm { page, at } => self.handle_tree_arm(page, at),
+            Event::TreePropagate { page, .. } => self.handle_tree_propagate(page),
+            Event::TreeRootUpdate { at } => self.handle_root_update(at),
             _ => {}
         }
     }
@@ -1117,6 +1239,8 @@ mod tests {
             line_bytes: 64,
             page_bytes: 4096,
             channels: 1,
+            streaming_tree: false,
+            integrity_pages: 0,
         };
         let mut c = Checker::new(mode);
         c.on_event(&enq(false, 0x40, 1, 10));
@@ -1173,6 +1297,161 @@ mod tests {
             sfence(20),
         ] {
             c.on_event(&ev);
+        }
+        let report = c.take_report();
+        assert!(report.is_clean(), "unexpected: {report}");
+    }
+
+    fn tree_mode() -> CheckerMode {
+        let mut mode = CheckerMode::strict();
+        mode.streaming_tree = true;
+        mode.integrity_pages = 4096;
+        mode
+    }
+
+    fn run_tree(events: &[Event]) -> CheckReport {
+        let mut c = Checker::new(tree_mode());
+        for ev in events {
+            c.on_event(ev);
+        }
+        c.take_report()
+    }
+
+    fn arm(page: u64, at: Cycle) -> Event {
+        Event::TreeArm { page, at }
+    }
+
+    fn propagate(page: u64, at: Cycle) -> [Event; 2] {
+        [
+            Event::TreePropagate { page, at },
+            Event::TreeRootUpdate { at },
+        ]
+    }
+
+    #[test]
+    fn clean_streaming_tree_stream_passes() {
+        let [p0, r0] = propagate(0, 15);
+        let report = run_tree(&[
+            Event::RegisterStage {
+                line: 0x40,
+                page: 0,
+                at: 10,
+            },
+            arm(0, 10),
+            enq(true, 0, 1, 10),
+            enq(false, 0x40, 2, 10),
+            p0,
+            r0,
+            sfence(20),
+        ]);
+        assert!(report.is_clean(), "unexpected: {report}");
+    }
+
+    #[test]
+    fn t1_fires_when_armed_update_survives_the_fence() {
+        let report = run_tree(&[
+            Event::RegisterStage {
+                line: 0x40,
+                page: 0,
+                at: 10,
+            },
+            arm(0, 10),
+            enq(true, 0, 1, 10),
+            enq(false, 0x40, 2, 10),
+            // No propagation before the fence retires.
+            sfence(20),
+        ]);
+        assert_eq!(report.rules_fired(), vec![Rule::T1]);
+        assert!(report.violations[0].message.contains("[0]"));
+    }
+
+    #[test]
+    fn t2_fires_on_unarmed_counter_enqueue() {
+        let report = run_tree(&[
+            Event::RegisterStage {
+                line: 0x40,
+                page: 0,
+                at: 10,
+            },
+            // Counter enqueues with no TreeArm preceding it.
+            enq(true, 0, 1, 10),
+            enq(false, 0x40, 2, 10),
+        ]);
+        assert!(report.rules_fired().contains(&Rule::T2), "got {report}");
+    }
+
+    #[test]
+    fn t2_ignores_pages_outside_the_tree() {
+        let mut mode = tree_mode();
+        mode.integrity_pages = 4; // page 9 is uncovered
+        mode.write_through = false;
+        mode.atomic_pair = false;
+        let mut c = Checker::new(mode);
+        c.on_event(&enq(true, 9, 1, 10));
+        let report = c.take_report();
+        assert!(report.is_clean(), "unexpected: {report}");
+    }
+
+    #[test]
+    fn t3_fires_on_double_root_update() {
+        let [p0, r0] = propagate(0, 15);
+        let report = run_tree(&[
+            Event::RegisterStage {
+                line: 0x40,
+                page: 0,
+                at: 10,
+            },
+            arm(0, 10),
+            enq(true, 0, 1, 10),
+            enq(false, 0x40, 2, 10),
+            p0,
+            r0,
+            Event::TreeRootUpdate { at: 15 }, // the forged second update
+            sfence(20),
+        ]);
+        assert_eq!(report.rules_fired(), vec![Rule::T3]);
+    }
+
+    #[test]
+    fn t3_fires_when_a_propagation_never_reaches_the_root() {
+        let report = run_tree(&[
+            arm(0, 10),
+            Event::TreePropagate { page: 0, at: 15 },
+            // Missing TreeRootUpdate; caught at end of run.
+        ]);
+        assert!(report.rules_fired().contains(&Rule::T3), "got {report}");
+    }
+
+    #[test]
+    fn t1_fires_on_armed_update_at_end_of_run() {
+        let mut mode = tree_mode();
+        mode.write_through = false;
+        mode.atomic_pair = false;
+        let mut c = Checker::new(mode);
+        c.on_event(&arm(3, 10));
+        let report = c.take_report();
+        assert!(report.rules_fired().contains(&Rule::T1), "got {report}");
+    }
+
+    #[test]
+    fn coalesced_arms_balance_their_counter_enqueues() {
+        // Three counter writes to one page: three arms, three counter
+        // enqueues, one propagation (the cache coalesced them).
+        let mut evs = Vec::new();
+        for seq in 1..=3u64 {
+            evs.push(arm(0, 10 + seq));
+            evs.push(enq(true, 0, seq * 2, 10 + seq));
+            evs.push(enq(false, 0x40, seq * 2 + 1, 10 + seq));
+        }
+        let [p0, r0] = propagate(0, 18);
+        evs.push(p0);
+        evs.push(r0);
+        evs.push(sfence(20));
+        let mut mode = tree_mode();
+        mode.atomic_pair = false; // no RegisterStage events in this stream
+        let mut c = Checker::new(mode);
+        for ev in &evs {
+            c.on_event(ev);
         }
         let report = c.take_report();
         assert!(report.is_clean(), "unexpected: {report}");

@@ -40,11 +40,22 @@ pub enum Rule {
     /// In write-through mode, RSR retirement requires the new major
     /// counter to have been enqueued for persistence (§3.4.4).
     R6,
+    /// A leaf update armed in the streaming tree cache must reach every
+    /// strictly-persisted ancestor (propagate) before the epoch's fence
+    /// retires (DESIGN.md §18).
+    T1,
+    /// Every counter write on a tree-covered page arms a tree update:
+    /// none may drain without its leaf digest entering the pending
+    /// cache or propagating (DESIGN.md §18).
+    T2,
+    /// The trusted root register updates exactly once per propagated
+    /// leaf — a second update forges an epoch (DESIGN.md §18).
+    T3,
 }
 
 impl Rule {
     /// All rules, in catalog order.
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 13] = [
         Rule::P1,
         Rule::P2,
         Rule::P3,
@@ -55,6 +66,9 @@ impl Rule {
         Rule::R4,
         Rule::R5,
         Rule::R6,
+        Rule::T1,
+        Rule::T2,
+        Rule::T3,
     ];
 
     /// The catalog name of the rule.
@@ -70,6 +84,9 @@ impl Rule {
             Rule::R4 => "R4",
             Rule::R5 => "R5",
             Rule::R6 => "R6",
+            Rule::T1 => "T1",
+            Rule::T2 => "T2",
+            Rule::T3 => "T3",
         }
     }
 
@@ -86,6 +103,9 @@ impl Rule {
             Rule::R4 => "RSR retires only after completion with all done-bits",
             Rule::R5 => "no RSR left live at end of run",
             Rule::R6 => "write-through RSR retirement persists the new major counter",
+            Rule::T1 => "armed tree updates propagate before the epoch's fence retires",
+            Rule::T2 => "every tree-covered counter write arms a tree update",
+            Rule::T3 => "root register updates exactly once per propagated leaf",
         }
     }
 
@@ -97,6 +117,7 @@ impl Rule {
             Rule::P3 => "§3.4",
             Rule::P4 => "§2.2",
             Rule::R1 | Rule::R2 | Rule::R3 | Rule::R4 | Rule::R5 | Rule::R6 => "§3.4.4",
+            Rule::T1 | Rule::T2 | Rule::T3 => "§18 (DESIGN.md)",
         }
     }
 }
@@ -113,7 +134,7 @@ mod tests {
 
     #[test]
     fn catalog_is_complete_and_named() {
-        assert_eq!(Rule::ALL.len(), 10);
+        assert_eq!(Rule::ALL.len(), 13);
         for r in Rule::ALL {
             assert!(!r.summary().is_empty());
             assert!(r.paper_ref().starts_with('§'));

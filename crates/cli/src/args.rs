@@ -118,6 +118,15 @@ pub fn parse_run_flags(argv: &[String]) -> Result<Parsed, ArgError> {
                     return Err(ArgError("--read-pct must be 0..=100".into()));
                 }
             }
+            "--integrity-tree" => rc.integrity_tree = true,
+            "--persisted-levels" => {
+                let n: u32 = value(&mut it, "--persisted-levels")?
+                    .parse()
+                    .map_err(|_| ArgError("invalid --persisted-levels".into()))?;
+                // The frontier only means anything with the tree armed.
+                rc.integrity_tree = true;
+                rc.persisted_levels = Some(n);
+            }
             "--run-threads" => {
                 let n: usize = value(&mut it, "--run-threads")?
                     .parse()
@@ -196,6 +205,17 @@ mod tests {
         assert_eq!(p.rc.channels, 4);
         assert!(parse_run_flags(&strs(&["--channels", "3"])).is_err());
         assert!(parse_run_flags(&strs(&["--channels", "0"])).is_err());
+    }
+
+    #[test]
+    fn persisted_levels_flag_arms_the_tree() {
+        let p = parse_run_flags(&strs(&["--persisted-levels", "2"])).unwrap();
+        assert!(p.rc.integrity_tree);
+        assert_eq!(p.rc.persisted_levels, Some(2));
+        let p = parse_run_flags(&strs(&["--integrity-tree"])).unwrap();
+        assert!(p.rc.integrity_tree);
+        assert_eq!(p.rc.persisted_levels, None);
+        assert!(parse_run_flags(&strs(&["--persisted-levels", "x"])).is_err());
     }
 
     #[test]

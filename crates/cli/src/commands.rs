@@ -428,6 +428,9 @@ pub fn cmd_crash(argv: &[String]) -> Result<(), ArgError> {
 /// image checked against the shadow oracle. Exits non-zero (with a
 /// shrunk reproducer per case) if any injection corrupts silently.
 pub fn cmd_torture(argv: &[String]) -> Result<(), ArgError> {
+    if argv.iter().any(|a| a == "--tree") {
+        return cmd_tree_torture(argv);
+    }
     let mut cfg = TortureConfig::default();
     let mut it = argv.iter();
     let value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, ArgError> {
@@ -538,6 +541,159 @@ pub fn cmd_torture(argv: &[String]) -> Result<(), ArgError> {
         let mut min = r.case;
         min.point = torture::shrink_point(&r.case);
         eprintln!("  minimal repro: {}", min.repro());
+    }
+    Err(ArgError(format!(
+        "silent corruption in {} of {} injections",
+        silent.len(),
+        report.total()
+    )))
+}
+
+/// `supermem torture --tree [--persisted-levels L] [--fault F|tamper|none]
+/// [--point K] [--seed N] [--seeds COUNT] [--json]` — the integrity-tree
+/// campaign: media faults and ECC-clean tampering aimed at the persisted
+/// tree-node region of a streaming-tree SuperMem machine.
+fn cmd_tree_torture(argv: &[String]) -> Result<(), ArgError> {
+    use supermem::torture::{run_tree_torture, TreeFault, TreeTortureConfig};
+
+    let mut cfg = TreeTortureConfig::default();
+    let mut it = argv.iter();
+    let value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, ArgError> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| ArgError(format!("{flag} needs a value")))
+    };
+    while let Some(arg) = it.next() {
+        #[allow(clippy::match_same_arms)] // `--tree` routed us here; `--json` is read elsewhere
+        match arg.as_str() {
+            "--tree" => {}
+            "--persisted-levels" => {
+                let n: u32 = value(&mut it, "--persisted-levels")?
+                    .parse()
+                    .map_err(|_| ArgError("invalid --persisted-levels".into()))?;
+                if n == 0 {
+                    return Err(ArgError(
+                        "--persisted-levels must be at least 1 (level 0 persists \
+                         nothing and leaves no tree region to torture)"
+                            .into(),
+                    ));
+                }
+                cfg.levels = vec![n];
+            }
+            "--fault" => {
+                let f = value(&mut it, "--fault")?;
+                cfg.faults = if f.eq_ignore_ascii_case("none") {
+                    vec![TreeFault::None]
+                } else if f.eq_ignore_ascii_case("tamper") {
+                    vec![TreeFault::Tamper]
+                } else {
+                    vec![TreeFault::Media(FaultClass::parse(&f).ok_or_else(
+                        || {
+                            ArgError(format!(
+                                "unknown fault `{f}` (expected none, tamper, or one of: {})",
+                                FaultClass::ALL.map(FaultClass::name).join(" ")
+                            ))
+                        },
+                    )?)]
+                };
+            }
+            "--point" => {
+                cfg.point = Some(
+                    value(&mut it, "--point")?
+                        .parse()
+                        .map_err(|_| ArgError("invalid --point".into()))?,
+                );
+            }
+            "--seed" => {
+                cfg.seeds = vec![value(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| ArgError("invalid --seed".into()))?];
+            }
+            "--seeds" => {
+                let n: u64 = value(&mut it, "--seeds")?
+                    .parse()
+                    .map_err(|_| ArgError("invalid --seeds".into()))?;
+                if n == 0 {
+                    return Err(ArgError("--seeds must be at least 1".into()));
+                }
+                cfg.seeds = (1..=n).collect();
+            }
+            "--json" => {} // Report::emit picks this up from the process args.
+            other => return Err(ArgError(format!("unknown flag `{other}`"))),
+        }
+    }
+
+    let report = run_tree_torture(&cfg);
+
+    let mut t = TextTable::new(
+        [
+            "frontier",
+            "cases",
+            "recovered-old",
+            "recovered-new",
+            "detected",
+            "silent",
+            "verdict",
+        ]
+        .map(str::to_owned)
+        .to_vec(),
+    );
+    for &levels in &cfg.levels {
+        let rows: Vec<_> = report
+            .results
+            .iter()
+            .filter(|r| r.case.levels == levels)
+            .collect();
+        let tally = |c| {
+            rows.iter()
+                .filter(|r| r.classification == c)
+                .count()
+                .to_string()
+        };
+        let silent = rows
+            .iter()
+            .filter(|r| r.classification == torture::Classification::Silent)
+            .count();
+        t.row(vec![
+            format!("L{levels}"),
+            rows.len().to_string(),
+            tally(torture::Classification::RecoveredOld),
+            tally(torture::Classification::RecoveredNew),
+            tally(torture::Classification::Detected),
+            silent.to_string(),
+            if silent > 0 {
+                "SILENT CORRUPTION"
+            } else {
+                "fail-safe"
+            }
+            .to_owned(),
+        ]);
+    }
+    let mut rep = Report::new("tree-torture");
+    rep.section(
+        "Integrity-tree torture: crash point x tree fault x seed (SuperMem, streaming tree)",
+        t,
+    );
+    rep.footnote(&format!(
+        "{} injections across {} frontier(s), {} fault(s), {} seed(s)",
+        report.total(),
+        cfg.levels.len(),
+        cfg.faults.len(),
+        cfg.seeds.len()
+    ));
+    rep.footnote(
+        "(tamper = ECC-clean node-line forgery; only the recovery-time tree audit can catch it)",
+    );
+    rep.emit();
+
+    let silent = report.silent();
+    if silent.is_empty() {
+        return Ok(());
+    }
+    for r in &silent {
+        eprintln!();
+        eprintln!("silent corruption: {}", r.case.repro());
+        eprintln!("  {}", r.detail);
     }
     Err(ArgError(format!(
         "silent corruption in {} of {} injections",
@@ -944,6 +1100,12 @@ fn check_configs(txns: u64) -> Vec<CheckConfig> {
             "authenticated",
             vec![base(Scheme::SuperMem, WorkloadKind::Queue).with_integrity_tree(true)],
         ),
+        plain(
+            "treesweep",
+            vec![base(Scheme::SuperMem, WorkloadKind::Queue)
+                .with_integrity_tree(true)
+                .with_persisted_levels(Some(1))],
+        ),
     ]
 }
 
@@ -1021,7 +1183,7 @@ pub fn cmd_check(argv: &[String]) -> Result<(), ArgError> {
                 mutate = Some(Mutation::parse(m).ok_or_else(|| {
                     ArgError(format!(
                         "unknown mutation `{m}` (expected one of: wt-off pair-split \
-                         cwc-newest rsr-skip)"
+                         cwc-newest rsr-skip tree-skip tree-late tree-double-root)"
                     ))
                 })?);
             }

@@ -56,6 +56,12 @@ pub struct RunConfig {
     pub wear_psi: Option<u64>,
     /// Bonsai-Merkle-Tree authentication of the counter region.
     pub integrity_tree: bool,
+    /// Streaming-tree persistence frontier: tree levels strictly below
+    /// this persist through the write queue; levels at or above it are
+    /// volatile and rebuilt at recovery. `None` (or the tree height)
+    /// keeps the fully-lazy eager tree. Only meaningful with
+    /// `integrity_tree` on.
+    pub persisted_levels: Option<u32>,
     /// Ablation override: counter-line placement (None = scheme default).
     pub placement_override: Option<CounterPlacement>,
     /// Ablation override: CWC on/off (None = scheme default).
@@ -99,6 +105,7 @@ impl Default for RunConfig {
             ycsb_read_pct: 50,
             wear_psi: None,
             integrity_tree: false,
+            persisted_levels: None,
             placement_override: None,
             cwc_override: None,
             mutation: None,
@@ -196,6 +203,12 @@ impl RunConfig {
         self
     }
 
+    /// Sets the streaming-tree persistence frontier (None = eager tree).
+    pub fn with_persisted_levels(mut self, levels: Option<u32>) -> Self {
+        self.persisted_levels = levels;
+        self
+    }
+
     /// Overrides the counter-line placement (None = scheme default).
     pub fn with_placement_override(mut self, placement: Option<CounterPlacement>) -> Self {
         self.placement_override = placement;
@@ -263,6 +276,7 @@ impl RunConfig {
         }
         cfg.wear_psi = self.wear_psi;
         cfg.integrity_tree = self.integrity_tree;
+        cfg.persisted_levels = self.persisted_levels;
         cfg.mutation = self.mutation;
         cfg.run_threads = self.run_threads.max(1);
         cfg
@@ -505,6 +519,23 @@ mod tests {
             a, b,
             "replayed ciphertext must decrypt to the reference bytes"
         );
+    }
+
+    #[test]
+    fn streaming_tree_run_commits_and_streams_node_writes() {
+        let rc = quick(Scheme::SuperMem, WorkloadKind::Queue)
+            .with_integrity_tree(true)
+            .with_persisted_levels(Some(1));
+        assert!(rc.validate().is_ok());
+        let r = run_single(&rc);
+        assert_eq!(r.stats.txn_commits, 40);
+        assert!(
+            r.stats.nvm_tree_writes > 0,
+            "persisted-frontier node writes must reach the media"
+        );
+        assert!(r.stats.tree_propagations > 0);
+        // The knob reaches the machine config unchanged.
+        assert_eq!(rc.machine_config().persisted_levels, Some(1));
     }
 
     #[test]

@@ -399,6 +399,9 @@ impl PMem for System {
         core.now = core.now.max(core.pending_retire) + 1;
         core.pending_retire = 0;
         let at = core.now;
+        // Fence semantics for the lazy tree: armed leaf updates must
+        // propagate before the fence is visible as retired.
+        self.mc.fence_tree_flush(at);
         self.mc.probes_mut().emit_with(|| Event::SfenceRetire {
             core: core_idx,
             at,

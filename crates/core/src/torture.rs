@@ -312,7 +312,11 @@ fn run_txn(mem: &mut DirectMem) {
 /// faults).
 pub fn crash_points(scheme: Scheme, channels: usize) -> u64 {
     let cfg = scheme.apply(Config::default()).with_channels(channels);
-    let base = base_system(&cfg);
+    crash_points_for(&cfg)
+}
+
+fn crash_points_for(cfg: &Config) -> u64 {
+    let base = base_system(cfg);
     let mut dry = base.clone();
     let before = dry.controller().append_events();
     run_txn(&mut dry);
@@ -372,11 +376,22 @@ fn classify(
     cfg: &Config,
     machine: supermem_memctrl::MachineCrashImage,
 ) -> CaseResult {
-    let done = |classification, detail| CaseResult {
+    let (classification, detail) = classify_image(cfg, machine);
+    CaseResult {
         case: *tc,
         classification,
         detail,
-    };
+    }
+}
+
+/// Recovers `machine` and judges the result against the shadow oracle —
+/// the scheme-agnostic core shared by the main campaign and the
+/// integrity-tree campaign.
+fn classify_image(
+    cfg: &Config,
+    machine: supermem_memctrl::MachineCrashImage,
+) -> (Classification, String) {
+    let done = |classification, detail| (classification, detail);
 
     // Recover counters first (Osiris trial decryption where the scheme
     // relaxes counter persistence, integrity-checked rebuild otherwise),
@@ -516,6 +531,221 @@ pub fn run_torture(cfg: &TortureConfig) -> TortureReport {
     }
     let results = sweep(&cases, run_case);
     TortureReport { results }
+}
+
+// ---------------------------------------------------------------------
+// Integrity-tree torture: media faults and active tampering aimed at the
+// persisted tree-node region of a streaming-tree machine.
+// ---------------------------------------------------------------------
+
+/// What the integrity-tree campaign injects into a crash image whose
+/// machine ran with the streaming tree armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeFault {
+    /// Crash-only baseline: the streaming tree armed, nothing injected.
+    None,
+    /// A media fault. Power-event classes (torn drain, bank fail-stop)
+    /// strike *at* the crash — a fail-stopped bank takes its settled
+    /// tree-node lines with it. The others strike a seed-chosen
+    /// tree-node line on the settled image through the SECDED model.
+    Media(FaultClass),
+    /// An ECC-clean byte rewrite of one persisted node line — active
+    /// tampering that only the recovery-time tree audit can catch.
+    Tamper,
+}
+
+impl TreeFault {
+    /// Stable CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            TreeFault::None => "none",
+            TreeFault::Media(c) => c.name(),
+            TreeFault::Tamper => "tamper",
+        }
+    }
+}
+
+impl std::fmt::Display for TreeFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One fully determined integrity-tree torture case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeTortureCase {
+    /// Persistence frontier of the tortured machine (`1..=height`;
+    /// level 0 would persist nothing and leave no tree region to hit).
+    pub levels: u32,
+    /// What to inject.
+    pub fault: TreeFault,
+    /// Crash after this many write-queue appends (1-based).
+    pub point: u64,
+    /// Seed fixing every choice the injection makes.
+    pub seed: u64,
+}
+
+impl TreeTortureCase {
+    /// The CLI invocation reproducing exactly this case.
+    pub fn repro(&self) -> String {
+        format!(
+            "supermem torture --tree --persisted-levels {} --fault {} --point {} --seed {}",
+            self.levels,
+            self.fault.name(),
+            self.point,
+            self.seed
+        )
+    }
+}
+
+/// The outcome of one executed [`TreeTortureCase`].
+#[derive(Debug, Clone)]
+pub struct TreeCaseResult {
+    /// The case that ran.
+    pub case: TreeTortureCase,
+    /// How it was classified.
+    pub classification: Classification,
+    /// Human-readable evidence for the classification.
+    pub detail: String,
+}
+
+/// Everything an integrity-tree campaign produced.
+#[derive(Debug, Clone)]
+pub struct TreeTortureReport {
+    /// Every executed case, in sweep (input) order.
+    pub results: Vec<TreeCaseResult>,
+}
+
+impl TreeTortureReport {
+    /// Total number of injections executed.
+    pub fn total(&self) -> u64 {
+        self.results.len() as u64
+    }
+
+    /// The silent-corruption cases (a passing campaign has none).
+    pub fn silent(&self) -> Vec<&TreeCaseResult> {
+        self.results
+            .iter()
+            .filter(|r| r.classification == Classification::Silent)
+            .collect()
+    }
+
+    /// Count of cases with the given classification.
+    pub fn count(&self, c: Classification) -> u64 {
+        self.results
+            .iter()
+            .filter(|r| r.classification == c)
+            .count() as u64
+    }
+}
+
+/// Campaign shape for the integrity-tree torture.
+#[derive(Debug, Clone)]
+pub struct TreeTortureConfig {
+    /// Persistence frontiers to torture (each `1..=height`).
+    pub levels: Vec<u32>,
+    /// Faults to inject; [`TreeFault::None`] is the crash-only baseline.
+    pub faults: Vec<TreeFault>,
+    /// Injection seeds.
+    pub seeds: Vec<u64>,
+    /// Restrict the sweep to this single crash point, if set.
+    pub point: Option<u64>,
+}
+
+impl Default for TreeTortureConfig {
+    fn default() -> Self {
+        let mut faults = vec![TreeFault::None, TreeFault::Tamper];
+        faults.extend(FaultClass::ALL.into_iter().map(TreeFault::Media));
+        Self {
+            levels: vec![1, 2],
+            faults,
+            seeds: vec![1, 2],
+            point: None,
+        }
+    }
+}
+
+/// The machine configuration a tree torture case runs: the full SuperMem
+/// scheme with the streaming integrity tree persisted to `levels`.
+pub fn tree_torture_config(levels: u32) -> Config {
+    let cfg = Scheme::SuperMem
+        .apply(Config::default())
+        .with_integrity_tree(true)
+        .with_persisted_levels(Some(levels));
+    #[allow(clippy::disallowed_methods)]
+    cfg.validate().expect("tree torture config is valid");
+    cfg
+}
+
+/// Executes one integrity-tree torture case end to end.
+pub fn run_tree_case(tc: &TreeTortureCase) -> TreeCaseResult {
+    let cfg = tree_torture_config(tc.levels);
+    let base = base_system(&cfg);
+    let mut mem = base.clone();
+    mem.controller_mut().arm_crash_after_appends(tc.point);
+    if let TreeFault::Media(class) = tc.fault {
+        if class.is_power_event() {
+            mem.controller_mut().set_fault_plan(FaultSpec {
+                class,
+                seed: tc.seed,
+            });
+        }
+    }
+    run_txn(&mut mem);
+
+    let mut machine = if let Some(m) = mem.controller_mut().take_machine_crash_image() {
+        m
+    } else {
+        mem.shutdown();
+        mem.machine_crash_now()
+    };
+    match tc.fault {
+        TreeFault::Media(class) if !class.is_power_event() => {
+            machine.channels[0].store.strike_tree_fault(FaultSpec {
+                class,
+                seed: tc.seed,
+            });
+        }
+        TreeFault::Tamper => {
+            machine.channels[0].store.tamper_tree_line(tc.seed);
+        }
+        _ => {}
+    }
+
+    let (classification, detail) = classify_image(&cfg, machine);
+    TreeCaseResult {
+        case: *tc,
+        classification,
+        detail,
+    }
+}
+
+/// Runs the integrity-tree campaign: crash points are counted with a dry
+/// run per frontier, then every (fault, point, seed) combination fans
+/// out over the parallel sweep engine.
+pub fn run_tree_torture(cfg: &TreeTortureConfig) -> TreeTortureReport {
+    let mut cases: Vec<TreeTortureCase> = Vec::new();
+    for &levels in &cfg.levels {
+        let total = crash_points_for(&tree_torture_config(levels));
+        let points: Vec<u64> = match cfg.point {
+            Some(p) => vec![p.clamp(1, total)],
+            None => (1..=total).collect(),
+        };
+        for &fault in &cfg.faults {
+            for &point in &points {
+                for &seed in &cfg.seeds {
+                    cases.push(TreeTortureCase {
+                        levels,
+                        fault,
+                        point,
+                        seed,
+                    });
+                }
+            }
+        }
+    }
+    let results = sweep(&cases, run_tree_case);
+    TreeTortureReport { results }
 }
 
 #[cfg(test)]
@@ -741,6 +971,92 @@ mod tests {
         assert_eq!(
             run_case(&at_min).classification,
             run_case(&tc).classification
+        );
+    }
+
+    fn tree_single(levels: u32, fault: TreeFault, seeds: &[u64]) -> TreeTortureReport {
+        run_tree_torture(&TreeTortureConfig {
+            levels: vec![levels],
+            faults: vec![fault],
+            seeds: seeds.to_vec(),
+            point: None,
+        })
+    }
+
+    #[test]
+    fn tree_baseline_without_faults_always_recovers_an_oracle_state() {
+        // The streaming tree must not *cause* recovery failures: an
+        // un-faulted crash at any point recovers one oracle state.
+        for levels in [1, 2] {
+            let report = tree_single(levels, TreeFault::None, &[1, 2]);
+            for r in &report.results {
+                assert!(
+                    matches!(
+                        r.classification,
+                        Classification::RecoveredOld | Classification::RecoveredNew
+                    ),
+                    "{}: un-faulted streaming-tree case must recover cleanly, got {} ({})",
+                    r.case.repro(),
+                    r.classification,
+                    r.detail
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_node_double_flips_are_detected_not_silent() {
+        let report = tree_single(1, TreeFault::Media(FaultClass::DoubleFlip), &[1, 2]);
+        assert!(
+            report.silent().is_empty(),
+            "tree-node damage slipped through"
+        );
+        assert!(
+            report.count(Classification::Detected) > 0,
+            "an uncorrectable tree-node flip must surface as detected"
+        );
+    }
+
+    #[test]
+    fn tree_node_tampering_is_always_detected() {
+        // ECC-clean forgery of a node line: only the recovery audit can
+        // see it, and it must see it every time — the whole point of
+        // persisting the frontier.
+        for levels in [1, 2] {
+            let report = tree_single(levels, TreeFault::Tamper, &[1, 2, 3]);
+            for r in &report.results {
+                assert_eq!(
+                    r.classification,
+                    Classification::Detected,
+                    "{}: forged node line not detected ({})",
+                    r.case.repro(),
+                    r.detail
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tree_bank_failure_takes_node_lines_honestly() {
+        let report = tree_single(1, TreeFault::Media(FaultClass::BankFail), &[1, 2]);
+        assert!(
+            report.silent().is_empty(),
+            "lost tree lines must be detected"
+        );
+        assert!(report.count(Classification::Detected) > 0);
+    }
+
+    #[test]
+    fn tree_repro_line_round_trips_through_the_cli_spelling() {
+        let tc = TreeTortureCase {
+            levels: 2,
+            fault: TreeFault::Tamper,
+            point: 5,
+            seed: 9,
+        };
+        assert_eq!(
+            tc.repro(),
+            "supermem torture --tree --persisted-levels 2 --fault tamper --point 5 --seed 9"
         );
     }
 }

@@ -76,9 +76,17 @@ pub fn check_run_trace(rc: &RunConfig) -> Result<CheckReport, ConfigError> {
 }
 
 /// The machine configuration [`run_mutant`] drives: the full SuperMem
-/// scheme with an optional fault injection.
+/// scheme with an optional fault injection. Tree mutants additionally
+/// arm the streaming integrity tree — the subsystem they corrupt.
 pub fn mutant_config(mutation: Option<Mutation>) -> Config {
     let mut cfg = Scheme::SuperMem.apply(Config::default());
+    if matches!(
+        mutation,
+        Some(Mutation::TreeSkip | Mutation::TreeLate | Mutation::TreeDoubleRoot)
+    ) {
+        cfg.integrity_tree = true;
+        cfg.persisted_levels = Some(1);
+    }
     cfg.mutation = mutation;
     cfg
 }

@@ -1,15 +1,140 @@
-//! The Bonsai Merkle Tree.
+//! The Bonsai Merkle Tree, with streaming (lazily propagated) updates.
 //!
 //! An 8-ary hash tree whose leaves are keyed digests of counter lines
 //! (one per 4 KB data page). Inner nodes and leaves live in NVM — an
 //! attacker with bus access can rewrite them — but the root stays in an
 //! on-chip register. Any modification of a counter line, a leaf, or an
 //! inner node makes the recomputed root diverge from the trusted one.
+//!
+//! # Eager vs streaming updates
+//!
+//! The original engine recomputed the full root path on every counter
+//! write ([`Bmt::update`], still available and byte-identical). The
+//! streaming engine (Freij et al., "Streamlining Integrity Tree
+//! Updates") instead *arms* dirty leaves in a bounded pending-update
+//! cache ([`Bmt::enqueue_update`]): repeated writes to the same page
+//! coalesce in place, and the root path is recomputed only when the
+//! entry is propagated — on cache eviction, at a fence, or at
+//! shutdown ([`Bmt::propagate_pending`]).
+//!
+//! # The persistence frontier
+//!
+//! `persisted_levels = L` (Triad-NVM style) splits the tree at level
+//! `L`: digest arrays `0..L` are strictly persisted — every propagation
+//! reports the touched 64-byte node-group lines as [`TreeNodeWrite`]s
+//! that the memory controller pushes through its ADR write queue —
+//! while levels `L..=height` stay volatile and are recomputed at
+//! recovery ([`Bmt::recompute_from_level`]). At `L = 0` nothing but the
+//! counter lines themselves is persisted and recovery re-digests every
+//! leaf from them (Phoenix-style recoverable counter tree,
+//! [`Bmt::set_leaf`]).
+
+use std::collections::VecDeque;
+use std::fmt;
 
 use crate::digest::LineDigester;
 
 /// Tree fan-out (counter lines per first-level node).
 pub const ARITY: usize = 8;
+
+/// Capacity of the pending-update cache, in dirty leaves. Sixteen
+/// slots mirror a small on-controller SRAM: enough to coalesce bursty
+/// rewrites of hot pages, small enough that eviction traffic stays
+/// visible in the persisted-levels sweep.
+pub const PENDING_CACHE_SLOTS: usize = 16;
+
+/// A structurally invalid tree configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TreeConfigError {
+    /// The tree was asked to cover zero counter lines.
+    NoLeaves,
+    /// `persisted_levels` exceeds the tree height.
+    FrontierOutOfRange {
+        /// The requested persistence frontier.
+        levels: usize,
+        /// The tree's height (maximum legal frontier).
+        height: usize,
+    },
+}
+
+impl fmt::Display for TreeConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoLeaves => write!(f, "integrity tree needs at least one leaf"),
+            Self::FrontierOutOfRange { levels, height } => {
+                write!(f, "persisted_levels {levels} exceeds tree height {height}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeConfigError {}
+
+/// A 64-byte NVM line holding one group of eight sibling digests,
+/// produced by a propagation for every touched node group at a
+/// strictly-persisted level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeNodeWrite {
+    /// Digest-array level (0 = leaf digests).
+    pub level: u32,
+    /// Group index within the level (`node_index / 8`).
+    pub group: u64,
+    /// The eight digests, packed little-endian.
+    pub payload: [u8; 64],
+}
+
+impl TreeNodeWrite {
+    /// The line's address in the NVM tree region.
+    pub fn line_id(&self) -> u64 {
+        tree_line_id(self.level, self.group)
+    }
+}
+
+/// Packs a (level, group) coordinate into a single tree-region line id.
+pub fn tree_line_id(level: u32, group: u64) -> u64 {
+    (u64::from(level) << 32) | group
+}
+
+/// The level encoded in a tree-region line id.
+pub fn tree_line_level(id: u64) -> u32 {
+    (id >> 32) as u32
+}
+
+/// The group index encoded in a tree-region line id.
+pub fn tree_line_group(id: u64) -> u64 {
+    id & 0xFFFF_FFFF
+}
+
+/// The result of propagating pending leaf updates: which pages were
+/// folded into the tree, and which persisted node-group lines changed
+/// (deduplicated, in first-touch order).
+#[derive(Debug, Clone, Default)]
+pub struct Propagation {
+    /// Pages whose pending updates were applied, in cache (FIFO) order.
+    pub pages: Vec<u64>,
+    /// Node-group lines at strictly-persisted levels that must now be
+    /// pushed through the write queue.
+    pub node_writes: Vec<TreeNodeWrite>,
+}
+
+impl Propagation {
+    /// True when the propagation did nothing.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+/// The outcome of arming a leaf update in the pending cache.
+#[derive(Debug, Clone, Default)]
+pub struct EnqueueOutcome {
+    /// True when an already-pending entry for the page absorbed the
+    /// new value in place (no new slot consumed).
+    pub coalesced: bool,
+    /// When the cache was full, the oldest entry was evicted and
+    /// propagated to make room.
+    pub eviction: Option<Propagation>,
+}
 
 /// A Bonsai Merkle Tree over `pages` counter lines.
 ///
@@ -18,10 +143,11 @@ pub const ARITY: usize = 8;
 /// ```
 /// use supermem_integrity::Bmt;
 ///
-/// let mut bmt = Bmt::new([1u8; 16], 100);
+/// let mut bmt = Bmt::new([1u8; 16], 100)?;
 /// bmt.update(42, &[9u8; 64]);
 /// assert!(bmt.verify(42, &[9u8; 64]));
 /// assert!(!bmt.verify(42, &[8u8; 64]));
+/// # Ok::<(), supermem_integrity::TreeConfigError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct Bmt {
@@ -31,35 +157,77 @@ pub struct Bmt {
     levels: Vec<Vec<u64>>,
     /// The trusted on-chip root register.
     root: u64,
+    /// Digest arrays `0..frontier` are strictly persisted; levels
+    /// `frontier..=height` are volatile (rebuilt at recovery).
+    frontier: usize,
+    /// The pending-update cache: dirty leaves not yet folded into the
+    /// tree, oldest first. Bounded by [`PENDING_CACHE_SLOTS`].
+    pending: VecDeque<(u64, [u8; 64])>,
 }
 
 impl Bmt {
-    /// Builds the tree for `pages` fresh (all-zero) counter lines.
+    /// Builds the tree for `pages` fresh (all-zero) counter lines in
+    /// eager mode: the persistence frontier sits at the full height, and
+    /// callers fold updates with [`Bmt::update`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `pages` is zero.
-    pub fn new(key: [u8; 16], pages: u64) -> Self {
-        assert!(pages > 0, "tree needs at least one leaf");
+    /// [`TreeConfigError::NoLeaves`] if `pages` is zero.
+    pub fn new(key: [u8; 16], pages: u64) -> Result<Self, TreeConfigError> {
+        if pages == 0 {
+            return Err(TreeConfigError::NoLeaves);
+        }
         let digester = LineDigester::new(key);
         let zero = [0u8; 64];
         let leaves: Vec<u64> = (0..pages).map(|p| digester.line(p, &zero)).collect();
         let mut levels = vec![leaves];
-        while levels.last().expect("non-empty").len() > 1 {
-            let below = levels.last().expect("non-empty");
-            let next: Vec<u64> = below
-                .chunks(ARITY)
-                .enumerate()
-                .map(|(i, children)| digester.node(i as u64, children))
-                .collect();
+        loop {
+            let next: Vec<u64> = {
+                let below = &levels[levels.len() - 1];
+                if below.len() <= 1 {
+                    break;
+                }
+                below
+                    .chunks(ARITY)
+                    .enumerate()
+                    .map(|(i, children)| digester.node(i as u64, children))
+                    .collect()
+            };
             levels.push(next);
         }
-        let root = levels.last().expect("non-empty")[0];
-        Self {
+        let root = levels[levels.len() - 1][0];
+        let frontier = levels.len() - 1;
+        Ok(Self {
             digester,
             levels,
             root,
+            frontier,
+            pending: VecDeque::new(),
+        })
+    }
+
+    /// Builds the tree with an explicit persistence frontier
+    /// (`persisted_levels`, Triad-NVM style) for the streaming engine.
+    ///
+    /// # Errors
+    ///
+    /// [`TreeConfigError::NoLeaves`] if `pages` is zero;
+    /// [`TreeConfigError::FrontierOutOfRange`] if `persisted_levels`
+    /// exceeds the tree height.
+    pub fn with_frontier(
+        key: [u8; 16],
+        pages: u64,
+        persisted_levels: usize,
+    ) -> Result<Self, TreeConfigError> {
+        let mut bmt = Self::new(key, pages)?;
+        if persisted_levels > bmt.height() {
+            return Err(TreeConfigError::FrontierOutOfRange {
+                levels: persisted_levels,
+                height: bmt.height(),
+            });
         }
+        bmt.frontier = persisted_levels;
+        Ok(bmt)
     }
 
     /// Number of protected counter lines.
@@ -72,14 +240,30 @@ impl Bmt {
         self.levels.len() - 1
     }
 
+    /// The persistence frontier: digest arrays `0..frontier()` are
+    /// strictly persisted through the write queue.
+    pub fn frontier(&self) -> usize {
+        self.frontier
+    }
+
     /// The trusted root register.
     pub fn root(&self) -> u64 {
         self.root
     }
 
+    /// Number of digest entries at `level`.
+    pub fn level_len(&self, level: usize) -> usize {
+        self.levels[level].len()
+    }
+
+    /// Number of 64-byte node-group lines at `level`.
+    pub fn level_groups(&self, level: usize) -> u64 {
+        (self.levels[level].len() as u64).div_ceil(ARITY as u64)
+    }
+
     /// Records a new value for page `page`'s counter line, updating the
-    /// path to the root (what the memory controller does on a counter
-    /// write).
+    /// path to the root (the eager fold the memory controller performs
+    /// on a counter write when streaming is off).
     ///
     /// # Panics
     ///
@@ -100,11 +284,207 @@ impl Bmt {
         self.root = self.levels[self.height()][0];
     }
 
+    /// Arms a leaf update in the pending cache (the streaming fold). A
+    /// pending entry for the same page absorbs the new value in place;
+    /// when the cache is full the oldest entry is evicted and
+    /// propagated, and its node writes are returned for the caller to
+    /// push through the write queue.
+    pub fn enqueue_update(&mut self, page: u64, counter_line: &[u8; 64]) -> EnqueueOutcome {
+        if let Some(slot) = self.pending.iter_mut().find(|(p, _)| *p == page) {
+            slot.1 = *counter_line;
+            return EnqueueOutcome {
+                coalesced: true,
+                eviction: None,
+            };
+        }
+        let eviction = if self.pending.len() >= PENDING_CACHE_SLOTS {
+            Some(self.propagate_batch(1))
+        } else {
+            None
+        };
+        self.pending.push_back((page, *counter_line));
+        EnqueueOutcome {
+            coalesced: false,
+            eviction,
+        }
+    }
+
+    /// Pending (armed, not yet propagated) leaf updates.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Pages currently armed in the pending cache, oldest first.
+    pub fn pending_pages(&self) -> impl Iterator<Item = u64> + '_ {
+        self.pending.iter().map(|&(p, _)| p)
+    }
+
+    /// Propagates every pending leaf update (fence / shutdown / crash
+    /// flush), returning the pages folded and the persisted node-group
+    /// lines touched.
+    pub fn propagate_pending(&mut self) -> Propagation {
+        self.propagate_batch(self.pending.len())
+    }
+
+    /// Propagates only `page`'s pending update, if one is armed — the
+    /// memory controller does this before verifying a counter fetched
+    /// from NVM, so verification always sees the leaf's newest value.
+    pub fn propagate_page(&mut self, page: u64) -> Option<Propagation> {
+        let pos = self.pending.iter().position(|&(p, _)| p == page)?;
+        let (page, line) = self.pending.remove(pos)?;
+        let mut pages = Vec::new();
+        let mut touched = Vec::new();
+        self.propagate_entry(page, &line, &mut pages, &mut touched);
+        Some(self.finish_propagation(pages, touched))
+    }
+
+    /// Pops and propagates the oldest `take` pending entries.
+    fn propagate_batch(&mut self, take: usize) -> Propagation {
+        let mut pages = Vec::new();
+        let mut touched: Vec<(usize, u64)> = Vec::new();
+        for _ in 0..take {
+            let Some((page, line)) = self.pending.pop_front() else {
+                break;
+            };
+            self.propagate_entry(page, &line, &mut pages, &mut touched);
+        }
+        self.finish_propagation(pages, touched)
+    }
+
+    /// Folds one leaf into the tree and records the persisted node
+    /// groups its path touched.
+    fn propagate_entry(
+        &mut self,
+        page: u64,
+        line: &[u8; 64],
+        pages: &mut Vec<u64>,
+        touched: &mut Vec<(usize, u64)>,
+    ) {
+        self.update(page, line);
+        pages.push(page);
+        let mut idx = page as usize;
+        for level in 0..self.frontier {
+            let group = (idx / ARITY) as u64;
+            if !touched.contains(&(level, group)) {
+                touched.push((level, group));
+            }
+            idx /= ARITY;
+        }
+    }
+
+    /// Payloads are read once, after every update in the batch has been
+    /// applied, so a group touched by several leaves is written once
+    /// with its final contents.
+    fn finish_propagation(&self, pages: Vec<u64>, touched: Vec<(usize, u64)>) -> Propagation {
+        let node_writes = touched
+            .into_iter()
+            .map(|(level, group)| TreeNodeWrite {
+                level: level as u32,
+                group,
+                payload: self.line_payload(level, group),
+            })
+            .collect();
+        Propagation { pages, node_writes }
+    }
+
+    /// The 64-byte node-group line at (`level`, `group`): eight sibling
+    /// digests packed little-endian, zero-padded past the level's end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn line_payload(&self, level: usize, group: u64) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        let start = group as usize * ARITY;
+        for i in 0..ARITY {
+            let digest = self.levels[level].get(start + i).copied().unwrap_or(0);
+            out[i * 8..(i + 1) * 8].copy_from_slice(&digest.to_le_bytes());
+        }
+        out
+    }
+
+    /// Installs a persisted node-group line read back from NVM at
+    /// recovery. Entries past the level's end are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn install_node_line(&mut self, level: usize, group: u64, payload: &[u8; 64]) {
+        let start = group as usize * ARITY;
+        for i in 0..ARITY {
+            let idx = start + i;
+            if idx >= self.levels[level].len() {
+                break;
+            }
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&payload[i * 8..(i + 1) * 8]);
+            self.levels[level][idx] = u64::from_le_bytes(bytes);
+        }
+    }
+
+    /// Sets page `page`'s leaf digest from its counter line *without*
+    /// propagating the path — recovery's Phoenix-style leaf
+    /// reconstruction at `persisted_levels = 0`, followed by
+    /// [`Bmt::recompute_from_level`]`(1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn set_leaf(&mut self, page: u64, counter_line: &[u8; 64]) {
+        self.levels[0][page as usize] = self.digester.line(page, counter_line);
+    }
+
+    /// Recomputes the volatile digest arrays `level..=height` bottom-up
+    /// from the array below, refreshing the root. Returns the number of
+    /// node hashes performed (recovery-time accounting). `level = 0` is
+    /// clamped to 1 — leaves are rebuilt with [`Bmt::set_leaf`], not
+    /// from a level below.
+    pub fn recompute_from_level(&mut self, level: usize) -> u64 {
+        let mut hashes = 0u64;
+        for l in level.max(1)..=self.height() {
+            let next: Vec<u64> = self.levels[l - 1]
+                .chunks(ARITY)
+                .enumerate()
+                .map(|(i, children)| self.digester.node(i as u64, children))
+                .collect();
+            hashes += next.len() as u64;
+            self.levels[l] = next;
+        }
+        self.root = self.levels[self.height()][0];
+        hashes
+    }
+
+    /// Recovery's per-level audit of the persisted region: rehashes the
+    /// stored digests below `level` and compares the results against the
+    /// stored digests *at* `level`. Returns the number of node hashes
+    /// performed and whether every group matched. Without this, tampering
+    /// inside a persisted level below the frontier's top would never
+    /// influence the recomputed root (which only reads the topmost
+    /// persisted array) and would go unnoticed until demand verification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is 0 (leaves have no level below) or out of
+    /// range.
+    pub fn audit_level(&self, level: usize) -> (u64, bool) {
+        assert!(level >= 1, "leaves are audited against counter lines");
+        let mut hashes = 0u64;
+        let mut clean = true;
+        for (i, children) in self.levels[level - 1].chunks(ARITY).enumerate() {
+            hashes += 1;
+            if self.digester.node(i as u64, children) != self.levels[level][i] {
+                clean = false;
+            }
+        }
+        (hashes, clean)
+    }
+
     /// Verifies page `page`'s counter line against the trusted root,
     /// recomputing the path and using stored *siblings* — which are
     /// themselves untrusted, so any tampering along the way surfaces as
     /// a root mismatch (what the memory controller does on a counter
-    /// fetch from NVM).
+    /// fetch from NVM). A pending streaming update for the page must be
+    /// propagated first ([`Bmt::propagate_page`]).
     ///
     /// # Panics
     ///
@@ -136,11 +516,42 @@ impl Bmt {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // unwrap/expect are fine in tests
 mod tests {
     use super::*;
 
     fn bmt(pages: u64) -> Bmt {
-        Bmt::new([0xA5; 16], pages)
+        Bmt::new([0xA5; 16], pages).expect("valid page count")
+    }
+
+    #[test]
+    fn zero_pages_is_a_typed_error() {
+        assert!(matches!(
+            Bmt::new([0; 16], 0).map(|b| b.root()),
+            Err(TreeConfigError::NoLeaves)
+        ));
+        assert!(matches!(
+            Bmt::with_frontier([0; 16], 0, 0).map(|b| b.root()),
+            Err(TreeConfigError::NoLeaves)
+        ));
+    }
+
+    #[test]
+    fn frontier_past_height_is_a_typed_error() {
+        // 64 pages -> height 2; frontier 3 is out of range.
+        assert!(matches!(
+            Bmt::with_frontier([0; 16], 64, 3).map(|b| b.root()),
+            Err(TreeConfigError::FrontierOutOfRange {
+                levels: 3,
+                height: 2
+            })
+        ));
+        assert_eq!(
+            Bmt::with_frontier([0; 16], 64, 2)
+                .expect("frontier == height is legal")
+                .frontier(),
+            2
+        );
     }
 
     #[test]
@@ -233,13 +644,99 @@ mod tests {
         assert_ne!(r0, r1);
         assert_ne!(r1, r2);
     }
+
+    #[test]
+    fn line_id_round_trips() {
+        let id = tree_line_id(3, 0x1234_5678);
+        assert_eq!(tree_line_level(id), 3);
+        assert_eq!(tree_line_group(id), 0x1234_5678);
+    }
+
+    #[test]
+    fn streaming_coalesces_same_page_in_place() {
+        let mut b = Bmt::with_frontier([1; 16], 64, 1).expect("valid");
+        assert!(!b.enqueue_update(5, &[1; 64]).coalesced);
+        let again = b.enqueue_update(5, &[2; 64]);
+        assert!(again.coalesced);
+        assert!(again.eviction.is_none());
+        assert_eq!(b.pending_len(), 1);
+        // The coalesced (newest) value is what propagation folds in.
+        let prop = b.propagate_pending();
+        assert_eq!(prop.pages, vec![5]);
+        assert!(b.verify(5, &[2; 64]));
+        assert!(!b.verify(5, &[1; 64]));
+    }
+
+    #[test]
+    fn full_cache_evicts_and_propagates_the_oldest() {
+        let mut b = Bmt::with_frontier([1; 16], 4096, 2).expect("valid");
+        for page in 0..PENDING_CACHE_SLOTS as u64 {
+            assert!(b.enqueue_update(page, &[page as u8; 64]).eviction.is_none());
+        }
+        assert_eq!(b.pending_len(), PENDING_CACHE_SLOTS);
+        let out = b.enqueue_update(1000, &[7; 64]);
+        let evicted = out.eviction.expect("cache was full");
+        assert_eq!(evicted.pages, vec![0], "oldest entry propagates");
+        assert_eq!(b.pending_len(), PENDING_CACHE_SLOTS);
+        // Page 0's path touches one group per persisted level.
+        assert_eq!(evicted.node_writes.len(), 2);
+        assert!(b.verify(0, &[0; 64]));
+    }
+
+    #[test]
+    fn propagation_dedupes_node_groups_across_leaves() {
+        // Pages 0..8 share the level-0 group 0 and the level-1 group 0:
+        // one flush of all eight must write each group line once.
+        let mut b = Bmt::with_frontier([1; 16], 4096, 2).expect("valid");
+        for page in 0..8u64 {
+            b.enqueue_update(page, &[page as u8 + 1; 64]);
+        }
+        let prop = b.propagate_pending();
+        assert_eq!(prop.pages.len(), 8);
+        assert_eq!(prop.node_writes.len(), 2, "level 0 + level 1, deduped");
+        for page in 0..8u64 {
+            assert!(b.verify(page, &[page as u8 + 1; 64]));
+        }
+    }
+
+    #[test]
+    fn propagate_page_targets_one_entry() {
+        let mut b = Bmt::with_frontier([1; 16], 4096, 1).expect("valid");
+        b.enqueue_update(9, &[9; 64]);
+        b.enqueue_update(700, &[7; 64]);
+        let prop = b.propagate_page(700).expect("armed");
+        assert_eq!(prop.pages, vec![700]);
+        assert_eq!(b.pending_len(), 1);
+        assert!(b.propagate_page(700).is_none(), "no longer pending");
+        assert!(b.verify(700, &[7; 64]));
+    }
+
+    #[test]
+    fn node_line_round_trips_through_payload_and_install() {
+        let mut b = Bmt::with_frontier([3; 16], 100, 1).expect("valid");
+        for page in 90..100u64 {
+            b.enqueue_update(page, &[page as u8; 64]);
+        }
+        let prop = b.propagate_pending();
+        // Install every persisted line into a fresh tree and recompute
+        // the volatile levels: the roots must agree.
+        let mut fresh = Bmt::with_frontier([3; 16], 100, 1).expect("valid");
+        for w in &prop.node_writes {
+            assert_eq!(w.level, 0, "frontier 1 persists only leaf lines");
+            fresh.install_node_line(w.level as usize, w.group, &w.payload);
+        }
+        fresh.recompute_from_level(1);
+        assert_eq!(fresh.root(), b.root());
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_methods)] // unwrap/expect are fine in tests
 mod randomized {
     //! Deterministic randomized tests (seeded SplitMix64 stands in for
     //! proptest, which is unavailable in offline builds).
     use super::*;
+    use std::collections::HashMap;
     use supermem_sim::SplitMix64;
 
     /// After any update sequence, the latest value of every touched
@@ -248,7 +745,7 @@ mod randomized {
     fn updates_verify_and_forgeries_fail() {
         let mut rng = SplitMix64::new(0xB317);
         for _ in 0..24 {
-            let mut b = Bmt::new([1; 16], 200);
+            let mut b = Bmt::new([1; 16], 200).expect("valid");
             let mut latest = std::collections::HashMap::new();
             for _ in 0..rng.next_range(1, 60) {
                 let page = rng.next_below(200);
@@ -276,7 +773,7 @@ mod randomized {
             let level = rng.next_below(2) as usize;
             let offset = rng.next_range(1, 8) as usize; // never the page's own node
             let xor = rng.next_range(1, u64::MAX);
-            let mut b = Bmt::new([2; 16], 64);
+            let mut b = Bmt::new([2; 16], 64).expect("valid");
             b.update(page, &[0xCC; 64]);
             let own = if level == 0 {
                 page as usize
@@ -299,7 +796,7 @@ mod randomized {
             let page = rng.next_below(64);
             let level = rng.next_below(2) as usize;
             let xor = rng.next_range(1, u64::MAX);
-            let mut b = Bmt::new([2; 16], 64);
+            let mut b = Bmt::new([2; 16], 64).expect("valid");
             b.update(page, &[0xCC; 64]);
             let own = if level == 0 {
                 page as usize
@@ -308,6 +805,102 @@ mod randomized {
             };
             b.tamper_node(level, own, xor);
             assert!(b.verify(page, &[0xCC; 64]));
+        }
+    }
+
+    /// The streaming engine against the brute-force eager oracle: the
+    /// same update sequence fed through [`Bmt::enqueue_update`] (with
+    /// random interleaved partial flushes) and through [`Bmt::update`]
+    /// must converge to the same root once all pending entries are
+    /// propagated — over non-power-of-8 leaf counts and heavy
+    /// duplicate-page coalescing.
+    #[test]
+    fn streaming_matches_eager_oracle() {
+        let mut rng = SplitMix64::new(0x57EE);
+        for pages in [7u64, 9, 64, 65, 100, 512, 1000] {
+            let height = Bmt::new([9; 16], pages).expect("valid").height();
+            for _ in 0..8 {
+                let frontier = (rng.next_below(4) as usize).min(height);
+                let mut streaming = Bmt::with_frontier([9; 16], pages, frontier).expect("valid");
+                let mut eager = Bmt::new([9; 16], pages).expect("valid");
+                for _ in 0..rng.next_range(1, 120) {
+                    let page = rng.next_below(pages.max(4)) % pages;
+                    let fill = rng.next_u64() as u8;
+                    streaming.enqueue_update(page, &[fill; 64]);
+                    eager.update(page, &[fill; 64]);
+                    if rng.next_below(10) == 0 {
+                        streaming.propagate_pending();
+                    }
+                }
+                streaming.propagate_pending();
+                assert_eq!(streaming.root(), eager.root(), "{pages} pages");
+                assert_eq!(streaming.pending_len(), 0);
+            }
+        }
+    }
+
+    /// Crash recovery at every persisted-levels setting: persist the
+    /// node lines a streaming run reports (newest write wins, as NVM
+    /// would hold them), rebuild a fresh tree from the persisted
+    /// frontier plus the counter lines, and the recomputed root must
+    /// equal the live root — and every page's latest counter line must
+    /// verify against it.
+    #[test]
+    fn recovery_from_the_frontier_matches_at_every_setting() {
+        let mut rng = SplitMix64::new(0xF30A);
+        for pages in [9u64, 100, 520] {
+            let probe = Bmt::new([4; 16], pages).expect("valid");
+            for frontier in 0..=probe.height() {
+                let mut live = Bmt::with_frontier([4; 16], pages, frontier).expect("valid");
+                let mut nvm_tree: HashMap<u64, [u8; 64]> = HashMap::new();
+                let mut counters: HashMap<u64, [u8; 64]> = HashMap::new();
+                let persist = |prop: &Propagation, nvm: &mut HashMap<u64, [u8; 64]>| {
+                    for w in &prop.node_writes {
+                        nvm.insert(w.line_id(), w.payload);
+                    }
+                };
+                for _ in 0..rng.next_range(1, 80) {
+                    let page = rng.next_below(pages);
+                    let line = [rng.next_u64() as u8; 64];
+                    counters.insert(page, line);
+                    let out = live.enqueue_update(page, &line);
+                    if let Some(ev) = &out.eviction {
+                        persist(ev, &mut nvm_tree);
+                    }
+                    if rng.next_below(12) == 0 {
+                        let prop = live.propagate_pending();
+                        persist(&prop, &mut nvm_tree);
+                    }
+                }
+                // Crash: the ADR domain flushes the pending cache.
+                let flush = live.propagate_pending();
+                persist(&flush, &mut nvm_tree);
+
+                // Recover: fresh tree, persisted lines for levels
+                // 0..frontier, Phoenix leaves when the frontier is 0,
+                // volatile levels recomputed bottom-up.
+                let mut rec = Bmt::with_frontier([4; 16], pages, frontier).expect("valid");
+                if frontier == 0 {
+                    for (&page, line) in &counters {
+                        rec.set_leaf(page, line);
+                    }
+                } else {
+                    for (&id, payload) in &nvm_tree {
+                        let level = tree_line_level(id) as usize;
+                        assert!(level < frontier, "only persisted levels hit NVM");
+                        rec.install_node_line(level, tree_line_group(id), payload);
+                    }
+                }
+                rec.recompute_from_level(frontier);
+                assert_eq!(
+                    rec.root(),
+                    live.root(),
+                    "{pages} pages, frontier {frontier}"
+                );
+                for (&page, line) in &counters {
+                    assert!(rec.verify(page, line));
+                }
+            }
         }
     }
 }

@@ -409,6 +409,18 @@ impl ChannelSet {
         self.with_channel(ch, |mc| mc.writeback_page_counters(page, at))
     }
 
+    /// Propagates every channel's armed streaming-tree updates into its
+    /// write queue (the persistence fence of the lazy tree). A no-op in
+    /// eager mode, so fences cost nothing there.
+    pub fn fence_tree_flush(&mut self, at: Cycle) {
+        if !self.channels[0].config().streaming_tree() {
+            return;
+        }
+        for ch in 0..self.channels.len() {
+            self.with_channel(ch, |mc| mc.fence_tree_flush(at));
+        }
+    }
+
     /// Clean shutdown of every channel. Returns the cycle the last write
     /// of the machine began service.
     pub fn finish(&mut self, from: Cycle) -> Cycle {

@@ -170,6 +170,23 @@ impl MemoryController {
         let mut wq = WriteQueue::new(cfg.write_queue_entries, cfg.cwc);
         wq.set_bank_base(bank_base);
         wq.set_fast_forward(cfg.fast_forward);
+        let bmt = cfg.integrity_tree.then(|| {
+            let built = match cfg.persisted_levels {
+                // Streaming mode: only levels below the frontier persist
+                // through the write queue; the rest stay volatile.
+                Some(levels) if cfg.streaming_tree() => {
+                    Bmt::with_frontier(cfg.encryption_key(), cfg.integrity_pages, levels as usize)
+                }
+                // Eager/legacy mode (also `persisted_levels = height`).
+                _ => Bmt::new(cfg.encryption_key(), cfg.integrity_pages),
+            };
+            match built {
+                Ok(b) => b,
+                // Unreachable in practice: Config::validate rejects the
+                // zero-page and out-of-range-frontier shapes first.
+                Err(e) => panic!("invalid configuration: {e}"),
+            }
+        });
         Self {
             map,
             banks: (0..cfg.banks)
@@ -184,9 +201,7 @@ impl MemoryController {
             armed_crash: None,
             crash_image: None,
             append_events: 0,
-            bmt: cfg
-                .integrity_tree
-                .then(|| Bmt::new(cfg.encryption_key(), cfg.integrity_pages)),
+            bmt,
             probes: Probes::default(),
             fault_spec: None,
             bank_base,
@@ -256,6 +271,12 @@ impl MemoryController {
     /// does not clone the queue into a `Vec`.
     pub fn wq_pending(&self) -> impl Iterator<Item = (crate::wqueue::WqTarget, u64)> + '_ {
         self.wq.pending()
+    }
+
+    /// Number of leaf updates armed in the streaming tree's pending
+    /// cache (0 in eager mode or without an integrity tree).
+    pub fn tree_pending_len(&self) -> usize {
+        self.bmt.as_ref().map_or(0, Bmt::pending_len)
     }
 
     /// This controller's channel index (0 for a single-channel machine).
@@ -886,5 +907,100 @@ mod tests {
         let retire = mc.flush_line(line, [0x77; 64], t);
         mc.finish(retire);
         assert!(mc.stats().dropped_writes > dropped_before);
+    }
+
+    fn streaming_cfg(levels: u32) -> Config {
+        let c = cfg()
+            .with_integrity_tree(true)
+            .with_persisted_levels(Some(levels));
+        // Justified panic: a malformed test config is a test bug.
+        #[allow(clippy::disallowed_methods)]
+        c.validate().expect("streaming test config valid");
+        c
+    }
+
+    #[test]
+    fn streaming_run_arms_updates_and_persists_tree_nodes() {
+        let mut mc = MemoryController::new(&streaming_cfg(2));
+        let mut t = 0;
+        for i in 0..8u64 {
+            t = mc.flush_line(LineAddr(i * 4096), [i as u8; 64], t);
+        }
+        assert!(mc.stats().tree_updates_enqueued > 0);
+        assert!(
+            mc.tree_pending_len() > 0,
+            "updates stay armed until a fence"
+        );
+        mc.fence_tree_flush(t);
+        assert_eq!(mc.tree_pending_len(), 0, "fence drains the pending cache");
+        assert!(mc.stats().tree_propagations >= 8);
+        mc.finish(t);
+        assert!(mc.stats().nvm_tree_writes > 0, "node lines reach the media");
+        assert!(!mc.store().tree_lines().is_empty());
+    }
+
+    #[test]
+    fn streaming_cache_pressure_evicts_oldest_leaf() {
+        // More distinct pages than pending-cache slots: the oldest armed
+        // leaves must propagate on their own, without any fence.
+        let mut mc = MemoryController::new(&streaming_cfg(1));
+        let mut t = 0;
+        for i in 0..24u64 {
+            t = mc.flush_line(LineAddr(i * 4096), [i as u8; 64], t);
+        }
+        assert!(mc.stats().tree_evictions > 0);
+        assert!(mc.stats().tree_propagations > 0);
+        let _ = t;
+    }
+
+    #[test]
+    fn repeated_writes_to_one_page_coalesce_in_tree_cache() {
+        let mut mc = MemoryController::new(&streaming_cfg(2));
+        let mut t = 0;
+        for i in 0..8u64 {
+            t = mc.flush_line(LineAddr(i * 64), [i as u8; 64], t);
+        }
+        assert!(mc.stats().tree_updates_coalesced >= 7);
+        assert_eq!(mc.tree_pending_len(), 1);
+        let _ = t;
+    }
+
+    #[test]
+    fn streaming_crash_root_matches_eager_root() {
+        // The ADR battery flushes the pending cache at power loss, so a
+        // streaming crash image must agree with the eager tree about the
+        // root over the same write sequence.
+        let eager_cfg = cfg().with_integrity_tree(true);
+        let mut eager = MemoryController::new(&eager_cfg);
+        let mut lazy = MemoryController::new(&streaming_cfg(2));
+        let (mut te, mut tl) = (0, 0);
+        for i in 0..12u64 {
+            let line = LineAddr((i % 5) * 4096 + (i * 64) % 4096);
+            te = eager.flush_line(line, [i as u8; 64], te);
+            tl = lazy.flush_line(line, [i as u8; 64], tl);
+        }
+        let img_e = eager.crash_now();
+        let img_l = lazy.crash_now();
+        assert!(img_e.bmt_root.is_some());
+        assert_eq!(img_e.bmt_root, img_l.bmt_root);
+        // And the flushed node lines land in the image's tree region.
+        assert!(!img_l.store.tree_lines().is_empty());
+    }
+
+    #[test]
+    fn eager_mode_never_touches_the_tree_queue_path() {
+        // The safety rail: with persisted_levels unset the streaming
+        // machinery is dormant — no tree WQ traffic, no armed updates.
+        let mut mc = MemoryController::new(&cfg().with_integrity_tree(true));
+        let mut t = 0;
+        for i in 0..8u64 {
+            t = mc.flush_line(LineAddr(i * 4096), [i as u8; 64], t);
+        }
+        mc.fence_tree_flush(t);
+        mc.finish(t);
+        assert_eq!(mc.stats().tree_updates_enqueued, 0);
+        assert_eq!(mc.stats().nvm_tree_writes, 0);
+        assert_eq!(mc.tree_pending_len(), 0);
+        assert!(mc.store().tree_lines().is_empty());
     }
 }

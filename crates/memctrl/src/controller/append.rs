@@ -30,6 +30,9 @@ impl MemoryController {
         let (counter, addr) = match target {
             WqTarget::Counter(page) => (true, page.0),
             WqTarget::Data(line) => (false, line.0),
+            // Tree appends are announced via TreeNodeEnqueue by the
+            // propagation applier, never through the WqEnqueue stream.
+            WqTarget::Tree(_) => return,
         };
         self.probes.emit_with(|| Event::WqEnqueue {
             counter,
@@ -59,7 +62,7 @@ impl MemoryController {
     /// the integrity tree.
     pub(super) fn append_counter(&mut self, page: PageId, encoded: [u8; 64], t_app: Cycle) {
         let ctr_bank = self.ctr_bank(page);
-        self.note_counter_write(page, &encoded);
+        self.note_counter_write(page, &encoded, t_app);
         let seq = self
             .wq
             .append(WqTarget::Counter(page), ctr_bank, encoded, None, t_app);

@@ -8,9 +8,10 @@
 
 use supermem_crypto::counter::IncrementOutcome;
 use supermem_crypto::CounterLine;
+use supermem_integrity::Propagation;
 use supermem_nvm::addr::PageId;
 use supermem_nvm::bank::OpKind;
-use supermem_sim::{Cycle, Event};
+use supermem_sim::{Cycle, Event, Mutation};
 
 use crate::wqueue::WqTarget;
 
@@ -87,9 +88,20 @@ impl MemoryController {
             return (CounterLine::decode(&[0; 64]), done);
         };
         // Counters arriving from (attacker-writable) NVM are verified
-        // against the trusted root before use.
-        if let Some(bmt) = &self.bmt {
-            if page.0 < self.cfg.integrity_pages {
+        // against the trusted root before use. In streaming mode any
+        // armed update for this page must propagate first, or the leaf
+        // digest would lag the line the write queue already drained.
+        if self.bmt.is_some() && page.0 < self.cfg.integrity_pages {
+            if self.cfg.streaming_tree() {
+                let prop = match &mut self.bmt {
+                    Some(bmt) => bmt.propagate_page(page.0),
+                    None => None,
+                };
+                if let Some(prop) = prop {
+                    self.apply_tree_propagation(&prop, done);
+                }
+            }
+            if let Some(bmt) = &self.bmt {
                 self.stats.integrity_verifications += 1;
                 done += self.cfg.hash_latency * bmt.height() as Cycle;
                 if !bmt.verify(page.0, &raw) {
@@ -118,12 +130,111 @@ impl MemoryController {
     /// Folds a counter write into the integrity tree (the hash engine
     /// runs alongside the write path; its latency is off the retire
     /// critical path because the tree root is an on-chip register).
-    pub(super) fn note_counter_write(&mut self, page: PageId, encoded: &[u8; 64]) {
-        if let Some(bmt) = &mut self.bmt {
-            if page.0 < self.cfg.integrity_pages {
+    ///
+    /// Eager mode recomputes the whole path to the root synchronously.
+    /// Streaming mode instead *arms* the leaf digest in the bounded
+    /// pending-update cache; repeat writes to the same page coalesce in
+    /// place, and a full cache evicts its oldest entry, whose
+    /// persisted-level node updates enter the write queue as
+    /// first-class traffic.
+    pub(super) fn note_counter_write(&mut self, page: PageId, encoded: &[u8; 64], at: Cycle) {
+        if self.bmt.is_none() || page.0 >= self.cfg.integrity_pages {
+            return;
+        }
+        if !self.cfg.streaming_tree() {
+            if let Some(bmt) = &mut self.bmt {
                 bmt.update(page.0, encoded);
             }
+            return;
         }
+        // Injected defect (tree-skip): the counter line enqueues but
+        // the tree is never armed — its data can drain uncovered (T2).
+        if self.cfg.mutation == Some(Mutation::TreeSkip) {
+            return;
+        }
+        self.stats.tree_updates_enqueued += 1;
+        self.probes
+            .emit_with(|| Event::TreeArm { page: page.0, at });
+        let outcome = match &mut self.bmt {
+            Some(bmt) => bmt.enqueue_update(page.0, encoded),
+            None => return, // unreachable: bmt presence checked above
+        };
+        if outcome.coalesced {
+            self.stats.tree_updates_coalesced += 1;
+        }
+        if let Some(prop) = outcome.eviction {
+            self.stats.tree_evictions += 1;
+            self.apply_tree_propagation(&prop, at);
+        }
+    }
+
+    /// Lands a finished propagation: per-leaf accounting and root
+    /// latching, then one write-queue append per touched persisted-level
+    /// node-group line (visible to stats, probes, and bank scheduling
+    /// like any other write).
+    pub(super) fn apply_tree_propagation(&mut self, prop: &Propagation, at: Cycle) {
+        for &page in &prop.pages {
+            self.stats.tree_propagations += 1;
+            self.probes.emit_with(|| Event::TreePropagate { page, at });
+            // The on-chip root register latches exactly once per
+            // propagated leaf.
+            self.probes.emit_with(|| Event::TreeRootUpdate { at });
+            if self.cfg.mutation == Some(Mutation::TreeDoubleRoot) {
+                // Injected defect: a second spurious latch per leaf —
+                // T3's exactly-once audit must notice.
+                self.probes.emit_with(|| Event::TreeRootUpdate { at });
+            }
+        }
+        for w in &prop.node_writes {
+            let id = w.line_id();
+            let bank = self.tree_bank(id);
+            // Three slots: this append plus headroom for a staged
+            // data+counter pair the caller may already have reserved
+            // (Config::validate guarantees capacity >= 4 in streaming
+            // mode).
+            let t = self.wait_slots(3, at);
+            let seq = self.wq.append(WqTarget::Tree(id), bank, w.payload, None, t);
+            let level = w.level;
+            self.probes.emit_with(|| Event::TreeNodeEnqueue {
+                level,
+                line: id,
+                seq,
+                at: t,
+            });
+        }
+    }
+
+    /// Flushes every armed leaf update out of the streaming pending
+    /// cache. After this call the persisted-level node updates are in
+    /// the ADR write queue and the root register is current. No-op in
+    /// eager mode (the tree is always current there).
+    pub(super) fn flush_tree_pending(&mut self, at: Cycle) {
+        if !self.cfg.streaming_tree() {
+            return;
+        }
+        let prop = match &mut self.bmt {
+            Some(bmt) if bmt.pending_len() > 0 => bmt.propagate_pending(),
+            _ => return,
+        };
+        self.apply_tree_propagation(&prop, at);
+    }
+
+    /// The fence hook of the streaming tree: an `sfence` must not retire
+    /// with armed leaf updates still pending (T1), so the fence drains
+    /// the pending cache.
+    pub fn fence_tree_flush(&mut self, at: Cycle) {
+        // Injected defect (tree-late): the fence "forgets" the tree —
+        // armed updates stay pending across the retire.
+        if self.cfg.mutation == Some(Mutation::TreeLate) {
+            return;
+        }
+        self.flush_tree_pending(at);
+    }
+
+    /// Destination bank of a tree node-group line (hashed over the
+    /// packed line id; tree metadata interleaves across all banks).
+    pub(super) fn tree_bank(&self, id: u64) -> usize {
+        (id % self.cfg.banks as u64) as usize
     }
 
     /// Dirty counter-cache entries (crash snapshots of a battery-backed

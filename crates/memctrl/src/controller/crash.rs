@@ -41,11 +41,32 @@ impl MemoryController {
             }
             Some(spec) => self.snapshot_faulted(&mut store, spec),
         }
+        let bmt_root = self.tree_root_after_adr_flush(&mut store);
         CrashImage {
             store,
             rsr: self.rsr,
-            bmt_root: self.bmt.as_ref().map(supermem_integrity::Bmt::root),
+            bmt_root,
         }
+    }
+
+    /// The ADR domain includes the streaming pending-update cache: at
+    /// power loss the battery propagates the armed leaves, landing the
+    /// persisted-level node lines next to the drained write queue, and
+    /// the root register keeps the post-flush value. In eager mode (or
+    /// with nothing pending) this is just the live root. A fault plan
+    /// already attached to `store` governs the node-line writes, so
+    /// lines lost with a failed bank stay lost.
+    fn tree_root_after_adr_flush(&self, store: &mut NvmStore) -> Option<u64> {
+        let bmt = self.bmt.as_ref()?;
+        if !self.cfg.streaming_tree() || bmt.pending_len() == 0 {
+            return Some(bmt.root());
+        }
+        let mut flushed = bmt.clone();
+        let prop = flushed.propagate_pending();
+        for w in &prop.node_writes {
+            store.write_tree(w.line_id(), w.payload);
+        }
+        Some(flushed.root())
     }
 
     /// The power event goes wrong: the ADR drain tears mid-flush and/or
@@ -65,6 +86,11 @@ impl MemoryController {
             for page in store.counter_lines() {
                 if self.ctr_bank(page) == fb {
                     plan.note_lost_counter(page);
+                }
+            }
+            for line in store.tree_lines() {
+                if self.tree_bank(line) == fb {
+                    plan.note_lost_tree(line);
                 }
             }
         }

@@ -45,8 +45,9 @@ impl MemoryController {
         )
     }
 
-    /// Clean shutdown: flushes dirty write-back counters and drains the
-    /// write queue. Returns the cycle the last write began service.
+    /// Clean shutdown: flushes dirty write-back counters, propagates any
+    /// armed streaming-tree updates, and drains the write queue. Returns
+    /// the cycle the last write began service.
     pub fn finish(&mut self, from: Cycle) -> Cycle {
         let mut t = from;
         for (page, ctr) in self.cc.drain_dirty() {
@@ -55,6 +56,9 @@ impl MemoryController {
             self.append_counter(page, ctr.encode(), t_app);
             t = t_app;
         }
+        // Unconditional (not the mutation-gated fence hook): even the
+        // tree-late mutant persists its tree at clean shutdown.
+        self.flush_tree_pending(t);
         self.wq.drain_all(
             t,
             &mut self.banks,

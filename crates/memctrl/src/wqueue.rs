@@ -29,6 +29,11 @@ pub enum WqTarget {
     Data(LineAddr),
     /// The counter line of a page.
     Counter(PageId),
+    /// An integrity-tree node-group line, keyed by the packed
+    /// `(level, group)` id ([`supermem_integrity::tree_line_id`]).
+    /// Streaming-tree propagation emits these as first-class write-queue
+    /// traffic; they are invisible in eager mode.
+    Tree(u64),
 }
 
 /// One pending write.
@@ -374,18 +379,25 @@ impl WriteQueue {
             stats.bank_writes.resize(global_bank + 1, 0);
         }
         stats.bank_writes[global_bank] += 1;
-        probes.emit_with(|| Event::WqIssue {
-            counter: e.is_counter(),
-            addr: match e.target {
-                WqTarget::Data(line) => line.0,
-                WqTarget::Counter(page) => page.0,
-            },
-            seq: e.seq,
-            bank: global_bank,
-            ready: e.ready,
-            start,
-            occupancy: self.capacity - self.free.len(),
-        });
+        // Tree node lines are metadata traffic: they occupy the bank like
+        // any write, but they are not part of the WqEnqueue/WqIssue
+        // ordering stream the checker audits (the T-rules track them
+        // through TreeNodeEnqueue instead).
+        if !matches!(e.target, WqTarget::Tree(_)) {
+            probes.emit_with(|| Event::WqIssue {
+                counter: e.is_counter(),
+                addr: match e.target {
+                    WqTarget::Data(line) => line.0,
+                    WqTarget::Counter(page) => page.0,
+                    WqTarget::Tree(id) => id,
+                },
+                seq: e.seq,
+                bank: global_bank,
+                ready: e.ready,
+                start,
+                occupancy: self.capacity - self.free.len(),
+            });
+        }
         probes.emit_with(|| Event::BankBusy {
             bank: global_bank,
             start,
@@ -403,6 +415,10 @@ impl WriteQueue {
             WqTarget::Counter(page) => {
                 stats.nvm_counter_writes += 1;
                 store.write_counter(page, e.payload);
+            }
+            WqTarget::Tree(id) => {
+                stats.nvm_tree_writes += 1;
+                store.write_tree(id, e.payload);
             }
         }
         start
@@ -513,6 +529,7 @@ impl WriteQueue {
                     }
                 }
                 WqTarget::Counter(page) => store.write_counter(page, e.payload),
+                WqTarget::Tree(id) => store.write_tree(id, e.payload),
             }
         }
     }
@@ -544,6 +561,7 @@ impl WriteQueue {
                 match e.target {
                     WqTarget::Data(line) => plan.note_lost_data(line),
                     WqTarget::Counter(page) => plan.note_lost_counter(page),
+                    WqTarget::Tree(id) => plan.note_lost_tree(id),
                 }
                 continue;
             }
@@ -571,6 +589,16 @@ impl WriteQueue {
                         None => e.payload,
                     };
                     store.write_counter(page, payload);
+                }
+                WqTarget::Tree(id) => {
+                    let payload = match torn {
+                        Some(t) => {
+                            plan.note_torn_entry();
+                            tear_line(&store.read_tree(id), &e.payload, t.mask)
+                        }
+                        None => e.payload,
+                    };
+                    store.write_tree(id, payload);
                 }
             }
         }
@@ -621,6 +649,9 @@ impl WriteQueue {
             .filter(|(_, e)| match e.target {
                 WqTarget::Data(line) => line.0 / page_bytes == page.0,
                 WqTarget::Counter(p) => p == page,
+                // Tree nodes cover whole leaf groups, not one page; they
+                // stay queued across a page re-encryption.
+                WqTarget::Tree(_) => false,
             })
             .map(|(i, _)| i)
             .collect();
@@ -803,6 +834,57 @@ mod tests {
         let got = wq.extract_page_entries(PageId(0), 4096);
         assert_eq!(got.len(), 2);
         assert_eq!(wq.len(), 1);
+    }
+
+    #[test]
+    fn tree_entries_issue_to_the_tree_region() {
+        let mut wq = WriteQueue::new(4, false);
+        let mut b = banks(2);
+        let mut store = NvmStore::new();
+        let mut stats = Stats::new(2);
+        wq.append(WqTarget::Tree(7), 1, [0x5C; 64], None, 0);
+        assert!(!wq.slots.iter().flatten().any(WqEntry::is_counter));
+        wq.drain_all(0, &mut b, &mut store, &mut stats, &mut Probes::default());
+        assert_eq!(store.read_tree(7), [0x5C; 64]);
+        assert_eq!(stats.nvm_tree_writes, 1);
+        assert_eq!(stats.nvm_data_writes, 0);
+        assert_eq!(stats.nvm_counter_writes, 0);
+        assert_eq!(stats.bank_writes[1], 1, "tree writes occupy their bank");
+    }
+
+    #[test]
+    fn flush_into_lands_tree_entries() {
+        let mut wq = WriteQueue::new(4, false);
+        wq.append(WqTarget::Tree(3), 0, [1; 64], None, 0);
+        wq.append(WqTarget::Tree(3), 0, [2; 64], None, 0);
+        let mut store = NvmStore::new();
+        wq.flush_into(&mut store);
+        assert_eq!(store.read_tree(3), [2; 64], "newest wins");
+    }
+
+    #[test]
+    fn faulted_flush_loses_tree_entries_with_their_bank() {
+        use supermem_nvm::fault::FaultPlan;
+        let mut wq = WriteQueue::new(8, false);
+        let mut store = NvmStore::new();
+        wq.append(WqTarget::Tree(1), 0, [1; 64], None, 0);
+        wq.append(WqTarget::Tree(2), 1, [2; 64], None, 0);
+        let mut plan = FaultPlan::default();
+        wq.flush_into_faulted(&mut store, Some(0), None, &mut plan);
+        assert_eq!(store.read_tree(1), [0; 64]);
+        assert!(plan.tree_lost(1));
+        assert_eq!(store.read_tree(2), [2; 64]);
+        assert!(!plan.tree_lost(2));
+    }
+
+    #[test]
+    fn extract_page_entries_leaves_tree_entries_queued() {
+        let mut wq = WriteQueue::new(8, false);
+        wq.append(WqTarget::Data(LineAddr(0)), 0, [1; 64], None, 0); // page 0
+        wq.append(WqTarget::Tree(0), 0, [2; 64], None, 0);
+        let got = wq.extract_page_entries(PageId(0), 4096);
+        assert_eq!(got.len(), 1);
+        assert_eq!(wq.len(), 1, "the tree entry stays");
     }
 
     #[test]

@@ -225,6 +225,12 @@ pub struct FaultPlan {
     lost_data: FxHashSet<u64>,
     /// Counter lines lost with a failed bank.
     lost_counters: FxHashSet<u64>,
+    /// Wrong-bit XOR masks per integrity-tree node line.
+    flip_tree: FxHashMap<u64, LineData>,
+    /// Remaining transient failures per tree node line.
+    transient_tree: FxHashMap<u64, u32>,
+    /// Tree node lines lost with a failed bank.
+    lost_tree: FxHashSet<u64>,
     counters: FaultCounters,
 }
 
@@ -430,6 +436,64 @@ impl FaultPlan {
             return false;
         }
         self.flip_counters.remove(&page.0);
+        true
+    }
+
+    /// Flips one media bit of an integrity-tree node line (read-side
+    /// XOR).
+    pub fn flip_tree_bit(&mut self, line: u64, bit: usize) {
+        assert!(bit < LINE_BITS, "bit index out of line");
+        set_mask_bit(self.flip_tree.entry(line).or_insert([0; LINE_BYTES]), bit);
+    }
+
+    /// Makes the next `times` checked reads of a tree node line fail
+    /// transiently.
+    pub fn fail_tree_reads(&mut self, line: u64, times: u32) {
+        self.transient_tree.insert(line, times);
+    }
+
+    /// Marks a tree node line as lost with its failed bank.
+    pub fn note_lost_tree(&mut self, line: u64) {
+        self.lost_tree.insert(line);
+    }
+
+    /// Whether the tree node line is gone with its bank.
+    pub fn tree_lost(&self, line: u64) -> bool {
+        self.lost_tree.contains(&line)
+    }
+
+    /// [`Self::filter_data_read`] for an integrity-tree node line.
+    pub fn filter_tree_read(
+        &mut self,
+        line: u64,
+        stored: LineData,
+    ) -> Result<LineData, MediaError> {
+        if self.lost_tree.contains(&line) {
+            self.counters.lost_reads += 1;
+            return Err(MediaError::Lost);
+        }
+        if let Some(left) = self.transient_tree.get_mut(&line) {
+            if *left > 0 {
+                *left -= 1;
+                self.counters.transient_failures += 1;
+                return Err(MediaError::Transient);
+            }
+        }
+        let mask = self
+            .flip_tree
+            .get(&line)
+            .copied()
+            .unwrap_or([0; LINE_BYTES]);
+        self.resolve_ecc(stored, &mask)
+    }
+
+    /// [`Self::admit_data_write`] for an integrity-tree node line.
+    pub fn admit_tree_write(&mut self, line: u64) -> bool {
+        if self.lost_tree.contains(&line) {
+            self.counters.dropped_writes += 1;
+            return false;
+        }
+        self.flip_tree.remove(&line);
         true
     }
 }

@@ -31,6 +31,7 @@ use crate::{LineData, LINE_BYTES};
 pub struct NvmStore {
     data: FxHashMap<u64, LineData>,
     counters: FxHashMap<u64, LineData>,
+    tree: FxHashMap<u64, LineData>,
     tags: FxHashMap<u64, u64>,
     data_wear: FxHashMap<u64, u64>,
     counter_wear: FxHashMap<u64, u64>,
@@ -121,6 +122,26 @@ impl NvmStore {
         self.counters.insert(page.0, bytes);
     }
 
+    /// Reads an integrity-tree node-group line (keyed by the packed
+    /// `(level, group)` id the integrity crate assigns); absent lines
+    /// read as zero, matching a fresh tree built over zero counters.
+    pub fn read_tree(&self, line: u64) -> LineData {
+        self.tree.get(&line).copied().unwrap_or([0; LINE_BYTES])
+    }
+
+    /// Writes an integrity-tree node-group line (same fault semantics as
+    /// [`Self::write_data`]). Tree lines carry no wear accounting: they
+    /// live in the metadata region the endurance figures deliberately
+    /// exclude, keeping [`Self::wear_report`] comparable across schemes.
+    pub fn write_tree(&mut self, line: u64, bytes: LineData) {
+        if let Some(plan) = &mut self.faults {
+            if !plan.admit_tree_write(line) {
+                return;
+            }
+        }
+        self.tree.insert(line, bytes);
+    }
+
     /// Stores the ECC-derived integrity tag of a data line (the spare
     /// ECC bits Osiris-style schemes repurpose; written alongside the
     /// line, costing no extra write request).
@@ -148,9 +169,21 @@ impl NvmStore {
         v
     }
 
+    /// Iterates over every tree node line ever written, in id order.
+    pub fn tree_lines(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.tree.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Number of distinct data lines ever written (diagnostics).
     pub fn data_lines_touched(&self) -> usize {
         self.data.len()
+    }
+
+    /// Number of distinct tree node lines ever written (diagnostics).
+    pub fn tree_lines_touched(&self) -> usize {
+        self.tree.len()
     }
 
     /// Number of distinct counter lines ever written (diagnostics).
@@ -192,6 +225,7 @@ impl NvmStore {
     pub fn absorb(&mut self, other: NvmStore) {
         self.data.extend(other.data);
         self.counters.extend(other.counters);
+        self.tree.extend(other.tree);
         self.tags.extend(other.tags);
         for (k, v) in other.data_wear {
             *self.data_wear.entry(k).or_insert(0) += v;
@@ -253,6 +287,83 @@ impl NvmStore {
             None => Ok(stored),
             Some(plan) => plan.filter_counter_read(page, stored),
         }
+    }
+
+    /// [`Self::read_data_checked`] for an integrity-tree node line.
+    ///
+    /// # Errors
+    ///
+    /// [`MediaError`] per the attached [`FaultPlan`].
+    pub fn read_tree_checked(&mut self, line: u64) -> Result<LineData, MediaError> {
+        let stored = self.tree.get(&line).copied().unwrap_or([0; LINE_BYTES]);
+        match &mut self.faults {
+            None => Ok(stored),
+            Some(plan) => plan.filter_tree_read(line, stored),
+        }
+    }
+
+    /// [`Self::strike_faults`] scoped to the integrity-tree metadata
+    /// region: picks a seeded victim among the persisted tree node lines
+    /// and registers the class's corruption. Uses its own RNG stream, so
+    /// combining it with `strike_faults` never perturbs the legacy
+    /// data/counter victim selection. Returns the struck line id, or
+    /// `None` for power-event classes and empty tree regions.
+    pub fn strike_tree_fault(&mut self, spec: FaultSpec) -> Option<u64> {
+        if spec.class.is_power_event() {
+            return None;
+        }
+        let lines = self.tree_lines();
+        if lines.is_empty() {
+            return None;
+        }
+        let mut rng = SplitMix64::new(spec.seed ^ 0x3EE5_7A1D);
+        let mut plan = self.faults.take().unwrap_or_else(|| FaultPlan::new(spec));
+        let line = lines[rng.next_below(lines.len() as u64) as usize];
+        match spec.class {
+            FaultClass::BitFlip | FaultClass::StuckAt => {
+                // Stuck cells degenerate to a single wrong bit on the
+                // read path for metadata lines: both are correctable.
+                let bit = rng.next_below(LINE_BITS as u64) as usize;
+                plan.flip_tree_bit(line, bit);
+            }
+            FaultClass::DoubleFlip => {
+                let bit1 = rng.next_below(LINE_BITS as u64) as usize;
+                let mut bit2 = rng.next_below(LINE_BITS as u64 - 1) as usize;
+                if bit2 >= bit1 {
+                    bit2 += 1;
+                }
+                plan.flip_tree_bit(line, bit1);
+                plan.flip_tree_bit(line, bit2);
+            }
+            FaultClass::TransientRead => {
+                let times = 1 + rng.next_below(4) as u32;
+                plan.fail_tree_reads(line, times);
+            }
+            FaultClass::Torn | FaultClass::BankFail => unreachable!("power-event class"),
+        }
+        self.faults = Some(plan);
+        Some(line)
+    }
+
+    /// Rewrites a seeded victim tree node line with attacker-chosen
+    /// bytes, bypassing the write-admission path (an *active tamper*:
+    /// ECC sees a consistent line, so only a root comparison during
+    /// recovery can catch it). Returns the tampered line id, or `None`
+    /// when no tree lines were ever persisted.
+    pub fn tamper_tree_line(&mut self, seed: u64) -> Option<u64> {
+        let lines = self.tree_lines();
+        if lines.is_empty() {
+            return None;
+        }
+        let mut rng = SplitMix64::new(seed ^ 0x7A3B_9D11);
+        let line = lines[rng.next_below(lines.len() as u64) as usize];
+        let mut bytes = self.read_tree(line);
+        // Flip one whole byte so the forged digest differs but the line
+        // still looks like ordinary ECC-clean media.
+        let byte = rng.next_below(LINE_BYTES as u64) as usize;
+        bytes[byte] ^= 0xA5;
+        self.tree.insert(line, bytes);
+        Some(line)
     }
 
     /// Strikes a settled (crash-image) store with an image-level fault:
@@ -429,6 +540,136 @@ mod tests {
         assert_eq!(r.total_data_writes, 3);
         assert_eq!(r.total_counter_writes, 2);
         assert_eq!(r.max_data_wear, 2);
+    }
+
+    #[test]
+    fn tree_region_is_its_own_namespace() {
+        let mut s = NvmStore::new();
+        assert_eq!(s.read_tree(0), [0; 64]);
+        s.write_data(LineAddr(0), [1; 64]);
+        s.write_counter(PageId(0), [2; 64]);
+        s.write_tree(0, [3; 64]);
+        assert_eq!(s.read_data(LineAddr(0)), [1; 64]);
+        assert_eq!(s.read_counter(PageId(0)), [2; 64]);
+        assert_eq!(s.read_tree(0), [3; 64]);
+        assert_eq!(s.tree_lines_touched(), 1);
+        // Tree writes carry no wear accounting.
+        assert_eq!(s.wear_report().total_data_writes, 1);
+        assert_eq!(s.wear_report().total_counter_writes, 1);
+    }
+
+    #[test]
+    fn tree_lines_sorted() {
+        let mut s = NvmStore::new();
+        s.write_tree(5, [1; 64]);
+        s.write_tree(2, [1; 64]);
+        s.write_tree(9, [1; 64]);
+        assert_eq!(s.tree_lines(), vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn absorb_unions_tree_lines() {
+        let mut a = NvmStore::new();
+        let mut b = NvmStore::new();
+        a.write_tree(1, [1; 64]);
+        b.write_tree(2, [2; 64]);
+        a.absorb(b);
+        assert_eq!(a.read_tree(1), [1; 64]);
+        assert_eq!(a.read_tree(2), [2; 64]);
+    }
+
+    #[test]
+    fn tree_double_flip_is_detected_on_checked_read() {
+        let mut s = NvmStore::new();
+        s.write_tree(7, [0x11; 64]);
+        let struck = s.strike_faults_tree_test(FaultClass::DoubleFlip, 42);
+        assert_eq!(struck, Some(7));
+        assert!(matches!(s.read_tree_checked(7), Err(MediaError::Corrupt)));
+        assert!(s.fault_counters().ecc_detections >= 1);
+        // Legacy data/counter reads are untouched.
+        assert!(s.read_data_checked(LineAddr(0)).is_ok());
+    }
+
+    #[test]
+    fn tree_single_flip_is_corrected() {
+        let mut s = NvmStore::new();
+        s.write_tree(3, [0xAB; 64]);
+        s.strike_faults_tree_test(FaultClass::BitFlip, 7);
+        assert_eq!(s.read_tree_checked(3), Ok([0xAB; 64]));
+        assert_eq!(s.fault_counters().ecc_corrections, 1);
+    }
+
+    #[test]
+    fn tree_transient_read_heals() {
+        let mut s = NvmStore::new();
+        s.write_tree(1, [5; 64]);
+        let mut plan = FaultPlan::new(FaultSpec {
+            class: FaultClass::TransientRead,
+            seed: 0,
+        });
+        plan.fail_tree_reads(1, 2);
+        s.attach_faults(plan);
+        assert!(matches!(s.read_tree_checked(1), Err(MediaError::Transient)));
+        assert!(matches!(s.read_tree_checked(1), Err(MediaError::Transient)));
+        assert_eq!(s.read_tree_checked(1), Ok([5; 64]));
+    }
+
+    #[test]
+    fn tree_lost_line_drops_writes_and_fails_reads() {
+        let mut s = NvmStore::new();
+        s.write_tree(4, [9; 64]);
+        let mut plan = FaultPlan::new(FaultSpec {
+            class: FaultClass::BankFail,
+            seed: 0,
+        });
+        plan.note_lost_tree(4);
+        s.attach_faults(plan);
+        s.write_tree(4, [1; 64]); // dropped
+        assert!(matches!(s.read_tree_checked(4), Err(MediaError::Lost)));
+        assert_eq!(s.fault_counters().dropped_writes, 1);
+    }
+
+    #[test]
+    fn tree_rewrite_clears_pending_flip() {
+        let mut s = NvmStore::new();
+        s.write_tree(2, [1; 64]);
+        let mut plan = FaultPlan::new(FaultSpec {
+            class: FaultClass::DoubleFlip,
+            seed: 0,
+        });
+        plan.flip_tree_bit(2, 0);
+        plan.flip_tree_bit(2, 9);
+        s.attach_faults(plan);
+        s.write_tree(2, [8; 64]);
+        assert_eq!(s.read_tree_checked(2), Ok([8; 64]));
+    }
+
+    #[test]
+    fn tamper_tree_line_changes_bytes_but_reads_clean() {
+        let mut s = NvmStore::new();
+        s.write_tree(6, [0x44; 64]);
+        let line = s.tamper_tree_line(123);
+        assert_eq!(line, Some(6));
+        let bytes = s.read_tree(6);
+        assert_ne!(bytes, [0x44; 64]);
+        // Clean tamper: the checked read sees no media error.
+        assert_eq!(s.read_tree_checked(6), Ok(bytes));
+        assert!(s.tamper_tree_line(1).is_some());
+        assert_eq!(NvmStore::new().tamper_tree_line(1), None);
+    }
+
+    #[test]
+    fn tree_strike_on_empty_region_is_noop() {
+        let mut s = NvmStore::new();
+        assert_eq!(s.strike_faults_tree_test(FaultClass::DoubleFlip, 1), None);
+        assert!(s.faults().is_none());
+    }
+
+    impl NvmStore {
+        /// Test shorthand for `strike_tree_fault`.
+        fn strike_faults_tree_test(&mut self, class: FaultClass, seed: u64) -> Option<u64> {
+            self.strike_tree_fault(FaultSpec { class, seed })
+        }
     }
 
     #[test]

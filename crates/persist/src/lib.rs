@@ -51,7 +51,7 @@ pub use direct::DirectMem;
 pub use pmem::{PMem, VecMem};
 pub use recovery::{
     recover_osiris, recover_transactions, verify_image_integrity, IntegrityVerdict, OsirisReport,
-    RecoveredMemory, RecoveryError, RecoveryOutcome,
+    RecoveredMemory, RecoveryError, RecoveryOutcome, TreeRebuild,
 };
 pub use redo::{recover_redo_transactions, RedoTxn, RedoTxnManager};
 pub use slot::{SlotArray, SlotError, SlotRecord, SlotState, SlotView};

@@ -37,6 +37,13 @@ use crate::pmem::PMem;
 /// declared failed (mirrors the controller's live-path retry budget).
 const READ_RETRY_LIMIT: u32 = 3;
 
+/// Recovery-time cost charged per persisted line (counter or tree node)
+/// read back from the media, in cycles: one NVM array read.
+const RECOVERY_LINE_READ_CYCLES: u64 = 126;
+
+/// Recovery-time cost charged per node hash recomputed or audited.
+const RECOVERY_NODE_HASH_CYCLES: u64 = 40;
+
 /// What the log scan found and did.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RecoveryOutcome {
@@ -130,6 +137,7 @@ pub struct RecoveredMemory {
     encryption: bool,
     read_retries: u64,
     media_failures: u64,
+    recovery_cycles: u64,
 }
 
 impl RecoveredMemory {
@@ -157,6 +165,7 @@ impl RecoveredMemory {
             encryption: cfg.encryption,
             read_retries: 0,
             media_failures: 0,
+            recovery_cycles: 0,
         }
     }
 
@@ -225,9 +234,10 @@ impl RecoveredMemory {
     /// exhaustion) or the recomputed root diverges from the trusted
     /// root register.
     pub fn from_image_checked(cfg: &Config, mut image: CrashImage) -> Result<Self, RecoveryError> {
-        let retries = Self::verify_image_integrity(cfg, &mut image)?;
+        let rebuild = Self::verify_image_integrity(cfg, &mut image)?;
         let mut rec = Self::from_image(cfg, image);
-        rec.read_retries += retries;
+        rec.read_retries += rebuild.read_retries;
+        rec.recovery_cycles += rebuild.recovery_cycles;
         Ok(rec)
     }
 
@@ -246,61 +256,52 @@ impl RecoveredMemory {
         mut machine: MachineCrashImage,
     ) -> Result<Self, RecoveryError> {
         let mut retries = 0u64;
+        let mut cycles = 0u64;
         for image in &mut machine.channels {
-            retries += Self::verify_image_integrity(cfg, image)?;
+            let rebuild = Self::verify_image_integrity(cfg, image)?;
+            retries += rebuild.read_retries;
+            cycles += rebuild.recovery_cycles;
         }
         let mut rec = Self::from_machine_image(cfg, machine);
         rec.read_retries += retries;
+        rec.recovery_cycles += cycles;
         Ok(rec)
     }
 
-    /// Recomputes the integrity tree over one image's counter lines
-    /// through the checked media path and compares it against the
-    /// image's trusted root (when one was recorded). Returns the number
-    /// of transient-read retries performed.
-    fn verify_image_integrity(cfg: &Config, image: &mut CrashImage) -> Result<u64, RecoveryError> {
-        let mut retries = 0u64;
+    /// Rebuilds one image's tree via [`rebuild_image_tree`] and lifts a
+    /// mismatch into the typed error the checked constructors report.
+    fn verify_image_integrity(
+        cfg: &Config,
+        image: &mut CrashImage,
+    ) -> Result<TreeRebuild, RecoveryError> {
         let Some(root) = image.bmt_root else {
-            return Ok(0);
+            return Ok(TreeRebuild::default());
         };
-        let mut bmt = supermem_integrity::Bmt::new(cfg.encryption_key(), cfg.integrity_pages);
-        let pages: Vec<PageId> = image
-            .store
-            .counter_lines()
-            .into_iter()
-            .filter(|p| p.0 < cfg.integrity_pages)
-            .collect();
-        for page in pages {
-            let mut attempt = 0u32;
-            let raw = loop {
-                match image.store.read_counter_checked(page) {
-                    Ok(d) => break d,
-                    Err(MediaError::Transient) if attempt < READ_RETRY_LIMIT => {
-                        attempt += 1;
-                        retries += 1;
-                    }
-                    Err(e) => {
-                        return Err(RecoveryError::DetectedCorrupt(format!(
-                            "counter line of page {} unreadable during integrity \
-                             verification: {e}",
-                            page.0
-                        )))
-                    }
-                }
-            };
-            bmt.update(page.0, &raw);
+        let rebuild = rebuild_image_tree(cfg, image, root)?;
+        if let Some(level) = rebuild.level_mismatch {
+            return Err(RecoveryError::DetectedCorrupt(format!(
+                "persisted tree level {level} does not match its children"
+            )));
         }
-        if bmt.root() != root {
+        if !rebuild.root_matches {
             return Err(RecoveryError::DetectedCorrupt(
                 "integrity root mismatch: counter region does not match the trusted root".into(),
             ));
         }
-        Ok(retries)
+        Ok(rebuild)
     }
 
     /// Transient-read retries performed so far.
     pub fn read_retries(&self) -> u64 {
         self.read_retries
+    }
+
+    /// Modeled recovery-time cost, in cycles, of the integrity-tree
+    /// rebuild the checked constructors performed (0 for unchecked
+    /// builds or images without a root): persisted lines read at
+    /// 126 cycles each plus node hashes at 40 cycles each.
+    pub fn recovery_cycles(&self) -> u64 {
+        self.recovery_cycles
     }
 
     /// Reads answered with poison (or writes skipped) because the media
@@ -587,46 +588,179 @@ pub fn recover_osiris(
     Ok((rec, report))
 }
 
+/// Cost and outcome report of one crash-image tree rebuild — the typed
+/// result both the checked constructors and [`verify_image_integrity`]
+/// share (see [`rebuild_image_tree`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TreeRebuild {
+    /// Counter lines read back to reconstruct leaf digests (0 when the
+    /// leaf-digest level itself was persisted).
+    pub counter_lines_checked: u64,
+    /// Persisted tree-node lines read back from the tree region.
+    pub persisted_lines_installed: u64,
+    /// Node hashes performed: leaf digests, per-level audits, and the
+    /// volatile-level recompute.
+    pub nodes_recomputed: u64,
+    /// Transient-read retries spent on the rebuild's media reads.
+    pub read_retries: u64,
+    /// Modeled rebuild cost: lines read at
+    /// [`RECOVERY_LINE_READ_CYCLES`], hashes at
+    /// [`RECOVERY_NODE_HASH_CYCLES`].
+    pub recovery_cycles: u64,
+    /// Whether the recomputed root equals the trusted root register.
+    pub root_matches: bool,
+    /// A persisted level whose stored digests do not hash from the
+    /// level below (streaming frontier audit), if any.
+    pub level_mismatch: Option<usize>,
+}
+
+/// Checked media read with the standard retry budget; counts retries
+/// and maps an uncorrectable error into [`RecoveryError::DetectedCorrupt`]
+/// with `what` naming the victim.
+fn rebuild_read<F>(
+    mut read: F,
+    retries: &mut u64,
+    what: impl Fn() -> String,
+) -> Result<LineData, RecoveryError>
+where
+    F: FnMut() -> Result<LineData, MediaError>,
+{
+    let mut attempt = 0u32;
+    loop {
+        match read() {
+            Ok(d) => return Ok(d),
+            Err(MediaError::Transient) if attempt < READ_RETRY_LIMIT => {
+                attempt += 1;
+                *retries += 1;
+            }
+            Err(e) => {
+                return Err(RecoveryError::DetectedCorrupt(format!(
+                    "{} unreadable during integrity verification: {e}",
+                    what()
+                )))
+            }
+        }
+    }
+}
+
+/// The shared rebuild-and-compare core: reconstructs the integrity tree
+/// over one crash image through the checked media path and compares the
+/// result against the trusted root register.
+///
+/// In eager mode (and at `persisted_levels = 0`) every leaf digest is
+/// rebuilt from its persisted counter line and the whole tree is
+/// recomputed bottom-up — the Phoenix-style full rebuild. With a
+/// streaming frontier the persisted node levels are *read back* from
+/// the tree region instead, audited level-against-level, and only the
+/// volatile levels above the frontier are recomputed — the Triad-NVM
+/// recovery-time saving the `treesweep` figure quantifies.
+///
+/// # Errors
+///
+/// [`RecoveryError::DetectedCorrupt`] when a counter or tree-node line
+/// is unreadable (uncorrectable ECC damage, lost line, retry
+/// exhaustion); [`RecoveryError::Config`] when the configuration cannot
+/// host a tree at all.
+fn rebuild_image_tree(
+    cfg: &Config,
+    image: &mut CrashImage,
+    root: u64,
+) -> Result<TreeRebuild, RecoveryError> {
+    let mut rep = TreeRebuild::default();
+    let mut bmt = match supermem_integrity::Bmt::new(cfg.encryption_key(), cfg.integrity_pages) {
+        Ok(b) => b,
+        Err(e) => return Err(RecoveryError::Config(format!("integrity tree: {e}"))),
+    };
+    let frontier = if cfg.streaming_tree() {
+        cfg.persisted_levels.unwrap_or(0) as usize
+    } else {
+        0
+    };
+    if frontier == 0 {
+        // Leaves from the (always-persisted) counter lines themselves.
+        let pages: Vec<PageId> = image
+            .store
+            .counter_lines()
+            .into_iter()
+            .filter(|p| p.0 < cfg.integrity_pages)
+            .collect();
+        for page in pages {
+            let raw = rebuild_read(
+                || image.store.read_counter_checked(page),
+                &mut rep.read_retries,
+                || format!("counter line of page {}", page.0),
+            )?;
+            bmt.set_leaf(page.0, &raw);
+            rep.counter_lines_checked += 1;
+            rep.nodes_recomputed += 1; // the leaf digest hash
+        }
+    } else {
+        // Persisted levels come back from the tree region.
+        for id in image.store.tree_lines() {
+            let level = supermem_integrity::tree_line_level(id) as usize;
+            if level >= frontier {
+                continue; // stale line from a deeper former frontier
+            }
+            let raw = rebuild_read(
+                || image.store.read_tree_checked(id),
+                &mut rep.read_retries,
+                || format!("tree node line {id:#x}"),
+            )?;
+            bmt.install_node_line(level, supermem_integrity::tree_line_group(id), &raw);
+            rep.persisted_lines_installed += 1;
+        }
+        // Audit the persisted region level-against-level: a recomputed
+        // root only reads the frontier's top array, so damage below it
+        // must be caught here.
+        for level in 1..frontier {
+            let (hashes, clean) = bmt.audit_level(level);
+            rep.nodes_recomputed += hashes;
+            if !clean && rep.level_mismatch.is_none() {
+                rep.level_mismatch = Some(level);
+            }
+        }
+    }
+    rep.nodes_recomputed += bmt.recompute_from_level(frontier.max(1));
+    rep.root_matches = rep.level_mismatch.is_none() && bmt.root() == root;
+    rep.recovery_cycles = (rep.counter_lines_checked + rep.persisted_lines_installed)
+        * RECOVERY_LINE_READ_CYCLES
+        + rep.nodes_recomputed * RECOVERY_NODE_HASH_CYCLES;
+    Ok(rep)
+}
+
 /// Active-tampering verdict for a crash image (see
 /// [`verify_image_integrity`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IntegrityVerdict {
     /// The image's counter region matches the trusted root register.
     Clean {
-        /// Counter lines folded into the recomputed tree.
-        counter_lines_checked: u64,
+        /// The rebuild's cost report.
+        rebuild: TreeRebuild,
     },
     /// The recomputed root diverges: the DIMM was modified behind the
     /// controller's back (or rolled back to stale contents).
     Tampered,
 }
 
-/// Recomputes the integrity tree over a crash image's counter region and
-/// compares it with the trusted root register that survived the crash.
+/// Rebuilds the integrity tree over a crash image through the checked
+/// media path ([`rebuild_image_tree`]) and compares it with the trusted
+/// root register that survived the crash.
 ///
 /// # Errors
 ///
 /// Returns `Err` if the image carries no root (the system ran without
-/// `Config::integrity_tree`).
+/// `Config::integrity_tree`) or a rebuild read hit uncorrectable media
+/// damage.
 pub fn verify_image_integrity(
     cfg: &Config,
-    image: &CrashImage,
+    image: &mut CrashImage,
 ) -> Result<IntegrityVerdict, String> {
     let Some(root) = image.bmt_root else {
         return Err("image has no integrity root: enable Config::integrity_tree".into());
     };
-    let mut bmt = supermem_integrity::Bmt::new(cfg.encryption_key(), cfg.integrity_pages);
-    let mut checked = 0;
-    for page in image.store.counter_lines() {
-        if page.0 < cfg.integrity_pages {
-            bmt.update(page.0, &image.store.read_counter(page));
-            checked += 1;
-        }
-    }
-    if bmt.root() == root {
-        Ok(IntegrityVerdict::Clean {
-            counter_lines_checked: checked,
-        })
+    let rebuild = rebuild_image_tree(cfg, image, root).map_err(|e| e.to_string())?;
+    if rebuild.root_matches {
+        Ok(IntegrityVerdict::Clean { rebuild })
     } else {
         Ok(IntegrityVerdict::Tampered)
     }
@@ -1078,6 +1212,100 @@ mod tests {
         rec.read(0x40, &mut buf);
         assert_eq!(buf, [0; 8], "lost lines read as poison");
         assert!(rec.media_failures() > 0, "the failure must be counted");
+    }
+
+    fn streaming_cfg(levels: u32) -> Config {
+        Config {
+            integrity_tree: true,
+            persisted_levels: Some(levels),
+            ..Config::default()
+        }
+    }
+
+    fn streaming_image(levels: u32) -> (Config, supermem_memctrl::CrashImage) {
+        let cfg = streaming_cfg(levels);
+        let mut mc = MemoryController::new(&cfg);
+        let mut t = 0;
+        for i in 0..12u64 {
+            t = mc.flush_line(LineAddr(i * 4096), [i as u8 + 1; 64], t);
+        }
+        mc.finish(t);
+        (cfg, mc.crash_now())
+    }
+
+    #[test]
+    fn streaming_recovery_rebuilds_from_the_persisted_frontier() {
+        let (cfg, image) = streaming_image(2);
+        let mut rec =
+            RecoveredMemory::from_image_checked(&cfg, image).expect("clean streaming image");
+        assert!(rec.recovery_cycles() > 0, "rebuild cost must be accounted");
+        let mut buf = [0u8; 8];
+        rec.read(5 * 4096, &mut buf);
+        assert_eq!(buf, [6; 8]);
+    }
+
+    #[test]
+    fn streaming_verdict_reads_node_lines_not_counter_lines() {
+        let (cfg, mut image) = streaming_image(2);
+        let v = verify_image_integrity(&cfg, &mut image).expect("image has a root");
+        let IntegrityVerdict::Clean { rebuild } = v else {
+            panic!("clean image must verify, got {v:?}");
+        };
+        assert!(rebuild.persisted_lines_installed > 0);
+        assert_eq!(
+            rebuild.counter_lines_checked, 0,
+            "a persisted leaf-digest level replaces the counter scan"
+        );
+        assert!(rebuild.root_matches);
+    }
+
+    #[test]
+    fn deeper_frontier_cuts_recovery_cycles() {
+        // The Triad-NVM trade: persisting the leaf-digest level skips
+        // hashing every counter line at rebuild time.
+        let (cfg0, mut i0) = streaming_image(0);
+        let (cfg2, mut i2) = streaming_image(2);
+        let cost =
+            |cfg: &Config, image: &mut supermem_memctrl::CrashImage| match verify_image_integrity(
+                cfg, image,
+            )
+            .expect("root present")
+            {
+                IntegrityVerdict::Clean { rebuild } => rebuild.recovery_cycles,
+                IntegrityVerdict::Tampered => panic!("clean image"),
+            };
+        assert!(cost(&cfg2, &mut i2) < cost(&cfg0, &mut i0));
+    }
+
+    #[test]
+    fn tampered_tree_node_line_is_detected() {
+        let (cfg, mut image) = streaming_image(2);
+        let id = image.store.tree_lines()[0];
+        let mut raw = image.store.read_tree(id);
+        raw[3] ^= 0x40;
+        image.store.write_tree(id, raw);
+        let err = RecoveredMemory::from_image_checked(&cfg, image).unwrap_err();
+        assert!(
+            matches!(err, RecoveryError::DetectedCorrupt(_)),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn uncorrectable_tree_line_damage_is_detected() {
+        use supermem_nvm::{FaultClass, FaultSpec};
+        let (cfg, mut image) = streaming_image(1);
+        let struck = image.store.strike_tree_fault(FaultSpec {
+            class: FaultClass::DoubleFlip,
+            seed: 7,
+        });
+        assert!(struck.is_some(), "image must hold tree lines to strike");
+        let err = RecoveredMemory::from_image_checked(&cfg, image).unwrap_err();
+        assert!(
+            matches!(err, RecoveryError::DetectedCorrupt(_)),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("unreadable"));
     }
 
     #[test]

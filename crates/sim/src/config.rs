@@ -50,6 +50,20 @@ pub enum ConfigError {
         /// Configured associativity.
         ways: usize,
     },
+    /// The integrity tree is enabled over zero pages.
+    IntegrityTreeNeedsPages,
+    /// `persisted_levels` is set while the integrity tree is off.
+    PersistedLevelsWithoutTree(u32),
+    /// `persisted_levels` exceeds the integrity tree's height.
+    PersistedLevelsOutOfRange {
+        /// The requested persistence frontier.
+        levels: u32,
+        /// The tree height for the configured `integrity_pages`.
+        height: u32,
+    },
+    /// Streaming-tree mode needs queue headroom for tree-node writes
+    /// alongside a staged data+counter pair.
+    StreamingTreeQueueTooSmall(usize),
 }
 
 impl fmt::Display for ConfigError {
@@ -88,6 +102,24 @@ impl fmt::Display for ConfigError {
                 write!(
                     f,
                     "{cache}: {bytes} bytes must be divisible by ways*line ({ways} ways)"
+                )
+            }
+            ConfigError::IntegrityTreeNeedsPages => {
+                write!(f, "integrity_tree requires integrity_pages > 0")
+            }
+            ConfigError::PersistedLevelsWithoutTree(v) => {
+                write!(f, "persisted_levels {v} requires integrity_tree")
+            }
+            ConfigError::PersistedLevelsOutOfRange { levels, height } => {
+                write!(
+                    f,
+                    "persisted_levels {levels} exceeds integrity-tree height {height}"
+                )
+            }
+            ConfigError::StreamingTreeQueueTooSmall(v) => {
+                write!(
+                    f,
+                    "streaming integrity tree requires write_queue_entries >= 4 (got {v})"
                 )
             }
         }
@@ -150,6 +182,18 @@ pub enum Mutation {
     /// point where recovery cannot tell the line's encryption epoch —
     /// the §3.4.4 hazard the R-series rules detect.
     RsrSkip,
+    /// Skip arming the streaming integrity-tree cache on a counter
+    /// write: the data line drains with no tree update ever armed for
+    /// its page — the hazard rule T2 detects.
+    TreeSkip,
+    /// Drop the fence-triggered flush of the pending tree-update cache:
+    /// armed leaves survive past the epoch's sfence without reaching
+    /// their persisted ancestors — the hazard rule T1 detects.
+    TreeLate,
+    /// Latch (and report) the root register twice per propagated leaf,
+    /// modeling a double-pumped root update — the hazard rule T3
+    /// detects.
+    TreeDoubleRoot,
 }
 
 impl Mutation {
@@ -160,26 +204,26 @@ impl Mutation {
             Mutation::PairSplit => "pair-split",
             Mutation::CwcNewest => "cwc-newest",
             Mutation::RsrSkip => "rsr-skip",
+            Mutation::TreeSkip => "tree-skip",
+            Mutation::TreeLate => "tree-late",
+            Mutation::TreeDoubleRoot => "tree-double-root",
         }
     }
 
     /// Parses a CLI spelling; returns `None` for unknown names.
     pub fn parse(s: &str) -> Option<Self> {
-        match s {
-            "wt-off" => Some(Mutation::WtOff),
-            "pair-split" => Some(Mutation::PairSplit),
-            "cwc-newest" => Some(Mutation::CwcNewest),
-            "rsr-skip" => Some(Mutation::RsrSkip),
-            _ => None,
-        }
+        Self::ALL.into_iter().find(|m| m.name() == s)
     }
 
     /// All mutations, in CLI listing order.
-    pub const ALL: [Mutation; 4] = [
+    pub const ALL: [Mutation; 7] = [
         Mutation::WtOff,
         Mutation::PairSplit,
         Mutation::CwcNewest,
         Mutation::RsrSkip,
+        Mutation::TreeSkip,
+        Mutation::TreeLate,
+        Mutation::TreeDoubleRoot,
     ];
 }
 
@@ -296,6 +340,17 @@ pub struct Config {
     pub integrity_pages: u64,
     /// Latency of one tree-level hash in cycles.
     pub hash_latency: Cycle,
+    /// Streaming integrity-tree persistence frontier (Triad-NVM style):
+    /// `Some(L)` with `L < height` switches the tree to the streaming
+    /// engine — counter writes arm a bounded pending-update cache,
+    /// propagation is lazy (eviction/fence), and node-group lines at
+    /// digest levels `0..L` persist through the write queue while
+    /// levels `L..=height` stay volatile and are rebuilt at recovery.
+    /// `None` (default) or `Some(height)` keeps the eager engine:
+    /// every counter write folds the full root path immediately and no
+    /// tree traffic reaches the write queue — byte-identical to the
+    /// pre-streaming behavior.
+    pub persisted_levels: Option<u32>,
     /// Start-Gap wear leveling beneath the data region: move the gap
     /// every `psi` writes (`None` disables it).
     pub wear_psi: Option<u64>,
@@ -361,6 +416,7 @@ impl Default for Config {
             integrity_tree: false,
             integrity_pages: 4096,
             hash_latency: 40,
+            persisted_levels: None,
             wear_psi: None,
             mutation: None,
             run_threads: 1,
@@ -412,6 +468,42 @@ impl Config {
     pub fn with_mutation(mut self, mutation: Mutation) -> Self {
         self.mutation = Some(mutation);
         self
+    }
+
+    /// Enables the integrity tree and returns the config.
+    pub fn with_integrity_tree(mut self, enabled: bool) -> Self {
+        self.integrity_tree = enabled;
+        self
+    }
+
+    /// Sets the streaming-tree persistence frontier and returns the
+    /// config (`None` restores the eager engine).
+    pub fn with_persisted_levels(mut self, levels: Option<u32>) -> Self {
+        self.persisted_levels = levels;
+        self
+    }
+
+    /// Height of the integrity tree over `integrity_pages` leaves
+    /// (8-ary levels above the leaf digests; 4096 pages -> 4).
+    pub fn integrity_tree_height(&self) -> u32 {
+        let mut n = self.integrity_pages.max(1);
+        let mut height = 0;
+        while n > 1 {
+            n = n.div_ceil(8);
+            height += 1;
+        }
+        height
+    }
+
+    /// True when the streaming tree engine is active: the integrity
+    /// tree is on and `persisted_levels` sits strictly below the tree
+    /// height. `None` or a frontier at/above the height is the eager
+    /// engine.
+    pub fn streaming_tree(&self) -> bool {
+        self.integrity_tree
+            && self
+                .persisted_levels
+                .is_some_and(|l| l < self.integrity_tree_height())
     }
 
     /// The 128-bit memory-encryption key, derived deterministically from
@@ -509,6 +601,23 @@ impl Config {
                     ways,
                 });
             }
+        }
+        if self.integrity_tree && self.integrity_pages == 0 {
+            return Err(ConfigError::IntegrityTreeNeedsPages);
+        }
+        if let Some(levels) = self.persisted_levels {
+            if !self.integrity_tree {
+                return Err(ConfigError::PersistedLevelsWithoutTree(levels));
+            }
+            let height = self.integrity_tree_height();
+            if levels > height {
+                return Err(ConfigError::PersistedLevelsOutOfRange { levels, height });
+            }
+        }
+        if self.streaming_tree() && self.write_queue_entries < 4 {
+            return Err(ConfigError::StreamingTreeQueueTooSmall(
+                self.write_queue_entries,
+            ));
         }
         Ok(())
     }
@@ -625,5 +734,94 @@ mod tests {
     fn pages_count() {
         let c = Config::default();
         assert_eq!(c.pages(), (8u64 << 30) / 4096);
+    }
+
+    #[test]
+    fn integrity_tree_height_matches_arity8() {
+        for (pages, height) in [(1u64, 0u32), (8, 1), (9, 2), (64, 2), (512, 3), (4096, 4)] {
+            let c = Config {
+                integrity_pages: pages,
+                ..Config::default()
+            };
+            assert_eq!(c.integrity_tree_height(), height, "{pages} pages");
+        }
+    }
+
+    #[test]
+    fn persisted_levels_validation() {
+        // The knob requires the tree.
+        let c = Config::default().with_persisted_levels(Some(2));
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::PersistedLevelsWithoutTree(2))
+        );
+        // In range: 4096 pages -> height 4, so 0..=4 are legal.
+        for l in 0..=4u32 {
+            let c = Config::default()
+                .with_integrity_tree(true)
+                .with_persisted_levels(Some(l));
+            assert!(c.validate().is_ok(), "levels {l}");
+        }
+        let c = Config::default()
+            .with_integrity_tree(true)
+            .with_persisted_levels(Some(5));
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::PersistedLevelsOutOfRange {
+                levels: 5,
+                height: 4
+            })
+        );
+        // Tree over zero pages is a typed error, not a downstream panic.
+        let c = Config {
+            integrity_tree: true,
+            integrity_pages: 0,
+            ..Config::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::IntegrityTreeNeedsPages));
+        // Streaming mode needs queue headroom for tree-node traffic.
+        let c = Config::default()
+            .with_integrity_tree(true)
+            .with_persisted_levels(Some(1))
+            .with_write_queue_entries(3);
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::StreamingTreeQueueTooSmall(3))
+        );
+        // Eager mode keeps the old minimum.
+        let c = Config::default()
+            .with_integrity_tree(true)
+            .with_write_queue_entries(3);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn streaming_tree_predicate() {
+        let eager = Config::default().with_integrity_tree(true);
+        assert!(!eager.streaming_tree(), "no knob means eager");
+        let full = eager.clone().with_persisted_levels(Some(4));
+        assert!(
+            !full.streaming_tree(),
+            "frontier at the height is the eager engine"
+        );
+        let streaming = eager.clone().with_persisted_levels(Some(1));
+        assert!(streaming.streaming_tree());
+        let tree_off = Config::default().with_persisted_levels(Some(1));
+        assert!(!tree_off.streaming_tree());
+    }
+
+    #[test]
+    fn tree_mutations_parse_and_list() {
+        assert_eq!(Mutation::ALL.len(), 7);
+        for m in Mutation::ALL {
+            assert_eq!(Mutation::parse(m.name()), Some(m));
+        }
+        assert_eq!(Mutation::parse("tree-skip"), Some(Mutation::TreeSkip));
+        assert_eq!(Mutation::parse("tree-late"), Some(Mutation::TreeLate));
+        assert_eq!(
+            Mutation::parse("tree-double-root"),
+            Some(Mutation::TreeDoubleRoot)
+        );
+        assert_eq!(Mutation::parse("bogus"), None);
     }
 }

@@ -230,6 +230,41 @@ pub enum Event {
         /// Cycle the transaction committed.
         end: Cycle,
     },
+    /// A counter write armed a leaf update in the streaming
+    /// integrity-tree pending cache (it has not yet reached any
+    /// persisted ancestor).
+    TreeArm {
+        /// Page whose counter line was armed.
+        page: u64,
+        /// Cycle of the arming.
+        at: Cycle,
+    },
+    /// One armed leaf update was propagated to the root (eviction,
+    /// fence, or shutdown flush).
+    TreePropagate {
+        /// Page whose pending update was folded into the tree.
+        page: u64,
+        /// Cycle of the propagation.
+        at: Cycle,
+    },
+    /// A propagated node-group line at a strictly-persisted tree level
+    /// entered the ADR write queue as first-class write traffic.
+    TreeNodeEnqueue {
+        /// Digest-array level of the node group (0 = leaf digests).
+        level: u32,
+        /// Tree-region line id (`level << 32 | group`).
+        line: u64,
+        /// Queue sequence number assigned to the entry.
+        seq: u64,
+        /// Cycle at which the entry was appended.
+        at: Cycle,
+    },
+    /// The on-chip root register latched a new value (exactly one per
+    /// propagated leaf).
+    TreeRootUpdate {
+        /// Cycle the root was latched.
+        at: Cycle,
+    },
 }
 
 /// A sink for simulator [`Event`]s.
@@ -774,7 +809,11 @@ impl Observer for Telemetry {
             Event::ReencryptDone { .. }
             | Event::RsrRetired { .. }
             | Event::RsrMarkDone { .. }
-            | Event::RegisterStage { .. } => {}
+            | Event::RegisterStage { .. }
+            | Event::TreeArm { .. }
+            | Event::TreePropagate { .. }
+            | Event::TreeNodeEnqueue { .. }
+            | Event::TreeRootUpdate { .. } => {}
             Event::FlushRetired {
                 issued,
                 counter_ready,

@@ -63,6 +63,20 @@ pub struct Stats {
     pub integrity_verifications: u64,
     /// Integrity-tree verification failures (active tampering detected).
     pub integrity_violations: u64,
+    /// Tree node-group line writes issued to NVM banks (streaming
+    /// engine only; kept out of [`Stats::nvm_writes_total`] so the
+    /// eager figures stay comparable).
+    pub nvm_tree_writes: u64,
+    /// Leaf updates armed in the streaming pending-update cache.
+    pub tree_updates_enqueued: u64,
+    /// Armed leaf updates absorbed in place by an already-pending entry
+    /// for the same page.
+    pub tree_updates_coalesced: u64,
+    /// Pending leaf updates propagated to the root (eviction, fence, or
+    /// shutdown flush).
+    pub tree_propagations: u64,
+    /// Propagations forced by pending-cache eviction specifically.
+    pub tree_evictions: u64,
     /// Retries of NVM reads that failed transiently.
     pub read_retries: u64,
     /// Single-bit media errors ECC corrected on the read path.
@@ -161,6 +175,11 @@ impl Stats {
         self.pages_reencrypted += other.pages_reencrypted;
         self.integrity_verifications += other.integrity_verifications;
         self.integrity_violations += other.integrity_violations;
+        self.nvm_tree_writes += other.nvm_tree_writes;
+        self.tree_updates_enqueued += other.tree_updates_enqueued;
+        self.tree_updates_coalesced += other.tree_updates_coalesced;
+        self.tree_propagations += other.tree_propagations;
+        self.tree_evictions += other.tree_evictions;
         self.read_retries += other.read_retries;
         self.ecc_corrections += other.ecc_corrections;
         self.poisoned_reads += other.poisoned_reads;

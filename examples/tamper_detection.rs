@@ -24,7 +24,7 @@ fn main() {
         .scheme(Scheme::SuperMem)
         .seed(99)
         .build();
-    let mut bmt = Bmt::new([0x17; 16], 4096);
+    let mut bmt = Bmt::new([0x17; 16], 4096).expect("valid tree shape");
     println!(
         "integrity tree: {} counter lines, height {}",
         bmt.pages(),

@@ -25,13 +25,13 @@ fn clean_crash_image_verifies() {
     sys.sfence();
     sys.checkpoint();
     let cfg = sys.config().clone();
-    let image = sys.crash_now();
-    assert_eq!(
-        verify_image_integrity(&cfg, &image).unwrap(),
-        IntegrityVerdict::Clean {
-            counter_lines_checked: 8
-        }
-    );
+    let mut image = sys.crash_now();
+    let verdict = verify_image_integrity(&cfg, &mut image).unwrap();
+    let IntegrityVerdict::Clean { rebuild } = verdict else {
+        panic!("clean image must verify, got {verdict:?}");
+    };
+    assert_eq!(rebuild.counter_lines_checked, 8);
+    assert!(rebuild.root_matches);
 }
 
 #[test]
@@ -49,7 +49,7 @@ fn counter_rollback_attack_is_detected() {
         .store
         .write_counter(PageId(3), CounterLine::new().encode());
     assert_eq!(
-        verify_image_integrity(&cfg, &image).unwrap(),
+        verify_image_integrity(&cfg, &mut image).unwrap(),
         IntegrityVerdict::Tampered
     );
 }
@@ -73,7 +73,7 @@ fn data_only_tampering_is_caught_by_decryption_not_tree() {
     image.store.write_data(line, cipher);
     // Tree still clean (counters untouched)...
     assert!(matches!(
-        verify_image_integrity(&cfg, &image).unwrap(),
+        verify_image_integrity(&cfg, &mut image).unwrap(),
         IntegrityVerdict::Clean { .. }
     ));
     // ...but the data no longer decrypts to what was written.
@@ -128,6 +128,6 @@ fn verification_happens_on_counter_fetches_and_costs_little() {
 fn unauthenticated_images_report_a_usable_error() {
     let sys = SystemBuilder::new().scheme(Scheme::SuperMem).build();
     let cfg = sys.config().clone();
-    let err = verify_image_integrity(&cfg, &sys.crash_now()).unwrap_err();
+    let err = verify_image_integrity(&cfg, &mut sys.crash_now()).unwrap_err();
     assert!(err.contains("integrity_tree"));
 }

@@ -24,6 +24,9 @@ fn expected_rule(m: Mutation) -> Rule {
         Mutation::PairSplit => Rule::P2,
         Mutation::CwcNewest => Rule::P3,
         Mutation::RsrSkip => Rule::R3,
+        Mutation::TreeLate => Rule::T1,
+        Mutation::TreeSkip => Rule::T2,
+        Mutation::TreeDoubleRoot => Rule::T3,
     }
 }
 
